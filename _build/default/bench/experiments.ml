@@ -1,0 +1,1006 @@
+(* The experiment harness: one entry per table / figure / proposition of
+   the paper (see DESIGN.md section 4 and EXPERIMENTS.md).  Each experiment
+   prints the measured rows next to the paper's claim. *)
+
+let fnum = Report.fnum
+
+let verdict_cell v =
+  match v with
+  | Verdict.Stable -> "stable"
+  | Verdict.Unstable _ -> "UNSTABLE"
+  | Verdict.Exhausted _ -> "budget?"
+
+(* ------------------------------------------------------------------ *)
+(* E-T1: Table 1                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Worst-case rho over all free trees on [n] vertices, per concept. *)
+let t1_exhaustive () =
+  Report.section "E-T1a  Table 1, certified worst cases over ALL trees";
+  print_endline
+    "Worst social-cost ratio rho among all free trees that are certified\n\
+     equilibria ('-' = no stable tree; '?+' = some checks hit budget).";
+  let alphas = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ] in
+  let concepts =
+    [ Concept.PS; Concept.BSwE; Concept.BGE; Concept.BNE; Concept.KBSE 2; Concept.KBSE 3 ]
+  in
+  List.iter
+    (fun n ->
+      Printf.printf "n = %d:\n" n;
+      let rows =
+        List.map
+          (fun alpha ->
+            fnum alpha
+            :: List.map
+                 (fun c ->
+                   let w = Poa.worst_tree ~concept:c ~alpha n in
+                   let cell = if w.Poa.stable_count = 0 then "-" else fnum w.Poa.rho in
+                   if w.Poa.exhausted > 0 then cell ^ "?+" else cell)
+                 concepts)
+          alphas
+      in
+      Report.print_table ~header:("alpha" :: List.map Concept.name concepts) rows)
+    [ 9; 10 ]
+
+(* PS lower-bound family: spiders with legs of length ~ sqrt(alpha). *)
+let spider_ps alpha =
+  let rec try_leg leg =
+    if leg < 1 then None
+    else
+      let legs = max 3 (int_of_float (alpha /. float_of_int leg)) in
+      let g = Gen.spider ~legs ~leg_len:leg in
+      if Pairwise.is_stable ~alpha g then Some (g, leg, legs) else try_leg (leg - 1)
+  in
+  try_leg (int_of_float (Float.sqrt alpha) + 1)
+
+let t1_ps_family () =
+  Report.section "E-T1b  PS row: Theta(min(sqrt(alpha), n/sqrt(alpha)))";
+  print_endline
+    "Spider construction (legs of ~sqrt(alpha) vertices), PS verified exactly;\n\
+     rho should track c * sqrt(alpha) while n ~ alpha.";
+  let rows =
+    List.filter_map
+      (fun alpha ->
+        match spider_ps alpha with
+        | None -> None
+        | Some (g, leg, legs) ->
+            let rho = Cost.rho ~alpha g in
+            Some
+              [
+                fnum alpha; string_of_int (Graph.n g); string_of_int leg;
+                string_of_int legs; fnum rho; fnum (Float.sqrt alpha);
+                fnum (rho /. Float.sqrt alpha);
+              ])
+      [ 16.; 64.; 256.; 1024. ]
+  in
+  Report.print_table
+    ~header:[ "alpha"; "n"; "leg"; "legs"; "rho(PS)"; "sqrt(alpha)"; "ratio" ]
+    rows;
+  (* fitted growth exponent of rho vs alpha: sqrt-law predicts ~0.5 *)
+  let points =
+    List.filter_map
+      (fun row ->
+        match row with
+        | a :: _ :: _ :: _ :: r :: _ -> Some (float_of_string a, float_of_string r)
+        | _ -> None)
+      rows
+  in
+  if List.length points >= 2 then begin
+    let f = Fit.power_exponent points in
+    Printf.printf "fitted exponent of rho ~ alpha^s: s = %.3f (r^2 = %.3f; sqrt law = 0.5)\n"
+      f.Fit.slope f.Fit.r2
+  end
+
+let t1_bge_family () =
+  Report.section "E-T1c  BSwE / BGE rows: Theta(log alpha) (Theorems 3.6, 3.10)";
+  print_endline
+    "Theorem 3.10 stretched tree stars (k = 1, t = alpha/15), BGE verified\n\
+     exactly; rho must sit between (log alpha)/4 - 17/8 and 2 + 2 log alpha.";
+  let rows =
+    List.map
+      (fun alpha ->
+        let star = Stretched.theorem_310_star ~alpha ~eta:(int_of_float alpha) in
+        let g = star.Stretched.star_graph in
+        let v = Greedy_eq.check ~alpha g in
+        let rho = Cost.rho ~alpha g in
+        [
+          fnum alpha; string_of_int (Graph.n g); verdict_cell v;
+          fnum (Bounds.thm310_bge_lower ~alpha); fnum rho;
+          fnum (Bounds.thm36_bswe_upper ~alpha);
+          fnum (rho /. Bounds.log2 alpha);
+        ])
+      [ 120.; 240.; 480.; 960. ]
+  in
+  Report.print_table
+    ~header:
+      [ "alpha"; "n"; "BGE"; "lower (Thm3.10)"; "rho"; "upper (Thm3.6)"; "rho/log(a)" ]
+    rows;
+  let points =
+    List.filter_map
+      (fun row ->
+        match row with
+        | a :: _ :: _ :: _ :: r :: _ -> Some (float_of_string a, float_of_string r)
+        | _ -> None)
+      rows
+  in
+  if List.length points >= 2 then begin
+    let f = Fit.log_fit points in
+    let p = Fit.power_exponent points in
+    Printf.printf
+      "fit rho = a log2(alpha) + b: a = %.3f (r^2 = %.3f); power exponent s = %.3f\n\
+       (log-law: linear in log alpha with small power exponent, vs 0.5 for PS)\n"
+      f.Fit.slope f.Fit.r2 p.Fit.slope
+  end
+
+let t1_bne_family () =
+  Report.section "E-T1d  BNE rows (Theorem 3.12 / Theorem 3.13)";
+  print_endline
+    "Theorem 3.12(ii) stars (k = 1, t = eta^eps): rho measured on the\n\
+     construction, BGE certified exactly, BNE checked within budget\n\
+     ('budget?' = the exact checker could not finish; stability at scale is\n\
+     Lemma 3.11's).  For alpha <= sqrt(n), Theorem 3.13 promises rho <= 4:\n\
+     certified over all trees below.";
+  let rows =
+    List.map
+      (fun eta ->
+        let alpha = float_of_int eta in
+        let star = Stretched.theorem_312ii_star ~alpha ~eta ~epsilon:0.5 in
+        let g = star.Stretched.star_graph in
+        let bge = Greedy_eq.check ~alpha g in
+        (* the exact BNE check is only affordable at the small end; at scale
+           stability is Lemma 3.11's statement, whose premise we evaluate *)
+        let bne =
+          if Graph.n g <= 250 then verdict_cell (Neighborhood_eq.check ~budget:300_000 ~alpha g)
+          else "skipped"
+        in
+        let premise =
+          Bounds.lemma311_premise ~alpha ~n:(Graph.n g)
+            ~depth:(Tree.depth (Tree.root_at g 0))
+            ~subtree:(Graph.n star.Stretched.subtree.Stretched.graph)
+        in
+        [
+          string_of_int eta; string_of_int (Graph.n g); fnum alpha;
+          verdict_cell bge; bne; string_of_bool premise; fnum (Cost.rho ~alpha g);
+          fnum (Bounds.thm312ii_bne_lower ~alpha ~epsilon:0.5);
+        ])
+      [ 64; 144; 400; 900 ]
+  in
+  Report.print_table
+    ~header:[ "eta"; "n"; "alpha"; "BGE"; "BNE"; "L3.11 premise"; "rho"; "lower (Thm3.12ii)" ]
+    rows;
+  (* The premise needs "sufficiently large eta": locate the threshold by
+     evaluating the closed form (no graph needed: |T| ~ eta^0.5, depth
+     <= 2 log2 |T|, n <= 3 eta / 2). *)
+  let premise_holds eta =
+    let t = Float.sqrt (float_of_int eta) in
+    let depth = max 1 (int_of_float (2. *. Bounds.log2 t)) in
+    Bounds.lemma311_premise ~alpha:(float_of_int eta) ~n:(3 * eta / 2) ~depth
+      ~subtree:(int_of_float t)
+  in
+  let rec threshold eta = if premise_holds eta then eta else threshold (eta * 2) in
+  Printf.printf
+    "Lemma 3.11's 'sufficiently large eta' kicks in near eta ~ %d (closed-form\n\
+     evaluation); below that the lemma is silent and only the exact checker\n\
+     could certify BNE, hence 'budget?' above.\n"
+    (threshold 64);
+  (* Theorem 3.13 regime: alpha <= sqrt(n).  All trees at n = 9, 10. *)
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun alpha ->
+            if alpha <= Float.sqrt (float_of_int n) then begin
+              let w = Poa.worst_tree ~concept:Concept.BNE ~alpha n in
+              Some
+                [
+                  string_of_int n; fnum alpha;
+                  (if w.Poa.stable_count = 0 then "-" else fnum w.Poa.rho);
+                  string_of_int w.Poa.exhausted; fnum Bounds.thm313_bne_upper;
+                ]
+            end
+            else None)
+          [ 1.; 1.5; 2.; 2.5; 3. ])
+      [ 9; 10 ]
+  in
+  Report.print_table ~header:[ "n"; "alpha"; "worst rho (BNE)"; "budgeted-out"; "bound" ] rows
+
+let t1_3bse () =
+  Report.section "E-T1e  3-BSE row: Theta(1), rho <= 25 (Theorem 3.15)";
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun alpha ->
+            let w = Poa.worst_tree ~concept:(Concept.KBSE 3) ~alpha n in
+            [
+              string_of_int n; fnum alpha;
+              (if w.Poa.stable_count = 0 then "-" else fnum w.Poa.rho);
+              string_of_int w.Poa.stable_count; fnum Bounds.thm315_3bse_upper;
+            ])
+          [ 1.; 4.; 16.; 64. ])
+      [ 8; 10; 12 ]
+  in
+  Report.print_table ~header:[ "n"; "alpha"; "worst rho (3-BSE)"; "#stable"; "bound" ] rows
+
+let t1_bse_general () =
+  Report.section "E-T1f  BSE on general graphs (Theorems 3.19-3.21)";
+  print_endline
+    "Upper bounds from the Lemma 3.17 + 3.18 pipeline: the PoA of any BSE is\n\
+     at most (max agent cost of an almost complete d-ary tree)/(alpha+n-1),\n\
+     minimised over d.  Certified exhaustively for n <= 6 below.";
+  (* max agent cost of a tree in O(n) via rerooted distance sums *)
+  let max_agent_cost g alpha =
+    let dists = Tree.total_dists g in
+    let worst = ref 0. in
+    Array.iteri
+      (fun u d ->
+        let c = (alpha *. float_of_int (Graph.degree g u)) +. float_of_int d in
+        if c > !worst then worst := c)
+      dists;
+    !worst
+  in
+  let pipeline n alpha =
+    let best = ref Float.infinity in
+    List.iter
+      (fun d ->
+        if d >= 2 && d < n then begin
+          let g = Gen.almost_complete_dary ~d n in
+          let bound = Bounds.lemma317_poa_upper ~alpha ~n ~max_cost:(max_agent_cost g alpha) in
+          if bound < !best then best := bound
+        end)
+      [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 ];
+    !best
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let nf = float_of_int n in
+        List.map
+          (fun (label, alpha) ->
+            [
+              string_of_int n; label; fnum alpha; fnum (pipeline n alpha);
+              fnum (Bounds.thm321_bse_upper ~n);
+            ])
+          [
+            ("n^0.5", Float.sqrt nf); ("n^0.9", Float.pow nf 0.9); ("n", nf);
+            ("n log n", nf *. Bounds.log2 nf);
+          ])
+      [ 100; 1000; 10000 ]
+  in
+  Report.print_table
+    ~header:[ "n"; "alpha regime"; "alpha"; "measured PoA upper"; "Thm 3.21 bound" ]
+    rows;
+  (* exhaustive certification at n <= 6 *)
+  let rows =
+    List.concat_map
+      (fun alpha ->
+        List.map
+          (fun n ->
+            let w = Poa.worst_connected ~concept:Concept.BSE ~alpha n in
+            [
+              string_of_int n; fnum alpha;
+              (if w.Poa.stable_count = 0 then "-" else fnum w.Poa.rho);
+              string_of_int w.Poa.stable_count;
+            ])
+          [ 5; 6 ])
+      [ 0.5; 1.; 2.; 8.; 40. ]
+  in
+  Report.print_table ~header:[ "n"; "alpha"; "worst rho (BSE, exact)"; "#BSE" ] rows
+
+let t1_summary () =
+  Report.section "E-T1g  Table 1 summary (paper vs this reproduction)";
+  Report.print_table
+    ~header:[ "concept"; "paper PoA (trees)"; "reproduction evidence" ]
+    [
+      [ "PS"; "Theta(min(sqrt a, n/sqrt a))"; "E-T1b: rho/sqrt(alpha) ~ constant" ];
+      [ "BSwE"; "Theta(log alpha)"; "E-T1c: lower <= rho <= 2+2 log alpha" ];
+      [ "BGE"; "Theta(log alpha)"; "E-T1c: same family is BGE" ];
+      [ "BNE"; "Theta(log a), a >= n^(1/2+e)"; "E-T1d: rho grows ~ log alpha" ];
+      [ "BNE"; "Theta(1), a <= sqrt n"; "E-T1d: worst rho <= 4 certified" ];
+      [ "3-BSE"; "Theta(1) (<= 25)"; "E-T1e: worst rho <= 25 certified" ];
+      [ "BSE (general)"; "Theta(1) except n^(1-e)<a<n log n"; "E-T1f" ];
+    ]
+
+let e_t1 () =
+  t1_exhaustive ();
+  t1_ps_family ();
+  t1_bge_family ();
+  t1_bne_family ();
+  t1_3bse ();
+  t1_bse_general ();
+  t1_summary ()
+
+(* ------------------------------------------------------------------ *)
+(* E-F1a / E-F1b                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e_f1a () =
+  Report.section "E-F1a  Figure 1a: subset arrows verified exhaustively";
+  let graphs =
+    Enumerate.free_trees 6 @ Enumerate.free_trees 7 @ Enumerate.connected_graphs_iso 5
+  in
+  let r =
+    Relations.verify_arrows ~graphs ~alphas:Relations.default_alphas Concept.proper_subsets
+  in
+  Report.print_table
+    ~header:[ "arrow (subset -> superset)"; "status" ]
+    (List.map
+       (fun (sub, sup) ->
+         let failed =
+           List.exists
+             (fun f -> f.Relations.sub = sub && f.Relations.sup = sup)
+             r.Relations.failures
+         in
+         [
+           Printf.sprintf "%s -> %s" (Concept.name sub) (Concept.name sup);
+           (if failed then "FAILED" else "holds");
+         ])
+       Concept.proper_subsets);
+  Printf.printf "instances decided exactly: %d, skipped on budget: %d, failures: %d\n"
+    r.Relations.instances r.Relations.skipped
+    (List.length r.Relations.failures)
+
+let e_f1b () =
+  Report.section "E-F1b  Figure 1b: all 8 (RE, BAE, BSwE) regions inhabited";
+  let sigs = Counterexamples.venn_signatures () in
+  Report.print_table
+    ~header:[ "RE"; "BAE"; "BSwE"; "witness n"; "witness m"; "alpha" ]
+    (List.map
+       (fun ((re, bae, bswe), (g, alpha)) ->
+         [
+           string_of_bool re; string_of_bool bae; string_of_bool bswe;
+           string_of_int (Graph.n g); string_of_int (Graph.num_edges g); fnum alpha;
+         ])
+       sigs);
+  Printf.printf "regions found: %d / 8 (Proposition A.1)\n" (List.length sigs)
+
+(* ------------------------------------------------------------------ *)
+(* E-F2: the Corbo-Parkes conjecture refutation                        *)
+(* ------------------------------------------------------------------ *)
+
+let e_f2 () =
+  Report.section "E-F2  Figure 2 / Proposition 2.3: NE (NCG) but not PS (BNCG)";
+  match Counterexamples.search_figure2 () with
+  | None -> print_endline "NO witness found (unexpected)"
+  | Some w ->
+      let g = Strategy.graph w.Counterexamples.assignment in
+      let alpha = w.Counterexamples.w_alpha in
+      Printf.printf "witness: %s at alpha = %s\n" (Graph.to_string g) (fnum alpha);
+      Printf.printf "ownership: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (u, v) ->
+                Printf.sprintf "%d-%d by %d" u v
+                  (Strategy.owner w.Counterexamples.assignment u v))
+              (Graph.edges g)));
+      Printf.printf "exact NE in the unilateral NCG: %b\n"
+        (Unilateral.is_nash ~alpha w.Counterexamples.assignment = Ok ());
+      let agent, target = w.Counterexamples.removal in
+      Printf.printf
+        "bilateral PS violated: agent %d improves by dropping the edge to %d\n\
+         (which agent %d does not own) => the Corbo-Parkes conjecture fails.\n"
+        agent target agent
+
+(* ------------------------------------------------------------------ *)
+(* E-F3: stretched binary trees                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e_f3 () =
+  Report.section "E-F3  Figure 3 / Proposition 3.8: stretched binary trees";
+  let rows =
+    List.map
+      (fun (d, k) ->
+        let s = Stretched.binary_tree ~d ~k in
+        let g = s.Stretched.graph in
+        let n = Graph.n g in
+        let alpha = Stretched.bge_stable_alpha ~k ~n in
+        [
+          string_of_int d; string_of_int k; string_of_int n;
+          string_of_int (Tree.depth (Tree.root_at g 0));
+          fnum alpha; verdict_cell (Greedy_eq.check ~alpha g); fnum (Cost.rho ~alpha g);
+        ])
+      [ (2, 1); (3, 1); (4, 1); (3, 2); (2, 3); (4, 2) ]
+  in
+  Report.print_table ~header:[ "d"; "k"; "n"; "depth"; "alpha=7kn"; "BGE"; "rho" ] rows;
+  (* Measured stability frontier vs the sufficient condition 7kn. *)
+  print_endline "Measured minimal alpha keeping the tree in BGE (vs sufficient 7kn):";
+  let rows =
+    List.map
+      (fun (d, k) ->
+        let s = Stretched.binary_tree ~d ~k in
+        let g = s.Stretched.graph in
+        let n = Graph.n g in
+        let stable a = Greedy_eq.is_stable ~alpha:a g in
+        let hi = Stretched.bge_stable_alpha ~k ~n in
+        let rec bisect lo hi steps =
+          if steps = 0 then hi
+          else
+            let mid = (lo +. hi) /. 2. in
+            if stable mid then bisect lo mid (steps - 1) else bisect mid hi (steps - 1)
+        in
+        let frontier = if stable hi then bisect 1. hi 20 else Float.nan in
+        [
+          string_of_int d; string_of_int k; string_of_int n; fnum frontier; fnum hi;
+          fnum (frontier /. hi);
+        ])
+      [ (3, 1); (3, 2); (2, 3) ]
+  in
+  Report.print_table
+    ~header:[ "d"; "k"; "n"; "measured frontier"; "7kn"; "frontier/7kn" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E-F4: Lemma 3.14                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e_f4 () =
+  Report.section "E-F4  Figure 4 / Lemma 3.14: two deep sibling subtrees break 3-BSE";
+  (* Root r with filler leaves (keeping it the 1-median) and one child u
+     carrying two sibling paths deep enough to exceed the Lemma 3.14
+     threshold.  We re-enact the proof's red move exactly: with
+     q = ceil(4 alpha / n), the nodes x (layer l(u)+q+2), its child y and
+     z (layer l(u)+2q+3) on one path, z' symmetric on the other, and the
+     trio {x, z, z'} adds xz and zz' while deleting xy. *)
+  let filler = 130 and path_len = 12 in
+  let n = 2 + filler + (2 * path_len) in
+  let alpha = 150. in
+  let g = ref (Graph.create n) in
+  let r = 0 and u = 1 in
+  g := Graph.add_edge !g r u;
+  for i = 0 to filler - 1 do
+    g := Graph.add_edge !g r (2 + i)
+  done;
+  let first_a = 2 + filler in
+  let first_b = first_a + path_len in
+  g := Graph.add_edge !g u first_a;
+  g := Graph.add_edge !g u first_b;
+  for i = 1 to path_len - 1 do
+    g := Graph.add_edge !g (first_a + i - 1) (first_a + i);
+    g := Graph.add_edge !g (first_b + i - 1) (first_b + i)
+  done;
+  let g = !g in
+  let q = int_of_float (Float.ceil (4. *. alpha /. float_of_int n)) in
+  Printf.printf
+    "tree: n = %d, alpha = %s, two sibling paths of depth %d below one child\n" n
+    (fnum alpha) path_len;
+  Printf.printf "Lemma 3.14 depth threshold 2*ceil(4a/n)+1 = %d; both siblings exceed it\n"
+    (Bounds.lemma314_depth_threshold ~alpha ~n);
+  (* Figure 4 is a proof illustration: a tree that 3-BSE forbids.  It is
+     not a bilateral equilibrium either (3-BSE is a subset of BGE), which
+     the checker confirms. *)
+  Printf.printf "bilateral stability (BGE): %s (expected: such trees cannot be stable)\n"
+    (verdict_cell (Greedy_eq.check ~alpha g));
+  (* path node with 1-based index i sits at layer 1 + i *)
+  let x = first_a + q + 1 in
+  let y = first_a + q + 2 in
+  let z = first_a + (2 * q) + 2 in
+  let z' = first_b + (2 * q) + 2 in
+  let m =
+    Move.Coalition
+      { members = [ x; z; z' ]; remove = [ (x, y) ]; add = [ (x, z); (z, z') ] }
+  in
+  Printf.printf "the proof's trio move: %s\n" (Move.to_string m);
+  Printf.printf "improving for all three members: %b\n" (Move.is_improving ~alpha g m);
+  (* audit over all trees n = 9 *)
+  let violations = ref 0 and audited = ref 0 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun alpha ->
+          match Strong_eq.check ~k:3 ~alpha g with
+          | Verdict.Stable ->
+              incr audited;
+              let t = Tree.root_at g (Tree.median g) in
+              let threshold = Bounds.lemma314_depth_threshold ~alpha ~n:(Graph.n g) in
+              for v = 0 to Graph.n g - 1 do
+                let deep =
+                  List.filter
+                    (fun c -> Tree.subtree_depth t c > threshold)
+                    (Tree.children t v)
+                in
+                if List.length deep > 1 then incr violations
+              done
+          | Verdict.Unstable _ | Verdict.Exhausted _ -> ())
+        [ 1.; 2.; 4. ])
+    (Enumerate.free_trees 9);
+  Printf.printf "audit on all 3-BSE trees (n = 9): %d equilibria, %d Lemma 3.14 violations\n"
+    !audited !violations
+
+(* ------------------------------------------------------------------ *)
+(* E-F5 .. E-F8                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let report_case (c : Counterexamples.case) =
+  Printf.printf "%s: n = %d, alpha = %s\n%s\n" c.Counterexamples.name
+    (Graph.n c.Counterexamples.graph)
+    (fnum c.Counterexamples.alpha) c.Counterexamples.note;
+  List.iter
+    (fun concept ->
+      Printf.printf "  %-6s %s\n" (Concept.name concept)
+        (verdict_cell (Concept.check ~alpha:c.Counterexamples.alpha concept c.Counterexamples.graph)))
+    c.Counterexamples.stable;
+  List.iter
+    (fun (concept, m) ->
+      Printf.printf "  %-6s witness move improving: %b (%s)\n" (Concept.name concept)
+        (Move.is_improving ~alpha:c.Counterexamples.alpha c.Counterexamples.graph m)
+        (Move.to_string m))
+    c.Counterexamples.unstable
+
+let e_f5 () =
+  Report.section "E-F5  Figure 5 / Proposition A.4: BAE and BGE but not BNE";
+  report_case Counterexamples.figure5
+
+let e_f6 () =
+  Report.section "E-F6  Figure 6 / Proposition A.5: BNE but not 2-BSE";
+  report_case Counterexamples.figure6;
+  let g = Counterexamples.figure6.Counterexamples.graph in
+  Report.print_table
+    ~header:[ "agent"; "dist (paper)"; "dist (measured)" ]
+    [
+      [ "a1"; "19"; string_of_int (Paths.total_dist g 0).Paths.sum ];
+      [ "b1"; "27"; string_of_int (Paths.total_dist g 4).Paths.sum ];
+      [ "c1"; "19"; string_of_int (Paths.total_dist g 8).Paths.sum ];
+    ]
+
+let e_f7 () =
+  Report.section "E-F7  Figure 7 / Proposition A.7: k-BSE but not BNE";
+  report_case (Counterexamples.figure7 ~k:2);
+  (* randomized falsification attempt at paper scale for k = 3 *)
+  let c = Counterexamples.figure7 ~k:3 in
+  let alpha = c.Counterexamples.alpha in
+  (match
+     Strong_eq.falsify_random ~rng:(Random.State.make [| 1 |]) ~iterations:20_000 ~k:3
+       ~alpha c.Counterexamples.graph
+   with
+  | Strong_eq.Not_refuted ->
+      Printf.printf
+        "figure7(k=3), n = %d: 20k random coalition moves found no improvement\n"
+        (Graph.n c.Counterexamples.graph)
+  | Strong_eq.Refuted m ->
+      Printf.printf "figure7(k=3): REFUTED by %s\n" (Move.to_string m));
+  Printf.printf "not BNE at k=3 scale: %b\n"
+    (Move.is_improving ~alpha c.Counterexamples.graph
+       (List.assoc Concept.BNE c.Counterexamples.unstable))
+
+let e_f8 () =
+  Report.section "E-F8  Figure 8 / Proposition 2.1: BAE does not imply unilateral AE";
+  report_case Counterexamples.figure8_equivalent;
+  match Unilateral.is_add_eq ~alpha:5. Counterexamples.figure8_equivalent.Counterexamples.graph with
+  | Error (u, v) ->
+      Printf.printf "unilateral AE violated: agent %d buys the edge to %d alone\n" u v
+  | Ok () -> print_endline "unexpected: unilateral AE holds"
+
+(* ------------------------------------------------------------------ *)
+(* E-L24, E-P37, E-P316, E-P322, E-A2, E-DYN                           *)
+(* ------------------------------------------------------------------ *)
+
+let e_l24 () =
+  Report.section "E-L24  Lemma 2.4: cycles are BSE for alpha in Theta(n^2)";
+  let rows =
+    List.map
+      (fun n ->
+        let g = Gen.cycle n in
+        let lo, hi = Cycle.corrected_bse_alpha_range n in
+        let verdict alpha =
+          if n <= 7 then verdict_cell (Strong_eq.check_outcomes ~k:n ~alpha g)
+          else begin
+            (* exact RE + randomized coalition falsification *)
+            let re = Remove_eq.is_stable ~alpha g in
+            match
+              Strong_eq.falsify_random ~rng:(Random.State.make [| n |]) ~iterations:5_000
+                ~k:(min n 5) ~alpha g
+            with
+            | Strong_eq.Refuted _ -> "UNSTABLE"
+            | Strong_eq.Not_refuted -> if re then "not refuted" else "UNSTABLE"
+          end
+        in
+        let _, paper_hi = Cycle.bse_alpha_range n in
+        [
+          string_of_int n; fnum lo; fnum hi; fnum paper_hi;
+          verdict (Float.max 0.25 (lo -. 1.)); verdict ((lo +. hi) /. 2.); verdict (hi +. 1.);
+        ])
+      [ 4; 5; 6; 7; 10; 14 ]
+  in
+  Report.print_table
+    ~header:
+      [ "n"; "lo"; "hi (corrected)"; "hi (paper)"; "below (not claimed)"; "inside"; "above" ]
+    rows;
+  print_endline
+    "erratum: for odd n the paper's upper endpoint (n+1)(n-1)/4 exceeds the\n\
+     exact single-removal threshold (n-1)^2/4, so odd cycles leave even RE\n\
+     strictly inside the stated window; the 'corrected' column caps it.";
+  print_endline "=> non-tree equilibria exist for alpha in Theta(n^2): no tree conjecture.";
+  (* measured exact stability windows vs the lemma's sufficient range *)
+  print_endline "\nmeasured BSE windows (alpha-profile bisection, exact checks):";
+  let rows =
+    List.map
+      (fun n ->
+        let lo, hi = Cycle.bse_alpha_range n in
+        let grid = List.init 40 (fun i -> 0.25 +. (float_of_int i *. (hi +. 3.) /. 39.)) in
+        let p =
+          Alpha_profile.scan ~tolerance:1e-3 ~concept:Concept.BSE ~grid (Gen.cycle n)
+        in
+        [
+          string_of_int n;
+          Format.asprintf "%a" Alpha_profile.pp p;
+          Printf.sprintf "(%s, %s)" (fnum lo) (fnum hi);
+        ])
+      [ 4; 5; 6 ]
+  in
+  Report.print_table ~header:[ "n"; "measured stable window(s)"; "Lemma 2.4 range" ] rows
+
+let e_p37 () =
+  Report.section "E-P37  Proposition 3.7: on trees, BGE = 2-BSE";
+  let rows =
+    List.map
+      (fun n ->
+        let agree = ref 0 and total = ref 0 in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                incr total;
+                let bge = Greedy_eq.is_stable ~alpha g in
+                let bse2 =
+                  Verdict.exactly_stable_exn "2bse" (Strong_eq.check ~k:2 ~alpha g)
+                in
+                if bge = bse2 then incr agree)
+              [ 0.5; 1.; 2.; 4.; 8.; 16. ])
+          (Enumerate.free_trees n);
+        [ string_of_int n; string_of_int !total; string_of_int !agree ])
+      [ 4; 5; 6; 7; 8 ]
+  in
+  Report.print_table ~header:[ "n"; "(tree, alpha) pairs"; "agreements" ] rows
+
+let e_p316 () =
+  Report.section "E-P316  Proposition 3.16: BSE landscape across alpha";
+  let rows =
+    List.concat_map
+      (fun alpha ->
+        List.map
+          (fun n ->
+            let bse =
+              List.filter
+                (fun g -> Verdict.is_stable (Strong_eq.check_outcomes ~k:n ~alpha g))
+                (Enumerate.connected_graphs_iso n)
+            in
+            let only_clique = match bse with [ g ] -> Graph.is_clique g | _ -> false in
+            let all_diam2 =
+              List.for_all
+                (fun g -> match Paths.diameter g with Some d -> d <= 2 | None -> false)
+                bse
+            in
+            let star_in =
+              List.exists (fun g -> Iso.isomorphic g (Gen.star n)) bse
+            in
+            [
+              fnum alpha; string_of_int n; string_of_int (List.length bse);
+              string_of_bool only_clique; string_of_bool all_diam2; string_of_bool star_in;
+            ])
+          [ 4; 5 ])
+      [ 0.5; 1.; 2.; 100. ]
+  in
+  Report.print_table
+    ~header:[ "alpha"; "n"; "#BSE"; "only clique"; "all diam<=2"; "star is BSE" ]
+    rows;
+  print_endline
+    "paper: alpha<1 => only the clique; alpha=1 => exactly the diameter-2\n\
+     graphs; alpha>1 => the star and others."
+
+let e_p322 () =
+  Report.section "E-P322  Proposition 3.22: no evenly-spread cheap graph at alpha = n";
+  print_endline
+    "min over d-ary trees of max-agent cost / (alpha + n - 1) at alpha = n; the\n\
+     paper proves this must diverge, so the column should grow with n.";
+  let rows =
+    List.map
+      (fun n ->
+        let alpha = float_of_int n in
+        let best = ref Float.infinity and best_d = ref 0 in
+        List.iter
+          (fun d ->
+            if d >= 2 && d < n then begin
+              let g = Gen.almost_complete_dary ~d n in
+              let dists = Tree.total_dists g in
+              let worst = ref 0. in
+              Array.iteri
+                (fun u dist ->
+                  let c = (alpha *. float_of_int (Graph.degree g u)) +. float_of_int dist in
+                  if c > !worst then worst := c)
+                dists;
+              let v = !worst /. (alpha +. float_of_int (n - 1)) in
+              if v < !best then begin
+                best := v;
+                best_d := d
+              end
+            end)
+          [ 2; 3; 4; 5; 6; 8; 12; 16; 24; 32; 48; 64; 96 ];
+        (* exact minimum over all trees for small n *)
+        let exact =
+          if n <= 8 then begin
+            let m = ref Float.infinity in
+            List.iter
+              (fun g ->
+                let worst = ref 0. in
+                for u = 0 to n - 1 do
+                  let c = Cost.money (Cost.agent_cost ~alpha g u) in
+                  if c > !worst then worst := c
+                done;
+                let v = !worst /. (alpha +. float_of_int (n - 1)) in
+                if v < !m then m := v)
+              (Enumerate.free_trees n);
+            fnum !m
+          end
+          else "-"
+        in
+        [ string_of_int n; string_of_int !best_d; fnum !best; exact ])
+      [ 8; 16; 64; 256; 1024; 4096; 16384 ]
+  in
+  Report.print_table
+    ~header:[ "n (alpha = n)"; "best d"; "d-ary min-max cost ratio"; "exact over all trees" ]
+    rows
+
+let e_a2 () =
+  Report.section "E-A2  Proposition A.2: RE = NE of the bilateral game";
+  print_endline
+    "Single removals suffice: for every connected graph on 5 vertices and every\n\
+     alpha, an agent has an improving multi-removal iff she has an improving\n\
+     single removal.";
+  let mismatches = ref 0 and total = ref 0 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun alpha ->
+          for u = 0 to Graph.n g - 1 do
+            incr total;
+            let before = Cost.agent_cost ~alpha g u in
+            let neighbors = Array.to_list (Graph.neighbors g u) in
+            let single =
+              List.exists
+                (fun v ->
+                  Cost.strictly_less (Cost.agent_cost ~alpha (Graph.remove_edge g u v) u) before)
+                neighbors
+            in
+            let rec subsets = function
+              | [] -> [ [] ]
+              | x :: rest ->
+                  let s = subsets rest in
+                  s @ List.map (fun t -> x :: t) s
+            in
+            let multi =
+              List.exists
+                (fun subset ->
+                  subset <> []
+                  &&
+                  let g' = List.fold_left (fun g v -> Graph.remove_edge g u v) g subset in
+                  Cost.strictly_less (Cost.agent_cost ~alpha g' u) before)
+                (subsets neighbors)
+            in
+            if single <> multi then incr mismatches
+          done)
+        [ 0.5; 1.; 1.5; 2.5; 4.; 8. ])
+    (Enumerate.connected_graphs_iso 5);
+  Printf.printf "agent/graph/alpha triples: %d, single-vs-multi mismatches: %d\n" !total
+    !mismatches
+
+let e_open () =
+  Report.section "E-OPEN  Open-question probes at certifiable scale";
+  print_endline
+    "The paper leaves open (Section 4) whether the tree bounds carry over\n\
+     to general graphs for restricted coalitions, and whether BSE is\n\
+     constant for alpha near n.  Exhaustive certification over all\n\
+     connected graphs up to isomorphism:";
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun alpha ->
+            let w3 = Poa.worst_connected ~concept:(Concept.KBSE 3) ~alpha n in
+            let wb = Poa.worst_connected ~concept:Concept.BNE ~alpha n in
+            [
+              string_of_int n; fnum alpha;
+              (if w3.Poa.stable_count = 0 then "-" else fnum w3.Poa.rho);
+              string_of_int w3.Poa.stable_count;
+              (if wb.Poa.stable_count = 0 then "-" else fnum wb.Poa.rho);
+              string_of_int wb.Poa.stable_count;
+            ])
+          [ 1.; 2.; 4.; float_of_int n; 16. ])
+      [ 5; 6 ]
+  in
+  Report.print_table
+    ~header:
+      [ "n"; "alpha"; "worst rho 3-BSE"; "#3-BSE"; "worst rho BNE"; "#BNE" ]
+    rows;
+  print_endline
+    "reading: at these sizes the general-graph worst cases for 3-BSE and BNE\n\
+     stay within the tree bounds (<= 25 resp. <= 4 at alpha <= sqrt n),\n\
+     consistent with the paper's conjecture that the tree results extend.";
+  (* alpha = n regime for BSE, the explicitly open case *)
+  let rows =
+    List.map
+      (fun n ->
+        let alpha = float_of_int n in
+        let w = Poa.worst_connected ~concept:Concept.BSE ~alpha n in
+        [
+          string_of_int n; fnum alpha;
+          (if w.Poa.stable_count = 0 then "-" else fnum w.Poa.rho);
+          string_of_int w.Poa.stable_count;
+        ])
+      [ 4; 5; 6 ]
+  in
+  Report.print_table ~header:[ "n"; "alpha = n"; "worst rho BSE"; "#BSE" ] rows
+
+let e_ncg () =
+  Report.section "E-NCG  Unilateral vs bilateral PoA (the paper's motivation)";
+  print_endline
+    "Worst certified equilibrium over all trees on 7 vertices: exact Nash\n\
+     equilibria of the unilateral NCG (all ownerships, unilateral cost\n\
+     accounting) vs pairwise stable trees of the BNCG.  At this size both\n\
+     worst cases are close to 1 - the asymptotic gap (constant for the NCG\n\
+     vs Theta(sqrt alpha) for PS) only opens as alpha and n scale together,\n\
+     which experiment E-T1b exhibits; this table certifies the small-scale\n\
+     baseline exactly.";
+  let rows =
+    List.map
+      (fun (alpha, uni, bi) ->
+        [ fnum alpha; fnum uni; fnum bi; fnum (bi /. Float.max uni 1e-9) ])
+      (Unilateral_poa.compare_table ~alphas:[ 1.5; 2.; 3.; 5.; 9.; 16.; 30. ] ~n:7)
+  in
+  Report.print_table
+    ~header:[ "alpha"; "worst rho, NCG NE"; "worst rho, BNCG PS"; "ratio" ]
+    rows
+
+let e_ce () =
+  Report.section "E-CE  Collaborative Equilibrium (extension, Section 1.2)";
+  print_endline
+    "Demaine et al.'s CE lets any coalition renegotiate the cost-shares of\n\
+     one edge - in particular, non-incident agents can crowd-fund a\n\
+     shortcut.  Exact CE classification of equal-split states over all\n\
+     free trees (single-payment cost accounting):";
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun alpha ->
+            let ps = ref 0 and ce = ref 0 in
+            let worst_ps = ref 0. and worst_ce = ref 0. in
+            List.iter
+              (fun g ->
+                let state = Cost_share.equal_split ~alpha g in
+                let r = Cost_share.rho state in
+                if Pairwise.is_stable ~alpha g then begin
+                  incr ps;
+                  if r > !worst_ps then worst_ps := r
+                end;
+                if Collaborative_eq.is_stable state then begin
+                  incr ce;
+                  if r > !worst_ce then worst_ce := r
+                end)
+              (Enumerate.free_trees n);
+            [
+              string_of_int n; fnum alpha; string_of_int !ps;
+              (if !ps = 0 then "-" else fnum !worst_ps); string_of_int !ce;
+              (if !ce = 0 then "-" else fnum !worst_ce);
+            ])
+          [ 2.; 4.; 8.; 16. ])
+      [ 7; 8 ]
+  in
+  Report.print_table
+    ~header:[ "n"; "alpha"; "#PS trees"; "worst rho PS"; "#CE states"; "worst rho CE" ]
+    rows;
+  print_endline
+    "reading: crowd-funding moves kill most bad pairwise-stable states -\n\
+     the cooperation ladder continues beyond the paper's concepts exactly\n\
+     as its related-work section positions CE between PS and SE.";
+  (* the paper's flagship PS lower-bound family under CE *)
+  let alpha = 64. in
+  match spider_ps alpha with
+  | Some (g, _, _) ->
+      let state = Cost_share.equal_split ~alpha g in
+      Printf.printf
+        "the Theta(sqrt alpha) PS spider at alpha = %s (n = %d): CE verdict = %s\n"
+        (fnum alpha) (Graph.n g)
+        (match Collaborative_eq.check state with
+        | Ok () -> "stable"
+        | Error w ->
+            Printf.sprintf "UNSTABLE (%d agents crowd-fund a shortcut)"
+              (List.length (Collaborative_eq.movers w)))
+  | None -> ()
+
+let e_dyn () =
+  Report.section "E-DYN  Improving-move dynamics (extension experiment)";
+  print_endline
+    "From 20 random labelled trees (n = 10): convergence and final quality per\n\
+     solution concept.";
+  let rows =
+    List.concat_map
+      (fun alpha ->
+        List.map
+          (fun concept ->
+            let r = Random.State.make [| 2023 |] in
+            let converged = ref 0 and steps = ref 0 and rho_sum = ref 0. and runs = 20 in
+            for _ = 1 to runs do
+              let g = Gen.random_tree r 10 in
+              let out = Dynamics.run ~max_steps:400 ~concept ~alpha g in
+              if out.Dynamics.status = Dynamics.Converged then begin
+                incr converged;
+                steps := !steps + out.Dynamics.steps;
+                rho_sum := !rho_sum +. Cost.rho ~alpha out.Dynamics.final
+              end
+            done;
+            [
+              fnum alpha; Concept.name concept;
+              Printf.sprintf "%d/%d" !converged runs;
+              (if !converged > 0 then fnum (float_of_int !steps /. float_of_int !converged)
+               else "-");
+              (if !converged > 0 then fnum (!rho_sum /. float_of_int !converged) else "-");
+            ])
+          [ Concept.PS; Concept.BGE; Concept.KBSE 3 ])
+      [ 2.; 5. ]
+  in
+  Report.print_table
+    ~header:[ "alpha"; "concept"; "converged"; "avg steps"; "avg final rho" ]
+    rows;
+  (* move-selection policies (Kawald-Lenzner style comparison) *)
+  print_endline
+    "move-selection policies under BGE dynamics (same 20 seeds, n = 10,\n\
+     alpha = 3):";
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let r = Random.State.make [| 4242 |] in
+        let converged = ref 0 and steps = ref 0 and rho_sum = ref 0. and runs = 20 in
+        for _ = 1 to runs do
+          let g = Gen.random_tree r 10 in
+          let out =
+            Local_moves.run_dynamics ~max_steps:400 ~policy ~concept:Concept.BGE
+              ~alpha:3. g
+          in
+          if out.Dynamics.status = Dynamics.Converged then begin
+            incr converged;
+            steps := !steps + out.Dynamics.steps;
+            rho_sum := !rho_sum +. Cost.rho ~alpha:3. out.Dynamics.final
+          end
+        done;
+        [
+          name;
+          Printf.sprintf "%d/%d" !converged runs;
+          (if !converged > 0 then fnum (float_of_int !steps /. float_of_int !converged)
+           else "-");
+          (if !converged > 0 then fnum (!rho_sum /. float_of_int !converged) else "-");
+        ])
+      [
+        ("first improving", Local_moves.First);
+        ("best response", Local_moves.Best_response);
+        ("best social", Local_moves.Best_social);
+        ("random improving", Local_moves.Random (Random.State.make [| 7 |]));
+      ]
+  in
+  Report.print_table ~header:[ "policy"; "converged"; "avg steps"; "avg final rho" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("e-t1", "Table 1: PoA per solution concept", e_t1);
+    ("e-f1a", "Figure 1a: subset arrows", e_f1a);
+    ("e-f1b", "Figure 1b: RE/BAE/BSwE Venn regions", e_f1b);
+    ("e-f2", "Figure 2 / Prop 2.3: conjecture refutation", e_f2);
+    ("e-f3", "Figure 3 / Prop 3.8: stretched binary trees", e_f3);
+    ("e-f4", "Figure 4 / Lemma 3.14: deep sibling subtrees", e_f4);
+    ("e-f5", "Figure 5 / Prop A.4", e_f5);
+    ("e-f6", "Figure 6 / Prop A.5", e_f6);
+    ("e-f7", "Figure 7 / Prop A.7", e_f7);
+    ("e-f8", "Figure 8 / Prop 2.1", e_f8);
+    ("e-l24", "Lemma 2.4: cycles in BSE", e_l24);
+    ("e-p37", "Prop 3.7: BGE = 2-BSE on trees", e_p37);
+    ("e-p316", "Prop 3.16: BSE landscape", e_p316);
+    ("e-p322", "Prop 3.22: alpha = n spread", e_p322);
+    ("e-a2", "Prop A.2: RE = NE", e_a2);
+    ("e-ncg", "unilateral vs bilateral PoA", e_ncg);
+    ("e-open", "open-question probes (general graphs)", e_open);
+    ("e-ce", "Collaborative Equilibrium extension", e_ce);
+    ("e-dyn", "dynamics extension", e_dyn);
+  ]

@@ -1,0 +1,101 @@
+(* Benchmark / experiment entry point.
+
+   - no arguments: run every experiment (one per paper table/figure), then
+     the Bechamel microbenchmarks;
+   - [main.exe <id> ...]: run only the listed experiments (see [--list]);
+   - [main.exe perf]: only the microbenchmarks. *)
+
+let perf () =
+  let open Bechamel in
+  Report.section "PERF  Bechamel microbenchmarks of the hot kernels";
+  let stretched = (Stretched.binary_tree ~d:7 ~k:2).Stretched.graph in
+  let star200 = Gen.star 200 in
+  let tree200 = Gen.random_tree (Random.State.make [| 5 |]) 200 in
+  let tree12 = Gen.random_tree (Random.State.make [| 9 |]) 12 in
+  let fig6 = Counterexamples.figure6.Counterexamples.graph in
+  let tests =
+    [
+      Test.make ~name:"bfs n=510 (stretched tree)"
+        (Staged.stage (fun () -> ignore (Paths.bfs stretched 0)));
+      Test.make ~name:"apsp n=200 (random tree)"
+        (Staged.stage (fun () -> ignore (Paths.apsp tree200)));
+      Test.make ~name:"total_dists rerooting n=510"
+        (Staged.stage (fun () -> ignore (Tree.total_dists stretched)));
+      Test.make ~name:"social_cost n=510"
+        (Staged.stage (fun () -> ignore (Cost.social_cost ~alpha:3. stretched)));
+      Test.make ~name:"PS check star n=200"
+        (Staged.stage (fun () -> ignore (Pairwise.check ~alpha:2. star200)));
+      Test.make ~name:"BSwE check stretched n=510"
+        (Staged.stage (fun () ->
+             ignore (Swap_eq.check ~alpha:(7. *. 2. *. 510.) stretched)));
+      Test.make ~name:"BNE check figure6 n=10"
+        (Staged.stage (fun () -> ignore (Neighborhood_eq.check ~alpha:6. fig6)));
+      Test.make ~name:"3-BSE tree check n=12"
+        (Staged.stage (fun () -> ignore (Strong_eq.check_tree ~k:3 ~alpha:4. tree12)));
+      Test.make ~name:"free_trees n=10"
+        (Staged.stage (fun () -> ignore (Enumerate.free_trees 10)));
+      Test.make ~name:"tree_code n=200"
+        (Staged.stage (fun () -> ignore (Iso.tree_code tree200)));
+      Test.make ~name:"graph6 roundtrip n=200"
+        (Staged.stage (fun () ->
+             ignore (Encode.of_graph6 (Encode.to_graph6 tree200))));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"bncg" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows in
+  Report.print_table
+    ~header:[ "benchmark"; "time/run"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         let time =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; time; Printf.sprintf "%.3f" r2 ])
+       rows)
+
+let usage () =
+  print_endline "usage: main.exe [perf | --list | <experiment-id> ...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (id, descr, _) -> Printf.printf "  %-8s %s\n" id descr)
+    Experiments.all
+
+let run_one id =
+  match List.find_opt (fun (i, _, _) -> String.equal i id) Experiments.all with
+  | Some (_, _, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s finished in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+  | None ->
+      Printf.printf "unknown experiment %S\n" id;
+      usage ();
+      exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      List.iter (fun (id, _, _) -> run_one id) Experiments.all;
+      perf ()
+  | _ :: [ "perf" ] -> perf ()
+  | _ :: [ "--list" ] -> usage ()
+  | _ :: ids -> List.iter run_one ids
+  | [] -> usage ()

@@ -1,0 +1,1 @@
+bin/bncg_cli.ml: Alpha_profile Arg Cmd Cmdliner Concept Cost Counterexamples Dot Dynamics Encode Enumerate Format Gen Graph List Poa Printf Random Scanf String Term Verdict Welfare

@@ -1,0 +1,1 @@
+bin/bncg_cli.mli:

@@ -1,0 +1,1 @@
+bin/smoke.ml: Concept Gen List Printf Verdict

@@ -1,0 +1,214 @@
+(* Command-line front end.
+
+   bncg check  -a 2.0 -c PS -g "Dhc"            check a graph6 graph
+   bncg rho    -a 2.0 -g "Dhc"                  social cost ratio
+   bncg poa    -a 2.0 -c 3-BSE -n 9             worst rho over all trees
+   bncg dyn    -a 2.0 -c BGE --tree 10 --seed 1 improving-move dynamics
+   bncg enum   -n 7                             enumeration counts
+   bncg gallery                                 counterexample summary *)
+
+open Cmdliner
+
+let alpha_arg =
+  Arg.(
+    required
+    & opt (some float) None
+    & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc:"Edge price $(docv) > 0.")
+
+let concept_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "RE" -> Ok Concept.RE
+    | "BAE" -> Ok Concept.BAE
+    | "PS" -> Ok Concept.PS
+    | "BSWE" -> Ok Concept.BSwE
+    | "BGE" -> Ok Concept.BGE
+    | "BNE" -> Ok Concept.BNE
+    | "BSE" -> Ok Concept.BSE
+    | s -> (
+        match Scanf.sscanf_opt s "%d-BSE" (fun k -> k) with
+        | Some k when k >= 1 -> Ok (Concept.KBSE k)
+        | Some _ | None -> Error (`Msg (Printf.sprintf "unknown concept %S" s)))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Concept.name c))
+
+let concept_arg =
+  Arg.(
+    value
+    & opt concept_conv Concept.PS
+    & info [ "c"; "concept" ] ~docv:"CONCEPT"
+        ~doc:"Solution concept: RE, BAE, PS, BSwE, BGE, BNE, k-BSE (e.g. 3-BSE), BSE.")
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"GRAPH6" ~doc:"The graph in graph6 format.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 500_000
+    & info [ "budget" ] ~docv:"N" ~doc:"Search budget for BNE / k-BSE checkers.")
+
+let check_cmd =
+  let run alpha concept g6 budget =
+    let g = Encode.of_graph6 g6 in
+    let v = Concept.check ~budget ~alpha concept g in
+    Printf.printf "%s on %s at alpha=%g: %s\n" (Concept.name concept) g6 alpha
+      (Verdict.to_string v);
+    match v with Verdict.Unstable _ -> exit 1 | Verdict.Stable -> () | Verdict.Exhausted _ -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a graph against a solution concept.")
+    Term.(const run $ alpha_arg $ concept_arg $ graph_arg $ budget_arg)
+
+let rho_cmd =
+  let run alpha g6 =
+    let g = Encode.of_graph6 g6 in
+    Printf.printf "rho = %.6f (social cost %.1f, optimum %.1f)\n" (Cost.rho ~alpha g)
+      (Cost.social_money (Cost.social_cost ~alpha g))
+      (Cost.opt_cost ~alpha (Graph.n g))
+  in
+  Cmd.v
+    (Cmd.info "rho" ~doc:"Social cost ratio of a graph.")
+    Term.(const run $ alpha_arg $ graph_arg)
+
+let poa_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of agents (trees up to 11).")
+  in
+  let connected_arg =
+    Arg.(
+      value & flag
+      & info [ "general" ] ~doc:"Search connected graphs (n <= 7) instead of trees.")
+  in
+  let run alpha concept n general budget =
+    let w =
+      if general then Poa.worst_connected ~budget ~concept ~alpha n
+      else Poa.worst_tree ~budget ~concept ~alpha n
+    in
+    Printf.printf "%s, n=%d, alpha=%g: checked %d graphs, %d stable, %d budgeted out\n"
+      (Concept.name concept) n alpha w.Poa.checked w.Poa.stable_count w.Poa.exhausted;
+    match w.Poa.witness with
+    | Some g ->
+        Printf.printf "worst rho = %.4f attained by %s (graph6 %s)\n" w.Poa.rho
+          (Graph.to_string g) (Encode.to_graph6 g)
+    | None -> print_endline "no stable graph found"
+  in
+  Cmd.v
+    (Cmd.info "poa" ~doc:"Worst-case rho over enumerated equilibria.")
+    Term.(const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg)
+
+let dyn_cmd =
+  let tree_arg =
+    Arg.(
+      value & opt int 10 & info [ "tree" ] ~docv:"N" ~doc:"Random seed tree size.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 1000 & info [ "max-steps" ] ~docv:"K" ~doc:"Step limit.")
+  in
+  let run alpha concept n seed max_steps =
+    let g = Gen.random_tree (Random.State.make [| seed |]) n in
+    let out = Dynamics.run ~max_steps ~concept ~alpha g in
+    Printf.printf "start: %s (rho %.3f)\n" (Encode.to_graph6 g) (Cost.rho ~alpha g);
+    Printf.printf "%s dynamics: %s after %d steps\n" (Concept.name concept)
+      (Dynamics.status_to_string out.Dynamics.status)
+      out.Dynamics.steps;
+    Printf.printf "final: %s (rho %.3f)\n"
+      (Encode.to_graph6 out.Dynamics.final)
+      (Cost.rho ~alpha out.Dynamics.final)
+  in
+  Cmd.v
+    (Cmd.info "dyn" ~doc:"Run improving-move dynamics from a random tree.")
+    Term.(const run $ alpha_arg $ concept_arg $ tree_arg $ seed_arg $ steps_arg)
+
+let enum_cmd =
+  let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Size.") in
+  let run n =
+    Printf.printf "free trees on %d vertices: %d\n" n (List.length (Enumerate.free_trees n));
+    if n <= 7 then
+      Printf.printf "connected graphs up to isomorphism: %d\n"
+        (List.length (Enumerate.connected_graphs_iso n))
+  in
+  Cmd.v (Cmd.info "enum" ~doc:"Enumeration counts.") Term.(const run $ n_arg)
+
+let gallery_cmd =
+  let run () =
+    List.iter
+      (fun (c : Counterexamples.case) ->
+        Printf.printf "%-18s n=%-4d alpha=%-8g %s\n" c.Counterexamples.name
+          (Graph.n c.Counterexamples.graph) c.Counterexamples.alpha
+          (String.concat ", "
+             (List.map Concept.name c.Counterexamples.stable
+             @ List.map
+                 (fun (cc, _) -> "not " ^ Concept.name cc)
+                 c.Counterexamples.unstable)))
+      [
+        Counterexamples.figure5; Counterexamples.figure6; Counterexamples.figure7 ~k:2;
+        Counterexamples.figure8_equivalent;
+      ]
+  in
+  Cmd.v
+    (Cmd.info "gallery" ~doc:"Summary of the paper's counterexamples.")
+    Term.(const run $ const ())
+
+let render_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write DOT to $(docv) instead of stdout.")
+  in
+  let run g6 out =
+    let g = Encode.of_graph6 g6 in
+    let dot = Dot.to_dot g in
+    match out with None -> print_string dot | Some path -> Dot.write_file path dot
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a graph6 graph as Graphviz DOT.")
+    Term.(const run $ graph_arg $ out_arg)
+
+let profile_cmd =
+  let lo_arg = Arg.(value & opt float 0.5 & info [ "lo" ] ~docv:"A" ~doc:"Grid start.") in
+  let hi_arg = Arg.(value & opt float 20. & info [ "hi" ] ~docv:"B" ~doc:"Grid end.") in
+  let steps_arg = Arg.(value & opt int 40 & info [ "steps" ] ~docv:"K" ~doc:"Grid points.") in
+  let run concept g6 lo hi steps budget =
+    let g = Encode.of_graph6 g6 in
+    let grid =
+      List.init steps (fun i ->
+          lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (steps - 1))))
+    in
+    let p = Alpha_profile.scan ~budget ~concept ~grid g in
+    Format.printf "%s stability of %s over [%g, %g]: %a@." (Concept.name concept) g6 lo hi
+      Alpha_profile.pp p
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Stability window(s) of a graph across alpha.")
+    Term.(const run $ concept_arg $ graph_arg $ lo_arg $ hi_arg $ steps_arg $ budget_arg)
+
+let welfare_cmd =
+  let run alpha g6 =
+    let g = Encode.of_graph6 g6 in
+    Format.printf "%a@." Welfare.pp (Welfare.analyze ~alpha g)
+  in
+  Cmd.v
+    (Cmd.info "welfare" ~doc:"Cost distribution statistics of a graph.")
+    Term.(const run $ alpha_arg $ graph_arg)
+
+let () =
+  let info =
+    Cmd.info "bncg" ~version:"1.0.0"
+      ~doc:"Bilateral Network Creation Game toolbox (PODC 2023 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd; rho_cmd; poa_cmd; dyn_cmd; enum_cmd; gallery_cmd; render_cmd;
+            profile_cmd; welfare_cmd;
+          ]))

@@ -1,0 +1,22 @@
+(* Quick end-to-end smoke of the libraries; the real suites live in test/. *)
+
+let check name concept alpha g expect =
+  let v = Concept.check ~alpha concept g in
+  Printf.printf "%-34s %-6s alpha=%-6g -> %-40s %s\n" name (Concept.name concept) alpha
+    (Verdict.to_string v)
+    (if Verdict.is_stable v = expect then "OK" else "MISMATCH")
+
+let () =
+  let star = Gen.star 8 in
+  List.iter (fun c -> check "star n=8" c 2.0 star true) Concept.all_fixed;
+  let path4 = Gen.path 4 in
+  check "path n=4 (Prop 3.16)" Concept.BSE 100.0 path4 true;
+  check "clique n=5 alpha<1" Concept.BSE 0.5 (Gen.clique 5) true;
+  check "path n=5 alpha<1 (not BSE)" Concept.BSE 0.5 (Gen.path 5) false;
+  (* Lemma 2.4: C_n in BSE for n^2/4 - (n-1) < alpha < n(n-2)/4, n even. *)
+  let n = 6 in
+  let lo = (float_of_int (n * n) /. 4.) -. float_of_int (n - 1)
+  and hi = float_of_int (n * (n - 2)) /. 4. in
+  check "C6 inside Lemma 2.4 range" Concept.BSE ((lo +. hi) /. 2.) (Gen.cycle 6) true;
+  check "C6 above Lemma 2.4 range" Concept.BSE (hi +. 3.) (Gen.cycle 6) false;
+  Printf.printf "done\n"

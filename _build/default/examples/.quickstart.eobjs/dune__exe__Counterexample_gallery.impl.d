@@ -1,0 +1,1 @@
+examples/counterexample_gallery.ml: Concept Counterexamples Dot Graph List Move Printf Strategy Unilateral Verdict Viz

@@ -1,0 +1,1 @@
+examples/erratum_hunt.ml: Alpha_profile Concept Cycle Format Gen Graph List Move Paths Printf Strong_eq Verdict

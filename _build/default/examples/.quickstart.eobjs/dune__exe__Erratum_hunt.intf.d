@@ -1,0 +1,1 @@
+examples/erratum_hunt.mli:

@@ -1,0 +1,1 @@
+examples/isp_peering.ml: Bounds Concept Cost Graph Greedy_eq List Option Pairwise Paths Poa Printf Stretched Verdict

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Concept Cost Graph List Move Printf Verdict

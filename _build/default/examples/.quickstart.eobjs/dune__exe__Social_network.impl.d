@@ -1,0 +1,1 @@
+examples/social_network.ml: Concept Cost Dynamics Float Format Gen List Printf Random Report Welfare

@@ -1,0 +1,49 @@
+(* How this reproduction found an erratum in Lemma 2.4.
+
+   The lemma says the cycle C_n is a Bilateral Strong Equilibrium for
+   alpha in an explicit window around n^2/4.  Measuring the window with
+   the exact checkers disagrees with the stated odd-n upper endpoint -
+   and the disagreement reduces to a one-line calculation.
+
+   Run with: dune exec examples/erratum_hunt.exe *)
+
+let () =
+  print_endline "Hunting the Lemma 2.4 window for C5\n";
+
+  (* Step 1: the paper's window. *)
+  let n = 5 in
+  let lo, hi = Cycle.bse_alpha_range n in
+  Printf.printf "paper's window for C%d: (%g, %g)\n" n lo hi;
+
+  (* Step 2: measure the real window with bisection over exact checks. *)
+  let grid = List.init 30 (fun i -> 0.5 +. (float_of_int i *. 0.25)) in
+  let p = Alpha_profile.scan ~tolerance:1e-4 ~concept:Concept.BSE ~grid (Gen.cycle n) in
+  Format.printf "measured BSE window:    %a@." Alpha_profile.pp p;
+
+  (* Step 3: the measured upper end is 4, not 6.  Ask the checker why. *)
+  let alpha = 4.5 in
+  (match Strong_eq.check_outcomes ~k:n ~alpha (Gen.cycle n) with
+  | Verdict.Unstable m ->
+      Printf.printf "\nat alpha = %g (inside the stated window!) the checker finds: %s\n"
+        alpha (Move.to_string m)
+  | v -> Format.printf "unexpected: %s@." (Verdict.to_string v));
+
+  (* Step 4: reduce to arithmetic.  An endpoint of an odd cycle that drops
+     one edge turns the cycle into a path; its total distance rises from
+     (n^2-1)/4 to n(n-1)/2, i.e. by exactly (n-1)^2/4. *)
+  let g = Gen.cycle n in
+  let before = (Paths.total_dist g 0).Paths.sum in
+  let after = (Paths.total_dist (Graph.remove_edge g 0 1) 0).Paths.sum in
+  Printf.printf
+    "\ndistance cost of agent 0: %d before, %d after dropping one edge\n\
+     => dropping pays off for every alpha > %d, but the paper's window\n\
+     reaches %g.  The odd-n endpoint should be (n-1)^2/4 = %g.\n"
+    before after (after - before) hi
+    (Cycle.removal_threshold n);
+
+  (* Step 5: the corrected window, as shipped in Cycle. *)
+  let lo', hi' = Cycle.corrected_bse_alpha_range n in
+  Printf.printf "\ncorrected window: (%g, %g) - see EXPERIMENTS.md (E-L24)\n" lo' hi';
+  Printf.printf
+    "(the paper's qualitative point survives: a Theta(n^2) window of\n\
+     non-tree equilibria still exists, so no tree conjecture for the BNCG)\n"

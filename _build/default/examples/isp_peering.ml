@@ -1,0 +1,52 @@
+(* Internet-flavoured scenario: autonomous systems build expensive peering
+   links (alpha far above n), every link needs a contract signed by both
+   sides, and traffic cost is the hop distance to everyone else.
+
+   In this price regime the paper's worst stable topologies are the
+   stretched trees of Section 3.2.2: long chains that no pair can fix,
+   because the agent who would have to accept the shortcut pays alpha and
+   gains too little.  Coalitions of three escape (Theorem 3.15).
+
+   Run with: dune exec examples/isp_peering.exe *)
+
+let () =
+  (* A bad-but-stable backbone: the Theorem 3.10 stretched tree star. *)
+  let alpha = 480. in
+  let star = Stretched.theorem_310_star ~alpha ~eta:(int_of_float alpha) in
+  let g = star.Stretched.star_graph in
+  let n = Graph.n g in
+  Printf.printf "backbone: %d ASes, link price alpha = %g (>> n)\n" n alpha;
+  Printf.printf "topology: %d stretched trees of %d nodes under one root\n"
+    star.Stretched.copies
+    (Graph.n star.Stretched.subtree.Stretched.graph);
+  Printf.printf "diameter: %d hops\n\n" (Option.value ~default:0 (Paths.diameter g));
+
+  (* No bilateral renegotiation fixes it. *)
+  Printf.printf "pairwise stable:        %s\n"
+    (Verdict.to_string (Pairwise.check ~alpha g));
+  Printf.printf "swap stable (BGE):      %s\n"
+    (Verdict.to_string (Greedy_eq.check ~alpha g));
+  Printf.printf "social cost ratio rho:  %.2f   (paper: Theta(log alpha) = %.2f..%.2f)\n\n"
+    (Cost.rho ~alpha g)
+    (Bounds.thm310_bge_lower ~alpha)
+    (Bounds.thm36_bswe_upper ~alpha);
+
+  (* The designer's fix: allow three-party contracts.  Theorem 3.15 caps
+     the inefficiency of every 3-BSE tree at rho <= 25, and at exhaustive
+     scale we can certify the actual worst case. *)
+  let n_small = 10 in
+  print_endline "the designer's knob, certified over ALL 10-AS tree topologies:";
+  List.iter
+    (fun alpha ->
+      let ps = Poa.worst_tree ~concept:Concept.PS ~alpha n_small in
+      let bse3 = Poa.worst_tree ~concept:(Concept.KBSE 3) ~alpha n_small in
+      Printf.printf
+        "  alpha = %-4g worst pairwise-stable rho = %.3f   worst 3-BSE rho = %.3f\n"
+        alpha ps.Poa.rho bse3.Poa.rho)
+    [ 4.; 16.; 64. ];
+  print_endline
+    "\nreading: with bilateral contracts only, Theta(log alpha) inefficiency\n\
+     is stable (the backbone above); a protocol admitting three-party\n\
+     contracts caps the inefficiency at a constant (Theorem 3.15:\n\
+     rho <= 25) - and at certifiable scale the worst 3-BSE topology is\n\
+     never worse than the worst pairwise-stable one."

@@ -1,0 +1,39 @@
+(* Quickstart: build a network, price it, and ask which solution concepts
+   it survives.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* Six agents; edges need mutual consent and cost alpha per endpoint. *)
+  let alpha = 2.0 in
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  Printf.printf "network: %s\nalpha = %g\n\n" (Graph.to_string g) alpha;
+
+  (* Per-agent costs: alpha * degree + sum of hop distances. *)
+  print_endline "agent costs (buy + dist):";
+  for u = 0 to Graph.n g - 1 do
+    let c = Cost.agent_cost ~alpha g u in
+    Printf.printf "  agent %d: %.1f + %d = %.1f\n" u c.Cost.buy c.Cost.dist (Cost.money c)
+  done;
+
+  (* Social cost and the social cost ratio against the optimum (a star). *)
+  Printf.printf "\nsocial cost: %.1f   (optimum %.1f, rho = %.3f)\n"
+    (Cost.social_money (Cost.social_cost ~alpha g))
+    (Cost.opt_cost ~alpha (Graph.n g))
+    (Cost.rho ~alpha g);
+
+  (* Which solution concepts is this path stable for? *)
+  print_endline "\nstability:";
+  List.iter
+    (fun concept ->
+      Printf.printf "  %-6s %s\n" (Concept.name concept)
+        (Verdict.to_string (Concept.check ~alpha concept g)))
+    Concept.all_fixed;
+
+  (* The checkers return concrete improving moves: apply one. *)
+  match Concept.check ~alpha Concept.PS g with
+  | Verdict.Unstable m ->
+      let g' = Move.apply g m in
+      Printf.printf "\napplying %s lowers rho from %.3f to %.3f\n" (Move.to_string m)
+        (Cost.rho ~alpha g) (Cost.rho ~alpha g')
+  | Verdict.Stable | Verdict.Exhausted _ -> print_endline "\nalready pairwise stable"

@@ -1,0 +1,80 @@
+(* The paper's motivating story: social ties need mutual consent, so what
+   the platform (the "system designer") allows as a renegotiation protocol
+   decides how good the stable networks are.
+
+   We grow friendship networks from random seeds under three protocols:
+
+   - PS     : people can drop a tie alone or form one together;
+   - BGE    : additionally, a pair may *swap* a tie;
+   - 3-BSE  : trios may renegotiate jointly.
+
+   The paper predicts the cooperation dividend: the worst stable states
+   improve from Theta(min(sqrt a, n/sqrt a)) through Theta(log a) to
+   Theta(1) as the protocol gets more cooperative (Table 1).
+
+   Run with: dune exec examples/social_network.exe *)
+
+let protocols = [ Concept.PS; Concept.BGE; Concept.KBSE 3 ]
+
+let () =
+  let n = 12 and alpha = 4.0 and seeds = 15 in
+  Printf.printf
+    "growing %d-person friendship networks (tie price alpha = %g) from %d\n\
+     random seed trees under three renegotiation protocols\n\n"
+    n alpha seeds;
+  let header = [ "protocol"; "converged"; "avg steps"; "avg rho"; "worst rho" ] in
+  let rows =
+    List.map
+      (fun concept ->
+        let rng = Random.State.make [| 77 |] in
+        let converged = ref 0 and steps = ref 0 in
+        let rho_sum = ref 0. and rho_worst = ref 0. in
+        for _ = 1 to seeds do
+          let seed = Gen.random_tree rng n in
+          let out = Dynamics.run ~max_steps:500 ~concept ~alpha seed in
+          if out.Dynamics.status = Dynamics.Converged then begin
+            incr converged;
+            steps := !steps + out.Dynamics.steps;
+            let rho = Cost.rho ~alpha out.Dynamics.final in
+            rho_sum := !rho_sum +. rho;
+            if rho > !rho_worst then rho_worst := rho
+          end
+        done;
+        let c = float_of_int !converged in
+        [
+          Concept.name concept;
+          Printf.sprintf "%d/%d" !converged seeds;
+          Printf.sprintf "%.1f" (float_of_int !steps /. Float.max c 1.);
+          Printf.sprintf "%.3f" (!rho_sum /. Float.max c 1.);
+          Printf.sprintf "%.3f" !rho_worst;
+        ])
+      protocols
+  in
+  Report.print_table ~header rows;
+  print_endline
+    "\nreading: with only pairwise stability the dynamics can get stuck in\n\
+     long, expensive networks; allowing swaps (BGE) or trio renegotiation\n\
+     (3-BSE) drives the stable states towards the social optimum (rho -> 1),\n\
+     which is exactly the trend of Table 1 in the paper.";
+  (* show one concrete stuck state *)
+  let rng = Random.State.make [| 3 |] in
+  let seed = Gen.random_tree rng n in
+  let ps = Dynamics.run ~max_steps:500 ~concept:Concept.PS ~alpha seed in
+  let bse3 = Dynamics.run ~max_steps:500 ~concept:(Concept.KBSE 3) ~alpha seed in
+  Printf.printf
+    "\nexample seed: PS settles at rho = %.3f, the same seed under 3-BSE\n\
+     settles at rho = %.3f\n"
+    (Cost.rho ~alpha ps.Dynamics.final)
+    (Cost.rho ~alpha bse3.Dynamics.final);
+
+  (* organic (preferential-attachment) communities instead of uniform
+     trees: hubs emerge, and the welfare statistics show who carries the
+     network *)
+  let pa = Gen.preferential_attachment (Random.State.make [| 9 |]) n ~m:1 in
+  let out = Dynamics.run ~max_steps:500 ~concept:Concept.BGE ~alpha pa in
+  Printf.printf
+    "\norganic seed (preferential attachment): BGE dynamics %s after %d steps\n"
+    (Dynamics.status_to_string out.Dynamics.status)
+    out.Dynamics.steps;
+  Format.printf "  welfare before: %a@." Welfare.pp (Welfare.analyze ~alpha pa);
+  Format.printf "  welfare after:  %a@." Welfare.pp (Welfare.analyze ~alpha out.Dynamics.final)

@@ -1,0 +1,1 @@
+lib/analysis/alpha_profile.ml: Concept Float Format List Printf Verdict

@@ -1,0 +1,1 @@
+lib/analysis/alpha_profile.mli: Concept Format Graph

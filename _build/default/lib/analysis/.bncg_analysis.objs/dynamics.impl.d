@@ -1,0 +1,1 @@
+lib/analysis/dynamics.ml: Concept Cost Graph Hashtbl List Move Verdict

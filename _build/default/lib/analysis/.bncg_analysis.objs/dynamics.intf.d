@@ -1,0 +1,1 @@
+lib/analysis/dynamics.mli: Concept Graph

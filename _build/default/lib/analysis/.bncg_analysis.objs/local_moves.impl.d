@@ -1,0 +1,1 @@
+lib/analysis/local_moves.ml: Array Concept Cost Dynamics Graph Hashtbl List Move Random

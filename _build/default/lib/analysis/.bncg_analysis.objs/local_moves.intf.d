@@ -1,0 +1,1 @@
+lib/analysis/local_moves.mli: Concept Dynamics Graph Move Random

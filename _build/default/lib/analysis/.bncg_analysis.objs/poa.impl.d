@@ -1,0 +1,1 @@
+lib/analysis/poa.ml: Concept Cost Enumerate Graph List Verdict

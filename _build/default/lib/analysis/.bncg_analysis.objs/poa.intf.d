@@ -1,0 +1,1 @@
+lib/analysis/poa.mli: Concept Graph

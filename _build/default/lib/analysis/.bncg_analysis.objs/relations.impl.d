@@ -1,0 +1,1 @@
+lib/analysis/relations.ml: Concept Graph Hashtbl List Verdict

@@ -1,0 +1,1 @@
+lib/analysis/relations.mli: Concept Graph

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/analysis/structure.ml: Array Float Graph List Paths Tree

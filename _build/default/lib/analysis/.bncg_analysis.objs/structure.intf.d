@@ -1,0 +1,1 @@
+lib/analysis/structure.mli: Graph

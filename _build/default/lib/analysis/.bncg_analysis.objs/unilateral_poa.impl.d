@@ -1,0 +1,1 @@
+lib/analysis/unilateral_poa.ml: Concept Cost Enumerate Float Graph List Poa Strategy Unilateral

@@ -1,0 +1,1 @@
+lib/analysis/unilateral_poa.mli: Graph

@@ -1,0 +1,1 @@
+lib/analysis/viz.ml: Array Counterexamples Dot List Move String

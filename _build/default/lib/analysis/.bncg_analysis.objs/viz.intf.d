@@ -1,0 +1,1 @@
+lib/analysis/viz.mli: Counterexamples Graph Move

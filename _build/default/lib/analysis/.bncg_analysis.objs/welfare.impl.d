@@ -1,0 +1,1 @@
+lib/analysis/welfare.ml: Array Cost Float Format Graph Paths

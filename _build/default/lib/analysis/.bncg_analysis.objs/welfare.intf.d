@@ -1,0 +1,1 @@
+lib/analysis/welfare.mli: Format Graph

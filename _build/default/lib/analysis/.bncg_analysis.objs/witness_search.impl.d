@@ -1,0 +1,1 @@
+lib/analysis/witness_search.ml: Concept Float Gen Graph List Paths Random Verdict

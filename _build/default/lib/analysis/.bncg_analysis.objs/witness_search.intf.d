@@ -1,0 +1,1 @@
+lib/analysis/witness_search.mli: Concept Graph Random

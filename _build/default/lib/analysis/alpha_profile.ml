@@ -1,0 +1,60 @@
+type interval = { lo : float; hi : float }
+type profile = { intervals : interval list; undecided : int }
+
+type verdict3 = S | U | Unknown
+
+let scan ?budget ?(tolerance = 1e-3) ~concept ~grid g =
+  let classify alpha =
+    match Concept.check ?budget ~alpha concept g with
+    | Verdict.Stable -> S
+    | Verdict.Unstable _ -> U
+    | Verdict.Exhausted _ -> Unknown
+  in
+  let points = List.map (fun a -> (a, classify a)) grid in
+  let undecided = List.length (List.filter (fun (_, v) -> v = Unknown) points) in
+  (* Locate the flip between [lo] (verdict [lo_v]) and [hi] (the opposite
+     decided verdict).  An [Unknown] mid-point stops the refinement
+     conservatively. *)
+  let rec bisect lo lo_v hi =
+    if hi -. lo <= tolerance then if lo_v = S then lo else hi
+    else
+      let mid = (lo +. hi) /. 2. in
+      match classify mid with
+      | v when v = lo_v -> bisect mid lo_v hi
+      | Unknown -> if lo_v = S then lo else hi
+      | _ -> bisect lo lo_v mid
+  in
+  let rec walk prev open_lo acc = function
+    | [] -> (
+        match open_lo with
+        | Some lo -> List.rev ({ lo; hi = Float.infinity } :: acc)
+        | None -> List.rev acc)
+    | (a, v) :: rest -> (
+        match (open_lo, v) with
+        | None, S ->
+            let lo =
+              match prev with Some (p, U) -> bisect p U a | Some _ | None -> a
+            in
+            walk (Some (a, v)) (Some lo) acc rest
+        | Some _, S | None, (U | Unknown) -> walk (Some (a, v)) open_lo acc rest
+        | Some lo, U ->
+            let hi = match prev with Some (p, S) -> bisect p S a | _ -> a in
+            walk (Some (a, v)) None ({ lo; hi } :: acc) rest
+        | Some lo, Unknown ->
+            let hi = match prev with Some (p, S) -> p | _ -> a in
+            walk (Some (a, v)) None ({ lo; hi } :: acc) rest)
+  in
+  { intervals = walk None None [] points; undecided }
+
+let covers p alpha =
+  List.exists (fun { lo; hi } -> lo <= alpha && alpha <= hi) p.intervals
+
+let pp ppf p =
+  Format.fprintf ppf "{%a}%s"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf { lo; hi } ->
+         Format.fprintf ppf "[%.3f, %s]" lo
+           (if hi = Float.infinity then "inf" else Printf.sprintf "%.3f" hi)))
+    p.intervals
+    (if p.undecided > 0 then Printf.sprintf " (%d undecided)" p.undecided else "")

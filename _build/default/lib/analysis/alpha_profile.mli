@@ -1,0 +1,31 @@
+(** Stability profiles across the edge price.
+
+    Stability is {e not} monotone in α (Lemma 2.4's cycles are stable only
+    inside an α window), so a profile is a set of intervals, recovered
+    from a grid scan plus bisection refinement of each boundary. *)
+
+type interval = { lo : float; hi : float }
+(** A maximal stable interval found by the scan; [lo]/[hi] are accurate to
+    the bisection tolerance. *)
+
+type profile = {
+  intervals : interval list;  (** disjoint, increasing *)
+  undecided : int;  (** grid points where the checker was budgeted out *)
+}
+
+val scan :
+  ?budget:int ->
+  ?tolerance:float ->
+  concept:Concept.t ->
+  grid:float list ->
+  Graph.t ->
+  profile
+(** [scan ~concept ~grid g] classifies each grid point and bisects every
+    stability flip between adjacent grid points down to [tolerance]
+    (default [1e-3]).  Boundaries between a decided and an undecided point
+    are not refined.  The grid must be sorted increasing. *)
+
+val covers : profile -> float -> bool
+(** [covers p alpha] is [true] iff some interval contains [alpha]. *)
+
+val pp : Format.formatter -> profile -> unit

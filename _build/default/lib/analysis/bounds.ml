@@ -1,0 +1,50 @@
+let log2 x = Float.log x /. Float.log 2.
+
+let prop31_upper ~alpha ~n ~dist_u =
+  (alpha +. float_of_int dist_u) /. (alpha +. float_of_int (n - 1))
+
+let cor32_upper ~alpha ~n = 1. +. (float_of_int (n * n) /. alpha)
+
+let lemma_b1_social_upper ~alpha ~n ~dist_u =
+  2. *. float_of_int (n - 1) *. (alpha +. float_of_int dist_u)
+
+let ps_shape ~alpha ~n =
+  let s = Float.sqrt alpha in
+  Float.min s (float_of_int n /. s)
+
+let thm36_bswe_upper ~alpha = 2. +. (2. *. log2 alpha)
+let thm310_bge_lower ~alpha = (log2 alpha /. 4.) -. (17. /. 8.)
+
+let thm312i_bne_lower ~alpha ~epsilon = (epsilon /. 168. *. log2 alpha) -. (3. /. 28.)
+let thm312ii_bne_lower ~alpha ~epsilon = (epsilon /. 4. *. log2 alpha) -. (9. /. 8.)
+
+let thm313_bne_upper = 4.
+let thm315_3bse_upper = 25.
+
+let lemma314_depth_threshold ~alpha ~n =
+  (2 * int_of_float (Float.ceil (4. *. alpha /. float_of_int n))) + 1
+
+let lemma318_agent_cost ~d ~alpha ~n =
+  let logd = Float.log (float_of_int n) /. Float.log (float_of_int d) in
+  (float_of_int (d + 1) *. alpha) +. (2. *. float_of_int (n - 1) *. logd)
+
+let lemma317_poa_upper ~alpha ~n ~max_cost = max_cost /. (alpha +. float_of_int (n - 1))
+
+let thm319_bse_upper = 5.
+let thm320_bse_upper ~epsilon = 3. +. (2. /. epsilon)
+
+let thm321_bse_upper ~n =
+  let nf = float_of_int n in
+  let lll = log2 (log2 (log2 nf)) in
+  2. +. log2 (log2 nf) +. (2. *. log2 nf /. lll)
+
+let lemma311_premise ~alpha ~n ~depth ~subtree =
+  let d = float_of_int depth and t = float_of_int subtree in
+  (3. *. float_of_int n *. d /. alpha) +. 1. <= alpha /. (3. *. t *. d)
+
+let lemma24_alpha_range n = Cycle.bse_alpha_range n
+
+let lemma_d10_star_rho_lower ~n ~k ~t ~alpha =
+  float_of_int (n * k)
+  *. (log2 (t /. float_of_int k) -. 4.5)
+  /. (2. *. (alpha +. float_of_int (n - 1)))

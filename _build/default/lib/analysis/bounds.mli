@@ -1,0 +1,75 @@
+(** The paper's closed-form PoA bounds as executable formulas (base-2
+    logarithms throughout, as in the paper).
+
+    The experiment harness prints these next to measured ρ values so that
+    every theorem's compliance (upper bounds) and tightness (lower bounds)
+    is visible in one table. *)
+
+val log2 : float -> float
+
+val prop31_upper : alpha:float -> n:int -> dist_u:int -> float
+(** Proposition 3.1: ρ(G) ≤ (α + dist(u)) / (α + n − 1) for connected RE
+    and any vertex [u]. *)
+
+val cor32_upper : alpha:float -> n:int -> float
+(** Corollary 3.2: ρ(G) ≤ 1 + n²/α. *)
+
+val lemma_b1_social_upper : alpha:float -> n:int -> dist_u:int -> float
+(** Lemma B.1: a connected RE graph has social cost at most
+    [2 (n−1) (α + dist(u))] for any vertex [u]. *)
+
+val ps_shape : alpha:float -> n:int -> float
+(** The PS PoA shape Θ(min √α, n/√α) (Corbo–Parkes / Demaine et al.),
+    as the representative function min(√α, n/√α). *)
+
+val thm36_bswe_upper : alpha:float -> float
+(** Theorem 3.6: trees in BSwE have ρ ≤ 2 + 2 log α. *)
+
+val thm310_bge_lower : alpha:float -> float
+(** Theorem 3.10: a BGE tree with ρ ≥ (log α)/4 − 17/8 exists. *)
+
+val thm312i_bne_lower : alpha:float -> epsilon:float -> float
+(** Theorem 3.12 (i): ρ ≥ (ε/168) log α − 3/28. *)
+
+val thm312ii_bne_lower : alpha:float -> epsilon:float -> float
+(** Theorem 3.12 (ii): ρ ≥ (ε/4) log α − 9/8. *)
+
+val thm313_bne_upper : float
+(** Theorem 3.13: trees in BNE with α ≤ √n (n > 15) have ρ ≤ 4. *)
+
+val thm315_3bse_upper : float
+(** Theorem 3.15: trees in 3-BSE have ρ ≤ 25. *)
+
+val lemma314_depth_threshold : alpha:float -> n:int -> int
+(** Lemma 3.14: in a 3-BSE tree, at most one child subtree per vertex is
+    deeper than [2⌈4α/n⌉ + 1]. *)
+
+val lemma318_agent_cost : d:int -> alpha:float -> n:int -> float
+(** Lemma 3.18: every agent of an almost complete d-ary tree has cost at
+    most [(d+1)α + 2(n−1) log_d n]. *)
+
+val lemma317_poa_upper : alpha:float -> n:int -> max_cost:float -> float
+(** Lemma 3.17: any BSE has ρ ≤ max-agent-cost / (α + n − 1). *)
+
+val thm319_bse_upper : float
+(** Theorem 3.19: BSE with α ≥ n log n has ρ ≤ 5. *)
+
+val thm320_bse_upper : epsilon:float -> float
+(** Theorem 3.20: BSE with α ≤ n^{1−ε} has ρ ≤ 3 + 2/ε. *)
+
+val thm321_bse_upper : n:int -> float
+(** Theorem 3.21: BSE has ρ ≤ 2 + log log n + 2 log n / log log log n. *)
+
+val lemma311_premise : alpha:float -> n:int -> depth:int -> subtree:int -> bool
+(** Lemma 3.11's sufficient condition for a stretched tree star to be in
+    BNE: [3 n depth / α + 1 ≤ α / (3 |T| depth)].  Used to assert
+    (theory-backed) BNE stability at scales the exact checker cannot
+    reach. *)
+
+val lemma24_alpha_range : int -> float * float
+(** Lemma 2.4: the α interval for which C_n is in BSE
+    (same as {!Cycle.bse_alpha_range}). *)
+
+val lemma_d10_star_rho_lower : n:int -> k:int -> t:float -> alpha:float -> float
+(** Lemma D.10: ρ(G) ≥ n k (log(t/k) − 9/2) / (2 (α + n − 1)) for a
+    stretched tree star. *)

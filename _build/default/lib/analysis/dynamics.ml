@@ -1,0 +1,27 @@
+type status = Converged | Cycled | Max_steps | Budget_exhausted
+
+type run = { final : Graph.t; status : status; steps : int; rho_trace : float list }
+
+let status_to_string = function
+  | Converged -> "converged"
+  | Cycled -> "cycled"
+  | Max_steps -> "max-steps"
+  | Budget_exhausted -> "budget-exhausted"
+
+let run ?(max_steps = 10_000) ?budget ~concept ~alpha g0 =
+  let seen = Hashtbl.create 64 in
+  let rec go g steps trace =
+    Hashtbl.replace seen (Graph.adjacency_key g) ();
+    if steps >= max_steps then { final = g; status = Max_steps; steps; rho_trace = List.rev trace }
+    else
+      match Concept.check ?budget ~alpha concept g with
+      | Verdict.Stable -> { final = g; status = Converged; steps; rho_trace = List.rev trace }
+      | Verdict.Exhausted _ ->
+          { final = g; status = Budget_exhausted; steps; rho_trace = List.rev trace }
+      | Verdict.Unstable m ->
+          let g' = Move.apply g m in
+          if Hashtbl.mem seen (Graph.adjacency_key g') then
+            { final = g'; status = Cycled; steps = steps + 1; rho_trace = List.rev trace }
+          else go g' (steps + 1) (Cost.rho ~alpha g' :: trace)
+  in
+  go g0 0 [ Cost.rho ~alpha g0 ]

@@ -1,0 +1,34 @@
+(** Improving-move dynamics: repeatedly apply an improving move of the
+    given solution concept until none is left.
+
+    The checkers double as move oracles (an [Unstable] verdict carries a
+    concrete improving move), so dynamics under PS, BGE, BNE or k-BSE all
+    share one engine.  Convergence of such dynamics is not guaranteed in
+    general (Kawald–Lenzner study this for the unilateral game); the
+    engine therefore detects revisited states and stops. *)
+
+type status =
+  | Converged  (** reached a certified equilibrium *)
+  | Cycled  (** revisited a previously seen graph *)
+  | Max_steps  (** step limit hit *)
+  | Budget_exhausted  (** a checker could not certify stability *)
+
+type run = {
+  final : Graph.t;
+  status : status;
+  steps : int;
+  rho_trace : float list;  (** ρ after each step, oldest first *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?budget:int ->
+  concept:Concept.t ->
+  alpha:float ->
+  Graph.t ->
+  run
+(** [run ~concept ~alpha g] applies the first improving move found by the
+    concept's checker until stability, a cycle, or the step limit
+    (default 10_000). *)
+
+val status_to_string : status -> string

@@ -1,0 +1,36 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. points in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  let slope = if denom = 0. then 0. else ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let mean_y = sy /. nf in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.)) 0. points in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let p = (slope *. x) +. intercept in
+        a +. ((y -. p) ** 2.))
+      0. points
+  in
+  let r2 = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let power_exponent points =
+  points
+  |> List.filter (fun (x, y) -> x > 0. && y > 0.)
+  |> List.map (fun (x, y) -> (Float.log x, Float.log y))
+  |> linear
+
+let log_fit points =
+  points
+  |> List.filter (fun (x, _) -> x > 0.)
+  |> List.map (fun (x, y) -> (Float.log x /. Float.log 2., y))
+  |> linear

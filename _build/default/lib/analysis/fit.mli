@@ -1,0 +1,21 @@
+(** Tiny least-squares fitting, for quantifying the *shape* of measured
+    PoA curves: the paper claims Θ(√α) / Θ(log α) / Θ(1) growth, so the
+    harness fits measured ρ against those forms and reports goodness of
+    fit instead of eyeballing ratios. *)
+
+type line = { slope : float; intercept : float; r2 : float }
+
+val linear : (float * float) list -> line
+(** [linear points] is the least-squares line through [(x, y)] points.
+    [r2] is the coefficient of determination (1 when all points are on
+    the line; 0 or less when the fit explains nothing).
+    @raise Invalid_argument with fewer than 2 points. *)
+
+val power_exponent : (float * float) list -> line
+(** [power_exponent points] fits [y = c·x^s] by regressing [log y] on
+    [log x]: the returned [slope] is the measured growth exponent
+    (≈ 0.5 for a √α law, ≈ 0 for polylogarithmic growth).  Points with
+    non-positive coordinates are dropped. *)
+
+val log_fit : (float * float) list -> line
+(** [log_fit points] fits [y = a·log₂ x + b] — the Θ(log α) shape. *)

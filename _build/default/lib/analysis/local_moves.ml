@@ -1,0 +1,103 @@
+type weighted = { move : Move.t; social_delta : float; mover_delta : float }
+
+let finite_social ~alpha g = Cost.social_money (Cost.social_cost ~alpha g)
+
+let weigh ~alpha g m =
+  let g' = Move.apply g m in
+  let social_delta = finite_social ~alpha g' -. finite_social ~alpha g in
+  let mover_delta =
+    List.fold_left
+      (fun acc u ->
+        acc
+        +. Cost.money (Cost.agent_cost ~alpha g' u)
+        -. Cost.money (Cost.agent_cost ~alpha g u))
+      0. (Move.participants m)
+  in
+  { move = m; social_delta; mover_delta }
+
+let improving_removals ~alpha g =
+  List.concat_map
+    (fun (u, v) ->
+      List.filter_map
+        (fun (agent, target) ->
+          let m = Move.Remove { agent; target } in
+          if Move.is_improving ~alpha g m then Some (weigh ~alpha g m) else None)
+        [ (u, v); (v, u) ])
+    (Graph.edges g)
+
+let improving_additions ~alpha g =
+  List.filter_map
+    (fun (u, v) ->
+      let m = Move.Bilateral_add { u; v } in
+      if Move.is_improving ~alpha g m then Some (weigh ~alpha g m) else None)
+    (Graph.non_edges g)
+
+let improving_swaps ~alpha g =
+  let size = Graph.n g in
+  let out = ref [] in
+  for u = 0 to size - 1 do
+    Array.iter
+      (fun v ->
+        for w = 0 to size - 1 do
+          if w <> u && w <> v && not (Graph.has_edge g u w) then begin
+            let m = Move.Bilateral_swap { u; drop = v; add = w } in
+            if Move.is_improving ~alpha g m then out := weigh ~alpha g m :: !out
+          end
+        done)
+      (Graph.neighbors g u)
+  done;
+  List.rev !out
+
+let improving ~concept ~alpha g =
+  match concept with
+  | Concept.RE -> improving_removals ~alpha g
+  | Concept.BAE -> improving_additions ~alpha g
+  | Concept.PS -> improving_removals ~alpha g @ improving_additions ~alpha g
+  | Concept.BSwE -> improving_swaps ~alpha g
+  | Concept.BGE ->
+      improving_removals ~alpha g @ improving_additions ~alpha g @ improving_swaps ~alpha g
+  | Concept.BNE | Concept.KBSE _ | Concept.BSE ->
+      invalid_arg "Local_moves.improving: not a local concept"
+
+type policy = First | Best_response | Best_social | Random of Random.State.t
+
+let pick policy moves =
+  match moves with
+  | [] -> None
+  | first :: _ -> (
+      match policy with
+      | First -> Some first
+      | Best_response ->
+          Some
+            (List.fold_left
+               (fun best m -> if m.mover_delta < best.mover_delta then m else best)
+               first moves)
+      | Best_social ->
+          Some
+            (List.fold_left
+               (fun best m -> if m.social_delta < best.social_delta then m else best)
+               first moves)
+      | Random rng -> Some (List.nth moves (Random.State.int rng (List.length moves))))
+
+let run_dynamics ?(max_steps = 10_000) ~policy ~concept ~alpha g0 =
+  let seen = Hashtbl.create 64 in
+  let rec go g steps trace =
+    Hashtbl.replace seen (Graph.adjacency_key g) ();
+    if steps >= max_steps then
+      { Dynamics.final = g; status = Dynamics.Max_steps; steps; rho_trace = List.rev trace }
+    else
+      match pick policy (improving ~concept ~alpha g) with
+      | None ->
+          { Dynamics.final = g; status = Dynamics.Converged; steps; rho_trace = List.rev trace }
+      | Some { move; _ } ->
+          let g' = Move.apply g move in
+          if Hashtbl.mem seen (Graph.adjacency_key g') then
+            {
+              Dynamics.final = g';
+              status = Dynamics.Cycled;
+              steps = steps + 1;
+              rho_trace = List.rev trace;
+            }
+          else go g' (steps + 1) (Cost.rho ~alpha g' :: trace)
+  in
+  go g0 0 [ Cost.rho ~alpha g0 ]

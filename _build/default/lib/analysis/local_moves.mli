@@ -1,0 +1,52 @@
+(** Enumeration of {e all} improving local (single-edge) moves.
+
+    The checkers stop at the first violation; dynamics and convergence
+    studies need the whole improving-move set to compare update policies
+    (first vs best vs random improving move, as studied for the unilateral
+    game by Kawald and Lenzner).  Local moves are the single-edge
+    vocabulary of PS and BGE: one removal, one bilateral addition, or one
+    bilateral swap. *)
+
+type weighted = {
+  move : Move.t;
+  social_delta : float;
+      (** change of (finite) social cost when the move is applied;
+          negative is an improvement for society *)
+  mover_delta : float;
+      (** summed finite cost change of the participants (always negative
+          for an improving move on a connected graph) *)
+}
+
+val improving_removals : alpha:float -> Graph.t -> weighted list
+(** All improving single removals (RE violations). *)
+
+val improving_additions : alpha:float -> Graph.t -> weighted list
+(** All improving bilateral additions (BAE violations). *)
+
+val improving_swaps : alpha:float -> Graph.t -> weighted list
+(** All improving bilateral swaps (BSwE violations). *)
+
+val improving : concept:Concept.t -> alpha:float -> Graph.t -> weighted list
+(** The improving moves of the concept's {e local} vocabulary: RE, BAE,
+    PS, BSwE or BGE.
+    @raise Invalid_argument for BNE / k-BSE / BSE (not local). *)
+
+type policy =
+  | First  (** the first improving move in enumeration order *)
+  | Best_response  (** the move with the largest participant gain *)
+  | Best_social  (** the move with the best social-cost change *)
+  | Random of Random.State.t  (** uniformly among improving moves *)
+
+val pick : policy -> weighted list -> weighted option
+(** [pick policy moves] selects according to the policy ([None] iff the
+    list is empty). *)
+
+val run_dynamics :
+  ?max_steps:int ->
+  policy:policy ->
+  concept:Concept.t ->
+  alpha:float ->
+  Graph.t ->
+  Dynamics.run
+(** Like {!Dynamics.run} but with an explicit move-selection policy over
+    the full improving-move set (local concepts only). *)

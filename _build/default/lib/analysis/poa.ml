@@ -1,0 +1,33 @@
+type worst = {
+  rho : float;
+  witness : Graph.t option;
+  stable_count : int;
+  checked : int;
+  exhausted : int;
+}
+
+let empty = { rho = 0.; witness = None; stable_count = 0; checked = 0; exhausted = 0 }
+
+let fold_worst ?budget ~concept ~alpha graphs =
+  List.fold_left
+    (fun acc g ->
+      let acc = { acc with checked = acc.checked + 1 } in
+      match Concept.check ?budget ~alpha concept g with
+      | Verdict.Stable ->
+          let r = Cost.rho ~alpha g in
+          let acc = { acc with stable_count = acc.stable_count + 1 } in
+          if r > acc.rho then { acc with rho = r; witness = Some g } else acc
+      | Verdict.Unstable _ -> acc
+      | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 })
+    empty graphs
+
+let worst_tree ?budget ~concept ~alpha n =
+  fold_worst ?budget ~concept ~alpha (Enumerate.free_trees n)
+
+let worst_connected ?budget ~concept ~alpha n =
+  fold_worst ?budget ~concept ~alpha (Enumerate.connected_graphs_iso n)
+
+let rho_if_stable ?budget ~concept ~alpha g =
+  match Concept.check ?budget ~alpha concept g with
+  | Verdict.Stable -> Some (Cost.rho ~alpha g)
+  | Verdict.Unstable _ | Verdict.Exhausted _ -> None

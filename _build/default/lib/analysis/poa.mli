@@ -1,0 +1,27 @@
+(** Empirical Price of Anarchy: worst-case social cost ratio over
+    exhaustively enumerated equilibria.
+
+    The paper's PoA is a supremum over all equilibria of a given size;
+    here we certify it exactly at small sizes by enumerating every free
+    tree (or every connected graph) and keeping the worst stable one.
+    [Exhausted] verdicts are counted separately so an incomplete search can
+    never masquerade as a certified bound. *)
+
+type worst = {
+  rho : float;  (** worst social cost ratio among certified equilibria *)
+  witness : Graph.t option;  (** a graph attaining [rho] *)
+  stable_count : int;  (** how many enumerated graphs were equilibria *)
+  checked : int;  (** how many graphs were enumerated *)
+  exhausted : int;  (** how many checks hit their budget (excluded) *)
+}
+
+val worst_tree : ?budget:int -> concept:Concept.t -> alpha:float -> int -> worst
+(** [worst_tree ~concept ~alpha n] maximises ρ over all free trees on [n]
+    vertices that are certified stable for [concept]. *)
+
+val worst_connected : ?budget:int -> concept:Concept.t -> alpha:float -> int -> worst
+(** Same over all connected graphs up to isomorphism ([n ≤ 7]). *)
+
+val rho_if_stable : ?budget:int -> concept:Concept.t -> alpha:float -> Graph.t -> float option
+(** [rho_if_stable ~concept ~alpha g] is [Some (rho g)] when [g] is
+    certified stable, [None] otherwise (including [Exhausted]). *)

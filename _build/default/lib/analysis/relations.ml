@@ -1,0 +1,33 @@
+type failure = { sub : Concept.t; sup : Concept.t; graph : Graph.t; f_alpha : float }
+type report = { instances : int; skipped : int; failures : failure list }
+
+let default_alphas = [ 0.5; 1.0; 1.5; 2.0; 3.0; 5.0; 9.0; 20.0; 100.0 ]
+
+let verify_arrows ?budget ~graphs ~alphas arrows =
+  let instances = ref 0 and skipped = ref 0 and failures = ref [] in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun alpha ->
+          (* Cache verdicts per concept for this (g, α). *)
+          let cache = Hashtbl.create 8 in
+          let verdict c =
+            match Hashtbl.find_opt cache (Concept.name c) with
+            | Some v -> v
+            | None ->
+                let v = Concept.check ?budget ~alpha c g in
+                Hashtbl.add cache (Concept.name c) v;
+                v
+          in
+          List.iter
+            (fun (sub, sup) ->
+              match (verdict sub, verdict sup) with
+              | Verdict.Exhausted _, _ | _, Verdict.Exhausted _ -> incr skipped
+              | Verdict.Stable, Verdict.Unstable _ ->
+                  incr instances;
+                  failures := { sub; sup; graph = g; f_alpha = alpha } :: !failures
+              | (Verdict.Stable | Verdict.Unstable _), _ -> incr instances)
+            arrows)
+        alphas)
+    graphs;
+  { instances = !instances; skipped = !skipped; failures = List.rev !failures }

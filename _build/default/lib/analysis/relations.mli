@@ -1,0 +1,34 @@
+(** Empirical verification of the subset diagram (Figure 1a).
+
+    For every claimed arrow (subset concept → superset concept) and every
+    enumerated instance, a graph certified stable for the subset concept
+    must also be certified stable for the superset concept.  Budget-limited
+    ([Exhausted]) checks are skipped and counted. *)
+
+type failure = {
+  sub : Concept.t;
+  sup : Concept.t;
+  graph : Graph.t;
+  f_alpha : float;
+}
+(** A graph stable for [sub] but unstable for [sup] — which would
+    contradict the paper's diagram. *)
+
+type report = {
+  instances : int;  (** (graph, α, arrow) triples decided exactly *)
+  skipped : int;  (** triples skipped because a check was budgeted out *)
+  failures : failure list;
+}
+
+val verify_arrows :
+  ?budget:int ->
+  graphs:Graph.t list ->
+  alphas:float list ->
+  (Concept.t * Concept.t) list ->
+  report
+(** [verify_arrows ~graphs ~alphas arrows] exhaustively tests every arrow
+    on every (graph, α). *)
+
+val default_alphas : float list
+(** A grid covering the regimes the paper distinguishes:
+    α < 1, α = 1, 1 < α < √n-ish, α ≈ n, α ≫ n. *)

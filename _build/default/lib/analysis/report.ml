@@ -1,0 +1,41 @@
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else Printf.sprintf "%.2f" x
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row c with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    List.mapi
+      (fun c w ->
+        let s = Option.value ~default:"" (List.nth_opt row c) in
+        s ^ String.make (w - String.length s) ' ')
+      widths
+    |> String.concat "  "
+  in
+  let rule = List.map (fun w -> String.make w '-') widths |> String.concat "  " in
+  String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let print_table ~header rows = print_string (table ~header rows)
+
+let csv ~header rows =
+  let escape s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  List.map (fun row -> String.concat "," (List.map escape row)) (header :: rows)
+  |> String.concat "\n"
+
+let section title =
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '=')

@@ -1,0 +1,18 @@
+(** Aligned text tables for the experiment harness — no dependency beyond
+    [Format], so examples, bench and the CLI all print consistently. *)
+
+val table : header:string list -> string list list -> string
+(** [table ~header rows] renders an aligned, ruled text table. *)
+
+val print_table : header:string list -> string list list -> unit
+(** {!table} to stdout. *)
+
+val fnum : float -> string
+(** Compact float: integers print bare, otherwise 2 decimals, [inf] as
+    ["inf"]. *)
+
+val csv : header:string list -> string list list -> string
+(** The same data as comma-separated values. *)
+
+val section : string -> unit
+(** Print an underlined section heading. *)

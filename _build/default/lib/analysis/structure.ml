@@ -1,0 +1,61 @@
+let bae_diameter_bound ~alpha = (2. *. Float.sqrt alpha) +. 1.
+
+let check_bae_diameter ~alpha g =
+  match Paths.diameter g with
+  | None -> true
+  | Some d -> float_of_int d <= bae_diameter_bound ~alpha +. 1e-9
+
+let bswe_subtree_size_bound ~alpha ~n ~layer =
+  ignore n;
+  if layer < 2 then Float.infinity else alpha /. float_of_int (layer - 1)
+
+let rooted_at_median g =
+  if not (Tree.is_tree g) then invalid_arg "Structure: not a tree";
+  Tree.root_at g (Tree.median g)
+
+let check_bswe_subtree_sizes ~alpha g =
+  let t = rooted_at_median g in
+  let sizes = Tree.subtree_sizes t in
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    let layer = t.Tree.layer.(u) in
+    if layer >= 2 then
+      if
+        float_of_int sizes.(u)
+        > bswe_subtree_size_bound ~alpha ~n:(Graph.n g) ~layer +. 1e-9
+      then ok := false
+  done;
+  !ok
+
+let bswe_depth_bound ~alpha ~n ~subtree =
+  if subtree <= 1 then 0.
+  else
+    (1. +. (2. *. alpha /. float_of_int n))
+    *. (Float.log (float_of_int subtree) /. Float.log 2.)
+
+let check_bswe_depths ~alpha g =
+  let t = rooted_at_median g in
+  let sizes = Tree.subtree_sizes t in
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    if
+      float_of_int (Tree.subtree_depth t u)
+      > bswe_depth_bound ~alpha ~n:(Graph.n g) ~subtree:sizes.(u) +. 1e-9
+    then ok := false
+  done;
+  !ok
+
+let check_lemma_314 ~alpha g =
+  let t = rooted_at_median g in
+  let n = Graph.n g in
+  let threshold =
+    (2 * int_of_float (Float.ceil (4. *. alpha /. float_of_int n))) + 1
+  in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let deep =
+      List.filter (fun c -> Tree.subtree_depth t c > threshold) (Tree.children t u)
+    in
+    if List.length deep > 1 then ok := false
+  done;
+  !ok

@@ -1,0 +1,31 @@
+(** Structural consequences of stability — the quantities the PoA proofs
+    run on, measurable on any graph.
+
+    These power the theorem-audit experiments: every certified equilibrium
+    must satisfy the structural lemma that drives its PoA bound. *)
+
+val bae_diameter_bound : alpha:float -> float
+(** Graphs in (B)AE have diameter at most [2 sqrt(alpha) + 1] (Fabrikant
+    et al., carried over to the BNCG in Appendix B). *)
+
+val check_bae_diameter : alpha:float -> Graph.t -> bool
+(** [check_bae_diameter ~alpha g] is [true] iff [g]'s diameter respects
+    {!bae_diameter_bound} (vacuously true when disconnected). *)
+
+val bswe_subtree_size_bound : alpha:float -> n:int -> layer:int -> float
+(** Lemma 3.5: in a BSwE tree rooted at a 1-median, a vertex at layer
+    [ℓ ≥ 2] has subtree size at most [α / (ℓ − 1)]. *)
+
+val check_bswe_subtree_sizes : alpha:float -> Graph.t -> bool
+(** Audits Lemma 3.5 on a tree (rooted at its 1-median).
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val bswe_depth_bound : alpha:float -> n:int -> subtree:int -> float
+(** Lemma 3.4: [depth(T_u) ≤ (1 + 2α/n) log |T_u|]. *)
+
+val check_bswe_depths : alpha:float -> Graph.t -> bool
+(** Audits Lemma 3.4 on a tree rooted at its 1-median. *)
+
+val check_lemma_314 : alpha:float -> Graph.t -> bool
+(** Audits Lemma 3.14 on a tree rooted at its 1-median: every vertex has
+    at most one child subtree deeper than [2⌈4α/n⌉ + 1]. *)

@@ -1,0 +1,58 @@
+type worst = { rho : float; count : int; checked : int }
+
+(* Unilateral social optimum: every edge is paid once, so the star costs
+   (n-1)alpha + 2(n-1)^2 - 2(n-1) + ... = (n-1)alpha + 2(n-1)(n-1);
+   distances are as in the bilateral game.  For alpha < 2 the clique
+   competes; the classic NCG threshold is alpha = 2.  We take the min of
+   star and clique costs, which is the optimum for all alpha (Fabrikant
+   et al.). *)
+let unilateral_opt ~alpha n =
+  if n <= 1 then 0.
+  else
+    let nf = float_of_int n in
+    let star = ((nf -. 1.) *. alpha) +. (2. *. (nf -. 1.) *. (nf -. 1.)) in
+    let clique = (nf *. (nf -. 1.) /. 2. *. alpha) +. (nf *. (nf -. 1.)) in
+    Float.min star clique
+
+let unilateral_social_cost ~alpha g =
+  let s = Cost.social_cost ~alpha g in
+  if s.Cost.disconnected_pairs > 0 then Float.infinity
+  else
+    (* social_buy counts both endpoints; unilaterally each edge is paid
+       once *)
+    (s.Cost.social_buy /. 2.) +. float_of_int s.Cost.social_dist
+
+let unilateral_rho ~alpha g =
+  let n = Graph.n g in
+  if n <= 1 then 1. else unilateral_social_cost ~alpha g /. unilateral_opt ~alpha n
+
+let worst_ne_tree ~alpha n =
+  if n > 7 then invalid_arg "Unilateral_poa.worst_ne_tree: n > 7";
+  let rho = ref 0. and count = ref 0 and checked = ref 0 in
+  (* One representative per isomorphism class suffices: the ratio is
+     isomorphism-invariant and ownerships are enumerated exhaustively. *)
+  List.iter
+    (fun g ->
+      (* Cheap necessary condition first: a NE graph is in unilateral AE
+         regardless of ownership. *)
+      if Unilateral.is_add_eq ~alpha g = Ok () then
+        List.iter
+          (fun assignment ->
+            incr checked;
+            if Unilateral.is_nash ~alpha assignment = Ok () then begin
+              incr count;
+              let r = unilateral_rho ~alpha g in
+              if r > !rho then rho := r
+            end)
+          (Strategy.all_assignments g)
+      else incr checked)
+    (Enumerate.free_trees n);
+  { rho = !rho; count = !count; checked = !checked }
+
+let compare_table ~alphas ~n =
+  List.map
+    (fun alpha ->
+      let uni = worst_ne_tree ~alpha n in
+      let bi = Poa.worst_tree ~concept:Concept.PS ~alpha n in
+      (alpha, uni.rho, bi.Poa.rho))
+    alphas

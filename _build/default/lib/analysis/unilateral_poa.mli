@@ -1,0 +1,33 @@
+(** Unilateral-vs-bilateral comparison (the paper's motivation).
+
+    The introduction contrasts the NCG — PoA constant for most α — with
+    the BNCG under PS — PoA Θ(min(√α, n/√α)).  This module certifies that
+    contrast at small sizes: the worst Nash equilibrium of the unilateral
+    NCG over all labelled trees and ownerships, next to the worst pairwise
+    stable tree of the bilateral game. *)
+
+type worst = {
+  rho : float;  (** worst social cost ratio among certified equilibria *)
+  count : int;  (** how many (graph, ownership) equilibria were found *)
+  checked : int;  (** how many candidates were examined *)
+}
+
+val worst_ne_tree : alpha:float -> int -> worst
+(** [worst_ne_tree ~alpha n] maximises the social cost ratio over all
+    trees on [n] vertices (one representative per isomorphism class) and
+    all edge ownerships that form an exact Nash equilibrium of the
+    unilateral NCG.  The social cost uses the unilateral accounting (each
+    edge paid once).
+    @raise Invalid_argument if [n > 7]. *)
+
+val unilateral_rho : alpha:float -> Graph.t -> float
+(** [unilateral_rho ~alpha g] is the unilateral social cost ratio of [g]:
+    [(α m + Σ_u dist(u)) / opt], with the unilateral optimum
+    [(n-1)α + 2(n-1)(n-2)/... ] — i.e. cost of the star with each edge
+    paid once ([α ≥ 1]; for [α < 1] the clique).  [infinity] when
+    disconnected. *)
+
+val compare_table : alphas:float list -> n:int -> (float * float * float) list
+(** [compare_table ~alphas ~n] pairs, for each α, the unilateral worst NE
+    ratio with the bilateral worst PS ratio over trees:
+    [(α, rho_NCG, rho_BNCG)]. *)

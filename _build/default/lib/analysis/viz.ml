@@ -1,0 +1,28 @@
+let edges_of_move g = function
+  | Move.Remove { agent; target } -> ([ (agent, target) ], [])
+  | Move.Bilateral_add { u; v } -> ([], [ (u, v) ])
+  | Move.Bilateral_swap { u; drop; add } -> ([ (u, drop) ], [ (u, add) ])
+  | Move.Neighborhood { agent; drop; add } ->
+      (List.map (fun v -> (agent, v)) drop, List.map (fun v -> (agent, v)) add)
+  | Move.Coalition { remove; add; _ } ->
+      ignore g;
+      (remove, add)
+
+let move_overlay ?labels g m =
+  let removed, added = edges_of_move g m in
+  let styled =
+    List.map (fun e -> (e, Dot.Dotted, "#999999")) removed
+    @ List.map (fun e -> (e, Dot.Dashed, "#cc0000")) added
+  in
+  Dot.to_dot ?labels ~highlight_nodes:(Move.participants m) ~styled_edges:styled g
+
+let case_to_dot (c : Counterexamples.case) =
+  match c.Counterexamples.unstable with
+  | (_, m) :: _ ->
+      let labels =
+        if String.equal c.Counterexamples.name "figure6" then
+          Some (fun u -> Counterexamples.figure6_vertex_names.(u))
+        else None
+      in
+      move_overlay ?labels c.Counterexamples.graph m
+  | [] -> Dot.to_dot c.Counterexamples.graph

@@ -1,0 +1,12 @@
+(** Rendering helpers on top of {!Dot}: draw a graph together with a
+    move — e.g. a checker's instability witness — the way the paper's
+    figures draw proposed changes (dashed = to be built, dotted = to be
+    removed). *)
+
+val move_overlay : ?labels:(int -> string) -> Graph.t -> Move.t -> string
+(** [move_overlay g m] is DOT text for [g] with [m]'s participants filled
+    red, added edges dashed red and removed edges dotted grey. *)
+
+val case_to_dot : Counterexamples.case -> string
+(** [case_to_dot c] renders a counterexample with its first instability
+    witness overlaid (or plain if it has none). *)

@@ -1,0 +1,51 @@
+type t = {
+  agents : int;
+  social : float;
+  buy_share : float;
+  min_cost : float;
+  max_cost : float;
+  mean_cost : float;
+  spread : float;
+  gini : float;
+}
+
+let analyze ~alpha g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Welfare.analyze: empty graph";
+  if not (Paths.is_connected g) then invalid_arg "Welfare.analyze: disconnected graph";
+  let costs = Array.init n (fun u -> Cost.money (Cost.agent_cost ~alpha g u)) in
+  let social = Array.fold_left ( +. ) 0. costs in
+  let buy = 2. *. alpha *. float_of_int (Graph.num_edges g) in
+  let min_cost = Array.fold_left Float.min costs.(0) costs in
+  let max_cost = Array.fold_left Float.max costs.(0) costs in
+  let mean_cost = social /. float_of_int n in
+  (* Gini via the sorted-rank formula. *)
+  let sorted = Array.copy costs in
+  Array.sort Float.compare sorted;
+  let weighted = ref 0. in
+  Array.iteri (fun i c -> weighted := !weighted +. (float_of_int (i + 1) *. c)) sorted;
+  let nf = float_of_int n in
+  let gini =
+    if social <= 0. then 0.
+    else ((2. *. !weighted) /. (nf *. social)) -. ((nf +. 1.) /. nf)
+  in
+  {
+    agents = n;
+    social;
+    buy_share = (if social <= 0. then 0. else buy /. social);
+    min_cost;
+    max_cost;
+    mean_cost;
+    spread = (if mean_cost <= 0. then 1. else max_cost /. mean_cost);
+    gini;
+  }
+
+let normalized_max_cost ~alpha g =
+  let stats = analyze ~alpha g in
+  stats.max_cost /. (alpha +. float_of_int (Graph.n g - 1))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "agents=%d social=%.1f buy-share=%.2f cost[min=%.1f mean=%.1f max=%.1f] spread=%.2f \
+     gini=%.3f"
+    t.agents t.social t.buy_share t.min_cost t.mean_cost t.max_cost t.spread t.gini

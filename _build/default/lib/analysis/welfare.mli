@@ -1,0 +1,26 @@
+(** Welfare decomposition and fairness statistics of a network state.
+
+    Proposition 3.22 turns on how evenly cost can be spread across agents;
+    this module measures that spread (and the buy/distance split) for any
+    graph, feeding the α = n experiments and the examples. *)
+
+type t = {
+  agents : int;
+  social : float;  (** finite social cost *)
+  buy_share : float;  (** fraction of the social cost that is buying cost *)
+  min_cost : float;
+  max_cost : float;
+  mean_cost : float;
+  spread : float;  (** max / mean — 1 for perfectly even graphs *)
+  gini : float;  (** Gini coefficient of the agent cost distribution *)
+}
+
+val analyze : alpha:float -> Graph.t -> t
+(** [analyze ~alpha g] computes the statistics; requires [g] connected.
+    @raise Invalid_argument if [g] is disconnected or has no agents. *)
+
+val normalized_max_cost : alpha:float -> Graph.t -> float
+(** [normalized_max_cost ~alpha g] is the paper's Proposition 3.22
+    quantity [max_u cost(u) / (α + n − 1)]. *)
+
+val pp : Format.formatter -> t -> unit

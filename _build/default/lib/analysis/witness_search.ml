@@ -1,0 +1,60 @@
+type spec = { must_hold : Concept.t list; must_fail : Concept.t list }
+type outcome = Found of Graph.t | Not_found of Graph.t * float
+
+let score ?budget ~alpha spec g =
+  let verdict c = Concept.check ?budget ~alpha c g in
+  let hold_penalty c =
+    match verdict c with
+    | Verdict.Stable -> 0.
+    | Verdict.Unstable _ -> 1.
+    | Verdict.Exhausted _ -> 0.5
+  in
+  let fail_penalty c =
+    match verdict c with
+    | Verdict.Stable -> 1.
+    | Verdict.Unstable _ -> 0.
+    | Verdict.Exhausted _ -> 0.5
+  in
+  List.fold_left (fun acc c -> acc +. hold_penalty c) 0. spec.must_hold
+  +. List.fold_left (fun acc c -> acc +. fail_penalty c) 0. spec.must_fail
+
+let anneal ~rng ?(steps = 2000) ?budget ~n ~alpha spec =
+  let current = ref (Gen.random_connected rng n ~p:0.25) in
+  let current_score = ref (score ?budget ~alpha spec !current) in
+  let best = ref !current and best_score = ref !current_score in
+  let result = ref None in
+  let step_index = ref 0 in
+  while !result = None && !step_index < steps do
+    incr step_index;
+    if !current_score = 0. then result := Some !current
+    else begin
+      (* propose a connectivity-preserving edge toggle *)
+      let u = Random.State.int rng n in
+      let v = (u + 1 + Random.State.int rng (n - 1)) mod n in
+      let proposal =
+        if Graph.has_edge !current u v then Graph.remove_edge !current u v
+        else Graph.add_edge !current u v
+      in
+      if Paths.is_connected proposal then begin
+        let s = score ?budget ~alpha spec proposal in
+        let temperature =
+          0.5 *. (1. -. (float_of_int !step_index /. float_of_int steps))
+        in
+        let accept =
+          s <= !current_score
+          || Random.State.float rng 1.0
+             < Float.exp ((!current_score -. s) /. Float.max temperature 0.01)
+        in
+        if accept then begin
+          current := proposal;
+          current_score := s;
+          if s < !best_score then begin
+            best := proposal;
+            best_score := s
+          end
+        end
+      end
+    end
+  done;
+  if !current_score = 0. then result := Some !current;
+  match !result with Some g -> Found g | None -> Not_found (!best, !best_score)

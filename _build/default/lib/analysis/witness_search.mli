@@ -1,0 +1,35 @@
+(** Randomized search for graphs with a prescribed stability signature.
+
+    The enumeration-based searches in {!Counterexamples} stop at n ≤ 6–7;
+    beyond that, witnesses (a graph stable for these concepts, unstable
+    for those) can be hunted by a simulated-annealing walk over connected
+    graphs: propose single-edge toggles, score by how many signature
+    constraints are still violated, accept worsening steps with decaying
+    probability. *)
+
+type spec = {
+  must_hold : Concept.t list;  (** concepts the witness must be stable for *)
+  must_fail : Concept.t list;  (** concepts it must violate *)
+}
+
+type outcome =
+  | Found of Graph.t  (** all constraints certified *)
+  | Not_found of Graph.t * float
+      (** best scoring graph seen and its residual score (0 = success) *)
+
+val score : ?budget:int -> alpha:float -> spec -> Graph.t -> float
+(** [score ~alpha spec g] counts unmet constraints: +1 per [must_hold]
+    concept that is unstable, +1 per [must_fail] concept that is stable,
+    +0.5 per budget-exhausted check (undecided). *)
+
+val anneal :
+  rng:Random.State.t ->
+  ?steps:int ->
+  ?budget:int ->
+  n:int ->
+  alpha:float ->
+  spec ->
+  outcome
+(** [anneal ~rng ~n ~alpha spec] walks for [steps] (default 2000) edge
+    toggles starting from a random connected graph, keeping connectivity,
+    and returns as soon as the score reaches 0. *)

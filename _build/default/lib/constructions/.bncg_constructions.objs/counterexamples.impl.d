@@ -1,0 +1,1 @@
+lib/constructions/counterexamples.ml: Add_eq Array Concept Enumerate Gen Graph List Move Paths Printf Remove_eq Strategy Swap_eq Tree Unilateral Verdict

@@ -1,0 +1,1 @@
+lib/constructions/counterexamples.mli: Concept Graph Move Strategy

@@ -1,0 +1,1 @@
+lib/constructions/cycle.ml: Float Gen

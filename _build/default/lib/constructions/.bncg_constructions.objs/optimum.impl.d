@@ -1,0 +1,1 @@
+lib/constructions/optimum.ml: Cost Enumerate Float Gen Graph

@@ -1,0 +1,1 @@
+lib/constructions/optimum.mli: Graph

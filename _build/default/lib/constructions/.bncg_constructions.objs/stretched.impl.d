@@ -1,0 +1,1 @@
+lib/constructions/stretched.ml: Array Float Graph List

@@ -1,0 +1,1 @@
+lib/constructions/stretched.mli: Graph

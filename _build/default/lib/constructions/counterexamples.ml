@@ -1,0 +1,253 @@
+type case = {
+  name : string;
+  graph : Graph.t;
+  alpha : float;
+  stable : Concept.t list;
+  unstable : (Concept.t * Move.t) list;
+  note : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: BAE ∧ BGE but not BNE                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Shape recovered from the proof of Proposition A.4: a root [a] whose own
+   leaf mass makes cross-swaps unattractive, two arms a-bᵢ-cᵢ with leaf
+   masses m on bᵢ and t = m + 1 on cᵢ.  Then for agent a a single swap
+   a-bᵢ → a-cᵢ gains exactly t − m = 1 and the partner cᵢ gains
+   3 + E + m + t = 104 (with E = 54, m = 23, t = 24), while the double
+   swap gains cᵢ one more (105) — reproducing the constants in the
+   paper. *)
+let figure5 =
+  let e_count = 54 and m = 23 and t = 24 in
+  let g = ref (Graph.create (1 + e_count + (2 * (2 + m + t)))) in
+  let next = ref 1 in
+  let alloc () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let a = 0 in
+  for _ = 1 to e_count do
+    g := Graph.add_edge !g a (alloc ())
+  done;
+  let arm () =
+    let b = alloc () in
+    g := Graph.add_edge !g a b;
+    for _ = 1 to m do
+      g := Graph.add_edge !g b (alloc ())
+    done;
+    let c = alloc () in
+    g := Graph.add_edge !g b c;
+    for _ = 1 to t do
+      g := Graph.add_edge !g c (alloc ())
+    done;
+    (b, c)
+  in
+  let b1, c1 = arm () in
+  let b2, c2 = arm () in
+  {
+    name = "figure5";
+    graph = !g;
+    alpha = 104.5;
+    stable = [ Concept.RE; Concept.BAE; Concept.BSwE; Concept.PS; Concept.BGE ];
+    unstable =
+      [
+        (Concept.BNE, Move.Neighborhood { agent = a; drop = [ b1; b2 ]; add = [ c1; c2 ] });
+      ];
+    note =
+      "Proposition A.4: single swaps fail (partner gains 104 < α = 104.5) but \
+       the double swap around a succeeds (partners gain 105).";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: BNE but not 2-BSE                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact reconstruction.  Vertices 0..3 = a₁..a₄, 4..7 = b₁..b₄,
+   8..9 = c₁..c₂.  Edges: the 6-cycle a₁-c₁-a₂-a₃-c₂-a₄-a₁ plus a pendant
+   bᵢ on each aᵢ.  This reproduces every number in the proof of
+   Proposition A.5: dist(a) = 19, dist(b) = 27, dist(c) = 19; an a-vertex
+   sees two vertices at distance 3 and one at distance 4; a c-vertex sees
+   three at distance 3; connecting b₁ to the rest of B gains exactly 12. *)
+let figure6_vertex_names = [| "a1"; "a2"; "a3"; "a4"; "b1"; "b2"; "b3"; "b4"; "c1"; "c2" |]
+
+let figure6 =
+  let a1 = 0 and a2 = 1 and a3 = 2 and a4 = 3 in
+  let b1 = 4 and b2 = 5 and b3 = 6 and b4 = 7 in
+  let c1 = 8 and c2 = 9 in
+  let g =
+    Graph.of_edges 10
+      [
+        (a1, c1); (c1, a2); (a2, a3); (a3, c2); (c2, a4); (a4, a1);
+        (a1, b1); (a2, b2); (a3, b3); (a4, b4);
+      ]
+  in
+  {
+    name = "figure6";
+    graph = g;
+    alpha = 6.;
+    stable = [ Concept.RE; Concept.BAE; Concept.PS; Concept.BSwE; Concept.BGE; Concept.BNE ];
+    unstable =
+      [
+        ( Concept.KBSE 2,
+          Move.Coalition
+            { members = [ a1; a3 ]; remove = [ (a1, c1); (a3, c2) ]; add = [ (a1, a3) ] } );
+      ];
+    note =
+      "Proposition A.5: a BNE that coalition {a1,a3} destabilises by trading \
+       their c-edges for the chord a1-a3 (distance cost 19 -> 17 each).";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: k-BSE but not BNE                                         *)
+(* ------------------------------------------------------------------ *)
+
+let figure7 ~k =
+  if k < 2 then invalid_arg "Counterexamples.figure7: need k >= 2";
+  let i = 20 * k in
+  let n = (3 * i) + 1 in
+  let g = ref (Graph.create n) in
+  let a = 0 in
+  let bs = Array.make i 0 and cs = Array.make i 0 in
+  for j = 0 to i - 1 do
+    let b = 1 + (3 * j) and c = 2 + (3 * j) and d = 3 + (3 * j) in
+    bs.(j) <- b;
+    cs.(j) <- c;
+    g := Graph.add_edge (Graph.add_edge (Graph.add_edge !g a b) b c) c d
+  done;
+  {
+    name = Printf.sprintf "figure7(k=%d)" k;
+    graph = !g;
+    alpha = float_of_int (76 * k);
+    stable = [ Concept.KBSE k ];
+    unstable =
+      [
+        ( Concept.BNE,
+          Move.Neighborhood
+            { agent = a; drop = Array.to_list bs; add = Array.to_list cs } );
+      ];
+    note =
+      Printf.sprintf
+        "Proposition A.7 with i = %d rows a-b-c-d: swapping every b-edge for a \
+         c-edge improves a (6i -> 5i) and every c (4+12(i-1) -> 3+8(i-1) = gain \
+         %d > α = %d)."
+        i
+        (1 + (4 * (i - 1)))
+        (76 * k);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 equivalent: BAE but not unilateral AE                      *)
+(* ------------------------------------------------------------------ *)
+
+let figure8_equivalent =
+  let g = Gen.broom ~handle:3 ~bristles:5 in
+  {
+    name = "figure8-equivalent";
+    graph = g;
+    alpha = 5.;
+    stable = [ Concept.BAE ];
+    unstable = [];
+    note =
+      "Proposition 2.1 (reverse direction): agent 0 gains 6 > α = 5 by buying \
+       0-2 unilaterally, but agent 2 gains only 1 ≤ α, so no bilateral \
+       addition is improving.  Simplified equivalent of the paper's Figure 8.";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 (Proposition 2.3): search                                  *)
+(* ------------------------------------------------------------------ *)
+
+type unilateral_witness = {
+  assignment : Strategy.assignment;
+  w_alpha : float;
+  removal : int * int;
+}
+
+(* A bilateral RE violation at (g, α): an agent u and incident edge uv with
+   distance increase < α when uv is removed. *)
+let bilateral_removal_violation ~alpha g =
+  match Remove_eq.check ~alpha g with
+  | Verdict.Unstable (Move.Remove { agent; target }) -> Some (agent, target)
+  | Verdict.Unstable _ | Verdict.Stable | Verdict.Exhausted _ -> None
+
+let search_figure2 () =
+  let found = ref None in
+  let try_graph g =
+    if !found = None && not (Tree.is_tree g) && Graph.num_edges g <= 9 then begin
+      (* Candidate α values: removal deltas of edges ± a bit. *)
+      let deltas =
+        List.concat_map
+          (fun (u, v) ->
+            let g' = Graph.remove_edge g u v in
+            if not (Paths.is_connected g') then []
+            else
+              let d u = (Paths.total_dist g' u).Paths.sum - (Paths.total_dist g u).Paths.sum in
+              [ float_of_int (d u); float_of_int (d v) ])
+          (Graph.edges g)
+        |> List.sort_uniq compare
+      in
+      let alphas =
+        List.concat_map (fun d -> [ d -. 0.5; d +. 0.5 ]) deltas
+        |> List.filter (fun a -> a > 1.)
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun alpha ->
+          if !found = None then
+            match bilateral_removal_violation ~alpha g with
+            | None -> ()
+            | Some (agent, target) ->
+                (* Some agent wants out of edge (agent,target) bilaterally;
+                   look for an ownership under which the graph is NE. *)
+                List.iter
+                  (fun assignment ->
+                    if
+                      !found = None
+                      && Strategy.owner assignment agent target <> agent
+                      && Unilateral.is_nash ~alpha assignment = Ok ()
+                    then found := Some { assignment; w_alpha = alpha; removal = (agent, target) })
+                  (Strategy.all_assignments g))
+        alphas
+    end
+  in
+  List.iter try_graph (Enumerate.connected_graphs_iso 5);
+  if !found = None then List.iter try_graph (Enumerate.connected_graphs_iso 6);
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1b: the eight (RE, BAE, BSwE) signatures                     *)
+(* ------------------------------------------------------------------ *)
+
+let venn_signatures () =
+  let witnesses : ((bool * bool * bool) * (Graph.t * float)) list ref = ref [] in
+  let alphas = [ 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.5; 6.0; 10.0; 25.0 ] in
+  let consider g =
+    List.iter
+      (fun alpha ->
+        if List.length !witnesses < 8 then begin
+          let signature =
+            ( Remove_eq.is_stable ~alpha g,
+              Add_eq.is_stable ~alpha g,
+              Swap_eq.is_stable ~alpha g )
+          in
+          if not (List.mem_assoc signature !witnesses) then
+            witnesses := (signature, (g, alpha)) :: !witnesses
+        end)
+      alphas
+  in
+  (* A hand-built witness for (RE, BAE, ¬BSwE), which needs more vertices
+     than the exhaustive sweep covers: the tree m-r-v-u with five leaves
+     under u.  At α = 4, swapping uv for ur gains r the whole u-mass
+     (6 > α) and gains u strictly (the m leaf comes closer), while no
+     bilateral addition clears α for both sides. *)
+  let double_broom =
+    Graph.of_edges 9 [ (0, 1); (0, 2); (2, 3); (3, 4); (3, 5); (3, 6); (3, 7); (3, 8) ]
+  in
+  List.iter consider (Enumerate.free_trees 5);
+  List.iter consider (Enumerate.connected_graphs_iso 4);
+  List.iter consider (Enumerate.connected_graphs_iso 5);
+  List.iter consider (Enumerate.connected_graphs_iso 6);
+  consider double_broom;
+  List.rev !witnesses

@@ -1,0 +1,22 @@
+let graph n = Gen.cycle n
+
+let bse_alpha_range n =
+  if n < 3 then invalid_arg "Cycle.bse_alpha_range: need n >= 3";
+  let nf = float_of_int n in
+  if n mod 2 = 0 then ((nf *. nf /. 4.) -. (nf -. 1.), nf *. (nf -. 2.) /. 4.)
+  else
+    let quarter = (nf +. 1.) *. (nf -. 1.) /. 4. in
+    (quarter -. (nf -. 1.), quarter)
+
+let removal_threshold n =
+  if n < 3 then invalid_arg "Cycle.removal_threshold: need n >= 3";
+  let nf = float_of_int n in
+  if n mod 2 = 0 then nf *. (nf -. 2.) /. 4. else (nf -. 1.) *. (nf -. 1.) /. 4.
+
+let corrected_bse_alpha_range n =
+  let lo, hi = bse_alpha_range n in
+  (lo, Float.min hi (removal_threshold n))
+
+let midpoint_alpha n =
+  let lo, hi = corrected_bse_alpha_range n in
+  (lo +. hi) /. 2.

@@ -1,0 +1,37 @@
+(** Cycles as Bilateral Strong Equilibria (Lemma 2.4).
+
+    [C_n] is in BSE for an α window around [n²/4]; this is the paper's
+    witness that, unlike the unilateral NCG, no tree conjecture can hold
+    for the BNCG.
+
+    {b Reproduction erratum.}  For odd [n] the paper states the window
+    [((n+1)(n-1)/4 − (n−1), (n+1)(n-1)/4)], but an endpoint of an odd
+    cycle improves by dropping one edge as soon as
+    [α > (n−1)²/4] — its total distance rises from [(n²−1)/4] to
+    [n(n−1)/2], a difference of exactly [(n−1)²/4] — so [C_n] is not even
+    in Remove Equilibrium on the upper part of the stated window.  The
+    exact outcome-enumeration checker confirms this (e.g. [C₅] at
+    [α = 4.5] is refuted by a single removal).  {!corrected_bse_alpha_range}
+    caps the window accordingly; for even [n] paper and measurement
+    agree. *)
+
+val graph : int -> Graph.t
+(** [graph n] is [C_n].  Same as {!Gen.cycle}. *)
+
+val bse_alpha_range : int -> float * float
+(** [bse_alpha_range n] is the open interval [(lo, hi)] exactly as stated
+    in the paper's Lemma 2.4: [(n²/4 − (n−1), n(n−2)/4)] for even [n] and
+    [((n+1)(n−1)/4 − (n−1), (n+1)(n−1)/4)] for odd [n].
+    @raise Invalid_argument if [n < 3]. *)
+
+val removal_threshold : int -> float
+(** [removal_threshold n] is the exact α above which an agent of [C_n]
+    improves by dropping one incident edge: [n(n−2)/4] for even [n],
+    [(n−1)²/4] for odd [n]. *)
+
+val corrected_bse_alpha_range : int -> float * float
+(** The paper's window capped at {!removal_threshold} — the range our
+    exact checkers certify. *)
+
+val midpoint_alpha : int -> float
+(** A convenient α strictly inside {!corrected_bse_alpha_range}. *)

@@ -1,0 +1,16 @@
+let graph ~alpha n = if alpha < 1. then Gen.clique n else Gen.star n
+
+let cost ~alpha n = Cost.opt_cost ~alpha n
+
+let is_optimal ~alpha g =
+  let s = Cost.social_cost ~alpha g in
+  s.Cost.disconnected_pairs = 0
+  && Float.abs (Cost.social_money s -. cost ~alpha (Graph.n g)) < 1e-6
+
+let verify_exhaustively ~alpha n =
+  let opt = cost ~alpha n in
+  let ok = ref true in
+  Enumerate.iter_connected_graphs n (fun g ->
+      let s = Cost.social_cost ~alpha g in
+      if Cost.social_money s < opt -. 1e-6 then ok := false);
+  !ok

@@ -1,0 +1,18 @@
+(** Social optima of the BNCG (Section 3.1): the clique for [α < 1], the
+    star for [α ≥ 1] (both at [α = 1]). *)
+
+val graph : alpha:float -> int -> Graph.t
+(** [graph ~alpha n] is a social optimum for the given parameters. *)
+
+val cost : alpha:float -> int -> float
+(** Same as {!Cost.opt_cost}. *)
+
+val is_optimal : alpha:float -> Graph.t -> bool
+(** [is_optimal ~alpha g] is [true] iff [g]'s social cost equals the
+    optimum for its size (up to floating tolerance). *)
+
+val verify_exhaustively : alpha:float -> int -> bool
+(** [verify_exhaustively ~alpha n] checks by enumeration over all
+    connected graphs that no graph on [n] vertices beats
+    {!Cost.opt_cost} — a direct audit of the Section 3.1 claim.
+    @raise Invalid_argument if [n > 7]. *)

@@ -1,0 +1,72 @@
+type t = { graph : Graph.t; d : int; k : int; b_vertex : int array }
+
+let size ~d ~k = (((1 lsl (d + 1)) - 2) * k) + 1
+
+let binary_tree ~d ~k =
+  if d < 0 then invalid_arg "Stretched.binary_tree: negative depth";
+  if k < 1 then invalid_arg "Stretched.binary_tree: stretch must be >= 1";
+  let b_count = (1 lsl (d + 1)) - 1 in
+  let n = size ~d ~k in
+  let b_vertex = Array.make b_count 0 in
+  let g = ref (Graph.create n) in
+  let next = ref 1 in
+  (* BFS order over the binary tree: vertex i has children 2i+1, 2i+2. *)
+  for i = 1 to b_count - 1 do
+    let parent_t = b_vertex.((i - 1) / 2) in
+    (* Allocate the path u^1 .. u^{k-1}, u for binary vertex i. *)
+    let first = !next in
+    next := !next + k;
+    let rec link prev j =
+      if j < k then begin
+        g := Graph.add_edge !g prev (first + j);
+        link (first + j) (j + 1)
+      end
+    in
+    link parent_t 0;
+    b_vertex.(i) <- first + k - 1
+  done;
+  { graph = !g; d; k; b_vertex }
+
+let max_depth_for_size ~k ~target =
+  if float_of_int (size ~d:1 ~k) > target then
+    invalid_arg "Stretched.max_depth_for_size: target below 2k + 1";
+  let rec go d = if float_of_int (size ~d:(d + 1) ~k) > target then d else go (d + 1) in
+  go 1
+
+let bge_stable_alpha ~k ~n = float_of_int (7 * k * n)
+
+type star = { star_graph : Graph.t; subtree : t; copies : int; copy_roots : int array }
+
+let tree_star ~k ~target_subtree ~target_size =
+  if target_subtree < float_of_int ((2 * k) + 1) then
+    invalid_arg "Stretched.tree_star: target_subtree below 2k + 1";
+  if float_of_int target_size < (2. *. target_subtree) +. 1. then
+    invalid_arg "Stretched.tree_star: target_size below 2t + 1";
+  let d = max_depth_for_size ~k ~target:target_subtree in
+  let subtree = binary_tree ~d ~k in
+  let sub_n = Graph.n subtree.graph in
+  let copies = (target_size - 1 + sub_n - 1) / sub_n in
+  let n = 1 + (copies * sub_n) in
+  let g = ref (Graph.create n) in
+  let copy_roots = Array.make copies 0 in
+  for c = 0 to copies - 1 do
+    let shift = 1 + (c * sub_n) in
+    copy_roots.(c) <- shift;
+    List.iter
+      (fun (u, v) -> g := Graph.add_edge !g (u + shift) (v + shift))
+      (Graph.edges subtree.graph);
+    g := Graph.add_edge !g 0 shift
+  done;
+  { star_graph = !g; subtree; copies; copy_roots }
+
+let theorem_310_star ~alpha ~eta = tree_star ~k:1 ~target_subtree:(alpha /. 15.) ~target_size:eta
+
+let theorem_312i_star ~alpha ~eta ~epsilon =
+  let k = max 1 (int_of_float (alpha /. (9. *. float_of_int eta))) in
+  let t = Float.pow (float_of_int eta) (1. -. (epsilon /. 2.)) in
+  tree_star ~k ~target_subtree:t ~target_size:eta
+
+let theorem_312ii_star ~alpha ~eta ~epsilon =
+  ignore alpha;
+  let t = Float.pow (float_of_int eta) epsilon in
+  tree_star ~k:1 ~target_subtree:t ~target_size:eta

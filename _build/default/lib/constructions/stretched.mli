@@ -1,0 +1,65 @@
+(** Stretched binary trees and stretched tree stars (Section 3.2.2,
+    Figure 3) — the lower-bound families behind the Ω(log α) PoA results
+    for BGE (Theorem 3.10) and BNE (Theorem 3.12).
+
+    A stretched binary tree with parameters [d] and [k] replaces every
+    edge of a complete binary tree of depth [d] by a path of [k] edges; it
+    has [(2^{d+1} − 2) k + 1] vertices and [dist_T(u, v) = k · dist_B(u, v)]
+    for original vertices.  A stretched tree star glues
+    [⌈(η − 1) / |T|⌉] copies of such a tree below a fresh root. *)
+
+type t = {
+  graph : Graph.t;
+  d : int;  (** depth of the underlying complete binary tree *)
+  k : int;  (** stretch factor *)
+  b_vertex : int array;
+      (** [b_vertex.(i)] is the graph vertex carrying the [i]-th vertex of
+          the underlying binary tree (BFS numbering, root first) *)
+}
+(** A stretched binary tree together with its skeleton embedding. *)
+
+val binary_tree : d:int -> k:int -> t
+(** [binary_tree ~d ~k] is the stretched binary tree.  The root is vertex
+    [0].
+    @raise Invalid_argument if [d < 0] or [k < 1]. *)
+
+val size : d:int -> k:int -> int
+(** Closed-form vertex count [(2^{d+1} − 2) k + 1]. *)
+
+val max_depth_for_size : k:int -> target:float -> int
+(** [max_depth_for_size ~k ~target] is the maximal [d] with
+    [size ~d ~k <= target], per the stretched-tree-star definition.
+    @raise Invalid_argument if even [d = 1] does not fit
+    (the definition requires [target >= 2k + 1]). *)
+
+val bge_stable_alpha : k:int -> n:int -> float
+(** [bge_stable_alpha ~k ~n = 7kn]: Proposition 3.8 guarantees the
+    stretched binary tree is in BGE for [α ≥ 7kn]. *)
+
+type star = {
+  star_graph : Graph.t;
+  subtree : t;  (** the repeated stretched tree *)
+  copies : int;  (** number of copies below the root *)
+  copy_roots : int array;  (** graph vertex of each copy's root *)
+}
+(** A stretched tree star; the root is vertex [0]. *)
+
+val tree_star : k:int -> target_subtree:float -> target_size:int -> star
+(** [tree_star ~k ~target_subtree ~target_size] builds the stretched tree
+    star with stretch [k], subtree-size target [t] and total-size target
+    [η]: [⌈(η−1)/|T|⌉] copies of the maximal stretched tree of size at most
+    [t].  By Lemma D.9 the result has [η ≤ n ≤ 3η/2] vertices.
+    @raise Invalid_argument if the parameter constraints
+    [t ≥ 2k + 1], [η ≥ 2t + 1] fail. *)
+
+val theorem_310_star : alpha:float -> eta:int -> star
+(** The Theorem 3.10 instance: [k = 1], [t = α / 15], [η] as given — in
+    BGE for sufficiently large [α ≤ η], with ρ ≥ (log α)/4 − 17/8. *)
+
+val theorem_312i_star : alpha:float -> eta:int -> epsilon:float -> star
+(** The Theorem 3.12 (i) instance: [k = ⌊α/(9η)⌋], [t = η^{1−ε/2}] — a BNE
+    for [9η ≤ α ≤ η^{2−ε}]. *)
+
+val theorem_312ii_star : alpha:float -> eta:int -> epsilon:float -> star
+(** The Theorem 3.12 (ii) instance: [k = 1], [t = η^ε] — a BNE for
+    [η^{1/2+ε} ≤ α ≤ η]. *)

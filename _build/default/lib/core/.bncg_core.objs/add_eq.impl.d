@@ -1,0 +1,1 @@
+lib/core/add_eq.ml: Array Graph Move Paths Verdict

@@ -1,0 +1,1 @@
+lib/core/add_eq.mli: Graph Verdict

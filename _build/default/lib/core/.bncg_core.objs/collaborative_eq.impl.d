@@ -1,0 +1,1 @@
+lib/core/collaborative_eq.ml: Cost_share Float Graph List Paths Result

@@ -1,0 +1,1 @@
+lib/core/collaborative_eq.mli: Cost_share

@@ -1,0 +1,1 @@
+lib/core/concept.ml: Add_eq Greedy_eq Neighborhood_eq Pairwise Printf Remove_eq Strong_eq Swap_eq Verdict

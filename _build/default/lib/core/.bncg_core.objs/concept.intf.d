@@ -1,0 +1,1 @@
+lib/core/concept.mli: Graph Verdict

@@ -1,0 +1,1 @@
+lib/core/greedy_eq.ml: Pairwise Swap_eq Verdict

@@ -1,0 +1,1 @@
+lib/core/greedy_eq.mli: Graph Verdict

@@ -1,0 +1,1 @@
+lib/core/move.ml: Delta Format Graph Int List

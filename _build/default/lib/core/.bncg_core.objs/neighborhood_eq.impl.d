@@ -1,0 +1,1 @@
+lib/core/neighborhood_eq.ml: Array Delta Float Graph List Move Paths Printf Tree Verdict

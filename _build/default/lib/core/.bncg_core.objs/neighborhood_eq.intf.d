@@ -1,0 +1,1 @@
+lib/core/neighborhood_eq.mli: Graph Verdict

@@ -1,0 +1,1 @@
+lib/core/pairwise.ml: Add_eq Remove_eq Verdict

@@ -1,0 +1,1 @@
+lib/core/remove_eq.ml: Delta Graph List Move Verdict

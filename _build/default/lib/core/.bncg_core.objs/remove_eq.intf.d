@@ -1,0 +1,1 @@
+lib/core/remove_eq.mli: Graph Verdict

@@ -1,0 +1,1 @@
+lib/core/strong_eq.ml: Array Cost Delta Graph Hashtbl Int List Move Option Paths Random Tree Verdict

@@ -1,0 +1,1 @@
+lib/core/strong_eq.mli: Graph Move Random Verdict

@@ -1,0 +1,1 @@
+lib/core/swap_eq.ml: Array Cost Graph Lazy List Move Paths Verdict

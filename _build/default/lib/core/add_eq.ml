@@ -1,0 +1,44 @@
+(* For connected pairs the distance gain of adding uv is exactly
+   Σ_x max 0 (d(u,x) − (1 + d(v,x))): a shortest path after the addition
+   either avoids the new edge or leaves u through it.  If v is unreachable
+   from u, adding uv strictly lowers both agents' unreachable counts, which
+   dominates lexicographically, so every cross-component pair is a
+   violation. *)
+
+let gain_within_component dist_u dist_v =
+  let gain = ref 0 in
+  Array.iteri
+    (fun x du ->
+      let dv = dist_v.(x) in
+      if du >= 0 && dv >= 0 && du > dv + 1 then gain := !gain + (du - (dv + 1)))
+    dist_u;
+  !gain
+
+let check ~alpha g =
+  let size = Graph.n g in
+  let exception Found of Move.t in
+  let dist = Array.make size [||] in
+  let bfs u =
+    if dist.(u) = [||] && size > 0 then dist.(u) <- Paths.bfs g u;
+    dist.(u)
+  in
+  try
+    for u = 0 to size - 1 do
+      for v = u + 1 to size - 1 do
+        if not (Graph.has_edge g u v) then begin
+          let du = bfs u in
+          if du.(v) < 0 then raise (Found (Move.Bilateral_add { u; v }))
+          else begin
+            let dv = bfs v in
+            if
+              float_of_int (gain_within_component du dv) > alpha
+              && float_of_int (gain_within_component dv du) > alpha
+            then raise (Found (Move.Bilateral_add { u; v }))
+          end
+        end
+      done
+    done;
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

@@ -1,0 +1,9 @@
+(** Bilateral Add Equilibrium (BAE): no two agents both improve by jointly
+    creating their missing edge.  Exact; uses the closed-form gain
+    [Σ_x max 0 (d(u,x) − (1 + d(v,x)))] on one APSP, so a full check is
+    [O(n³)] even on large constructions. *)
+
+val check : alpha:float -> Graph.t -> Verdict.t
+(** [check ~alpha g] never answers [Exhausted]. *)
+
+val is_stable : alpha:float -> Graph.t -> bool

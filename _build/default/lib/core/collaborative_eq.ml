@@ -1,0 +1,78 @@
+type witness = Fund of (int * int) * (int * float) list | Defund of (int * int) * int list
+
+let movers = function
+  | Fund (_, shares) -> List.map fst shares
+  | Defund (_, coalition) -> coalition
+
+let apply s = function
+  | Fund (e, shares) -> Cost_share.fund_edge s e shares
+  | Defund (e, coalition) -> Cost_share.withdraw s e coalition
+
+(* Distance gain of every agent when edge uv is added: positive entries
+   only.  Gains route through the new edge, so g_w = old Σdist − new
+   Σdist computed on the modified graph. *)
+let fund_gains g u v =
+  let g' = Graph.add_edge g u v in
+  let n = Graph.n g in
+  List.filter_map
+    (fun w ->
+      let before = (Paths.total_dist g w).Paths.sum
+      and before_unreachable = (Paths.total_dist g w).Paths.unreachable in
+      let after = Paths.total_dist g' w in
+      if after.Paths.unreachable < before_unreachable then
+        (* connectivity repair: lexicographically infinite gain *)
+        Some (w, Float.infinity)
+      else
+        let gain = float_of_int (before - after.Paths.sum) in
+        if gain > 0. then Some (w, gain) else None)
+    (List.init n (fun w -> w))
+
+let check s =
+  let alpha = Cost_share.alpha s in
+  let g = Cost_share.graph s in
+  let exception Hit of witness in
+  try
+    (* funding moves on absent edges *)
+    List.iter
+      (fun (u, v) ->
+        let gains = fund_gains g u v in
+        let total = List.fold_left (fun acc (_, x) -> acc +. x) 0. gains in
+        if total > alpha +. 1e-9 then begin
+          (* distribute the price proportionally: each contributor pays
+             share = gain * alpha / total < gain, a strict improvement *)
+          let shares =
+            if List.exists (fun (_, x) -> x = Float.infinity) gains then
+              (* someone reconnects: she can pay everything *)
+              List.map
+                (fun (w, x) -> (w, if x = Float.infinity then alpha else 0.))
+                gains
+              |> List.filter (fun (_, x) -> x > 0.)
+            else List.map (fun (w, x) -> (w, x *. alpha /. total)) gains
+          in
+          raise (Hit (Fund ((u, v), shares)))
+        end)
+      (Graph.non_edges g);
+    (* defunding moves on existing edges *)
+    List.iter
+      (fun (u, v) ->
+        let g' = Graph.remove_edge g u v in
+        let coalition =
+          List.filter_map
+            (fun (w, paid) ->
+              let before = Paths.total_dist g w and after = Paths.total_dist g' w in
+              if after.Paths.unreachable > before.Paths.unreachable then None
+              else
+                let loss = float_of_int (after.Paths.sum - before.Paths.sum) in
+                if paid > loss +. 1e-9 then Some (w, paid) else None)
+            (Cost_share.contributors s (u, v))
+        in
+        let saved = List.fold_left (fun acc (_, x) -> acc +. x) 0. coalition in
+        if
+          coalition <> []
+          && Cost_share.edge_total s (u, v) -. saved < alpha -. 1e-9
+        then raise (Hit (Defund ((u, v), List.map fst coalition))))
+      (Graph.edges g);
+    Ok ()
+  with Hit w -> Error w
+
+let is_stable s = Result.is_ok (check s)

@@ -1,0 +1,37 @@
+(** The Collaborative Equilibrium (CE) of Demaine, Hajiaghayi, Mahini and
+    Zadimoghaddam, as described in the paper's Section 1.2: a funded state
+    is in CE if no coalition can change the joint cost-shares of a
+    {e single} edge so that every coalition member strictly benefits.
+    Notably, non-incident agents may help fund an edge, which makes CE
+    strictly stronger than Pairwise Stability.
+
+    Per edge there are only two move shapes that can strictly benefit all
+    movers, which makes exact checking polynomial:
+
+    - {b fund} an absent edge [uv]: every agent [w] with distance gain
+      [g_w > 0] can contribute a share below [g_w]; a mutually improving
+      funding exists iff [Σ_w max(0, g_w) > α] (strictly);
+    - {b defund} an existing edge: contributors whose saved share exceeds
+      their distance loss withdraw; the move works iff their joint shares
+      pull the remaining funding strictly below [α];
+    - re-splitting the shares of a surviving edge is zero-sum in money and
+      leaves distances unchanged, so it never strictly benefits everyone. *)
+
+type witness =
+  | Fund of (int * int) * (int * float) list
+      (** the absent edge and a concrete improving funding *)
+  | Defund of (int * int) * int list
+      (** the edge and the withdrawing coalition *)
+
+val check : Cost_share.t -> (unit, witness) result
+(** [check s] is [Ok ()] iff [s] is in Collaborative Equilibrium.  Exact;
+    [O(n² · (n + m))]. *)
+
+val is_stable : Cost_share.t -> bool
+
+val apply : Cost_share.t -> witness -> Cost_share.t
+(** [apply s w] performs the witness move (for re-verification: every
+    mover's {!Cost_share.agent_cost} must strictly drop). *)
+
+val movers : witness -> int list
+(** The agents who must strictly benefit. *)

@@ -1,0 +1,44 @@
+type t = RE | BAE | PS | BSwE | BGE | BNE | KBSE of int | BSE
+
+let name = function
+  | RE -> "RE"
+  | BAE -> "BAE"
+  | PS -> "PS"
+  | BSwE -> "BSwE"
+  | BGE -> "BGE"
+  | BNE -> "BNE"
+  | KBSE k -> Printf.sprintf "%d-BSE" k
+  | BSE -> "BSE"
+
+let all_fixed = [ RE; BAE; PS; BSwE; BGE; BNE; KBSE 2; KBSE 3; BSE ]
+
+let check ?budget ~alpha concept g =
+  match concept with
+  | RE -> Remove_eq.check ~alpha g
+  | BAE -> Add_eq.check ~alpha g
+  | PS -> Pairwise.check ~alpha g
+  | BSwE -> Swap_eq.check ~alpha g
+  | BGE -> Greedy_eq.check ~alpha g
+  | BNE -> Neighborhood_eq.check ?budget ~alpha g
+  | KBSE k -> Strong_eq.check ?budget ~k ~alpha g
+  | BSE -> Strong_eq.check_bse ?budget ~alpha g
+
+let is_stable_exn ?budget ~alpha concept g =
+  Verdict.exactly_stable_exn (name concept) (check ?budget ~alpha concept g)
+
+(* Figure 1a: arrows point from subset to superset, all proper.
+   BSE ⊂ ... ⊂ k-BSE ⊂ 2-BSE; BNE ⊂ BGE; BSE ⊂ BNE; BGE ⊂ PS, BGE ⊂ BSwE;
+   PS ⊂ RE, PS ⊂ BAE; 2-BSE ⊂ BGE. *)
+let proper_subsets =
+  [
+    (PS, RE);
+    (PS, BAE);
+    (BGE, PS);
+    (BGE, BSwE);
+    (BNE, BGE);
+    (BNE, BAE);
+    (KBSE 2, BGE);
+    (KBSE 3, KBSE 2);
+    (BSE, KBSE 3);
+    (BSE, BNE);
+  ]

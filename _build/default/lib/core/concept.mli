@@ -1,0 +1,34 @@
+(** The solution-concept lattice of the paper (Figure 1a), as data.
+
+    Gives every concept a name, a uniform checking entry point, and the
+    subset arrows the paper proves, so the relation experiments can walk
+    the diagram programmatically. *)
+
+type t =
+  | RE  (** Remove Equilibrium (= pure Nash of the BNCG, Prop A.2) *)
+  | BAE  (** Bilateral Add Equilibrium *)
+  | PS  (** Pairwise Stability = RE ∧ BAE *)
+  | BSwE  (** Bilateral Swap Equilibrium *)
+  | BGE  (** Bilateral Greedy Equilibrium = PS ∧ BSwE *)
+  | BNE  (** Bilateral Neighborhood Equilibrium *)
+  | KBSE of int  (** Bilateral k-Strong Equilibrium *)
+  | BSE  (** Bilateral Strong Equilibrium = n-BSE *)
+
+val name : t -> string
+(** Short display name, e.g. ["3-BSE"]. *)
+
+val all_fixed : t list
+(** [RE; BAE; PS; BSwE; BGE; BNE; KBSE 2; KBSE 3; BSE] — the concepts the
+    experiments sweep over. *)
+
+val check : ?budget:int -> alpha:float -> t -> Graph.t -> Verdict.t
+(** Uniform checking front end; budget is forwarded to the BNE and k-BSE
+    checkers. *)
+
+val is_stable_exn : ?budget:int -> alpha:float -> t -> Graph.t -> bool
+(** Like {!check}; raises [Failure] on [Exhausted]. *)
+
+val proper_subsets : (t * t) list
+(** The arrows of Figure 1a, as (subset, superset) pairs: every graph
+    stable for the first concept is stable for the second, and the
+    inclusion is proper. *)

@@ -1,0 +1,6 @@
+let check ~alpha g =
+  match Pairwise.check ~alpha g with
+  | Verdict.Stable -> Swap_eq.check ~alpha g
+  | v -> v
+
+let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

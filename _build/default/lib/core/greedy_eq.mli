@@ -1,0 +1,6 @@
+(** Bilateral Greedy Equilibrium (BGE, Section 3.2.2): PS ∧ BSwE — stable
+    against single-edge removals, bilateral additions, and bilateral
+    swaps.  On trees, BGE coincides with 2-BSE (Proposition 3.7). *)
+
+val check : alpha:float -> Graph.t -> Verdict.t
+val is_stable : alpha:float -> Graph.t -> bool

@@ -1,0 +1,95 @@
+type t =
+  | Remove of { agent : int; target : int }
+  | Bilateral_add of { u : int; v : int }
+  | Bilateral_swap of { u : int; drop : int; add : int }
+  | Neighborhood of { agent : int; drop : int list; add : int list }
+  | Coalition of { members : int list; remove : (int * int) list; add : (int * int) list }
+
+let mem x xs = List.exists (Int.equal x) xs
+
+let apply g m =
+  match m with
+  | Remove { agent; target } ->
+      if not (Graph.has_edge g agent target) then
+        invalid_arg "Move.apply: removing an absent edge";
+      Graph.remove_edge g agent target
+  | Bilateral_add { u; v } ->
+      if Graph.has_edge g u v then invalid_arg "Move.apply: adding a present edge";
+      Graph.add_edge g u v
+  | Bilateral_swap { u; drop; add } ->
+      if not (Graph.has_edge g u drop) then invalid_arg "Move.apply: swap drops absent edge";
+      if Graph.has_edge g u add then invalid_arg "Move.apply: swap adds present edge";
+      Graph.add_edge (Graph.remove_edge g u drop) u add
+  | Neighborhood { agent; drop; add } ->
+      if drop = [] && add = [] then invalid_arg "Move.apply: empty neighborhood move";
+      List.iter
+        (fun v ->
+          if not (Graph.has_edge g agent v) then
+            invalid_arg "Move.apply: neighborhood move drops absent edge")
+        drop;
+      List.iter
+        (fun v ->
+          if v = agent || Graph.has_edge g agent v then
+            invalid_arg "Move.apply: neighborhood move adds bad edge")
+        add;
+      Graph.apply g
+        ~remove:(List.map (fun v -> (agent, v)) drop)
+        ~add:(List.map (fun v -> (agent, v)) add)
+  | Coalition { members; remove; add } ->
+      if members = [] then invalid_arg "Move.apply: empty coalition";
+      List.iter
+        (fun (u, v) ->
+          if not (Graph.has_edge g u v) then
+            invalid_arg "Move.apply: coalition removes an absent edge";
+          if not (mem u members || mem v members) then
+            invalid_arg "Move.apply: coalition removal does not touch the coalition")
+        remove;
+      List.iter
+        (fun (u, v) ->
+          if Graph.has_edge g u v then invalid_arg "Move.apply: coalition adds a present edge";
+          if not (mem u members && mem v members) then
+            invalid_arg "Move.apply: coalition addition leaves the coalition")
+        add;
+      Graph.apply g ~remove ~add
+
+let participants = function
+  | Remove { agent; _ } -> [ agent ]
+  | Bilateral_add { u; v } -> [ u; v ]
+  | Bilateral_swap { u; add; _ } -> [ u; add ]
+  | Neighborhood { agent; add; _ } -> agent :: add
+  | Coalition { members; _ } -> members
+
+let is_improving ~alpha g m =
+  let g' = apply g m in
+  List.for_all (fun u -> Delta.improves ~alpha ~before:g ~after:g' u) (participants m)
+
+let coalition_size = function
+  | Remove _ -> 1
+  | Bilateral_add _ | Bilateral_swap _ -> 2
+  | Neighborhood { add; _ } -> 1 + List.length add
+  | Coalition { members; _ } -> List.length members
+
+let pp_int_list ppf xs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    xs
+
+let pp_edge_list ppf es =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    es
+
+let pp ppf = function
+  | Remove { agent; target } -> Format.fprintf ppf "remove %d-%d (by %d)" agent target agent
+  | Bilateral_add { u; v } -> Format.fprintf ppf "add %d-%d" u v
+  | Bilateral_swap { u; drop; add } -> Format.fprintf ppf "swap %d-%d for %d-%d" u drop u add
+  | Neighborhood { agent; drop; add } ->
+      Format.fprintf ppf "neighborhood around %d: drop %a, add %a" agent pp_int_list drop
+        pp_int_list add
+  | Coalition { members; remove; add } ->
+      Format.fprintf ppf "coalition %a: remove %a, add %a" pp_int_list members pp_edge_list
+        remove pp_edge_list add
+
+let to_string m = Format.asprintf "%a" pp m

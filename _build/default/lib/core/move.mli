@@ -1,0 +1,47 @@
+(** The move vocabulary of the solution concepts (Section 1.1).
+
+    Every solution concept in the paper is "no move of shape X is improving
+    for all its participants"; this module gives those shapes a common
+    representation, application semantics, and the participant/benefit
+    rules.  Checkers return moves as instability witnesses, so every
+    [Unstable] verdict is independently re-checkable with
+    {!is_improving}. *)
+
+type t =
+  | Remove of { agent : int; target : int }
+      (** [agent] unilaterally drops the edge towards [target]. *)
+  | Bilateral_add of { u : int; v : int }
+      (** [u] and [v] jointly create edge [uv]; both pay [α]. *)
+  | Bilateral_swap of { u : int; drop : int; add : int }
+      (** [u] replaces her edge to [drop] by an edge to [add]; [add]
+          consents and pays [α]; [u]'s buying cost is unchanged. *)
+  | Neighborhood of { agent : int; drop : int list; add : int list }
+      (** [agent] removes the edges towards [drop] and adds edges towards
+          [add]; [agent] and everyone in [add] must strictly benefit
+          (the BNE move). *)
+  | Coalition of { members : int list; remove : (int * int) list; add : (int * int) list }
+      (** A coalition move (k-BSE): [remove] edges each touch a member,
+          [add] edges lie within the coalition, all members strictly
+          benefit. *)
+
+val apply : Graph.t -> t -> Graph.t
+(** [apply g m] is the graph after performing [m].
+    @raise Invalid_argument if [m] is not well-formed in [g] (adding a
+    present edge, removing an absent one, a coalition add outside the
+    coalition, a coalition removal not touching it, ...). *)
+
+val participants : t -> int list
+(** [participants m] lists the agents that must strictly benefit for [m]
+    to count as improving. *)
+
+val is_improving : alpha:float -> Graph.t -> t -> bool
+(** [is_improving ~alpha g m] is [true] iff applying [m] to [g] strictly
+    decreases the cost of every participant. *)
+
+val coalition_size : t -> int
+(** Number of cooperating agents the move needs: 1 for removals, 2 for
+    adds and swaps, [1 + |add|] for neighborhood moves, [|members|] for
+    coalition moves. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

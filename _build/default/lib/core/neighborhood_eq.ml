@@ -1,0 +1,132 @@
+let default_budget = 500_000
+
+exception Found of Move.t
+exception Out_of_budget
+
+(* Enumerate subsets of [items] of size at most [max_size], smallest
+   sizes first (improving moves are usually small, so under a budget the
+   size-ordered sweep finds witnesses far earlier than binary-counting
+   order), charging one unit of [budget] per emitted subset. *)
+let iter_subsets items ~max_size ~budget f =
+  let arr = Array.of_list items in
+  let k = Array.length arr in
+  let emit acc =
+    decr budget;
+    if !budget < 0 then raise Out_of_budget;
+    f (List.rev acc)
+  in
+  let rec choose size start acc =
+    if size = 0 then emit acc
+    else
+      for i = start to k - size do
+        choose (size - 1) (i + 1) (arr.(i) :: acc)
+      done
+  in
+  for size = 0 to min max_size k do
+    choose size 0 []
+  done
+
+let check_agent_inner ~alpha ~budget_left g u =
+  let size = Graph.n g in
+  let connected = Paths.is_connected g in
+  let is_tree = Tree.is_tree g in
+  let dist_u = Paths.total_dist g u in
+  (* Partners that could ever consent to one extra edge in a move centred
+     elsewhere (paper's consent bound); only valid with full
+     reachability. *)
+  let candidates =
+    let all = ref [] in
+    for v = size - 1 downto 0 do
+      if v <> u && not (Graph.has_edge g u v) then
+        if connected then begin
+          if float_of_int (Delta.consent_upper_bound g v) > alpha then all := v :: !all
+        end
+        else all := v :: !all
+    done;
+    !all
+  in
+  let neighbors = Array.to_list (Graph.neighbors g u) in
+  (* Branch labels for the tree connectivity prune: branch.(x) is the
+     neighbour of u whose subtree contains x. *)
+  let branch =
+    if not is_tree then [||]
+    else begin
+      let label = Array.make size (-1) in
+      List.iter
+        (fun c ->
+          let d = Paths.bfs (Graph.remove_edge g u c) c in
+          Array.iteri (fun x dx -> if dx >= 0 then label.(x) <- c) d)
+        neighbors;
+      label
+    end
+  in
+  (* Cap on |A| − |R|: u pays k·α extra for k net edges but can gain at
+     most dist(u) − (n − 1). *)
+  let net_cap =
+    if (not connected) || alpha <= 0. then size
+    else
+      let slack = float_of_int (dist_u.Paths.sum - (size - 1)) in
+      if slack <= 0. then 0 else max 0 (int_of_float (Float.ceil (slack /. alpha)))
+  in
+  let budget = ref budget_left in
+  let evaluate drop add =
+    if drop = [] && add = [] then ()
+    else begin
+      decr budget;
+      if !budget < 0 then raise Out_of_budget;
+      let m = Move.Neighborhood { agent = u; drop; add } in
+      let g' = Move.apply g m in
+      if Delta.improves ~alpha ~before:g ~after:g' u then
+        if List.for_all (fun a -> Delta.improves ~alpha ~before:g ~after:g' a) add then
+          raise (Found m)
+    end
+  in
+  (* Enumerate A first (usually heavily pruned), then R. *)
+  iter_subsets candidates ~max_size:(List.length neighbors + net_cap) ~budget (fun add ->
+      let removable =
+        if not is_tree then neighbors
+        else
+          (* Only branches that receive a new edge can lose their edge. *)
+          List.filter (fun c -> List.exists (fun a -> branch.(a) = c) add) neighbors
+      in
+      (* Pure-removal moves need only single removals: Corbo and Parkes
+         show that if dropping a set of incident edges improves an agent,
+         dropping one of them already does (the argument behind
+         Proposition A.2), so for A = ∅ the size-1 subsets are exhaustive. *)
+      let max_drop = if add = [] then 1 else List.length removable in
+      iter_subsets removable ~max_size:max_drop ~budget (fun drop ->
+          if List.length add <= List.length drop + net_cap then evaluate drop add));
+  !budget
+
+let check_agent ?(budget = default_budget) ~alpha g u =
+  match check_agent_inner ~alpha ~budget_left:budget g u with
+  | _ -> Verdict.Stable
+  | exception Found m -> Verdict.Unstable m
+  | exception Out_of_budget ->
+      Verdict.Exhausted (Printf.sprintf "BNE move space around agent %d exceeds budget" u)
+
+let check ?(budget = default_budget) ~alpha g =
+  (* The budget is split across agents (with a floor) so the total work is
+     bounded by roughly [budget] even when several agents exhaust their
+     share; an instability found at a later agent still yields an exact
+     [Unstable] answer. *)
+  let size = Graph.n g in
+  let per_agent = if size = 0 then budget else max 2_000 (budget / size) in
+  let exhausted = ref None in
+  let rec go u =
+    if u >= size then
+      match !exhausted with None -> Verdict.Stable | Some why -> Verdict.Exhausted why
+    else
+      match check_agent_inner ~alpha ~budget_left:per_agent g u with
+      | _left -> go (u + 1)
+      | exception Found m -> Verdict.Unstable m
+      | exception Out_of_budget ->
+          if !exhausted = None then
+            exhausted :=
+              Some (Printf.sprintf "BNE move space around agent %d exceeds budget" u);
+          go (u + 1)
+  in
+  go 0
+
+let is_stable_exn ?budget ~alpha g =
+  Verdict.exactly_stable_exn "Neighborhood_eq" (check ?budget ~alpha g)

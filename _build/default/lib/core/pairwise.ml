@@ -1,0 +1,6 @@
+let check ~alpha g =
+  match Remove_eq.check ~alpha g with
+  | Verdict.Stable -> Add_eq.check ~alpha g
+  | v -> v
+
+let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

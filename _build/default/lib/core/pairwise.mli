@@ -1,0 +1,5 @@
+(** Pairwise Stability (Jackson–Wolinsky): RE ∧ BAE.  The solution concept
+    Corbo and Parkes analysed the BNCG under. *)
+
+val check : alpha:float -> Graph.t -> Verdict.t
+val is_stable : alpha:float -> Graph.t -> bool

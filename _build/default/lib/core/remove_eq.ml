@@ -1,0 +1,22 @@
+(* Dropping an edge saves the remover α and can only increase distances, so
+   the move improves agent u iff the graph stays connected from u's view
+   and the distance increase is strictly below α.  We evaluate both
+   endpoints of every edge with a direct cost comparison. *)
+
+let check ~alpha g =
+  let exception Found of Move.t in
+  try
+    List.iter
+      (fun (u, v) ->
+        let g' = Graph.remove_edge g u v in
+        let try_agent agent =
+          if Delta.improves ~alpha ~before:g ~after:g' agent then
+            raise (Found (Move.Remove { agent; target = (if agent = u then v else u) }))
+        in
+        try_agent u;
+        try_agent v)
+      (Graph.edges g);
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

@@ -1,0 +1,8 @@
+(** Remove Equilibrium (RE): no agent improves by dropping one incident
+    edge.  By Proposition A.2 this coincides with the Pure Nash Equilibrium
+    of the bilateral game.  Exact, [O(m)] candidate moves. *)
+
+val check : alpha:float -> Graph.t -> Verdict.t
+(** [check ~alpha g] never answers [Exhausted]. *)
+
+val is_stable : alpha:float -> Graph.t -> bool

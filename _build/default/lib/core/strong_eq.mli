@@ -1,0 +1,51 @@
+(** Bilateral k-Strong Equilibrium (k-BSE) and Bilateral Strong Equilibrium
+    (BSE = n-BSE), Section 1.1: no coalition [Γ] of at most [k] agents has
+    a move — deleting edges that touch [Γ], adding edges inside [Γ] — that
+    strictly benefits every member.
+
+    Exact checking is coNP-flavoured, so three exact strategies with
+    different applicability are provided, a dispatching {!check}, and a
+    randomized falsifier for instances beyond exact reach.  A sound
+    reduction used throughout: members that touch neither an added nor a
+    removed edge can be dropped from the coalition, so only "active"
+    coalitions are enumerated; and an improving move never disconnects the
+    graph (a member's unreachable count would rise, which dominates
+    lexicographically). *)
+
+val default_budget : int
+(** Default move-evaluation budget ([2_000_000]). *)
+
+val check_outcomes : k:int -> alpha:float -> Graph.t -> Verdict.t
+(** Exact for any [k] by enumerating all [2^(n(n-1)/2)] outcome graphs and
+    deciding, per outcome, whether some coalition of size ≤ [k] inside the
+    strictly-improving agents covers the edge changes (minimum vertex cover
+    by branch and bound).
+    @raise Invalid_argument if [n > 7]. *)
+
+val check_tree : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
+(** Exact on trees (within budget): on a tree every deleted edge must lie
+    on the tree path between the endpoints of some added edge (anything
+    else disconnects the graph), which collapses the deletion space.
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val check_budgeted : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
+(** General move enumeration over active coalitions with bridge pruning
+    (deleting a bridge of [G + A] disconnects and never improves);
+    [Exhausted] when the pruned space still exceeds the budget. *)
+
+val check : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
+(** Dispatch: outcome enumeration for [n ≤ 6], the tree checker on trees,
+    the budgeted general checker otherwise. *)
+
+val check_bse : ?budget:int -> alpha:float -> Graph.t -> Verdict.t
+(** [check_bse ~alpha g = check ~k:(Graph.n g) ~alpha g]. *)
+
+type falsification = Refuted of Move.t | Not_refuted
+(** Result of a randomized search for an improving coalition move: finding
+    one proves instability; finding none proves nothing. *)
+
+val falsify_random :
+  rng:Random.State.t -> iterations:int -> k:int -> alpha:float -> Graph.t -> falsification
+(** [falsify_random] samples random active coalitions of size ≤ [k] with
+    random additions inside and random compensated deletions, and checks
+    each sampled move exactly. *)

@@ -1,0 +1,68 @@
+(* The swap G − uv + uw must strictly improve both u (distance only; her
+   degree is unchanged) and w (distance gain strictly above α, since she
+   pays for the new edge).  Two sound prunes keep large instances fast:
+
+   - w's swap gain is at most (dist(u,w) − 1)(n − 1): every shortened path
+     enters through the new edge uw;
+   - w's swap gain is at most her gain from *adding* uw without the
+     removal, which has the closed form Σ_x max 0 (d(w,x) − 1 − d(u,x))
+     on the original graph (an O(n) scan over cached BFS rows).
+
+   Only candidates surviving both prunes pay for BFS evaluation.  When w is
+   unreachable from u the prunes are skipped (the swap may repair
+   connectivity) and the exact cost comparison decides. *)
+
+let check ~alpha g =
+  let size = Graph.n g in
+  let exception Found of Move.t in
+  let rows = Array.init size (fun u -> lazy (Paths.bfs g u)) in
+  let before = Array.init size (fun u -> lazy (Cost.agent_cost ~alpha g u)) in
+  let add_gain_bound du dw =
+    let gain = ref 0 in
+    for x = 0 to size - 1 do
+      if du.(x) >= 0 && dw.(x) > du.(x) + 1 then gain := !gain + (dw.(x) - (du.(x) + 1))
+    done;
+    !gain
+  in
+  let improves g' agent =
+    Cost.strictly_less (Cost.agent_cost ~alpha g' agent) (Lazy.force before.(agent))
+  in
+  try
+    for u = 0 to size - 1 do
+      if Graph.degree g u > 0 then begin
+        let du = Lazy.force rows.(u) in
+        (* Swap partners that could conceivably gain more than α —
+           independent of which edge u drops, so computed once per u. *)
+        let partners = ref [] in
+        for w = size - 1 downto 0 do
+          if w <> u && not (Graph.has_edge g u w) then begin
+            let eligible =
+              if du.(w) < 0 then true
+              else if float_of_int ((du.(w) - 1) * (size - 1)) <= alpha then false
+              else
+                let dw = Lazy.force rows.(w) in
+                float_of_int (add_gain_bound du dw) > alpha
+            in
+            if eligible then partners := w :: !partners
+          end
+        done;
+        match !partners with
+        | [] -> ()
+        | partners ->
+            Array.iter
+              (fun v ->
+                List.iter
+                  (fun w ->
+                    if w <> v then begin
+                      let g' = Graph.add_edge (Graph.remove_edge g u v) u w in
+                      if improves g' u && improves g' w then
+                        raise (Found (Move.Bilateral_swap { u; drop = v; add = w }))
+                    end)
+                  partners)
+              (Graph.neighbors g u)
+      end
+    done;
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

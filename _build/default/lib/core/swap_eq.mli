@@ -1,0 +1,14 @@
+(** Bilateral Swap Equilibrium (BSwE, Section 3.2.1): no triple [u, v, w]
+    with [uv ∈ E], [uw ∉ E] such that replacing [uv] by [uw] strictly
+    benefits both [u] (whose buying cost is unchanged) and [w] (who pays
+    for one extra edge).
+
+    Exact.  The candidate space is [Σ_u deg(u) · (n − deg(u))]; the checker
+    prunes with the exact swap-partner gain bound
+    [(dist(u,w) − 1) (n − 1) > α] before paying for the BFS evaluation, so
+    checks on multi-hundred-node stretched trees stay fast. *)
+
+val check : alpha:float -> Graph.t -> Verdict.t
+(** [check ~alpha g] never answers [Exhausted]. *)
+
+val is_stable : alpha:float -> Graph.t -> bool

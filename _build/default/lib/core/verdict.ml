@@ -1,0 +1,17 @@
+type t = Stable | Unstable of Move.t | Exhausted of string
+
+let is_stable = function Stable -> true | Unstable _ | Exhausted _ -> false
+let is_unstable = function Unstable _ -> true | Stable | Exhausted _ -> false
+let witness = function Unstable m -> Some m | Stable | Exhausted _ -> None
+
+let exactly_stable_exn who = function
+  | Stable -> true
+  | Unstable _ -> false
+  | Exhausted why -> failwith (Printf.sprintf "%s: search exhausted (%s)" who why)
+
+let pp ppf = function
+  | Stable -> Format.fprintf ppf "stable"
+  | Unstable m -> Format.fprintf ppf "unstable (%a)" Move.pp m
+  | Exhausted why -> Format.fprintf ppf "exhausted (%s)" why
+
+let to_string v = Format.asprintf "%a" pp v

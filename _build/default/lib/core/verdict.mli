@@ -1,0 +1,27 @@
+(** Three-valued checker results.
+
+    Exactness is never silently approximated: a checker that hits its
+    search budget answers {!Exhausted}, which the tests and experiments
+    treat as distinct from both stability and instability. *)
+
+type t =
+  | Stable  (** no improving move of the concept's shape exists *)
+  | Unstable of Move.t  (** a concrete improving move (re-checkable) *)
+  | Exhausted of string  (** search budget hit before a decision *)
+
+val is_stable : t -> bool
+(** [is_stable v] is [true] only for [Stable]. *)
+
+val is_unstable : t -> bool
+(** [is_unstable v] is [true] only for [Unstable _]. *)
+
+val witness : t -> Move.t option
+(** The improving move, if any. *)
+
+val exactly_stable_exn : string -> t -> bool
+(** [exactly_stable_exn who v] is [true] for [Stable], [false] for
+    [Unstable], and raises [Failure] for [Exhausted] — for callers that
+    must not confuse "don't know" with an answer. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

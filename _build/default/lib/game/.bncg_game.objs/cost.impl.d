@@ -1,0 +1,1 @@
+lib/game/cost.ml: Float Graph Int Paths

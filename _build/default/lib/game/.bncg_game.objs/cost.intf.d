@@ -1,0 +1,1 @@
+lib/game/cost.mli: Graph Paths

@@ -1,0 +1,1 @@
+lib/game/cost_share.ml: Cost Float Graph Hashtbl List Option Paths Printf

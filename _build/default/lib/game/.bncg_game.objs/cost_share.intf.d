@@ -1,0 +1,1 @@
+lib/game/cost_share.mli: Cost Graph

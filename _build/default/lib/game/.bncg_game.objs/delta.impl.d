@@ -1,0 +1,1 @@
+lib/game/delta.ml: Array Cost Float Paths

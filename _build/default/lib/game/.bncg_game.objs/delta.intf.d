@@ -1,0 +1,1 @@
+lib/game/delta.mli: Graph

@@ -1,0 +1,1 @@
+lib/game/strategy.ml: Array Graph Hashtbl Int List Printf

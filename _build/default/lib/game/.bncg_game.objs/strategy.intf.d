@@ -1,0 +1,1 @@
+lib/game/strategy.mli: Graph

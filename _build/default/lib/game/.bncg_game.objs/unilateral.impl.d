@@ -1,0 +1,1 @@
+lib/game/unilateral.ml: Array Cost Graph Lazy List Option Paths Printf Strategy

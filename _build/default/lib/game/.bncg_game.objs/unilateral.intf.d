@@ -1,0 +1,1 @@
+lib/game/unilateral.mli: Cost Graph Strategy

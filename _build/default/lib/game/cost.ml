@@ -1,0 +1,51 @@
+type agent = { unreachable : int; buy : float; dist : int }
+
+let money c = c.buy +. float_of_int c.dist
+
+let compare_agent a b =
+  let c = Int.compare a.unreachable b.unreachable in
+  if c <> 0 then c else Float.compare (money a) (money b)
+
+let strictly_less a b = compare_agent a b < 0
+
+let agent_cost_of_parts ~alpha ~degree ~total =
+  {
+    unreachable = total.Paths.unreachable;
+    buy = alpha *. float_of_int degree;
+    dist = total.Paths.sum;
+  }
+
+let agent_cost ~alpha g u =
+  (* total_dist counts dist(u,u) = 0, matching the paper's dist(u). *)
+  agent_cost_of_parts ~alpha ~degree:(Graph.degree g u) ~total:(Paths.total_dist g u)
+
+type social = { disconnected_pairs : int; social_buy : float; social_dist : int }
+
+let social_money s = s.social_buy +. float_of_int s.social_dist
+
+let social_cost ~alpha g =
+  let acc = ref { disconnected_pairs = 0; social_buy = 0.; social_dist = 0 } in
+  for u = 0 to Graph.n g - 1 do
+    let c = agent_cost ~alpha g u in
+    acc :=
+      {
+        disconnected_pairs = !acc.disconnected_pairs + c.unreachable;
+        social_buy = !acc.social_buy +. c.buy;
+        social_dist = !acc.social_dist + c.dist;
+      }
+  done;
+  !acc
+
+let opt_cost ~alpha n =
+  if n <= 1 then 0.
+  else
+    let nf = float_of_int n in
+    if alpha < 1. then nf *. (nf -. 1.) *. (1. +. alpha)
+    else 2. *. (nf -. 1.) *. (alpha +. nf -. 1.)
+
+let rho ~alpha g =
+  let size = Graph.n g in
+  if size <= 1 then 1.
+  else
+    let s = social_cost ~alpha g in
+    if s.disconnected_pairs > 0 then infinity else social_money s /. opt_cost ~alpha size

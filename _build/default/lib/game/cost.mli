@@ -1,0 +1,58 @@
+(** The (B)NCG cost model (Section 1.1 of the paper).
+
+    In the bilateral game an edge exists only with mutual consent and both
+    endpoints pay [α] for it, so in the graph abstraction an agent's buying
+    cost is [α · deg(u)] and her total cost is
+
+    {v cost(u) = α · deg(u) + Σ_v dist(u, v) v}
+
+    The paper handles disconnection with a huge constant [M > α n³] so that
+    agents lexicographically prefer reaching more agents.  We represent
+    that preference exactly: costs carry the number of unreachable agents
+    separately, and comparison is lexicographic (fewer unreachable first,
+    then the finite monetary part). *)
+
+type agent = {
+  unreachable : int;  (** number of agents this agent cannot reach *)
+  buy : float;  (** buying cost [α · deg(u)] (bilateral payment) *)
+  dist : int;  (** sum of finite hop distances *)
+}
+(** Cost of a single agent. *)
+
+val money : agent -> float
+(** [money c] is the finite part [c.buy +. float c.dist]. *)
+
+val compare_agent : agent -> agent -> int
+(** Lexicographic: unreachable count first, then {!money}. *)
+
+val strictly_less : agent -> agent -> bool
+(** [strictly_less a b] is [true] iff [a] is a strict improvement over
+    [b]. *)
+
+val agent_cost : alpha:float -> Graph.t -> int -> agent
+(** [agent_cost ~alpha g u] is the bilateral cost of agent [u] in [g]. *)
+
+val agent_cost_of_parts : alpha:float -> degree:int -> total:Paths.total -> agent
+(** Assemble an agent cost from a precomputed degree and distance total. *)
+
+type social = {
+  disconnected_pairs : int;  (** ordered pairs [(u,v)] with [v] unreachable *)
+  social_buy : float;  (** [Σ_u α · deg(u) = 2 α m] *)
+  social_dist : int;  (** [Σ_u dist(u)] over reachable pairs *)
+}
+(** Social cost [cost(G) = Σ_u cost(u)]. *)
+
+val social_money : social -> float
+(** Finite part of the social cost. *)
+
+val social_cost : alpha:float -> Graph.t -> social
+(** [social_cost ~alpha g] sums the agent costs. *)
+
+val opt_cost : alpha:float -> int -> float
+(** [opt_cost ~alpha n] is the social optimum value from Section 3.1:
+    [n (n-1) (1 + α)] for [α < 1] (clique) and [2 (n-1) (α + n - 1)] for
+    [α ≥ 1] (star).  [0] when [n ≤ 1]. *)
+
+val rho : alpha:float -> Graph.t -> float
+(** [rho ~alpha g] is the social cost ratio ρ(G) = cost(G) / cost(OPT).
+    [infinity] if [g] is disconnected; [1.] when [n g <= 1]. *)

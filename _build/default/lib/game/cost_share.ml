@@ -1,0 +1,120 @@
+let tolerance = 1e-9
+
+type t = {
+  alpha : float;
+  graph : Graph.t;
+  funding : (int * int, (int * float) list) Hashtbl.t;
+}
+
+type funding = ((int * int) * (int * float) list) list
+
+let norm (u, v) = if u <= v then (u, v) else (v, u)
+
+let make ~alpha g funding =
+  if alpha <= 0. then invalid_arg "Cost_share.make: alpha must be positive";
+  let table = Hashtbl.create (2 * Graph.num_edges g) in
+  List.iter
+    (fun ((u, v), shares) ->
+      if not (Graph.has_edge g u v) then
+        invalid_arg (Printf.sprintf "Cost_share.make: (%d,%d) is not an edge" u v);
+      let key = norm (u, v) in
+      if Hashtbl.mem table key then
+        invalid_arg (Printf.sprintf "Cost_share.make: duplicate funding for (%d,%d)" u v);
+      List.iter
+        (fun (w, s) ->
+          if w < 0 || w >= Graph.n g then invalid_arg "Cost_share.make: unknown agent";
+          if s < -.tolerance then invalid_arg "Cost_share.make: negative share")
+        shares;
+      let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. shares in
+      if total < alpha -. tolerance then
+        invalid_arg (Printf.sprintf "Cost_share.make: edge (%d,%d) underfunded" u v);
+      (* merge duplicate contributors, drop zero shares, heaviest first *)
+      let merged = Hashtbl.create 4 in
+      List.iter
+        (fun (w, s) ->
+          Hashtbl.replace merged w (s +. Option.value ~default:0. (Hashtbl.find_opt merged w)))
+        shares;
+      let shares =
+        Hashtbl.fold (fun w s acc -> if s > tolerance then (w, s) :: acc else acc) merged []
+        |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+      in
+      Hashtbl.add table key shares)
+    funding;
+  if Hashtbl.length table <> Graph.num_edges g then
+    invalid_arg "Cost_share.make: not every edge is funded";
+  { alpha; graph = g; funding = table }
+
+let equal_split ~alpha g =
+  make ~alpha g
+    (List.map (fun (u, v) -> ((u, v), [ (u, alpha /. 2.); (v, alpha /. 2.) ])) (Graph.edges g))
+
+let alpha s = s.alpha
+let graph s = s.graph
+
+let contributors s e = Option.value ~default:[] (Hashtbl.find_opt s.funding (norm e))
+
+let share s e w =
+  List.fold_left (fun acc (x, v) -> if x = w then acc +. v else acc) 0. (contributors s e)
+
+let edge_total s e = List.fold_left (fun acc (_, v) -> acc +. v) 0. (contributors s e)
+
+let agent_buy s w =
+  Hashtbl.fold
+    (fun _ shares acc ->
+      acc +. List.fold_left (fun a (x, v) -> if x = w then a +. v else a) 0. shares)
+    s.funding 0.
+
+let agent_cost s w =
+  let total = Paths.total_dist s.graph w in
+  {
+    Cost.unreachable = total.Paths.unreachable;
+    buy = agent_buy s w;
+    dist = total.Paths.sum;
+  }
+
+let social_cost s =
+  let n = Graph.n s.graph in
+  let acc = ref 0. in
+  let disconnected = ref false in
+  for w = 0 to n - 1 do
+    let c = agent_cost s w in
+    if c.Cost.unreachable > 0 then disconnected := true;
+    acc := !acc +. Cost.money c
+  done;
+  if !disconnected then Float.infinity else !acc
+
+let opt_cost ~alpha n =
+  if n <= 1 then 0.
+  else
+    let nf = float_of_int n in
+    let star = ((nf -. 1.) *. alpha) +. (2. *. (nf -. 1.) *. (nf -. 1.)) in
+    let clique = (nf *. (nf -. 1.) /. 2. *. alpha) +. (nf *. (nf -. 1.)) in
+    Float.min star clique
+
+let rho s =
+  let n = Graph.n s.graph in
+  if n <= 1 then 1. else social_cost s /. opt_cost ~alpha:s.alpha n
+
+let fund_edge s (u, v) shares =
+  if Graph.has_edge s.graph u v then invalid_arg "Cost_share.fund_edge: edge exists";
+  let total = List.fold_left (fun acc (_, x) -> acc +. x) 0. shares in
+  if total < s.alpha -. tolerance then invalid_arg "Cost_share.fund_edge: underfunded";
+  let funding = Hashtbl.copy s.funding in
+  Hashtbl.add funding (norm (u, v))
+    (List.sort (fun (_, a) (_, b) -> Float.compare b a) shares);
+  { s with graph = Graph.add_edge s.graph u v; funding }
+
+let withdraw s (u, v) agents =
+  let key = norm (u, v) in
+  let shares = contributors s (u, v) in
+  let remaining = List.filter (fun (w, _) -> not (List.mem w agents)) shares in
+  let total = List.fold_left (fun acc (_, x) -> acc +. x) 0. remaining in
+  let funding = Hashtbl.copy s.funding in
+  if total >= s.alpha -. tolerance then begin
+    Hashtbl.replace funding key remaining;
+    { s with funding }
+  end
+  else begin
+    Hashtbl.remove funding key;
+    { s with graph = Graph.remove_edge s.graph u v; funding }
+  end

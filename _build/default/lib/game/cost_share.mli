@@ -1,0 +1,68 @@
+(** The cost-sharing variant of bilateral network creation (Albers et al.,
+    discussed in the paper's Section 1.2): every agent declares a
+    cost-share for each edge, and an edge forms when the joint shares
+    reach [α].  Unlike the BNCG — where both endpoints pay [α] each — an
+    edge costs [α] in total, and {e non-incident} agents may contribute.
+
+    A state is a graph together with a funding scheme: who pays how much
+    for each existing edge.  The Collaborative Equilibrium of Demaine et
+    al. is checked on such states by {!Collaborative_eq}. *)
+
+type t
+(** A funded network state.  Immutable. *)
+
+type funding = ((int * int) * (int * float) list) list
+(** Per existing edge, the list of (agent, share) contributions. *)
+
+val make : alpha:float -> Graph.t -> funding -> t
+(** [make ~alpha g funding] validates and packs a state: every edge of [g]
+    must be funded with non-negative shares summing to at least [α]
+    (within tolerance), shares must name valid agents, and no absent edge
+    may be funded.
+    @raise Invalid_argument on violations. *)
+
+val equal_split : alpha:float -> Graph.t -> t
+(** [equal_split ~alpha g] funds every edge by its two endpoints at [α/2]
+    each — the natural analogue of the BNCG's bilateral payment. *)
+
+val alpha : t -> float
+val graph : t -> Graph.t
+
+val share : t -> int * int -> int -> float
+(** [share s (u, v) w] is agent [w]'s contribution to edge [uv] ([0.] if
+    none or if the edge is absent). *)
+
+val edge_total : t -> int * int -> float
+(** Total funding of an edge ([0.] when absent). *)
+
+val contributors : t -> int * int -> (int * float) list
+(** The (agent, share) list of an edge, heaviest first. *)
+
+val agent_buy : t -> int -> float
+(** [agent_buy s w] is the sum of [w]'s shares across all edges. *)
+
+val agent_cost : t -> int -> Cost.agent
+(** [agent_cost s w] combines {!agent_buy} with hop distances, with the
+    same lexicographic disconnection handling as the BNCG. *)
+
+val social_cost : t -> float
+(** Finite social cost [Σ_w agent_cost w] (edges counted once via the
+    shares).  [infinity] when disconnected. *)
+
+val opt_cost : alpha:float -> int -> float
+(** The social optimum under single-payment accounting: the star
+    [(n−1)α + 2(n−1)²] for [α ≥ 2(?)] vs the clique
+    [α n(n−1)/2 + n(n−1)]; the minimum of the two. *)
+
+val rho : t -> float
+(** Social cost ratio against {!opt_cost}. *)
+
+val fund_edge : t -> int * int -> (int * float) list -> t
+(** [fund_edge s (u, v) shares] adds the absent edge [uv] funded by
+    [shares] (must sum to ≥ α).
+    @raise Invalid_argument if the edge exists or funding is short. *)
+
+val withdraw : t -> int * int -> int list -> t
+(** [withdraw s (u, v) agents] zeroes the listed agents' shares of edge
+    [uv]; if the remaining funding drops below [α] the edge disappears
+    (and its remaining shares are refunded). *)

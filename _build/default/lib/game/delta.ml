@@ -1,0 +1,22 @@
+let improves ~alpha ~before ~after u =
+  Cost.strictly_less (Cost.agent_cost ~alpha after u) (Cost.agent_cost ~alpha before u)
+
+let cost_delta ~alpha ~before ~after u =
+  let b = Cost.agent_cost ~alpha before u and a = Cost.agent_cost ~alpha after u in
+  if a.Cost.unreachable <> b.Cost.unreachable then Float.nan
+  else Cost.money a -. Cost.money b
+
+let add_edge_gain ~dist_u ~dist_v =
+  let gain = ref 0 in
+  Array.iteri
+    (fun x du ->
+      let dv = dist_v.(x) in
+      if du > dv + 1 then gain := !gain + (du - (dv + 1)))
+    dist_u;
+  !gain
+
+let consent_upper_bound g v =
+  let d = Paths.bfs g v in
+  let acc = ref 1 in
+  Array.iter (fun x -> if x > 2 then acc := !acc + (x - 2)) d;
+  !acc

@@ -1,0 +1,32 @@
+(** Cost-change evaluation for candidate moves.
+
+    The equilibrium checkers evaluate millions of candidate deviations; the
+    helpers here keep that affordable.  [improves] is the general, always
+    correct path (two BFS runs per affected agent).  [add_edge_gain] is the
+    exact closed form for single-edge additions in connected graphs, which
+    turns the BAE check into an APSP lookup.  [consent_upper_bound] is the
+    pruning bound from Proposition A.5 in the paper. *)
+
+val improves : alpha:float -> before:Graph.t -> after:Graph.t -> int -> bool
+(** [improves ~alpha ~before ~after u] is [true] iff agent [u]'s cost is
+    strictly lower in [after] than in [before]. *)
+
+val cost_delta : alpha:float -> before:Graph.t -> after:Graph.t -> int -> float
+(** [cost_delta ~alpha ~before ~after u] is the finite cost change
+    (negative means improvement); [nan] if the unreachable count changes
+    (compare with {!improves} instead). *)
+
+val add_edge_gain : dist_u:int array -> dist_v:int array -> int
+(** [add_edge_gain ~dist_u ~dist_v] is the exact distance-cost reduction
+    for the agent with BFS vector [dist_u] when the edge towards the agent
+    with vector [dist_v] is added:
+    [Σ_x max 0 (dist_u.(x) - (1 + dist_v.(x)))].  Both vectors must belong
+    to a connected graph (no [-1] entries). *)
+
+val consent_upper_bound : Graph.t -> int -> int
+(** [consent_upper_bound g v] is the paper's upper bound on the distance
+    reduction agent [v] can obtain by accepting one new edge as part of a
+    change centred at another agent:
+    [Σ_w max 0 (dist(v,w) - 2) + 1].  If this is at most [α], agent [v]
+    never consents to buying an extra edge in someone else's neighborhood
+    change.  Requires [g] connected as seen from [v]. *)

@@ -1,0 +1,79 @@
+type assignment = { g : Graph.t; owners : (int * int, int) Hashtbl.t }
+
+let norm u v = if u <= v then (u, v) else (v, u)
+let graph a = a.g
+
+let make g owners =
+  let table = Hashtbl.create (2 * Graph.num_edges g) in
+  List.iter
+    (fun ((u, v), w) ->
+      if not (Graph.has_edge g u v) then
+        invalid_arg (Printf.sprintf "Strategy.make: (%d,%d) is not an edge" u v);
+      if w <> u && w <> v then
+        invalid_arg (Printf.sprintf "Strategy.make: %d does not touch edge (%d,%d)" w u v);
+      let key = norm u v in
+      if Hashtbl.mem table key then
+        invalid_arg (Printf.sprintf "Strategy.make: duplicate edge (%d,%d)" u v);
+      Hashtbl.add table key w)
+    owners;
+  if Hashtbl.length table <> Graph.num_edges g then
+    invalid_arg "Strategy.make: not every edge was assigned";
+  { g; owners = table }
+
+let owner a u v = Hashtbl.find a.owners (norm u v)
+
+let strategy a u =
+  Graph.fold_neighbors
+    (fun acc v -> if owner a u v = u then v :: acc else acc)
+    [] a.g u
+  |> List.rev
+
+let strategy_size a u = List.length (strategy a u)
+
+let reassign a u v w =
+  if w <> u && w <> v then invalid_arg "Strategy.reassign: non-incident owner";
+  let owners = Hashtbl.copy a.owners in
+  Hashtbl.replace owners (norm u v) w;
+  { a with owners }
+
+let canonical_assignment g =
+  make g (List.map (fun (u, v) -> ((u, v), u)) (Graph.edges g))
+
+let all_assignments g =
+  let es = Array.of_list (Graph.edges g) in
+  let m = Array.length es in
+  if m > 20 then invalid_arg "Strategy.all_assignments: too many edges";
+  let out = ref [] in
+  for mask = 0 to (1 lsl m) - 1 do
+    let owners =
+      Array.to_list
+        (Array.mapi
+           (fun i (u, v) -> ((u, v), if mask land (1 lsl i) <> 0 then v else u))
+           es)
+    in
+    out := make g owners :: !out
+  done;
+  !out
+
+let bilateral_strategies g =
+  Array.init (Graph.n g) (fun u -> Array.to_list (Graph.neighbors g u))
+
+let mem x xs = List.exists (Int.equal x) xs
+
+let bilateral_graph s =
+  let n = Array.length s in
+  let g = ref (Graph.create n) in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v -> if v > u && mem u s.(v) then g := Graph.add_edge !g u v)
+      s.(u)
+  done;
+  !g
+
+let unilateral_graph s =
+  let n = Array.length s in
+  let g = ref (Graph.create n) in
+  for u = 0 to n - 1 do
+    List.iter (fun v -> if v <> u then g := Graph.add_edge !g u v) s.(u)
+  done;
+  !g

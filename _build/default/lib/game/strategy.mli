@@ -1,0 +1,54 @@
+(** Strategy vectors and edge ownership.
+
+    In the bilateral game there is a bijection between (inefficiency-free)
+    strategy vectors and created graphs (Section 1.1), so the bilateral
+    checkers work on graphs directly.  The unilateral NCG, however, needs
+    to know who owns each edge — Propositions 2.1–2.3 are statements about
+    ownership — so this module provides edge assignments
+    [f : E → V] and the induced strategies. *)
+
+type assignment
+(** A graph together with an owner for every edge. *)
+
+val graph : assignment -> Graph.t
+(** The underlying created graph. *)
+
+val make : Graph.t -> ((int * int) * int) list -> assignment
+(** [make g owners] assigns each listed edge to the given incident vertex.
+    @raise Invalid_argument if an edge is missing from the list, listed
+    twice, absent from [g], or assigned to a non-incident vertex. *)
+
+val owner : assignment -> int -> int -> int
+(** [owner a u v] is the owner of edge [uv].
+    @raise Not_found if [uv] is not an edge. *)
+
+val strategy : assignment -> int -> int list
+(** [strategy a u] is [S_u]: the sorted list of targets of the edges owned
+    by [u]. *)
+
+val strategy_size : assignment -> int -> int
+(** [strategy_size a u = List.length (strategy a u)]. *)
+
+val reassign : assignment -> int -> int -> int -> assignment
+(** [reassign a u v w] makes [w] (one of [u], [v]) the owner of edge
+    [uv]. *)
+
+val all_assignments : Graph.t -> assignment list
+(** [all_assignments g] lists all [2^m] ownership choices.
+    @raise Invalid_argument if [g] has more than 20 edges. *)
+
+val canonical_assignment : Graph.t -> assignment
+(** [canonical_assignment g] assigns every edge to its smaller endpoint. *)
+
+val bilateral_strategies : Graph.t -> int list array
+(** [bilateral_strategies g] is the (unique inefficiency-free) bilateral
+    strategy vector creating [g]: [S_u] = neighbours of [u]. *)
+
+val bilateral_graph : int list array -> Graph.t
+(** [bilateral_graph s] is the graph created by strategy vector [s] under
+    bilateral (mutual-consent) semantics: edge [uv] iff [u ∈ S_v] and
+    [v ∈ S_u]. *)
+
+val unilateral_graph : int list array -> Graph.t
+(** [unilateral_graph s] is the graph created under unilateral semantics:
+    edge [uv] iff [u ∈ S_v] or [v ∈ S_u]. *)

@@ -1,0 +1,142 @@
+let cost ~alpha a u =
+  let g = Strategy.graph a in
+  Cost.agent_cost_of_parts ~alpha ~degree:(Strategy.strategy_size a u)
+    ~total:(Paths.total_dist g u)
+
+(* The graph without u's owned edges: everyone else's strategy is fixed. *)
+let base_graph a u =
+  List.fold_left
+    (fun g v -> Graph.remove_edge g u v)
+    (Strategy.graph a) (Strategy.strategy a u)
+
+let best_response ~alpha a u =
+  let g = Strategy.graph a in
+  let size = Graph.n g in
+  if size > 17 then invalid_arg "Unilateral.best_response: n > 17";
+  let base = base_graph a u in
+  (* All additions are incident to u, so a shortest path after buying the
+     set S either avoids u's purchases (distance in [base]) or leaves u
+     through one of them: dist(u,x) = min(d_base(u,x), min_{t∈S} 1 + d_base(t,x)). *)
+  let rows = Array.init size (fun t -> Paths.bfs base t) in
+  let targets = Array.of_list (List.filter (fun v -> v <> u) (List.init size (fun v -> v))) in
+  let k = Array.length targets in
+  let best_cost = ref None and best_strategy = ref [] in
+  let dist = Array.make size 0 in
+  for mask = 0 to (1 lsl k) - 1 do
+    Array.blit rows.(u) 0 dist 0 size;
+    let bought = ref 0 in
+    for b = 0 to k - 1 do
+      if mask land (1 lsl b) <> 0 then begin
+        incr bought;
+        let t = targets.(b) in
+        let row = rows.(t) in
+        for x = 0 to size - 1 do
+          if row.(x) >= 0 && (dist.(x) < 0 || dist.(x) > row.(x) + 1) then
+            dist.(x) <- row.(x) + 1
+        done
+      end
+    done;
+    let total = Paths.total_dist_of dist in
+    let c = Cost.agent_cost_of_parts ~alpha ~degree:!bought ~total in
+    match !best_cost with
+    | Some b when not (Cost.strictly_less c b) -> ()
+    | _ ->
+        best_cost := Some c;
+        let s = ref [] in
+        for b = k - 1 downto 0 do
+          if mask land (1 lsl b) <> 0 then s := targets.(b) :: !s
+        done;
+        best_strategy := !s
+  done;
+  (Option.get !best_cost, !best_strategy)
+
+let is_nash ~alpha a =
+  let g = Strategy.graph a in
+  let rec go u =
+    if u >= Graph.n g then Ok ()
+    else
+      let current = cost ~alpha a u in
+      let best, strategy = best_response ~alpha a u in
+      if Cost.strictly_less best current then Error (u, strategy) else go (u + 1)
+  in
+  go 0
+
+let is_add_eq ~alpha g =
+  let size = Graph.n g in
+  let exception Hit of int * int in
+  let dist = Array.init size (fun u -> lazy (Paths.bfs g u)) in
+  try
+    for u = 0 to size - 1 do
+      for v = 0 to size - 1 do
+        if u <> v && not (Graph.has_edge g u v) then begin
+          let du = Lazy.force dist.(u) in
+          if du.(v) < 0 then raise (Hit (u, v))
+          else begin
+            let dv = Lazy.force dist.(v) in
+            let gain = ref 0 in
+            for x = 0 to size - 1 do
+              if du.(x) >= 0 && dv.(x) >= 0 && du.(x) > dv.(x) + 1 then
+                gain := !gain + (du.(x) - (dv.(x) + 1))
+            done;
+            if float_of_int !gain > alpha then raise (Hit (u, v))
+          end
+        end
+      done
+    done;
+    Ok ()
+  with Hit (u, v) -> Error (u, v)
+
+let is_remove_eq ~alpha a =
+  let g = Strategy.graph a in
+  let exception Hit of int * int in
+  try
+    for u = 0 to Graph.n g - 1 do
+      List.iter
+        (fun v ->
+          let g' = Graph.remove_edge g u v in
+          let total = Paths.total_dist g' u in
+          let c' =
+            Cost.agent_cost_of_parts ~alpha ~degree:(Strategy.strategy_size a u - 1) ~total
+          in
+          if Cost.strictly_less c' (cost ~alpha a u) then raise (Hit (u, v)))
+        (Strategy.strategy a u)
+    done;
+    Ok ()
+  with Hit (u, v) -> Error (u, v)
+
+let is_greedy_eq ~alpha a =
+  let g = Strategy.graph a in
+  let size = Graph.n g in
+  let exception Hit of int * string in
+  let unilateral_cost_of ~owned g' u =
+    Cost.agent_cost_of_parts ~alpha ~degree:owned ~total:(Paths.total_dist g' u)
+  in
+  try
+    (match is_remove_eq ~alpha a with
+    | Error (u, v) -> raise (Hit (u, Printf.sprintf "remove %d-%d" u v))
+    | Ok () -> ());
+    for u = 0 to size - 1 do
+      let owned = Strategy.strategy_size a u in
+      let current = cost ~alpha a u in
+      (* single addition *)
+      for v = 0 to size - 1 do
+        if u <> v && not (Graph.has_edge g u v) then begin
+          let g' = Graph.add_edge g u v in
+          if Cost.strictly_less (unilateral_cost_of ~owned:(owned + 1) g' u) current then
+            raise (Hit (u, Printf.sprintf "add %d-%d" u v))
+        end
+      done;
+      (* single owned-edge swap *)
+      List.iter
+        (fun v ->
+          for w = 0 to size - 1 do
+            if w <> u && w <> v && not (Graph.has_edge g u w) then begin
+              let g' = Graph.add_edge (Graph.remove_edge g u v) u w in
+              if Cost.strictly_less (unilateral_cost_of ~owned g' u) current then
+                raise (Hit (u, Printf.sprintf "swap %d-%d for %d-%d" u v u w))
+            end
+          done)
+        (Strategy.strategy a u)
+    done;
+    Ok ()
+  with Hit (u, why) -> Error (u, why)

@@ -1,0 +1,35 @@
+(** The unilateral Network Creation Game of Fabrikant et al., with explicit
+    edge ownership — the comparison substrate for Section 2 of the paper
+    (Propositions 2.1–2.3, including the refutation of the Corbo–Parkes
+    conjecture).
+
+    An agent's strategy is the set of edges she owns; her cost is
+    [α · |S_u| + dist_G(u)], where the created graph contains every owned
+    edge regardless of the other endpoint's strategy. *)
+
+val cost : alpha:float -> Strategy.assignment -> int -> Cost.agent
+(** [cost ~alpha a u] is agent [u]'s unilateral cost under assignment
+    [a]. *)
+
+val best_response : alpha:float -> Strategy.assignment -> int -> Cost.agent * int list
+(** [best_response ~alpha a u] is the exact best response of [u]: the
+    minimum cost over all strategies [S ⊆ V ∖ {u}] (keeping everyone
+    else's edges), together with one optimal strategy.  Exponential in [n];
+    @raise Invalid_argument if [n > 17]. *)
+
+val is_nash : alpha:float -> Strategy.assignment -> (unit, int * int list) result
+(** [is_nash ~alpha a] is [Ok ()] if no agent has a strictly improving
+    strategy, else [Error (u, s)] with a better strategy [s] for [u].
+    Uses {!best_response}, so the same size limit applies. *)
+
+val is_add_eq : alpha:float -> Graph.t -> (unit, int * int) result
+(** Unilateral Add Equilibrium: no agent strictly improves by buying one
+    extra edge alone.  Ownership-independent. *)
+
+val is_remove_eq : alpha:float -> Strategy.assignment -> (unit, int * int) result
+(** No owner strictly improves by dropping one owned edge. *)
+
+val is_greedy_eq : alpha:float -> Strategy.assignment -> (unit, int * string) result
+(** Lenzner's Greedy Equilibrium: no agent improves by a single addition,
+    single owned-edge removal, or single owned-edge swap.  The error
+    carries the agent and a description of the move. *)

@@ -1,0 +1,1 @@
+lib/graph/encode.ml: Buffer Char Graph Printf String

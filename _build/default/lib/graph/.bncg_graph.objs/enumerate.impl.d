@@ -1,0 +1,1 @@
+lib/graph/enumerate.ml: Array Gen Graph Hashtbl Iso List Option Paths

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Buffer Format Hashtbl Int List Printf Stdlib

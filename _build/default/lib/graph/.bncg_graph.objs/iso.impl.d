@@ -1,0 +1,1 @@
+lib/graph/iso.ml: Array Bytes Graph Hashtbl Int List Option Paths Printf String Tree

@@ -1,0 +1,41 @@
+type edge_style = Solid | Dashed | Dotted
+
+let style_attr = function
+  | Solid -> "solid"
+  | Dashed -> "dashed"
+  | Dotted -> "dotted"
+
+let norm (u, v) = if u <= v then (u, v) else (v, u)
+
+let to_dot ?(name = "G") ?labels ?(highlight_nodes = []) ?(styled_edges = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  for u = 0 to Graph.n g - 1 do
+    let label = match labels with Some f -> f u | None -> string_of_int u in
+    let extra =
+      if List.mem u highlight_nodes then ", style=filled, fillcolor=\"#ff8888\"" else ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"%s];\n" u label extra)
+  done;
+  let styled = List.map (fun (e, s, c) -> (norm e, (s, c))) styled_edges in
+  List.iter
+    (fun (u, v) ->
+      match List.assoc_opt (norm (u, v)) styled with
+      | Some (s, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d -- %d [style=%s, color=\"%s\"];\n" u v (style_attr s) c)
+      | None -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  (* styled edges that are not part of the graph (e.g. proposed additions) *)
+  List.iter
+    (fun ((u, v), (s, c)) ->
+      if not (Graph.has_edge g u v) then
+        Buffer.add_string buf
+          (Printf.sprintf "  %d -- %d [style=%s, color=\"%s\"];\n" u v (style_attr s) c))
+    styled;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

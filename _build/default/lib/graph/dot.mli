@@ -1,0 +1,24 @@
+(** Graphviz DOT export, for rendering the paper's constructions and the
+    outcomes of dynamics.
+
+    The output is plain [graph { ... }] text: pipe it through
+    [dot -Tsvg] / [neato -Tpng] to draw.  Move overlays (drawing a
+    checker's witness on top of a graph) live in {!Viz} in the analysis
+    library. *)
+
+type edge_style = Solid | Dashed | Dotted
+(** Stroke styles for {!to_dot}'s [styled_edges]. *)
+
+val to_dot :
+  ?name:string ->
+  ?labels:(int -> string) ->
+  ?highlight_nodes:int list ->
+  ?styled_edges:((int * int) * edge_style * string) list ->
+  Graph.t ->
+  string
+(** [to_dot g] renders [g].  [labels] overrides node labels (default: the
+    vertex number); [highlight_nodes] are filled red; [styled_edges] adds
+    extra or restyles existing edges as [(edge, style, color)]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] writes a DOT string to disk. *)

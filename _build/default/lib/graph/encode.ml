@@ -1,0 +1,69 @@
+(* graph6: size prefix then the upper triangle read column by column
+   (for v = 1..n-1, u = 0..v-1), packed big-endian into 6-bit groups,
+   each group stored as one printable byte (value + 63). *)
+
+let size_prefix n =
+  if n < 0 then invalid_arg "Encode.to_graph6: negative size"
+  else if n <= 62 then String.make 1 (Char.chr (n + 63))
+  else if n <= 258047 then
+    let b1 = (n lsr 12) land 63 and b2 = (n lsr 6) land 63 and b3 = n land 63 in
+    Printf.sprintf "%c%c%c%c" (Char.chr 126) (Char.chr (b1 + 63)) (Char.chr (b2 + 63))
+      (Char.chr (b3 + 63))
+  else invalid_arg "Encode.to_graph6: size too large"
+
+let to_graph6 g =
+  let n = Graph.n g in
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf (size_prefix n);
+  let group = ref 0 and filled = ref 0 in
+  let flush_group () =
+    Buffer.add_char buf (Char.chr (!group + 63));
+    group := 0;
+    filled := 0
+  in
+  let push bit =
+    group := (!group lsl 1) lor bit;
+    incr filled;
+    if !filled = 6 then flush_group ()
+  in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      push (if Graph.has_edge g u v then 1 else 0)
+    done
+  done;
+  if !filled > 0 then begin
+    group := !group lsl (6 - !filled);
+    filled := 6;
+    flush_group ()
+  end;
+  Buffer.contents buf
+
+let of_graph6 s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Encode.of_graph6: empty string";
+  let byte i =
+    if i >= len then invalid_arg "Encode.of_graph6: truncated input";
+    let c = Char.code s.[i] - 63 in
+    if c < 0 || c > 63 then invalid_arg "Encode.of_graph6: bad character";
+    c
+  in
+  let n, start =
+    if s.[0] = Char.chr 126 then
+      if len >= 4 then (((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3), 4)
+      else invalid_arg "Encode.of_graph6: truncated size"
+    else (byte 0, 1)
+  in
+  let g = ref (Graph.create n) in
+  let bit_index = ref 0 in
+  let get_bit () =
+    let group = byte (start + (!bit_index / 6)) in
+    let b = (group lsr (5 - (!bit_index mod 6))) land 1 in
+    incr bit_index;
+    b
+  in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      if get_bit () = 1 then g := Graph.add_edge !g u v
+    done
+  done;
+  !g

@@ -1,0 +1,10 @@
+(** graph6 encoding (McKay's format), for compact storage of enumerated
+    graphs and interoperability with nauty/networkx tooling. *)
+
+val to_graph6 : Graph.t -> string
+(** [to_graph6 g] is the graph6 string of [g].
+    @raise Invalid_argument if [n g > 258047]. *)
+
+val of_graph6 : string -> Graph.t
+(** [of_graph6 s] parses a graph6 string.
+    @raise Invalid_argument on malformed input. *)

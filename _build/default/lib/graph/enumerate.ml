@@ -1,0 +1,120 @@
+(* Beyer–Hedetniemi successor on canonical level sequences, 0-based levels:
+   the first sequence is the path [0; 1; ...; n-1], the last is the star
+   [0; 1; 1; ...; 1].  The successor of L is found by taking p = the last
+   position with L.(p) >= 2 and q = the last position before p with
+   L.(q) = L.(p) - 1 (the parent of p), then repeating the block
+   L.(q .. p-1) to fill positions p .. n-1. *)
+
+let level_sequence_to_tree levels =
+  let n = Array.length levels in
+  let g = ref (Graph.create n) in
+  (* parent of i: nearest j < i with levels.(j) = levels.(i) - 1 *)
+  for i = 1 to n - 1 do
+    let rec find j = if levels.(j) = levels.(i) - 1 then j else find (j - 1) in
+    g := Graph.add_edge !g i (find (i - 1))
+  done;
+  !g
+
+let iter_rooted_trees n f =
+  if n < 0 then invalid_arg "Enumerate.iter_rooted_trees: negative size";
+  if n = 0 then ()
+  else begin
+    let levels = Array.init n (fun i -> i) in
+    let continue = ref true in
+    while !continue do
+      f (level_sequence_to_tree levels, 0);
+      (* successor *)
+      let p = ref (n - 1) in
+      while !p >= 0 && levels.(!p) < 2 do
+        decr p
+      done;
+      if !p < 0 then continue := false
+      else begin
+        let q = ref (!p - 1) in
+        while levels.(!q) <> levels.(!p) - 1 do
+          decr q
+        done;
+        let block = !p - !q in
+        for i = !p to n - 1 do
+          levels.(i) <- levels.(i - block)
+        done
+      end
+    done
+  end
+
+let rooted_tree_count n =
+  let count = ref 0 in
+  iter_rooted_trees n (fun _ -> incr count);
+  !count
+
+let free_trees n =
+  if n < 0 then invalid_arg "Enumerate.free_trees: negative size";
+  if n > 18 then invalid_arg "Enumerate.free_trees: size too large";
+  if n = 0 then [ Graph.create 0 ]
+  else begin
+    let seen = Hashtbl.create 1024 in
+    let out = ref [] in
+    iter_rooted_trees n (fun (g, _root) ->
+        let code = Iso.tree_code g in
+        if not (Hashtbl.mem seen code) then begin
+          Hashtbl.add seen code ();
+          out := g :: !out
+        end);
+    List.rev !out
+  end
+
+let iter_labeled_trees n f =
+  if n > 9 then invalid_arg "Enumerate.iter_labeled_trees: size too large";
+  if n = 1 then f (Graph.create 1)
+  else if n = 2 then f (Graph.add_edge (Graph.create 2) 0 1)
+  else if n >= 3 then begin
+    let code = Array.make (n - 2) 0 in
+    let rec go i =
+      if i = n - 2 then f (Gen.of_pruefer code)
+      else
+        for v = 0 to n - 1 do
+          code.(i) <- v;
+          go (i + 1)
+        done
+    in
+    go 0
+  end
+
+let iter_connected_graphs n f =
+  if n > 7 then invalid_arg "Enumerate.iter_connected_graphs: size too large";
+  if n <= 0 then begin
+    if n = 0 then f (Graph.create 0)
+  end
+  else begin
+    let slots = n * (n - 1) / 2 in
+    let pairs = Array.make slots (0, 0) in
+    let k = ref 0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        pairs.(!k) <- (u, v);
+        incr k
+      done
+    done;
+    for mask = 0 to (1 lsl slots) - 1 do
+      let g = ref (Graph.create n) in
+      for b = 0 to slots - 1 do
+        if mask land (1 lsl b) <> 0 then begin
+          let u, v = pairs.(b) in
+          g := Graph.add_edge !g u v
+        end
+      done;
+      if Paths.is_connected !g then f !g
+    done
+  end
+
+let connected_graphs_iso n =
+  let buckets : (string, Graph.t list) Hashtbl.t = Hashtbl.create 4096 in
+  let out = ref [] in
+  iter_connected_graphs n (fun g ->
+      let fp = Iso.fingerprint g in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets fp) in
+      if not (List.exists (fun h -> Iso.isomorphic g h) bucket) then begin
+        Hashtbl.replace buckets fp (g :: bucket);
+        out := g :: !out
+      end);
+  List.rev !out

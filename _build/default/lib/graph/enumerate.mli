@@ -1,0 +1,38 @@
+(** Exhaustive enumeration of small graphs.
+
+    The PoA experiments certify worst cases by searching over {e all} trees
+    (or all connected graphs) of a given size, so enumeration has to be
+    exact.  Rooted trees come from the Beyer–Hedetniemi successor algorithm
+    on canonical level sequences; free trees are deduplicated with the AHU
+    canonical code; connected graphs come from edge-subset enumeration. *)
+
+val iter_rooted_trees : int -> (Graph.t * int -> unit) -> unit
+(** [iter_rooted_trees n f] calls [f (g, root)] once per isomorphism class
+    of rooted trees on [n] vertices.  Vertices are numbered in the order of
+    the canonical level sequence (the root is [0]). *)
+
+val rooted_tree_count : int -> int
+(** [rooted_tree_count n] is the number of rooted trees on [n] vertices
+    (OEIS A000081), counted by running the generator. *)
+
+val free_trees : int -> Graph.t list
+(** [free_trees n] lists one representative per isomorphism class of free
+    trees on [n] vertices (OEIS A000055: 1, 1, 1, 2, 3, 6, 11, 23, 47, 106,
+    235, 551, ... for n = 1, 2, 3, ...).
+    @raise Invalid_argument if [n < 0] or [n > 18] (guard against blowup). *)
+
+val iter_labeled_trees : int -> (Graph.t -> unit) -> unit
+(** [iter_labeled_trees n f] calls [f] on all [n^(n-2)] labelled trees
+    (Prüfer enumeration).
+    @raise Invalid_argument if [n > 9]. *)
+
+val iter_connected_graphs : int -> (Graph.t -> unit) -> unit
+(** [iter_connected_graphs n f] calls [f] on every labelled connected graph
+    on [n] vertices (all [2^(n(n-1)/2)] edge subsets, filtered).
+    @raise Invalid_argument if [n > 7]. *)
+
+val connected_graphs_iso : int -> Graph.t list
+(** [connected_graphs_iso n] lists one representative per isomorphism class
+    of connected graphs on [n] vertices (OEIS A001349: 1, 1, 2, 6, 21, 112,
+    853 for n = 1..7).
+    @raise Invalid_argument if [n > 7]. *)

@@ -1,0 +1,160 @@
+let star n =
+  let g = Graph.create n in
+  let rec go g v = if v >= n then g else go (Graph.add_edge g 0 v) (v + 1) in
+  if n <= 1 then g else go g 1
+
+let path n =
+  let g = Graph.create n in
+  let rec go g v = if v >= n - 1 then g else go (Graph.add_edge g v (v + 1)) (v + 1) in
+  if n <= 1 then g else go g 0
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.add_edge (path n) 0 (n - 1)
+
+let clique n =
+  let g = ref (Graph.create n) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let almost_complete_dary ~d n =
+  if d < 1 then invalid_arg "Gen.almost_complete_dary: need d >= 1";
+  if n < 0 then invalid_arg "Gen.almost_complete_dary: negative size";
+  Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i + 1, i / d)))
+
+let complete_dary ~d ~depth =
+  if d < 1 then invalid_arg "Gen.complete_dary: need d >= 1";
+  if depth < 0 then invalid_arg "Gen.complete_dary: negative depth";
+  let size =
+    if d = 1 then depth + 1
+    else
+      let rec pow acc i = if i = 0 then acc else pow (acc * d) (i - 1) in
+      (pow 1 (depth + 1) - 1) / (d - 1)
+  in
+  almost_complete_dary ~d size
+
+let double_star a b =
+  if a < 0 || b < 0 then invalid_arg "Gen.double_star: negative leaf count";
+  let n = a + b + 2 in
+  let g = ref (Graph.add_edge (Graph.create n) 0 1) in
+  for i = 0 to a - 1 do
+    g := Graph.add_edge !g 0 (2 + i)
+  done;
+  for i = 0 to b - 1 do
+    g := Graph.add_edge !g 1 (2 + a + i)
+  done;
+  !g
+
+let broom ~handle ~bristles =
+  if handle < 1 || bristles < 0 then invalid_arg "Gen.broom: bad parameters";
+  let n = handle + bristles in
+  let g = ref (path handle) in
+  let g' = ref (Graph.create n) in
+  List.iter (fun (u, v) -> g' := Graph.add_edge !g' u v) (Graph.edges !g);
+  for i = 0 to bristles - 1 do
+    g' := Graph.add_edge !g' (handle - 1) (handle + i)
+  done;
+  !g'
+
+let spider ~legs ~leg_len =
+  if legs < 0 || leg_len < 1 then invalid_arg "Gen.spider: bad parameters";
+  let n = 1 + (legs * leg_len) in
+  let g = ref (Graph.create n) in
+  for l = 0 to legs - 1 do
+    let first = 1 + (l * leg_len) in
+    g := Graph.add_edge !g 0 first;
+    for i = 1 to leg_len - 1 do
+      g := Graph.add_edge !g (first + i - 1) (first + i)
+    done
+  done;
+  !g
+
+let of_parents parent =
+  let n = Array.length parent in
+  if n = 0 then Graph.create 0
+  else begin
+    if parent.(0) <> -1 then invalid_arg "Gen.of_parents: parent.(0) must be -1";
+    let g = ref (Graph.create n) in
+    for v = 1 to n - 1 do
+      let p = parent.(v) in
+      if p < 0 || p >= n || p = v then invalid_arg "Gen.of_parents: bad parent";
+      g := Graph.add_edge !g v p
+    done;
+    if not (Tree.is_tree !g) then invalid_arg "Gen.of_parents: not a tree";
+    !g
+  end
+
+let preferential_attachment rng n ~m =
+  if m < 1 || n < 1 then invalid_arg "Gen.preferential_attachment: bad parameters";
+  (* degree-proportional sampling via a repeated-endpoints urn *)
+  let urn = ref [] and g = ref (Graph.create n) in
+  for v = 1 to n - 1 do
+    let targets = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length targets < min m v && !attempts < 50 * m do
+      incr attempts;
+      let t =
+        match !urn with
+        | [] -> Random.State.int rng v
+        | urn_list ->
+            if Random.State.bool rng then Random.State.int rng v
+            else List.nth urn_list (Random.State.int rng (List.length urn_list))
+      in
+      if t < v then Hashtbl.replace targets t ()
+    done;
+    if Hashtbl.length targets = 0 then Hashtbl.replace targets (Random.State.int rng v) ();
+    Hashtbl.iter
+      (fun t () ->
+        g := Graph.add_edge !g v t;
+        urn := v :: t :: !urn)
+      targets
+  done;
+  !g
+
+(* Decode a Prüfer sequence of length n-2 into a labelled tree.  The scan
+   for the smallest leaf is quadratic, which is fine at the sizes random
+   trees are used at. *)
+let of_pruefer code =
+  let k = Array.length code in
+  let n = k + 2 in
+  let deg = Array.make n 1 in
+  Array.iter (fun v -> deg.(v) <- deg.(v) + 1) code;
+  let g = ref (Graph.create n) in
+  let smallest_leaf () =
+    let leaf = ref 0 in
+    while deg.(!leaf) <> 1 do
+      incr leaf
+    done;
+    !leaf
+  in
+  Array.iter
+    (fun v ->
+      let leaf = smallest_leaf () in
+      g := Graph.add_edge !g leaf v;
+      deg.(leaf) <- 0;
+      deg.(v) <- deg.(v) - 1)
+    code;
+  let u = smallest_leaf () in
+  deg.(u) <- 0;
+  let v = smallest_leaf () in
+  Graph.add_edge !g u v
+
+let random_tree rng n =
+  if n <= 0 then Graph.create (max n 0)
+  else if n = 1 then Graph.create 1
+  else if n = 2 then Graph.add_edge (Graph.create 2) 0 1
+  else of_pruefer (Array.init (n - 2) (fun _ -> Random.State.int rng n))
+
+let random_connected rng n ~p =
+  let g = ref (random_tree rng n) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (not (Graph.has_edge !g u v)) && Random.State.float rng 1.0 < p then
+        g := Graph.add_edge !g u v
+    done
+  done;
+  !g

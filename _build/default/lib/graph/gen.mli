@@ -1,0 +1,68 @@
+(** Deterministic and random graph generators used throughout the paper:
+    stars and cliques (social optima, Section 3.1), paths and cycles
+    (Lemma 2.4), complete and almost-complete d-ary trees (Lemmas 3.18 and
+    onwards), and random trees / connected graphs for property tests and
+    dynamics experiments. *)
+
+val star : int -> Graph.t
+(** [star n] has centre [0] and leaves [1 .. n-1].  The social optimum for
+    [α ≥ 1]. *)
+
+val path : int -> Graph.t
+(** [path n] is the path [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the cycle [C_n].
+    @raise Invalid_argument if [n < 3]. *)
+
+val clique : int -> Graph.t
+(** [clique n] is the complete graph [K_n].  The social optimum for
+    [α < 1]. *)
+
+val complete_dary : d:int -> depth:int -> Graph.t
+(** [complete_dary ~d ~depth] is the complete [d]-ary tree with root [0]
+    and every internal vertex having exactly [d] children; vertices are
+    numbered in BFS order.
+    @raise Invalid_argument if [d < 1] or [depth < 0]. *)
+
+val almost_complete_dary : d:int -> int -> Graph.t
+(** [almost_complete_dary ~d n] is the almost complete [d]-ary tree on [n]
+    vertices (BFS numbering: vertex [v ≥ 1] hangs below [(v - 1) / d]), as
+    used by Lemma 3.18.
+    @raise Invalid_argument if [d < 1] or [n < 0]. *)
+
+val double_star : int -> int -> Graph.t
+(** [double_star a b] is two adjacent centres with [a] and [b] pendant
+    leaves; handy small non-star tree. *)
+
+val broom : handle:int -> bristles:int -> Graph.t
+(** [broom ~handle ~bristles] is a path of [handle] vertices whose last
+    vertex carries [bristles] extra leaves. *)
+
+val spider : legs:int -> leg_len:int -> Graph.t
+(** [spider ~legs ~leg_len] is a root with [legs] disjoint paths of
+    [leg_len] vertices attached — the [k]-stretched star. *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** [random_tree rng n] is a uniformly random labelled tree on [n]
+    vertices (random Prüfer sequence). *)
+
+val random_connected : Random.State.t -> int -> p:float -> Graph.t
+(** [random_connected rng n ~p] is a random tree plus each remaining vertex
+    pair independently with probability [p]; always connected. *)
+
+val preferential_attachment : Random.State.t -> int -> m:int -> Graph.t
+(** [preferential_attachment rng n ~m] is a Barabási–Albert style graph:
+    vertices arrive one by one and attach [m] edges to earlier vertices
+    chosen proportionally to their current degree (plus one).  Always
+    connected; a realistic heavy-tailed seed for dynamics experiments.
+    @raise Invalid_argument if [m < 1] or [n < 1]. *)
+
+val of_pruefer : int array -> Graph.t
+(** [of_pruefer code] decodes a Prüfer sequence of length [k] into the
+    corresponding labelled tree on [k + 2] vertices. *)
+
+val of_parents : int array -> Graph.t
+(** [of_parents parent] builds the tree where [parent.(0) = -1] and
+    every other vertex [v] is adjacent to [parent.(v)].
+    @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,268 @@
+type t = {
+  n : int;
+  adj : int array array; (* adj.(u) sorted strictly increasing *)
+  m : int;
+}
+
+let check_vertex g u name =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range [0..%d)" name u g.n)
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make n [||]; m = 0 }
+
+let n g = g.n
+let num_edges g = g.m
+let mem_vertex g u = u >= 0 && u < g.n
+
+(* Binary search for [v] in a sorted row. *)
+let row_mem row v =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let x = row.(mid) in
+      if x = v then true else if x < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length row)
+
+let has_edge g u v =
+  check_vertex g u "has_edge";
+  check_vertex g v "has_edge";
+  u <> v && row_mem g.adj.(u) v
+
+let row_insert row v =
+  let len = Array.length row in
+  let out = Array.make (len + 1) v in
+  let rec go i =
+    if i < len && row.(i) < v then begin
+      out.(i) <- row.(i);
+      go (i + 1)
+    end else i
+  in
+  let pos = go 0 in
+  Array.blit row pos out (pos + 1) (len - pos);
+  out
+
+let row_delete row v =
+  let len = Array.length row in
+  let out = Array.make (len - 1) 0 in
+  let j = ref 0 in
+  for i = 0 to len - 1 do
+    if row.(i) <> v then begin
+      out.(!j) <- row.(i);
+      incr j
+    end
+  done;
+  out
+
+let add_edge g u v =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: loop";
+  if row_mem g.adj.(u) v then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- row_insert adj.(u) v;
+    adj.(v) <- row_insert adj.(v) u;
+    { g with adj; m = g.m + 1 }
+  end
+
+let remove_edge g u v =
+  check_vertex g u "remove_edge";
+  check_vertex g v "remove_edge";
+  if u = v || not (row_mem g.adj.(u) v) then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- row_delete adj.(u) v;
+    adj.(v) <- row_delete adj.(v) u;
+    { g with adj; m = g.m - 1 }
+  end
+
+let add_edges g es = List.fold_left (fun g (u, v) -> add_edge g u v) g es
+let remove_edges g es = List.fold_left (fun g (u, v) -> remove_edge g u v) g es
+let apply g ~add ~remove = add_edges (remove_edges g remove) add
+
+let neighbors g u =
+  check_vertex g u "neighbors";
+  g.adj.(u)
+
+let degree g u =
+  check_vertex g u "degree";
+  Array.length g.adj.(u)
+
+let max_degree g =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 g.adj
+
+let iter_neighbors f g u =
+  check_vertex g u "iter_neighbors";
+  Array.iter f g.adj.(u)
+
+let fold_neighbors f init g u =
+  check_vertex g u "fold_neighbors";
+  Array.fold_left f init g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let row = g.adj.(u) in
+    for i = Array.length row - 1 downto 0 do
+      let v = row.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let non_edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    for v = g.n - 1 downto u + 1 do
+      if not (row_mem g.adj.(u) v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+(* Bulk construction: one counting pass, one fill pass, then sort and
+   deduplicate each row — O(n + m log m) instead of m persistent
+   insertions. *)
+let of_edges size es =
+  let g = create size in
+  List.iter
+    (fun (u, v) ->
+      check_vertex g u "of_edges";
+      check_vertex g v "of_edges";
+      if u = v then invalid_arg "Graph.of_edges: loop")
+    es;
+  let deg = Array.make size 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    es;
+  let adj = Array.init size (fun u -> Array.make deg.(u) (-1)) in
+  let fill = Array.make size 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    es;
+  let m = ref 0 in
+  for u = 0 to size - 1 do
+    Array.sort Int.compare adj.(u);
+    (* drop duplicate edges *)
+    let row = adj.(u) in
+    let len = Array.length row in
+    let distinct = ref 0 in
+    for i = 0 to len - 1 do
+      if i = 0 || row.(i) <> row.(i - 1) then incr distinct
+    done;
+    if !distinct < len then begin
+      let out = Array.make !distinct 0 in
+      let j = ref 0 in
+      for i = 0 to len - 1 do
+        if i = 0 || row.(i) <> row.(i - 1) then begin
+          out.(!j) <- row.(i);
+          incr j
+        end
+      done;
+      adj.(u) <- out
+    end;
+    m := !m + !distinct
+  done;
+  { n = size; adj; m = !m / 2 }
+
+let equal g h = g.n = h.n && g.m = h.m && g.adj = h.adj
+
+let compare g h =
+  let c = Int.compare g.n h.n in
+  if c <> 0 then c
+  else
+    let c = Int.compare g.m h.m in
+    if c <> 0 then c else Stdlib.compare g.adj h.adj
+
+let is_permutation n perm =
+  Array.length perm = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+let relabel g perm =
+  if not (is_permutation g.n perm) then invalid_arg "Graph.relabel: not a permutation";
+  let adj = Array.make g.n [||] in
+  for u = 0 to g.n - 1 do
+    let row = Array.map (fun v -> perm.(v)) g.adj.(u) in
+    Array.sort Int.compare row;
+    adj.(perm.(u)) <- row
+  done;
+  { g with adj }
+
+let induced g vs =
+  let k = Array.length vs in
+  let index = Hashtbl.create (2 * k) in
+  Array.iteri
+    (fun i v ->
+      check_vertex g v "induced";
+      if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate vertex";
+      Hashtbl.add index v i)
+    vs;
+  let out = ref (create k) in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when i < j -> out := add_edge !out i j
+          | Some _ | None -> ())
+        g.adj.(v))
+    vs;
+  !out
+
+let disjoint_union g h =
+  let shift = g.n in
+  let out = ref (create (g.n + h.n)) in
+  List.iter (fun (u, v) -> out := add_edge !out u v) (edges g);
+  List.iter (fun (u, v) -> out := add_edge !out (u + shift) (v + shift)) (edges h);
+  !out
+
+let complement g =
+  let out = ref (create g.n) in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (row_mem g.adj.(u) v) then out := add_edge !out u v
+    done
+  done;
+  !out
+
+let is_clique g = 2 * g.m = g.n * (g.n - 1)
+
+let adjacency_key g =
+  let buf = Buffer.create (g.n * 4) in
+  Buffer.add_string buf (string_of_int g.n);
+  Buffer.add_char buf ':';
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf (string_of_int u);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ';')
+    (edges g);
+  Buffer.contents buf
+
+let pp ppf g =
+  Format.fprintf ppf "n=%d edges=[%a]" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (u, v) -> Format.fprintf ppf "(%d,%d)" u v))
+    (edges g)
+
+let to_string g = Format.asprintf "%a" pp g

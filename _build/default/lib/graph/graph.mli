@@ -1,0 +1,112 @@
+(** Immutable undirected simple graphs on the vertex set [0 .. n-1].
+
+    This is the hand-rolled sparse-graph substrate of the reproduction: all
+    game states of the (Bilateral) Network Creation Game are values of
+    {!type:t}.  The representation is an array of sorted adjacency rows;
+    edge insertion and removal are persistent (they copy only the two
+    affected rows), so checkers can explore candidate moves without
+    mutating the state under scrutiny. *)
+
+type t
+(** An undirected simple graph.  Values are immutable. *)
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices.
+    @raise Invalid_argument if [n < 0]. *)
+
+val n : t -> int
+(** [n g] is the number of vertices of [g]. *)
+
+val num_edges : t -> int
+(** [num_edges g] is the number of (undirected) edges of [g]. *)
+
+val mem_vertex : t -> int -> bool
+(** [mem_vertex g u] is [true] iff [0 <= u < n g]. *)
+
+val has_edge : t -> int -> int -> bool
+(** [has_edge g u v] is [true] iff the edge [uv] is present.  Symmetric in
+    [u] and [v]; [has_edge g u u] is always [false]. *)
+
+val add_edge : t -> int -> int -> t
+(** [add_edge g u v] is [g] with edge [uv] added.  Returns [g] unchanged
+    (physically equal) if the edge is already present.
+    @raise Invalid_argument if [u = v] or either endpoint is out of range. *)
+
+val remove_edge : t -> int -> int -> t
+(** [remove_edge g u v] is [g] without edge [uv].  Returns [g] unchanged
+    (physically equal) if the edge is absent.
+    @raise Invalid_argument if either endpoint is out of range. *)
+
+val add_edges : t -> (int * int) list -> t
+(** [add_edges g es] adds every edge of [es]; duplicates are ignored. *)
+
+val remove_edges : t -> (int * int) list -> t
+(** [remove_edges g es] removes every edge of [es]; absent edges ignored. *)
+
+val apply : t -> add:(int * int) list -> remove:(int * int) list -> t
+(** [apply g ~add ~remove] removes then adds.  Edges in both lists end up
+    present. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g u] is the sorted array of neighbours of [u].  The returned
+    array is the internal row and must not be mutated. *)
+
+val degree : t -> int -> int
+(** [degree g u] is the number of neighbours of [u]. *)
+
+val max_degree : t -> int
+(** [max_degree g] is the maximum vertex degree ([0] for an empty graph). *)
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+(** [iter_neighbors f g u] applies [f] to each neighbour of [u] in
+    increasing order. *)
+
+val fold_neighbors : ('a -> int -> 'a) -> 'a -> t -> int -> 'a
+(** [fold_neighbors f init g u] folds [f] over the neighbours of [u]. *)
+
+val edges : t -> (int * int) list
+(** [edges g] is the list of edges [(u, v)] with [u < v], sorted
+    lexicographically. *)
+
+val non_edges : t -> (int * int) list
+(** [non_edges g] is the list of vertex pairs [(u, v)], [u < v], that are
+    not edges of [g]. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n es] is the graph on [n] vertices with edge set [es].
+    Duplicate edges are ignored.
+    @raise Invalid_argument on loops or out-of-range endpoints. *)
+
+val equal : t -> t -> bool
+(** Structural equality of vertex count and edge sets (same labelling). *)
+
+val compare : t -> t -> int
+(** A total order consistent with {!equal}. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [u] to [perm.(u)].
+    @raise Invalid_argument if [perm] is not a permutation of [0 .. n-1]. *)
+
+val induced : t -> int array -> t
+(** [induced g vs] is the subgraph induced by the distinct vertices [vs],
+    relabelled to [0 .. Array.length vs - 1] in the order given. *)
+
+val disjoint_union : t -> t -> t
+(** [disjoint_union g h] places [h] next to [g], shifting the labels of [h]
+    by [n g]. *)
+
+val complement : t -> t
+(** [complement g] has exactly the edges missing from [g]. *)
+
+val is_clique : t -> bool
+(** [is_clique g] is [true] iff every vertex pair is an edge. *)
+
+val adjacency_key : t -> string
+(** [adjacency_key g] is a compact string determined exactly by
+    ([n g], edge set); usable as a hash-table key for labelled graphs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [n=<n> edges=[(u,v); ...]]. *)
+
+val to_string : t -> string
+(** [to_string g] is [Format.asprintf "%a" pp g]. *)

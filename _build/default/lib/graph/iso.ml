@@ -1,0 +1,198 @@
+let centers g =
+  if not (Tree.is_tree g) || not (Paths.is_connected g) then
+    invalid_arg "Iso.centers: not a connected tree";
+  let size = Graph.n g in
+  if size = 0 then []
+  else if size = 1 then [ 0 ]
+  else begin
+    let deg = Array.init size (fun u -> Graph.degree g u) in
+    let removed = Array.make size false in
+    let leaves = ref [] in
+    for u = size - 1 downto 0 do
+      if deg.(u) <= 1 then leaves := u :: !leaves
+    done;
+    let remaining = ref size in
+    let frontier = ref !leaves in
+    while !remaining > 2 do
+      let next = ref [] in
+      let this_round = !frontier in
+      List.iter
+        (fun u ->
+          removed.(u) <- true;
+          decr remaining)
+        this_round;
+      List.iter
+        (fun u ->
+          Graph.iter_neighbors
+            (fun v ->
+              if not removed.(v) then begin
+                deg.(v) <- deg.(v) - 1;
+                if deg.(v) = 1 then next := v :: !next
+              end)
+            g u)
+        this_round;
+      frontier := List.sort_uniq Int.compare !next
+    done;
+    let acc = ref [] in
+    for u = size - 1 downto 0 do
+      if not removed.(u) then acc := u :: !acc
+    done;
+    !acc
+  end
+
+(* AHU canonical code of the tree rooted at [r]: "(" codes-of-children
+   sorted ")". *)
+let rooted_code g r =
+  let t = Tree.root_at g r in
+  let rec code u =
+    let cs = Tree.children t u |> List.map code |> List.sort String.compare in
+    "(" ^ String.concat "" cs ^ ")"
+  in
+  code r
+
+let tree_code g =
+  match centers g with
+  | [] -> "()"
+  | [ c ] -> rooted_code g c
+  | [ c1; c2 ] ->
+      let a = rooted_code g c1 and b = rooted_code g c2 in
+      (* Mark the bicentral case so it cannot collide with a unicentral
+         code. *)
+      "2" ^ if String.compare a b <= 0 then a ^ b else b ^ a
+  | _ -> assert false
+
+let fingerprint g =
+  let size = Graph.n g in
+  let d = Paths.apsp g in
+  let triangles u =
+    let row = Graph.neighbors g u in
+    let count = ref 0 in
+    Array.iter
+      (fun v -> Array.iter (fun w -> if v < w && Graph.has_edge g v w then incr count) row)
+      row;
+    !count
+  in
+  let per_vertex =
+    Array.init size (fun u ->
+        let dist_row = Array.copy d.(u) in
+        Array.sort Int.compare dist_row;
+        Printf.sprintf "%d|%d|%s" (Graph.degree g u) (triangles u)
+          (String.concat "," (Array.to_list (Array.map string_of_int dist_row))))
+  in
+  Array.sort String.compare per_vertex;
+  Printf.sprintf "n%d m%d %s" size (Graph.num_edges g)
+    (String.concat ";" (Array.to_list per_vertex))
+
+(* Exact isomorphism by backtracking: map vertices of [g] in order of a
+   static ordering (rarest degree first), pruning on degree and adjacency
+   consistency with already-mapped vertices. *)
+let isomorphic g h =
+  let size = Graph.n g in
+  if size <> Graph.n h || Graph.num_edges g <> Graph.num_edges h then false
+  else if size = 0 then true
+  else begin
+    let deg_seq gr =
+      let d = Array.init size (Graph.degree gr) in
+      let s = Array.copy d in
+      Array.sort Int.compare s;
+      (d, s)
+    in
+    let dg, sg = deg_seq g and dh, sh = deg_seq h in
+    if sg <> sh then false
+    else begin
+      (* Order g's vertices by ascending degree-class size to fail fast. *)
+      let class_size = Hashtbl.create 16 in
+      Array.iter
+        (fun d ->
+          Hashtbl.replace class_size d (1 + Option.value ~default:0 (Hashtbl.find_opt class_size d)))
+        dg;
+      let order = Array.init size (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          let ca = Hashtbl.find class_size dg.(a) and cb = Hashtbl.find class_size dg.(b) in
+          if ca <> cb then Int.compare ca cb else Int.compare dg.(b) dg.(a))
+        order;
+      let image = Array.make size (-1) in
+      let used = Array.make size false in
+      let rec place i =
+        if i = size then true
+        else begin
+          let u = order.(i) in
+          let ok = ref false in
+          let v = ref 0 in
+          while (not !ok) && !v < size do
+            if (not used.(!v)) && dh.(!v) = dg.(u) then begin
+              (* Adjacency to already-placed vertices must match. *)
+              let consistent = ref true in
+              for j = 0 to i - 1 do
+                let w = order.(j) in
+                if Graph.has_edge g u w <> Graph.has_edge h !v image.(w) then
+                  consistent := false
+              done;
+              if !consistent then begin
+                image.(u) <- !v;
+                used.(!v) <- true;
+                if place (i + 1) then ok := true
+                else begin
+                  used.(!v) <- false;
+                  image.(u) <- -1
+                end
+              end
+            end;
+            incr v
+          done;
+          !ok
+        end
+      in
+      place 0
+    end
+  end
+
+let canonical_key g =
+  let size = Graph.n g in
+  let deg = Array.init size (Graph.degree g) in
+  (* Lexicographically smallest upper-triangular adjacency bitstring over
+     permutations that sort degrees descending (a canonical-form-compatible
+     restriction: any minimising permutation must list degrees in a fixed
+     order once we make degree the primary key of the encoding). *)
+  let buf = Bytes.create (size * (size - 1) / 2) in
+  let encode perm =
+    let k = ref 0 in
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        Bytes.set buf !k (if Graph.has_edge g perm.(i) perm.(j) then '1' else '0');
+        incr k
+      done
+    done;
+    Bytes.to_string buf
+  in
+  let best = ref None in
+  let perm = Array.make size (-1) in
+  let used = Array.make size false in
+  (* Degree-descending target sequence: position i must receive a vertex of
+     degree target.(i). *)
+  let target = Array.copy deg in
+  Array.sort (fun a b -> Int.compare b a) target;
+  let rec go i =
+    if i = size then begin
+      let key = Printf.sprintf "%d/%s" size (encode perm) in
+      match !best with
+      | Some b when String.compare b key <= 0 -> ()
+      | _ -> best := Some key
+    end
+    else
+      for v = 0 to size - 1 do
+        if (not used.(v)) && deg.(v) = target.(i) then begin
+          perm.(i) <- v;
+          used.(v) <- true;
+          go (i + 1);
+          used.(v) <- false;
+          perm.(i) <- -1
+        end
+      done
+  in
+  if size = 0 then "0/"
+  else begin
+    go 0;
+    Option.get !best
+  end

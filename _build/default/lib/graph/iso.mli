@@ -1,0 +1,34 @@
+(** Graph isomorphism for small graphs.
+
+    Used to deduplicate enumerated graphs up to isomorphism and to verify
+    that dynamics reached a state isomorphic to a known construction.  Two
+    tools are provided: an exact linear-time canonical code for free trees
+    (AHU rooted at the tree centre), and a backtracking isomorphism test
+    with an invariant fingerprint for general small graphs. *)
+
+val tree_code : Graph.t -> string
+(** [tree_code g] is a canonical code of the free tree [g]: two trees get
+    the same code iff they are isomorphic.
+    @raise Invalid_argument if [g] is not a connected tree. *)
+
+val centers : Graph.t -> int list
+(** [centers g] lists the one or two centre vertices of the connected tree
+    [g] (obtained by repeatedly stripping leaves).
+    @raise Invalid_argument if [g] is not a connected tree. *)
+
+val fingerprint : Graph.t -> string
+(** [fingerprint g] is an isomorphism-invariant string: equal fingerprints
+    are necessary (not sufficient) for isomorphism.  Combines the degree
+    sequence, the sorted multiset of distance rows and per-vertex triangle
+    counts. *)
+
+val isomorphic : Graph.t -> Graph.t -> bool
+(** [isomorphic g h] decides isomorphism exactly by backtracking with
+    degree and neighbourhood pruning.  Exponential worst case; intended for
+    [n ≲ 12]. *)
+
+val canonical_key : Graph.t -> string
+(** [canonical_key g] is an exact canonical form: equal keys iff
+    isomorphic.  Computed by searching the lexicographically minimal
+    adjacency encoding over degree-compatible permutations; intended for
+    [n ≲ 9]. *)

@@ -1,0 +1,153 @@
+let bfs g src =
+  let size = Graph.n g in
+  let dist = Array.make size (-1) in
+  let queue = Array.make size 0 in
+  dist.(src) <- 0;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let dist g u v =
+  let d = (bfs g u).(v) in
+  if d < 0 then None else Some d
+
+type total = { unreachable : int; sum : int }
+
+let total_dist_of d =
+  let unreachable = ref 0 and sum = ref 0 in
+  Array.iter (fun x -> if x < 0 then incr unreachable else sum := !sum + x) d;
+  { unreachable = !unreachable; sum = !sum }
+
+let total_dist g u = total_dist_of (bfs g u)
+
+let total_dist_to g u vs =
+  let d = bfs g u in
+  List.fold_left
+    (fun acc v ->
+      if d.(v) < 0 then { acc with unreachable = acc.unreachable + 1 }
+      else { acc with sum = acc.sum + d.(v) })
+    { unreachable = 0; sum = 0 } vs
+
+let apsp g = Array.init (Graph.n g) (fun u -> bfs g u)
+
+let eccentricity g u =
+  let d = bfs g u in
+  let ecc = ref 0 and ok = ref true in
+  Array.iter (fun x -> if x < 0 then ok := false else if x > !ecc then ecc := x) d;
+  if !ok then Some !ecc else None
+
+let diameter g =
+  if Graph.n g = 0 then None
+  else
+    let rec go u acc =
+      if u >= Graph.n g then Some acc
+      else
+        match eccentricity g u with
+        | None -> None
+        | Some e -> go (u + 1) (max acc e)
+    in
+    go 0 0
+
+let reachable_count g u =
+  let d = bfs g u in
+  Array.fold_left (fun acc x -> if x >= 0 then acc + 1 else acc) 0 d
+
+let is_connected g =
+  let size = Graph.n g in
+  size = 0 || reachable_count g 0 = size
+
+let components g =
+  let size = Graph.n g in
+  let seen = Array.make size false in
+  let comps = ref [] in
+  for u = 0 to size - 1 do
+    if not seen.(u) then begin
+      let d = bfs g u in
+      let comp = ref [] in
+      for v = size - 1 downto 0 do
+        if d.(v) >= 0 then begin
+          seen.(v) <- true;
+          comp := v :: !comp
+        end
+      done;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let bridges g =
+  let size = Graph.n g in
+  let disc = Array.make size (-1) in
+  let low = Array.make size 0 in
+  let time = ref 0 in
+  let out = ref [] in
+  (* Iterative DFS to survive deep paths (stretched trees are long). *)
+  let dfs_root root =
+    (* stack entries: (vertex, parent-edge endpoint, next neighbour idx) *)
+    let stack = ref [ (root, -1, ref 0, ref false) ] in
+    disc.(root) <- !time;
+    low.(root) <- !time;
+    incr time;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (u, parent, idx, skipped_parent) :: rest ->
+          let row = Graph.neighbors g u in
+          if !idx < Array.length row then begin
+            let v = row.(!idx) in
+            incr idx;
+            if v = parent && not !skipped_parent then
+              (* Skip the tree edge back to the parent exactly once so
+                 that parallel paths via other vertices still count. *)
+              skipped_parent := true
+            else if disc.(v) < 0 then begin
+              disc.(v) <- !time;
+              low.(v) <- !time;
+              incr time;
+              stack := (v, u, ref 0, ref false) :: !stack
+            end
+            else low.(u) <- min low.(u) disc.(v)
+          end
+          else begin
+            stack := rest;
+            match rest with
+            | (p, _, _, _) :: _ ->
+                low.(p) <- min low.(p) low.(u);
+                if low.(u) > disc.(p) then out := (min p u, max p u) :: !out
+            | [] -> ()
+          end
+    done
+  in
+  for u = 0 to size - 1 do
+    if disc.(u) < 0 then dfs_root u
+  done;
+  List.sort compare !out
+
+let neigh_at_most g u i =
+  let d = bfs g u in
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if d.(v) >= 0 && d.(v) <= i then acc := v :: !acc
+  done;
+  !acc
+
+let neigh_exactly g u i =
+  let d = bfs g u in
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if d.(v) = i then acc := v :: !acc
+  done;
+  !acc

@@ -1,0 +1,65 @@
+(** Shortest-path and connectivity primitives (unit edge lengths, BFS).
+
+    All hop distances in the (B)NCG cost model come from here.  Unreachable
+    vertices are reported explicitly — never as a sentinel "huge" distance —
+    so the game layer can implement the paper's [M]-style lexicographic
+    preference exactly (see {!Bncg_game.Cost}). *)
+
+val bfs : Graph.t -> int -> int array
+(** [bfs g src] is the array of hop distances from [src]; unreachable
+    vertices hold [-1].  [O(n + m)]. *)
+
+val dist : Graph.t -> int -> int -> int option
+(** [dist g u v] is the hop distance from [u] to [v], or [None] if [v] is
+    unreachable from [u]. *)
+
+type total = { unreachable : int; sum : int }
+(** Total distance from a vertex: how many vertices are unreachable, and
+    the sum of finite distances to the reachable ones. *)
+
+val total_dist : Graph.t -> int -> total
+(** [total_dist g u] sums [dist g u v] over all [v].  The paper's
+    [dist(u)]. *)
+
+val total_dist_of : int array -> total
+(** [total_dist_of d] computes {!total} from a BFS distance array. *)
+
+val total_dist_to : Graph.t -> int -> int list -> total
+(** [total_dist_to g u vs] restricts the sum to targets [vs]
+    (the paper's [dist(u, V')]). *)
+
+val apsp : Graph.t -> int array array
+(** [apsp g] is the matrix of all pairwise distances ([-1] when
+    unreachable): [n] BFS runs, [O(n (n + m))]. *)
+
+val eccentricity : Graph.t -> int -> int option
+(** [eccentricity g u] is the largest finite distance from [u], or [None]
+    if some vertex is unreachable from [u]. *)
+
+val diameter : Graph.t -> int option
+(** [diameter g] is the largest pairwise distance, or [None] if [g] is
+    disconnected (or has no vertex). *)
+
+val is_connected : Graph.t -> bool
+(** [is_connected g] is [true] iff every vertex is reachable from vertex 0.
+    The empty graph counts as connected. *)
+
+val components : Graph.t -> int list list
+(** [components g] lists the connected components (each sorted increasing),
+    ordered by smallest member. *)
+
+val reachable_count : Graph.t -> int -> int
+(** [reachable_count g u] is the number of vertices reachable from [u],
+    counting [u] itself. *)
+
+val bridges : Graph.t -> (int * int) list
+(** [bridges g] lists the bridge edges of [g] (edges whose removal
+    increases the number of components), each as [(u, v)] with [u < v],
+    via Tarjan's low-link algorithm in [O(n + m)]. *)
+
+val neigh_at_most : Graph.t -> int -> int -> int list
+(** [neigh_at_most g u i] is the paper's [Neigh^{<=i}(u)]: all vertices at
+    distance at most [i] from [u] (including [u]), sorted. *)
+
+val neigh_exactly : Graph.t -> int -> int -> int list
+(** [neigh_exactly g u i] is the paper's [Neigh^{=i}(u)], sorted. *)

@@ -1,0 +1,134 @@
+let is_tree g =
+  let size = Graph.n g in
+  size = 0 || (Graph.num_edges g = size - 1 && Paths.is_connected g)
+
+type rooted = {
+  graph : Graph.t;
+  root : int;
+  parent : int array;
+  layer : int array;
+  order : int array;
+}
+
+let require_tree g name =
+  if not (is_tree g) then invalid_arg (Printf.sprintf "Tree.%s: not a tree" name)
+
+let root_at g r =
+  require_tree g "root_at";
+  let size = Graph.n g in
+  if r < 0 || r >= size then invalid_arg "Tree.root_at: root out of range";
+  let parent = Array.make size (-1) in
+  let layer = Array.make size (-1) in
+  let order = Array.make size 0 in
+  layer.(r) <- 0;
+  order.(0) <- r;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = order.(!head) in
+    incr head;
+    Array.iter
+      (fun v ->
+        if layer.(v) < 0 then begin
+          layer.(v) <- layer.(u) + 1;
+          parent.(v) <- u;
+          order.(!tail) <- v;
+          incr tail
+        end)
+      (Graph.neighbors g u)
+  done;
+  { graph = g; root = r; parent; layer; order }
+
+let children t u =
+  Graph.fold_neighbors
+    (fun acc v -> if t.parent.(v) = u then v :: acc else acc)
+    [] t.graph u
+  |> List.rev
+
+let subtree_sizes t =
+  let size = Graph.n t.graph in
+  let sizes = Array.make size 1 in
+  (* Reverse BFS order: every child is processed before its parent. *)
+  for i = size - 1 downto 1 do
+    let u = t.order.(i) in
+    sizes.(t.parent.(u)) <- sizes.(t.parent.(u)) + sizes.(u)
+  done;
+  sizes
+
+let subtree_nodes t u =
+  (* A vertex v is in T_u iff the path from v to the root passes u, i.e.
+     walking parents from v reaches u. *)
+  let size = Graph.n t.graph in
+  let acc = ref [] in
+  for v = size - 1 downto 0 do
+    let rec ascends w = w = u || (w >= 0 && ascends t.parent.(w)) in
+    if ascends v then acc := v :: !acc
+  done;
+  !acc
+
+let subtree_depth t u =
+  let base = t.layer.(u) in
+  List.fold_left
+    (fun acc v -> max acc (t.layer.(v) - base))
+    0 (subtree_nodes t u)
+
+let depth t = subtree_depth t t.root
+
+let total_dists g =
+  require_tree g "total_dists";
+  let size = Graph.n g in
+  if size = 0 then [||]
+  else begin
+    let t = root_at g 0 in
+    let sizes = subtree_sizes t in
+    let dist = Array.make size 0 in
+    (* dist at the root: sum of layers. *)
+    dist.(0) <- Array.fold_left ( + ) 0 t.layer;
+    (* Reroot along BFS order: moving from parent p to child c brings the
+       |T_c| vertices of the subtree one step closer and pushes the other
+       n - |T_c| one step away. *)
+    for i = 1 to size - 1 do
+      let c = t.order.(i) in
+      let p = t.parent.(c) in
+      dist.(c) <- dist.(p) - sizes.(c) + (size - sizes.(c))
+    done;
+    dist
+  end
+
+let medians g =
+  require_tree g "medians";
+  let size = Graph.n g in
+  if size = 0 then []
+  else begin
+    let dist = total_dists g in
+    let best = Array.fold_left min dist.(0) dist in
+    let acc = ref [] in
+    for u = size - 1 downto 0 do
+      if dist.(u) = best then acc := u :: !acc
+    done;
+    !acc
+  end
+
+let median g =
+  match medians g with
+  | m :: _ -> m
+  | [] -> invalid_arg "Tree.median: empty tree"
+
+let is_median_balanced g r =
+  require_tree g "is_median_balanced";
+  let size = Graph.n g in
+  let t = root_at g r in
+  let sizes = subtree_sizes t in
+  Graph.fold_neighbors (fun ok c -> ok && 2 * sizes.(c) <= size) true g r
+
+let path_between t u v =
+  let rec ancestors w acc = if w < 0 then acc else ancestors t.parent.(w) (w :: acc) in
+  (* Both lists run root .. vertex; strip the common prefix, remembering the
+     last common vertex (the LCA). *)
+  let rec split pu pv lca =
+    match (pu, pv) with
+    | x :: pu', y :: pv' when x = y -> split pu' pv' x
+    | _ -> (lca, pu, pv)
+  in
+  let lca, u_tail, v_tail = split (ancestors u []) (ancestors v []) (-1) in
+  assert (lca >= 0);
+  List.rev u_tail @ (lca :: v_tail)

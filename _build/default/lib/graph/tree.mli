@@ -1,0 +1,61 @@
+(** Rooted-tree views and 1-medians (Section 3.2 of the paper).
+
+    The PoA proofs for tree equilibria root the tree at a 1-median [r] and
+    argue about layers [ℓ(u)], subtrees [T_u] and their sizes and depths.
+    This module provides all of those as [O(n)]-computable arrays. *)
+
+val is_tree : Graph.t -> bool
+(** [is_tree g] is [true] iff [g] is connected with exactly [n - 1] edges
+    (the one-vertex and empty graphs count as trees and the empty graph as
+    a trivial tree). *)
+
+type rooted = {
+  graph : Graph.t;
+  root : int;
+  parent : int array;  (** [parent.(root) = -1] *)
+  layer : int array;  (** [ℓ(u)]: hop distance from the root *)
+  order : int array;  (** vertices in BFS order from the root *)
+}
+(** A connected tree together with a choice of root. *)
+
+val root_at : Graph.t -> int -> rooted
+(** [root_at g r] roots the tree [g] at [r].
+    @raise Invalid_argument if [g] is not a connected tree. *)
+
+val children : rooted -> int -> int list
+(** [children t u] lists the children of [u], sorted increasing. *)
+
+val subtree_sizes : rooted -> int array
+(** [subtree_sizes t] gives [|T_u|] for every [u] ([|T_root| = n]). *)
+
+val subtree_nodes : rooted -> int -> int list
+(** [subtree_nodes t u] lists the vertices of [T_u] (sorted). *)
+
+val subtree_depth : rooted -> int -> int
+(** [subtree_depth t u] is the paper's [depth(T_u)]: the largest layer in
+    [T_u] relative to [u]. *)
+
+val depth : rooted -> int
+(** [depth t] is [subtree_depth t t.root], i.e. the paper's [depth(G)]. *)
+
+val total_dists : Graph.t -> int array
+(** [total_dists g] gives [dist(u) = Σ_v dist(u,v)] for every [u] of a
+    connected tree, computed in [O(n)] by rerooting.
+    @raise Invalid_argument if [g] is not a connected tree. *)
+
+val medians : Graph.t -> int list
+(** [medians g] lists the 1-medians of the connected tree [g]: the vertices
+    with minimum total distance.  A tree has one or two medians; when two,
+    they are adjacent.
+    @raise Invalid_argument if [g] is not a connected tree. *)
+
+val median : Graph.t -> int
+(** [median g] is the smallest-numbered 1-median. *)
+
+val is_median_balanced : Graph.t -> int -> bool
+(** [is_median_balanced g r] checks the equivalent characterisation used in
+    the paper: removing [r] leaves components of size at most [n / 2]. *)
+
+val path_between : rooted -> int -> int -> int list
+(** [path_between t u v] is the unique [u]-[v] path in the tree, as a
+    vertex list starting at [u] and ending at [v]. *)

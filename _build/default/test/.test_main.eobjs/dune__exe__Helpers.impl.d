@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Concept Graph Move Random Verdict

@@ -1,0 +1,1 @@
+test/test_alpha_profile.ml: Alpha_profile Concept Counterexamples Cycle Float Format Gen Helpers List String

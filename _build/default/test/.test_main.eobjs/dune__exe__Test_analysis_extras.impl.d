@@ -1,0 +1,1 @@
+test/test_analysis_extras.ml: Add_eq Bounds Cost Counterexamples Dot Enumerate Fit Float Gen Graph Helpers List Move Printf String Strong_eq Structure Swap_eq Unilateral_poa Verdict Viz Welfare

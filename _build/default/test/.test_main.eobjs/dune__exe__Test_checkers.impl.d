@@ -1,0 +1,1 @@
+test/test_checkers.ml: Add_eq Array Concept Enumerate Gen Graph Greedy_eq Helpers List Move Pairwise Paths Printf Random Remove_eq String Strong_eq Swap_eq Verdict

@@ -1,0 +1,1 @@
+test/test_constructions.ml: Array Bounds Concept Cost Cycle Float Gen Graph Helpers List Paths Printf Stretched Tree

@@ -1,0 +1,1 @@
+test/test_cost.ml: Cost Enumerate Float Gen Graph Helpers List

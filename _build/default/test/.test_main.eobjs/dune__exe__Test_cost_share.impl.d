@@ -1,0 +1,1 @@
+test/test_cost_share.ml: Alcotest Array Collaborative_eq Concept Cost Cost_share Enumerate Gen Graph Helpers List Pairwise Printf Random

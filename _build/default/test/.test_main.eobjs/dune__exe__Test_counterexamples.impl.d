@@ -1,0 +1,1 @@
+test/test_counterexamples.ml: Alcotest Array Concept Counterexamples Graph Helpers List Move Paths Printf Unilateral

@@ -1,0 +1,1 @@
+test/test_delta_strategy.ml: Alcotest Delta Float Gen Graph Helpers List Paths Random Strategy

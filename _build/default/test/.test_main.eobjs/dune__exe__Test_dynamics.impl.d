@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Concept Cost Counterexamples Dynamics Gen Helpers List Move String Strong_eq Verdict

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Enumerate Graph Helpers Iso List Paths Printf String Tree

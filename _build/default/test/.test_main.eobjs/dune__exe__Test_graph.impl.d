@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Gen Graph Helpers List String

@@ -1,0 +1,1 @@
+test/test_iso_encode.ml: Alcotest Array Char Encode Gen Graph Helpers Iso List Random String Tree

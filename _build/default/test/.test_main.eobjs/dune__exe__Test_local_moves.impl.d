@@ -1,0 +1,1 @@
+test/test_local_moves.ml: Alcotest Array Concept Dynamics Gen Graph Greedy_eq Helpers List Local_moves Move Pairwise Random

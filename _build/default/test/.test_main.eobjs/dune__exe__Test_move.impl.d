@@ -1,0 +1,1 @@
+test/test_move.ml: Alcotest Gen Graph Helpers List Move String Verdict

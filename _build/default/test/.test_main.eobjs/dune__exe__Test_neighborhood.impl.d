@@ -1,0 +1,1 @@
+test/test_neighborhood.ml: Add_eq Alcotest Concept Counterexamples Enumerate Gen Graph Greedy_eq Helpers List Move Neighborhood_eq Remove_eq Swap_eq Verdict

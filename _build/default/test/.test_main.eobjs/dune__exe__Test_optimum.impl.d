@@ -1,0 +1,1 @@
+test/test_optimum.ml: Bounds Concept Cost Enumerate Gen Graph Helpers List Optimum Paths Printf Remove_eq

@@ -1,0 +1,1 @@
+test/test_poa_bounds.ml: Alcotest Array Bounds Concept Cost Enumerate Gen Graph Helpers List Paths Poa Remove_eq Tree Verdict

@@ -1,0 +1,1 @@
+test/test_relations.ml: Add_eq Concept Counterexamples Enumerate Helpers List Move Relations Remove_eq Strong_eq Swap_eq Verdict

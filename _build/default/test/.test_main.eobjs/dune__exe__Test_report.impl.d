@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float Helpers List Relations Report String

@@ -1,0 +1,1 @@
+test/test_strong.ml: Alcotest Concept Counterexamples Cycle Enumerate Gen Greedy_eq Helpers List Move Printf Random Strong_eq Tree Verdict

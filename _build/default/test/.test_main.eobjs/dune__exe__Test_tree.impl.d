@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Gen Graph Helpers List Paths Printf Random Tree

@@ -1,0 +1,1 @@
+test/test_unilateral.ml: Add_eq Alcotest Concept Cost Counterexamples Enumerate Gen Graph Helpers List Move Printf Remove_eq Strategy Unilateral

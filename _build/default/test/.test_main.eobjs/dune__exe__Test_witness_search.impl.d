@@ -1,0 +1,1 @@
+test/test_witness_search.ml: Add_eq Alcotest Concept Counterexamples Gen Graph Helpers Paths Remove_eq Witness_search

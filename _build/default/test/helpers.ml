@@ -1,0 +1,39 @@
+(* Shared assertions for the suites. *)
+
+let tc name fn = Alcotest.test_case name `Quick fn
+let slow name fn = Alcotest.test_case name `Slow fn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float name = Alcotest.(check (float 1e-9)) name
+let check_true name b = Alcotest.(check bool) name true b
+let check_false name b = Alcotest.(check bool) name false b
+
+let check_raises_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let graph_testable =
+  Alcotest.testable (fun ppf g -> Graph.pp ppf g) Graph.equal
+
+let check_graph = Alcotest.check graph_testable
+
+let check_stable name concept alpha g =
+  match Concept.check ~alpha concept g with
+  | Verdict.Stable -> ()
+  | v ->
+      Alcotest.failf "%s: expected %s stable at alpha=%g, got %s" name
+        (Concept.name concept) alpha (Verdict.to_string v)
+
+let check_unstable name concept alpha g =
+  match Concept.check ~alpha concept g with
+  | Verdict.Unstable m ->
+      check_true
+        (name ^ ": witness must be an improving move")
+        (Move.is_improving ~alpha g m)
+  | v ->
+      Alcotest.failf "%s: expected %s unstable at alpha=%g, got %s" name
+        (Concept.name concept) alpha (Verdict.to_string v)
+
+let rng seed = Random.State.make [| seed |]

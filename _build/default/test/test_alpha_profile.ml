@@ -1,0 +1,61 @@
+open Helpers
+
+let grid lo hi steps =
+  List.init steps (fun i ->
+      lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)))
+
+let suite =
+  [
+    tc "star is stable everywhere above alpha = 1 for PS" (fun () ->
+        let p =
+          Alpha_profile.scan ~concept:Concept.PS ~grid:(grid 1. 50. 20) (Gen.star 7)
+        in
+        check_int "one interval" 1 (List.length p.Alpha_profile.intervals);
+        check_true "covers 10" (Alpha_profile.covers p 10.);
+        check_true "open ended"
+          ((List.hd p.Alpha_profile.intervals).Alpha_profile.hi = Float.infinity));
+    tc "the C6 BSE window matches Lemma 2.4 boundaries" (fun () ->
+        let lo, hi = Cycle.bse_alpha_range 6 in
+        let p =
+          Alpha_profile.scan ~tolerance:1e-4 ~concept:Concept.BSE
+            ~grid:(grid 0.25 12. 48) (Gen.cycle 6)
+        in
+        (* one contiguous window: stability starts at alpha = 1 (diameter 2,
+           Prop 3.16) and persists through the lemma's range, ending exactly
+           at hi = n(n-2)/4 *)
+        check_int "one window" 1 (List.length p.Alpha_profile.intervals);
+        check_true "covers the midpoint" (Alpha_profile.covers p ((lo +. hi) /. 2.));
+        let w = List.hd p.Alpha_profile.intervals in
+        check_true "upper boundary matches n(n-2)/4"
+          (Float.abs (w.Alpha_profile.hi -. hi) < 0.01);
+        check_true "measured window is at least the lemma's"
+          (w.Alpha_profile.lo <= lo +. 0.01);
+        check_false "unstable below 1" (Alpha_profile.covers p 0.5);
+        check_false "unstable above" (Alpha_profile.covers p (hi +. 1.)));
+    tc "a path has a bounded PS-stability window at the low end" (fun () ->
+        (* P4: the end pair stops wanting the shortcut once alpha exceeds
+           their mutual gain; removal never helps on a tree *)
+        let p =
+          Alpha_profile.scan ~concept:Concept.PS ~grid:(grid 0.5 20. 40) (Gen.path 4)
+        in
+        check_true "eventually stable"
+          (List.exists
+             (fun i -> i.Alpha_profile.hi = Float.infinity)
+             p.Alpha_profile.intervals);
+        check_false "unstable at 1" (Alpha_profile.covers p 1.));
+    tc "undecided points are counted" (fun () ->
+        (* figure 5's only BNE violation is the double swap, far beyond a
+           tiny per-agent budget, so the scan must report the point as
+           undecided rather than guessing *)
+        let c = Counterexamples.figure5 in
+        let p =
+          Alpha_profile.scan ~budget:1 ~concept:Concept.BNE
+            ~grid:[ c.Counterexamples.alpha ] c.Counterexamples.graph
+        in
+        check_int "undecided" 1 p.Alpha_profile.undecided);
+    tc "pp renders" (fun () ->
+        let p =
+          Alpha_profile.scan ~concept:Concept.PS ~grid:(grid 1. 10. 10) (Gen.star 5)
+        in
+        check_true "nonempty" (String.length (Format.asprintf "%a" Alpha_profile.pp p) > 0));
+  ]

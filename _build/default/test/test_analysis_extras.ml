@@ -1,0 +1,156 @@
+open Helpers
+
+let suite =
+  [
+    (* ---------------- Welfare ---------------- *)
+    tc "welfare of the star" (fun () ->
+        let w = Welfare.analyze ~alpha:2. (Gen.star 6) in
+        check_int "agents" 6 w.Welfare.agents;
+        check_float "social" (Cost.social_money (Cost.social_cost ~alpha:2. (Gen.star 6)))
+          w.Welfare.social;
+        check_true "center is the max" (w.Welfare.max_cost > w.Welfare.min_cost);
+        check_true "gini in range" (w.Welfare.gini >= 0. && w.Welfare.gini <= 1.));
+    tc "welfare of the clique is perfectly even" (fun () ->
+        let w = Welfare.analyze ~alpha:0.5 (Gen.clique 5) in
+        check_float "spread" 1. w.Welfare.spread;
+        check_float "gini" 0. w.Welfare.gini);
+    tc "welfare rejects bad inputs" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (Welfare.analyze ~alpha:1. (Graph.create 0)));
+        check_raises_invalid "disconnected" (fun () ->
+            ignore (Welfare.analyze ~alpha:1. (Graph.create 3))));
+    tc "normalized max cost matches Prop 3.22's quantity" (fun () ->
+        let n = 16 in
+        let g = Gen.almost_complete_dary ~d:2 n in
+        let alpha = float_of_int n in
+        let direct =
+          let worst = ref 0. in
+          for u = 0 to n - 1 do
+            let c = Cost.money (Cost.agent_cost ~alpha g u) in
+            if c > !worst then worst := c
+          done;
+          !worst /. (alpha +. float_of_int (n - 1))
+        in
+        check_float "equal" direct (Welfare.normalized_max_cost ~alpha g));
+    tc "buy share grows with alpha" (fun () ->
+        let g = Gen.star 8 in
+        let low = (Welfare.analyze ~alpha:1. g).Welfare.buy_share in
+        let high = (Welfare.analyze ~alpha:50. g).Welfare.buy_share in
+        check_true "monotone" (high > low));
+    (* ---------------- Structure ---------------- *)
+    tc "BAE diameter bound holds on enumerated BAE graphs" (fun () ->
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun g ->
+                if Add_eq.is_stable ~alpha g then
+                  check_true "diameter" (Structure.check_bae_diameter ~alpha g))
+              (Enumerate.connected_graphs_iso 5 @ Enumerate.free_trees 7))
+          [ 1.; 2.; 4.; 9. ]);
+    tc "Lemma 3.5 subtree sizes hold on BSwE trees" (fun () ->
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun g ->
+                if Swap_eq.is_stable ~alpha g then
+                  check_true "sizes" (Structure.check_bswe_subtree_sizes ~alpha g))
+              (Enumerate.free_trees 8))
+          [ 1.; 2.; 4.; 8. ]);
+    tc "Lemma 3.4 depths hold on BSwE trees" (fun () ->
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun g ->
+                if Swap_eq.is_stable ~alpha g then
+                  check_true "depths" (Structure.check_bswe_depths ~alpha g))
+              (Enumerate.free_trees 8))
+          [ 1.; 2.; 4.; 8. ]);
+    tc "Lemma 3.14 audit agrees with the dedicated checker" (fun () ->
+        List.iter
+          (fun g ->
+            if Verdict.is_stable (Strong_eq.check ~k:3 ~alpha:2. g) then
+              check_true "lemma" (Structure.check_lemma_314 ~alpha:2. g))
+          (Enumerate.free_trees 8));
+    tc "a deep double path fails the Lemma 3.14 audit" (fun () ->
+        (* the E-F4 construction: not 3-BSE, and the audit sees why *)
+        (* centre 1 with two depth-4 sibling paths and a light third branch;
+           the 1-median is vertex 1 and both sibling subtrees exceed the
+           threshold 2*ceil(4a/n)+1 = 3 at alpha = 1 *)
+        let g =
+          Graph.of_edges 14
+            [ (1, 2); (2, 3); (3, 4); (4, 5); (5, 12);
+              (1, 6); (6, 7); (7, 8); (8, 9); (9, 13);
+              (1, 0); (0, 10); (0, 11) ]
+        in
+        check_false "two deep siblings" (Structure.check_lemma_314 ~alpha:1. g));
+    (* ---------------- Unilateral PoA ---------------- *)
+    tc "unilateral optimum formula" (fun () ->
+        (* alpha >= 2: star; alpha < 2: clique *)
+        let r = Unilateral_poa.unilateral_rho ~alpha:3. (Gen.star 6) in
+        check_float "star optimal" 1. r;
+        let r = Unilateral_poa.unilateral_rho ~alpha:1. (Gen.clique 5) in
+        check_float "clique optimal" 1. r);
+    tc "worst NE tree exists and beats the PS worst case" (fun () ->
+        let alpha = 5. in
+        let uni = Unilateral_poa.worst_ne_tree ~alpha 6 in
+        check_true "some NE found" (uni.Unilateral_poa.count > 0);
+        check_true "rho at least 1" (uni.Unilateral_poa.rho >= 1.));
+    tc "NCG worst NE is within the FLMPS tree bound of 5" (fun () ->
+        List.iter
+          (fun alpha ->
+            let w = Unilateral_poa.worst_ne_tree ~alpha 6 in
+            check_true "rho <= 5" (w.Unilateral_poa.rho <= 5.))
+          [ 1.5; 3.; 6.; 12. ]);
+    (* ---------------- Fit ---------------- *)
+    tc "linear fit recovers an exact line" (fun () ->
+        let f = Fit.linear [ (0., 1.); (1., 3.); (2., 5.) ] in
+        check_float "slope" 2. f.Fit.slope;
+        check_float "intercept" 1. f.Fit.intercept;
+        check_float "r2" 1. f.Fit.r2);
+    tc "power exponent recovers a square root law" (fun () ->
+        let points = List.init 10 (fun i -> let x = float_of_int (i + 1) in (x, 3. *. Float.sqrt x)) in
+        let f = Fit.power_exponent points in
+        check_true "slope near 0.5" (Float.abs (f.Fit.slope -. 0.5) < 1e-9);
+        check_float "r2" 1. f.Fit.r2);
+    tc "log fit recovers a logarithmic law" (fun () ->
+        let points = List.init 10 (fun i -> let x = float_of_int (1 lsl (i + 1)) in (x, (2. *. Bounds.log2 x) +. 1.)) in
+        let f = Fit.log_fit points in
+        check_true "slope near 2" (Float.abs (f.Fit.slope -. 2.) < 1e-9));
+    tc "fit input validation" (fun () ->
+        check_raises_invalid "one point" (fun () -> ignore (Fit.linear [ (1., 1.) ])));
+    tc "lemma 3.11 premise formula" (fun () ->
+        (* tiny instances fail the premise, astronomically large ones pass *)
+        check_false "small" (Bounds.lemma311_premise ~alpha:64. ~n:64 ~depth:6 ~subtree:8);
+        check_true "huge"
+          (Bounds.lemma311_premise ~alpha:1e9 ~n:1_500_000_000 ~depth:30 ~subtree:31_623));
+    (* ---------------- Dot / Viz ---------------- *)
+    tc "dot output contains every edge" (fun () ->
+        let g = Gen.cycle 4 in
+        let dot = Dot.to_dot g in
+        check_true "header" (String.length dot > 0);
+        List.iter
+          (fun (u, v) ->
+            let needle = Printf.sprintf "%d -- %d" u v in
+            let rec contains i =
+              i + String.length needle <= String.length dot
+              && (String.sub dot i (String.length needle) = needle || contains (i + 1))
+            in
+            check_true needle (contains 0))
+          (Graph.edges g));
+    tc "move overlay highlights participants" (fun () ->
+        let g = Gen.path 4 in
+        let dot = Viz.move_overlay g (Move.Bilateral_add { u = 0; v = 3 }) in
+        let rec contains needle i =
+          i + String.length needle <= String.length dot
+          && (String.sub dot i (String.length needle) = needle || contains needle (i + 1))
+        in
+        check_true "added edge drawn" (contains "0 -- 3" 0);
+        check_true "dashed" (contains "dashed" 0);
+        check_true "participant filled" (contains "fillcolor" 0));
+    tc "case rendering works for all gallery entries" (fun () ->
+        List.iter
+          (fun c -> check_true "nonempty" (String.length (Viz.case_to_dot c) > 0))
+          [
+            Counterexamples.figure5; Counterexamples.figure6;
+            Counterexamples.figure7 ~k:2; Counterexamples.figure8_equivalent;
+          ]);
+  ]

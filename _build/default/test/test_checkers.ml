@@ -1,0 +1,116 @@
+open Helpers
+
+let suite =
+  [
+    tc "every tree is in RE" (fun () ->
+        List.iter
+          (fun g -> check_stable "tree" Concept.RE 2. g)
+          (Enumerate.free_trees 7));
+    tc "clique removal behaviour across alpha = 1" (fun () ->
+        let g = Gen.clique 5 in
+        check_stable "keeps at alpha < 1" Concept.RE 0.5 g;
+        check_stable "indifferent at alpha = 1" Concept.RE 1. g;
+        check_unstable "drops at alpha > 1" Concept.RE 1.5 g);
+    tc "cycle removal threshold (Lemma 2.4 RE part)" (fun () ->
+        (* removing a C6 edge adds 1+2 ... the endpoint's distance rises by
+           (n-2)^2/4+... for even n: from n^2/4 to ... exact: delta = 6 - ...  *)
+        let g = Gen.cycle 6 in
+        let u_delta =
+          (Paths.total_dist (Graph.remove_edge g 0 1) 0).Paths.sum
+          - (Paths.total_dist g 0).Paths.sum
+        in
+        check_stable "below" Concept.RE (float_of_int u_delta -. 0.5) g;
+        check_unstable "above" Concept.RE (float_of_int u_delta +. 0.5) g);
+    tc "BAE on two far apart agents" (fun () ->
+        let g = Gen.path 6 in
+        check_unstable "ends connect at low alpha" Concept.BAE 2. g;
+        check_stable "not at high alpha" Concept.BAE 20. g);
+    tc "BAE on disconnected graphs always fires" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+        check_unstable "cross-component add" Concept.BAE 1000. g);
+    tc "BAE strictness at the boundary" (fun () ->
+        (* path of 3: ends adding an edge gain exactly 1 each *)
+        let g = Gen.path 3 in
+        check_stable "gain 1 at alpha 1 is not strict" Concept.BAE 1. g;
+        check_unstable "strict below" Concept.BAE 0.5 g);
+    tc "PS is the conjunction of RE and BAE" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                check_bool "conjunction"
+                  (Remove_eq.is_stable ~alpha g && Add_eq.is_stable ~alpha g)
+                  (Pairwise.is_stable ~alpha g))
+              [ 0.5; 1.; 2.; 5. ])
+          (Enumerate.connected_graphs_iso 5));
+    tc "BGE is the conjunction of PS and BSwE" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                check_bool "conjunction"
+                  (Pairwise.is_stable ~alpha g && Swap_eq.is_stable ~alpha g)
+                  (Greedy_eq.is_stable ~alpha g))
+              [ 0.5; 1.; 2.; 5. ])
+          (Enumerate.connected_graphs_iso 5));
+    tc "swap instability on the double broom" (fun () ->
+        (* the (RE, BAE, not BSwE) witness: r's swap partner takes the mass *)
+        let g = Graph.of_edges 9 [ (0, 1); (0, 2); (2, 3); (3, 4); (3, 5); (3, 6); (3, 7); (3, 8) ] in
+        check_stable "RE" Concept.RE 4. g;
+        check_stable "BAE" Concept.BAE 4. g;
+        check_unstable "BSwE" Concept.BSwE 4. g);
+    tc "star is stable for every concept at alpha >= 1 (footnote 6)" (fun () ->
+        List.iter
+          (fun n ->
+            let g = Gen.star n in
+            List.iter
+              (fun c -> check_stable (Printf.sprintf "star n=%d" n) c 1. g)
+              Concept.all_fixed;
+            List.iter
+              (fun c -> check_stable (Printf.sprintf "star n=%d" n) c 3.5 g)
+              Concept.all_fixed)
+          [ 4; 5; 7 ]);
+    tc "star is not BSE below alpha = 1" (fun () ->
+        check_unstable "clique forms" Concept.BSE 0.5 (Gen.star 5));
+    tc "checkers accept the empty and singleton graphs" (fun () ->
+        List.iter
+          (fun c ->
+            check_stable "singleton" c 2. (Graph.create 1);
+            check_stable "empty" c 2. (Graph.create 0))
+          [ Concept.RE; Concept.PS; Concept.BGE ]);
+    tc "witnesses returned by checkers are improving moves" (fun () ->
+        let r = rng 41 in
+        for _ = 1 to 60 do
+          let n = 3 + Random.State.int r 6 in
+          let g = Gen.random_connected r n ~p:0.35 in
+          let alpha = [| 0.5; 1.5; 3.; 8. |].(Random.State.int r 4) in
+          List.iter
+            (fun c ->
+              match Concept.check ~alpha c g with
+              | Verdict.Unstable m ->
+                  check_true
+                    (Printf.sprintf "%s witness improving" (Concept.name c))
+                    (Move.is_improving ~alpha g m)
+              | Verdict.Stable | Verdict.Exhausted _ -> ())
+            Concept.all_fixed
+        done);
+    tc "concept names are distinct" (fun () ->
+        let names = List.map Concept.name Concept.all_fixed in
+        check_int "distinct" (List.length names)
+          (List.length (List.sort_uniq String.compare names)));
+    tc "path of 4 is BSE at very high alpha (Prop 3.16)" (fun () ->
+        check_stable "P4" Concept.BSE 100. (Gen.path 4));
+    tc "diameter > 2 graphs are not BSE at alpha = 1 (Prop 3.16)" (fun () ->
+        List.iter
+          (fun g ->
+            match Paths.diameter g with
+            | Some d when d >= 3 -> check_unstable "diam >= 3" Concept.BSE 1. g
+            | _ -> ())
+          (Enumerate.connected_graphs_iso 5));
+    tc "clique is the only BSE for alpha < 1 (n <= 5, Prop 3.16)" (fun () ->
+        List.iter
+          (fun g ->
+            let stable = Verdict.is_stable (Strong_eq.check ~k:5 ~alpha:0.5 g) in
+            check_bool "clique iff BSE" (Graph.is_clique g) stable)
+          (Enumerate.connected_graphs_iso 5));
+  ]

@@ -1,0 +1,138 @@
+open Helpers
+
+let suite =
+  [
+    tc "stretched binary tree node count" (fun () ->
+        List.iter
+          (fun (d, k) ->
+            let s = Stretched.binary_tree ~d ~k in
+            check_int
+              (Printf.sprintf "d=%d k=%d" d k)
+              ((((1 lsl (d + 1)) - 2) * k) + 1)
+              (Graph.n s.Stretched.graph);
+            check_true "tree" (Tree.is_tree s.Stretched.graph))
+          [ (1, 1); (2, 3); (3, 2); (4, 1); (2, 5) ]);
+    tc "stretched distances are k times binary distances (Figure 3)" (fun () ->
+        let d = 3 and k = 3 in
+        let s = Stretched.binary_tree ~d ~k in
+        let b = Gen.almost_complete_dary ~d:2 ((1 lsl (d + 1)) - 1) in
+        let dist_t = Paths.apsp s.Stretched.graph and dist_b = Paths.apsp b in
+        Array.iteri
+          (fun i ti ->
+            Array.iteri
+              (fun j tj ->
+                check_int "scaled" (k * dist_b.(i).(j)) dist_t.(ti).(tj))
+              s.Stretched.b_vertex;
+            ignore ti)
+          s.Stretched.b_vertex);
+    tc "stretched depth is k * d" (fun () ->
+        let s = Stretched.binary_tree ~d:4 ~k:3 in
+        check_int "depth" 12 (Tree.depth (Tree.root_at s.Stretched.graph 0)));
+    tc "max_depth_for_size is maximal" (fun () ->
+        let k = 2 in
+        let target = 40. in
+        let d = Stretched.max_depth_for_size ~k ~target in
+        check_true "fits" (float_of_int (Stretched.size ~d ~k) <= target);
+        check_true "maximal" (float_of_int (Stretched.size ~d:(d + 1) ~k) > target);
+        check_raises_invalid "too small" (fun () ->
+            ignore (Stretched.max_depth_for_size ~k:3 ~target:4.)));
+    tc "Proposition 3.8: stretched trees are BGE at alpha = 7kn" (fun () ->
+        List.iter
+          (fun (d, k) ->
+            let s = Stretched.binary_tree ~d ~k in
+            let n = Graph.n s.Stretched.graph in
+            let alpha = Stretched.bge_stable_alpha ~k ~n in
+            check_stable (Printf.sprintf "d=%d k=%d" d k) Concept.BGE alpha s.Stretched.graph)
+          [ (3, 1); (4, 1); (3, 2); (2, 3) ]);
+    tc "stretched trees destabilise at small alpha" (fun () ->
+        let s = Stretched.binary_tree ~d:4 ~k:1 in
+        check_unstable "cheap edges" Concept.BGE 1.5 s.Stretched.graph);
+    tc "tree star size bounds (Lemma D.9)" (fun () ->
+        List.iter
+          (fun (k, t, eta) ->
+            let star = Stretched.tree_star ~k ~target_subtree:t ~target_size:eta in
+            let n = Graph.n star.Stretched.star_graph in
+            check_true "lower" (n >= eta);
+            check_true "upper" (float_of_int n <= 1.5 *. float_of_int eta);
+            check_true "tree" (Tree.is_tree star.Stretched.star_graph);
+            check_true "copies" (star.Stretched.copies >= 2))
+          [ (1, 10., 100); (2, 30., 200); (1, 31., 500) ]);
+    tc "tree star root degree equals the number of copies" (fun () ->
+        let star = Stretched.tree_star ~k:1 ~target_subtree:14. ~target_size:100 in
+        check_int "degree" star.Stretched.copies (Graph.degree star.Stretched.star_graph 0));
+    tc "tree star depth bound (Lemma D.9)" (fun () ->
+        let k = 2 and t = 50. in
+        let star = Stretched.tree_star ~k ~target_subtree:t ~target_size:300 in
+        let depth = Tree.depth (Tree.root_at star.Stretched.star_graph 0) in
+        check_true "<= 2 k log t"
+          (float_of_int depth <= 2. *. float_of_int k *. Bounds.log2 t));
+    tc "theorem 3.10 star is in BGE and has logarithmic rho" (fun () ->
+        let alpha = 600. in
+        let star = Stretched.theorem_310_star ~alpha ~eta:120 in
+        let g = star.Stretched.star_graph in
+        check_stable "BGE" Concept.BGE alpha g;
+        check_true "rho exceeds the paper's lower bound"
+          (Cost.rho ~alpha g >= Bounds.thm310_bge_lower ~alpha));
+    tc "Lemma D.1: average layer of a stretched tree is at least k(d - 3/2)" (fun () ->
+        List.iter
+          (fun (d, k) ->
+            let s = Stretched.binary_tree ~d ~k in
+            let t = Tree.root_at s.Stretched.graph 0 in
+            let n = Graph.n s.Stretched.graph in
+            let avg =
+              float_of_int (Array.fold_left ( + ) 0 t.Tree.layer) /. float_of_int n
+            in
+            check_true
+              (Printf.sprintf "d=%d k=%d" d k)
+              (avg >= float_of_int k *. (float_of_int d -. 1.5) -. 1e-9))
+          [ (2, 1); (3, 2); (4, 1); (3, 3); (5, 2) ]);
+    tc "Lemma D.10: measured rho of tree stars dominates the formula" (fun () ->
+        List.iter
+          (fun (k, t, eta, alpha) ->
+            let star = Stretched.tree_star ~k ~target_subtree:t ~target_size:eta in
+            let g = star.Stretched.star_graph in
+            let bound =
+              Bounds.lemma_d10_star_rho_lower ~n:(Graph.n g) ~k ~t ~alpha
+            in
+            check_true
+              (Printf.sprintf "k=%d t=%g eta=%d" k t eta)
+              (Cost.rho ~alpha g >= bound -. 1e-9))
+          [ (1, 20., 100, 300.); (2, 40., 250, 3000.); (1, 1000., 2100, 2100.) ]);
+    tc "Proposition 3.9: a stretched tree with rho above the bound exists" (fun () ->
+        (* eta = 2100, alpha = eta^1.35 (gamma = 0.65): build the Prop 3.9
+           stretched tree (k = ceil(alpha/eta), n <= eta/14) and compare
+           with 25/32 + gamma log2(eta) / 96 *)
+        let eta = 2100 in
+        let gamma = 0.65 in
+        let alpha = Float.pow (float_of_int eta) (2. -. gamma) in
+        let k = int_of_float (Float.ceil (alpha /. float_of_int eta)) in
+        let target = float_of_int eta /. 14. in
+        let d = Stretched.max_depth_for_size ~k ~target in
+        let s = Stretched.binary_tree ~d ~k in
+        let n = Graph.n s.Stretched.graph in
+        check_true "size window"
+          (n >= eta / 42 && n <= eta / 14);
+        let bound = (25. /. 32.) +. (gamma *. Bounds.log2 (float_of_int eta) /. 96.) in
+        check_true "rho above the Prop 3.9 bound"
+          (Cost.rho ~alpha s.Stretched.graph >= bound);
+        (* and the instance is certified BGE (alpha >= 7kn) *)
+        check_true "alpha covers 7kn" (alpha >= Stretched.bge_stable_alpha ~k ~n);
+        check_stable "BGE" Concept.BGE alpha s.Stretched.graph);
+    tc "cycle alpha windows (Lemma 2.4)" (fun () ->
+        let lo, hi = Cycle.bse_alpha_range 6 in
+        check_float "even lo" (9. -. 5.) lo;
+        check_float "even hi" 6. hi;
+        let lo, hi = Cycle.bse_alpha_range 7 in
+        check_float "odd lo" (12. -. 6.) lo;
+        check_float "odd hi" 12. hi;
+        check_true "midpoint inside" (lo < Cycle.midpoint_alpha 7 && Cycle.midpoint_alpha 7 < hi);
+        check_raises_invalid "small" (fun () -> ignore (Cycle.bse_alpha_range 2)));
+    tc "window widths" (fun () ->
+        (* even n: n(n-2)/4 - (n^2/4 - (n-1)) = n/2 - 1; odd n: n - 1 *)
+        List.iter
+          (fun n ->
+            let lo, hi = Cycle.bse_alpha_range n in
+            let expected = if n mod 2 = 0 then (n / 2) - 1 else n - 1 in
+            check_float (Printf.sprintf "n=%d" n) (float_of_int expected) (hi -. lo))
+          [ 4; 5; 6; 7; 10; 11 ]);
+  ]

@@ -1,0 +1,139 @@
+open Helpers
+
+let suite =
+  [
+    tc "equal split funds every edge" (fun () ->
+        let s = Cost_share.equal_split ~alpha:4. (Gen.cycle 5) in
+        List.iter
+          (fun e ->
+            check_float "total" 4. (Cost_share.edge_total s e);
+            let u, v = e in
+            check_float "u half" 2. (Cost_share.share s e u);
+            check_float "v half" 2. (Cost_share.share s e v);
+            check_float "stranger none" 0.
+              (Cost_share.share s e ((u + 2) mod 5)))
+          (Graph.edges (Gen.cycle 5)));
+    tc "make validates funding" (fun () ->
+        let g = Gen.path 3 in
+        check_raises_invalid "underfunded" (fun () ->
+            ignore (Cost_share.make ~alpha:4. g [ ((0, 1), [ (0, 1.) ]); ((1, 2), [ (1, 4.) ]) ]));
+        check_raises_invalid "missing edge" (fun () ->
+            ignore (Cost_share.make ~alpha:4. g [ ((0, 1), [ (0, 4.) ]) ]));
+        check_raises_invalid "funding a non-edge" (fun () ->
+            ignore
+              (Cost_share.make ~alpha:4. g
+                 [ ((0, 1), [ (0, 4.) ]); ((1, 2), [ (1, 4.) ]); ((0, 2), [ (0, 4.) ]) ]));
+        check_raises_invalid "negative share" (fun () ->
+            ignore
+              (Cost_share.make ~alpha:4. g
+                 [ ((0, 1), [ (0, 5.); (1, -1.) ]); ((1, 2), [ (1, 4.) ]) ])));
+    tc "third parties may fund" (fun () ->
+        let g = Gen.path 3 in
+        let s =
+          Cost_share.make ~alpha:4. g
+            [ ((0, 1), [ (2, 4.) ]); ((1, 2), [ (0, 2.); (1, 2.) ]) ]
+        in
+        check_float "agent 2 pays for a distant edge" 4. (Cost_share.agent_buy s 2);
+        check_float "agent 1 pays" 2. (Cost_share.agent_buy s 1));
+    tc "agent cost combines shares and distances" (fun () ->
+        let s = Cost_share.equal_split ~alpha:4. (Gen.star 5) in
+        let center = Cost_share.agent_cost s 0 in
+        check_float "center buy" 8. center.Cost.buy;
+        check_int "center dist" 4 center.Cost.dist);
+    tc "social cost counts each edge once" (fun () ->
+        let g = Gen.star 5 and alpha = 4. in
+        let s = Cost_share.equal_split ~alpha g in
+        (* 4 edges * alpha + total distances *)
+        let dist = (Cost.social_cost ~alpha g).Cost.social_dist in
+        check_float "social" ((4. *. alpha) +. float_of_int dist) (Cost_share.social_cost s));
+    tc "rho of the star is 1 at alpha >= 2" (fun () ->
+        check_float "star" 1. (Cost_share.rho (Cost_share.equal_split ~alpha:3. (Gen.star 7))));
+    tc "fund_edge and withdraw round-trip" (fun () ->
+        let s = Cost_share.equal_split ~alpha:4. (Gen.path 4) in
+        let s' = Cost_share.fund_edge s (0, 3) [ (0, 3.); (3, 1.) ] in
+        check_true "edge added" (Graph.has_edge (Cost_share.graph s') 0 3);
+        check_float "share recorded" 3. (Cost_share.share s' (0, 3) 0);
+        let s'' = Cost_share.withdraw s' (0, 3) [ 0 ] in
+        check_false "edge gone below alpha" (Graph.has_edge (Cost_share.graph s'') 0 3);
+        let s3 = Cost_share.withdraw s' (0, 3) [] in
+        check_true "no-op keeps edge" (Graph.has_edge (Cost_share.graph s3) 0 3));
+    tc "CE: a long path is destabilised by third-party funding" (fun () ->
+        (* On P6 at alpha = 8, no *pair* gains enough (PS holds) but the
+           crowd jointly gains more than alpha from the chord 1-4 *)
+        let g = Gen.path 6 and alpha = 8. in
+        check_stable "PS holds" Concept.PS alpha g;
+        let s = Cost_share.equal_split ~alpha g in
+        match Collaborative_eq.check s with
+        | Ok () -> Alcotest.fail "expected a CE violation"
+        | Error w ->
+            let s' = Collaborative_eq.apply s w in
+            List.iter
+              (fun m ->
+                check_true "mover strictly improves"
+                  (Cost.strictly_less (Cost_share.agent_cost s' m) (Cost_share.agent_cost s m)))
+              (Collaborative_eq.movers w));
+    tc "CE: the star is collaboratively stable" (fun () ->
+        List.iter
+          (fun alpha ->
+            check_true
+              (Printf.sprintf "alpha=%g" alpha)
+              (Collaborative_eq.is_stable (Cost_share.equal_split ~alpha (Gen.star 8))))
+          [ 2.; 5.; 50. ]);
+    tc "CE: defunding fires when a contributor overpays" (fun () ->
+        (* C4 funded entirely by agent 0 for the edge 2-3 she does not
+           care about: she saves alpha and loses little distance *)
+        let g = Gen.cycle 4 in
+        let s =
+          Cost_share.make ~alpha:4. g
+            [
+              ((0, 1), [ (0, 2.); (1, 2.) ]); ((1, 2), [ (1, 2.); (2, 2.) ]);
+              ((2, 3), [ (0, 4.) ]); ((0, 3), [ (0, 2.); (3, 2.) ]);
+            ]
+        in
+        match Collaborative_eq.check s with
+        | Error (Collaborative_eq.Defund ((2, 3), [ 0 ])) -> ()
+        | Error w ->
+            (* another violation may fire first; it must still verify *)
+            let s' = Collaborative_eq.apply s w in
+            List.iter
+              (fun m ->
+                check_true "mover improves"
+                  (Cost.strictly_less (Cost_share.agent_cost s' m) (Cost_share.agent_cost s m)))
+              (Collaborative_eq.movers w)
+        | Ok () -> Alcotest.fail "expected a violation");
+    tc "CE witnesses always verify on random trees" (fun () ->
+        let r = rng 101 in
+        for _ = 1 to 25 do
+          let n = 4 + Random.State.int r 6 in
+          let alpha = [| 2.; 4.; 8. |].(Random.State.int r 3) in
+          let s = Cost_share.equal_split ~alpha (Gen.random_tree r n) in
+          match Collaborative_eq.check s with
+          | Ok () -> ()
+          | Error w ->
+              let s' = Collaborative_eq.apply s w in
+              List.iter
+                (fun m ->
+                  check_true "improves"
+                    (Cost.strictly_less (Cost_share.agent_cost s' m)
+                       (Cost_share.agent_cost s m)))
+                (Collaborative_eq.movers w)
+        done);
+    tc "CE refines PS on enumerated trees" (fun () ->
+        (* every equal-split CE state has a PS-stable graph: a mutually
+           improving pair addition in the BNCG sense is in particular a
+           joint funding, and single-edge removals are single-agent
+           defunds...  the converse fails (the P6 case above), so count
+           both directions *)
+        let ce_not_ps = ref 0 and ps_not_ce = ref 0 in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                let ps = Pairwise.is_stable ~alpha g in
+                let ce = Collaborative_eq.is_stable (Cost_share.equal_split ~alpha g) in
+                if ce && not ps then incr ce_not_ps;
+                if ps && not ce then incr ps_not_ce)
+              [ 2.; 4.; 8. ])
+          (Enumerate.free_trees 7);
+        check_true "CE kills some PS states" (!ps_not_ce > 0));
+  ]

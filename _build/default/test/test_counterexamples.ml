@@ -1,0 +1,94 @@
+open Helpers
+
+let verify_case (c : Counterexamples.case) =
+  List.iter
+    (fun concept ->
+      check_stable (c.Counterexamples.name ^ " " ^ Concept.name concept) concept
+        c.Counterexamples.alpha c.Counterexamples.graph)
+    c.Counterexamples.stable;
+  List.iter
+    (fun (concept, m) ->
+      check_true
+        (Printf.sprintf "%s: %s witness improving" c.Counterexamples.name
+           (Concept.name concept))
+        (Move.is_improving ~alpha:c.Counterexamples.alpha c.Counterexamples.graph m))
+    c.Counterexamples.unstable
+
+let suite =
+  [
+    tc "figure 6 shape and distance costs match the proof" (fun () ->
+        let g = Counterexamples.figure6.Counterexamples.graph in
+        check_int "n" 10 (Graph.n g);
+        check_int "m" 10 (Graph.num_edges g);
+        (* dist(a) = 19, dist(b) = 27, dist(c) = 19 *)
+        check_int "dist a1" 19 (Paths.total_dist g 0).Paths.sum;
+        check_int "dist b1" 27 (Paths.total_dist g 4).Paths.sum;
+        check_int "dist c1" 19 (Paths.total_dist g 8).Paths.sum;
+        (* a sees two vertices at distance 3 and one at distance 4 *)
+        check_int "a: dist-3 count" 2 (List.length (Paths.neigh_exactly g 0 3));
+        check_int "a: dist-4 count" 1 (List.length (Paths.neigh_exactly g 0 4));
+        (* c sees three vertices at distance 3 *)
+        check_int "c: dist-3 count" 3 (List.length (Paths.neigh_exactly g 8 3)));
+    tc "figure 6 coalition gains match the proof (19 -> 17)" (fun () ->
+        let c = Counterexamples.figure6 in
+        let m = List.assoc (Concept.KBSE 2) c.Counterexamples.unstable in
+        let g' = Move.apply c.Counterexamples.graph m in
+        check_int "a1 after" 17 (Paths.total_dist g' 0).Paths.sum;
+        check_int "a3 after" 17 (Paths.total_dist g' 2).Paths.sum);
+    slow "figure 6 full verification" (fun () -> verify_case Counterexamples.figure6);
+    slow "figure 5 full verification" (fun () -> verify_case Counterexamples.figure5);
+    tc "figure 5 gain arithmetic matches the paper (104 / 105 / 2)" (fun () ->
+        let c = Counterexamples.figure5 in
+        let g = c.Counterexamples.graph in
+        let a = 0 in
+        (* identify b1 and c1 from the stored move *)
+        match List.assoc Concept.BNE c.Counterexamples.unstable with
+        | Move.Neighborhood { drop = [ b1; b2 ]; add = [ c1; c2 ]; _ } ->
+            (* single swap a: b1 -> c1 *)
+            let single = Graph.add_edge (Graph.remove_edge g a b1) a c1 in
+            let gain_c1 =
+              (Paths.total_dist g c1).Paths.sum - (Paths.total_dist single c1).Paths.sum
+            in
+            check_int "single swap partner gain" 104 gain_c1;
+            let double =
+              Graph.apply g
+                ~remove:[ (a, b1); (a, b2) ]
+                ~add:[ (a, c1); (a, c2) ]
+            in
+            let gain_a =
+              (Paths.total_dist g a).Paths.sum - (Paths.total_dist double a).Paths.sum
+            in
+            check_int "a's double swap gain" 2 gain_a;
+            let gain_c1d =
+              (Paths.total_dist g c1).Paths.sum - (Paths.total_dist double c1).Paths.sum
+            in
+            check_int "double swap partner gain" 105 gain_c1d;
+            let gain_c2d =
+              (Paths.total_dist g c2).Paths.sum - (Paths.total_dist double c2).Paths.sum
+            in
+            check_int "second partner gain" 105 gain_c2d
+        | _ -> Alcotest.fail "unexpected move shape");
+    tc "figure 7 distance arithmetic matches the proof" (fun () ->
+        let c = Counterexamples.figure7 ~k:2 in
+        let g = c.Counterexamples.graph in
+        let i = 40 in
+        (* dist of a c-vertex before: 4 + 12(i-1); after the big move:
+           3 + 8(i-1) *)
+        check_int "c before" (4 + (12 * (i - 1))) (Paths.total_dist g 2).Paths.sum;
+        let m = List.assoc Concept.BNE c.Counterexamples.unstable in
+        let g' = Move.apply g m in
+        check_int "c after" (3 + (8 * (i - 1))) (Paths.total_dist g' 2).Paths.sum;
+        check_int "a before" (6 * i) (Paths.total_dist g 0).Paths.sum;
+        check_int "a after" (5 * i) (Paths.total_dist g' 0).Paths.sum);
+    slow "figure 7 (k=2) full verification" (fun () ->
+        verify_case (Counterexamples.figure7 ~k:2));
+    tc "figure 7 parameter guard" (fun () ->
+        check_raises_invalid "k=1" (fun () -> ignore (Counterexamples.figure7 ~k:1)));
+    tc "figure 8 equivalent" (fun () ->
+        verify_case Counterexamples.figure8_equivalent;
+        match Unilateral.is_add_eq ~alpha:5. Counterexamples.figure8_equivalent.Counterexamples.graph with
+        | Ok () -> Alcotest.fail "expected a unilateral AE violation"
+        | Error _ -> ());
+    tc "vertex name table matches figure 6 size" (fun () ->
+        check_int "names" 10 (Array.length Counterexamples.figure6_vertex_names));
+  ]

@@ -1,0 +1,58 @@
+open Helpers
+
+let suite =
+  [
+    tc "an equilibrium start converges in zero steps" (fun () ->
+        let r = Dynamics.run ~concept:Concept.PS ~alpha:2. (Gen.star 7) in
+        check_int "steps" 0 r.Dynamics.steps;
+        check_true "converged" (r.Dynamics.status = Dynamics.Converged);
+        check_graph "unchanged" (Gen.star 7) r.Dynamics.final);
+    tc "PS dynamics from a path converge to a PS graph" (fun () ->
+        let r = Dynamics.run ~concept:Concept.PS ~alpha:2. (Gen.path 8) in
+        check_true "converged" (r.Dynamics.status = Dynamics.Converged);
+        check_stable "final is stable" Concept.PS 2. r.Dynamics.final);
+    tc "BGE dynamics from random trees converge and certify" (fun () ->
+        let rand = rng 91 in
+        for _ = 1 to 8 do
+          let g = Gen.random_tree rand 8 in
+          let r = Dynamics.run ~concept:Concept.BGE ~alpha:3. g in
+          match r.Dynamics.status with
+          | Dynamics.Converged -> check_stable "certified" Concept.BGE 3. r.Dynamics.final
+          | Dynamics.Cycled | Dynamics.Max_steps -> ()
+          | Dynamics.Budget_exhausted -> Alcotest.fail "unexpected budget exhaustion"
+        done);
+    tc "3-BSE dynamics improve the social cost ratio" (fun () ->
+        let g = Gen.path 9 and alpha = 2. in
+        let r = Dynamics.run ~concept:(Concept.KBSE 3) ~alpha g in
+        check_true "converged" (r.Dynamics.status = Dynamics.Converged);
+        check_true "rho not worse" (Cost.rho ~alpha r.Dynamics.final <= Cost.rho ~alpha g +. 1e-9));
+    tc "max_steps is honoured" (fun () ->
+        let g = Gen.path 9 in
+        let r = Dynamics.run ~max_steps:0 ~concept:Concept.PS ~alpha:1.5 g in
+        check_true "stopped"
+          (r.Dynamics.status = Dynamics.Max_steps || r.Dynamics.status = Dynamics.Converged);
+        check_int "no steps" 0 r.Dynamics.steps);
+    tc "rho_trace starts at the initial graph" (fun () ->
+        let g = Gen.path 6 and alpha = 2. in
+        let r = Dynamics.run ~concept:Concept.PS ~alpha g in
+        match r.Dynamics.rho_trace with
+        | first :: _ -> check_float "initial rho" (Cost.rho ~alpha g) first
+        | [] -> Alcotest.fail "empty trace");
+    tc "status strings" (fun () ->
+        List.iter
+          (fun s -> check_true "nonempty" (String.length (Dynamics.status_to_string s) > 0))
+          [ Dynamics.Converged; Dynamics.Cycled; Dynamics.Max_steps; Dynamics.Budget_exhausted ]);
+    tc "dynamics from the figure 6 perturbation return to stability" (fun () ->
+        (* apply the 2-BSE move, then let 2-BSE dynamics continue: every
+           reached state must keep improving the movers *)
+        let c = Counterexamples.figure6 in
+        let m = List.assoc (Concept.KBSE 2) c.Counterexamples.unstable in
+        let g1 = Move.apply c.Counterexamples.graph m in
+        let r = Dynamics.run ~max_steps:50 ~concept:(Concept.KBSE 2) ~alpha:c.Counterexamples.alpha g1 in
+        match r.Dynamics.status with
+        | Dynamics.Converged ->
+            check_true "certified"
+              (Verdict.is_stable
+                 (Strong_eq.check ~k:2 ~alpha:c.Counterexamples.alpha r.Dynamics.final))
+        | Dynamics.Cycled | Dynamics.Max_steps | Dynamics.Budget_exhausted -> ());
+  ]

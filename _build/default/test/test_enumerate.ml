@@ -1,0 +1,75 @@
+open Helpers
+
+(* OEIS A000081 (rooted trees) and A000055 (free trees), offset by n. *)
+let rooted_counts = [ (1, 1); (2, 1); (3, 2); (4, 4); (5, 9); (6, 20); (7, 48); (8, 115); (9, 286); (10, 719) ]
+let free_counts = [ (1, 1); (2, 1); (3, 1); (4, 2); (5, 3); (6, 6); (7, 11); (8, 23); (9, 47); (10, 106); (11, 235) ]
+let connected_iso_counts = [ (1, 1); (2, 1); (3, 2); (4, 6); (5, 21); (6, 112) ]
+
+let suite =
+  [
+    tc "rooted tree counts match A000081" (fun () ->
+        List.iter
+          (fun (n, expected) ->
+            check_int (Printf.sprintf "n=%d" n) expected (Enumerate.rooted_tree_count n))
+          rooted_counts);
+    tc "free tree counts match A000055" (fun () ->
+        List.iter
+          (fun (n, expected) ->
+            check_int (Printf.sprintf "n=%d" n) expected
+              (List.length (Enumerate.free_trees n)))
+          free_counts);
+    tc "free trees are trees of the right size" (fun () ->
+        List.iter
+          (fun g ->
+            check_true "tree" (Tree.is_tree g);
+            check_int "size" 8 (Graph.n g))
+          (Enumerate.free_trees 8));
+    tc "free trees are pairwise non-isomorphic" (fun () ->
+        let codes = List.map Iso.tree_code (Enumerate.free_trees 9) in
+        check_int "distinct" (List.length codes)
+          (List.length (List.sort_uniq String.compare codes)));
+    tc "free_trees guards" (fun () ->
+        check_raises_invalid "negative" (fun () -> ignore (Enumerate.free_trees (-1)));
+        check_raises_invalid "too large" (fun () -> ignore (Enumerate.free_trees 19)));
+    tc "labeled tree counts are n^(n-2)" (fun () ->
+        List.iter
+          (fun n ->
+            let count = ref 0 in
+            Enumerate.iter_labeled_trees n (fun g ->
+                incr count;
+                assert (Tree.is_tree g));
+            check_int
+              (Printf.sprintf "n=%d" n)
+              (int_of_float (float_of_int n ** float_of_int (n - 2)))
+              !count)
+          [ 3; 4; 5; 6 ]);
+    tc "connected labeled graph count n=4 is 38" (fun () ->
+        let count = ref 0 in
+        Enumerate.iter_connected_graphs 4 (fun _ -> incr count);
+        check_int "A001187(4)" 38 !count);
+    tc "connected iso-class counts match A001349" (fun () ->
+        List.iter
+          (fun (n, expected) ->
+            check_int (Printf.sprintf "n=%d" n) expected
+              (List.length (Enumerate.connected_graphs_iso n)))
+          connected_iso_counts);
+    tc "connected iso classes are connected and non-isomorphic" (fun () ->
+        let gs = Enumerate.connected_graphs_iso 5 in
+        List.iter (fun g -> check_true "connected" (Paths.is_connected g)) gs;
+        let rec pairwise = function
+          | [] -> ()
+          | g :: rest ->
+              List.iter (fun h -> check_false "non-isomorphic" (Iso.isomorphic g h)) rest;
+              pairwise rest
+        in
+        pairwise gs);
+    tc "rooted tree enumeration yields valid rooted trees" (fun () ->
+        Enumerate.iter_rooted_trees 7 (fun (g, root) ->
+            check_true "tree" (Tree.is_tree g);
+            check_int "root" 0 root));
+    tc "enumeration guards" (fun () ->
+        check_raises_invalid "labeled too large" (fun () ->
+            Enumerate.iter_labeled_trees 10 (fun _ -> ()));
+        check_raises_invalid "connected too large" (fun () ->
+            Enumerate.iter_connected_graphs 8 (fun _ -> ())));
+  ]

@@ -1,0 +1,110 @@
+open Helpers
+
+let suite =
+  [
+    tc "star shape" (fun () ->
+        let g = Gen.star 7 in
+        check_int "m" 6 (Graph.num_edges g);
+        check_int "center degree" 6 (Graph.degree g 0);
+        check_true "is tree" (Tree.is_tree g));
+    tc "path shape" (fun () ->
+        let g = Gen.path 6 in
+        check_int "m" 5 (Graph.num_edges g);
+        check_int "end degree" 1 (Graph.degree g 0);
+        check_int "mid degree" 2 (Graph.degree g 3);
+        Alcotest.(check (option int)) "diameter" (Some 5) (Paths.diameter g));
+    tc "degenerate sizes" (fun () ->
+        check_int "star 1" 0 (Graph.num_edges (Gen.star 1));
+        check_int "path 1" 0 (Graph.num_edges (Gen.path 1));
+        check_int "clique 1" 0 (Graph.num_edges (Gen.clique 1)));
+    tc "cycle shape" (fun () ->
+        let g = Gen.cycle 5 in
+        check_int "m" 5 (Graph.num_edges g);
+        for u = 0 to 4 do
+          check_int "2-regular" 2 (Graph.degree g u)
+        done;
+        check_raises_invalid "too small" (fun () -> ignore (Gen.cycle 2)));
+    tc "clique shape" (fun () ->
+        let g = Gen.clique 5 in
+        check_int "m" 10 (Graph.num_edges g);
+        check_true "is clique" (Graph.is_clique g));
+    tc "complete d-ary tree" (fun () ->
+        let g = Gen.complete_dary ~d:2 ~depth:3 in
+        check_int "n" 15 (Graph.n g);
+        check_true "tree" (Tree.is_tree g);
+        check_int "depth" 3 (Tree.depth (Tree.root_at g 0));
+        let t = Gen.complete_dary ~d:3 ~depth:2 in
+        check_int "ternary n" 13 (Graph.n t));
+    tc "complete 1-ary tree is a path" (fun () ->
+        check_graph "path" (Gen.path 5) (Gen.complete_dary ~d:1 ~depth:4));
+    tc "almost complete d-ary tree" (fun () ->
+        let g = Gen.almost_complete_dary ~d:2 11 in
+        check_true "tree" (Tree.is_tree g);
+        check_true "parent rule" (Graph.has_edge g 7 3);
+        check_int "depth" 3 (Tree.depth (Tree.root_at g 0));
+        (* degrees: every vertex has at most d + 1 neighbours *)
+        for u = 0 to 10 do
+          check_true "degree bound" (Graph.degree g u <= 3)
+        done);
+    tc "double_star" (fun () ->
+        let g = Gen.double_star 3 2 in
+        check_int "n" 7 (Graph.n g);
+        check_int "deg 0" 4 (Graph.degree g 0);
+        check_int "deg 1" 3 (Graph.degree g 1);
+        check_true "tree" (Tree.is_tree g));
+    tc "broom" (fun () ->
+        let g = Gen.broom ~handle:3 ~bristles:5 in
+        check_int "n" 8 (Graph.n g);
+        check_int "brush degree" 6 (Graph.degree g 2);
+        check_true "tree" (Tree.is_tree g));
+    tc "spider" (fun () ->
+        let g = Gen.spider ~legs:3 ~leg_len:4 in
+        check_int "n" 13 (Graph.n g);
+        check_int "root degree" 3 (Graph.degree g 0);
+        Alcotest.(check (option int)) "diameter" (Some 8) (Paths.diameter g);
+        check_true "tree" (Tree.is_tree g));
+    tc "of_parents" (fun () ->
+        let g = Gen.of_parents [| -1; 0; 0; 1 |] in
+        check_true "tree" (Tree.is_tree g);
+        check_true "edge" (Graph.has_edge g 1 3);
+        check_raises_invalid "bad root" (fun () -> ignore (Gen.of_parents [| 0; 0 |]));
+        check_raises_invalid "self parent" (fun () -> ignore (Gen.of_parents [| -1; 1 |])));
+    tc "of_pruefer known decoding" (fun () ->
+        (* code [3;3;3;4] on 6 vertices: leaves 0,1,2 attach to 3, then 3
+           to 4, then 4-5 closes. *)
+        let g = Gen.of_pruefer [| 3; 3; 3; 4 |] in
+        check_true "0-3" (Graph.has_edge g 0 3);
+        check_true "1-3" (Graph.has_edge g 1 3);
+        check_true "2-3" (Graph.has_edge g 2 3);
+        check_true "3-4" (Graph.has_edge g 3 4);
+        check_true "4-5" (Graph.has_edge g 4 5);
+        check_int "m" 5 (Graph.num_edges g));
+    tc "of_pruefer empty code gives single edge" (fun () ->
+        check_graph "K2" (Graph.of_edges 2 [ (0, 1) ]) (Gen.of_pruefer [||]));
+    tc "random_tree is a tree" (fun () ->
+        let r = rng 42 in
+        for _ = 1 to 30 do
+          let n = 1 + Random.State.int r 20 in
+          check_true "tree" (Tree.is_tree (Gen.random_tree r n))
+        done);
+    tc "preferential attachment is connected with heavy-degree hubs" (fun () ->
+        let r = rng 71 in
+        for _ = 1 to 15 do
+          let n = 2 + Random.State.int r 40 in
+          let g = Gen.preferential_attachment r n ~m:2 in
+          check_true "connected" (Paths.is_connected g);
+          check_true "at least a tree" (Graph.num_edges g >= n - 1)
+        done;
+        let g = Gen.preferential_attachment (rng 5) 60 ~m:1 in
+        check_true "m=1 gives a tree" (Tree.is_tree g);
+        check_raises_invalid "m=0" (fun () ->
+            ignore (Gen.preferential_attachment (rng 1) 5 ~m:0)));
+    tc "random_connected is connected and contains n-1+ edges" (fun () ->
+        let r = rng 43 in
+        for _ = 1 to 20 do
+          let n = 2 + Random.State.int r 12 in
+          let g = Gen.random_connected r n ~p:0.3 in
+          check_true "connected" (Paths.is_connected g);
+          check_true "enough edges" (Graph.num_edges g >= n - 1)
+        done);
+  ]

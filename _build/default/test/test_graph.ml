@@ -1,0 +1,99 @@
+open Helpers
+
+let suite =
+  [
+    tc "create sizes" (fun () ->
+        check_int "n" 5 (Graph.n (Graph.create 5));
+        check_int "m" 0 (Graph.num_edges (Graph.create 5));
+        check_int "empty" 0 (Graph.n (Graph.create 0)));
+    tc "create negative rejected" (fun () ->
+        check_raises_invalid "create" (fun () -> Graph.create (-1)));
+    tc "add_edge basic" (fun () ->
+        let g = Graph.add_edge (Graph.create 3) 0 2 in
+        check_true "has" (Graph.has_edge g 0 2);
+        check_true "symmetric" (Graph.has_edge g 2 0);
+        check_false "absent" (Graph.has_edge g 0 1);
+        check_int "m" 1 (Graph.num_edges g));
+    tc "add_edge idempotent and persistent" (fun () ->
+        let g = Graph.add_edge (Graph.create 3) 0 1 in
+        let g' = Graph.add_edge g 0 1 in
+        check_true "physically equal" (g == g');
+        let g2 = Graph.add_edge g 1 2 in
+        check_false "original untouched" (Graph.has_edge g 1 2);
+        check_true "new has" (Graph.has_edge g2 1 2));
+    tc "add_edge rejects loops and out of range" (fun () ->
+        check_raises_invalid "loop" (fun () -> Graph.add_edge (Graph.create 3) 1 1);
+        check_raises_invalid "range" (fun () -> Graph.add_edge (Graph.create 3) 0 3));
+    tc "remove_edge" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+        let g' = Graph.remove_edge g 1 2 in
+        check_false "removed" (Graph.has_edge g' 1 2);
+        check_int "m" 2 (Graph.num_edges g');
+        check_true "absent removal is no-op" (Graph.remove_edge g 0 3 == g));
+    tc "neighbors sorted" (fun () ->
+        let g = Graph.of_edges 5 [ (2, 4); (2, 0); (2, 3) ] in
+        Alcotest.(check (array int)) "sorted" [| 0; 3; 4 |] (Graph.neighbors g 2));
+    tc "degree and max_degree" (fun () ->
+        let g = Gen.star 6 in
+        check_int "center" 5 (Graph.degree g 0);
+        check_int "leaf" 1 (Graph.degree g 3);
+        check_int "max" 5 (Graph.max_degree g));
+    tc "edges sorted lexicographically" (fun () ->
+        let g = Graph.of_edges 4 [ (2, 3); (0, 2); (0, 1) ] in
+        Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 2); (2, 3) ] (Graph.edges g));
+    tc "non_edges complements edges" (fun () ->
+        let g = Gen.cycle 5 in
+        check_int "count" (10 - 5) (List.length (Graph.non_edges g));
+        List.iter
+          (fun (u, v) -> check_false "not an edge" (Graph.has_edge g u v))
+          (Graph.non_edges g));
+    tc "of_edges ignores duplicates" (fun () ->
+        let g = Graph.of_edges 3 [ (0, 1); (1, 0); (0, 1) ] in
+        check_int "m" 1 (Graph.num_edges g));
+    tc "equal and compare" (fun () ->
+        let g = Graph.of_edges 3 [ (0, 1) ] and h = Graph.of_edges 3 [ (0, 1) ] in
+        check_true "equal" (Graph.equal g h);
+        check_int "compare" 0 (Graph.compare g h);
+        check_false "different" (Graph.equal g (Graph.of_edges 3 [ (0, 2) ])));
+    tc "relabel by permutation" (fun () ->
+        let g = Gen.path 4 in
+        let g' = Graph.relabel g [| 3; 2; 1; 0 |] in
+        check_graph "reverse of a path is the same path" g g';
+        check_raises_invalid "not a permutation" (fun () -> Graph.relabel g [| 0; 0; 1; 2 |]));
+    tc "induced subgraph" (fun () ->
+        let g = Gen.cycle 5 in
+        let sub = Graph.induced g [| 0; 1; 2 |] in
+        check_graph "path on 3" (Gen.path 3) sub;
+        check_raises_invalid "duplicate vertex" (fun () -> Graph.induced g [| 0; 0 |]));
+    tc "disjoint_union" (fun () ->
+        let g = Graph.disjoint_union (Gen.path 2) (Gen.path 2) in
+        check_int "n" 4 (Graph.n g);
+        check_true "first" (Graph.has_edge g 0 1);
+        check_true "second" (Graph.has_edge g 2 3);
+        check_false "no cross" (Graph.has_edge g 1 2));
+    tc "complement" (fun () ->
+        check_graph "complement of empty is clique" (Gen.clique 4)
+          (Graph.complement (Graph.create 4));
+        check_graph "involution" (Gen.cycle 5) (Graph.complement (Graph.complement (Gen.cycle 5))));
+    tc "is_clique" (fun () ->
+        check_true "clique" (Graph.is_clique (Gen.clique 4));
+        check_false "cycle" (Graph.is_clique (Gen.cycle 4)));
+    tc "apply add wins over remove" (fun () ->
+        let g = Graph.of_edges 3 [ (0, 1) ] in
+        let g' = Graph.apply g ~add:[ (0, 1); (1, 2) ] ~remove:[ (0, 1) ] in
+        check_true "re-added" (Graph.has_edge g' 0 1);
+        check_true "added" (Graph.has_edge g' 1 2));
+    tc "adjacency_key distinguishes labelled graphs" (fun () ->
+        let a = Graph.of_edges 3 [ (0, 1) ] and b = Graph.of_edges 3 [ (0, 2) ] in
+        check_false "distinct" (String.equal (Graph.adjacency_key a) (Graph.adjacency_key b));
+        check_true "stable" (String.equal (Graph.adjacency_key a) (Graph.adjacency_key a)));
+    tc "fold and iter neighbors" (fun () ->
+        let g = Gen.star 5 in
+        check_int "fold" 10 (Graph.fold_neighbors (fun acc v -> acc + v) 0 g 0);
+        let count = ref 0 in
+        Graph.iter_neighbors (fun _ -> incr count) g 0;
+        check_int "iter" 4 !count);
+    tc "to_string mentions edges" (fun () ->
+        let s = Graph.to_string (Graph.of_edges 2 [ (0, 1) ]) in
+        check_true "contains" (String.length s > 0));
+  ]

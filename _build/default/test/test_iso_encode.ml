@@ -1,0 +1,112 @@
+open Helpers
+
+let random_permutation r n =
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int r (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm
+
+let suite =
+  [
+    tc "centers of paths" (fun () ->
+        Alcotest.(check (list int)) "odd" [ 2 ] (Iso.centers (Gen.path 5));
+        Alcotest.(check (list int)) "even" [ 2; 3 ] (Iso.centers (Gen.path 6));
+        Alcotest.(check (list int)) "single" [ 0 ] (Iso.centers (Graph.create 1));
+        Alcotest.(check (list int)) "edge" [ 0; 1 ] (Iso.centers (Gen.path 2)));
+    tc "centers of star and spider" (fun () ->
+        Alcotest.(check (list int)) "star" [ 0 ] (Iso.centers (Gen.star 8));
+        Alcotest.(check (list int)) "spider" [ 0 ] (Iso.centers (Gen.spider ~legs:3 ~leg_len:3)));
+    tc "center differs from median in general" (fun () ->
+        (* broom: long handle with heavy brush; median sits at the brush,
+           center midway along the handle *)
+        let g = Gen.broom ~handle:7 ~bristles:8 in
+        check_int "median" 6 (Tree.median g);
+        check_true "center not median"
+          (not (List.mem (Tree.median g) (Iso.centers g))));
+    tc "tree_code invariant under relabelling" (fun () ->
+        let r = rng 17 in
+        for _ = 1 to 40 do
+          let n = 2 + Random.State.int r 12 in
+          let g = Gen.random_tree r n in
+          let g' = Graph.relabel g (random_permutation r n) in
+          Alcotest.(check string) "same code" (Iso.tree_code g) (Iso.tree_code g')
+        done);
+    tc "tree_code separates non-isomorphic trees" (fun () ->
+        check_false "path vs star"
+          (String.equal (Iso.tree_code (Gen.path 5)) (Iso.tree_code (Gen.star 5)));
+        check_true "2-leg spider IS a path"
+          (String.equal
+             (Iso.tree_code (Gen.spider ~legs:2 ~leg_len:2))
+             (Iso.tree_code (Gen.path 5)));
+        check_false "double star vs path"
+          (String.equal (Iso.tree_code (Gen.double_star 2 2)) (Iso.tree_code (Gen.path 6))));
+    tc "tree_code rejects non-trees" (fun () ->
+        check_raises_invalid "cycle" (fun () -> ignore (Iso.tree_code (Gen.cycle 4))));
+    tc "isomorphic accepts relabellings" (fun () ->
+        let r = rng 23 in
+        for _ = 1 to 30 do
+          let n = 2 + Random.State.int r 9 in
+          let g = Gen.random_connected r n ~p:0.4 in
+          let g' = Graph.relabel g (random_permutation r n) in
+          check_true "isomorphic" (Iso.isomorphic g g')
+        done);
+    tc "isomorphic rejects different graphs" (fun () ->
+        check_false "path vs star" (Iso.isomorphic (Gen.path 5) (Gen.star 5));
+        check_false "C6 vs 2xC3"
+          (Iso.isomorphic (Gen.cycle 6) (Graph.disjoint_union (Gen.cycle 3) (Gen.cycle 3)));
+        check_false "different sizes" (Iso.isomorphic (Gen.path 3) (Gen.path 4)));
+    tc "isomorphic distinguishes same-degree-sequence graphs" (fun () ->
+        (* C6 vs two triangles share the degree sequence (all 2s) *)
+        let c6 = Gen.cycle 6 in
+        let tri2 = Graph.disjoint_union (Gen.cycle 3) (Gen.cycle 3) in
+        check_false "not isomorphic" (Iso.isomorphic c6 tri2));
+    tc "fingerprint invariant and discriminating" (fun () ->
+        let r = rng 29 in
+        for _ = 1 to 20 do
+          let n = 3 + Random.State.int r 8 in
+          let g = Gen.random_connected r n ~p:0.4 in
+          let g' = Graph.relabel g (random_permutation r n) in
+          Alcotest.(check string) "invariant" (Iso.fingerprint g) (Iso.fingerprint g')
+        done;
+        check_false "path vs star"
+          (String.equal (Iso.fingerprint (Gen.path 5)) (Iso.fingerprint (Gen.star 5))));
+    tc "canonical_key is a canonical form" (fun () ->
+        let r = rng 31 in
+        for _ = 1 to 20 do
+          let n = 2 + Random.State.int r 7 in
+          let g = Gen.random_connected r n ~p:0.4 in
+          let g' = Graph.relabel g (random_permutation r n) in
+          Alcotest.(check string) "equal keys" (Iso.canonical_key g) (Iso.canonical_key g')
+        done;
+        check_false "distinct graphs, distinct keys"
+          (String.equal (Iso.canonical_key (Gen.path 4)) (Iso.canonical_key (Gen.star 4))));
+    tc "graph6 roundtrip small" (fun () ->
+        List.iter
+          (fun g -> check_graph "roundtrip" g (Encode.of_graph6 (Encode.to_graph6 g)))
+          [
+            Graph.create 0; Graph.create 1; Gen.path 2; Gen.cycle 5; Gen.star 9;
+            Gen.clique 6; Graph.of_edges 4 [ (0, 3); (1, 2) ];
+          ]);
+    tc "graph6 roundtrip random" (fun () ->
+        let r = rng 37 in
+        for _ = 1 to 30 do
+          let n = 1 + Random.State.int r 20 in
+          let g = Gen.random_connected r n ~p:0.3 in
+          check_graph "roundtrip" g (Encode.of_graph6 (Encode.to_graph6 g))
+        done);
+    tc "graph6 long form for n > 62" (fun () ->
+        let g = Gen.star 100 in
+        let s = Encode.to_graph6 g in
+        check_int "long prefix" 126 (Char.code s.[0]);
+        check_graph "roundtrip" g (Encode.of_graph6 s));
+    tc "graph6 known value for C5" (fun () ->
+        Alcotest.(check string) "C5" "Dhc" (Encode.to_graph6 (Gen.cycle 5)));
+    tc "of_graph6 rejects malformed input" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (Encode.of_graph6 ""));
+        check_raises_invalid "truncated" (fun () -> ignore (Encode.of_graph6 "D"));
+        check_raises_invalid "bad char" (fun () -> ignore (Encode.of_graph6 "D\x01\x01\x01")));
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "bncg"
+    [
+      ("graph", Test_graph.suite);
+      ("paths", Test_paths.suite);
+      ("tree", Test_tree.suite);
+      ("gen", Test_gen.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("iso-encode", Test_iso_encode.suite);
+      ("cost", Test_cost.suite);
+      ("delta-strategy", Test_delta_strategy.suite);
+      ("unilateral", Test_unilateral.suite);
+      ("move-verdict", Test_move.suite);
+      ("checkers", Test_checkers.suite);
+      ("neighborhood", Test_neighborhood.suite);
+      ("strong", Test_strong.suite);
+      ("relations", Test_relations.suite);
+      ("constructions", Test_constructions.suite);
+      ("counterexamples", Test_counterexamples.suite);
+      ("poa-bounds", Test_poa_bounds.suite);
+      ("dynamics", Test_dynamics.suite);
+      ("report", Test_report.suite);
+      ("optimum", Test_optimum.suite);
+      ("alpha-profile", Test_alpha_profile.suite);
+      ("witness-search", Test_witness_search.suite);
+      ("cost-share", Test_cost_share.suite);
+      ("local-moves", Test_local_moves.suite);
+      ("analysis-extras", Test_analysis_extras.suite);
+      ("properties", Test_props.suite);
+    ]

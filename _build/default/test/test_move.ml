@@ -1,0 +1,86 @@
+open Helpers
+
+let suite =
+  [
+    tc "apply remove / add / swap" (fun () ->
+        let g = Gen.path 4 in
+        let g1 = Move.apply g (Move.Remove { agent = 1; target = 2 }) in
+        check_false "removed" (Graph.has_edge g1 1 2);
+        let g2 = Move.apply g (Move.Bilateral_add { u = 0; v = 3 }) in
+        check_true "added" (Graph.has_edge g2 0 3);
+        let g3 = Move.apply g (Move.Bilateral_swap { u = 0; drop = 1; add = 3 }) in
+        check_false "dropped" (Graph.has_edge g3 0 1);
+        check_true "gained" (Graph.has_edge g3 0 3));
+    tc "apply neighborhood move" (fun () ->
+        let g = Gen.star 5 in
+        let g' =
+          Move.apply g (Move.Neighborhood { agent = 1; drop = [ 0 ]; add = [ 2; 3 ] })
+        in
+        check_false "dropped" (Graph.has_edge g' 1 0);
+        check_true "added 2" (Graph.has_edge g' 1 2);
+        check_true "added 3" (Graph.has_edge g' 1 3));
+    tc "apply coalition move" (fun () ->
+        let g = Gen.cycle 5 in
+        let m =
+          Move.Coalition { members = [ 0; 2 ]; remove = [ (0, 1) ]; add = [ (0, 2) ] }
+        in
+        let g' = Move.apply g m in
+        check_false "removed" (Graph.has_edge g' 0 1);
+        check_true "added" (Graph.has_edge g' 0 2));
+    tc "apply validates move shape" (fun () ->
+        let g = Gen.path 4 in
+        check_raises_invalid "remove absent" (fun () ->
+            ignore (Move.apply g (Move.Remove { agent = 0; target = 3 })));
+        check_raises_invalid "add present" (fun () ->
+            ignore (Move.apply g (Move.Bilateral_add { u = 0; v = 1 })));
+        check_raises_invalid "swap to neighbour" (fun () ->
+            ignore (Move.apply g (Move.Bilateral_swap { u = 1; drop = 0; add = 2 })));
+        check_raises_invalid "empty neighborhood" (fun () ->
+            ignore (Move.apply g (Move.Neighborhood { agent = 0; drop = []; add = [] })));
+        check_raises_invalid "coalition add outside" (fun () ->
+            ignore
+              (Move.apply g (Move.Coalition { members = [ 0 ]; remove = []; add = [ (0, 2) ] })));
+        check_raises_invalid "coalition removal not touching" (fun () ->
+            ignore
+              (Move.apply g (Move.Coalition { members = [ 0 ]; remove = [ (2, 3) ]; add = [] }))));
+    tc "participants" (fun () ->
+        Alcotest.(check (list int)) "remove" [ 4 ]
+          (Move.participants (Move.Remove { agent = 4; target = 1 }));
+        Alcotest.(check (list int)) "add" [ 1; 2 ]
+          (Move.participants (Move.Bilateral_add { u = 1; v = 2 }));
+        Alcotest.(check (list int)) "swap" [ 0; 5 ]
+          (Move.participants (Move.Bilateral_swap { u = 0; drop = 2; add = 5 }));
+        Alcotest.(check (list int)) "neighborhood" [ 3; 1; 2 ]
+          (Move.participants (Move.Neighborhood { agent = 3; drop = [ 0 ]; add = [ 1; 2 ] }));
+        Alcotest.(check (list int)) "coalition" [ 1; 2; 3 ]
+          (Move.participants (Move.Coalition { members = [ 1; 2; 3 ]; remove = []; add = [] })));
+    tc "coalition_size" (fun () ->
+        check_int "remove" 1 (Move.coalition_size (Move.Remove { agent = 0; target = 1 }));
+        check_int "add" 2 (Move.coalition_size (Move.Bilateral_add { u = 0; v = 1 }));
+        check_int "neighborhood" 3
+          (Move.coalition_size (Move.Neighborhood { agent = 0; drop = []; add = [ 1; 2 ] })));
+    tc "is_improving checks every participant" (fun () ->
+        let g = Gen.path 5 and alpha = 1.5 in
+        (* adding 0-4: both endpoints gain > alpha *)
+        check_true "good add" (Move.is_improving ~alpha g (Move.Bilateral_add { u = 0; v = 4 }));
+        (* adding 0-2: vertex 2 gains only 1 < alpha *)
+        check_false "bad add" (Move.is_improving ~alpha g (Move.Bilateral_add { u = 0; v = 2 })));
+    tc "pretty printing is total" (fun () ->
+        List.iter
+          (fun m -> check_true "nonempty" (String.length (Move.to_string m) > 0))
+          [
+            Move.Remove { agent = 0; target = 1 };
+            Move.Bilateral_add { u = 0; v = 1 };
+            Move.Bilateral_swap { u = 0; drop = 1; add = 2 };
+            Move.Neighborhood { agent = 0; drop = [ 1 ]; add = [ 2 ] };
+            Move.Coalition { members = [ 0; 1 ]; remove = [ (0, 2) ]; add = [ (0, 1) ] };
+          ]);
+    tc "verdict helpers" (fun () ->
+        check_true "stable" (Verdict.is_stable Verdict.Stable);
+        check_false "unstable" (Verdict.is_stable (Verdict.Exhausted "x"));
+        check_true "witness" (Verdict.witness (Verdict.Unstable (Move.Bilateral_add { u = 0; v = 1 })) <> None);
+        (match Verdict.exactly_stable_exn "t" (Verdict.Exhausted "why") with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+        check_true "to_string" (String.length (Verdict.to_string Verdict.Stable) > 0));
+  ]

@@ -1,0 +1,82 @@
+open Helpers
+
+let suite =
+  [
+    tc "BNE implies RE, BAE and BSwE (enumerated)" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                match Neighborhood_eq.check ~alpha g with
+                | Verdict.Stable ->
+                    check_true "RE" (Remove_eq.is_stable ~alpha g);
+                    check_true "BAE" (Add_eq.is_stable ~alpha g);
+                    check_true "BSwE" (Swap_eq.is_stable ~alpha g)
+                | Verdict.Unstable _ | Verdict.Exhausted _ -> ())
+              [ 0.5; 1.5; 3.; 8. ])
+          (Enumerate.connected_graphs_iso 5));
+    tc "BGE-but-not-BNE graphs exist (Figure 5 in miniature)" (fun () ->
+        (* exhaustively confirm BNE is a strict refinement on small trees *)
+        let strict = ref false in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                if
+                  Greedy_eq.is_stable ~alpha g
+                  && Verdict.is_unstable (Neighborhood_eq.check ~alpha g)
+                then strict := true)
+              [ 1.5; 2.; 2.5; 3. ])
+          (Enumerate.connected_graphs_iso 5 @ Enumerate.free_trees 7);
+        (* the big witness certainly works *)
+        let c = Counterexamples.figure5 in
+        check_true "figure5 BGE" (Greedy_eq.is_stable ~alpha:c.Counterexamples.alpha c.graph);
+        check_true "figure5 not BNE"
+          (Move.is_improving ~alpha:c.Counterexamples.alpha c.graph
+             (List.assoc Concept.BNE c.Counterexamples.unstable)));
+    tc "star neighborhoods are stable" (fun () ->
+        check_stable "star" Concept.BNE 2. (Gen.star 9));
+    tc "path center rewires at moderate alpha" (fun () ->
+        (* on P7 with alpha below n/2, the BNE checker finds some move *)
+        let g = Gen.path 7 in
+        check_unstable "P7" Concept.BNE 1.5 g);
+    tc "check_agent restricts the search" (fun () ->
+        let g = Gen.path 5 and alpha = 1.5 in
+        (* vertex 2 (the median) has no improving neighborhood move, the
+           endpoints do *)
+        (match Neighborhood_eq.check_agent ~alpha g 0 with
+        | Verdict.Unstable (Move.Neighborhood { agent = 0; _ }) -> ()
+        | v -> Alcotest.failf "expected a move around 0, got %s" (Verdict.to_string v));
+        check_true "median stable"
+          (Verdict.is_stable (Neighborhood_eq.check_agent ~alpha g 2)));
+    tc "budget exhaustion is reported, not silently dropped" (fun () ->
+        (* figure 5's only improving move sits astronomically deep in the
+           subset enumeration, and the per-agent budget floor cannot cover
+           the ~150 consenting candidates, so the checker must admit it *)
+        let c = Counterexamples.figure5 in
+        match
+          Neighborhood_eq.check ~budget:1 ~alpha:c.Counterexamples.alpha
+            c.Counterexamples.graph
+        with
+        | Verdict.Exhausted _ -> ()
+        | Verdict.Unstable m ->
+            (* also acceptable: the checker got lucky and found the move *)
+            check_true "improving"
+              (Move.is_improving ~alpha:c.Counterexamples.alpha c.Counterexamples.graph m)
+        | Verdict.Stable -> Alcotest.fail "figure5 is not a BNE");
+    tc "stars are certified stable at any size" (fun () ->
+        (* the consent-bound prune plus single-removal sufficiency make the
+           whole move space around the centre collapse *)
+        check_true "n=40" (Verdict.is_stable (Neighborhood_eq.check ~alpha:2. (Gen.star 40)));
+        check_true "n=80, small budget"
+          (Verdict.is_stable (Neighborhood_eq.check ~budget:20_000 ~alpha:90. (Gen.star 80))));
+    tc "a multi-partner neighborhood move is found on a mini figure 5" (fun () ->
+        (* same shape as figure5 with E=4, m=2, t=3: the graph is unstable
+           for BNE and the checker must produce some improving move *)
+        let edges =
+          [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5); (5, 6); (5, 7); (5, 8); (8, 9); (8, 10);
+            (8, 11); (0, 12); (12, 13); (12, 14); (12, 15); (15, 16); (15, 17); (15, 18) ]
+        in
+        let g = Graph.of_edges 19 edges in
+        check_unstable "mini figure5" Concept.BNE 12.5 g);
+  ]

@@ -1,0 +1,43 @@
+open Helpers
+
+let suite =
+  [
+    tc "optimum graphs by regime" (fun () ->
+        check_graph "clique below 1" (Gen.clique 5) (Optimum.graph ~alpha:0.5 5);
+        check_graph "star above 1" (Gen.star 5) (Optimum.graph ~alpha:2. 5));
+    tc "optimum graphs are optimal" (fun () ->
+        check_true "clique" (Optimum.is_optimal ~alpha:0.5 (Gen.clique 6));
+        check_true "star" (Optimum.is_optimal ~alpha:3. (Gen.star 6));
+        check_true "both at the boundary"
+          (Optimum.is_optimal ~alpha:1. (Gen.star 6) && Optimum.is_optimal ~alpha:1. (Gen.clique 6)));
+    tc "non-optimal graphs are detected" (fun () ->
+        check_false "path" (Optimum.is_optimal ~alpha:2. (Gen.path 6));
+        check_false "clique above 1" (Optimum.is_optimal ~alpha:2. (Gen.clique 6)));
+    tc "Section 3.1 optimum verified exhaustively (n = 5)" (fun () ->
+        List.iter
+          (fun alpha ->
+            check_true (Printf.sprintf "alpha=%g" alpha)
+              (Optimum.verify_exhaustively ~alpha 5))
+          [ 0.25; 0.5; 1.; 1.5; 3.; 10. ]);
+    tc "Lemma B.1 social bound holds on RE graphs" (fun () ->
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun g ->
+                if Remove_eq.is_stable ~alpha g then begin
+                  let n = Graph.n g in
+                  for u = 0 to n - 1 do
+                    let s = Cost.social_money (Cost.social_cost ~alpha g) in
+                    let bound =
+                      Bounds.lemma_b1_social_upper ~alpha ~n
+                        ~dist_u:(Paths.total_dist g u).Paths.sum
+                    in
+                    check_true "social <= bound" (s <= bound +. 1e-6)
+                  done
+                end)
+              (Enumerate.connected_graphs_iso 5))
+          [ 1.; 2.; 4.; 8. ]);
+    tc "optima are stable for every concept at alpha >= 1" (fun () ->
+        let g = Optimum.graph ~alpha:2. 7 in
+        List.iter (fun c -> check_stable "star" c 2. g) Concept.all_fixed);
+  ]

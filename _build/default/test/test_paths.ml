@@ -1,0 +1,81 @@
+open Helpers
+
+let suite =
+  [
+    tc "bfs on a path" (fun () ->
+        Alcotest.(check (array int)) "dists" [| 0; 1; 2; 3 |] (Paths.bfs (Gen.path 4) 0));
+    tc "bfs from the middle" (fun () ->
+        Alcotest.(check (array int)) "dists" [| 2; 1; 0; 1; 2 |] (Paths.bfs (Gen.path 5) 2));
+    tc "bfs marks unreachable with -1" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1) ] in
+        Alcotest.(check (array int)) "dists" [| 0; 1; -1; -1 |] (Paths.bfs g 0));
+    tc "dist option" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1) ] in
+        Alcotest.(check (option int)) "reachable" (Some 1) (Paths.dist g 0 1);
+        Alcotest.(check (option int)) "unreachable" None (Paths.dist g 0 3));
+    tc "total_dist on a star" (fun () ->
+        let g = Gen.star 6 in
+        check_int "center" 5 (Paths.total_dist g 0).Paths.sum;
+        check_int "leaf" (1 + (4 * 2)) (Paths.total_dist g 1).Paths.sum);
+    tc "total_dist counts unreachable" (fun () ->
+        let g = Graph.of_edges 5 [ (0, 1); (2, 3) ] in
+        let t = Paths.total_dist g 0 in
+        check_int "unreachable" 3 t.Paths.unreachable;
+        check_int "sum" 1 t.Paths.sum);
+    tc "total_dist_to restricts targets" (fun () ->
+        let g = Gen.path 5 in
+        let t = Paths.total_dist_to g 0 [ 2; 4 ] in
+        check_int "sum" 6 t.Paths.sum);
+    tc "apsp symmetric on cycle" (fun () ->
+        let d = Paths.apsp (Gen.cycle 6) in
+        for u = 0 to 5 do
+          for v = 0 to 5 do
+            check_int "sym" d.(u).(v) d.(v).(u)
+          done
+        done;
+        check_int "antipodal" 3 d.(0).(3));
+    tc "eccentricity" (fun () ->
+        Alcotest.(check (option int)) "path end" (Some 4) (Paths.eccentricity (Gen.path 5) 0);
+        Alcotest.(check (option int)) "path mid" (Some 2) (Paths.eccentricity (Gen.path 5) 2);
+        Alcotest.(check (option int)) "disconnected" None
+          (Paths.eccentricity (Graph.create 2) 0));
+    tc "diameter" (fun () ->
+        Alcotest.(check (option int)) "path" (Some 4) (Paths.diameter (Gen.path 5));
+        Alcotest.(check (option int)) "cycle" (Some 3) (Paths.diameter (Gen.cycle 7));
+        Alcotest.(check (option int)) "clique" (Some 1) (Paths.diameter (Gen.clique 4));
+        Alcotest.(check (option int)) "disconnected" None (Paths.diameter (Graph.create 3)));
+    tc "is_connected" (fun () ->
+        check_true "path" (Paths.is_connected (Gen.path 6));
+        check_false "isolated" (Paths.is_connected (Graph.of_edges 3 [ (0, 1) ]));
+        check_true "single" (Paths.is_connected (Graph.create 1));
+        check_true "empty graph" (Paths.is_connected (Graph.create 0)));
+    tc "components" (fun () ->
+        let g = Graph.of_edges 6 [ (0, 1); (1, 2); (4, 5) ] in
+        Alcotest.(check (list (list int))) "components" [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ]
+          (Paths.components g));
+    tc "reachable_count" (fun () ->
+        check_int "all" 5 (Paths.reachable_count (Gen.path 5) 2);
+        check_int "partial" 2 (Paths.reachable_count (Graph.of_edges 5 [ (0, 1) ]) 0));
+    tc "neigh_at_most and neigh_exactly" (fun () ->
+        let g = Gen.path 5 in
+        Alcotest.(check (list int)) "<=1 from 2" [ 1; 2; 3 ] (Paths.neigh_at_most g 2 1);
+        Alcotest.(check (list int)) "=2 from 0" [ 2 ] (Paths.neigh_exactly g 0 2);
+        Alcotest.(check (list int)) "=0 is self" [ 2 ] (Paths.neigh_exactly g 2 0));
+    tc "bridges of a tree are all edges" (fun () ->
+        let g = Gen.star 5 in
+        check_int "count" 4 (List.length (Paths.bridges g)));
+    tc "bridges of a cycle are empty" (fun () ->
+        Alcotest.(check (list (pair int int))) "none" [] (Paths.bridges (Gen.cycle 6)));
+    tc "bridges of a lollipop" (fun () ->
+        (* triangle 0-1-2 plus pendant path 2-3-4 *)
+        let g = Graph.of_edges 5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4) ] in
+        Alcotest.(check (list (pair int int))) "pendant edges only" [ (2, 3); (3, 4) ]
+          (Paths.bridges g));
+    tc "bridges on disconnected graph" (fun () ->
+        let g = Graph.of_edges 5 [ (0, 1); (2, 3); (3, 4); (2, 4) ] in
+        Alcotest.(check (list (pair int int))) "only 0-1" [ (0, 1) ] (Paths.bridges g));
+    tc "bridges survive deep recursion" (fun () ->
+        (* a 20000-vertex path would overflow a naive recursive DFS *)
+        let g = Gen.path 20000 in
+        check_int "all bridges" 19999 (List.length (Paths.bridges g)));
+  ]

@@ -1,0 +1,138 @@
+open Helpers
+
+(* Theorem-audit tests: every enumerated certified equilibrium must satisfy
+   the corresponding upper bound from the paper. *)
+
+let tree_sizes = [ 6; 7; 8 ]
+let audit_alphas = [ 1.0; 2.0; 4.0; 8.0; 16.0 ]
+
+let for_stable_trees concept alpha n f =
+  List.iter
+    (fun g ->
+      match Concept.check ~alpha concept g with
+      | Verdict.Stable -> f g
+      | Verdict.Unstable _ | Verdict.Exhausted _ -> ())
+    (Enumerate.free_trees n)
+
+let suite =
+  [
+    tc "Proposition 3.1 bound holds for all RE trees" (fun () ->
+        List.iter
+          (fun n ->
+            List.iter
+              (fun alpha ->
+                for_stable_trees Concept.RE alpha n (fun g ->
+                    let u = Tree.median g in
+                    let bound =
+                      Bounds.prop31_upper ~alpha ~n ~dist_u:(Paths.total_dist g u).Paths.sum
+                    in
+                    check_true "rho <= bound" (Cost.rho ~alpha g <= bound +. 1e-9)))
+              audit_alphas)
+          tree_sizes);
+    tc "Corollary 3.2 bound holds for all RE graphs (n = 5)" (fun () ->
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun g ->
+                if Remove_eq.is_stable ~alpha g && Paths.is_connected g then
+                  check_true "rho <= 1 + n^2/alpha"
+                    (Cost.rho ~alpha g <= Bounds.cor32_upper ~alpha ~n:5 +. 1e-9))
+              (Enumerate.connected_graphs_iso 5))
+          audit_alphas);
+    tc "Theorem 3.6: BSwE trees satisfy rho <= 2 + 2 log alpha" (fun () ->
+        List.iter
+          (fun n ->
+            List.iter
+              (fun alpha ->
+                for_stable_trees Concept.BSwE alpha n (fun g ->
+                    check_true "bound" (Cost.rho ~alpha g <= Bounds.thm36_bswe_upper ~alpha +. 1e-9)))
+              audit_alphas)
+          tree_sizes);
+    tc "Theorem 3.15: 3-BSE trees satisfy rho <= 25" (fun () ->
+        List.iter
+          (fun n ->
+            List.iter
+              (fun alpha ->
+                for_stable_trees (Concept.KBSE 3) alpha n (fun g ->
+                    check_true "bound" (Cost.rho ~alpha g <= Bounds.thm315_3bse_upper)))
+              audit_alphas)
+          [ 6; 7 ]);
+    tc "Lemma 3.3: BSwE subtree medians stay close to the top" (fun () ->
+        List.iter
+          (fun alpha ->
+            for_stable_trees Concept.BSwE alpha 8 (fun g ->
+                let n = Graph.n g in
+                let root = Tree.median g in
+                let t = Tree.root_at g root in
+                for u = 0 to n - 1 do
+                  (* some T_u-median sits within 2 alpha / n layers below u *)
+                  let nodes = Tree.subtree_nodes t u in
+                  let sub = Graph.induced g (Array.of_list nodes) in
+                  let med_layers =
+                    List.filter_map
+                      (fun m -> List.nth_opt nodes m)
+                      (Tree.medians sub)
+                    |> List.map (fun v -> t.Tree.layer.(v))
+                  in
+                  let best = List.fold_left min max_int med_layers in
+                  check_true "lemma 3.3"
+                    (float_of_int (best - t.Tree.layer.(u)) <= (2. *. alpha /. float_of_int n) +. 1e-9)
+                done))
+          [ 2.0; 4.0 ]);
+    tc "Lemma 3.14: 3-BSE trees have at most one deep child subtree per node" (fun () ->
+        List.iter
+          (fun alpha ->
+            for_stable_trees (Concept.KBSE 3) alpha 8 (fun g ->
+                let n = Graph.n g in
+                let root = Tree.median g in
+                let t = Tree.root_at g root in
+                let threshold = Bounds.lemma314_depth_threshold ~alpha ~n in
+                for u = 0 to n - 1 do
+                  let deep =
+                    List.filter
+                      (fun c -> Tree.subtree_depth t c > threshold)
+                      (Tree.children t u)
+                  in
+                  check_true "at most one deep child" (List.length deep <= 1)
+                done))
+          [ 1.0; 2.0; 4.0 ]);
+    tc "PoA shrinks with cooperation (subset concepts)" (fun () ->
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun n ->
+                let w c = (Poa.worst_tree ~concept:c ~alpha n).Poa.rho in
+                check_true "BGE <= PS" (w Concept.BGE <= w Concept.PS +. 1e-9);
+                check_true "BNE <= BGE" (w Concept.BNE <= w Concept.BGE +. 1e-9);
+                check_true "3-BSE <= 2-BSE" (w (Concept.KBSE 3) <= w (Concept.KBSE 2) +. 1e-9))
+              [ 7; 8 ])
+          [ 2.0; 4.0 ]);
+    tc "worst_tree bookkeeping" (fun () ->
+        let w = Poa.worst_tree ~concept:Concept.PS ~alpha:2. 7 in
+        check_int "checked all free trees" 11 w.Poa.checked;
+        check_true "found the star at least" (w.Poa.stable_count >= 1);
+        check_int "nothing exhausted" 0 w.Poa.exhausted;
+        check_true "witness present" (w.Poa.witness <> None);
+        check_true "rho >= 1" (w.Poa.rho >= 1.));
+    tc "worst_connected includes non-trees" (fun () ->
+        let w = Poa.worst_connected ~concept:Concept.RE ~alpha:0.5 5 in
+        check_int "checked" 21 w.Poa.checked;
+        check_true "clique is RE at alpha < 1" (w.Poa.stable_count >= 1));
+    tc "rho_if_stable" (fun () ->
+        Alcotest.(check (option (float 1e-9)))
+          "star optimal" (Some 1.)
+          (Poa.rho_if_stable ~concept:Concept.PS ~alpha:2. (Gen.star 6));
+        Alcotest.(check (option (float 1e-9)))
+          "unstable" None
+          (Poa.rho_if_stable ~concept:Concept.BAE ~alpha:0.25 (Gen.path 5)));
+    tc "bound formulas sanity" (fun () ->
+        check_float "log2" 3. (Bounds.log2 8.);
+        check_true "thm319 constant" (Bounds.thm319_bse_upper = 5.);
+        check_true "thm320" (Bounds.thm320_bse_upper ~epsilon:0.5 = 7.);
+        check_true "thm321 grows slowly"
+          (Bounds.thm321_bse_upper ~n:1_000_000 < 26.);
+        check_true "lemma318"
+          (Bounds.lemma318_agent_cost ~d:2 ~alpha:10. ~n:100 > 0.);
+        check_true "ps shape peak at alpha = n"
+          (Bounds.ps_shape ~alpha:100. ~n:100 = 10.));
+  ]

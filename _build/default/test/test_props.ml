@@ -1,0 +1,184 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   Graphs are generated from (size, seed) pairs so shrinking stays
+   meaningful and failures are reproducible. *)
+
+let tree_of (n, seed) = Gen.random_tree (Random.State.make [| seed |]) n
+
+let graph_of (n, seed, p10) =
+  Gen.random_connected (Random.State.make [| seed |]) n ~p:(float_of_int p10 /. 10.)
+
+let pair_arb lo hi =
+  QCheck.(
+    make
+      ~print:(fun (n, s) -> Printf.sprintf "(n=%d, seed=%d)" n s)
+      Gen.(pair (int_range lo hi) (int_range 0 10_000)))
+
+let triple_arb lo hi =
+  QCheck.(
+    make
+      ~print:(fun (n, s, p) -> Printf.sprintf "(n=%d, seed=%d, p=%d/10)" n s p)
+      Gen.(triple (int_range lo hi) (int_range 0 10_000) (int_range 1 6)))
+
+let alpha_arb =
+  QCheck.(
+    make
+      ~print:(fun i -> Printf.sprintf "alpha=%g" (float_of_int i /. 2.))
+      Gen.(int_range 1 20))
+
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let suite =
+  [
+    prop "random trees are trees" (pair_arb 1 16) (fun spec ->
+        Tree.is_tree (tree_of spec));
+    prop "subtree sizes are consistent" (pair_arb 2 14) (fun spec ->
+        let g = tree_of spec in
+        let t = Tree.root_at g 0 in
+        let sizes = Tree.subtree_sizes t in
+        sizes.(0) = Graph.n g
+        && Array.to_list (Array.init (Graph.n g) (fun u -> u))
+           |> List.for_all (fun u ->
+                  sizes.(u)
+                  = 1 + List.fold_left (fun acc c -> acc + sizes.(c)) 0 (Tree.children t u)));
+    prop "rerooted total distances equal per-vertex BFS" (pair_arb 2 14) (fun spec ->
+        let g = tree_of spec in
+        Tree.total_dists g
+        = Array.init (Graph.n g) (fun u -> (Paths.total_dist g u).Paths.sum));
+    prop "medians are balanced and minimal" (pair_arb 2 14) (fun spec ->
+        let g = tree_of spec in
+        List.for_all (Tree.is_median_balanced g) (Tree.medians g));
+    prop "graph6 roundtrip" (triple_arb 1 20) (fun spec ->
+        let g = graph_of spec in
+        Graph.equal g (Encode.of_graph6 (Encode.to_graph6 g)));
+    prop "complement edge count" (triple_arb 2 14) (fun spec ->
+        let g = graph_of spec in
+        let n = Graph.n g in
+        Graph.num_edges g + Graph.num_edges (Graph.complement g) = n * (n - 1) / 2);
+    prop "tree code is invariant under the reversal permutation" (pair_arb 2 14)
+      (fun spec ->
+        let g = tree_of spec in
+        let n = Graph.n g in
+        let rev = Array.init n (fun i -> n - 1 - i) in
+        String.equal (Iso.tree_code g) (Iso.tree_code (Graph.relabel g rev)));
+    prop "removing a bridge disconnects, removing a non-bridge does not"
+      (triple_arb 3 10) (fun spec ->
+        let g = graph_of spec in
+        let bridges = Paths.bridges g in
+        List.for_all
+          (fun (u, v) ->
+            let disconnects = not (Paths.is_connected (Graph.remove_edge g u v)) in
+            disconnects = List.mem (u, v) bridges)
+          (Graph.edges g));
+    prop "PS is exactly RE and BAE" ~count:60
+      QCheck.(pair (triple_arb 3 8) alpha_arb)
+      (fun (spec, ai) ->
+        let g = graph_of spec and alpha = float_of_int ai /. 2. in
+        Pairwise.is_stable ~alpha g
+        = (Remove_eq.is_stable ~alpha g && Add_eq.is_stable ~alpha g));
+    prop "BGE is exactly PS and BSwE" ~count:60
+      QCheck.(pair (triple_arb 3 8) alpha_arb)
+      (fun (spec, ai) ->
+        let g = graph_of spec and alpha = float_of_int ai /. 2. in
+        Greedy_eq.is_stable ~alpha g
+        = (Pairwise.is_stable ~alpha g && Swap_eq.is_stable ~alpha g));
+    prop "instability witnesses are improving moves" ~count:60
+      QCheck.(pair (triple_arb 3 7) alpha_arb)
+      (fun (spec, ai) ->
+        let g = graph_of spec and alpha = float_of_int ai /. 2. in
+        List.for_all
+          (fun c ->
+            match Concept.check ~alpha c g with
+            | Verdict.Unstable m -> Move.is_improving ~alpha g m
+            | Verdict.Stable | Verdict.Exhausted _ -> true)
+          Concept.all_fixed);
+    prop "Proposition 3.7 on random trees (BGE = 2-BSE)" ~count:60
+      QCheck.(pair (pair_arb 3 9) alpha_arb)
+      (fun (spec, ai) ->
+        let g = tree_of spec and alpha = float_of_int ai /. 2. in
+        match Strong_eq.check ~k:2 ~alpha g with
+        | Verdict.Exhausted _ -> true
+        | v -> Verdict.is_stable v = Greedy_eq.is_stable ~alpha g);
+    prop "social cost equals the sum of agent costs" (triple_arb 2 10) (fun spec ->
+        let g = graph_of spec and alpha = 1.5 in
+        let s = Cost.social_cost ~alpha g in
+        let sum =
+          List.fold_left
+            (fun acc u -> acc +. Cost.money (Cost.agent_cost ~alpha g u))
+            0.
+            (List.init (Graph.n g) (fun u -> u))
+        in
+        Float.abs (Cost.social_money s -. sum) < 1e-6);
+    prop "rho is at least 1 on connected graphs" ~count:80
+      QCheck.(pair (triple_arb 2 10) alpha_arb)
+      (fun (spec, ai) ->
+        let g = graph_of spec and alpha = float_of_int ai /. 2. in
+        Cost.rho ~alpha g >= 1. -. 1e-9);
+    prop "bilateral strategy roundtrip" (triple_arb 2 10) (fun spec ->
+        let g = graph_of spec in
+        Graph.equal g (Strategy.bilateral_graph (Strategy.bilateral_strategies g)));
+    prop "add_edge_gain closed form" (triple_arb 3 10) (fun spec ->
+        let g = graph_of spec in
+        let n = Graph.n g in
+        List.for_all
+          (fun (u, v) ->
+            let gain = Delta.add_edge_gain ~dist_u:(Paths.bfs g u) ~dist_v:(Paths.bfs g v) in
+            gain
+            = (Paths.total_dist g u).Paths.sum
+              - (Paths.total_dist (Graph.add_edge g u v) u).Paths.sum)
+          (List.filteri (fun i _ -> i < n) (Graph.non_edges g)));
+    prop "BNE implies BGE on random graphs" ~count:40
+      QCheck.(pair (triple_arb 3 7) alpha_arb)
+      (fun (spec, ai) ->
+        let g = graph_of spec and alpha = float_of_int ai /. 2. in
+        match Neighborhood_eq.check ~alpha g with
+        | Verdict.Stable -> Greedy_eq.is_stable ~alpha g
+        | Verdict.Unstable _ | Verdict.Exhausted _ -> true);
+    prop "preferential attachment graphs are connected" (pair_arb 1 25) (fun (n, seed) ->
+        Paths.is_connected
+          (Gen.preferential_attachment (Random.State.make [| seed |]) n ~m:2));
+    prop "welfare statistics are internally consistent" (triple_arb 2 10) (fun spec ->
+        let g = graph_of spec in
+        let w = Welfare.analyze ~alpha:2. g in
+        w.Welfare.min_cost <= w.Welfare.mean_cost +. 1e-9
+        && w.Welfare.mean_cost <= w.Welfare.max_cost +. 1e-9
+        && w.Welfare.gini >= -1e-9
+        && w.Welfare.gini <= 1.
+        && w.Welfare.buy_share >= 0.
+        && w.Welfare.buy_share <= 1. +. 1e-9);
+    prop "linear fit r2 never exceeds 1" ~count:50
+      QCheck.(make Gen.(list_size (int_range 2 12) (pair (float_range 0. 50.) (float_range 0. 50.))))
+      (fun points ->
+        let xs = List.map fst points in
+        QCheck.assume (List.length (List.sort_uniq compare xs) >= 2);
+        (Fit.linear points).Fit.r2 <= 1. +. 1e-9);
+    prop "local move weights match direct evaluation" ~count:40
+      (pair_arb 4 9) (fun spec ->
+        let g = tree_of spec and alpha = 1.5 in
+        List.for_all
+          (fun w ->
+            let g' = Move.apply g w.Local_moves.move in
+            let direct =
+              Cost.social_money (Cost.social_cost ~alpha g')
+              -. Cost.social_money (Cost.social_cost ~alpha g)
+            in
+            Float.abs (direct -. w.Local_moves.social_delta) < 1e-6)
+          (Local_moves.improving ~concept:Concept.PS ~alpha g));
+    prop "structure audits accept BSwE-stable random trees" ~count:40
+      (pair_arb 4 10) (fun spec ->
+        let g = tree_of spec in
+        List.for_all
+          (fun alpha ->
+            (not (Swap_eq.is_stable ~alpha g))
+            || (Structure.check_bswe_subtree_sizes ~alpha g
+               && Structure.check_bswe_depths ~alpha g))
+          [ 1.5; 3.; 6. ]);
+    prop "3-BSE implies 2-BSE on random trees" ~count:40
+      QCheck.(pair (pair_arb 3 9) alpha_arb)
+      (fun (spec, ai) ->
+        let g = tree_of spec and alpha = float_of_int ai /. 2. in
+        match (Strong_eq.check ~k:3 ~alpha g, Strong_eq.check ~k:2 ~alpha g) with
+        | Verdict.Stable, v2 -> not (Verdict.is_unstable v2)
+        | (Verdict.Unstable _ | Verdict.Exhausted _), _ -> true);
+  ]

@@ -1,0 +1,53 @@
+open Helpers
+
+let suite =
+  [
+    tc "Figure 1a arrows hold on all free trees n <= 7" (fun () ->
+        let graphs = Enumerate.free_trees 6 @ Enumerate.free_trees 7 in
+        let r =
+          Relations.verify_arrows ~graphs ~alphas:Relations.default_alphas
+            Concept.proper_subsets
+        in
+        check_int "no failures" 0 (List.length r.Relations.failures);
+        check_true "some instances decided" (r.Relations.instances > 0));
+    tc "Figure 1a arrows hold on connected graphs n <= 5" (fun () ->
+        let graphs = Enumerate.connected_graphs_iso 4 @ Enumerate.connected_graphs_iso 5 in
+        let r =
+          Relations.verify_arrows ~graphs ~alphas:Relations.default_alphas
+            Concept.proper_subsets
+        in
+        check_int "no failures" 0 (List.length r.Relations.failures));
+    tc "Venn search realises all eight signatures (Prop A.1)" (fun () ->
+        let sigs = Counterexamples.venn_signatures () in
+        check_int "eight" 8 (List.length sigs);
+        (* re-verify each claimed signature *)
+        List.iter
+          (fun ((re, bae, bswe), (g, alpha)) ->
+            check_bool "RE" re (Remove_eq.is_stable ~alpha g);
+            check_bool "BAE" bae (Add_eq.is_stable ~alpha g);
+            check_bool "BSwE" bswe (Swap_eq.is_stable ~alpha g))
+          sigs);
+    tc "properness: BNE strictly inside BGE" (fun () ->
+        let c = Counterexamples.figure5 in
+        check_stable "BGE" Concept.BGE c.Counterexamples.alpha c.Counterexamples.graph;
+        check_true "not BNE"
+          (Move.is_improving ~alpha:c.Counterexamples.alpha c.Counterexamples.graph
+             (List.assoc Concept.BNE c.Counterexamples.unstable)));
+    tc "properness: 2-BSE strictly inside BGE (Cor A.6)" (fun () ->
+        let c = Counterexamples.figure6 in
+        check_stable "BGE" Concept.BGE c.Counterexamples.alpha c.Counterexamples.graph;
+        check_unstable "not 2-BSE" (Concept.KBSE 2) c.Counterexamples.alpha
+          c.Counterexamples.graph);
+    tc "incomparability: BNE vs k-BSE both ways (Props A.5, A.7)" (fun () ->
+        let f6 = Counterexamples.figure6 in
+        check_stable "f6 BNE" Concept.BNE f6.Counterexamples.alpha f6.Counterexamples.graph;
+        check_unstable "f6 not 2-BSE" (Concept.KBSE 2) f6.Counterexamples.alpha
+          f6.Counterexamples.graph;
+        let f7 = Counterexamples.figure7 ~k:2 in
+        check_true "f7 2-BSE"
+          (Verdict.exactly_stable_exn "f7"
+             (Strong_eq.check ~k:2 ~alpha:f7.Counterexamples.alpha f7.Counterexamples.graph));
+        check_true "f7 not BNE"
+          (Move.is_improving ~alpha:f7.Counterexamples.alpha f7.Counterexamples.graph
+             (List.assoc Concept.BNE f7.Counterexamples.unstable)));
+  ]

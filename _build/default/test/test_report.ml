@@ -1,0 +1,30 @@
+open Helpers
+
+let suite =
+  [
+    tc "fnum formatting" (fun () ->
+        Alcotest.(check string) "int" "3" (Report.fnum 3.);
+        Alcotest.(check string) "frac" "3.14" (Report.fnum 3.14159);
+        Alcotest.(check string) "inf" "inf" (Report.fnum Float.infinity);
+        Alcotest.(check string) "nan" "nan" (Report.fnum Float.nan));
+    tc "table aligns columns" (fun () ->
+        let t = Report.table ~header:[ "a"; "bb" ] [ [ "ccc"; "d" ]; [ "e" ] ] in
+        let lines = String.split_on_char '\n' t in
+        check_int "lines" 5 (List.length lines);
+        (* header, rule and rows share one width per column *)
+        match lines with
+        | h :: rule :: _ -> check_int "rule width" (String.length h) (String.length rule)
+        | _ -> Alcotest.fail "unexpected shape");
+    tc "csv escapes" (fun () ->
+        let s = Report.csv ~header:[ "x" ] [ [ "a,b" ]; [ "q\"q" ] ] in
+        check_true "quoted comma" (String.length s > 0);
+        check_true "contains escaped quote"
+          (let rec contains i =
+             i + 3 <= String.length s && (String.sub s i 4 = "q\"\"q" || contains (i + 1))
+           in
+           contains 0));
+    tc "relations default alphas cover the regimes" (fun () ->
+        check_true "below 1" (List.exists (fun a -> a < 1.) Relations.default_alphas);
+        check_true "exactly 1" (List.mem 1.0 Relations.default_alphas);
+        check_true "large" (List.exists (fun a -> a >= 100.) Relations.default_alphas));
+  ]

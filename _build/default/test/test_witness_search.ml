@@ -1,0 +1,59 @@
+open Helpers
+
+let suite =
+  [
+    tc "score is zero exactly on satisfied signatures" (fun () ->
+        let star = Gen.star 6 in
+        check_float "satisfied" 0.
+          (Witness_search.score ~alpha:2.
+             { Witness_search.must_hold = [ Concept.PS; Concept.BGE ]; must_fail = [] }
+             star);
+        check_float "one miss" 1.
+          (Witness_search.score ~alpha:2.
+             { Witness_search.must_hold = []; must_fail = [ Concept.PS ] }
+             star));
+    tc "score counts undecided checks as half" (fun () ->
+        let c = Counterexamples.figure5 in
+        let s =
+          Witness_search.score ~budget:1 ~alpha:c.Counterexamples.alpha
+            { Witness_search.must_hold = [ Concept.BNE ]; must_fail = [] }
+            c.Counterexamples.graph
+        in
+        check_float "half" 0.5 s);
+    tc "anneal finds a BAE-but-not-RE witness" (fun () ->
+        (* a Figure 1b region: an edge someone wants to drop, but no pair
+           wants a new edge - cycles above their removal threshold qualify
+           and the walk finds one quickly *)
+        match
+          Witness_search.anneal ~rng:(rng 11) ~steps:4000 ~n:6 ~alpha:9.
+            {
+              Witness_search.must_hold = [ Concept.BAE ];
+              must_fail = [ Concept.RE ];
+            }
+        with
+        | Witness_search.Found g ->
+            check_true "BAE" (Add_eq.is_stable ~alpha:9. g);
+            check_false "not RE" (Remove_eq.is_stable ~alpha:9. g)
+        | Witness_search.Not_found (_, s) ->
+            Alcotest.failf "search failed with residual score %g" s);
+    tc "anneal finds an unstable-everything graph at low alpha" (fun () ->
+        match
+          Witness_search.anneal ~rng:(rng 13) ~steps:1000 ~n:7 ~alpha:0.5
+            {
+              Witness_search.must_hold = [];
+              must_fail = [ Concept.PS; Concept.BGE ];
+            }
+        with
+        | Witness_search.Found g -> check_true "connected" (Paths.is_connected g)
+        | Witness_search.Not_found (_, s) -> Alcotest.failf "residual %g" s);
+    tc "anneal reports the best graph when it fails" (fun () ->
+        (* an unsatisfiable signature: stable and unstable for PS at once *)
+        match
+          Witness_search.anneal ~rng:(rng 17) ~steps:50 ~n:6 ~alpha:2.
+            { Witness_search.must_hold = [ Concept.PS ]; must_fail = [ Concept.PS ] }
+        with
+        | Witness_search.Found _ -> Alcotest.fail "impossible signature satisfied"
+        | Witness_search.Not_found (g, s) ->
+            check_true "best graph returned" (Graph.n g = 6);
+            check_true "positive residual" (s > 0.));
+  ]
