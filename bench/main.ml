@@ -3,9 +3,11 @@
    - no arguments: run every experiment (one per paper table/figure), then
      the Bechamel microbenchmarks;
    - [main.exe <id> ...]: run only the listed experiments (see [--list]);
-   - [main.exe perf]: only the microbenchmarks. *)
+   - [main.exe perf]: only the microbenchmarks;
+   - [main.exe perf --json]: also write machine-readable results to
+     bench/results.json so successive PRs can track the perf trajectory. *)
 
-let perf () =
+let perf ?(json = false) () =
   let open Bechamel in
   Report.section "PERF  Bechamel microbenchmarks of the hot kernels";
   let stretched = (Stretched.binary_tree ~d:7 ~k:2).Stretched.graph in
@@ -13,6 +15,9 @@ let perf () =
   let tree200 = Gen.random_tree (Random.State.make [| 5 |]) 200 in
   let tree12 = Gen.random_tree (Random.State.make [| 9 |]) 12 in
   let fig6 = Counterexamples.figure6.Counterexamples.graph in
+  let bits63 =
+    Bitgraph.of_graph (Gen.random_connected (Random.State.make [| 21 |]) 63 ~p:0.1)
+  in
   let tests =
     [
       Test.make ~name:"bfs n=510 (stretched tree)"
@@ -39,6 +44,21 @@ let perf () =
       Test.make ~name:"graph6 roundtrip n=200"
         (Staged.stage (fun () ->
              ignore (Encode.of_graph6 (Encode.to_graph6 tree200))));
+      Test.make ~name:"Bitgraph.bfs n=63"
+        (Staged.stage (fun () -> ignore (Bitgraph.bfs bits63 0)));
+      Test.make ~name:"Bitgraph.total_dist n=63"
+        (Staged.stage (fun () -> ignore (Bitgraph.total_dist bits63 0)));
+      Test.make ~name:"iter_connected_graphs n=6 (incremental)"
+        (Staged.stage (fun () ->
+             let count = ref 0 in
+             Enumerate.iter_connected_bitgraphs 6 (fun _ -> incr count);
+             ignore !count));
+      Test.make ~name:"worst_connected n=6 PS sequential"
+        (Staged.stage (fun () ->
+             ignore (Poa.worst_connected ~domains:1 ~concept:Concept.PS ~alpha:2.0 6)));
+      Test.make ~name:"worst_connected n=6 PS parallel"
+        (Staged.stage (fun () ->
+             ignore (Poa.worst_connected ~concept:Concept.PS ~alpha:2.0 6)));
     ]
   in
   let grouped = Test.make_grouped ~name:"bncg" tests in
@@ -70,10 +90,26 @@ let perf () =
            else Printf.sprintf "%.0f ns" ns
          in
          [ name; time; Printf.sprintf "%.3f" r2 ])
-       rows)
+       rows);
+  if json then begin
+    let path = if Sys.file_exists "bench" then "bench/results.json" else "results.json" in
+    let oc = open_out path in
+    (* NaN is not valid JSON, so undecided estimates become null. *)
+    let num x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x in
+    output_string oc "[\n";
+    List.iteri
+      (fun i (name, ns, r2) ->
+        Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+          name (num ns) (num r2)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "wrote %d benchmark rows to %s\n%!" (List.length rows) path
+  end
 
 let usage () =
-  print_endline "usage: main.exe [perf | --list | <experiment-id> ...]";
+  print_endline "usage: main.exe [perf [--json] | --list | <experiment-id> ...]";
   print_endline "experiments:";
   List.iter
     (fun (id, descr, _) -> Printf.printf "  %-8s %s\n" id descr)
@@ -96,6 +132,7 @@ let () =
       List.iter (fun (id, _, _) -> run_one id) Experiments.all;
       perf ()
   | _ :: [ "perf" ] -> perf ()
+  | _ :: [ "perf"; "--json" ] -> perf ~json:true ()
   | _ :: [ "--list" ] -> usage ()
   | _ :: ids -> List.iter run_one ids
   | [] -> usage ()

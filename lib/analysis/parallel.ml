@@ -1,0 +1,64 @@
+(* Chunked map-reduce on OCaml 5 domains.
+
+   Work lists are split into [domains] contiguous chunks, each chunk is
+   folded sequentially in its own domain, and chunk results are merged
+   left to right.  As long as the caller's [merge] agrees with folding the
+   chunks in sequence (true for associative accumulations whose per-item
+   update commutes with splitting, e.g. counters plus a first-wins
+   maximum), the result is bit-for-bit identical to the sequential fold,
+   whatever the domain count. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Split [items] into at most [k] contiguous chunks of near-equal length
+   (first chunks get the remainder), preserving order. *)
+let chunk k items =
+  let len = List.length items in
+  if len = 0 then []
+  else begin
+    let k = max 1 (min k len) in
+    let base = len / k and extra = len mod k in
+    let rec take n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (n - 1) (x :: acc) tl
+    in
+    let rec go i rest acc =
+      if i = k then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        let c, rest = take size [] rest in
+        go (i + 1) rest (c :: acc)
+      end
+    in
+    go 0 items []
+  end
+
+let fold ?domains ~f ~merge ~init items =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  match chunk d items with
+  | [] -> init
+  | [ only ] -> List.fold_left f init only
+  | chunks ->
+      let handles =
+        List.map
+          (fun c -> Domain.spawn (fun () -> List.fold_left f init c))
+          chunks
+      in
+      let results = List.map Domain.join handles in
+      (match results with
+      | [] -> init
+      | first :: rest -> List.fold_left merge first rest)
+
+let map ?domains f items =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  match chunk d items with
+  | [] -> []
+  | [ only ] -> List.map f only
+  | chunks ->
+      let handles =
+        List.map (fun c -> Domain.spawn (fun () -> List.map f c)) chunks
+      in
+      List.concat_map Domain.join handles

@@ -1,0 +1,38 @@
+(** Deterministic fan-out of exhaustive searches across OCaml 5 domains.
+
+    The equilibrium searches check a long list of independent candidates;
+    this module splits such lists into contiguous chunks, folds each chunk
+    in its own [Domain], and merges chunk results in list order.  Because
+    chunking and merging are deterministic, results are bit-for-bit
+    independent of the domain count — a parallel run can always be checked
+    against the sequential one.
+
+    The workers must be pure (no shared mutable state): every checker in
+    [bncg_core] qualifies, since checkers only mutate private scratch
+    state. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val fold :
+  ?domains:int ->
+  f:('acc -> 'a -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [fold ~f ~merge ~init items] folds [f] over [items] split into
+    [?domains] (default {!default_domains}) contiguous chunks, each chunk
+    starting from [init], then merges the per-chunk accumulators left to
+    right.  The caller must ensure
+    [merge (fold_left f init xs) (fold_left f init ys) =
+     fold_left f init (xs @ ys)] — then the result equals the sequential
+    fold exactly.  With [?domains:1] no domain is spawned. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] is [List.map f items] computed across domains,
+    preserving order. *)
+
+val chunk : int -> 'a list -> 'a list list
+(** [chunk k items] splits [items] into at most [k] contiguous chunks of
+    near-equal size, in order (exposed for testing). *)

@@ -8,24 +8,36 @@ type worst = {
 
 let empty = { rho = 0.; witness = None; stable_count = 0; checked = 0; exhausted = 0 }
 
-let fold_worst ?budget ~concept ~alpha graphs =
-  List.fold_left
-    (fun acc g ->
-      let acc = { acc with checked = acc.checked + 1 } in
-      match Concept.check ?budget ~alpha concept g with
-      | Verdict.Stable ->
-          let r = Cost.rho ~alpha g in
-          let acc = { acc with stable_count = acc.stable_count + 1 } in
-          if r > acc.rho then { acc with rho = r; witness = Some g } else acc
-      | Verdict.Unstable _ -> acc
-      | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 })
-    empty graphs
+let step ?budget ~concept ~alpha acc g =
+  let acc = { acc with checked = acc.checked + 1 } in
+  match Concept.check ?budget ~alpha concept g with
+  | Verdict.Stable ->
+      let r = Cost.rho ~alpha g in
+      let acc = { acc with stable_count = acc.stable_count + 1 } in
+      if r > acc.rho then { acc with rho = r; witness = Some g } else acc
+  | Verdict.Unstable _ -> acc
+  | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 }
 
-let worst_tree ?budget ~concept ~alpha n =
-  fold_worst ?budget ~concept ~alpha (Enumerate.free_trees n)
+(* Counters add; the maximum keeps the earlier witness on ties (the
+   per-item update only replaces on strict improvement), so merging chunk
+   folds left to right reproduces the sequential fold bit for bit. *)
+let merge a b =
+  {
+    rho = (if b.rho > a.rho then b.rho else a.rho);
+    witness = (if b.rho > a.rho then b.witness else a.witness);
+    stable_count = a.stable_count + b.stable_count;
+    checked = a.checked + b.checked;
+    exhausted = a.exhausted + b.exhausted;
+  }
 
-let worst_connected ?budget ~concept ~alpha n =
-  fold_worst ?budget ~concept ~alpha (Enumerate.connected_graphs_iso n)
+let fold_worst ?budget ?domains ~concept ~alpha graphs =
+  Parallel.fold ?domains ~f:(step ?budget ~concept ~alpha) ~merge ~init:empty graphs
+
+let worst_tree ?budget ?domains ~concept ~alpha n =
+  fold_worst ?budget ?domains ~concept ~alpha (Enumerate.free_trees n)
+
+let worst_connected ?budget ?domains ~concept ~alpha n =
+  fold_worst ?budget ?domains ~concept ~alpha (Enumerate.connected_graphs_iso n)
 
 let rho_if_stable ?budget ~concept ~alpha g =
   match Concept.check ?budget ~alpha concept g with

@@ -5,7 +5,12 @@
     here we certify it exactly at small sizes by enumerating every free
     tree (or every connected graph) and keeping the worst stable one.
     [Exhausted] verdicts are counted separately so an incomplete search can
-    never masquerade as a certified bound. *)
+    never masquerade as a certified bound.
+
+    Candidates are checked across OCaml domains ({!Parallel}); results are
+    deterministic and identical to the sequential fold for every
+    [?domains] value, because chunks merge in enumeration order and ties
+    keep the earlier witness. *)
 
 type worst = {
   rho : float;  (** worst social cost ratio among certified equilibria *)
@@ -15,11 +20,20 @@ type worst = {
   exhausted : int;  (** how many checks hit their budget (excluded) *)
 }
 
-val worst_tree : ?budget:int -> concept:Concept.t -> alpha:float -> int -> worst
+val fold_worst :
+  ?budget:int -> ?domains:int -> concept:Concept.t -> alpha:float -> Graph.t list -> worst
+(** [fold_worst ~concept ~alpha graphs] maximises ρ over the certified
+    equilibria among [graphs], fanning the checks out over [?domains]
+    domains (default [Domain.recommended_domain_count ()];
+    [?domains:1] runs sequentially in the calling domain). *)
+
+val worst_tree :
+  ?budget:int -> ?domains:int -> concept:Concept.t -> alpha:float -> int -> worst
 (** [worst_tree ~concept ~alpha n] maximises ρ over all free trees on [n]
     vertices that are certified stable for [concept]. *)
 
-val worst_connected : ?budget:int -> concept:Concept.t -> alpha:float -> int -> worst
+val worst_connected :
+  ?budget:int -> ?domains:int -> concept:Concept.t -> alpha:float -> int -> worst
 (** Same over all connected graphs up to isomorphism ([n ≤ 7]). *)
 
 val rho_if_stable : ?budget:int -> concept:Concept.t -> alpha:float -> Graph.t -> float option

@@ -58,3 +58,26 @@ let anneal ~rng ?(steps = 2000) ?budget ~n ~alpha spec =
   done;
   if !current_score = 0. then result := Some !current;
   match !result with Some g -> Found g | None -> Not_found (!best, !best_score)
+
+(* Independent restarts across domains.  Chain seeds are drawn from [rng]
+   up front, so the set of chains — and the returned outcome, which
+   prefers the lowest chain index — is a pure function of [rng] and
+   [chains], whatever [?domains] is. *)
+let anneal_multi ~rng ?(chains = 8) ?domains ?steps ?budget ~n ~alpha spec =
+  if chains < 1 then invalid_arg "Witness_search.anneal_multi: chains < 1";
+  let seeds = Array.init chains (fun _ -> Random.State.bits rng) in
+  let outcomes =
+    Parallel.map ?domains
+      (fun seed ->
+        anneal ~rng:(Random.State.make [| seed |]) ?steps ?budget ~n ~alpha spec)
+      (Array.to_list seeds)
+  in
+  let better a b =
+    match (a, b) with
+    | Found _, _ -> a
+    | Not_found _, Found _ -> b
+    | Not_found (_, sa), Not_found (_, sb) -> if sb < sa then b else a
+  in
+  match outcomes with
+  | [] -> assert false
+  | first :: rest -> List.fold_left better first rest

@@ -33,3 +33,20 @@ val anneal :
 (** [anneal ~rng ~n ~alpha spec] walks for [steps] (default 2000) edge
     toggles starting from a random connected graph, keeping connectivity,
     and returns as soon as the score reaches 0. *)
+
+val anneal_multi :
+  rng:Random.State.t ->
+  ?chains:int ->
+  ?domains:int ->
+  ?steps:int ->
+  ?budget:int ->
+  n:int ->
+  alpha:float ->
+  spec ->
+  outcome
+(** [anneal_multi ~rng ~n ~alpha spec] runs [?chains] (default 8)
+    independent {!anneal} walks across [?domains] OCaml domains
+    ({!Parallel.map}) and returns the first [Found] in chain order, or
+    the best-scoring [Not_found] (earliest chain on ties).  Chain seeds
+    are drawn from [rng] before spawning, so the outcome is deterministic
+    in ([rng], [chains]) and independent of [?domains]. *)

@@ -17,9 +17,13 @@ let gain_within_component dist_u dist_v =
 let check ~alpha g =
   let size = Graph.n g in
   let exception Found of Move.t in
+  (* Distance rows come from the bit-parallel kernel when the graph fits;
+     Paths is the fallback (and oracle) above Bitgraph.max_n. *)
+  let bg = if size <= Bitgraph.max_n then Some (Bitgraph.of_graph g) else None in
   let dist = Array.make size [||] in
   let bfs u =
-    if dist.(u) = [||] && size > 0 then dist.(u) <- Paths.bfs g u;
+    if dist.(u) = [||] && size > 0 then
+      dist.(u) <- (match bg with Some b -> Bitgraph.bfs b u | None -> Paths.bfs g u);
     dist.(u)
   in
   try

@@ -1,3 +1,5 @@
+(* BGE = PS ∧ BSwE; both constituents run on the bit-parallel kernel for
+   n <= Bitgraph.max_n. *)
 let check ~alpha g =
   match Pairwise.check ~alpha g with
   | Verdict.Stable -> Swap_eq.check ~alpha g

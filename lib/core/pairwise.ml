@@ -1,3 +1,6 @@
+(* PS = RE ∧ BAE.  Both constituents route their distance queries through
+   the bit-parallel kernel for n <= Bitgraph.max_n, so this composition
+   inherits the fast path. *)
 let check ~alpha g =
   match Remove_eq.check ~alpha g with
   | Verdict.Stable -> Add_eq.check ~alpha g

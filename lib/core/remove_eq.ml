@@ -1,9 +1,52 @@
 (* Dropping an edge saves the remover α and can only increase distances, so
    the move improves agent u iff the graph stays connected from u's view
    and the distance increase is strictly below α.  We evaluate both
-   endpoints of every edge with a direct cost comparison. *)
+   endpoints of every edge with a direct cost comparison.
 
-let check ~alpha g =
+   Graphs that fit the bit-parallel kernel (n <= Bitgraph.max_n) are
+   checked on a single mutable bitgraph — remove, two word-BFS distance
+   sums, re-add — with Paths as the fallback and the oracle above that
+   size.  Both paths compare the same exact costs in the same edge order,
+   so they return identical verdicts and witnesses. *)
+
+let check_bits ~alpha g =
+  let exception Found of Move.t in
+  let bg = Bitgraph.of_graph g in
+  let size = Graph.n g in
+  let before = Array.make (max size 1) None in
+  (* agent costs on the intact graph, cached across edges *)
+  let before_cost u =
+    match before.(u) with
+    | Some c -> c
+    | None ->
+        let c =
+          Cost.agent_cost_of_parts ~alpha ~degree:(Bitgraph.degree bg u)
+            ~total:(Bitgraph.total_dist bg u)
+        in
+        before.(u) <- Some c;
+        c
+  in
+  try
+    List.iter
+      (fun (u, v) ->
+        let bu = before_cost u and bv = before_cost v in
+        Bitgraph.remove_edge bg u v;
+        let try_agent agent b =
+          let after =
+            Cost.agent_cost_of_parts ~alpha ~degree:(Bitgraph.degree bg agent)
+              ~total:(Bitgraph.total_dist bg agent)
+          in
+          if Cost.strictly_less after b then
+            raise (Found (Move.Remove { agent; target = (if agent = u then v else u) }))
+        in
+        try_agent u bu;
+        try_agent v bv;
+        Bitgraph.add_edge bg u v)
+      (Graph.edges g);
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let check_generic ~alpha g =
   let exception Found of Move.t in
   try
     List.iter
@@ -18,5 +61,8 @@ let check ~alpha g =
       (Graph.edges g);
     Verdict.Stable
   with Found m -> Verdict.Unstable m
+
+let check ~alpha g =
+  if Graph.n g <= Bitgraph.max_n then check_bits ~alpha g else check_generic ~alpha g
 
 let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

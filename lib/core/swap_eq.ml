@@ -10,13 +10,30 @@
 
    Only candidates surviving both prunes pay for BFS evaluation.  When w is
    unreachable from u the prunes are skipped (the swap may repair
-   connectivity) and the exact cost comparison decides. *)
+   connectivity) and the exact cost comparison decides.
+
+   For n <= Bitgraph.max_n the BFS rows and the surviving candidates'
+   exact evaluations run on one mutable bitgraph (apply the swap, two
+   word-BFS sums, undo); the persistent-graph path remains the fallback
+   and the oracle.  Baseline costs and BFS rows are always taken while the
+   bitgraph is in its original state. *)
 
 let check ~alpha g =
   let size = Graph.n g in
   let exception Found of Move.t in
-  let rows = Array.init size (fun u -> lazy (Paths.bfs g u)) in
-  let before = Array.init size (fun u -> lazy (Cost.agent_cost ~alpha g u)) in
+  let bg = if size <= Bitgraph.max_n then Some (Bitgraph.of_graph g) else None in
+  let rows =
+    Array.init size (fun u ->
+        lazy (match bg with Some b -> Bitgraph.bfs b u | None -> Paths.bfs g u))
+  in
+  let baseline u =
+    match bg with
+    | Some b ->
+        Cost.agent_cost_of_parts ~alpha ~degree:(Bitgraph.degree b u)
+          ~total:(Bitgraph.total_dist b u)
+    | None -> Cost.agent_cost ~alpha g u
+  in
+  let before = Array.init size (fun u -> lazy (baseline u)) in
   let add_gain_bound du dw =
     let gain = ref 0 in
     for x = 0 to size - 1 do
@@ -24,8 +41,34 @@ let check ~alpha g =
     done;
     !gain
   in
-  let improves g' agent =
-    Cost.strictly_less (Cost.agent_cost ~alpha g' agent) (Lazy.force before.(agent))
+  (* Exact evaluation of the swap u: −v +w, both agents.  The baselines
+     are forced first so the bitgraph is unmutated when they compute. *)
+  let swap_improves_both u v w =
+    let bu = Lazy.force before.(u) and bw = Lazy.force before.(w) in
+    match bg with
+    | Some b ->
+        Bitgraph.remove_edge b u v;
+        Bitgraph.add_edge b u w;
+        let au =
+          Cost.agent_cost_of_parts ~alpha ~degree:(Bitgraph.degree b u)
+            ~total:(Bitgraph.total_dist b u)
+        in
+        let ok =
+          Cost.strictly_less au bu
+          &&
+          let aw =
+            Cost.agent_cost_of_parts ~alpha ~degree:(Bitgraph.degree b w)
+              ~total:(Bitgraph.total_dist b w)
+          in
+          Cost.strictly_less aw bw
+        in
+        Bitgraph.remove_edge b u w;
+        Bitgraph.add_edge b u v;
+        ok
+    | None ->
+        let g' = Graph.add_edge (Graph.remove_edge g u v) u w in
+        Cost.strictly_less (Cost.agent_cost ~alpha g' u) bu
+        && Cost.strictly_less (Cost.agent_cost ~alpha g' w) bw
   in
   try
     for u = 0 to size - 1 do
@@ -53,11 +96,8 @@ let check ~alpha g =
               (fun v ->
                 List.iter
                   (fun w ->
-                    if w <> v then begin
-                      let g' = Graph.add_edge (Graph.remove_edge g u v) u w in
-                      if improves g' u && improves g' w then
-                        raise (Found (Move.Bilateral_swap { u; drop = v; add = w }))
-                    end)
+                    if w <> v && swap_improves_both u v w then
+                      raise (Found (Move.Bilateral_swap { u; drop = v; add = w })))
                   partners)
               (Graph.neighbors g u)
       end

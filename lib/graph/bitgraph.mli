@@ -1,0 +1,102 @@
+(** Mutable bit-parallel graphs for the exhaustive-search hot path.
+
+    Graphs with at most {!max_n} vertices are stored as one native [int]
+    bitmask per vertex, so edge updates are single word operations and BFS
+    expands a whole frontier per step (OR of adjacency words + popcount).
+    The exhaustive enumerations and the equilibrium checkers route their
+    inner distance queries through this module; {!Paths} on {!Graph.t}
+    remains the reference implementation and the fallback for larger
+    graphs.
+
+    Values are {e mutable}: searches flip edges in place and undo them.
+    Convert with {!of_graph} / {!to_graph} at the boundary. *)
+
+type t
+(** A mutable undirected simple graph on [0 .. n-1], [n <= max_n]. *)
+
+val max_n : int
+(** Largest supported vertex count (63: one bit per vertex in an [int]). *)
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices.
+    @raise Invalid_argument if [n < 0] or [n > max_n]. *)
+
+val copy : t -> t
+(** Independent copy; mutations do not propagate. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val num_edges : t -> int
+(** Number of undirected edges (maintained incrementally). *)
+
+val has_edge : t -> int -> int -> bool
+(** [has_edge t u v] is [true] iff edge [uv] is present. *)
+
+val add_edge : t -> int -> int -> unit
+(** Adds edge [uv] in place; no-op if present.
+    @raise Invalid_argument on loops or out-of-range endpoints. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Removes edge [uv] in place; no-op if absent. *)
+
+val flip_edge : t -> int -> int -> unit
+(** Toggles edge [uv] in place (the enumeration delta step).
+    @raise Invalid_argument on loops or out-of-range endpoints. *)
+
+val degree : t -> int -> int
+(** [degree t u] is [popcount] of [u]'s adjacency word. *)
+
+val neighbor_mask : t -> int -> int
+(** [neighbor_mask t u] is the raw adjacency bitmask of [u] (bit [v] set
+    iff [uv] is an edge). *)
+
+val popcount : int -> int
+(** Number of set bits (branch-free SWAR; valid on all OCaml ints). *)
+
+val lowest_bit : int -> int
+(** Index of the least significant set bit ([x <> 0]). *)
+
+val bfs : t -> int -> int array
+(** [bfs t src] matches [Paths.bfs] on the converted graph: hop distances
+    from [src], [-1] for unreachable vertices. *)
+
+val total_dist : t -> int -> Paths.total
+(** [total_dist t src] matches [Paths.total_dist]: unreachable count and
+    sum of finite distances, computed without materialising the distance
+    array (level popcounts only). *)
+
+val agent_dist_sums : t -> Paths.total array
+(** [agent_dist_sums t] is [total_dist] from every vertex — the per-agent
+    distance part of the BNCG cost vector. *)
+
+val reach_mask : t -> int -> int
+(** [reach_mask t src] is the bitmask of vertices reachable from [src]
+    (including [src]). *)
+
+val is_connected : t -> bool
+(** [true] iff every vertex is reachable from vertex 0 (empty graph
+    counts as connected), by word-parallel BFS. *)
+
+val triangles : t -> int -> int
+(** [triangles t u] is the number of triangles through [u] (one AND +
+    popcount per incident edge). *)
+
+val invariant : t -> string
+(** Isomorphism-invariant key combining [n], [m] and the sorted multiset
+    of per-vertex (degree, triangle count, unreachable count, BFS level
+    sizes) blocks.  Equal keys are necessary, not sufficient, for
+    isomorphism — the bit-level counterpart of {!Iso.fingerprint}, used
+    to keep iso-dedup buckets small during enumeration. *)
+
+val isomorphic : t -> t -> bool
+(** Exact isomorphism by backtracking with degree pruning, all adjacency
+    probes on bitmask words.  Exponential worst case; intended for the
+    small graphs of the enumeration pipeline. *)
+
+val of_graph : Graph.t -> t
+(** Lossless conversion.
+    @raise Invalid_argument if [Graph.n g > max_n]. *)
+
+val to_graph : t -> Graph.t
+(** Lossless conversion back to the persistent representation. *)

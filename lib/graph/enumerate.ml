@@ -80,41 +80,57 @@ let iter_labeled_trees n f =
     go 0
   end
 
-let iter_connected_graphs n f =
-  if n > 7 then invalid_arg "Enumerate.iter_connected_graphs: size too large";
+(* Edge subsets are walked in numeric mask order, but each step only
+   applies the single-bit delta between consecutive masks on one mutable
+   Bitgraph: going from [mask - 1] to [mask] clears the trailing run of
+   one-bits and sets the bit above it (amortised two edge flips per mask),
+   instead of rebuilding the graph edge by edge.  Keeping the numeric
+   order keeps the enumeration — and hence every downstream class
+   representative — identical to the historical implementation. *)
+let iter_connected_bitgraphs n f =
+  if n > 7 then invalid_arg "Enumerate.iter_connected_bitgraphs: size too large";
   if n <= 0 then begin
-    if n = 0 then f (Graph.create 0)
+    if n = 0 then f (Bitgraph.create 0)
   end
   else begin
     let slots = n * (n - 1) / 2 in
-    let pairs = Array.make slots (0, 0) in
+    let us = Array.make slots 0 and vs = Array.make slots 0 in
     let k = ref 0 in
     for u = 0 to n - 1 do
       for v = u + 1 to n - 1 do
-        pairs.(!k) <- (u, v);
+        us.(!k) <- u;
+        vs.(!k) <- v;
         incr k
       done
     done;
-    for mask = 0 to (1 lsl slots) - 1 do
-      let g = ref (Graph.create n) in
-      for b = 0 to slots - 1 do
-        if mask land (1 lsl b) <> 0 then begin
-          let u, v = pairs.(b) in
-          g := Graph.add_edge !g u v
-        end
+    let bg = Bitgraph.create n in
+    if Bitgraph.is_connected bg then f bg;
+    for mask = 1 to (1 lsl slots) - 1 do
+      let b = Bitgraph.lowest_bit mask in
+      for j = 0 to b - 1 do
+        Bitgraph.remove_edge bg us.(j) vs.(j)
       done;
-      if Paths.is_connected !g then f !g
+      Bitgraph.add_edge bg us.(b) vs.(b);
+      if Bitgraph.is_connected bg then f bg
     done
   end
 
+let iter_connected_graphs n f =
+  if n > 7 then invalid_arg "Enumerate.iter_connected_graphs: size too large";
+  iter_connected_bitgraphs n (fun bg -> f (Bitgraph.to_graph bg))
+
+(* Dedup buckets are keyed by the bitgraph invariant and hold bitgraph
+   snapshots, so the exact isomorphism test runs on words and conversion
+   back to Graph.t happens only once per isomorphism class. *)
 let connected_graphs_iso n =
-  let buckets : (string, Graph.t list) Hashtbl.t = Hashtbl.create 4096 in
+  let buckets : (string, Bitgraph.t list) Hashtbl.t = Hashtbl.create 4096 in
   let out = ref [] in
-  iter_connected_graphs n (fun g ->
-      let fp = Iso.fingerprint g in
+  iter_connected_bitgraphs n (fun bg ->
+      let fp = Bitgraph.invariant bg in
       let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets fp) in
-      if not (List.exists (fun h -> Iso.isomorphic g h) bucket) then begin
-        Hashtbl.replace buckets fp (g :: bucket);
-        out := g :: !out
+      if not (List.exists (fun h -> Bitgraph.isomorphic bg h) bucket) then begin
+        let snapshot = Bitgraph.copy bg in
+        Hashtbl.replace buckets fp (snapshot :: bucket);
+        out := Bitgraph.to_graph snapshot :: !out
       end);
   List.rev !out

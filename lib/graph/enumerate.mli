@@ -26,9 +26,18 @@ val iter_labeled_trees : int -> (Graph.t -> unit) -> unit
     (Prüfer enumeration).
     @raise Invalid_argument if [n > 9]. *)
 
+val iter_connected_bitgraphs : int -> (Bitgraph.t -> unit) -> unit
+(** [iter_connected_bitgraphs n f] calls [f] on every labelled connected
+    graph on [n] vertices in increasing edge-mask order, reusing a single
+    mutable {!Bitgraph.t} updated by one-bit deltas (amortised two edge
+    flips per candidate).  [f] must not retain or mutate its argument —
+    copy ({!Bitgraph.copy}) or convert ({!Bitgraph.to_graph}) to keep it.
+    @raise Invalid_argument if [n > 7]. *)
+
 val iter_connected_graphs : int -> (Graph.t -> unit) -> unit
 (** [iter_connected_graphs n f] calls [f] on every labelled connected graph
-    on [n] vertices (all [2^(n(n-1)/2)] edge subsets, filtered).
+    on [n] vertices (all [2^(n(n-1)/2)] edge subsets, filtered), in the
+    same order as {!iter_connected_bitgraphs}.
     @raise Invalid_argument if [n > 7]. *)
 
 val connected_graphs_iso : int -> Graph.t list

@@ -215,33 +215,32 @@ let induced g vs =
       if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate vertex";
       Hashtbl.add index v i)
     vs;
-  let out = ref (create k) in
+  let es = ref [] in
   Array.iteri
     (fun i v ->
       Array.iter
         (fun w ->
           match Hashtbl.find_opt index w with
-          | Some j when i < j -> out := add_edge !out i j
+          | Some j when i < j -> es := (i, j) :: !es
           | Some _ | None -> ())
         g.adj.(v))
     vs;
-  !out
+  of_edges k !es
 
 let disjoint_union g h =
   let shift = g.n in
-  let out = ref (create (g.n + h.n)) in
-  List.iter (fun (u, v) -> out := add_edge !out u v) (edges g);
-  List.iter (fun (u, v) -> out := add_edge !out (u + shift) (v + shift)) (edges h);
-  !out
+  of_edges (g.n + h.n)
+    (List.rev_append (edges g)
+       (List.rev_map (fun (u, v) -> (u + shift, v + shift)) (edges h)))
 
 let complement g =
-  let out = ref (create g.n) in
-  for u = 0 to g.n - 1 do
-    for v = u + 1 to g.n - 1 do
-      if not (row_mem g.adj.(u) v) then out := add_edge !out u v
+  let es = ref [] in
+  for u = g.n - 1 downto 0 do
+    for v = g.n - 1 downto u + 1 do
+      if not (row_mem g.adj.(u) v) then es := (u, v) :: !es
     done
   done;
-  !out
+  of_edges g.n !es
 
 let is_clique g = 2 * g.m = g.n * (g.n - 1)
 

@@ -63,21 +63,35 @@ let tree_code g =
 
 let fingerprint g =
   let size = Graph.n g in
-  let d = Paths.apsp g in
-  let triangles u =
-    let row = Graph.neighbors g u in
-    let count = ref 0 in
-    Array.iter
-      (fun v -> Array.iter (fun w -> if v < w && Graph.has_edge g v w then incr count) row)
-      row;
-    !count
-  in
+  (* The degree / triangle / distance-row data is computed on the
+     bit-parallel kernel when the graph fits in machine words; the output
+     string is identical to the generic path either way. *)
   let per_vertex =
-    Array.init size (fun u ->
-        let dist_row = Array.copy d.(u) in
-        Array.sort Int.compare dist_row;
-        Printf.sprintf "%d|%d|%s" (Graph.degree g u) (triangles u)
-          (String.concat "," (Array.to_list (Array.map string_of_int dist_row))))
+    if size <= Bitgraph.max_n then begin
+      let bg = Bitgraph.of_graph g in
+      Array.init size (fun u ->
+          let dist_row = Bitgraph.bfs bg u in
+          Array.sort Int.compare dist_row;
+          Printf.sprintf "%d|%d|%s" (Bitgraph.degree bg u) (Bitgraph.triangles bg u)
+            (String.concat "," (Array.to_list (Array.map string_of_int dist_row))))
+    end
+    else begin
+      let d = Paths.apsp g in
+      let triangles u =
+        let row = Graph.neighbors g u in
+        let count = ref 0 in
+        Array.iter
+          (fun v ->
+            Array.iter (fun w -> if v < w && Graph.has_edge g v w then incr count) row)
+          row;
+        !count
+      in
+      Array.init size (fun u ->
+          let dist_row = Array.copy d.(u) in
+          Array.sort Int.compare dist_row;
+          Printf.sprintf "%d|%d|%s" (Graph.degree g u) (triangles u)
+            (String.concat "," (Array.to_list (Array.map string_of_int dist_row))))
+    end
   in
   Array.sort String.compare per_vertex;
   Printf.sprintf "n%d m%d %s" size (Graph.num_edges g)

@@ -1,0 +1,164 @@
+(* Bit-parallel graph kernel: unit tests for the word-level primitives and
+   qcheck properties pinning Bitgraph to the Paths/Cost oracle on random
+   graphs.  The checkers trust this agreement, so it is tested on both
+   connected and disconnected inputs. *)
+
+open Helpers
+
+let graph_of (n, seed, p10) =
+  Gen.random_connected (Random.State.make [| seed |]) n ~p:(float_of_int p10 /. 10.)
+
+(* A possibly-disconnected graph: drop every edge of a random connected
+   graph independently with probability 1/4. *)
+let sparse_of (n, seed, p10) =
+  let g = graph_of (n, seed, p10) in
+  let st = Random.State.make [| seed + 1 |] in
+  List.fold_left
+    (fun acc (u, v) ->
+      if Random.State.int st 4 = 0 then Graph.remove_edge acc u v else acc)
+    g (Graph.edges g)
+
+let triple_arb lo hi =
+  QCheck.(
+    make
+      ~print:(fun (n, s, p) -> Printf.sprintf "(n=%d, seed=%d, p=%d/10)" n s p)
+      Gen.(triple (int_range lo hi) (int_range 0 10_000) (int_range 1 6)))
+
+let prop name ?(count = 100) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let unit_tests =
+  [
+    tc "popcount on word patterns" (fun () ->
+        check_int "zero" 0 (Bitgraph.popcount 0);
+        check_int "one" 1 (Bitgraph.popcount 1);
+        check_int "full 62-bit" 62 (Bitgraph.popcount ((1 lsl 62) - 1));
+        check_int "max_int" 62 (Bitgraph.popcount max_int);
+        check_int "alternating" 31 (Bitgraph.popcount 0x2AAAAAAAAAAAAAAA));
+    tc "lowest_bit" (fun () ->
+        check_int "bit 0" 0 (Bitgraph.lowest_bit 1);
+        check_int "bit 5" 5 (Bitgraph.lowest_bit (1 lsl 5));
+        check_int "composite" 3 (Bitgraph.lowest_bit 0b11011000);
+        check_int "bit 62" 62 (Bitgraph.lowest_bit (1 lsl 62)));
+    tc "edge operations and edge count" (fun () ->
+        let t = Bitgraph.create 5 in
+        check_int "initially empty" 0 (Bitgraph.num_edges t);
+        Bitgraph.add_edge t 0 1;
+        Bitgraph.add_edge t 1 0;
+        check_int "add is idempotent" 1 (Bitgraph.num_edges t);
+        check_true "edge is symmetric" (Bitgraph.has_edge t 1 0);
+        Bitgraph.flip_edge t 2 3;
+        check_true "flip adds" (Bitgraph.has_edge t 2 3);
+        Bitgraph.flip_edge t 2 3;
+        check_false "flip removes" (Bitgraph.has_edge t 2 3);
+        Bitgraph.remove_edge t 2 3;
+        check_int "remove is idempotent" 1 (Bitgraph.num_edges t);
+        check_int "degree" 1 (Bitgraph.degree t 0);
+        check_int "neighbor_mask" 0b10 (Bitgraph.neighbor_mask t 0));
+    tc "bounds are enforced" (fun () ->
+        check_raises_invalid "create 64" (fun () -> Bitgraph.create 64);
+        check_raises_invalid "create -1" (fun () -> Bitgraph.create (-1));
+        let t = Bitgraph.create 3 in
+        check_raises_invalid "loop" (fun () -> Bitgraph.add_edge t 1 1);
+        check_raises_invalid "out of range" (fun () -> Bitgraph.add_edge t 0 3));
+    tc "copy is independent" (fun () ->
+        let a = Bitgraph.of_graph (Gen.path 4) in
+        let b = Bitgraph.copy a in
+        Bitgraph.remove_edge b 0 1;
+        check_true "original keeps its edge" (Bitgraph.has_edge a 0 1);
+        check_false "copy lost it" (Bitgraph.has_edge b 0 1));
+    tc "connectivity at the edges of the range" (fun () ->
+        check_true "empty graph" (Bitgraph.is_connected (Bitgraph.create 0));
+        check_true "single vertex" (Bitgraph.is_connected (Bitgraph.create 1));
+        check_false "two isolated vertices"
+          (Bitgraph.is_connected (Bitgraph.create 2));
+        check_true "path on max_n vertices"
+          (Bitgraph.is_connected (Bitgraph.of_graph (Gen.path Bitgraph.max_n))));
+    tc "reach_mask on a two-component graph" (fun () ->
+        let t = Bitgraph.create 5 in
+        Bitgraph.add_edge t 0 1;
+        Bitgraph.add_edge t 1 2;
+        Bitgraph.add_edge t 3 4;
+        check_int "component of 0" 0b00111 (Bitgraph.reach_mask t 0);
+        check_int "component of 4" 0b11000 (Bitgraph.reach_mask t 4));
+    tc "triangles" (fun () ->
+        let k4 = Bitgraph.of_graph (Gen.clique 4) in
+        check_int "K4 has 3 triangles per vertex" 3 (Bitgraph.triangles k4 0);
+        let p4 = Bitgraph.of_graph (Gen.path 4) in
+        check_int "paths have none" 0 (Bitgraph.triangles p4 1));
+    tc "invariant separates non-isomorphic, isomorphic decides" (fun () ->
+        let path = Bitgraph.of_graph (Gen.path 4) in
+        let star = Bitgraph.of_graph (Gen.star 4) in
+        check_false "P4 vs K1,3 keys differ"
+          (String.equal (Bitgraph.invariant path) (Bitgraph.invariant star));
+        check_false "P4 vs K1,3 not isomorphic" (Bitgraph.isomorphic path star);
+        let relabelled =
+          Bitgraph.of_graph (Graph.relabel (Gen.path 4) [| 3; 1; 0; 2 |])
+        in
+        check_true "relabelled key equal"
+          (String.equal (Bitgraph.invariant path) (Bitgraph.invariant relabelled));
+        check_true "relabelled isomorphic" (Bitgraph.isomorphic path relabelled));
+  ]
+
+let properties =
+  [
+    prop "roundtrip through of_graph/to_graph" (triple_arb 1 20) (fun spec ->
+        let g = sparse_of spec in
+        Graph.equal g (Bitgraph.to_graph (Bitgraph.of_graph g)));
+    prop "bfs agrees with Paths.bfs" (triple_arb 1 20) (fun spec ->
+        let g = sparse_of spec in
+        let b = Bitgraph.of_graph g in
+        List.for_all
+          (fun u -> Bitgraph.bfs b u = Paths.bfs g u)
+          (List.init (Graph.n g) Fun.id));
+    prop "is_connected agrees with Paths.is_connected" (triple_arb 1 20)
+      (fun spec ->
+        let g = sparse_of spec in
+        Bitgraph.is_connected (Bitgraph.of_graph g) = Paths.is_connected g);
+    prop "total_dist agrees with Paths.total_dist" (triple_arb 1 20) (fun spec ->
+        let g = sparse_of spec in
+        let b = Bitgraph.of_graph g in
+        List.for_all
+          (fun u -> Bitgraph.total_dist b u = Paths.total_dist g u)
+          (List.init (Graph.n g) Fun.id));
+    prop "agent_dist_sums matches agent costs via Cost" ~count:60
+      (triple_arb 1 16) (fun spec ->
+        let g = graph_of spec and alpha = 1.5 in
+        let b = Bitgraph.of_graph g in
+        let sums = Bitgraph.agent_dist_sums b in
+        List.for_all
+          (fun u ->
+            Cost.agent_cost_of_parts ~alpha ~degree:(Graph.degree g u)
+              ~total:sums.(u)
+            = Cost.agent_cost ~alpha g u)
+          (List.init (Graph.n g) Fun.id));
+    prop "degree and num_edges agree with Graph" (triple_arb 1 20) (fun spec ->
+        let g = sparse_of spec in
+        let b = Bitgraph.of_graph g in
+        Bitgraph.num_edges b = Graph.num_edges g
+        && List.for_all
+             (fun u -> Bitgraph.degree b u = Graph.degree g u)
+             (List.init (Graph.n g) Fun.id));
+    prop "invariant is invariant under relabelling" ~count:60 (triple_arb 2 12)
+      (fun (n, seed, p) ->
+        let g = graph_of (n, seed, p) in
+        let perm = Array.init n (fun i -> n - 1 - i) in
+        String.equal
+          (Bitgraph.invariant (Bitgraph.of_graph g))
+          (Bitgraph.invariant (Bitgraph.of_graph (Graph.relabel g perm))));
+    prop "isomorphic accepts relabellings" ~count:60 (triple_arb 2 10)
+      (fun (n, seed, p) ->
+        let g = graph_of (n, seed, p) in
+        let st = Random.State.make [| seed + 7 |] in
+        let perm = Array.init n Fun.id in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- t
+        done;
+        Bitgraph.isomorphic (Bitgraph.of_graph g)
+          (Bitgraph.of_graph (Graph.relabel g perm)));
+  ]
+
+let suite = unit_tests @ properties

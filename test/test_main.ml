@@ -26,5 +26,7 @@ let () =
       ("cost-share", Test_cost_share.suite);
       ("local-moves", Test_local_moves.suite);
       ("analysis-extras", Test_analysis_extras.suite);
+      ("bitgraph", Test_bitgraph.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,111 @@
+(* Deterministic domain fan-out: chunking/fold/map laws, plus the headline
+   guarantee — parallel equilibrium searches return bit-for-bit the same
+   record as the sequential fold, for every domain count. *)
+
+open Helpers
+
+let same_worst name (a : Poa.worst) (b : Poa.worst) =
+  check_float (name ^ ": rho") a.Poa.rho b.Poa.rho;
+  check_int (name ^ ": stable_count") a.Poa.stable_count b.Poa.stable_count;
+  check_int (name ^ ": checked") a.Poa.checked b.Poa.checked;
+  check_int (name ^ ": exhausted") a.Poa.exhausted b.Poa.exhausted;
+  match (a.Poa.witness, b.Poa.witness) with
+  | None, None -> ()
+  | Some ga, Some gb -> check_graph (name ^ ": witness") ga gb
+  | _ -> Alcotest.failf "%s: witness presence differs" name
+
+let unit_tests =
+  [
+    tc "chunk preserves order and bounds the chunk count" (fun () ->
+        let items = List.init 10 Fun.id in
+        List.iter
+          (fun k ->
+            let chunks = Parallel.chunk k items in
+            check_true
+              (Printf.sprintf "k=%d: at most k chunks" k)
+              (List.length chunks <= max 1 k);
+            check_true
+              (Printf.sprintf "k=%d: concat restores the list" k)
+              (List.concat chunks = items);
+            let sizes = List.map List.length chunks in
+            check_true
+              (Printf.sprintf "k=%d: no empty chunk" k)
+              (List.for_all (fun s -> s > 0) sizes);
+            check_true
+              (Printf.sprintf "k=%d: near-equal sizes" k)
+              (List.fold_left max 0 sizes - List.fold_left min max_int sizes <= 1))
+          [ 1; 2; 3; 4; 10; 17 ]);
+    tc "chunk of the empty list" (fun () ->
+        check_int "no chunks" 0 (List.length (Parallel.chunk 4 [])));
+    tc "fold matches the sequential fold" (fun () ->
+        let items = List.init 101 (fun i -> i * i) in
+        let seq = List.fold_left ( + ) 0 items in
+        List.iter
+          (fun d ->
+            check_int
+              (Printf.sprintf "sum with domains=%d" d)
+              seq
+              (Parallel.fold ~domains:d ~f:( + ) ~merge:( + ) ~init:0 items))
+          [ 1; 2; 3; 8 ]);
+    tc "fold of an empty list is init" (fun () ->
+        check_int "init" 42
+          (Parallel.fold ~domains:4 ~f:( + ) ~merge:( + ) ~init:42 []));
+    tc "map preserves order across domain counts" (fun () ->
+        let items = List.init 57 Fun.id in
+        let expect = List.map (fun x -> (3 * x) + 1) items in
+        List.iter
+          (fun d ->
+            check_true
+              (Printf.sprintf "domains=%d" d)
+              (Parallel.map ~domains:d (fun x -> (3 * x) + 1) items = expect))
+          [ 1; 2; 5 ]);
+    tc "default_domains is positive" (fun () ->
+        check_true "at least one" (Parallel.default_domains () >= 1));
+    slow "parallel worst_connected equals sequential (n<=5, all concepts)"
+      (fun () ->
+        List.iter
+          (fun concept ->
+            List.iter
+              (fun alpha ->
+                List.iter
+                  (fun n ->
+                    let seq =
+                      Poa.worst_connected ~domains:1 ~concept ~alpha n
+                    in
+                    let par =
+                      Poa.worst_connected ~domains:4 ~concept ~alpha n
+                    in
+                    same_worst
+                      (Printf.sprintf "%s alpha=%g n=%d" (Concept.name concept)
+                         alpha n)
+                      seq par)
+                  [ 4; 5 ])
+              [ 0.5; 1.0; 2.0; 4.0 ])
+          [ Concept.PS; Concept.RE; Concept.BSwE; Concept.BGE ]);
+    slow "parallel worst_tree equals sequential (n=7)" (fun () ->
+        let seq =
+          Poa.worst_tree ~domains:1 ~concept:Concept.BGE ~alpha:3.0 7
+        in
+        let par = Poa.worst_tree ~domains:3 ~concept:Concept.BGE ~alpha:3.0 7 in
+        same_worst "BGE alpha=3 n=7 trees" seq par);
+    slow "anneal_multi outcome is independent of the domain count" (fun () ->
+        let spec =
+          {
+            Witness_search.must_hold = [ Concept.PS ];
+            must_fail = [ Concept.BSwE ];
+          }
+        in
+        let run domains =
+          Witness_search.anneal_multi ~rng:(rng 11) ~chains:4 ~domains
+            ~steps:150 ~n:7 ~alpha:2.0 spec
+        in
+        match (run 1, run 4) with
+        | Witness_search.Found a, Witness_search.Found b ->
+            check_graph "found the same witness" a b
+        | Witness_search.Not_found (a, sa), Witness_search.Not_found (b, sb) ->
+            check_float "same residual score" sa sb;
+            check_graph "same best graph" a b
+        | _ -> Alcotest.fail "outcome kind differs between domain counts");
+  ]
+
+let suite = unit_tests
