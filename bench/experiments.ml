@@ -14,7 +14,9 @@ let verdict_cell v =
 (* E-T1: Table 1                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Worst-case rho over all free trees on [n] vertices, per concept. *)
+(* Worst-case rho over all free trees on [n] vertices, per concept —
+   one declarative sweep over the full (size x concept x alpha) grid,
+   rendered back into the paper's table layout. *)
 let t1_exhaustive () =
   Report.section "E-T1a  Table 1, certified worst cases over ALL trees";
   print_endline
@@ -23,6 +25,16 @@ let t1_exhaustive () =
   let alphas = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ] in
   let concepts =
     [ Concept.PS; Concept.BSwE; Concept.BGE; Concept.BNE; Concept.KBSE 2; Concept.KBSE 3 ]
+  in
+  let sizes = [ 9; 10 ] in
+  let o =
+    Sweep.run
+      { Sweep.family = Sweep.Trees; sizes; concepts; alphas; budget = None; domains = None }
+  in
+  let cell n c alpha =
+    List.find
+      (fun (x : Sweep.cell) -> x.size = n && x.concept = c && x.alpha = alpha)
+      o.Sweep.cells
   in
   List.iter
     (fun n ->
@@ -33,14 +45,18 @@ let t1_exhaustive () =
             fnum alpha
             :: List.map
                  (fun c ->
-                   let w = Poa.worst_tree ~concept:c ~alpha n in
-                   let cell = if w.Poa.stable_count = 0 then "-" else fnum w.Poa.rho in
-                   if w.Poa.exhausted > 0 then cell ^ "?+" else cell)
+                   let w = (cell n c alpha).Sweep.worst in
+                   let s = if w.Sweep.stable_count = 0 then "-" else fnum w.Sweep.rho in
+                   if w.Sweep.exhausted > 0 then s ^ "?+" else s)
                  concepts)
           alphas
       in
       Report.print_table ~header:("alpha" :: List.map Concept.name concepts) rows)
-    [ 9; 10 ]
+    sizes;
+  let t = o.Sweep.totals in
+  Printf.printf "sweep totals: checked %d, cache hits %d, stable %d, exhausted %d, wall %.2fs\n"
+    t.Sweep.total_checked t.Sweep.total_cache_hits t.Sweep.total_stable t.Sweep.total_exhausted
+    t.Sweep.total_wall
 
 (* PS lower-bound family: spiders with legs of length ~ sqrt(alpha). *)
 let spider_ps alpha =

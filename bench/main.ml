@@ -7,6 +7,14 @@
    - [main.exe perf --json]: also write machine-readable results to
      bench/results.json so successive PRs can track the perf trajectory. *)
 
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
 let perf ?(json = false) () =
   let open Bechamel in
   Report.section "PERF  Bechamel microbenchmarks of the hot kernels";
@@ -18,6 +26,30 @@ let perf ?(json = false) () =
   let bits63 =
     Bitgraph.of_graph (Gen.random_connected (Random.State.make [| 21 |]) 63 ~p:0.1)
   in
+  (* The acceptance pair for the certificate store: the same 7-alpha PS
+     sweep over connected graphs on 6 vertices, once against an empty
+     store (pays enumeration + canonicalisation + checking + journaling)
+     and once against a pre-populated one (pays journal load + lookups). *)
+  let sweep_spec =
+    {
+      Sweep.family = Sweep.Connected;
+      sizes = [ 6 ];
+      concepts = [ Concept.PS ];
+      alphas = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ];
+      budget = None;
+      domains = None;
+    }
+  in
+  let cold_runs = ref 0 in
+  let warm_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bncg-bench-warm-%d" (Unix.getpid ()))
+  in
+  rm_rf warm_dir;
+  (let s = Cert_store.open_store warm_dir in
+   ignore (Sweep.run ~store:s sweep_spec);
+   Cert_store.close s);
   let tests =
     [
       Test.make ~name:"bfs n=510 (stretched tree)"
@@ -59,11 +91,29 @@ let perf ?(json = false) () =
       Test.make ~name:"worst_connected n=6 PS parallel"
         (Staged.stage (fun () ->
              ignore (Poa.worst_connected ~concept:Concept.PS ~alpha:2.0 6)));
+      Test.make ~name:"sweep n=6 PS x7 alphas cold store"
+        (Staged.stage (fun () ->
+             incr cold_runs;
+             let dir =
+               Filename.concat
+                 (Filename.get_temp_dir_name ())
+                 (Printf.sprintf "bncg-bench-cold-%d-%d" (Unix.getpid ()) !cold_runs)
+             in
+             let s = Cert_store.open_store dir in
+             ignore (Sweep.run ~store:s sweep_spec);
+             Cert_store.close s;
+             rm_rf dir));
+      Test.make ~name:"sweep n=6 PS x7 alphas warm store"
+        (Staged.stage (fun () ->
+             let s = Cert_store.open_store warm_dir in
+             ignore (Sweep.run ~store:s sweep_spec);
+             Cert_store.close s));
     ]
   in
   let grouped = Test.make_grouped ~name:"bncg" tests in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  rm_rf warm_dir;
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -94,16 +144,17 @@ let perf ?(json = false) () =
   if json then begin
     let path = if Sys.file_exists "bench" then "bench/results.json" else "results.json" in
     let oc = open_out path in
-    (* NaN is not valid JSON, so undecided estimates become null. *)
-    let num x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x in
-    output_string oc "[\n";
-    List.iteri
-      (fun i (name, ns, r2) ->
-        Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}%s\n"
-          name (num ns) (num r2)
-          (if i = List.length rows - 1 then "" else ","))
-      rows;
-    output_string oc "]\n";
+    (* Json.to_string turns non-finite floats into null, so undecided
+       estimates stay valid JSON. *)
+    let row (name, ns, r2) =
+      Json.Obj
+        [
+          ("name", Json.String name); ("ns_per_run", Json.Float ns);
+          ("r_square", Json.Float r2);
+        ]
+    in
+    output_string oc (Json.to_string (Json.List (List.map row rows)));
+    output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %d benchmark rows to %s\n%!" (List.length rows) path
   end

@@ -3,6 +3,7 @@
    bncg check  -a 2.0 -c PS -g "Dhc"            check a graph6 graph
    bncg rho    -a 2.0 -g "Dhc"                  social cost ratio
    bncg poa    -a 2.0 -c 3-BSE -n 9             worst rho over all trees
+   bncg sweep  --family connected -n 6 -c PS    full (concept x alpha x n) sweep
    bncg dyn    -a 2.0 -c BGE --tree 10 --seed 1 improving-move dynamics
    bncg enum   -n 7                             enumeration counts
    bncg gallery                                 counterexample summary *)
@@ -17,18 +18,7 @@ let alpha_arg =
 
 let concept_conv =
   let parse s =
-    match String.uppercase_ascii s with
-    | "RE" -> Ok Concept.RE
-    | "BAE" -> Ok Concept.BAE
-    | "PS" -> Ok Concept.PS
-    | "BSWE" -> Ok Concept.BSwE
-    | "BGE" -> Ok Concept.BGE
-    | "BNE" -> Ok Concept.BNE
-    | "BSE" -> Ok Concept.BSE
-    | s -> (
-        match Scanf.sscanf_opt s "%d-BSE" (fun k -> k) with
-        | Some k when k >= 1 -> Ok (Concept.KBSE k)
-        | Some _ | None -> Error (`Msg (Printf.sprintf "unknown concept %S" s)))
+    match Concept.of_string s with Ok c -> Ok c | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Concept.name c))
 
@@ -51,17 +41,48 @@ let budget_arg =
     & opt int 500_000
     & info [ "budget" ] ~docv:"N" ~doc:"Search budget for BNE / k-BSE checkers.")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Certificate store directory: decisions are answered from $(docv) when cached \
+           and journaled there otherwise, so repeated or interrupted runs resume instead \
+           of recomputing.")
+
+let with_store store f =
+  match store with
+  | None -> f None
+  | Some dir ->
+      let s = Cert_store.open_store dir in
+      Fun.protect ~finally:(fun () -> Cert_store.close s) (fun () -> f (Some s))
+
 let check_cmd =
-  let run alpha concept g6 budget =
+  let run alpha concept g6 budget json =
     let g = Encode.of_graph6 g6 in
     let v = Concept.check ~budget ~alpha concept g in
-    Printf.printf "%s on %s at alpha=%g: %s\n" (Concept.name concept) g6 alpha
-      (Verdict.to_string v);
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("concept", Json.String (Concept.name concept));
+                ("alpha", Json.Float alpha); ("graph", Json.String g6);
+                ("verdict", Verdict.to_json v);
+                ("rho", Json.Float (Cost.rho ~alpha g));
+              ]))
+    else
+      Printf.printf "%s on %s at alpha=%g: %s\n" (Concept.name concept) g6 alpha
+        (Verdict.to_string v);
     match v with Verdict.Unstable _ -> exit 1 | Verdict.Stable -> () | Verdict.Exhausted _ -> exit 2
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a graph against a solution concept.")
-    Term.(const run $ alpha_arg $ concept_arg $ graph_arg $ budget_arg)
+    Term.(const run $ alpha_arg $ concept_arg $ graph_arg $ budget_arg $ json_arg)
 
 let rho_cmd =
   let run alpha g6 =
@@ -84,22 +105,107 @@ let poa_cmd =
       value & flag
       & info [ "general" ] ~doc:"Search connected graphs (n <= 7) instead of trees.")
   in
-  let run alpha concept n general budget =
-    let w =
-      if general then Poa.worst_connected ~budget ~concept ~alpha n
-      else Poa.worst_tree ~budget ~concept ~alpha n
-    in
-    Printf.printf "%s, n=%d, alpha=%g: checked %d graphs, %d stable, %d budgeted out\n"
-      (Concept.name concept) n alpha w.Poa.checked w.Poa.stable_count w.Poa.exhausted;
-    match w.Poa.witness with
-    | Some g ->
-        Printf.printf "worst rho = %.4f attained by %s (graph6 %s)\n" w.Poa.rho
-          (Graph.to_string g) (Encode.to_graph6 g)
-    | None -> print_endline "no stable graph found"
+  let run alpha concept n general budget store json =
+    let target = if general then Poa.Connected n else Poa.Trees n in
+    let w = with_store store (fun store -> Poa.run ~budget ?store ~concept ~alpha target) in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("concept", Json.String (Concept.name concept)); ("n", Json.Int n);
+                ("family", Json.String (if general then "connected" else "trees"));
+                ("alpha", Json.Float alpha); ("worst", Sweep.worst_to_json w);
+              ]))
+    else begin
+      Printf.printf "%s, n=%d, alpha=%g: checked %d graphs, %d stable, %d budgeted out\n"
+        (Concept.name concept) n alpha w.Poa.checked w.Poa.stable_count w.Poa.exhausted;
+      match w.Poa.witness with
+      | Some g ->
+          Printf.printf "worst rho = %.4f attained by %s (graph6 %s)\n" w.Poa.rho
+            (Graph.to_string g) (Encode.to_graph6 g)
+      | None -> print_endline "no stable graph found"
+    end
   in
   Cmd.v
     (Cmd.info "poa" ~doc:"Worst-case rho over enumerated equilibria.")
-    Term.(const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg)
+    Term.(
+      const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg $ store_arg
+      $ json_arg)
+
+let sweep_cmd =
+  let family_arg =
+    Arg.(
+      value
+      & opt (enum [ ("trees", Sweep.Trees); ("connected", Sweep.Connected) ]) Sweep.Trees
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"Candidate family: $(b,trees) (free trees) or $(b,connected) (all connected \
+                graphs up to isomorphism, n <= 7).")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 6 ]
+      & info [ "n"; "sizes" ] ~docv:"N,.." ~doc:"Comma-separated sizes to sweep.")
+  in
+  let concepts_arg =
+    Arg.(
+      value
+      & opt (list concept_conv) [ Concept.PS ]
+      & info [ "c"; "concepts" ] ~docv:"C,.." ~doc:"Comma-separated solution concepts.")
+  in
+  let alphas_arg =
+    Arg.(
+      value
+      & opt (list float) [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ]
+      & info [ "alphas" ] ~docv:"A,.." ~doc:"Comma-separated alpha grid.")
+  in
+  let budget_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N" ~doc:"Search budget for BNE / k-BSE checkers.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: recommended count).")
+  in
+  let run family sizes concepts alphas budget domains store json =
+    let spec = { Sweep.family; sizes; concepts; alphas; budget; domains } in
+    let o = with_store store (fun store -> Sweep.run ?store spec) in
+    if json then print_endline (Json.to_string (Sweep.outcome_to_json o))
+    else begin
+      List.iter
+        (fun (c : Sweep.cell) ->
+          Printf.printf
+            "n=%-2d %-6s alpha=%-6g rho=%-8.4f witness=%-12s stable=%d/%d exhausted=%d \
+             hits=%d %.3fs\n"
+            c.Sweep.size
+            (Concept.name c.Sweep.concept)
+            c.Sweep.alpha c.Sweep.worst.rho
+            (match c.Sweep.worst.witness with
+            | Some g -> Encode.to_graph6 g
+            | None -> "-")
+            c.Sweep.worst.stable_count c.Sweep.worst.checked c.Sweep.worst.exhausted
+            c.Sweep.cache_hits c.Sweep.wall)
+        o.Sweep.cells;
+      let t = o.Sweep.totals in
+      Printf.printf
+        "totals: checked %d, cache hits %d, stable %d, exhausted %d, wall %.3fs\n"
+        t.Sweep.total_checked t.Sweep.total_cache_hits t.Sweep.total_stable
+        t.Sweep.total_exhausted t.Sweep.total_wall
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Exhaustive (size x concept x alpha) PoA sweep, resumable through a certificate \
+          store.")
+    Term.(
+      const run $ family_arg $ sizes_arg $ concepts_arg $ alphas_arg $ budget_opt_arg
+      $ domains_arg $ store_arg $ json_arg)
 
 let dyn_cmd =
   let tree_arg =
@@ -209,6 +315,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            check_cmd; rho_cmd; poa_cmd; dyn_cmd; enum_cmd; gallery_cmd; render_cmd;
-            profile_cmd; welfare_cmd;
+            check_cmd; rho_cmd; poa_cmd; sweep_cmd; dyn_cmd; enum_cmd; gallery_cmd;
+            render_cmd; profile_cmd; welfare_cmd;
           ]))

@@ -1,0 +1,183 @@
+type entry = { verdict : Verdict.t; rho : float }
+
+type t = {
+  dir : string;
+  certs : (string, entry) Hashtbl.t;  (* content address -> certificate *)
+  canon : (string, string) Hashtbl.t;  (* labelled adjacency key -> canonical g6 *)
+  families : (string, string list) Hashtbl.t;  (* family key -> g6s in enum order *)
+  journal_path : string;
+  mutable journal : out_channel option;  (* opened lazily on first record *)
+}
+
+let dir t = t.dir
+let cert_count t = Hashtbl.length t.certs
+
+let budget_tag = function Some b -> string_of_int b | None -> "-"
+
+let cert_key ~concept ~alpha ~budget ~canon_g6 =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "cert|%s|%s|%h|%s" canon_g6 (Concept.name concept) alpha
+          (budget_tag budget)))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL records                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cert_line ~key ~canon_g6 ~concept ~alpha ~budget e =
+  Json.Obj
+    [
+      ("kind", Json.String "cert"); ("key", Json.String key); ("g6", Json.String canon_g6);
+      ("concept", Json.String (Concept.name concept)); ("alpha", Json.Float alpha);
+      ("budget", match budget with Some b -> Json.Int b | None -> Json.Null);
+      ("verdict", Verdict.to_json e.verdict); ("rho", Json.Float e.rho);
+    ]
+
+let canon_line ~akey ~g6 =
+  Json.Obj
+    [ ("kind", Json.String "canon"); ("graph", Json.String akey); ("g6", Json.String g6) ]
+
+let family_line ~name g6s =
+  Json.Obj
+    [
+      ("kind", Json.String "family"); ("name", Json.String name);
+      ("graphs", Json.List (List.map (fun s -> Json.String s) g6s));
+    ]
+
+let load_line t line =
+  match Json.of_string line with
+  | Error _ -> ()  (* a truncated tail line from a killed run: skip *)
+  | Ok j -> (
+      match Option.bind (Json.member "kind" j) Json.as_string with
+      | Some "cert" -> (
+          let key = Option.bind (Json.member "key" j) Json.as_string in
+          let rho = Option.bind (Json.member "rho" j) Json.as_float in
+          let verdict =
+            match Json.member "verdict" j with
+            | Some vj -> ( match Verdict.of_json vj with Ok v -> Some v | Error _ -> None)
+            | None -> None
+          in
+          match (key, verdict, rho) with
+          | Some key, Some verdict, Some rho -> Hashtbl.replace t.certs key { verdict; rho }
+          | _ -> ())
+      | Some "canon" -> (
+          let akey = Option.bind (Json.member "graph" j) Json.as_string in
+          let g6 = Option.bind (Json.member "g6" j) Json.as_string in
+          match (akey, g6) with
+          | Some akey, Some g6 -> Hashtbl.replace t.canon akey g6
+          | _ -> ())
+      | Some "family" -> (
+          let name = Option.bind (Json.member "name" j) Json.as_string in
+          let g6s =
+            Option.map
+              (List.filter_map Json.as_string)
+              (Option.bind (Json.member "graphs" j) Json.as_list)
+          in
+          match (name, g6s) with
+          | Some name, Some g6s -> Hashtbl.replace t.families name g6s
+          | _ -> ())
+      | Some _ | None -> ())
+
+let load_journal t path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          load_line t (input_line ic)
+        done
+      with End_of_file -> ())
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fresh_journal_path dir =
+  let rec go k =
+    let path = Filename.concat dir (Printf.sprintf "journal-%04d.jsonl" k) in
+    if Sys.file_exists path then go (k + 1) else path
+  in
+  go 0
+
+let open_store dirname =
+  mkdir_p dirname;
+  let t =
+    {
+      dir = dirname;
+      certs = Hashtbl.create 4096;
+      canon = Hashtbl.create 1024;
+      families = Hashtbl.create 16;
+      journal_path = fresh_journal_path dirname;
+      journal = None;
+    }
+  in
+  Sys.readdir dirname
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+  |> List.sort String.compare
+  |> List.iter (fun f -> load_journal t (Filename.concat dirname f));
+  t
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      t.journal <- None
+
+let append t j =
+  let oc =
+    match t.journal with
+    | Some oc -> oc
+    | None ->
+        let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.journal_path in
+        t.journal <- Some oc;
+        oc
+  in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let find t ~key = Hashtbl.find_opt t.certs key
+
+let record t ~key ~canon_g6 ~concept ~alpha ~budget e =
+  Hashtbl.replace t.certs key e;
+  append t (cert_line ~key ~canon_g6 ~concept ~alpha ~budget e)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalisation memo                                               *)
+(* ------------------------------------------------------------------ *)
+
+let find_canon t g = Hashtbl.find_opt t.canon (Graph.adjacency_key g)
+
+let record_canon t g g6 =
+  let akey = Graph.adjacency_key g in
+  Hashtbl.replace t.canon akey g6;
+  append t (canon_line ~akey ~g6)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate-family memo                                               *)
+(* ------------------------------------------------------------------ *)
+
+let find_family t name =
+  Option.map (List.map Encode.of_graph6) (Hashtbl.find_opt t.families name)
+
+let record_family t name graphs =
+  let g6s = List.map Encode.to_graph6 graphs in
+  Hashtbl.replace t.families name g6s;
+  append t (family_line ~name g6s)
+
+let canonical_g6 t g =
+  match find_canon t g with
+  | Some g6 -> g6
+  | None ->
+      let g6 = Encode.canonical_graph6 g in
+      record_canon t g g6;
+      g6

@@ -1,4 +1,9 @@
-type worst = {
+(* Thin facade over the sweep engine: [worst] is re-exported from
+   {!Sweep} and every entry point funnels through {!Sweep.run_cell}, so
+   PoA searches made here and sweeps made there share the same fold,
+   the same parallelism and (via [?store]) the same certificate cache. *)
+
+type worst = Sweep.worst = {
   rho : float;
   witness : Graph.t option;
   stable_count : int;
@@ -6,38 +11,25 @@ type worst = {
   exhausted : int;
 }
 
-let empty = { rho = 0.; witness = None; stable_count = 0; checked = 0; exhausted = 0 }
+type target = Trees of int | Connected of int | Graphs of Graph.t list
 
-let step ?budget ~concept ~alpha acc g =
-  let acc = { acc with checked = acc.checked + 1 } in
-  match Concept.check ?budget ~alpha concept g with
-  | Verdict.Stable ->
-      let r = Cost.rho ~alpha g in
-      let acc = { acc with stable_count = acc.stable_count + 1 } in
-      if r > acc.rho then { acc with rho = r; witness = Some g } else acc
-  | Verdict.Unstable _ -> acc
-  | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 }
+let graphs_of_target ?store = function
+  | Trees n -> Sweep.candidates ?store Sweep.Trees n
+  | Connected n -> Sweep.candidates ?store Sweep.Connected n
+  | Graphs graphs -> graphs
 
-(* Counters add; the maximum keeps the earlier witness on ties (the
-   per-item update only replaces on strict improvement), so merging chunk
-   folds left to right reproduces the sequential fold bit for bit. *)
-let merge a b =
-  {
-    rho = (if b.rho > a.rho then b.rho else a.rho);
-    witness = (if b.rho > a.rho then b.witness else a.witness);
-    stable_count = a.stable_count + b.stable_count;
-    checked = a.checked + b.checked;
-    exhausted = a.exhausted + b.exhausted;
-  }
+let run ?budget ?domains ?store ~concept ~alpha target =
+  fst
+    (Sweep.run_cell ?budget ?domains ?store ~concept ~alpha (graphs_of_target ?store target))
 
 let fold_worst ?budget ?domains ~concept ~alpha graphs =
-  Parallel.fold ?domains ~f:(step ?budget ~concept ~alpha) ~merge ~init:empty graphs
+  run ?budget ?domains ~concept ~alpha (Graphs graphs)
 
 let worst_tree ?budget ?domains ~concept ~alpha n =
-  fold_worst ?budget ?domains ~concept ~alpha (Enumerate.free_trees n)
+  run ?budget ?domains ~concept ~alpha (Trees n)
 
 let worst_connected ?budget ?domains ~concept ~alpha n =
-  fold_worst ?budget ?domains ~concept ~alpha (Enumerate.connected_graphs_iso n)
+  run ?budget ?domains ~concept ~alpha (Connected n)
 
 let rho_if_stable ?budget ~concept ~alpha g =
   match Concept.check ?budget ~alpha concept g with

@@ -7,12 +7,13 @@
     [Exhausted] verdicts are counted separately so an incomplete search can
     never masquerade as a certified bound.
 
-    Candidates are checked across OCaml domains ({!Parallel}); results are
+    All entry points are routed through the {!Sweep} engine: candidates
+    are checked across OCaml domains ({!Parallel}), results are
     deterministic and identical to the sequential fold for every
-    [?domains] value, because chunks merge in enumeration order and ties
-    keep the earlier witness. *)
+    [?domains] value, and passing [?store] memoises every decision in a
+    persistent {!Cert_store} so repeated searches answer from cache. *)
 
-type worst = {
+type worst = Sweep.worst = {
   rho : float;  (** worst social cost ratio among certified equilibria *)
   witness : Graph.t option;  (** a graph attaining [rho] *)
   stable_count : int;  (** how many enumerated graphs were equilibria *)
@@ -20,21 +21,40 @@ type worst = {
   exhausted : int;  (** how many checks hit their budget (excluded) *)
 }
 
+type target =
+  | Trees of int  (** all free trees on [n] vertices *)
+  | Connected of int  (** all connected graphs up to isomorphism, [n <= 7] *)
+  | Graphs of Graph.t list  (** an explicit candidate list *)
+
+val run :
+  ?budget:int ->
+  ?domains:int ->
+  ?store:Cert_store.t ->
+  concept:Concept.t ->
+  alpha:float ->
+  target ->
+  worst
+(** [run ~concept ~alpha target] maximises ρ over the certified
+    equilibria among the candidates [target] denotes — the single entry
+    point the historical [fold_worst] / [worst_tree] / [worst_connected]
+    trio collapsed into.  [?domains] fans the checks out across domains
+    (default [Domain.recommended_domain_count ()]; [~domains:1] runs
+    sequentially).  [?store] consults and fills a certificate store, so
+    a repeated run re-checks nothing; results are bit-identical with and
+    without it. *)
+
 val fold_worst :
   ?budget:int -> ?domains:int -> concept:Concept.t -> alpha:float -> Graph.t list -> worst
-(** [fold_worst ~concept ~alpha graphs] maximises ρ over the certified
-    equilibria among [graphs], fanning the checks out over [?domains]
-    domains (default [Domain.recommended_domain_count ()];
-    [?domains:1] runs sequentially in the calling domain). *)
+(** [fold_worst ~concept ~alpha graphs] is [run ~concept ~alpha (Graphs graphs)]
+    (kept as a wrapper for source compatibility). *)
 
 val worst_tree :
   ?budget:int -> ?domains:int -> concept:Concept.t -> alpha:float -> int -> worst
-(** [worst_tree ~concept ~alpha n] maximises ρ over all free trees on [n]
-    vertices that are certified stable for [concept]. *)
+(** [worst_tree ~concept ~alpha n] is [run ~concept ~alpha (Trees n)]. *)
 
 val worst_connected :
   ?budget:int -> ?domains:int -> concept:Concept.t -> alpha:float -> int -> worst
-(** Same over all connected graphs up to isomorphism ([n ≤ 7]). *)
+(** [worst_connected ~concept ~alpha n] is [run ~concept ~alpha (Connected n)]. *)
 
 val rho_if_stable : ?budget:int -> concept:Concept.t -> alpha:float -> Graph.t -> float option
 (** [rho_if_stable ~concept ~alpha g] is [Some (rho g)] when [g] is

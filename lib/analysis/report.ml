@@ -39,3 +39,20 @@ let section title =
   print_newline ();
   print_endline title;
   print_endline (String.make (String.length title) '=')
+
+(* JSON sibling of [csv]: one object per row, keyed by the header — the
+   same Json layer the certificate store and the CLI's --json flags use,
+   so every machine-readable surface shares one encoder. *)
+let json ~header rows =
+  Json.to_string
+    (Json.List
+       (List.map
+          (fun row ->
+            Json.Obj (List.map2 (fun k v -> (k, Json.String v)) header row))
+          rows))
+
+let verdict_cell v =
+  match v with
+  | Verdict.Stable -> "stable"
+  | Verdict.Unstable m -> "unstable: " ^ Move.to_string m
+  | Verdict.Exhausted reason -> "exhausted: " ^ reason

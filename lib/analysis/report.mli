@@ -16,3 +16,13 @@ val csv : header:string list -> string list list -> string
 
 val section : string -> unit
 (** Print an underlined section heading. *)
+
+val json : header:string list -> string list list -> string
+(** The same data as a JSON array of objects keyed by [header] — rendered
+    with {!Json}, the encoder the certificate store and the CLI [--json]
+    flags share.  Rows shorter than the header are rejected
+    ([Invalid_argument], like [List.map2]). *)
+
+val verdict_cell : Verdict.t -> string
+(** One-cell rendering of a verdict for {!table} / {!csv} / {!json} rows
+    (status plus the witnessing move, if any). *)

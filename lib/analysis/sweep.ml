@@ -1,0 +1,244 @@
+type worst = {
+  rho : float;
+  witness : Graph.t option;
+  stable_count : int;
+  checked : int;
+  exhausted : int;
+}
+
+let empty = { rho = 0.; witness = None; stable_count = 0; checked = 0; exhausted = 0 }
+
+type family = Trees | Connected | Explicit of Graph.t list
+
+type spec = {
+  family : family;
+  sizes : int list;
+  concepts : Concept.t list;
+  alphas : float list;
+  budget : int option;
+  domains : int option;
+}
+
+type cell = {
+  size : int;
+  concept : Concept.t;
+  alpha : float;
+  worst : worst;
+  cache_hits : int;
+  wall : float;
+}
+
+type totals = {
+  total_checked : int;
+  total_cache_hits : int;
+  total_stable : int;
+  total_exhausted : int;
+  total_wall : float;
+}
+
+type outcome = { cells : cell list; totals : totals }
+
+(* ------------------------------------------------------------------ *)
+(* The per-cell fold                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let step ?budget ~concept ~alpha acc g =
+  let acc = { acc with checked = acc.checked + 1 } in
+  match Concept.check ?budget ~alpha concept g with
+  | Verdict.Stable ->
+      let r = Cost.rho ~alpha g in
+      let acc = { acc with stable_count = acc.stable_count + 1 } in
+      if r > acc.rho then { acc with rho = r; witness = Some g } else acc
+  | Verdict.Unstable _ -> acc
+  | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 }
+
+(* Counters add; the maximum keeps the earlier witness on ties (the
+   per-item update only replaces on strict improvement), so merging chunk
+   folds left to right reproduces the sequential fold bit for bit. *)
+let merge a b =
+  {
+    rho = (if b.rho > a.rho then b.rho else a.rho);
+    witness = (if b.rho > a.rho then b.witness else a.witness);
+    stable_count = a.stable_count + b.stable_count;
+    checked = a.checked + b.checked;
+    exhausted = a.exhausted + b.exhausted;
+  }
+
+(* Same accumulation as [step], replaying an already-decided entry.  For
+   a stable graph [entry.rho] equals what [step] would compute (cached
+   entries round-trip bit-exactly), so the two paths agree. *)
+let tally acc g (entry : Cert_store.entry) =
+  let acc = { acc with checked = acc.checked + 1 } in
+  match entry.Cert_store.verdict with
+  | Verdict.Stable ->
+      let acc = { acc with stable_count = acc.stable_count + 1 } in
+      if entry.Cert_store.rho > acc.rho then
+        { acc with rho = entry.Cert_store.rho; witness = Some g }
+      else acc
+  | Verdict.Unstable _ -> acc
+  | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 }
+
+(* Canonical graph6 per candidate, through the store's memo table; the
+   canonical-form searches for graphs the store has never seen fan out
+   across domains, and the results are journaled so the next run pays
+   table lookups only. *)
+let canon_keys ?domains store graphs =
+  let keys = Array.of_list (List.map (Cert_store.find_canon store) graphs) in
+  let missing_graphs = List.filteri (fun i _ -> keys.(i) = None) graphs in
+  let computed = Parallel.map ?domains Encode.canonical_graph6 missing_graphs in
+  List.iter2 (fun g g6 -> Cert_store.record_canon store g g6) missing_graphs computed;
+  let rem = ref computed in
+  Array.map
+    (function
+      | Some g6 -> g6
+      | None ->
+          let g6 = List.hd !rem in
+          rem := List.tl !rem;
+          g6)
+    keys
+
+let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
+  match store with
+  | None ->
+      ( Parallel.fold ?domains ~f:(step ?budget ~concept ~alpha) ~merge ~init:empty graphs,
+        0 )
+  | Some s ->
+      let garr = Array.of_list graphs in
+      let g6s = canon_keys ?domains s graphs in
+      let keys =
+        Array.map (fun canon_g6 -> Cert_store.cert_key ~concept ~alpha ~budget ~canon_g6) g6s
+      in
+      let found = Array.map (fun key -> Cert_store.find s ~key) keys in
+      let hits = Array.fold_left (fun n e -> if e = None then n else n + 1) 0 found in
+      let miss_idx = ref [] in
+      Array.iteri (fun i e -> if e = None then miss_idx := i :: !miss_idx) found;
+      let miss_idx = List.rev !miss_idx in
+      let computed =
+        Parallel.map ?domains
+          (fun i ->
+            let g = garr.(i) in
+            {
+              Cert_store.verdict = Concept.check ?budget ~alpha concept g;
+              rho = Cost.rho ~alpha g;
+            })
+          miss_idx
+      in
+      (* Journal fresh certificates in enumeration order: a kill at any
+         point leaves a prefix, which is a valid resume checkpoint. *)
+      List.iter2
+        (fun i entry ->
+          Cert_store.record s ~key:keys.(i) ~canon_g6:g6s.(i) ~concept ~alpha ~budget entry;
+          found.(i) <- Some entry)
+        miss_idx computed;
+      let acc = ref empty in
+      Array.iteri (fun i entry -> acc := tally !acc garr.(i) (Option.get entry)) found;
+      (!acc, hits)
+
+(* ------------------------------------------------------------------ *)
+(* Spec execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate enumeration, memoised through the store: at small sizes
+   enumerating the family costs more than checking it, so a warm run
+   must skip enumeration too.  The journaled graph6 list preserves the
+   labelled graphs and their order exactly, keeping the fold (and hence
+   [worst]) bit-identical to a fresh enumeration. *)
+let candidates ?store family n =
+  match family with
+  | Explicit graphs -> graphs
+  | Trees | Connected -> (
+      let name, enum =
+        match family with
+        | Trees -> ("trees", Enumerate.free_trees)
+        | Connected -> ("connected", Enumerate.connected_graphs_iso)
+        | Explicit _ -> assert false
+      in
+      let key = Printf.sprintf "%s/%d" name n in
+      match Option.bind store (fun s -> Cert_store.find_family s key) with
+      | Some graphs -> graphs
+      | None ->
+          let graphs = enum n in
+          Option.iter (fun s -> Cert_store.record_family s key graphs) store;
+          graphs)
+
+let groups ?store spec =
+  match spec.family with
+  | Explicit graphs -> [ (0, graphs) ]
+  | Trees | Connected ->
+      List.map (fun n -> (n, candidates ?store spec.family n)) spec.sizes
+
+let run ?store spec =
+  let cells =
+    List.concat_map
+      (fun (size, graphs) ->
+        List.concat_map
+          (fun concept ->
+            List.map
+              (fun alpha ->
+                let t0 = Unix.gettimeofday () in
+                let worst, cache_hits =
+                  run_cell ?budget:spec.budget ?domains:spec.domains ?store ~concept ~alpha
+                    graphs
+                in
+                { size; concept; alpha; worst; cache_hits; wall = Unix.gettimeofday () -. t0 })
+              spec.alphas)
+          spec.concepts)
+      (groups ?store spec)
+  in
+  let totals =
+    List.fold_left
+      (fun t c ->
+        {
+          total_checked = t.total_checked + c.worst.checked;
+          total_cache_hits = t.total_cache_hits + c.cache_hits;
+          total_stable = t.total_stable + c.worst.stable_count;
+          total_exhausted = t.total_exhausted + c.worst.exhausted;
+          total_wall = t.total_wall +. c.wall;
+        })
+      {
+        total_checked = 0;
+        total_cache_hits = 0;
+        total_stable = 0;
+        total_exhausted = 0;
+        total_wall = 0.;
+      }
+      cells
+  in
+  { cells; totals }
+
+(* ------------------------------------------------------------------ *)
+(* JSON views                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let worst_to_json w =
+  Json.Obj
+    [
+      ("rho", Json.Float w.rho);
+      ( "witness",
+        match w.witness with Some g -> Json.String (Encode.to_graph6 g) | None -> Json.Null );
+      ("stable", Json.Int w.stable_count); ("checked", Json.Int w.checked);
+      ("exhausted", Json.Int w.exhausted);
+    ]
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("n", Json.Int c.size); ("concept", Json.String (Concept.name c.concept));
+      ("alpha", Json.Float c.alpha); ("worst", worst_to_json c.worst);
+      ("cache_hits", Json.Int c.cache_hits); ("wall_s", Json.Float c.wall);
+    ]
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("cells", Json.List (List.map cell_to_json o.cells));
+      ( "totals",
+        Json.Obj
+          [
+            ("checked", Json.Int o.totals.total_checked);
+            ("cache_hits", Json.Int o.totals.total_cache_hits);
+            ("stable", Json.Int o.totals.total_stable);
+            ("exhausted", Json.Int o.totals.total_exhausted);
+            ("wall_s", Json.Float o.totals.total_wall);
+          ] );
+    ]

@@ -1,0 +1,96 @@
+(** Declarative, resumable (concept × α × size) sweeps.
+
+    The paper's Table 1 certifies PoA bounds by exhaustively checking
+    every candidate graph against every solution concept over an α grid.
+    This module is the one engine for such sweeps: a {!spec} names the
+    candidate family, the concept set, the α grid and the size range,
+    and {!run} executes every cell over {!Parallel} domains, optionally
+    backed by a {!Cert_store} so repeated runs answer from cache and
+    interrupted runs resume from their journal.
+
+    Determinism contract: for a fixed spec, [run] produces bit-identical
+    {!worst} cells whatever the domain count, whatever the cache state,
+    and whether or not a previous run was killed mid-journal.
+    Candidates are folded in enumeration order; cached entries replay
+    exactly the values the checker produced (floats round-trip through
+    the journal bit-exactly), so a cache hit and a fresh computation are
+    indistinguishable in the fold. *)
+
+type worst = {
+  rho : float;  (** worst social cost ratio among certified equilibria *)
+  witness : Graph.t option;  (** a graph attaining [rho] *)
+  stable_count : int;  (** how many candidates were equilibria *)
+  checked : int;  (** how many candidates were examined *)
+  exhausted : int;  (** how many checks hit their budget (excluded) *)
+}
+
+val empty : worst
+
+type family =
+  | Trees  (** all free trees per size, {!Enumerate.free_trees} *)
+  | Connected
+      (** all connected graphs up to isomorphism per size,
+          {!Enumerate.connected_graphs_iso} ([n <= 7]) *)
+  | Explicit of Graph.t list  (** a caller-supplied candidate list *)
+
+type spec = {
+  family : family;
+  sizes : int list;  (** sizes to sweep; ignored for [Explicit] *)
+  concepts : Concept.t list;
+  alphas : float list;
+  budget : int option;  (** forwarded to the BNE / k-BSE checkers *)
+  domains : int option;  (** {!Parallel} fan-out; [None] = recommended *)
+}
+
+type cell = {
+  size : int;  (** candidate size ([0] for [Explicit]) *)
+  concept : Concept.t;
+  alpha : float;
+  worst : worst;
+  cache_hits : int;  (** candidates answered by the certificate store *)
+  wall : float;  (** wall-clock seconds spent on this cell *)
+}
+
+type totals = {
+  total_checked : int;
+  total_cache_hits : int;
+  total_stable : int;
+  total_exhausted : int;
+  total_wall : float;
+}
+
+type outcome = { cells : cell list; totals : totals }
+
+val candidates : ?store:Cert_store.t -> family -> int -> Graph.t list
+(** The candidate list a family denotes at size [n] ([Explicit] returns
+    its list unchanged).  With [?store] the enumeration itself is
+    memoised as a journaled graph6 list — order- and labelling-exact, so
+    replaying it folds bit-identically — which matters because at sweep
+    sizes enumerating the family can cost more than checking it. *)
+
+val run : ?store:Cert_store.t -> spec -> outcome
+(** Executes every (size × concept × α) cell, sizes outermost, α
+    innermost.  With [?store], every candidate decision is first looked
+    up by content address; misses are checked across domains, journaled
+    in enumeration order, then folded — so a killed run leaves a valid
+    checkpoint and a warm run does no checking at all. *)
+
+val run_cell :
+  ?budget:int ->
+  ?domains:int ->
+  ?store:Cert_store.t ->
+  concept:Concept.t ->
+  alpha:float ->
+  Graph.t list ->
+  worst * int
+(** One cell over an explicit candidate list; returns the worst-case
+    fold and the cache-hit count.  This is the primitive {!Poa.run} and
+    {!run} are built on.  Without a store it is exactly the historical
+    parallel fold (no canonicalisation cost). *)
+
+val worst_to_json : worst -> Json.t
+val cell_to_json : cell -> Json.t
+
+val outcome_to_json : outcome -> Json.t
+(** [{"cells": [...], "totals": {...}}] — the schema behind
+    [bncg sweep --json] (see README). *)

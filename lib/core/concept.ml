@@ -10,6 +10,24 @@ let name = function
   | KBSE k -> Printf.sprintf "%d-BSE" k
   | BSE -> "BSE"
 
+let of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "RE" -> Ok RE
+  | "BAE" -> Ok BAE
+  | "PS" -> Ok PS
+  | "BSWE" -> Ok BSwE
+  | "BGE" -> Ok BGE
+  | "BNE" -> Ok BNE
+  | "BSE" -> Ok BSE
+  | u -> (
+      match Scanf.sscanf_opt u "%d-BSE%!" (fun k -> k) with
+      | Some k when k >= 1 -> Ok (KBSE k)
+      | Some k -> Error (Printf.sprintf "bad coalition size %d in %S (need k >= 1)" k s)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown concept %S (expected RE, BAE, PS, BSwE, BGE, BNE, k-BSE or BSE)" s))
+
 let all_fixed = [ RE; BAE; PS; BSwE; BGE; BNE; KBSE 2; KBSE 3; BSE ]
 
 let check ?budget ~alpha concept g =

@@ -17,6 +17,13 @@ type t =
 val name : t -> string
 (** Short display name, e.g. ["3-BSE"]. *)
 
+val of_string : string -> (t, string) result
+(** Parses a concept name, case-insensitively and ignoring surrounding
+    whitespace: ["RE"], ["BAE"], ["PS"], ["BSwE"], ["BGE"], ["BNE"],
+    ["BSE"], or ["<k>-BSE"] with [k >= 1].  Round-trips with {!name}:
+    [of_string (name c) = Ok c] for every [c].  The single parser shared
+    by the CLI, sweep specs and the certificate store. *)
+
 val all_fixed : t list
 (** [RE; BAE; PS; BSwE; BGE; BNE; KBSE 2; KBSE 3; BSE] — the concepts the
     experiments sweep over. *)

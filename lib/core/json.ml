@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Shortest decimal that parses back to the same IEEE double: the cert
+   store's resume guarantee needs journaled floats to be bit-exact. *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else begin
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s
+    else begin
+      let s = Printf.sprintf "%.16g" x in
+      if float_of_string s = x then s else Printf.sprintf "%.17g" x
+    end
+  end
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float x ->
+        Buffer.add_string buf (if Float.is_finite x then float_repr x else "null")
+    | String s ->
+        Buffer.add_char buf '"';
+        add_escaped buf s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            add_escaped buf k;
+            Buffer.add_string buf "\":";
+            go x)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !i)) in
+  let skip_ws () =
+    while
+      !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let string_lit () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string";
+      match s.[!i] with
+      | '"' ->
+          incr i;
+          Buffer.contents buf
+      | '\\' ->
+          incr i;
+          if !i >= n then fail "truncated escape";
+          (match s.[!i] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !i + 4 >= n then fail "truncated \\u escape";
+              (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 4) with
+              | Some code -> add_utf8 buf code
+              | None -> fail "bad \\u escape");
+              i := !i + 4
+          | _ -> fail "unknown escape");
+          incr i;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr i;
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !i in
+    let is_float = ref false in
+    while
+      !i < n
+      &&
+      match s.[!i] with
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+          is_float := true;
+          true
+      | _ -> false
+    do
+      incr i
+    done;
+    let str = String.sub s start (!i - start) in
+    match (!is_float, int_of_string_opt str, float_of_string_opt str) with
+    | false, Some v, _ -> Int v
+    | _, _, Some v -> Float v
+    | _ -> fail (Printf.sprintf "bad number %S" str)
+  in
+  let literal word v =
+    let len = String.length word in
+    if !i + len <= n && String.sub s !i len = word then begin
+      i := !i + len;
+      v
+    end
+    else fail "bad literal"
+  in
+  let rec value () =
+    skip_ws ();
+    if !i >= n then fail "unexpected end of input";
+    match s.[!i] with
+    | '{' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = '}' then begin
+          incr i;
+          Obj []
+        end
+        else Obj (fields [])
+    | '[' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = ']' then begin
+          incr i;
+          List []
+        end
+        else List (elements [])
+    | '"' ->
+        incr i;
+        String (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> number ()
+    | c -> fail (Printf.sprintf "unexpected %C" c)
+  and fields acc =
+    skip_ws ();
+    expect '"';
+    let k = string_lit () in
+    skip_ws ();
+    expect ':';
+    let v = value () in
+    let acc = (k, v) :: acc in
+    skip_ws ();
+    if !i < n && s.[!i] = ',' then begin
+      incr i;
+      fields acc
+    end
+    else begin
+      expect '}';
+      List.rev acc
+    end
+  and elements acc =
+    let v = value () in
+    let acc = v :: acc in
+    skip_ws ();
+    if !i < n && s.[!i] = ',' then begin
+      incr i;
+      elements acc
+    end
+    else begin
+      expect ']';
+      List.rev acc
+    end
+  in
+  match value () with
+  | v ->
+      skip_ws ();
+      if !i <> n then Error (Printf.sprintf "trailing input at offset %d" !i)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let as_int = function
+  | Int n -> Some n
+  | Float x when Float.is_integer x -> Some (int_of_float x)
+  | Null | Bool _ | Float _ | String _ | List _ | Obj _ -> None
+
+let as_float = function
+  | Float x -> Some x
+  | Int n -> Some (float_of_int n)
+  | Null | Bool _ | String _ | List _ | Obj _ -> None
+
+let as_string = function
+  | String s -> Some s
+  | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> None
+
+let as_list = function
+  | List xs -> Some xs
+  | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None

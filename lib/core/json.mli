@@ -1,0 +1,46 @@
+(** Minimal JSON values, printer and parser.
+
+    The certificate store, the CLI's [--json] flags and the bench
+    harness all need a stable machine-readable encoding, and the
+    dependency set deliberately excludes yojson — so this is the one
+    JSON implementation everything shares.  Floats are printed with the
+    shortest decimal representation that round-trips the IEEE double
+    exactly, so a value journaled to disk and parsed back is
+    bit-identical — the property the resumable sweeps rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline).  Object fields
+    print in the order given.  Non-finite floats render as [null] —
+    callers that care must encode them another way. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (surrounding whitespace allowed).  Numbers
+    without [.], [e] or [E] parse as {!Int} when they fit, {!Float}
+    otherwise.  [\uXXXX] escapes decode to UTF-8 bytes. *)
+
+val float_repr : float -> string
+(** The float rendering {!to_string} uses: the shortest of [%.15g],
+    [%.16g], [%.17g] that parses back to the same bits (integral values
+    print as ["1.0"]-style so they stay floats on re-parse). *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k], if any; [None]
+    on non-objects. *)
+
+val as_int : t -> int option
+(** [Int n] gives [Some n]; an integral [Float] is accepted too. *)
+
+val as_float : t -> float option
+(** [Float x] or [Int n] (as [float_of_int n]). *)
+
+val as_string : t -> string option
+val as_list : t -> t list option

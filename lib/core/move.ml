@@ -69,6 +69,94 @@ let coalition_size = function
   | Neighborhood { add; _ } -> 1 + List.length add
   | Coalition { members; _ } -> List.length members
 
+let edge_to_json (u, v) = Json.List [ Json.Int u; Json.Int v ]
+let int_list_to_json xs = Json.List (List.map (fun x -> Json.Int x) xs)
+
+let to_json = function
+  | Remove { agent; target } ->
+      Json.Obj
+        [ ("type", Json.String "remove"); ("agent", Json.Int agent); ("target", Json.Int target) ]
+  | Bilateral_add { u; v } ->
+      Json.Obj [ ("type", Json.String "add"); ("u", Json.Int u); ("v", Json.Int v) ]
+  | Bilateral_swap { u; drop; add } ->
+      Json.Obj
+        [
+          ("type", Json.String "swap"); ("u", Json.Int u); ("drop", Json.Int drop);
+          ("add", Json.Int add);
+        ]
+  | Neighborhood { agent; drop; add } ->
+      Json.Obj
+        [
+          ("type", Json.String "neighborhood"); ("agent", Json.Int agent);
+          ("drop", int_list_to_json drop); ("add", int_list_to_json add);
+        ]
+  | Coalition { members; remove; add } ->
+      Json.Obj
+        [
+          ("type", Json.String "coalition"); ("members", int_list_to_json members);
+          ("remove", Json.List (List.map edge_to_json remove));
+          ("add", Json.List (List.map edge_to_json add));
+        ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field_int j k =
+  match Option.bind (Json.member k j) Json.as_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "Move.of_json: missing int field %S" k)
+
+let field_ints j k =
+  match Option.bind (Json.member k j) Json.as_list with
+  | None -> Error (Printf.sprintf "Move.of_json: missing list field %S" k)
+  | Some xs -> (
+      let ints = List.filter_map Json.as_int xs in
+      match List.length ints = List.length xs with
+      | true -> Ok ints
+      | false -> Error (Printf.sprintf "Move.of_json: non-int entry in %S" k))
+
+let field_edges j k =
+  match Option.bind (Json.member k j) Json.as_list with
+  | None -> Error (Printf.sprintf "Move.of_json: missing list field %S" k)
+  | Some xs ->
+      let edge = function
+        | Json.List [ a; b ] -> (
+            match (Json.as_int a, Json.as_int b) with
+            | Some u, Some v -> Some (u, v)
+            | _ -> None)
+        | _ -> None
+      in
+      let es = List.filter_map edge xs in
+      if List.length es = List.length xs then Ok es
+      else Error (Printf.sprintf "Move.of_json: non-edge entry in %S" k)
+
+let of_json j =
+  match Option.bind (Json.member "type" j) Json.as_string with
+  | None -> Error "Move.of_json: missing \"type\" field"
+  | Some "remove" ->
+      let* agent = field_int j "agent" in
+      let* target = field_int j "target" in
+      Ok (Remove { agent; target })
+  | Some "add" ->
+      let* u = field_int j "u" in
+      let* v = field_int j "v" in
+      Ok (Bilateral_add { u; v })
+  | Some "swap" ->
+      let* u = field_int j "u" in
+      let* drop = field_int j "drop" in
+      let* add = field_int j "add" in
+      Ok (Bilateral_swap { u; drop; add })
+  | Some "neighborhood" ->
+      let* agent = field_int j "agent" in
+      let* drop = field_ints j "drop" in
+      let* add = field_ints j "add" in
+      Ok (Neighborhood { agent; drop; add })
+  | Some "coalition" ->
+      let* members = field_ints j "members" in
+      let* remove = field_edges j "remove" in
+      let* add = field_edges j "add" in
+      Ok (Coalition { members; remove; add })
+  | Some ty -> Error (Printf.sprintf "Move.of_json: unknown move type %S" ty)
+
 let pp_int_list ppf xs =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)

@@ -43,5 +43,14 @@ val coalition_size : t -> int
     adds and swaps, [1 + |add|] for neighborhood moves, [|members|] for
     coalition moves. *)
 
+val to_json : t -> Json.t
+(** Stable JSON encoding: an object with a ["type"] tag ([remove], [add],
+    [swap], [neighborhood], [coalition]) and the move's fields; edges
+    encode as two-element arrays.  Round-trips through {!of_json}. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}.  No well-formedness check against any graph is
+    performed — re-check a decoded witness with {!is_improving}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

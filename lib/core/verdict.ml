@@ -9,6 +9,28 @@ let exactly_stable_exn who = function
   | Unstable _ -> false
   | Exhausted why -> failwith (Printf.sprintf "%s: search exhausted (%s)" who why)
 
+let to_json = function
+  | Stable -> Json.Obj [ ("status", Json.String "stable") ]
+  | Unstable m -> Json.Obj [ ("status", Json.String "unstable"); ("move", Move.to_json m) ]
+  | Exhausted why ->
+      Json.Obj [ ("status", Json.String "exhausted"); ("reason", Json.String why) ]
+
+let of_json j =
+  match Option.bind (Json.member "status" j) Json.as_string with
+  | Some "stable" -> Ok Stable
+  | Some "unstable" -> (
+      match Json.member "move" j with
+      | None -> Error "Verdict.of_json: unstable verdict without a move"
+      | Some mj -> (
+          match Move.of_json mj with Ok m -> Ok (Unstable m) | Error e -> Error e))
+  | Some "exhausted" ->
+      let why =
+        Option.value ~default:"" (Option.bind (Json.member "reason" j) Json.as_string)
+      in
+      Ok (Exhausted why)
+  | Some status -> Error (Printf.sprintf "Verdict.of_json: unknown status %S" status)
+  | None -> Error "Verdict.of_json: missing \"status\" field"
+
 let pp ppf = function
   | Stable -> Format.fprintf ppf "stable"
   | Unstable m -> Format.fprintf ppf "unstable (%a)" Move.pp m

@@ -23,5 +23,14 @@ val exactly_stable_exn : string -> t -> bool
     [Unstable], and raises [Failure] for [Exhausted] — for callers that
     must not confuse "don't know" with an answer. *)
 
+val to_json : t -> Json.t
+(** Stable JSON encoding, shared by the certificate store and the CLI's
+    [--json] output: [{"status":"stable"}],
+    [{"status":"unstable","move":...}] (see {!Move.to_json}), or
+    [{"status":"exhausted","reason":...}]. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -67,3 +67,5 @@ let of_graph6 s =
     done
   done;
   !g
+
+let canonical_graph6 g = to_graph6 (Iso.canonical_graph g)

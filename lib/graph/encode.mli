@@ -8,3 +8,10 @@ val to_graph6 : Graph.t -> string
 val of_graph6 : string -> Graph.t
 (** [of_graph6 s] parses a graph6 string.
     @raise Invalid_argument on malformed input. *)
+
+val canonical_graph6 : Graph.t -> string
+(** [canonical_graph6 g] is the graph6 string of {!Iso.canonical_graph}:
+    equal strings iff isomorphic graphs.  This is the content-address
+    component the certificate store keys on, so a verdict certified for
+    any labelling of a graph is found again under every other
+    labelling. *)

@@ -162,6 +162,44 @@ let isomorphic g h =
     end
   end
 
+(* Canonical representative of a free tree in near-linear time: root at
+   the centre whose AHU code is smaller, then relabel in preorder with
+   children visited in ascending subtree-code order.  Two isomorphic
+   trees produce identical labelled graphs: the traversal is a function
+   of the rooted code alone (ties among children have equal codes, hence
+   isomorphic subtrees, hence identical emitted shapes). *)
+let canonical_tree g =
+  let root =
+    match centers g with
+    | [ c ] -> c
+    | [ c1; c2 ] ->
+        if String.compare (rooted_code g c1) (rooted_code g c2) <= 0 then c1 else c2
+    | _ -> assert false
+  in
+  let t = Tree.root_at g root in
+  let size = Graph.n g in
+  let codes = Array.make size "" in
+  let rec fill u =
+    let cs = Tree.children t u in
+    List.iter fill cs;
+    let sorted = List.map (fun c -> codes.(c)) cs |> List.sort String.compare in
+    codes.(u) <- "(" ^ String.concat "" sorted ^ ")"
+  in
+  fill root;
+  let edges = ref [] in
+  let next = ref 0 in
+  let rec assign parent u =
+    let lu = !next in
+    incr next;
+    (match parent with Some p -> edges := (p, lu) :: !edges | None -> ());
+    Tree.children t u
+    |> List.map (fun c -> (codes.(c), c))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (_, c) -> assign (Some lu) c)
+  in
+  assign None root;
+  Graph.of_edges size !edges
+
 let canonical_key g =
   let size = Graph.n g in
   let deg = Array.init size (Graph.degree g) in
@@ -210,3 +248,32 @@ let canonical_key g =
     go 0;
     Option.get !best
   end
+
+(* Rebuild the graph a canonical key denotes: the key is
+   "n/upper-triangular bitstring" in row-major (i, j), i < j, order. *)
+let graph_of_key key =
+  match String.index_opt key '/' with
+  | None -> invalid_arg "Iso.graph_of_key: malformed key"
+  | Some slash ->
+      let size =
+        match int_of_string_opt (String.sub key 0 slash) with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> invalid_arg "Iso.graph_of_key: malformed size"
+      in
+      let bits = String.sub key (slash + 1) (String.length key - slash - 1) in
+      if String.length bits <> size * (size - 1) / 2 then
+        invalid_arg "Iso.graph_of_key: bitstring length mismatch";
+      let edges = ref [] in
+      let k = ref 0 in
+      for i = 0 to size - 1 do
+        for j = i + 1 to size - 1 do
+          if bits.[!k] = '1' then edges := (i, j) :: !edges;
+          incr k
+        done
+      done;
+      Graph.of_edges size !edges
+
+let canonical_graph g =
+  if Graph.n g <= 1 then g
+  else if Tree.is_tree g && Paths.is_connected g then canonical_tree g
+  else graph_of_key (canonical_key g)

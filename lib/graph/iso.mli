@@ -32,3 +32,11 @@ val canonical_key : Graph.t -> string
     isomorphic.  Computed by searching the lexicographically minimal
     adjacency encoding over degree-compatible permutations; intended for
     [n ≲ 9]. *)
+
+val canonical_graph : Graph.t -> Graph.t
+(** [canonical_graph g] is a canonical representative of [g]'s
+    isomorphism class: [Graph.equal (canonical_graph g) (canonical_graph h)]
+    iff [isomorphic g h].  Free trees go through the AHU code
+    (near-linear, good to [n <= 18]); other graphs through
+    {!canonical_key} ([n ≲ 9]).  The labelled result is what the
+    certificate store content-addresses, via {!Encode.canonical_graph6}. *)

@@ -1,0 +1,83 @@
+open Helpers
+
+let concepts = Concept.all_fixed @ [ Concept.KBSE 1; Concept.KBSE 4; Concept.KBSE 17 ]
+
+let moves =
+  [
+    Move.Remove { agent = 1; target = 2 };
+    Move.Bilateral_add { u = 0; v = 3 };
+    Move.Bilateral_swap { u = 0; drop = 1; add = 3 };
+    Move.Neighborhood { agent = 1; drop = [ 0 ]; add = [ 2; 3 ] };
+    Move.Neighborhood { agent = 0; drop = []; add = [ 5 ] };
+    Move.Coalition { members = [ 0; 2 ]; remove = [ (0, 1) ]; add = [ (0, 2) ] };
+    Move.Coalition { members = [ 4 ]; remove = []; add = [] };
+  ]
+
+let verdicts =
+  Verdict.Stable
+  :: Verdict.Exhausted "budget 500000 spent"
+  :: List.map (fun m -> Verdict.Unstable m) moves
+
+let suite =
+  [
+    tc "of_string round-trips name" (fun () ->
+        List.iter
+          (fun c ->
+            match Concept.of_string (Concept.name c) with
+            | Ok c' -> check_true (Concept.name c) (c = c')
+            | Error e -> Alcotest.failf "%s: %s" (Concept.name c) e)
+          concepts);
+    tc "of_string is case- and space-insensitive" (fun () ->
+        check_true "ps" (Concept.of_string "ps" = Ok Concept.PS);
+        check_true "bswe" (Concept.of_string "bswe" = Ok Concept.BSwE);
+        check_true "padded" (Concept.of_string "  BGE " = Ok Concept.BGE);
+        check_true "3-bse" (Concept.of_string "3-bse" = Ok (Concept.KBSE 3)));
+    tc "of_string rejects junk" (fun () ->
+        List.iter
+          (fun s ->
+            match Concept.of_string s with
+            | Error _ -> ()
+            | Ok c -> Alcotest.failf "%S parsed as %s" s (Concept.name c))
+          [ ""; "XYZ"; "0-BSE"; "-1-BSE"; "BSEE"; "2-BSE extra" ]);
+    tc "move JSON round trips" (fun () ->
+        List.iter
+          (fun m ->
+            match Move.of_json (Move.to_json m) with
+            | Ok m' -> check_true (Move.to_string m) (m = m')
+            | Error e -> Alcotest.failf "%s: %s" (Move.to_string m) e)
+          moves);
+    tc "verdict JSON round trips" (fun () ->
+        List.iter
+          (fun v ->
+            match Verdict.of_json (Verdict.to_json v) with
+            | Ok v' -> check_true (Verdict.to_string v) (v = v')
+            | Error e -> Alcotest.failf "%s: %s" (Verdict.to_string v) e)
+          verdicts);
+    tc "verdict JSON survives a text round trip" (fun () ->
+        List.iter
+          (fun v ->
+            let s = Json.to_string (Verdict.to_json v) in
+            match Json.of_string s with
+            | Ok j -> check_true s (Verdict.of_json j = Ok v)
+            | Error e -> Alcotest.failf "%s: %s" s e)
+          verdicts);
+    tc "verdict/move of_json rejects malformed input" (fun () ->
+        List.iter
+          (fun j ->
+            match Verdict.of_json j with
+            | Error _ -> ()
+            | Ok v -> Alcotest.failf "accepted %s as %s" (Json.to_string j) (Verdict.to_string v))
+          [
+            Json.Null; Json.Obj []; Json.Obj [ ("status", Json.String "wobbly") ];
+            Json.Obj [ ("status", Json.String "unstable") ];
+          ];
+        List.iter
+          (fun j ->
+            match Move.of_json j with
+            | Error _ -> ()
+            | Ok m -> Alcotest.failf "accepted %s as %s" (Json.to_string j) (Move.to_string m))
+          [
+            Json.Null; Json.Obj [ ("type", Json.String "teleport") ];
+            Json.Obj [ ("type", Json.String "remove") ];
+          ]);
+  ]

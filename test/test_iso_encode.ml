@@ -84,6 +84,23 @@ let suite =
         done;
         check_false "distinct graphs, distinct keys"
           (String.equal (Iso.canonical_key (Gen.path 4)) (Iso.canonical_key (Gen.star 4))));
+    tc "canonical_graph is relabelling-invariant" (fun () ->
+        let r = rng 41 in
+        for _ = 1 to 20 do
+          let n = 2 + Random.State.int r 6 in
+          let g =
+            if Random.State.bool r then Gen.random_tree r n
+            else Gen.random_connected r n ~p:0.4
+          in
+          let g' = Graph.relabel g (random_permutation r n) in
+          check_graph "same canonical form" (Iso.canonical_graph g) (Iso.canonical_graph g');
+          check_true "isomorphic to the original" (Iso.isomorphic g (Iso.canonical_graph g))
+        done);
+    tc "canonical_graph6 separates non-isomorphic graphs" (fun () ->
+        let gs = Enumerate.connected_graphs_iso 5 in
+        let keys = List.map Encode.canonical_graph6 gs in
+        check_int "one key per class" (List.length gs)
+          (List.length (List.sort_uniq String.compare keys)));
     tc "graph6 roundtrip small" (fun () ->
         List.iter
           (fun g -> check_graph "roundtrip" g (Encode.of_graph6 (Encode.to_graph6 g)))

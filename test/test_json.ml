@@ -1,0 +1,69 @@
+open Helpers
+
+let roundtrip name j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check string) name (Json.to_string j) (Json.to_string j')
+  | Error e -> Alcotest.failf "%s: reparse failed: %s" name e
+
+let suite =
+  [
+    tc "scalar round trips" (fun () ->
+        List.iter
+          (fun j -> roundtrip (Json.to_string j) j)
+          [
+            Json.Null; Json.Bool true; Json.Bool false; Json.Int 0; Json.Int (-42);
+            Json.Int max_int; Json.String ""; Json.String "plain";
+            Json.Float 0.5; Json.Float (-1.25e300);
+          ]);
+    tc "string escapes" (fun () ->
+        let s = "quote\" backslash\\ newline\n tab\t cr\r ctrl\x01 end" in
+        (match Json.of_string (Json.to_string (Json.String s)) with
+        | Ok (Json.String s') -> Alcotest.(check string) "escaped" s s'
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "parse: %s" e);
+        roundtrip "nested in object" (Json.Obj [ (s, Json.String s) ]));
+    tc "floats round trip bit-exactly" (fun () ->
+        List.iter
+          (fun x ->
+            let s = Json.float_repr x in
+            Alcotest.(check int64)
+              (Printf.sprintf "bits of %s" s)
+              (Int64.bits_of_float x)
+              (Int64.bits_of_float (float_of_string s)))
+          [
+            1.0; -0.0; 0.1; 1. /. 3.; Float.pi; 1.1555555555555554; epsilon_float;
+            max_float; min_float; 4.9e-324; 1e22; 123456789.123456789;
+          ]);
+    tc "nested structures" (fun () ->
+        roundtrip "nested"
+          (Json.Obj
+             [
+               ("a", Json.List [ Json.Int 1; Json.Null; Json.Obj [] ]);
+               ("b", Json.Obj [ ("c", Json.List []) ]);
+             ]));
+    tc "non-finite floats become null" (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+        Alcotest.(check string) "inf" "null" (Json.to_string (Json.Float infinity)));
+    tc "parser handles unicode escapes" (fun () ->
+        match Json.of_string {|"a\u0041\u00e9"|} with
+        | Ok (Json.String s) -> Alcotest.(check string) "decoded" "aA\xc3\xa9" s
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "parse: %s" e);
+    tc "parser rejects garbage" (fun () ->
+        List.iter
+          (fun s ->
+            match Json.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" s)
+          [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}"; "{\"a\":}" ]);
+    tc "accessors" (fun () ->
+        let j = Json.Obj [ ("n", Json.Int 3); ("x", Json.Float 1.5); ("s", Json.String "v") ] in
+        check_true "member hit" (Json.member "n" j = Some (Json.Int 3));
+        check_true "member miss" (Json.member "zz" j = None);
+        check_true "as_int of Int" (Json.as_int (Json.Int 3) = Some 3);
+        check_true "as_int of integral Float" (Json.as_int (Json.Float 3.0) = Some 3);
+        check_true "as_int of fractional Float" (Json.as_int (Json.Float 3.5) = None);
+        check_true "as_float of Int" (Json.as_float (Json.Int 2) = Some 2.0);
+        check_true "as_string" (Json.as_string (Json.String "v") = Some "v");
+        check_true "as_list" (Json.as_list (Json.List [ Json.Null ]) = Some [ Json.Null ]));
+  ]

@@ -11,6 +11,8 @@ let () =
       ("delta-strategy", Test_delta_strategy.suite);
       ("unilateral", Test_unilateral.suite);
       ("move-verdict", Test_move.suite);
+      ("json", Test_json.suite);
+      ("concept-api", Test_concept_api.suite);
       ("checkers", Test_checkers.suite);
       ("neighborhood", Test_neighborhood.suite);
       ("strong", Test_strong.suite);
@@ -28,5 +30,6 @@ let () =
       ("analysis-extras", Test_analysis_extras.suite);
       ("bitgraph", Test_bitgraph.suite);
       ("parallel", Test_parallel.suite);
+      ("sweep", Test_sweep.suite);
       ("properties", Test_props.suite);
     ]

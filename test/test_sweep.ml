@@ -1,0 +1,159 @@
+open Helpers
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* A fresh per-test store directory; cleaned on entry so reruns of the
+   suite never see a previous run's journals. *)
+let fresh_dir name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bncg-test-store-%s-%d" name (Unix.getpid ()))
+  in
+  rm_rf dir;
+  dir
+
+let with_store dir f =
+  let s = Cert_store.open_store dir in
+  Fun.protect ~finally:(fun () -> Cert_store.close s) (fun () -> f s)
+
+let spec =
+  {
+    Sweep.family = Sweep.Connected;
+    sizes = [ 5 ];
+    concepts = [ Concept.PS; Concept.BGE ];
+    alphas = [ 1.; 4.; 16. ];
+    budget = None;
+    domains = None;
+  }
+
+(* Bit-level signature of a result: float bits, witness graph6, counters. *)
+let worst_sig (w : Sweep.worst) =
+  ( Int64.bits_of_float w.rho,
+    Option.map Encode.to_graph6 w.witness,
+    w.stable_count,
+    w.checked,
+    w.exhausted )
+
+let outcome_sig (o : Sweep.outcome) =
+  List.map
+    (fun (c : Sweep.cell) ->
+      (c.size, Concept.name c.concept, Int64.bits_of_float c.alpha, worst_sig c.worst))
+    o.Sweep.cells
+
+let journal_files dir =
+  Sys.readdir dir
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+let suite =
+  [
+    tc "cert store round-trips through reopen" (fun () ->
+        let dir = fresh_dir "roundtrip" in
+        let canon_g6 = "Dhc" in
+        let concept = Concept.PS and alpha = 2.0 and budget = None in
+        let key = Cert_store.cert_key ~concept ~alpha ~budget ~canon_g6 in
+        let entry =
+          {
+            Cert_store.verdict = Verdict.Unstable (Move.Remove { agent = 0; target = 1 });
+            rho = 1.1555555555555554;
+          }
+        in
+        with_store dir (fun s ->
+            check_true "empty store misses" (Cert_store.find s ~key = None);
+            Cert_store.record s ~key ~canon_g6 ~concept ~alpha ~budget entry;
+            check_true "hit after record" (Cert_store.find s ~key = Some entry));
+        with_store dir (fun s ->
+            check_int "one cert loaded" 1 (Cert_store.cert_count s);
+            match Cert_store.find s ~key with
+            | None -> Alcotest.fail "cert lost across reopen"
+            | Some e ->
+                check_true "verdict survives" (e.Cert_store.verdict = entry.Cert_store.verdict);
+                Alcotest.(check int64)
+                  "rho bits survive"
+                  (Int64.bits_of_float entry.Cert_store.rho)
+                  (Int64.bits_of_float e.Cert_store.rho)))
+    ;
+    tc "family memo round-trips through reopen" (fun () ->
+        let dir = fresh_dir "family" in
+        let graphs = Enumerate.free_trees 6 in
+        with_store dir (fun s ->
+            check_true "miss before record" (Cert_store.find_family s "trees/6" = None);
+            Cert_store.record_family s "trees/6" graphs);
+        with_store dir (fun s ->
+            match Cert_store.find_family s "trees/6" with
+            | None -> Alcotest.fail "family lost across reopen"
+            | Some graphs' ->
+                check_int "same count" (List.length graphs) (List.length graphs');
+                List.iter2 (check_graph "same graph, same order") graphs graphs'))
+    ;
+    tc "store-backed sweep is bit-identical to plain" (fun () ->
+        let dir = fresh_dir "identity" in
+        let plain = Sweep.run spec in
+        let cold = with_store dir (fun s -> Sweep.run ~store:s spec) in
+        let warm = with_store dir (fun s -> Sweep.run ~store:s spec) in
+        check_true "cold == plain" (outcome_sig cold = outcome_sig plain);
+        check_true "warm == plain" (outcome_sig warm = outcome_sig plain);
+        check_int "cold all misses" 0 cold.Sweep.totals.total_cache_hits;
+        check_int "warm all hits" warm.Sweep.totals.total_checked
+          warm.Sweep.totals.total_cache_hits)
+    ;
+    tc "killed journal resumes bit-identically" (fun () ->
+        let dir = fresh_dir "resume" in
+        let plain = Sweep.run spec in
+        ignore (with_store dir (fun s -> Sweep.run ~store:s spec));
+        (* Simulate a kill: chop the journal mid-line, losing its tail. *)
+        let journal =
+          match List.rev (journal_files dir) with
+          | last :: _ -> last
+          | [] -> Alcotest.fail "no journal written"
+        in
+        let size = (Unix.stat journal).Unix.st_size in
+        check_true "journal is non-trivial" (size > 100);
+        Unix.truncate journal (size - 37);
+        let resumed = with_store dir (fun s -> Sweep.run ~store:s spec) in
+        check_true "resumed == plain" (outcome_sig resumed = outcome_sig plain);
+        check_true "resume reused the surviving prefix"
+          (resumed.Sweep.totals.total_cache_hits > 0);
+        check_true "resume recomputed the lost tail"
+          (resumed.Sweep.totals.total_cache_hits < resumed.Sweep.totals.total_checked);
+        (* After the resume run journaled the recomputed tail, the store
+           is whole again: a further run is all cache hits. *)
+        let again = with_store dir (fun s -> Sweep.run ~store:s spec) in
+        check_true "again == plain" (outcome_sig again = outcome_sig plain);
+        check_int "again all hits" again.Sweep.totals.total_checked
+          again.Sweep.totals.total_cache_hits)
+    ;
+    tc "Poa.run with a store equals without" (fun () ->
+        let dir = fresh_dir "poa" in
+        let bare = Poa.run ~concept:Concept.PS ~alpha:2.0 (Poa.Trees 7) in
+        let stored =
+          with_store dir (fun s -> Poa.run ~store:s ~concept:Concept.PS ~alpha:2.0 (Poa.Trees 7))
+        in
+        let rerun =
+          with_store dir (fun s -> Poa.run ~store:s ~concept:Concept.PS ~alpha:2.0 (Poa.Trees 7))
+        in
+        check_true "stored == bare" (worst_sig stored = worst_sig bare);
+        check_true "warm rerun == bare" (worst_sig rerun = worst_sig bare))
+    ;
+    tc "totals are the sum of the cells" (fun () ->
+        let o = Sweep.run spec in
+        let t = o.Sweep.totals in
+        let sum f = List.fold_left (fun n c -> n + f c) 0 o.Sweep.cells in
+        check_int "checked" (sum (fun c -> c.Sweep.worst.checked)) t.Sweep.total_checked;
+        check_int "hits" (sum (fun c -> c.Sweep.cache_hits)) t.Sweep.total_cache_hits;
+        check_int "stable" (sum (fun c -> c.Sweep.worst.stable_count)) t.Sweep.total_stable;
+        check_int "exhausted" (sum (fun c -> c.Sweep.worst.exhausted)) t.Sweep.total_exhausted;
+        check_int "cells" (List.length spec.Sweep.sizes * List.length spec.Sweep.concepts
+                           * List.length spec.Sweep.alphas)
+          (List.length o.Sweep.cells))
+    ;
+  ]
