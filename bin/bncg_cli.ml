@@ -297,6 +297,69 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Stability window(s) of a graph across alpha.")
     Term.(const run $ concept_arg $ graph_arg $ lo_arg $ hi_arg $ steps_arg $ budget_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; equal seeds replay bit-identically.")
+  in
+  let budget_fuzz_arg =
+    Arg.(
+      value
+      & opt int Fuzz.default_budget
+      & info [ "budget" ] ~docv:"N" ~doc:"Cases per concept (not a time budget).")
+  in
+  let concepts_arg =
+    Arg.(
+      value
+      & opt (list concept_conv) Concept.all_fixed
+      & info [ "c"; "concepts" ] ~docv:"C,.." ~doc:"Comma-separated solution concepts.")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) Fuzz.default_sizes
+      & info [ "n"; "sizes" ] ~docv:"N,.."
+          ~doc:
+            "Comma-separated instance sizes (clamped per concept to the oracle's \
+             tractable range).")
+  in
+  let seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~docv:"S"
+          ~doc:
+            "Optional wall-clock deadline.  Truncates the campaign, so output is only \
+             deterministic without it (or when the budget finishes first).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains (default: recommended count; never changes the output).")
+  in
+  let run seed budget concepts sizes seconds domains json =
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
+    let o =
+      Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:(Int64.of_int seed) ~budget ()
+    in
+    if json then print_endline (Json.to_string (Fuzz.outcome_to_json o))
+    else Format.printf "%a@." Fuzz.pp_outcome o;
+    if Fuzz.total_failures o > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random (graph, concept, alpha) cases checked against the \
+          naive definition-literal oracle, with metamorphic relabelling checks; failures \
+          are shrunk to minimal repros.")
+    Term.(
+      const run $ seed_arg $ budget_fuzz_arg $ concepts_arg $ sizes_arg $ seconds_arg
+      $ domains_arg $ json_arg)
+
 let welfare_cmd =
   let run alpha g6 =
     let g = Encode.of_graph6 g6 in
@@ -316,5 +379,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; rho_cmd; poa_cmd; sweep_cmd; dyn_cmd; enum_cmd; gallery_cmd;
-            render_cmd; profile_cmd; welfare_cmd;
+            render_cmd; profile_cmd; welfare_cmd; fuzz_cmd;
           ]))

@@ -24,13 +24,27 @@ let cert_key ~concept ~alpha ~budget ~canon_g6 =
 (* JSONL records                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Json renders non-finite floats as null, which the loader would then
+   drop — and ρ is legitimately infinite for a disconnected graph.
+   Encode those three values as strings instead so every certificate
+   round-trips. *)
+let rho_to_json r =
+  if Float.is_finite r then Json.Float r
+  else Json.String (if Float.is_nan r then "nan" else if r > 0. then "inf" else "-inf")
+
+let rho_of_json = function
+  | Json.String "inf" -> Some Float.infinity
+  | Json.String "-inf" -> Some Float.neg_infinity
+  | Json.String "nan" -> Some Float.nan
+  | j -> Json.as_float j
+
 let cert_line ~key ~canon_g6 ~concept ~alpha ~budget e =
   Json.Obj
     [
       ("kind", Json.String "cert"); ("key", Json.String key); ("g6", Json.String canon_g6);
       ("concept", Json.String (Concept.name concept)); ("alpha", Json.Float alpha);
       ("budget", match budget with Some b -> Json.Int b | None -> Json.Null);
-      ("verdict", Verdict.to_json e.verdict); ("rho", Json.Float e.rho);
+      ("verdict", Verdict.to_json e.verdict); ("rho", rho_to_json e.rho);
     ]
 
 let canon_line ~akey ~g6 =
@@ -51,7 +65,7 @@ let load_line t line =
       match Option.bind (Json.member "kind" j) Json.as_string with
       | Some "cert" -> (
           let key = Option.bind (Json.member "key" j) Json.as_string in
-          let rho = Option.bind (Json.member "rho" j) Json.as_float in
+          let rho = Option.bind (Json.member "rho" j) rho_of_json in
           let verdict =
             match Json.member "verdict" j with
             | Some vj -> ( match Verdict.of_json vj with Ok v -> Some v | Error _ -> None)
@@ -78,16 +92,21 @@ let load_line t line =
           | _ -> ())
       | Some _ | None -> ())
 
+(* A journal that is empty, unreadable, or gone by the time we open it
+   (a dangling symlink, a concurrent cleanup) contributes nothing — the
+   store must come up identical to one where the file never existed. *)
 let load_journal t path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try
-        while true do
-          load_line t (input_line ic)
-        done
-      with End_of_file -> ())
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              load_line t (input_line ic)
+            done
+          with End_of_file -> ())
 
 let rec mkdir_p path =
   if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin

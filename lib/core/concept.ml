@@ -10,6 +10,8 @@ let name = function
   | KBSE k -> Printf.sprintf "%d-BSE" k
   | BSE -> "BSE"
 
+let valid_names = "RE, BAE, PS, BSwE, BGE, BNE, k-BSE (k >= 1, e.g. 3-BSE) or BSE"
+
 let of_string s =
   match String.uppercase_ascii (String.trim s) with
   | "RE" -> Ok RE
@@ -22,11 +24,10 @@ let of_string s =
   | u -> (
       match Scanf.sscanf_opt u "%d-BSE%!" (fun k -> k) with
       | Some k when k >= 1 -> Ok (KBSE k)
-      | Some k -> Error (Printf.sprintf "bad coalition size %d in %S (need k >= 1)" k s)
-      | None ->
+      | Some k ->
           Error
-            (Printf.sprintf
-               "unknown concept %S (expected RE, BAE, PS, BSwE, BGE, BNE, k-BSE or BSE)" s))
+            (Printf.sprintf "bad coalition size %d in %S (expected %s)" k s valid_names)
+      | None -> Error (Printf.sprintf "unknown concept %S (expected %s)" s valid_names))
 
 let all_fixed = [ RE; BAE; PS; BSwE; BGE; BNE; KBSE 2; KBSE 3; BSE ]
 

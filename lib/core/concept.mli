@@ -22,7 +22,9 @@ val of_string : string -> (t, string) result
     whitespace: ["RE"], ["BAE"], ["PS"], ["BSwE"], ["BGE"], ["BNE"],
     ["BSE"], or ["<k>-BSE"] with [k >= 1].  Round-trips with {!name}:
     [of_string (name c) = Ok c] for every [c].  The single parser shared
-    by the CLI, sweep specs and the certificate store. *)
+    by the CLI, sweep specs and the certificate store.  Every [Error]
+    message names the valid spellings, so a CLI typo is
+    self-explanatory. *)
 
 val all_fixed : t list
 (** [RE; BAE; PS; BSwE; BGE; BNE; KBSE 2; KBSE 3; BSE] — the concepts the

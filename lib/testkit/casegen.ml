@@ -1,0 +1,112 @@
+(* Random fuzz-case generators, all driven by Splitmix streams so a
+   case is a pure function of (seed, path).  The shapes are chosen to
+   exercise the checkers' distinct regimes: sparse GNP for generic
+   graphs, Prüfer trees (the paper's equilibria are often trees),
+   near-cliques (dense, removal-heavy) and near-paths (high diameter,
+   addition-heavy) as adversarial families, plus single-edge
+   perturbations of anything to land near stability boundaries. *)
+
+let gnp rng n ~p =
+  let g = ref (Graph.create n) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Splitmix.float rng < p then g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let tree rng n =
+  if n <= 0 then invalid_arg "Casegen.tree: n must be positive";
+  if n <= 2 then Gen.path n
+  else Gen.of_pruefer (Array.init (n - 2) (fun _ -> Splitmix.int rng n))
+
+let connected rng n ~p =
+  let t = tree rng n in
+  let extra =
+    List.filter (fun _ -> Splitmix.float rng < p) (Graph.non_edges t)
+  in
+  Graph.add_edges t extra
+
+let near_clique rng n =
+  let g = ref (Gen.clique n) in
+  let drops = if n <= 2 then 0 else Splitmix.int rng n in
+  for _ = 1 to drops do
+    match Graph.edges !g with
+    | [] -> ()
+    | es ->
+        let u, v = Splitmix.pick rng es in
+        g := Graph.remove_edge !g u v
+  done;
+  !g
+
+let near_path rng n =
+  let g = ref (Gen.path n) in
+  let chords = if n <= 3 then 0 else 1 + Splitmix.int rng 2 in
+  for _ = 1 to chords do
+    match Graph.non_edges !g with
+    | [] -> ()
+    | nes ->
+        let u, v = Splitmix.pick rng nes in
+        g := Graph.add_edge !g u v
+  done;
+  !g
+
+let perturb rng g ~flips =
+  let n = Graph.n g in
+  let g = ref g in
+  if n >= 2 then
+    for _ = 1 to flips do
+      let u = Splitmix.int rng n in
+      let v = Splitmix.int rng n in
+      if u <> v then
+        g :=
+          (if Graph.has_edge !g u v then Graph.remove_edge else Graph.add_edge) !g u v
+    done;
+  !g
+
+(* Fisher–Yates over [0 .. n-1]. *)
+let permutation rng n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Splitmix.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let shuffle rng xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let p = permutation rng n in
+  List.init n (fun i -> a.(p.(i)))
+
+(* A mixed bag: each call picks one family uniformly.  Stars and double
+   stars enter via perturbation so the generator also lands exactly on
+   (and just off) the paper's equilibrium structures. *)
+let graph rng n =
+  match Splitmix.int rng 8 with
+  | 0 -> gnp rng n ~p:(Splitmix.float rng)
+  | 1 -> tree rng n
+  | 2 -> connected rng n ~p:(0.2 *. Splitmix.float rng)
+  | 3 -> near_clique rng n
+  | 4 -> near_path rng n
+  | 5 -> perturb rng (Gen.star n) ~flips:(1 + Splitmix.int rng 2)
+  | 6 ->
+      if n >= 2 then begin
+        let a = Splitmix.int rng (n - 1) in
+        perturb rng (Gen.double_star a (n - 2 - a)) ~flips:(Splitmix.int rng 2)
+      end
+      else Graph.create n
+  | _ -> gnp rng n ~p:0.5
+
+(* Alphas from the paper's interesting ranges, all exactly
+   representable so verdicts never hinge on float noise: small halves
+   (boundary-dense region α ∈ (0, 20]), integers, quarters, and a few
+   large values that force tree-like equilibria. *)
+let alpha rng =
+  match Splitmix.int rng 4 with
+  | 0 -> float_of_int (1 + Splitmix.int rng 40) *. 0.5
+  | 1 -> float_of_int (1 + Splitmix.int rng 12)
+  | 2 -> float_of_int (1 + Splitmix.int rng 80) *. 0.25
+  | _ -> float_of_int ((1 + Splitmix.int rng 8) * 25)

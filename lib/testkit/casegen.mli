@@ -1,0 +1,44 @@
+(** Splitmix-driven random fuzz-case generators.
+
+    Unlike {!Bncg_graph.Gen.random_tree} (stdlib [Random.State]), these
+    are pure functions of a {!Splitmix.t} stream, so every generated
+    case replays bit-identically from a printed seed. *)
+
+val gnp : Splitmix.t -> int -> p:float -> Graph.t
+(** Erdős–Rényi [G(n, p)]; possibly disconnected — the checkers must
+    agree on disconnected inputs too. *)
+
+val tree : Splitmix.t -> int -> Graph.t
+(** A uniformly random labelled tree (random Prüfer sequence).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val connected : Splitmix.t -> int -> p:float -> Graph.t
+(** A random tree plus each remaining pair with probability [p];
+    always connected. *)
+
+val near_clique : Splitmix.t -> int -> Graph.t
+(** [K_n] minus up to [n] random edges — the removal-heavy regime. *)
+
+val near_path : Splitmix.t -> int -> Graph.t
+(** A path plus one or two random chords — the high-diameter,
+    addition-heavy regime. *)
+
+val perturb : Splitmix.t -> Graph.t -> flips:int -> Graph.t
+(** [perturb rng g ~flips] toggles up to [flips] random vertex pairs —
+    lands just off notable structures. *)
+
+val permutation : Splitmix.t -> int -> int array
+(** A uniformly random permutation of [0 .. n-1] (Fisher–Yates). *)
+
+val shuffle : Splitmix.t -> 'a list -> 'a list
+(** A uniformly random reordering. *)
+
+val graph : Splitmix.t -> int -> Graph.t
+(** The mixed default: picks one of the families above (including
+    perturbed stars and double stars) uniformly. *)
+
+val alpha : Splitmix.t -> float
+(** A random edge price from the paper's interesting ranges (halves,
+    integers, quarters in [(0, 20]]; occasionally large).  Always
+    exactly representable in binary, so verdicts never hinge on float
+    rounding. *)

@@ -1,0 +1,304 @@
+(* The differential fuzz engine.  Each case is a pure function of
+   (seed, concept index, case index) via [Splitmix.derive], so a
+   campaign replays bit-identically from its printed seed regardless of
+   domain count or truncation point, and a single case can be replayed
+   without re-running the campaign.
+
+   Per case, four properties are checked:
+   - the optimised checker's verdict kind agrees with [Oracle.check]
+     (an [Exhausted] checker verdict is tallied, not compared — the
+     oracle never truncates);
+   - an [Unstable] witness from either side actually applies and
+     strictly improves all consenting participants ([Move.apply] +
+     [Move.is_improving]);
+   - the checker's verdict kind is invariant under a random vertex
+     relabelling;
+   - the checker does not raise.
+
+   Failures are shrunk with [Shrink] before reporting. *)
+
+type checker = ?budget:int -> alpha:float -> Concept.t -> Graph.t -> Verdict.t
+
+let kind_disagreement = "oracle-disagreement"
+let kind_witness = "witness-not-improving"
+let kind_relabel = "relabel-variance"
+let kind_exception = "checker-exception"
+
+type failure = {
+  concept : Concept.t;
+  kind : string;
+  case : int;
+  alpha : float;
+  graph : Graph.t;
+  shrunk_alpha : float;
+  shrunk_graph : Graph.t;
+  detail : string;
+}
+
+type stats = {
+  concept : Concept.t;
+  cases : int;
+  stable : int;
+  unstable : int;
+  exhausted : int;
+  failed : int;
+}
+
+type outcome = {
+  seed : int64;
+  budget : int;
+  sizes : int list;
+  truncated : bool;
+  stats : stats list;
+  failures : failure list;
+}
+
+let default_sizes = [ 3; 4; 5; 6; 7 ]
+let default_budget = 1000
+
+(* Wall-clock caps per concept: the oracle is exponential for the
+   coalition concepts and per-agent exponential for BNE, and a fuzz
+   case must stay well under a millisecond on average for 10^4-case
+   campaigns to fit in a test suite. *)
+let size_cap concept =
+  min (Oracle.max_n concept)
+    (match concept with
+    | Concept.KBSE _ | Concept.BSE -> 5
+    | Concept.BNE -> 6
+    | _ -> 12)
+
+(* Sizes a campaign may draw for [concept]: the requested sizes
+   clamped to the cap (falling back to the cap itself if none
+   survive), with sub-cap sizes repeated so expensive concepts draw
+   small instances more often. *)
+let allowed_sizes concept sizes =
+  let cap = size_cap concept in
+  let ok = List.filter (fun s -> s >= 1 && s <= cap) sizes in
+  let ok = if ok = [] then [ min cap (List.fold_left max 1 sizes) ] else ok in
+  match concept with
+  | Concept.KBSE _ | Concept.BSE | Concept.BNE ->
+      List.concat_map (fun s -> List.init (max 1 (cap + 1 - s)) (fun _ -> s)) ok
+  | _ -> ok
+
+(* What is wrong with running [check] on this case, if anything. *)
+let diagnose ~(check : checker) ~perm concept ~alpha g =
+  let valid_witness m =
+    match Move.apply g m with
+    | exception Invalid_argument _ -> false
+    | _ -> Move.is_improving ~alpha g m
+  in
+  match check ~alpha concept g with
+  | exception e -> Some (kind_exception, Printexc.to_string e)
+  | fast -> (
+      match Oracle.check ~alpha concept g with
+      | exception e -> Some (kind_exception, "oracle: " ^ Printexc.to_string e)
+      | slow -> (
+          match (fast, slow) with
+          | Verdict.Exhausted _, _ -> None
+          | Verdict.Stable, Verdict.Unstable m ->
+              Some
+                ( kind_disagreement,
+                  Printf.sprintf "checker Stable, oracle found: %s" (Move.to_string m) )
+          | Verdict.Unstable m, Verdict.Stable ->
+              Some
+                ( kind_disagreement,
+                  Printf.sprintf "checker claims %s, oracle says Stable" (Move.to_string m)
+                )
+          | Verdict.Unstable m, _ when not (valid_witness m) ->
+              Some
+                ( kind_witness,
+                  Printf.sprintf "checker witness %s does not apply or improve"
+                    (Move.to_string m) )
+          | _, Verdict.Unstable m when not (valid_witness m) ->
+              Some
+                ( kind_witness,
+                  Printf.sprintf "oracle witness %s does not apply or improve"
+                    (Move.to_string m) )
+          | _, Verdict.Exhausted why ->
+              Some (kind_exception, "oracle exhausted: " ^ why)
+          | fast, _ -> (
+              match perm with
+              | None -> None
+              | Some p -> (
+                  match check ~alpha concept (Graph.relabel g p) with
+                  | exception e ->
+                      Some (kind_exception, "on relabelled graph: " ^ Printexc.to_string e)
+                  | relabelled -> (
+                      match (fast, relabelled) with
+                      | Verdict.Stable, Verdict.Unstable m ->
+                          Some
+                            ( kind_relabel,
+                              Printf.sprintf "Stable, but relabelled graph unstable: %s"
+                                (Move.to_string m) )
+                      | Verdict.Unstable _, Verdict.Stable ->
+                          Some (kind_relabel, "Unstable, but relabelled graph stable")
+                      | _ -> None)))))
+
+let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
+    ?(concepts = Concept.all_fixed) ~seed ~budget () =
+  let deadline_hit () =
+    match deadline with None -> false | Some t -> Unix.gettimeofday () > t
+  in
+  let truncated = ref false in
+  let all_failures = ref [] in
+  let stats =
+    List.mapi
+      (fun ci concept ->
+        let weighted = allowed_sizes concept sizes in
+        let stable = ref 0 and unstable = ref 0 and exhausted = ref 0 in
+        let failed = ref 0 and cases = ref 0 in
+        let eval i =
+          let rng = Splitmix.derive seed [ ci; i ] in
+          let n = Splitmix.pick rng weighted in
+          let g = Casegen.graph rng n in
+          let alpha = Casegen.alpha rng in
+          let perm = if n >= 2 then Some (Casegen.permutation rng n) else None in
+          let verdict =
+            match check ~alpha concept g with
+            | v -> Some v
+            | exception _ -> None
+          in
+          let problem = diagnose ~check ~perm concept ~alpha g in
+          (i, g, alpha, verdict, problem)
+        in
+        let record (i, g, alpha, verdict, problem) =
+          incr cases;
+          (match verdict with
+          | Some Verdict.Stable -> incr stable
+          | Some (Verdict.Unstable _) -> incr unstable
+          | Some (Verdict.Exhausted _) -> incr exhausted
+          | None -> ());
+          match problem with
+          | None -> ()
+          | Some (kind, detail) ->
+              incr failed;
+              if !failed <= 10 then begin
+                (* Shrink to the smallest case still failing in any way:
+                   the minimal repro matters more than preserving the
+                   original failure kind. *)
+                let still_fails alpha g =
+                  Graph.n g >= 1
+                  && Option.is_some (diagnose ~check ~perm:None concept ~alpha g)
+                in
+                let shrunk_graph = Shrink.graph ~keep:(still_fails alpha) g in
+                let shrunk_alpha =
+                  Shrink.alpha ~keep:(fun a -> still_fails a shrunk_graph) alpha
+                in
+                all_failures :=
+                  {
+                    concept;
+                    kind;
+                    case = i;
+                    alpha;
+                    graph = g;
+                    shrunk_alpha;
+                    shrunk_graph;
+                    detail;
+                  }
+                  :: !all_failures
+              end
+        in
+        let rec loop i =
+          if i < budget then
+            if deadline_hit () then truncated := true
+            else begin
+              let chunk_len = min 64 (budget - i) in
+              let chunk = List.init chunk_len (fun j -> i + j) in
+              List.iter record (Parallel.map ?domains eval chunk);
+              loop (i + chunk_len)
+            end
+        in
+        loop 0;
+        {
+          concept;
+          cases = !cases;
+          stable = !stable;
+          unstable = !unstable;
+          exhausted = !exhausted;
+          failed = !failed;
+        })
+      concepts
+  in
+  { seed; budget; sizes; truncated = !truncated; stats; failures = List.rev !all_failures }
+
+let total_failures o = List.fold_left (fun acc s -> acc + s.failed) 0 o.stats
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let graph_json g =
+  Json.Obj
+    [
+      ("n", Json.Int (Graph.n g));
+      ( "edges",
+        Json.List
+          (List.map (fun (u, v) -> Json.List [ Json.Int u; Json.Int v ]) (Graph.edges g))
+      );
+      ("graph6", Json.String (Encode.to_graph6 g));
+    ]
+
+let failure_to_json (f : failure) =
+  Json.Obj
+    [
+      ("concept", Json.String (Concept.name f.concept));
+      ("kind", Json.String f.kind);
+      ("case", Json.Int f.case);
+      ("alpha", Json.Float f.alpha);
+      ("graph", graph_json f.graph);
+      ("shrunk_alpha", Json.Float f.shrunk_alpha);
+      ("shrunk_graph", graph_json f.shrunk_graph);
+      ("detail", Json.String f.detail);
+    ]
+
+let stats_to_json (s : stats) =
+  Json.Obj
+    [
+      ("concept", Json.String (Concept.name s.concept));
+      ("cases", Json.Int s.cases);
+      ("stable", Json.Int s.stable);
+      ("unstable", Json.Int s.unstable);
+      ("exhausted", Json.Int s.exhausted);
+      ("failures", Json.Int s.failed);
+    ]
+
+(* Deliberately contains no wall-clock times: two runs with the same
+   arguments must produce byte-identical output. *)
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("seed", Json.Int (Int64.to_int o.seed));
+      ("budget", Json.Int o.budget);
+      ("sizes", Json.List (List.map (fun s -> Json.Int s) o.sizes));
+      ("truncated", Json.Bool o.truncated);
+      ("total_failures", Json.Int (total_failures o));
+      ("concepts", Json.List (List.map stats_to_json o.stats));
+      ("failures", Json.List (List.map failure_to_json o.failures));
+    ]
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf
+    "@[<v 2>%s %s (case %d):@ %s@ original: alpha=%s %a@ shrunk:   alpha=%s %a@ replay: \
+     graph6 %S@]"
+    (Concept.name f.concept) f.kind f.case f.detail (Json.float_repr f.alpha) Graph.pp
+    f.graph
+    (Json.float_repr f.shrunk_alpha)
+    Graph.pp f.shrunk_graph
+    (Encode.to_graph6 f.shrunk_graph)
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>fuzz seed=%Ld budget=%d%s@," o.seed o.budget
+    (if o.truncated then " (truncated by deadline)" else "");
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-6s %5d cases: %d stable, %d unstable, %d exhausted%s@,"
+        (Concept.name s.concept) s.cases s.stable s.unstable s.exhausted
+        (if s.failed > 0 then Printf.sprintf ", %d FAILURES" s.failed else ""))
+    o.stats;
+  (match o.failures with
+  | [] -> Format.fprintf ppf "no failures.@,"
+  | fs ->
+      Format.fprintf ppf "%d failure(s), showing %d shrunk repro(s):@,"
+        (total_failures o) (List.length fs);
+      List.iter (fun f -> Format.fprintf ppf "%a@," pp_failure f) fs);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,100 @@
+(** The differential fuzz engine behind [bncg fuzz] and the property
+    test suites.
+
+    A campaign runs [budget] cases per concept; case [i] of concept
+    index [ci] is a pure function of [Splitmix.derive seed [ci; i]], so
+    campaigns replay bit-identically from a printed seed regardless of
+    domain count, and any single case can be replayed alone.  Per case
+    the engine checks the checker-vs-{!Oracle} verdict agreement, the
+    validity of every [Unstable] witness, verdict invariance under a
+    random relabelling, and that the checker does not raise; failures
+    are shrunk with {!Shrink} before reporting. *)
+
+type checker = ?budget:int -> alpha:float -> Concept.t -> Graph.t -> Verdict.t
+(** The shape of [Concept.check] — the default subject under test.
+    Tests inject deliberately broken checkers to prove the harness
+    catches them. *)
+
+val kind_disagreement : string
+(** ["oracle-disagreement"]: verdict kinds differ. *)
+
+val kind_witness : string
+(** ["witness-not-improving"]: an [Unstable] witness fails
+    [Move.apply] or [Move.is_improving]. *)
+
+val kind_relabel : string
+(** ["relabel-variance"]: verdict kind changed under relabelling. *)
+
+val kind_exception : string
+(** ["checker-exception"]: the checker (or oracle) raised. *)
+
+type failure = {
+  concept : Concept.t;
+  kind : string;  (** one of the four kinds above *)
+  case : int;  (** case index — replay via [Splitmix.derive seed [ci; case]] *)
+  alpha : float;
+  graph : Graph.t;  (** as generated *)
+  shrunk_alpha : float;
+  shrunk_graph : Graph.t;  (** 1-minimal: any deletion stops reproducing *)
+  detail : string;
+}
+
+type stats = {
+  concept : Concept.t;
+  cases : int;  (** cases actually run (< budget if truncated) *)
+  stable : int;
+  unstable : int;
+  exhausted : int;
+  failed : int;  (** failures counted; at most 10 are kept shrunk *)
+}
+
+type outcome = {
+  seed : int64;
+  budget : int;
+  sizes : int list;
+  truncated : bool;  (** a [deadline] cut the campaign short *)
+  stats : stats list;  (** one per concept, in argument order *)
+  failures : failure list;  (** in discovery order *)
+}
+
+val default_sizes : int list
+(** [[3; 4; 5; 6; 7]]. *)
+
+val default_budget : int
+(** [1000] cases per concept. *)
+
+val size_cap : Concept.t -> int
+(** Largest instance the campaign will generate for a concept — the
+    oracle's limit tightened so an average case stays well under a
+    millisecond ([5] for coalition concepts, [6] for [BNE], [12]
+    otherwise). *)
+
+val run :
+  ?check:checker ->
+  ?domains:int ->
+  ?deadline:float ->
+  ?sizes:int list ->
+  ?concepts:Concept.t list ->
+  seed:int64 ->
+  budget:int ->
+  unit ->
+  outcome
+(** [run ~seed ~budget ()] fuzzes [budget] cases per concept.
+    [?check] defaults to [Concept.check]; [?domains] fans cases out via
+    {!Parallel.map} (the outcome is identical for every domain count);
+    [?deadline] (a [Unix.gettimeofday]-style absolute time) truncates
+    the campaign between 64-case chunks — use only where determinism
+    of the case count does not matter.  Requested [?sizes] are clamped
+    per concept to {!size_cap}, with smaller sizes drawn more often
+    for the expensive concepts. *)
+
+val total_failures : outcome -> int
+
+val outcome_to_json : outcome -> Json.t
+(** Stable field order and no wall-clock times: equal arguments give
+    byte-identical JSON. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Human-readable campaign summary with shrunk repros. *)
+
+val pp_failure : Format.formatter -> failure -> unit

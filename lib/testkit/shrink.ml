@@ -1,0 +1,48 @@
+(* Greedy shrinking of failing fuzz cases.  [keep] is the failure
+   predicate ("still reproduces"); shrinking is deterministic — no
+   randomness — so a shrunk repro is itself replayable.
+
+   Graphs shrink by alternating two greedy passes to a fixpoint:
+   delete a vertex (highest label first, so surviving labels stay
+   dense), then delete an edge.  Each pass restarts whenever a
+   deletion sticks, which keeps the result 1-minimal: no single vertex
+   or edge deletion still reproduces. *)
+
+let drop_vertex g v =
+  let keep = Array.of_list (List.filter (fun u -> u <> v) (List.init (Graph.n g) Fun.id)) in
+  Graph.induced g keep
+
+let vertex_pass ~keep g =
+  let rec go g v =
+    if v < 0 then (g, false)
+    else
+      let g' = drop_vertex g v in
+      if keep g' then (fst (go g' (Graph.n g' - 1)), true) else go g (v - 1)
+  in
+  go g (Graph.n g - 1)
+
+let edge_pass ~keep g =
+  let rec go g = function
+    | [] -> (g, false)
+    | (u, v) :: rest ->
+        let g' = Graph.remove_edge g u v in
+        if keep g' then (fst (go g' (Graph.edges g')), true) else go g rest
+  in
+  go g (Graph.edges g)
+
+let graph ~keep g =
+  if not (keep g) then invalid_arg "Shrink.graph: input does not satisfy keep";
+  let rec fixpoint g =
+    let g, moved_v = vertex_pass ~keep g in
+    let g, moved_e = edge_pass ~keep g in
+    if moved_v || moved_e then fixpoint g else g
+  in
+  fixpoint g
+
+(* Alphas shrink by trying a ladder of "simpler" values; the metric is
+   human readability of the repro, not numeric size. *)
+let alpha ~keep a =
+  let candidates = [ 1.0; 2.0; 0.5; 3.0; 4.0; 1.5; 0.25; 5.0; 10.0; Float.round a ] in
+  match List.find_opt (fun c -> c <> a && c > 0.0 && keep c) candidates with
+  | Some c -> c
+  | None -> a

@@ -1,0 +1,16 @@
+(** Greedy, deterministic shrinkers for failing fuzz cases.
+
+    [keep] is the failure predicate: it must hold on the input and the
+    shrinker returns the smallest value it can reach on which [keep]
+    still holds.  No randomness is involved, so shrunk repros replay
+    exactly. *)
+
+val graph : keep:(Graph.t -> bool) -> Graph.t -> Graph.t
+(** Alternates greedy vertex-deletion and edge-deletion passes to a
+    fixpoint.  The result is 1-minimal: deleting any single vertex or
+    edge breaks [keep].
+    @raise Invalid_argument if [keep] fails on the input. *)
+
+val alpha : keep:(float -> bool) -> float -> float
+(** Tries a ladder of round values ([1.], [2.], [0.5], ...), returning
+    the first that still fails, or the input unchanged. *)

@@ -1,0 +1,50 @@
+(* SplitMix64 (Steele, Lea & Flood 2014).  Chosen over stdlib
+   [Random.State] because fuzz cases must replay bit-identically from a
+   printed seed across OCaml versions and across domains: the stdlib
+   generator's algorithm is not a compatibility promise, and its global
+   state would couple cases to execution order.  Splitting gives every
+   (concept, case) pair an independent stream, so adding a concept or
+   reordering cases never perturbs the others. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+(* A child stream whose state is derived (not shared): advancing the
+   child never touches the parent and vice versa. *)
+let split t = { state = mix64 (next64 t) }
+
+(* Derive a stream from a seed and a path of indices, with no state to
+   thread: [derive seed [i; j]] is the stream for "case j of concept i".
+   Mixing after every step makes (1,0) and (0,1) unrelated. *)
+let derive seed path =
+  let state =
+    List.fold_left (fun s i -> mix64 (Int64.add s (Int64.of_int (2 * i + 1)))) seed path
+  in
+  { state = mix64 state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next64 t) (Int64.of_int bound))
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(* 53 uniform bits into [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let pick t xs =
+  match xs with [] -> invalid_arg "Splitmix.pick: empty list" | _ -> List.nth xs (int t (List.length xs))

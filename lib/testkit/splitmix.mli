@@ -1,0 +1,41 @@
+(** Deterministic seed-splittable PRNG (SplitMix64).
+
+    The testkit never uses the stdlib [Random] module: fuzz cases must
+    replay bit-identically from a printed [int64] seed, independently of
+    OCaml version, domain count and case execution order.  Streams are
+    cheap records; {!split} and {!derive} give statistically independent
+    child streams, so each (concept, case index) pair owns its own
+    stream and cases never perturb each other. *)
+
+type t
+(** A PRNG stream.  Mutable; copy with {!copy} to fork deterministically. *)
+
+val create : int64 -> t
+(** [create seed] is a fresh stream. *)
+
+val copy : t -> t
+(** An independent stream starting at the same state. *)
+
+val next64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns an independent child
+    stream. *)
+
+val derive : int64 -> int list -> t
+(** [derive seed path] is the stream at [path] (e.g. [[concept_index;
+    case_index]]) under [seed], with no state threading: equal
+    arguments always give the same stream, and distinct paths give
+    unrelated streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)], 53 bits of precision. *)
+
+val pick : t -> 'a list -> 'a
+(** A uniform element.  @raise Invalid_argument on the empty list. *)

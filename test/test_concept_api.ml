@@ -39,6 +39,30 @@ let suite =
             | Error _ -> ()
             | Ok c -> Alcotest.failf "%S parsed as %s" s (Concept.name c))
           [ ""; "XYZ"; "0-BSE"; "-1-BSE"; "BSEE"; "2-BSE extra" ]);
+    tc "of_string errors list the valid names" (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        List.iter
+          (fun s ->
+            match Concept.of_string s with
+            | Ok c -> Alcotest.failf "%S parsed as %s" s (Concept.name c)
+            | Error msg ->
+                (* Both error paths (unknown name, bad coalition size)
+                   must teach the caller the valid spellings and echo
+                   the offending input. *)
+                List.iter
+                  (fun name ->
+                    check_true
+                      (Printf.sprintf "%S error mentions %s" s name)
+                      (contains msg name))
+                  [ "RE"; "BAE"; "PS"; "BSwE"; "BGE"; "BNE"; "k-BSE"; "BSE" ];
+                check_true
+                  (Printf.sprintf "%S error echoes the input" s)
+                  (contains msg (Printf.sprintf "%S" s)))
+          [ "XYZ"; "pairwise"; "0-BSE"; "-3-BSE" ]);
     tc "move JSON round trips" (fun () ->
         List.iter
           (fun m ->

@@ -135,4 +135,82 @@ let suite =
             let expected = if n mod 2 = 0 then (n / 2) - 1 else n - 1 in
             check_float (Printf.sprintf "n=%d" n) (float_of_int expected) (hi -. lo))
           [ 4; 5; 6; 7; 10; 11 ]);
+    tc "stretched binary tree counts and diameter" (fun () ->
+        (* n = (2^{d+1} - 2) k + 1, a tree, diameter = 2dk (leaf to leaf
+           through the root). *)
+        List.iter
+          (fun (d, k) ->
+            let g = (Stretched.binary_tree ~d ~k).Stretched.graph in
+            let label = Printf.sprintf "d=%d k=%d" d k in
+            check_int (label ^ " n") ((((1 lsl (d + 1)) - 2) * k) + 1) (Graph.n g);
+            check_int (label ^ " m") (Graph.n g - 1) (Graph.num_edges g);
+            check_true (label ^ " diameter") (Paths.diameter g = Some (2 * d * k)))
+          [ (1, 2); (2, 3); (3, 1) ]);
+    tc "tree star counts and diameter" (fun () ->
+        (* copies identical subtrees under a fresh root: n = copies |T| + 1,
+           a tree, and (copies >= 2) the diameter is twice the depth. *)
+        List.iter
+          (fun (k, t, eta) ->
+            let star = Stretched.tree_star ~k ~target_subtree:t ~target_size:eta in
+            let g = star.Stretched.star_graph in
+            let label = Printf.sprintf "k=%d t=%g eta=%d" k t eta in
+            check_int (label ^ " n")
+              ((star.Stretched.copies * Graph.n star.Stretched.subtree.Stretched.graph) + 1)
+              (Graph.n g);
+            check_int (label ^ " m") (Graph.n g - 1) (Graph.num_edges g);
+            let depth = Tree.depth (Tree.root_at g 0) in
+            check_true (label ^ " diameter") (Paths.diameter g = Some (2 * depth)))
+          [ (1, 10., 100); (2, 30., 200); (1, 31., 500) ]);
+    tc "counterexample figures: counts and diameters" (fun () ->
+        let shape name ~n ~m ~diam g =
+          check_int (name ^ " n") n (Graph.n g);
+          check_int (name ^ " m") m (Graph.num_edges g);
+          check_true (name ^ " diameter") (Paths.diameter g = Some diam)
+        in
+        (* Figure 5: root + 54 leaves + b1,b2 (23 leaves each) + c1,c2
+           (24 leaves each) = 153 vertices; a tree of diameter 6. *)
+        shape "figure5" ~n:153 ~m:152 ~diam:6 Counterexamples.figure5.Counterexamples.graph;
+        (* Figure 6: 6-cycle with a pendant at each of the four a's. *)
+        shape "figure6" ~n:10 ~m:10 ~diam:5 Counterexamples.figure6.Counterexamples.graph;
+        (* Figure 7: spider with i = 20k legs of length 3. *)
+        List.iter
+          (fun k ->
+            shape
+              (Printf.sprintf "figure7 k=%d" k)
+              ~n:((60 * k) + 1) ~m:(60 * k) ~diam:6
+              (Counterexamples.figure7 ~k).Counterexamples.graph)
+          [ 2; 3; 4 ];
+        (* Figure 8 equivalent: broom = path 0-1-2 plus five leaves at 2. *)
+        shape "figure8" ~n:8 ~m:7 ~diam:3
+          Counterexamples.figure8_equivalent.Counterexamples.graph);
+    tc "figure 2 search recovers a witness" (fun () ->
+        match Counterexamples.search_figure2 () with
+        | None -> Alcotest.fail "no Proposition 2.3 witness found"
+        | Some w ->
+            let g = Strategy.graph w.Counterexamples.assignment in
+            check_true "connected" (Paths.is_connected g);
+            check_true "alpha positive" (w.Counterexamples.w_alpha > 0.);
+            let a, t = w.Counterexamples.removal in
+            check_true "removal is an edge" (Graph.has_edge g a t));
+    tc "optimum counts and diameters" (fun () ->
+        List.iter
+          (fun n ->
+            let clique = Optimum.graph ~alpha:0.5 n in
+            let star = Optimum.graph ~alpha:2.0 n in
+            let label = Printf.sprintf "n=%d" n in
+            check_int (label ^ " clique m") (n * (n - 1) / 2) (Graph.num_edges clique);
+            check_true (label ^ " clique diameter") (Paths.diameter clique = Some 1);
+            check_int (label ^ " star n") n (Graph.n star);
+            check_int (label ^ " star m") (n - 1) (Graph.num_edges star);
+            check_true (label ^ " star diameter") (Paths.diameter star = Some 2))
+          [ 4; 6; 9 ]);
+    tc "cycle counts and diameters" (fun () ->
+        List.iter
+          (fun n ->
+            let g = Cycle.graph n in
+            let label = Printf.sprintf "n=%d" n in
+            check_int (label ^ " n") n (Graph.n g);
+            check_int (label ^ " m") n (Graph.num_edges g);
+            check_true (label ^ " diameter") (Paths.diameter g = Some (n / 2)))
+          [ 5; 6; 9 ]);
   ]

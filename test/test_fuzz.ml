@@ -1,0 +1,244 @@
+(* The fuzz harness: determinism, domain invariance, mutation smoke
+   tests (a deliberately broken checker must be caught and shrunk), and
+   the metamorphic property banks (Figure 1 inclusions, canonical-form
+   laws, cert-store round-trip, sweep shuffle-invariance). *)
+
+open Helpers
+
+let json_of o = Json.to_string (Fuzz.outcome_to_json o)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic () =
+  let run () = Fuzz.run ~seed:42L ~budget:10 () in
+  Alcotest.(check string) "byte-identical JSON" (json_of (run ())) (json_of (run ()))
+
+let test_domain_invariant () =
+  let run d = Fuzz.run ~domains:d ~seed:43L ~budget:30 ~concepts:[ Concept.PS ] () in
+  Alcotest.(check string) "domains 1 == domains 3" (json_of (run 1)) (json_of (run 3))
+
+let test_clean_run_has_no_failures () =
+  let o = Fuzz.run ~domains:1 ~seed:44L ~budget:50 () in
+  check_int "no failures" 0 (Fuzz.total_failures o);
+  check_false "not truncated" o.Fuzz.truncated
+
+(* ------------------------------------------------------------------ *)
+(* Mutation smoke: seeded bugs must be caught and shrunk               *)
+(* ------------------------------------------------------------------ *)
+
+(* A checker that wrongly claims RE-stability on graphs with >= 5
+   vertices.  The harness must flag the disagreement and shrink the
+   repro down to the smallest graph still triggering the bug. *)
+let blind_above_4 : Fuzz.checker =
+ fun ?budget ~alpha concept g ->
+  match concept with
+  | Concept.RE when Graph.n g >= 5 -> Verdict.Stable
+  | _ -> Concept.check ?budget ~alpha concept g
+
+let test_mutation_blind_checker () =
+  let o =
+    Fuzz.run ~check:blind_above_4 ~domains:1 ~seed:42L ~budget:200
+      ~concepts:[ Concept.RE ] ~sizes:[ 5; 6; 7 ] ()
+  in
+  check_true "caught" (Fuzz.total_failures o > 0);
+  match o.Fuzz.failures with
+  | [] -> Alcotest.fail "expected a shrunk failure report"
+  | f :: _ ->
+      Alcotest.(check string) "kind" Fuzz.kind_disagreement f.Fuzz.kind;
+      check_true "shrunk to <= 8 vertices" (Graph.n f.Fuzz.shrunk_graph <= 8);
+      check_true "shrunk no larger than original"
+        (Graph.n f.Fuzz.shrunk_graph <= Graph.n f.Fuzz.graph);
+      (* The bug only exists at n >= 5, so the shrinker cannot go
+         below the trigger threshold. *)
+      check_true "shrunk still triggers" (Graph.n f.Fuzz.shrunk_graph >= 5)
+
+(* A checker that reports instability with a corrupted witness: the
+   move names an absent edge, so Move.apply rejects it. *)
+let corrupt_witness : Fuzz.checker =
+ fun ?budget ~alpha concept g ->
+  match Concept.check ?budget ~alpha concept g with
+  | Verdict.Unstable _ as v -> (
+      match Graph.non_edges g with
+      | (u, v') :: _ -> Verdict.Unstable (Move.Remove { agent = u; target = v' })
+      | [] -> v)
+  | v -> v
+
+let test_mutation_corrupt_witness () =
+  let o =
+    Fuzz.run ~check:corrupt_witness ~domains:1 ~seed:45L ~budget:300
+      ~concepts:[ Concept.PS ] ()
+  in
+  check_true "caught" (Fuzz.total_failures o > 0);
+  match o.Fuzz.failures with
+  | [] -> Alcotest.fail "expected a failure report"
+  | f :: _ -> Alcotest.(check string) "kind" Fuzz.kind_witness f.Fuzz.kind
+
+(* A checker that raises on a concept. *)
+let crashing : Fuzz.checker =
+ fun ?budget ~alpha concept g ->
+  match concept with
+  | Concept.BAE -> failwith "injected crash"
+  | _ -> Concept.check ?budget ~alpha concept g
+
+let test_mutation_crashing_checker () =
+  let o =
+    Fuzz.run ~check:crashing ~domains:1 ~seed:46L ~budget:20 ~concepts:[ Concept.BAE ] ()
+  in
+  check_true "caught" (Fuzz.total_failures o > 0);
+  match o.Fuzz.failures with
+  | [] -> Alcotest.fail "expected a failure report"
+  | f :: _ -> Alcotest.(check string) "kind" Fuzz.kind_exception f.Fuzz.kind
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 hierarchy: stable(subset) => not unstable(superset)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_inclusion_laws () =
+  for i = 0 to 149 do
+    let rng = Splitmix.derive 77L [ i ] in
+    let n = 2 + Splitmix.int rng 5 in
+    let g = Casegen.graph rng n in
+    let alpha = Casegen.alpha rng in
+    let verdicts = Hashtbl.create 16 in
+    let verdict c =
+      match Hashtbl.find_opt verdicts c with
+      | Some v -> v
+      | None ->
+          let v = Concept.check ~alpha c g in
+          Hashtbl.add verdicts c v;
+          v
+    in
+    List.iter
+      (fun (sub, sup) ->
+        match (verdict sub, verdict sup) with
+        | Verdict.Stable, Verdict.Unstable m ->
+            Alcotest.failf
+              "case %d (n=%d, alpha=%s, %s): %s-stable but %s-unstable via %s" i n
+              (Json.float_repr alpha) (Graph.to_string g) (Concept.name sub)
+              (Concept.name sup) (Move.to_string m)
+        | _ -> ())
+      Concept.proper_subsets
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form laws                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_canonical_laws () =
+  for i = 0 to 99 do
+    let rng = Splitmix.derive 78L [ i ] in
+    let n = 2 + Splitmix.int rng 7 in
+    let g = Casegen.graph rng n in
+    let c = Iso.canonical_graph g in
+    check_graph "idempotent" c (Iso.canonical_graph c);
+    let perm = Casegen.permutation rng n in
+    check_graph "iso-invariant" c (Iso.canonical_graph (Graph.relabel g perm));
+    check_true "canonical is isomorphic" (Iso.isomorphic g c)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cert store round-trip                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cert_store_roundtrip () =
+  let dir = Test_sweep.fresh_dir "fuzz-roundtrip" in
+  Fun.protect
+    ~finally:(fun () -> Test_sweep.rm_rf dir)
+    (fun () ->
+      let cases =
+        List.init 25 (fun i ->
+            let rng = Splitmix.derive 79L [ i ] in
+            let g = Casegen.graph rng (2 + Splitmix.int rng 4) in
+            let alpha = Casegen.alpha rng in
+            let concept = Splitmix.pick rng [ Concept.RE; Concept.PS; Concept.BGE ] in
+            (g, alpha, concept))
+      in
+      let store = Cert_store.open_store dir in
+      let keys =
+        List.map
+          (fun (g, alpha, concept) ->
+            let canon_g6 = Encode.canonical_graph6 g in
+            let key = Cert_store.cert_key ~concept ~alpha ~budget:None ~canon_g6 in
+            let entry =
+              {
+                Cert_store.verdict = Concept.check ~alpha concept g;
+                rho = Cost.rho ~alpha g;
+              }
+            in
+            Cert_store.record store ~key ~canon_g6 ~concept ~alpha ~budget:None entry;
+            (key, entry))
+          cases
+      in
+      Cert_store.close store;
+      (* A fresh process must read back exactly what was stored. *)
+      let reopened = Cert_store.open_store dir in
+      List.iter
+        (fun (key, (expected : Cert_store.entry)) ->
+          match Cert_store.find reopened ~key with
+          | None -> Alcotest.fail "stored verdict vanished"
+          | Some e ->
+              Alcotest.(check string)
+                "verdict round-trips"
+                (Json.to_string (Verdict.to_json expected.Cert_store.verdict))
+                (Json.to_string (Verdict.to_json e.Cert_store.verdict));
+              check_true "rho bit-identical" (e.Cert_store.rho = expected.Cert_store.rho))
+        keys;
+      Cert_store.close reopened)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep shuffle invariance                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_shuffle_invariance () =
+  let graphs = Enumerate.connected_graphs_iso 5 in
+  let rng = Splitmix.create 80L in
+  let shuffled = Casegen.shuffle rng graphs in
+  let run family =
+    Sweep.run
+      {
+        Sweep.family = Sweep.Explicit family;
+        sizes = [ 5 ];
+        concepts = [ Concept.PS ];
+        alphas = [ 1.0; 4.0 ];
+        budget = None;
+        domains = Some 1;
+      }
+  in
+  let a = run graphs and b = run shuffled in
+  List.iter2
+    (fun (ca : Sweep.cell) (cb : Sweep.cell) ->
+      check_true "same worst rho (bit-identical)" (ca.Sweep.worst.rho = cb.Sweep.worst.rho);
+      check_int "same stable count" ca.Sweep.worst.stable_count cb.Sweep.worst.stable_count;
+      check_int "same checked count" ca.Sweep.worst.checked cb.Sweep.worst.checked)
+    a.Sweep.cells b.Sweep.cells
+
+(* ------------------------------------------------------------------ *)
+(* Size caps                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_size_caps_respected () =
+  (* Requesting huge sizes must clamp to the oracle's tractable range
+     rather than blow up. *)
+  let o =
+    Fuzz.run ~domains:1 ~seed:47L ~budget:20 ~sizes:[ 30; 40 ]
+      ~concepts:[ Concept.BSE; Concept.BNE; Concept.RE ] ()
+  in
+  check_int "still ran the budget" 20 (List.hd o.Fuzz.stats).Fuzz.cases;
+  check_int "no failures" 0 (Fuzz.total_failures o)
+
+let suite =
+  [
+    tc "fuzz: same seed gives byte-identical JSON" test_deterministic;
+    tc "fuzz: outcome independent of domain count" test_domain_invariant;
+    tc "fuzz: clean checkers produce no failures" test_clean_run_has_no_failures;
+    tc "mutation: blind checker caught and shrunk" test_mutation_blind_checker;
+    tc "mutation: corrupted witness caught" test_mutation_corrupt_witness;
+    tc "mutation: crashing checker caught" test_mutation_crashing_checker;
+    tc "figure 1 inclusions hold on 150 random cases" test_inclusion_laws;
+    tc "canonical_graph idempotent and iso-invariant" test_canonical_laws;
+    tc "cert store round-trips verdicts bit-exactly" test_cert_store_roundtrip;
+    tc "sweep worst is shuffle-invariant" test_sweep_shuffle_invariance;
+    tc "fuzz: oversized requests clamp to the oracle caps" test_size_caps_respected;
+  ]

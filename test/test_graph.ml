@@ -75,6 +75,42 @@ let suite =
         check_graph "complement of empty is clique" (Gen.clique 4)
           (Graph.complement (Graph.create 4));
         check_graph "involution" (Gen.cycle 5) (Graph.complement (Graph.complement (Gen.cycle 5))));
+    tc "induced edge cases" (fun () ->
+        let g = Gen.cycle 5 in
+        check_graph "identity self-map is the graph itself" g
+          (Graph.induced g [| 0; 1; 2; 3; 4 |]);
+        check_graph "empty selection from a graph" (Graph.create 0) (Graph.induced g [||]);
+        check_graph "empty selection from the empty graph" (Graph.create 0)
+          (Graph.induced (Graph.create 0) [||]);
+        let single = Graph.induced g [| 3 |] in
+        check_int "single vertex n" 1 (Graph.n single);
+        check_int "single vertex m" 0 (Graph.num_edges single);
+        (* labels follow the selection order, not the original order *)
+        check_graph "reversed self-map of a path is the same path" (Gen.path 4)
+          (Graph.induced (Gen.path 4) [| 3; 2; 1; 0 |]);
+        check_raises_invalid "out of range" (fun () -> Graph.induced g [| 5 |]));
+    tc "disjoint_union edge cases" (fun () ->
+        let empty = Graph.create 0 and g = Gen.cycle 4 in
+        check_graph "empty is a left identity" g (Graph.disjoint_union empty g);
+        check_graph "empty is a right identity" g (Graph.disjoint_union g empty);
+        check_graph "empty + empty" empty (Graph.disjoint_union empty empty);
+        let h = Graph.disjoint_union (Graph.create 1) (Graph.create 1) in
+        check_int "two isolated vertices" 2 (Graph.n h);
+        check_int "no edges" 0 (Graph.num_edges h);
+        let u = Graph.disjoint_union (Gen.clique 3) (Gen.path 2) in
+        check_int "sizes add" 5 (Graph.n u);
+        check_int "edges add" 4 (Graph.num_edges u);
+        check_true "right labels shifted" (Graph.has_edge u 3 4));
+    tc "complement edge cases" (fun () ->
+        check_graph "empty graph" (Graph.create 0) (Graph.complement (Graph.create 0));
+        check_graph "single vertex" (Graph.create 1) (Graph.complement (Graph.create 1));
+        check_graph "clique flips to edgeless" (Graph.create 4)
+          (Graph.complement (Gen.clique 4));
+        let g = Graph.of_edges 2 [ (0, 1) ] in
+        check_graph "K2 flips to two isolated vertices" (Graph.create 2) (Graph.complement g);
+        (* self-complementary graph: P4 *)
+        let p4 = Gen.path 4 in
+        check_true "P4 is self-complementary" (Iso.isomorphic p4 (Graph.complement p4)));
     tc "is_clique" (fun () ->
         check_true "clique" (Graph.is_clique (Gen.clique 4));
         check_false "cycle" (Graph.is_clique (Gen.cycle 4)));

@@ -32,4 +32,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("sweep", Test_sweep.suite);
       ("properties", Test_props.suite);
+      ("oracle", Test_oracle.suite);
+      ("testkit", Test_testkit.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,125 @@
+(* The oracle layer: differential checker-vs-oracle equality at scale
+   (the PR's headline property), oracle sanity on the paper's
+   counterexamples, and the unilateral differential. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Checker vs oracle at 10^4 cases per concept                         *)
+(* ------------------------------------------------------------------ *)
+
+let differential_cases = 10_000
+
+let test_differential () =
+  let o =
+    Fuzz.run ~domains:1 ~seed:1234L ~budget:differential_cases
+      ~concepts:Concept.all_fixed ()
+  in
+  List.iter
+    (fun (s : Fuzz.stats) ->
+      check_int
+        (Printf.sprintf "%s runs the full budget" (Concept.name s.concept))
+        differential_cases s.cases)
+    o.stats;
+  match o.failures with
+  | [] -> check_int "no disagreements" 0 (Fuzz.total_failures o)
+  | f :: _ -> Alcotest.failf "differential failure: %s" (Format.asprintf "%a" Fuzz.pp_failure f)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle sanity on known structures                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_oracle_stable name concept alpha g =
+  match Oracle.check ~alpha concept g with
+  | Verdict.Stable -> ()
+  | v ->
+      Alcotest.failf "%s: oracle expected %s stable, got %s" name (Concept.name concept)
+        (Verdict.to_string v)
+
+let check_oracle_unstable name concept alpha g =
+  match Oracle.check ~alpha concept g with
+  | Verdict.Unstable m ->
+      check_true (name ^ ": oracle witness improves") (Move.is_improving ~alpha g m)
+  | v ->
+      Alcotest.failf "%s: oracle expected %s unstable, got %s" name (Concept.name concept)
+        (Verdict.to_string v)
+
+let test_oracle_figure6 () =
+  let c = Counterexamples.figure6 in
+  List.iter
+    (fun concept ->
+      check_oracle_stable "figure6" concept c.Counterexamples.alpha c.Counterexamples.graph)
+    [ Concept.RE; Concept.BAE; Concept.PS; Concept.BSwE; Concept.BGE; Concept.BNE ]
+
+let test_oracle_figure8 () =
+  let c = Counterexamples.figure8_equivalent in
+  check_oracle_stable "figure8" Concept.BAE c.Counterexamples.alpha c.Counterexamples.graph
+
+let test_oracle_figure5_single_edge () =
+  let c = Counterexamples.figure5 in
+  check_oracle_stable "figure5" Concept.RE c.Counterexamples.alpha c.Counterexamples.graph;
+  check_oracle_stable "figure5" Concept.BAE c.Counterexamples.alpha c.Counterexamples.graph
+
+let test_oracle_coalition_small () =
+  (* K4 at alpha=3: any single agent improves by dropping an edge
+     (saves 3, distance grows by 1), so every coalition concept is
+     violated; the oracle must find it from the outcome enumeration. *)
+  check_oracle_unstable "K4" (Concept.KBSE 2) 3.0 (Gen.clique 4);
+  check_oracle_unstable "K4" Concept.BSE 3.0 (Gen.clique 4);
+  (* A star is BSE-stable at alpha=2 (Theorem 3.2's regime): check the
+     positive side of the coalition oracle too. *)
+  check_oracle_stable "star5" Concept.BSE 2.0 (Gen.star 5)
+
+let test_oracle_refuses_large_coalitions () =
+  check_raises_invalid "n=7 coalition oracle" (fun () ->
+      Oracle.check ~alpha:1.0 (Concept.KBSE 2) (Gen.star 7))
+
+let test_oracle_budget_ignored () =
+  (* The oracle is exhaustive: a tiny budget must not produce
+     Exhausted. *)
+  let c = Counterexamples.figure6 in
+  match Oracle.check ~budget:1 ~alpha:6.0 Concept.BNE c.Counterexamples.graph with
+  | Verdict.Stable -> ()
+  | v -> Alcotest.failf "budget must be ignored, got %s" (Verdict.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Unilateral differential                                             *)
+(* ------------------------------------------------------------------ *)
+
+let same_outcome name i = function
+  | Ok (), Ok () -> ()
+  | Error _, Error _ -> ()
+  | Ok (), Error _ -> Alcotest.failf "%s case %d: fast Ok, oracle Error" name i
+  | Error _, Ok () -> Alcotest.failf "%s case %d: fast Error, oracle Ok" name i
+
+let test_unilateral_differential () =
+  for i = 0 to 999 do
+    let rng = Splitmix.derive 99L [ i ] in
+    let n = 2 + Splitmix.int rng 5 in
+    let g = Casegen.connected rng n ~p:0.3 in
+    let alpha = Casegen.alpha rng in
+    (* Random ownership: start canonical, then flip a few coins. *)
+    let a =
+      List.fold_left
+        (fun a (u, v) -> if Splitmix.bool rng then Strategy.reassign a u v v else a)
+        (Strategy.canonical_assignment g) (Graph.edges g)
+    in
+    same_outcome "nash" i (Unilateral.is_nash ~alpha a, Oracle.unilateral_nash ~alpha a);
+    same_outcome "add" i (Unilateral.is_add_eq ~alpha g, Oracle.unilateral_add_eq ~alpha a);
+    same_outcome "remove" i
+      (Unilateral.is_remove_eq ~alpha a, Oracle.unilateral_remove_eq ~alpha a);
+    same_outcome "greedy" i
+      (Unilateral.is_greedy_eq ~alpha a, Oracle.unilateral_greedy_eq ~alpha a)
+  done
+
+let suite =
+  [
+    tc "differential: checker == oracle on 10^4 cases per concept" test_differential;
+    tc "oracle: figure 6 stable through BNE" test_oracle_figure6;
+    tc "oracle: figure 8 BAE-stable" test_oracle_figure8;
+    tc "oracle: figure 5 RE/BAE-stable (n=153)" test_oracle_figure5_single_edge;
+    tc "oracle: coalition verdicts on K4 and star" test_oracle_coalition_small;
+    tc "oracle: refuses coalition concepts beyond n=6" test_oracle_refuses_large_coalitions;
+    tc "oracle: budget argument is ignored" test_oracle_budget_ignored;
+    tc "unilateral differential: 1000 random assignments" test_unilateral_differential;
+  ]

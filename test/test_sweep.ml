@@ -144,6 +144,48 @@ let suite =
         check_true "stored == bare" (worst_sig stored = worst_sig bare);
         check_true "warm rerun == bare" (worst_sig rerun = worst_sig bare))
     ;
+    tc "empty, missing and dangling journals load as an empty store" (fun () ->
+        (* Regression: an empty journal file, a *.jsonl entry that cannot
+           be opened (dangling symlink), and no file at all must all
+           yield the same empty store instead of raising Sys_error. *)
+        let dir = fresh_dir "empty-journal" in
+        Cert_store.close (Cert_store.open_store dir);
+        (* no record: open_store must not have created a journal file *)
+        check_int "read-only run leaves no journal" 0 (List.length (journal_files dir));
+        let empty = Filename.concat dir "journal-0000.jsonl" in
+        let oc = open_out empty in
+        close_out oc;
+        let s = Cert_store.open_store dir in
+        check_int "empty journal file == empty store" 0 (Cert_store.cert_count s);
+        Cert_store.close s;
+        Unix.symlink (Filename.concat dir "no-such-file") (Filename.concat dir "gone.jsonl");
+        let s = Cert_store.open_store dir in
+        check_int "dangling symlink == empty store" 0 (Cert_store.cert_count s);
+        (* and the store still works for writing afterwards *)
+        let canon_g6 = "Dhc" in
+        let key = Cert_store.cert_key ~concept:Concept.RE ~alpha:1.0 ~budget:None ~canon_g6 in
+        Cert_store.record s ~key ~canon_g6 ~concept:Concept.RE ~alpha:1.0 ~budget:None
+          { Cert_store.verdict = Verdict.Stable; rho = 1.0 };
+        Cert_store.close s;
+        let s = Cert_store.open_store dir in
+        check_int "recorded cert survives the debris" 1 (Cert_store.cert_count s);
+        Cert_store.close s)
+    ;
+    tc "infinite rho round-trips through the journal" (fun () ->
+        (* Regression (found by fuzzing): Json renders non-finite floats
+           as null, so certificates for disconnected graphs (rho = inf)
+           used to be silently dropped on reload. *)
+        let dir = fresh_dir "inf-rho" in
+        let canon_g6 = "D??" in
+        let key = Cert_store.cert_key ~concept:Concept.RE ~alpha:2.0 ~budget:None ~canon_g6 in
+        with_store dir (fun s ->
+            Cert_store.record s ~key ~canon_g6 ~concept:Concept.RE ~alpha:2.0 ~budget:None
+              { Cert_store.verdict = Verdict.Stable; rho = Float.infinity });
+        with_store dir (fun s ->
+            match Cert_store.find s ~key with
+            | None -> Alcotest.fail "infinite-rho cert lost across reopen"
+            | Some e -> check_true "rho is infinity" (e.Cert_store.rho = Float.infinity)))
+    ;
     tc "totals are the sum of the cells" (fun () ->
         let o = Sweep.run spec in
         let t = o.Sweep.totals in

@@ -1,0 +1,180 @@
+(* The testkit itself: PRNG determinism and stream independence, case
+   generator validity, and shrinker minimality. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_splitmix_replay () =
+  let a = Splitmix.create 42L and b = Splitmix.create 42L in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Splitmix.next64 a) (Splitmix.next64 b)
+  done
+
+let test_splitmix_known_values () =
+  (* Pin the algorithm itself: SplitMix64 from seed 0 must produce the
+     published reference sequence (same constants as Java's
+     SplittableRandom).  If these change, every recorded fuzz seed in
+     every CI log silently means a different campaign. *)
+  let t = Splitmix.create 0L in
+  Alcotest.(check int64) "draw 0" 0xE220A8397B1DCDAFL (Splitmix.next64 t);
+  Alcotest.(check int64) "draw 1" 0x6E789E6AA1B965F4L (Splitmix.next64 t);
+  Alcotest.(check int64) "draw 2" 0x06C45D188009454FL (Splitmix.next64 t)
+
+let test_splitmix_split_independence () =
+  (* Parent and child streams must not perturb each other: drawing from
+     one in between must not change what the other produces. *)
+  let draws t = List.init 10 (fun _ -> Splitmix.next64 t) in
+  let p1 = Splitmix.create 7L in
+  let c1 = Splitmix.split p1 in
+  let parent1 = draws p1 in
+  (* parent drawn before child *)
+  let child1 = draws c1 in
+  let p2 = Splitmix.create 7L in
+  let c2 = Splitmix.split p2 in
+  let child2 = draws c2 in
+  (* child drawn before parent *)
+  let parent2 = draws p2 in
+  Alcotest.(check (list int64)) "child unaffected by parent draws" child1 child2;
+  Alcotest.(check (list int64)) "parent unaffected by child draws" parent1 parent2;
+  check_false "child stream differs from parent stream" (child1 = parent1)
+
+let test_splitmix_derive () =
+  let draws seed path = List.init 5 (fun _ -> Splitmix.next64 (Splitmix.derive seed path)) in
+  Alcotest.(check (list int64)) "derive is pure" (draws 3L [ 1; 2 ]) (draws 3L [ 1; 2 ]);
+  check_false "paths [1;2] vs [2;1] differ" (draws 3L [ 1; 2 ] = draws 3L [ 2; 1 ]);
+  check_false "paths [0;1] vs [1;0] differ" (draws 3L [ 0; 1 ] = draws 3L [ 1; 0 ]);
+  check_false "seeds differ" (draws 3L [ 1 ] = draws 4L [ 1 ])
+
+let test_splitmix_int_bounds () =
+  let t = Splitmix.create 5L in
+  for _ = 1 to 1000 do
+    let x = Splitmix.int t 7 in
+    check_true "0 <= x < 7" (x >= 0 && x < 7)
+  done;
+  for _ = 1 to 1000 do
+    let x = Splitmix.float t in
+    check_true "0 <= x < 1" (x >= 0.0 && x < 1.0)
+  done;
+  check_raises_invalid "int bound 0" (fun () -> Splitmix.int t 0);
+  check_raises_invalid "pick []" (fun () -> Splitmix.pick t [])
+
+(* ------------------------------------------------------------------ *)
+(* Casegen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_casegen_tree () =
+  let rng = Splitmix.create 11L in
+  for n = 1 to 10 do
+    for _ = 1 to 20 do
+      let t = Casegen.tree rng n in
+      check_int (Printf.sprintf "tree n=%d vertices" n) n (Graph.n t);
+      check_int (Printf.sprintf "tree n=%d edges" n) (n - 1) (Graph.num_edges t);
+      check_true "tree connected" (Paths.is_connected t)
+    done
+  done
+
+let test_casegen_connected () =
+  let rng = Splitmix.create 12L in
+  for _ = 1 to 50 do
+    let g = Casegen.connected rng 8 ~p:0.3 in
+    check_true "connected" (Paths.is_connected g);
+    check_true "at least spanning" (Graph.num_edges g >= 7)
+  done
+
+let test_casegen_gnp_extremes () =
+  let rng = Splitmix.create 13L in
+  check_int "p=0 is edgeless" 0 (Graph.num_edges (Casegen.gnp rng 6 ~p:0.0));
+  check_true "p=1 is complete" (Graph.is_clique (Casegen.gnp rng 6 ~p:1.0))
+
+let test_casegen_shapes_valid () =
+  let rng = Splitmix.create 14L in
+  for n = 2 to 9 do
+    for _ = 1 to 30 do
+      let g = Casegen.graph rng n in
+      check_int "requested size" n (Graph.n g);
+      List.iter (fun (u, v) -> check_true "edge in range" (u < v && v < n)) (Graph.edges g)
+    done
+  done
+
+let test_casegen_permutation () =
+  let rng = Splitmix.create 15L in
+  for _ = 1 to 50 do
+    let p = Casegen.permutation rng 9 in
+    let seen = Array.make 9 false in
+    Array.iter (fun x -> seen.(x) <- true) p;
+    check_true "is a permutation" (Array.for_all Fun.id seen)
+  done;
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  check_true "shuffle preserves elements"
+    (List.sort compare (Casegen.shuffle rng xs) = xs)
+
+let test_casegen_alpha () =
+  let rng = Splitmix.create 16L in
+  for _ = 1 to 500 do
+    let a = Casegen.alpha rng in
+    check_true "alpha positive" (a > 0.0);
+    (* Exactly representable: multiplying by 4 must land on an integer. *)
+    check_true "alpha is a quarter-integer" (Float.is_integer (a *. 4.0))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shrink                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_to_single_edge () =
+  let keep g = Graph.num_edges g >= 1 in
+  let s = Shrink.graph ~keep (Gen.clique 6) in
+  check_int "two vertices survive" 2 (Graph.n s);
+  check_int "one edge survives" 1 (Graph.num_edges s)
+
+let contains_triangle g =
+  let n = Graph.n g in
+  let found = ref false in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      for w = v + 1 to n - 1 do
+        if Graph.has_edge g u v && Graph.has_edge g v w && Graph.has_edge g u w then
+          found := true
+      done
+    done
+  done;
+  !found
+
+let test_shrink_to_triangle () =
+  let rng = Splitmix.create 17L in
+  let g = Graph.add_edges (Casegen.connected rng 8 ~p:0.5) [ (0, 1); (1, 2); (0, 2) ] in
+  let s = Shrink.graph ~keep:contains_triangle g in
+  check_int "exactly K3" 3 (Graph.n s);
+  check_int "exactly 3 edges" 3 (Graph.num_edges s)
+
+let test_shrink_requires_failing_input () =
+  check_raises_invalid "keep must hold initially" (fun () ->
+      Shrink.graph ~keep:(fun _ -> false) (Gen.path 3))
+
+let test_shrink_alpha () =
+  check_float "ladder finds 1.0" 1.0 (Shrink.alpha ~keep:(fun a -> a >= 0.25) 7.75);
+  check_float "unshrinkable stays" 7.75 (Shrink.alpha ~keep:(fun a -> a = 7.75) 7.75)
+
+let suite =
+  [
+    tc "splitmix: same seed replays" test_splitmix_replay;
+    tc "splitmix: reference sequence from seed 0" test_splitmix_known_values;
+    tc "splitmix: split independence" test_splitmix_split_independence;
+    tc "splitmix: derive is pure and path-sensitive" test_splitmix_derive;
+    tc "splitmix: int/float bounds" test_splitmix_int_bounds;
+    tc "casegen: trees are trees" test_casegen_tree;
+    tc "casegen: connected stays connected" test_casegen_connected;
+    tc "casegen: gnp extremes" test_casegen_gnp_extremes;
+    tc "casegen: mixed shapes are well-formed" test_casegen_shapes_valid;
+    tc "casegen: permutations and shuffles" test_casegen_permutation;
+    tc "casegen: alphas exactly representable" test_casegen_alpha;
+    tc "shrink: clique to a single edge" test_shrink_to_single_edge;
+    tc "shrink: triangle predicate to K3" test_shrink_to_triangle;
+    tc "shrink: rejects non-failing input" test_shrink_requires_failing_input;
+    tc "shrink: alpha ladder" test_shrink_alpha;
+  ]
