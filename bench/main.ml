@@ -5,158 +5,24 @@
    - [main.exe <id> ...]: run only the listed experiments (see [--list]);
    - [main.exe perf]: only the microbenchmarks;
    - [main.exe perf --json]: also write machine-readable results to
-     bench/results.json so successive PRs can track the perf trajectory. *)
+     bench/results.json so successive PRs can track the perf trajectory.
 
-let rec rm_rf path =
-  if Sys.file_exists path then
-    if Sys.is_directory path then begin
-      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-      Unix.rmdir path
-    end
-    else Sys.remove path
+   The suite itself lives in {!Benchkit} (shared with the [bncg perf]
+   regression gate); this file is only argument plumbing. *)
 
 let perf ?(json = false) () =
-  let open Bechamel in
   Report.section "PERF  Bechamel microbenchmarks of the hot kernels";
-  let stretched = (Stretched.binary_tree ~d:7 ~k:2).Stretched.graph in
-  let star200 = Gen.star 200 in
-  let tree200 = Gen.random_tree (Random.State.make [| 5 |]) 200 in
-  let tree12 = Gen.random_tree (Random.State.make [| 9 |]) 12 in
-  let fig6 = Counterexamples.figure6.Counterexamples.graph in
-  let bits63 =
-    Bitgraph.of_graph (Gen.random_connected (Random.State.make [| 21 |]) 63 ~p:0.1)
-  in
-  (* The acceptance pair for the certificate store: the same 7-alpha PS
-     sweep over connected graphs on 6 vertices, once against an empty
-     store (pays enumeration + canonicalisation + checking + journaling)
-     and once against a pre-populated one (pays journal load + lookups). *)
-  let sweep_spec =
-    {
-      Sweep.family = Sweep.Connected;
-      sizes = [ 6 ];
-      concepts = [ Concept.PS ];
-      alphas = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ];
-      budget = None;
-      domains = None;
-    }
-  in
-  let cold_runs = ref 0 in
-  let warm_dir =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "bncg-bench-warm-%d" (Unix.getpid ()))
-  in
-  rm_rf warm_dir;
-  (let s = Cert_store.open_store warm_dir in
-   ignore (Sweep.run ~store:s sweep_spec);
-   Cert_store.close s);
-  let tests =
-    [
-      Test.make ~name:"bfs n=510 (stretched tree)"
-        (Staged.stage (fun () -> ignore (Paths.bfs stretched 0)));
-      Test.make ~name:"apsp n=200 (random tree)"
-        (Staged.stage (fun () -> ignore (Paths.apsp tree200)));
-      Test.make ~name:"total_dists rerooting n=510"
-        (Staged.stage (fun () -> ignore (Tree.total_dists stretched)));
-      Test.make ~name:"social_cost n=510"
-        (Staged.stage (fun () -> ignore (Cost.social_cost ~alpha:3. stretched)));
-      Test.make ~name:"PS check star n=200"
-        (Staged.stage (fun () -> ignore (Pairwise.check ~alpha:2. star200)));
-      Test.make ~name:"BSwE check stretched n=510"
-        (Staged.stage (fun () ->
-             ignore (Swap_eq.check ~alpha:(7. *. 2. *. 510.) stretched)));
-      Test.make ~name:"BNE check figure6 n=10"
-        (Staged.stage (fun () -> ignore (Neighborhood_eq.check ~alpha:6. fig6)));
-      Test.make ~name:"3-BSE tree check n=12"
-        (Staged.stage (fun () -> ignore (Strong_eq.check_tree ~k:3 ~alpha:4. tree12)));
-      Test.make ~name:"free_trees n=10"
-        (Staged.stage (fun () -> ignore (Enumerate.free_trees 10)));
-      Test.make ~name:"tree_code n=200"
-        (Staged.stage (fun () -> ignore (Iso.tree_code tree200)));
-      Test.make ~name:"graph6 roundtrip n=200"
-        (Staged.stage (fun () ->
-             ignore (Encode.of_graph6 (Encode.to_graph6 tree200))));
-      Test.make ~name:"Bitgraph.bfs n=63"
-        (Staged.stage (fun () -> ignore (Bitgraph.bfs bits63 0)));
-      Test.make ~name:"Bitgraph.total_dist n=63"
-        (Staged.stage (fun () -> ignore (Bitgraph.total_dist bits63 0)));
-      Test.make ~name:"iter_connected_graphs n=6 (incremental)"
-        (Staged.stage (fun () ->
-             let count = ref 0 in
-             Enumerate.iter_connected_bitgraphs 6 (fun _ -> incr count);
-             ignore !count));
-      Test.make ~name:"worst_connected n=6 PS sequential"
-        (Staged.stage (fun () ->
-             ignore (Poa.worst_connected ~domains:1 ~concept:Concept.PS ~alpha:2.0 6)));
-      Test.make ~name:"worst_connected n=6 PS parallel"
-        (Staged.stage (fun () ->
-             ignore (Poa.worst_connected ~concept:Concept.PS ~alpha:2.0 6)));
-      Test.make ~name:"sweep n=6 PS x7 alphas cold store"
-        (Staged.stage (fun () ->
-             incr cold_runs;
-             let dir =
-               Filename.concat
-                 (Filename.get_temp_dir_name ())
-                 (Printf.sprintf "bncg-bench-cold-%d-%d" (Unix.getpid ()) !cold_runs)
-             in
-             let s = Cert_store.open_store dir in
-             ignore (Sweep.run ~store:s sweep_spec);
-             Cert_store.close s;
-             rm_rf dir));
-      Test.make ~name:"sweep n=6 PS x7 alphas warm store"
-        (Staged.stage (fun () ->
-             let s = Cert_store.open_store warm_dir in
-             ignore (Sweep.run ~store:s sweep_spec);
-             Cert_store.close s));
-    ]
-  in
-  let grouped = Test.make_grouped ~name:"bncg" tests in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
-  rm_rf warm_dir;
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      let ns =
-        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> Float.nan
-      in
-      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
-      rows := (name, ns, r2) :: !rows)
-    results;
-  let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows in
-  Report.print_table
-    ~header:[ "benchmark"; "time/run"; "r^2" ]
-    (List.map
-       (fun (name, ns, r2) ->
-         let time =
-           if Float.is_nan ns then "n/a"
-           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-           else Printf.sprintf "%.0f ns" ns
-         in
-         [ name; time; Printf.sprintf "%.3f" r2 ])
-       rows);
+  let results = Benchkit.run () in
+  Benchkit.print_table results;
   if json then begin
     let path = if Sys.file_exists "bench" then "bench/results.json" else "results.json" in
     let oc = open_out path in
     (* Json.to_string turns non-finite floats into null, so undecided
        estimates stay valid JSON. *)
-    let row (name, ns, r2) =
-      Json.Obj
-        [
-          ("name", Json.String name); ("ns_per_run", Json.Float ns);
-          ("r_square", Json.Float r2);
-        ]
-    in
-    output_string oc (Json.to_string (Json.List (List.map row rows)));
+    output_string oc (Json.to_string (Benchkit.results_to_json results));
     output_char oc '\n';
     close_out oc;
-    Printf.printf "wrote %d benchmark rows to %s\n%!" (List.length rows) path
+    Printf.printf "wrote %d benchmark rows to %s\n%!" (List.length results) path
   end
 
 let usage () =

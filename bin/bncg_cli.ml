@@ -341,24 +341,119 @@ let fuzz_cmd =
       & info [ "domains" ] ~docv:"D"
           ~doc:"Worker domains (default: recommended count; never changes the output).")
   in
-  let run seed budget concepts sizes seconds domains json =
+  let oracle_cases_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "oracle-cases" ] ~docv:"N"
+          ~doc:
+            "Flip-sequence cases for the incremental-distance differential (default: \
+             the campaign budget; 0 disables it).")
+  in
+  let run seed budget concepts sizes seconds domains oracle_cases json =
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
-    let o =
-      Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:(Int64.of_int seed) ~budget ()
+    let seed64 = Int64.of_int seed in
+    let o = Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:seed64 ~budget () in
+    let od =
+      match Option.value oracle_cases ~default:budget with
+      | 0 -> None
+      | n -> Some (Fuzz.run_oracle ?domains ?deadline ~seed:seed64 ~budget:n ())
     in
-    if json then print_endline (Json.to_string (Fuzz.outcome_to_json o))
-    else Format.printf "%a@." Fuzz.pp_outcome o;
-    if Fuzz.total_failures o > 0 then exit 1
+    if json then
+      print_endline
+        (Json.to_string
+           (match od with
+           | None -> Fuzz.outcome_to_json o
+           | Some od ->
+               Json.Obj
+                 [
+                   ("concepts", Fuzz.outcome_to_json o);
+                   ("dist_oracle", Fuzz.oracle_outcome_to_json od);
+                 ]))
+    else begin
+      Format.printf "%a@." Fuzz.pp_outcome o;
+      Option.iter (Format.printf "%a@." Fuzz.pp_oracle_outcome) od
+    end;
+    let oracle_failed = match od with None -> 0 | Some od -> od.Fuzz.ofailed in
+    if Fuzz.total_failures o > 0 || oracle_failed > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: random (graph, concept, alpha) cases checked against the \
           naive definition-literal oracle, with metamorphic relabelling checks; failures \
-          are shrunk to minimal repros.")
+          are shrunk to minimal repros.  Also replays random edge-flip sequences through \
+          the incremental distance oracle against fresh BFS.")
     Term.(
       const run $ seed_arg $ budget_fuzz_arg $ concepts_arg $ sizes_arg $ seconds_arg
-      $ domains_arg $ json_arg)
+      $ domains_arg $ oracle_cases_arg $ json_arg)
+
+let perf_cmd =
+  let check_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"BASELINE.json"
+          ~doc:
+            "Compare against a committed baseline (the bench/results.json format) and \
+             exit non-zero if any benchmark regressed beyond the tolerance.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Run only the 3-benchmark CI subset instead of the suite.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "only" ] ~docv:"NAME,.." ~doc:"Run only the named benchmarks.")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "quota" ] ~docv:"S" ~doc:"Measurement seconds per benchmark.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"F"
+          ~doc:"Allowed slowdown fraction before --check fails (default 0.25 = 25%).")
+  in
+  let run check smoke only quota tolerance json =
+    let only = if smoke then Some Benchkit.smoke_names else only in
+    let results = Benchkit.run ~quota ?only () in
+    if json then print_endline (Json.to_string (Benchkit.results_to_json results))
+    else Benchkit.print_table results;
+    match check with
+    | None -> ()
+    | Some path -> (
+        let content = In_channel.with_open_text path In_channel.input_all in
+        match Json.of_string content with
+        | Error e ->
+            Printf.eprintf "cannot parse baseline %s: %s\n" path e;
+            exit 2
+        | Ok baseline -> (
+            match Benchkit.check_against ~baseline ~tolerance results with
+            | [] ->
+                Printf.printf "no regression beyond %.0f%% against %s\n"
+                  (tolerance *. 100.) path
+            | regs ->
+                List.iter
+                  (fun (r : Benchkit.regression) ->
+                    Printf.printf "REGRESSION %s: %.0f ns -> %.0f ns (%.2fx)\n"
+                      r.Benchkit.bench r.Benchkit.baseline_ns r.Benchkit.fresh_ns
+                      r.Benchkit.ratio)
+                  regs;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Microbenchmarks of the hot kernels (warmed up, trimmed-mean fitted), \
+          optionally gated against a committed baseline.")
+    Term.(
+      const run $ check_arg $ smoke_arg $ only_arg $ quota_arg $ tolerance_arg $ json_arg)
 
 let welfare_cmd =
   let run alpha g6 =
@@ -379,5 +474,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; rho_cmd; poa_cmd; sweep_cmd; dyn_cmd; enum_cmd; gallery_cmd;
-            render_cmd; profile_cmd; welfare_cmd; fuzz_cmd;
+            render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd;
           ]))

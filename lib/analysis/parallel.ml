@@ -1,64 +1,287 @@
-(* Chunked map-reduce on OCaml 5 domains.
+(* Deterministic fan-out on a persistent pool of OCaml 5 domains.
 
-   Work lists are split into [domains] contiguous chunks, each chunk is
-   folded sequentially in its own domain, and chunk results are merged
-   left to right.  As long as the caller's [merge] agrees with folding the
-   chunks in sequence (true for associative accumulations whose per-item
-   update commutes with splitting, e.g. counters plus a first-wins
-   maximum), the result is bit-for-bit identical to the sequential fold,
-   whatever the domain count. *)
+   PR 1 spawned fresh domains per call and split work lists into
+   [domains] contiguous chunks.  Both choices lose on the real
+   workloads: per-call [Domain.spawn] costs more than many whole jobs,
+   and contiguous chunking strands a domain on whichever chunk happens
+   to hold the expensive items (per-graph check costs are wildly
+   skewed).  This version keeps one process-wide pool of worker domains
+   alive across calls and schedules an ARRAY of work items through an
+   atomic fetch-and-add index: idle participants grab the next
+   undone block, so load balance is automatic whatever the skew.
+
+   Determinism is preserved by separating scheduling from merging:
+   items are partitioned into contiguous blocks, each block is folded
+   sequentially from [init] (whichever domain happens to run it), block
+   results land in an array slot by block index, and the caller merges
+   the slots left to right.  As long as the caller's [merge] agrees
+   with folding contiguous splits in sequence — the same contract as
+   PR 1 — the result is bit-for-bit identical to the sequential fold,
+   whatever the domain count or the scheduling order. *)
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
-(* Split [items] into at most [k] contiguous chunks of near-equal length
-   (first chunks get the remainder), preserving order. *)
-let chunk k items =
-  let len = List.length items in
-  if len = 0 then []
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  count : int;
+  extra_workers : int; (* workers allowed besides the submitter *)
+  body : int -> unit; (* must not raise: exceptions are recorded below *)
+  next : int Atomic.t;
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work_cv : Condition.t; (* workers: "a new job was posted" *)
+  done_cv : Condition.t; (* submitter: "all participants drained" *)
+  mutable job : job option;
+  mutable gen : int; (* bumped once per posted job *)
+  mutable joined : int; (* workers that joined the current job *)
+  mutable running : int; (* participants still draining the counter *)
+  mutable first_exn : (exn * Printexc.raw_backtrace) option;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type stats = { workers : int; jobs : int; domains_spawned : int }
+
+let jobs_posted = ref 0
+let total_spawned = ref 0
+
+(* Re-entrant calls (a worker's body calling back into this module) run
+   sequentially instead of posting a nested job: the pool has exactly
+   one job slot, and the outer job already owns it. *)
+let inside_pool = Domain.DLS.new_key (fun () -> ref false)
+
+let record_exn pool e =
+  let bt = Printexc.get_raw_backtrace () in
+  Mutex.lock pool.mutex;
+  if pool.first_exn = None then pool.first_exn <- Some (e, bt);
+  Mutex.unlock pool.mutex
+
+(* Grab items until the shared counter runs out.  On an exception the
+   counter is pushed past [count] so every participant stops grabbing
+   new items; items already in flight finish normally. *)
+let drain pool (j : job) =
+  let flag = Domain.DLS.get inside_pool in
+  flag := true;
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.count then begin
+      (try j.body i
+       with e ->
+         Atomic.set j.next j.count;
+         record_exn pool e);
+      go ()
+    end
+  in
+  go ();
+  flag := false
+
+let rec worker_loop pool gen_seen =
+  Mutex.lock pool.mutex;
+  while pool.gen = gen_seen && not pool.shutdown do
+    Condition.wait pool.work_cv pool.mutex
+  done;
+  if pool.shutdown then Mutex.unlock pool.mutex
   else begin
-    let k = max 1 (min k len) in
-    let base = len / k and extra = len mod k in
-    let rec take n acc rest =
-      if n = 0 then (List.rev acc, rest)
-      else
-        match rest with
-        | [] -> (List.rev acc, [])
-        | x :: tl -> take (n - 1) (x :: acc) tl
+    let gen = pool.gen in
+    let job =
+      match pool.job with
+      | Some j when pool.joined < j.extra_workers ->
+          pool.joined <- pool.joined + 1;
+          pool.running <- pool.running + 1;
+          Some j
+      | Some _ | None -> None
     in
-    let rec go i rest acc =
-      if i = k then List.rev acc
-      else begin
-        let size = base + if i < extra then 1 else 0 in
-        let c, rest = take size [] rest in
-        go (i + 1) rest (c :: acc)
-      end
-    in
-    go 0 items []
+    Mutex.unlock pool.mutex;
+    (match job with
+    | Some j ->
+        drain pool j;
+        Mutex.lock pool.mutex;
+        pool.running <- pool.running - 1;
+        if pool.running = 0 then Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.mutex
+    | None -> ());
+    worker_loop pool gen
   end
 
-let fold ?domains ~f ~merge ~init items =
-  let d = match domains with Some d -> max 1 d | None -> default_domains () in
-  match chunk d items with
-  | [] -> init
-  | [ only ] -> List.fold_left f init only
-  | chunks ->
-      let handles =
-        List.map
-          (fun c -> Domain.spawn (fun () -> List.fold_left f init c))
-          chunks
+let create_pool () =
+  {
+    mutex = Mutex.create ();
+    work_cv = Condition.create ();
+    done_cv = Condition.create ();
+    job = None;
+    gen = 0;
+    joined = 0;
+    running = 0;
+    first_exn = None;
+    shutdown = false;
+    workers = [||];
+  }
+
+(* Workers are spawned lazily, growing to the largest explicit [?domains]
+   request seen so far (capped).  Explicit requests are honoured even when
+   [recommended_domain_count] is lower — matching the PR-1 semantics where
+   [~domains:4] fanned out on any machine — but growth happens once; the
+   domains then persist across calls. *)
+let max_workers = 16
+
+let ensure_workers (pool : pool) want =
+  let want = min want max_workers in
+  let have = Array.length pool.workers in
+  if want > have then begin
+    Mutex.lock pool.mutex;
+    let have = Array.length pool.workers in
+    if want > have then begin
+      let fresh =
+        Array.init (want - have) (fun _ ->
+            incr total_spawned;
+            Domain.spawn (fun () -> worker_loop pool 0))
       in
-      let results = List.map Domain.join handles in
-      (match results with
-      | [] -> init
-      | first :: rest -> List.fold_left merge first rest)
+      pool.workers <- Array.append pool.workers fresh
+    end;
+    Mutex.unlock pool.mutex
+  end
+
+let shutdown_pool pool =
+  Mutex.lock pool.mutex;
+  let was = pool.shutdown in
+  pool.shutdown <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.mutex;
+  if not was then Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+(* The process-wide pool, created on first parallel call and torn down
+   at exit so the runtime is not left joining sleeping domains. *)
+let global : pool option ref = ref None
+let exit_hook = ref false
+
+let get_pool () =
+  match !global with
+  | Some p when not p.shutdown -> p
+  | _ ->
+      let p = create_pool () in
+      global := Some p;
+      if not !exit_hook then begin
+        exit_hook := true;
+        at_exit (fun () -> match !global with Some p -> shutdown_pool p | None -> ())
+      end;
+      p
+
+let shutdown () = match !global with Some p -> shutdown_pool p | None -> ()
+
+let stats () =
+  let workers = match !global with Some p when not p.shutdown -> Array.length p.workers | _ -> 0 in
+  { workers; jobs = !jobs_posted; domains_spawned = !total_spawned }
+
+(* Post [body 0 .. body (count-1)] to the pool and participate in the
+   drain; returns when every item has finished.  Re-raises the first
+   exception a participant recorded (later items may then be skipped). *)
+let run_job ~want_domains count body =
+  if count > 0 then begin
+    let seq () =
+      for i = 0 to count - 1 do
+        body i
+      done
+    in
+    if want_domains <= 1 || !(Domain.DLS.get inside_pool) then seq ()
+    else
+      let pool = get_pool () in
+      ensure_workers pool (want_domains - 1);
+      let extra = min (want_domains - 1) (Array.length pool.workers) in
+      if extra = 0 then seq ()
+      else begin
+        let j = { count; extra_workers = extra; body; next = Atomic.make 0 } in
+        Mutex.lock pool.mutex;
+        pool.job <- Some j;
+        pool.joined <- 0;
+        pool.first_exn <- None;
+        pool.gen <- pool.gen + 1;
+        pool.running <- 1 (* the submitter *);
+        incr jobs_posted;
+        Condition.broadcast pool.work_cv;
+        Mutex.unlock pool.mutex;
+        drain pool j;
+        Mutex.lock pool.mutex;
+        pool.running <- pool.running - 1;
+        while pool.running > 0 do
+          Condition.wait pool.done_cv pool.mutex
+        done;
+        pool.job <- None;
+        let exn = pool.first_exn in
+        pool.first_exn <- None;
+        Mutex.unlock pool.mutex;
+        match exn with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic folds over the pool                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Contiguous blocks, several per domain, so the atomic index can
+   rebalance skewed item costs; boundaries depend only on [len] and
+   [blocks], and any contiguous split merges to the sequential answer
+   under the fold contract. *)
+let block_bounds len blocks b =
+  let lo = b * len / blocks and hi = (b + 1) * len / blocks in
+  (lo, hi)
+
+let blocks_for ~domains len = max 1 (min len (domains * 8))
+
+let iter_n ?domains count body =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  run_job ~want_domains:d count body
+
+let fold ?domains ~f ~merge ~init items =
+  let arr = Array.of_list items in
+  let len = Array.length arr in
+  if len = 0 then init
+  else begin
+    let d = match domains with Some d -> max 1 d | None -> default_domains () in
+    let fold_range lo hi =
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := f !acc arr.(i)
+      done;
+      !acc
+    in
+    if d <= 1 then fold_range 0 len
+    else begin
+      let blocks = blocks_for ~domains:d len in
+      let results = Array.make blocks None in
+      run_job ~want_domains:d blocks (fun b ->
+          let lo, hi = block_bounds len blocks b in
+          results.(b) <- Some (fold_range lo hi));
+      let out = ref (Option.get results.(0)) in
+      for b = 1 to blocks - 1 do
+        out := merge !out (Option.get results.(b))
+      done;
+      !out
+    end
+  end
 
 let map ?domains f items =
-  let d = match domains with Some d -> max 1 d | None -> default_domains () in
-  match chunk d items with
-  | [] -> []
-  | [ only ] -> List.map f only
-  | chunks ->
-      let handles =
-        List.map (fun c -> Domain.spawn (fun () -> List.map f c)) chunks
-      in
-      List.concat_map Domain.join handles
+  let arr = Array.of_list items in
+  let len = Array.length arr in
+  if len = 0 then []
+  else begin
+    let d = match domains with Some d -> max 1 d | None -> default_domains () in
+    if d <= 1 then Array.to_list (Array.map f arr)
+    else begin
+      let out = Array.make len None in
+      let blocks = blocks_for ~domains:d len in
+      run_job ~want_domains:d blocks (fun b ->
+          let lo, hi = block_bounds len blocks b in
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f arr.(i))
+          done);
+      Array.to_list (Array.map Option.get out)
+    end
+  end

@@ -1,15 +1,23 @@
-(** Deterministic fan-out of exhaustive searches across OCaml 5 domains.
+(** Deterministic fan-out of exhaustive searches on a persistent domain pool.
 
-    The equilibrium searches check a long list of independent candidates;
-    this module splits such lists into contiguous chunks, folds each chunk
-    in its own [Domain], and merges chunk results in list order.  Because
-    chunking and merging are deterministic, results are bit-for-bit
-    independent of the domain count — a parallel run can always be checked
-    against the sequential one.
+    The equilibrium searches check a long list of independent candidates
+    with wildly skewed per-item costs.  This module keeps one process-wide
+    pool of worker domains alive across calls and schedules work through an
+    atomic fetch-and-add index over contiguous blocks: idle participants
+    grab the next undone block, so the load balances itself whatever the
+    skew, and no [Domain.spawn] happens after the first call.
+
+    Determinism: items are split into contiguous blocks, each block is
+    folded sequentially from [init], block results are stored by block
+    index and merged left to right.  Under the fold contract below the
+    result is bit-for-bit independent of the domain count and of the
+    scheduling order — a parallel run can always be checked against the
+    sequential one.
 
     The workers must be pure (no shared mutable state): every checker in
     [bncg_core] qualifies, since checkers only mutate private scratch
-    state. *)
+    state.  A body that itself calls into this module runs its inner call
+    sequentially (the pool has a single job slot). *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
@@ -21,18 +29,33 @@ val fold :
   init:'acc ->
   'a list ->
   'acc
-(** [fold ~f ~merge ~init items] folds [f] over [items] split into
-    [?domains] (default {!default_domains}) contiguous chunks, each chunk
-    starting from [init], then merges the per-chunk accumulators left to
-    right.  The caller must ensure
+(** [fold ~f ~merge ~init items] folds [f] over contiguous blocks of
+    [items] (scheduled over [?domains] participants, default
+    {!default_domains}), each block starting from [init], then merges the
+    per-block accumulators left to right.  The caller must ensure
     [merge (fold_left f init xs) (fold_left f init ys) =
      fold_left f init (xs @ ys)] — then the result equals the sequential
-    fold exactly.  With [?domains:1] no domain is spawned. *)
+    fold exactly.  With [?domains:1] everything runs on the calling
+    domain.  If a worker raises, the first exception is re-raised here
+    after all in-flight items finish (remaining items may be skipped). *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f items] is [List.map f items] computed across domains,
     preserving order. *)
 
-val chunk : int -> 'a list -> 'a list list
-(** [chunk k items] splits [items] into at most [k] contiguous chunks of
-    near-equal size, in order (exposed for testing). *)
+val iter_n : ?domains:int -> int -> (int -> unit) -> unit
+(** [iter_n count body] runs [body i] for [0 <= i < count] across the
+    pool, in unspecified order.  [body] must be safe to run concurrently
+    on distinct [i]; determinism is the caller's affair (e.g. writing to
+    disjoint array slots by index). *)
+
+type stats = { workers : int; jobs : int; domains_spawned : int }
+
+val stats : unit -> stats
+(** Pool introspection: live worker domains, jobs submitted so far, and
+    total domains ever spawned (exposed so tests can prove the pool is
+    reused rather than respawned). *)
+
+val shutdown : unit -> unit
+(** Tear down the global pool; the next parallel call transparently
+    creates a fresh one.  Called automatically [at_exit]. *)

@@ -13,14 +13,15 @@ type worst = Sweep.worst = {
 
 type target = Trees of int | Connected of int | Graphs of Graph.t list
 
-let graphs_of_target ?store = function
-  | Trees n -> Sweep.candidates ?store Sweep.Trees n
-  | Connected n -> Sweep.candidates ?store Sweep.Connected n
+let graphs_of_target ?store ?domains = function
+  | Trees n -> Sweep.candidates ?store ?domains Sweep.Trees n
+  | Connected n -> Sweep.candidates ?store ?domains Sweep.Connected n
   | Graphs graphs -> graphs
 
 let run ?budget ?domains ?store ~concept ~alpha target =
   fst
-    (Sweep.run_cell ?budget ?domains ?store ~concept ~alpha (graphs_of_target ?store target))
+    (Sweep.run_cell ?budget ?domains ?store ~concept ~alpha
+       (graphs_of_target ?store ?domains target))
 
 let fold_worst ?budget ?domains ~concept ~alpha graphs =
   run ?budget ?domains ~concept ~alpha (Graphs graphs)

@@ -138,19 +138,49 @@ let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
 (* Spec execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Parallel iso-dedup enumeration: the edge-mask space splits into
+   contiguous ranges deduped independently over the domain pool and
+   merged in mask order — {!Enumerate.iso_acc_merge} guarantees the
+   merged representatives and their order are exactly the sequential
+   ones, so downstream folds (and journaled family lists) stay
+   bit-identical whatever the domain count. *)
+let connected_iso_par ?domains n =
+  let d =
+    match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
+  in
+  let slots = Enumerate.edge_slots n in
+  if d <= 1 || slots < 12 then Enumerate.connected_graphs_iso n
+  else begin
+    let total = 1 lsl slots in
+    let blocks = d * 8 in
+    let ranges =
+      List.init blocks (fun b ->
+          (b * total / blocks, (b + 1) * total / blocks))
+    in
+    let accs =
+      Parallel.map ~domains:d
+        (fun (lo, hi) -> Enumerate.connected_iso_range n ~lo ~hi)
+        ranges
+    in
+    match accs with
+    | [] -> []
+    | a :: rest ->
+        Enumerate.iso_acc_graphs (List.fold_left Enumerate.iso_acc_merge a rest)
+  end
+
 (* Candidate enumeration, memoised through the store: at small sizes
    enumerating the family costs more than checking it, so a warm run
    must skip enumeration too.  The journaled graph6 list preserves the
    labelled graphs and their order exactly, keeping the fold (and hence
    [worst]) bit-identical to a fresh enumeration. *)
-let candidates ?store family n =
+let candidates ?store ?domains family n =
   match family with
   | Explicit graphs -> graphs
   | Trees | Connected -> (
       let name, enum =
         match family with
         | Trees -> ("trees", Enumerate.free_trees)
-        | Connected -> ("connected", Enumerate.connected_graphs_iso)
+        | Connected -> ("connected", connected_iso_par ?domains)
         | Explicit _ -> assert false
       in
       let key = Printf.sprintf "%s/%d" name n in
@@ -165,7 +195,9 @@ let groups ?store spec =
   match spec.family with
   | Explicit graphs -> [ (0, graphs) ]
   | Trees | Connected ->
-      List.map (fun n -> (n, candidates ?store spec.family n)) spec.sizes
+      List.map
+        (fun n -> (n, candidates ?store ?domains:spec.domains spec.family n))
+        spec.sizes
 
 let run ?store spec =
   let cells =

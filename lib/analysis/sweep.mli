@@ -61,12 +61,15 @@ type totals = {
 
 type outcome = { cells : cell list; totals : totals }
 
-val candidates : ?store:Cert_store.t -> family -> int -> Graph.t list
+val candidates :
+  ?store:Cert_store.t -> ?domains:int -> family -> int -> Graph.t list
 (** The candidate list a family denotes at size [n] ([Explicit] returns
     its list unchanged).  With [?store] the enumeration itself is
     memoised as a journaled graph6 list — order- and labelling-exact, so
     replaying it folds bit-identically — which matters because at sweep
-    sizes enumerating the family can cost more than checking it. *)
+    sizes enumerating the family can cost more than checking it.
+    [Connected] enumeration is deduped across [?domains] edge-mask
+    ranges (merged in mask order, bit-identical to sequential). *)
 
 val run : ?store:Cert_store.t -> spec -> outcome
 (** Executes every (size × concept × α) cell, sizes outermost, α

@@ -1,0 +1,261 @@
+(* See the interface for why this exists.  The suite body is the former
+   [bench/main.ml perf] list, moved here so the CLI regression gate and
+   the bench executable cannot drift apart. *)
+
+open Bechamel
+
+type result = { name : string; ns : float; ols_ns : float; r2 : float; samples : int }
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* The suite                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type fixtures = { workloads : (string * (unit -> unit)) list; teardown : unit -> unit }
+
+let make_fixtures () =
+  let stretched = (Stretched.binary_tree ~d:7 ~k:2).Stretched.graph in
+  let star200 = Gen.star 200 in
+  let tree200 = Gen.random_tree (Random.State.make [| 5 |]) 200 in
+  let tree12 = Gen.random_tree (Random.State.make [| 9 |]) 12 in
+  let fig6 = Counterexamples.figure6.Counterexamples.graph in
+  let bits63 =
+    Bitgraph.of_graph (Gen.random_connected (Random.State.make [| 21 |]) 63 ~p:0.1)
+  in
+  (* The acceptance pair for the certificate store: the same 7-alpha PS
+     sweep over connected graphs on 6 vertices, once against an empty
+     store (pays enumeration + canonicalisation + checking + journaling)
+     and once against a pre-populated one (pays journal load + lookups). *)
+  let sweep_spec =
+    {
+      Sweep.family = Sweep.Connected;
+      sizes = [ 6 ];
+      concepts = [ Concept.PS ];
+      alphas = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ];
+      budget = None;
+      domains = None;
+    }
+  in
+  let cold_runs = ref 0 in
+  let warm_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bncg-bench-warm-%d" (Unix.getpid ()))
+  in
+  rm_rf warm_dir;
+  (let s = Cert_store.open_store warm_dir in
+   ignore (Sweep.run ~store:s sweep_spec);
+   Cert_store.close s);
+  let workloads =
+    [
+      ("bfs n=510 (stretched tree)", fun () -> ignore (Paths.bfs stretched 0));
+      ("apsp n=200 (random tree)", fun () -> ignore (Paths.apsp tree200));
+      ("total_dists rerooting n=510", fun () -> ignore (Tree.total_dists stretched));
+      ("social_cost n=510", fun () -> ignore (Cost.social_cost ~alpha:3. stretched));
+      ("PS check star n=200", fun () -> ignore (Pairwise.check ~alpha:2. star200));
+      ( "BSwE check stretched n=510",
+        fun () -> ignore (Swap_eq.check ~alpha:(7. *. 2. *. 510.) stretched) );
+      ("BNE check figure6 n=10", fun () -> ignore (Neighborhood_eq.check ~alpha:6. fig6));
+      ( "3-BSE tree check n=12",
+        fun () -> ignore (Strong_eq.check_tree ~k:3 ~alpha:4. tree12) );
+      ("free_trees n=10", fun () -> ignore (Enumerate.free_trees 10));
+      ("tree_code n=200", fun () -> ignore (Iso.tree_code tree200));
+      ( "graph6 roundtrip n=200",
+        fun () -> ignore (Encode.of_graph6 (Encode.to_graph6 tree200)) );
+      ("Bitgraph.bfs n=63", fun () -> ignore (Bitgraph.bfs bits63 0));
+      ("Bitgraph.total_dist n=63", fun () -> ignore (Bitgraph.total_dist bits63 0));
+      ( "iter_connected_graphs n=6 (incremental)",
+        fun () ->
+          let count = ref 0 in
+          Enumerate.iter_connected_bitgraphs 6 (fun _ -> incr count);
+          ignore !count );
+      ( "worst_connected n=6 PS sequential",
+        fun () ->
+          ignore (Poa.worst_connected ~domains:1 ~concept:Concept.PS ~alpha:2.0 6) );
+      ( "worst_connected n=6 PS parallel",
+        fun () -> ignore (Poa.worst_connected ~concept:Concept.PS ~alpha:2.0 6) );
+      ( "sweep n=6 PS x7 alphas cold store",
+        fun () ->
+          incr cold_runs;
+          let dir =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "bncg-bench-cold-%d-%d" (Unix.getpid ()) !cold_runs)
+          in
+          let s = Cert_store.open_store dir in
+          ignore (Sweep.run ~store:s sweep_spec);
+          Cert_store.close s;
+          rm_rf dir );
+      ( "sweep n=6 PS x7 alphas warm store",
+        fun () ->
+          let s = Cert_store.open_store warm_dir in
+          ignore (Sweep.run ~store:s sweep_spec);
+          Cert_store.close s );
+    ]
+  in
+  { workloads; teardown = (fun () -> rm_rf warm_dir) }
+
+let names =
+  [
+    "bfs n=510 (stretched tree)"; "apsp n=200 (random tree)";
+    "total_dists rerooting n=510"; "social_cost n=510"; "PS check star n=200";
+    "BSwE check stretched n=510"; "BNE check figure6 n=10"; "3-BSE tree check n=12";
+    "free_trees n=10"; "tree_code n=200"; "graph6 roundtrip n=200"; "Bitgraph.bfs n=63";
+    "Bitgraph.total_dist n=63"; "iter_connected_graphs n=6 (incremental)";
+    "worst_connected n=6 PS sequential"; "worst_connected n=6 PS parallel";
+    "sweep n=6 PS x7 alphas cold store"; "sweep n=6 PS x7 alphas warm store";
+  ]
+
+(* Fast, slow and mid-range coverage in one trio the CI gate can afford. *)
+let smoke_names =
+  [ "Bitgraph.total_dist n=63"; "BSwE check stretched n=510";
+    "worst_connected n=6 PS sequential" ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Mean of the middle 60% of the per-sample time/runs ratios.  A sorted
+   trim is robust against the one-sided contamination that wrecks the
+   OLS fit on nanosecond-scale kernels (a descheduling inflates a few
+   samples by orders of magnitude but never deflates any). *)
+let trimmed_mean ratios =
+  let a = Array.copy ratios in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else begin
+    let cut = n / 5 in
+    let lo = cut and hi = n - cut in
+    let sum = ref 0. in
+    for i = lo to hi - 1 do
+      sum := !sum +. a.(i)
+    done;
+    !sum /. float_of_int (hi - lo)
+  end
+
+let run ?(quota = 0.25) ?(warmup = 2) ?only () =
+  let fx = make_fixtures () in
+  Fun.protect ~finally:fx.teardown @@ fun () ->
+  let selected =
+    match only with
+    | None -> fx.workloads
+    | Some wanted ->
+        List.map
+          (fun w ->
+            match List.assoc_opt w fx.workloads with
+            | Some fn -> (w, fn)
+            | None -> invalid_arg ("Benchkit.run: unknown benchmark " ^ w))
+          wanted
+  in
+  (* unmeasured executions: fault the pages, size the minor heap, fill
+     the lazy caches *)
+  List.iter
+    (fun (_, fn) ->
+      for _ = 1 to warmup do
+        fn ()
+      done)
+    selected;
+  let tests =
+    List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) selected
+  in
+  let grouped = Test.make_grouped ~name:"bncg" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let fits = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let clock_label = Measure.label Toolkit.Instance.monotonic_clock in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name (b : Benchmark.t) ->
+      let ratios =
+        Array.map
+          (fun m -> Measurement_raw.get ~label:clock_label m /. Measurement_raw.run m)
+          b.Benchmark.lr
+      in
+      let ols_ns, r2 =
+        match Hashtbl.find_opt fits name with
+        | None -> (Float.nan, Float.nan)
+        | Some f ->
+            ( (match Analyze.OLS.estimates f with
+              | Some (t :: _) -> t
+              | Some [] | None -> Float.nan),
+              Option.value ~default:Float.nan (Analyze.OLS.r_square f) )
+      in
+      rows :=
+        {
+          name;
+          ns = trimmed_mean ratios;
+          ols_ns;
+          r2;
+          samples = Array.length b.Benchmark.lr;
+        }
+        :: !rows)
+    raw;
+  List.sort (fun a b -> String.compare a.name b.name) !rows
+
+(* ------------------------------------------------------------------ *)
+(* Reporting and regression checking                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_table results =
+  Report.print_table
+    ~header:[ "benchmark"; "time/run"; "ols"; "r^2"; "samples" ]
+    (List.map
+       (fun r ->
+         [
+           r.name; pp_ns r.ns; pp_ns r.ols_ns; Printf.sprintf "%.3f" r.r2;
+           string_of_int r.samples;
+         ])
+       results)
+
+let results_to_json results =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.name);
+             ("ns_per_run", Json.Float r.ns);
+             ("ols_ns", Json.Float r.ols_ns);
+             ("r_square", Json.Float r.r2);
+             ("samples", Json.Int r.samples);
+           ])
+       results)
+
+type regression = { bench : string; baseline_ns : float; fresh_ns : float; ratio : float }
+
+let check_against ~baseline ~tolerance results =
+  let rows = Option.value ~default:[] (Json.as_list baseline) in
+  let baseline_of name =
+    List.find_map
+      (fun row ->
+        match (Json.member "name" row, Json.member "ns_per_run" row) with
+        | Some n, Some v when Json.as_string n = Some name -> Json.as_float v
+        | _ -> None)
+      rows
+  in
+  List.filter_map
+    (fun r ->
+      match baseline_of r.name with
+      | Some base when Float.is_finite base && base > 0. && Float.is_finite r.ns ->
+          let ratio = r.ns /. base in
+          if ratio > 1. +. tolerance then
+            Some { bench = r.name; baseline_ns = base; fresh_ns = r.ns; ratio }
+          else None
+      | _ -> None)
+    results

@@ -1,0 +1,64 @@
+(** The shared microbenchmark suite and its robust runner.
+
+    One definition of the hot-kernel benchmarks serves both entry
+    points: [bench/main.exe perf] (the full table, written to
+    [bench/results.json]) and [bncg perf --check] (regression gate
+    against a committed baseline — see the CI perf-smoke job).
+
+    Two things distinguish the runner from plain Bechamel OLS output:
+
+    - every selected workload is executed a few times {e before}
+      measurement, so allocator warm-up, page faults and lazy fixture
+      state do not land in the first samples;
+    - alongside the OLS slope the runner reports a {e trimmed mean} of
+      the per-sample [time/runs] ratios (20% shaved from each tail).
+      Several kernels run in the tens of nanoseconds, where one context
+      switch per quota ruins a least-squares fit (r² well under 0.5 was
+      observed); the trimmed mean is stable under exactly that kind of
+      contamination, so it is the figure regression checks compare. *)
+
+type result = {
+  name : string;
+  ns : float;  (** trimmed-mean ns per run — the robust headline figure *)
+  ols_ns : float;  (** Bechamel's OLS slope, for comparison *)
+  r2 : float;  (** r² of the OLS fit (of historical interest only) *)
+  samples : int;  (** measurement samples behind both estimates *)
+}
+
+val names : string list
+(** Every benchmark name in the suite, in suite order.  These are the
+    bare names [run]'s [only] expects; reported results (and the
+    baseline file) carry a ["bncg/"] group prefix. *)
+
+val smoke_names : string list
+(** The 3-benchmark subset the CI perf gate runs. *)
+
+val run : ?quota:float -> ?warmup:int -> ?only:string list -> unit -> result list
+(** [run ()] measures the suite and returns one {!result} per workload,
+    sorted by name.  [quota] is seconds of measurement per workload
+    (default [0.25]); [warmup] is the number of unmeasured executions
+    per workload before sampling (default [2]); [only] selects a subset
+    by exact name.
+    @raise Invalid_argument if [only] names an unknown benchmark. *)
+
+val results_to_json : result list -> Json.t
+(** A list of [{"name", "ns_per_run", "ols_ns", "r_square", "samples"}]
+    rows; [ns_per_run] is the trimmed mean. *)
+
+val print_table : result list -> unit
+(** Human-readable table via {!Report.print_table}. *)
+
+type regression = {
+  bench : string;
+  baseline_ns : float;
+  fresh_ns : float;
+  ratio : float;  (** [fresh_ns /. baseline_ns] *)
+}
+
+val check_against : baseline:Json.t -> tolerance:float -> result list -> regression list
+(** [check_against ~baseline ~tolerance results] compares each result
+    with the baseline row of the same name ([ns_per_run] field; rows
+    only on one side, or with non-finite baselines, are skipped) and
+    returns the benchmarks whose ratio exceeds [1. +. tolerance] —
+    empty means no regression.  Old-format baselines (without the
+    trimmed-mean field) are read by the same [ns_per_run] key. *)

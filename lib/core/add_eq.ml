@@ -14,16 +14,39 @@ let gain_within_component dist_u dist_v =
     dist_u;
   !gain
 
-let check ~alpha g =
+(* The check never mutates the graph, so the only thing a distance oracle
+   contributes here is its row cache — which is exactly what makes it
+   worth taking as an argument: {!Pairwise} passes the oracle its RE pass
+   already warmed, and every row RE left valid is free for this pass. *)
+let check_oracle ~alpha g o =
   let size = Graph.n g in
   let exception Found of Move.t in
-  (* Distance rows come from the bit-parallel kernel when the graph fits;
-     Paths is the fallback (and oracle) above Bitgraph.max_n. *)
-  let bg = if size <= Bitgraph.max_n then Some (Bitgraph.of_graph g) else None in
+  try
+    for u = 0 to size - 1 do
+      for v = u + 1 to size - 1 do
+        if not (Graph.has_edge g u v) then begin
+          let du = Dist_oracle.row o u in
+          if du.(v) < 0 then raise (Found (Move.Bilateral_add { u; v }))
+          else begin
+            let dv = Dist_oracle.row o v in
+            if
+              float_of_int (gain_within_component du dv) > alpha
+              && float_of_int (gain_within_component dv du) > alpha
+            then raise (Found (Move.Bilateral_add { u; v }))
+          end
+        end
+      done
+    done;
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let check_bits ~alpha g =
+  let size = Graph.n g in
+  let exception Found of Move.t in
+  let bg = Bitgraph.of_graph g in
   let dist = Array.make size [||] in
   let bfs u =
-    if dist.(u) = [||] && size > 0 then
-      dist.(u) <- (match bg with Some b -> Bitgraph.bfs b u | None -> Paths.bfs g u);
+    if dist.(u) = [||] && size > 0 then dist.(u) <- Bitgraph.bfs bg u;
     dist.(u)
   in
   try
@@ -44,5 +67,9 @@ let check ~alpha g =
     done;
     Verdict.Stable
   with Found m -> Verdict.Unstable m
+
+let check ~alpha g =
+  if Graph.n g <= Bitgraph.max_n then check_bits ~alpha g
+  else check_oracle ~alpha g (Dist_oracle.create g)
 
 let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

@@ -6,4 +6,9 @@
 val check : alpha:float -> Graph.t -> Verdict.t
 (** [check ~alpha g] never answers [Exhausted]. *)
 
+val check_oracle : alpha:float -> Graph.t -> Dist_oracle.t -> Verdict.t
+(** [check_oracle ~alpha g o] is [check] reading its distance rows from
+    [o], which must be an oracle for [g] (left unmutated).  Bit-identical
+    to [check]; the point is sharing a warmed row cache. *)
+
 val is_stable : alpha:float -> Graph.t -> bool

@@ -26,11 +26,16 @@ let iter_subsets items ~max_size ~budget f =
     choose size 0 []
   done
 
-let check_agent_inner ~alpha ~budget_left g u =
+(* [oracle] must represent [g] and is returned pristine: every candidate
+   move is priced by flipping its edges on the oracle, reading the cached
+   totals, and flipping back.  [before_cost] memoises agent costs on the
+   intact graph; it must only be called while the oracle is pristine,
+   which [evaluate] guarantees by forcing baselines before it flips. *)
+let check_agent_inner ~alpha ~budget_left ~oracle ~before_cost g u =
   let size = Graph.n g in
   let connected = Paths.is_connected g in
   let is_tree = Tree.is_tree g in
-  let dist_u = Paths.total_dist g u in
+  let dist_u = Dist_oracle.total_dist oracle u in
   (* Partners that could ever consent to one extra edge in a move centred
      elsewhere (paper's consent bound); only valid with full
      reachability. *)
@@ -74,11 +79,20 @@ let check_agent_inner ~alpha ~budget_left g u =
     else begin
       decr budget;
       if !budget < 0 then raise Out_of_budget;
-      let m = Move.Neighborhood { agent = u; drop; add } in
-      let g' = Move.apply g m in
-      if Delta.improves ~alpha ~before:g ~after:g' u then
-        if List.for_all (fun a -> Delta.improves ~alpha ~before:g ~after:g' a) add then
-          raise (Found m)
+      let bu = before_cost u in
+      let badds = List.map (fun a -> (a, before_cost a)) add in
+      List.iter (fun v -> Dist_oracle.remove_edge oracle u v) drop;
+      List.iter (fun a -> Dist_oracle.add_edge oracle u a) add;
+      let ok =
+        Cost.strictly_less (Cost.agent_cost_oracle ~alpha oracle u) bu
+        && List.for_all
+             (fun (a, ba) ->
+               Cost.strictly_less (Cost.agent_cost_oracle ~alpha oracle a) ba)
+             badds
+      in
+      List.iter (fun a -> Dist_oracle.remove_edge oracle u a) add;
+      List.iter (fun v -> Dist_oracle.add_edge oracle u v) drop;
+      if ok then raise (Found (Move.Neighborhood { agent = u; drop; add }))
     end
   in
   (* Enumerate A first (usually heavily pruned), then R. *)
@@ -98,8 +112,28 @@ let check_agent_inner ~alpha ~budget_left g u =
           if List.length add <= List.length drop + net_cap then evaluate drop add));
   !budget
 
+(* One oracle and one baseline memo per check: moves are always undone,
+   so the oracle is pristine between evaluations and the memoised costs
+   stay valid across agents. *)
+let make_eval_ctx g =
+  let oracle = Dist_oracle.create g in
+  let before = Array.make (max (Graph.n g) 1) None in
+  let before_cost ~alpha u =
+    match before.(u) with
+    | Some c -> c
+    | None ->
+        let c = Cost.agent_cost_oracle ~alpha oracle u in
+        before.(u) <- Some c;
+        c
+  in
+  (oracle, before_cost)
+
 let check_agent ?(budget = default_budget) ~alpha g u =
-  match check_agent_inner ~alpha ~budget_left:budget g u with
+  let oracle, before_cost = make_eval_ctx g in
+  match
+    check_agent_inner ~alpha ~budget_left:budget ~oracle
+      ~before_cost:(before_cost ~alpha) g u
+  with
   | _ -> Verdict.Stable
   | exception Found m -> Verdict.Unstable m
   | exception Out_of_budget ->
@@ -112,12 +146,14 @@ let check ?(budget = default_budget) ~alpha g =
      [Unstable] answer. *)
   let size = Graph.n g in
   let per_agent = if size = 0 then budget else max 2_000 (budget / size) in
+  let oracle, before_cost = make_eval_ctx g in
+  let before_cost = before_cost ~alpha in
   let exhausted = ref None in
   let rec go u =
     if u >= size then
       match !exhausted with None -> Verdict.Stable | Some why -> Verdict.Exhausted why
     else
-      match check_agent_inner ~alpha ~budget_left:per_agent g u with
+      match check_agent_inner ~alpha ~budget_left:per_agent ~oracle ~before_cost g u with
       | _left -> go (u + 1)
       | exception Found m -> Verdict.Unstable m
       | exception Out_of_budget ->

@@ -1,9 +1,17 @@
 (* PS = RE ∧ BAE.  Both constituents route their distance queries through
-   the bit-parallel kernel for n <= Bitgraph.max_n, so this composition
-   inherits the fast path. *)
+   the bit-parallel kernel for n <= Bitgraph.max_n.  Above that size the
+   two passes share one {!Dist_oracle}: the RE pass flips each edge out
+   and back, keeping every row the deletions provably cannot change, so
+   the BAE pass starts with most of its distance rows already cached. *)
 let check ~alpha g =
-  match Remove_eq.check ~alpha g with
-  | Verdict.Stable -> Add_eq.check ~alpha g
-  | v -> v
+  if Graph.n g <= Bitgraph.max_n then
+    match Remove_eq.check ~alpha g with
+    | Verdict.Stable -> Add_eq.check ~alpha g
+    | v -> v
+  else
+    let o = Dist_oracle.create g in
+    match Remove_eq.check_oracle ~alpha g o with
+    | Verdict.Stable -> Add_eq.check_oracle ~alpha g o
+    | v -> v
 
 let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

@@ -5,9 +5,9 @@
 
    Graphs that fit the bit-parallel kernel (n <= Bitgraph.max_n) are
    checked on a single mutable bitgraph — remove, two word-BFS distance
-   sums, re-add — with Paths as the fallback and the oracle above that
-   size.  Both paths compare the same exact costs in the same edge order,
-   so they return identical verdicts and witnesses. *)
+   sums, re-add — with an incremental {!Dist_oracle} above that size.
+   Both paths compare the same exact costs in the same edge order, so
+   they return identical verdicts and witnesses. *)
 
 let check_bits ~alpha g =
   let exception Found of Move.t in
@@ -46,23 +46,42 @@ let check_bits ~alpha g =
     Verdict.Stable
   with Found m -> Verdict.Unstable m
 
-let check_generic ~alpha g =
+(* Generic path over a shared distance oracle: remove, two cached
+   totals, re-add.  The oracle keeps rows whose distances the removal
+   provably cannot change (tightness + alternate-parent tests), so for
+   most edges of a large graph neither endpoint pays a BFS.  [oracle]
+   must represent [g]; callers such as {!Pairwise} pass one oracle
+   through several checkers to share the row cache. *)
+let check_oracle ~alpha g o =
   let exception Found of Move.t in
+  let size = Graph.n g in
+  let before = Array.make (max size 1) None in
+  let before_cost u =
+    match before.(u) with
+    | Some c -> c
+    | None ->
+        let c = Cost.agent_cost_oracle ~alpha o u in
+        before.(u) <- Some c;
+        c
+  in
   try
     List.iter
       (fun (u, v) ->
-        let g' = Graph.remove_edge g u v in
-        let try_agent agent =
-          if Delta.improves ~alpha ~before:g ~after:g' agent then
+        let bu = before_cost u and bv = before_cost v in
+        Dist_oracle.remove_edge o u v;
+        let try_agent agent b =
+          if Cost.strictly_less (Cost.agent_cost_oracle ~alpha o agent) b then
             raise (Found (Move.Remove { agent; target = (if agent = u then v else u) }))
         in
-        try_agent u;
-        try_agent v)
+        try_agent u bu;
+        try_agent v bv;
+        Dist_oracle.add_edge o u v)
       (Graph.edges g);
     Verdict.Stable
   with Found m -> Verdict.Unstable m
 
 let check ~alpha g =
-  if Graph.n g <= Bitgraph.max_n then check_bits ~alpha g else check_generic ~alpha g
+  if Graph.n g <= Bitgraph.max_n then check_bits ~alpha g
+  else check_oracle ~alpha g (Dist_oracle.create g)
 
 let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)

@@ -5,4 +5,10 @@
 val check : alpha:float -> Graph.t -> Verdict.t
 (** [check ~alpha g] never answers [Exhausted]. *)
 
+val check_oracle : alpha:float -> Graph.t -> Dist_oracle.t -> Verdict.t
+(** [check_oracle ~alpha g o] is [check] evaluated over [o], which must
+    be an oracle for [g]; [o] is returned in its original state.  Lets
+    callers (e.g. {!Pairwise}) share one oracle's row cache across
+    several checkers.  Bit-identical to [check]. *)
+
 val is_stable : alpha:float -> Graph.t -> bool

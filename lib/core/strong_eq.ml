@@ -20,16 +20,34 @@ let min_possible_cost ~alpha n =
     let at d = (float_of_int d *. (alpha -. 1.)) +. (2. *. float_of_int (n - 1)) in
     min (at 1) (at (n - 1))
 
-(* Agents that could conceivably benefit from some coalition move. *)
-let eligible_members ~alpha g =
-  let size = Graph.n g in
+(* Agents that could conceivably benefit from some coalition move.
+   [cost] prices an agent on the intact graph; routing it through the
+   shared oracle below warms the very rows the coalition evaluations
+   read. *)
+let eligible_members ~alpha ~cost size =
   let floor_cost = min_possible_cost ~alpha size in
   let out = ref [] in
   for u = size - 1 downto 0 do
-    let c = Cost.agent_cost ~alpha g u in
+    let c = cost u in
     if c.Cost.unreachable > 0 || Cost.money c > floor_cost +. 1e-9 then out := u :: !out
   done;
   !out
+
+(* One oracle and one baseline memo per search: every coalition move is
+   priced as flip / read / unflip, so the oracle is pristine between
+   evaluations and the memoised intact-graph costs stay valid. *)
+let make_eval_ctx ~alpha g =
+  let oracle = Dist_oracle.create g in
+  let before = Array.make (max (Graph.n g) 1) None in
+  let before_cost u =
+    match before.(u) with
+    | Some c -> c
+    | None ->
+        let c = Cost.agent_cost_oracle ~alpha oracle u in
+        before.(u) <- Some c;
+        c
+  in
+  (oracle, before_cost)
 
 (* Enumerate subsets of [items] with size in [1 .. max_size] (or from 0
    when [allow_empty]), smallest sizes first (improving coalition moves
@@ -71,8 +89,23 @@ let iter_combinations pool k f =
 
 let mem x xs = List.exists (Int.equal x) xs
 
-let move_improves_all ~alpha ~before ~after members =
-  List.for_all (fun u -> Delta.improves ~alpha ~before ~after u) members
+(* Exact evaluation of the coalition move (A, R) on the oracle: baselines
+   are forced first (while the oracle is pristine), then the move is
+   applied, each member priced from the cached totals, and the move
+   undone.  Identical values to rebuilding the graph, without the
+   per-member BFS. *)
+let move_improves_all_oracle ~alpha oracle before_cost members ~remove ~add =
+  let baselines = List.map (fun u -> (u, before_cost u)) members in
+  List.iter (fun (a, b) -> Dist_oracle.remove_edge oracle a b) remove;
+  List.iter (fun (a, b) -> Dist_oracle.add_edge oracle a b) add;
+  let ok =
+    List.for_all
+      (fun (u, bu) -> Cost.strictly_less (Cost.agent_cost_oracle ~alpha oracle u) bu)
+      baselines
+  in
+  List.iter (fun (a, b) -> Dist_oracle.remove_edge oracle a b) add;
+  List.iter (fun (a, b) -> Dist_oracle.add_edge oracle a b) remove;
+  ok
 
 (* Every member must touch the move: passive members reduce to a smaller
    coalition, which is (or will be) checked separately. *)
@@ -226,6 +259,7 @@ let check_tree ?(budget = default_budget) ~k ~alpha g =
   let rooted = if size > 0 then Some (Tree.root_at g 0) else None in
   let budget = ref budget in
   let exhausted = ref false in
+  let oracle, before_cost = make_eval_ctx ~alpha g in
   let try_coalition members =
     match rooted with
     | None -> ()
@@ -249,13 +283,11 @@ let check_tree ?(budget = default_budget) ~k ~alpha g =
             in
             iter_subsets ~allow_empty:true removable ~max_size:(List.length add) ~budget
               (fun remove ->
-                if all_members_active members ~remove ~add then begin
-                  let g' = Graph.apply g ~add ~remove in
-                  if move_improves_all ~alpha ~before:g ~after:g' members then
-                    raise (Found (Move.Coalition { members; remove; add }))
-                end))
+                if all_members_active members ~remove ~add then
+                  if move_improves_all_oracle ~alpha oracle before_cost members ~remove ~add
+                  then raise (Found (Move.Coalition { members; remove; add }))))
   in
-  let eligible = eligible_members ~alpha g in
+  let eligible = eligible_members ~alpha ~cost:before_cost size in
   match
     for csize = 2 to min k size do
       iter_combinations eligible csize (fun members ->
@@ -275,6 +307,7 @@ let check_budgeted ?(budget = default_budget) ~k ~alpha g =
   let size = Graph.n g in
   let budget = ref budget in
   let exhausted = ref false in
+  let oracle, before_cost = make_eval_ctx ~alpha g in
   let try_coalition members =
     let non_edges_inside =
       List.concat_map
@@ -295,13 +328,11 @@ let check_budgeted ?(budget = default_budget) ~k ~alpha g =
         iter_subsets ~allow_empty:true removable ~max_size:(List.length removable) ~budget
           (fun remove ->
             if (add <> [] || remove <> []) && all_members_active members ~remove ~add
-            then begin
-              let g' = Graph.apply g ~add ~remove in
-              if move_improves_all ~alpha ~before:g ~after:g' members then
-                raise (Found (Move.Coalition { members; remove; add }))
-            end))
+            then
+              if move_improves_all_oracle ~alpha oracle before_cost members ~remove ~add
+              then raise (Found (Move.Coalition { members; remove; add }))))
   in
-  let eligible = eligible_members ~alpha g in
+  let eligible = eligible_members ~alpha ~cost:before_cost size in
   match
     for csize = 1 to min k size do
       iter_combinations eligible csize (fun members ->
@@ -332,7 +363,8 @@ let falsify_random ~rng ~iterations ~k ~alpha g =
   let size = Graph.n g in
   if size < 2 then Not_refuted
   else begin
-    let eligible = Array.of_list (eligible_members ~alpha g) in
+    let oracle, before_cost = make_eval_ctx ~alpha g in
+    let eligible = Array.of_list (eligible_members ~alpha ~cost:before_cost size) in
     let pool = Array.length eligible in
     if pool < 2 then Not_refuted
     else begin
@@ -368,11 +400,9 @@ let falsify_random ~rng ~iterations ~k ~alpha g =
             |> List.filter (fun e -> not (List.mem e bridge_set))
           in
           let remove = List.filter (fun _ -> Random.State.bool rng) removable in
-          if all_members_active members ~remove ~add then begin
-            let g' = Graph.apply g ~add ~remove in
-            if move_improves_all ~alpha ~before:g ~after:g' members then
-              result := Refuted (Move.Coalition { members; remove; add })
-          end
+          if all_members_active members ~remove ~add then
+            if move_improves_all_oracle ~alpha oracle before_cost members ~remove ~add
+            then result := Refuted (Move.Coalition { members; remove; add })
         end
       end
     in

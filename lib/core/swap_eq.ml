@@ -1,37 +1,55 @@
 (* The swap G − uv + uw must strictly improve both u (distance only; her
    degree is unchanged) and w (distance gain strictly above α, since she
-   pays for the new edge).  Two sound prunes keep large instances fast:
+   pays for the new edge).  Three sound prunes keep large instances fast:
 
    - w's swap gain is at most (dist(u,w) − 1)(n − 1): every shortened path
      enters through the new edge uw;
    - w's swap gain is at most her gain from *adding* uw without the
      removal, which has the closed form Σ_x max 0 (d(w,x) − 1 − d(u,x))
-     on the original graph (an O(n) scan over cached BFS rows).
+     on the original graph (an O(n) scan over cached BFS rows);
+   - that add-gain is n-Lipschitz in u: per target x,
+     |max 0 (d(w,x)−1−d(u,x)) − max 0 (d(w,x)−1−d(u',x))| ≤ d(u,u'), so
+     on connected graphs the last scanned (u', gain) pair per w bounds
+     gain(u,w) by gain(u',w) + n·d(u,u') and most scans never run.  The
+     skip fires only when the scan itself would conclude ineligible, so
+     verdicts and witnesses are unchanged.
 
-   Only candidates surviving both prunes pay for BFS evaluation.  When w is
-   unreachable from u the prunes are skipped (the swap may repair
+   Only candidates surviving the prunes pay for exact evaluation.  When w
+   is unreachable from u the prunes are skipped (the swap may repair
    connectivity) and the exact cost comparison decides.
 
    For n <= Bitgraph.max_n the BFS rows and the surviving candidates'
    exact evaluations run on one mutable bitgraph (apply the swap, two
-   word-BFS sums, undo); the persistent-graph path remains the fallback
-   and the oracle.  Baseline costs and BFS rows are always taken while the
-   bitgraph is in its original state. *)
+   word-BFS sums, undo).  Above that size a {!Dist_oracle} holds the rows
+   and evaluates each candidate incrementally — remove uv, add uw, two
+   cached totals, undo — instead of rebuilding the graph and re-running
+   BFS.  Baseline costs and BFS rows are always taken while the mutable
+   structure is in its original state. *)
 
 let check ~alpha g =
   let size = Graph.n g in
   let exception Found of Move.t in
   let bg = if size <= Bitgraph.max_n then Some (Bitgraph.of_graph g) else None in
-  let rows =
-    Array.init size (fun u ->
-        lazy (match bg with Some b -> Bitgraph.bfs b u | None -> Paths.bfs g u))
+  let oracle = match bg with Some _ -> None | None -> Some (Dist_oracle.create g) in
+  let bits_rows =
+    match bg with
+    | Some b -> Array.init size (fun u -> lazy (Bitgraph.bfs b u))
+    | None -> [||]
+  in
+  (* Oracle rows are borrowed live buffers, so the generic path re-asks
+     the oracle on every use (a cached row costs an array read) instead of
+     memoising the pointer across evaluations that flip edges. *)
+  let row u =
+    match oracle with
+    | Some o -> Dist_oracle.row o u
+    | None -> Lazy.force bits_rows.(u)
   in
   let baseline u =
     match bg with
     | Some b ->
         Cost.agent_cost_of_parts ~alpha ~degree:(Bitgraph.degree b u)
           ~total:(Bitgraph.total_dist b u)
-    | None -> Cost.agent_cost ~alpha g u
+    | None -> Cost.agent_cost_oracle ~alpha (Option.get oracle) u
   in
   let before = Array.init size (fun u -> lazy (baseline u)) in
   let add_gain_bound du dw =
@@ -41,12 +59,19 @@ let check ~alpha g =
     done;
     !gain
   in
+  (* Lipschitz cache: last scanned u and its add-gain, per w.  Only
+     consulted on connected graphs — unreachable pairs break the per-x
+     inequality. *)
+  let connected = size <= 1 || Paths.is_connected g in
+  let last_u = Array.make (max size 1) (-1) in
+  let last_gain = Array.make (max size 1) 0 in
   (* Exact evaluation of the swap u: −v +w, both agents.  The baselines
-     are forced first so the bitgraph is unmutated when they compute. *)
+     are forced first so the mutable structure is unmutated when they
+     compute. *)
   let swap_improves_both u v w =
     let bu = Lazy.force before.(u) and bw = Lazy.force before.(w) in
-    match bg with
-    | Some b ->
+    match (bg, oracle) with
+    | Some b, _ ->
         Bitgraph.remove_edge b u v;
         Bitgraph.add_edge b u w;
         let au =
@@ -65,15 +90,22 @@ let check ~alpha g =
         Bitgraph.remove_edge b u w;
         Bitgraph.add_edge b u v;
         ok
-    | None ->
-        let g' = Graph.add_edge (Graph.remove_edge g u v) u w in
-        Cost.strictly_less (Cost.agent_cost ~alpha g' u) bu
-        && Cost.strictly_less (Cost.agent_cost ~alpha g' w) bw
+    | None, Some o ->
+        Dist_oracle.remove_edge o u v;
+        Dist_oracle.add_edge o u w;
+        let ok =
+          Cost.strictly_less (Cost.agent_cost_oracle ~alpha o u) bu
+          && Cost.strictly_less (Cost.agent_cost_oracle ~alpha o w) bw
+        in
+        Dist_oracle.remove_edge o u w;
+        Dist_oracle.add_edge o u v;
+        ok
+    | None, None -> assert false
   in
   try
     for u = 0 to size - 1 do
       if Graph.degree g u > 0 then begin
-        let du = Lazy.force rows.(u) in
+        let du = row u in
         (* Swap partners that could conceivably gain more than α —
            independent of which edge u drops, so computed once per u. *)
         let partners = ref [] in
@@ -82,9 +114,18 @@ let check ~alpha g =
             let eligible =
               if du.(w) < 0 then true
               else if float_of_int ((du.(w) - 1) * (size - 1)) <= alpha then false
-              else
-                let dw = Lazy.force rows.(w) in
-                float_of_int (add_gain_bound du dw) > alpha
+              else if
+                connected
+                && last_u.(w) >= 0
+                && float_of_int (last_gain.(w) + (size * du.(last_u.(w)))) <= alpha
+              then false
+              else begin
+                let dw = row w in
+                let gain = add_gain_bound du dw in
+                last_u.(w) <- u;
+                last_gain.(w) <- gain;
+                float_of_int gain > alpha
+              end
             in
             if eligible then partners := w :: !partners
           end

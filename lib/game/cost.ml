@@ -19,6 +19,14 @@ let agent_cost ~alpha g u =
   (* total_dist counts dist(u,u) = 0, matching the paper's dist(u). *)
   agent_cost_of_parts ~alpha ~degree:(Graph.degree g u) ~total:(Paths.total_dist g u)
 
+(* Same cost on the oracle's current graph: O(1) once the row is cached,
+   and still exact across edge flips — this is what lets the checkers
+   evaluate a move as flip / read / unflip instead of rebuilding the
+   graph and re-running BFS. *)
+let agent_cost_oracle ~alpha o u =
+  agent_cost_of_parts ~alpha ~degree:(Dist_oracle.degree o u)
+    ~total:(Dist_oracle.total_dist o u)
+
 type social = { disconnected_pairs : int; social_buy : float; social_dist : int }
 
 let social_money s = s.social_buy +. float_of_int s.social_dist

@@ -35,6 +35,11 @@ val agent_cost : alpha:float -> Graph.t -> int -> agent
 val agent_cost_of_parts : alpha:float -> degree:int -> total:Paths.total -> agent
 (** Assemble an agent cost from a precomputed degree and distance total. *)
 
+val agent_cost_oracle : alpha:float -> Dist_oracle.t -> int -> agent
+(** [agent_cost_oracle ~alpha o u] is {!agent_cost} on the oracle's
+    current graph — O(1) when [u]'s row is cached, and exact across edge
+    flips, so checkers can price a move as flip / read / unflip. *)
+
 type social = {
   disconnected_pairs : int;  (** ordered pairs [(u,v)] with [v] unreachable *)
   social_buy : float;  (** [Σ_u α · deg(u) = 2 α m] *)

@@ -89,6 +89,15 @@ val invariant : t -> string
     isomorphism — the bit-level counterpart of {!Iso.fingerprint}, used
     to keep iso-dedup buckets small during enumeration. *)
 
+val fingerprint : ?scratch:int array -> t -> int
+(** Hashed isomorphism-invariant: per-vertex (degree, neighbour-degree
+    sums, triangle count) codes sorted and mixed with [n] and [m] into a
+    single non-negative [int], allocation-free when [?scratch] (length
+    [>= 2n]) is supplied — on return [scratch.(u)] holds [degree t u],
+    which callers on the dedup hot path reuse.  Isomorphic graphs get
+    equal fingerprints; unequal graphs may collide (it is a hash, and
+    weaker than {!invariant}), so confirm with {!isomorphic}. *)
+
 val isomorphic : t -> t -> bool
 (** Exact isomorphism by backtracking with degree pruning, all adjacency
     probes on bitmask words.  Exponential worst case; intended for the

@@ -1,0 +1,275 @@
+(* Incremental all-pairs distances under single edge flips.
+
+   One distance row per source, computed lazily by scratch BFS and kept
+   exact across flips by locality arguments (see the interface):
+
+   - additions repair affected rows with a bounded relaxation BFS that
+     visits only strictly improved entries — the predecessor of any
+     improved vertex on a new shortest path is itself improved, so the
+     improved region is BFS-connected to the far endpoint and nothing
+     outside it needs looking at;
+   - deletions can only invalidate: there is no monotone repair when
+     distances grow, so rows that fail the tightness and
+     alternate-parent tests turn lazy and pay a scratch BFS on their
+     next read, which a checker that never re-reads them never pays.
+
+   Per-row sums and unreachable counts ride along with every repair, so
+   [total_dist] — the quantity every checker actually folds over — is
+   O(1) on a cached row. *)
+
+type stats = { scratch : int; relaxed : int; kept : int; dropped : int }
+
+type t = {
+  n : int;
+  damage : float;
+  bits : Bitgraph.t option; (* mirror for word-parallel scratch BFS *)
+  adj : int list array;
+  deg : int array;
+  rows : int array array; (* [||] until first use *)
+  valid : bool array;
+  sum : int array; (* finite-distance sum per valid row *)
+  unreach : int array; (* unreachable count per valid row *)
+  queue : int array; (* BFS / relaxation worklist *)
+  work : int array; (* affected-row collection for additions *)
+  mutable s_scratch : int;
+  mutable s_relaxed : int;
+  mutable s_kept : int;
+  mutable s_dropped : int;
+}
+
+let create ?(damage = 0.25) g =
+  let size = Graph.n g in
+  {
+    n = size;
+    damage;
+    bits = (if size <= Bitgraph.max_n then Some (Bitgraph.of_graph g) else None);
+    adj = Array.init size (fun u -> Array.to_list (Graph.neighbors g u));
+    deg = Array.init size (Graph.degree g);
+    rows = Array.make (max 1 size) [||];
+    valid = Array.make (max 1 size) false;
+    sum = Array.make (max 1 size) 0;
+    unreach = Array.make (max 1 size) 0;
+    queue = Array.make (max 1 size) 0;
+    work = Array.make (max 1 size) 0;
+    s_scratch = 0;
+    s_relaxed = 0;
+    s_kept = 0;
+    s_dropped = 0;
+  }
+
+let n t = t.n
+let degree t u = t.deg.(u)
+let has_edge t u v = List.mem v t.adj.(u)
+
+let stats t =
+  { scratch = t.s_scratch; relaxed = t.s_relaxed; kept = t.s_kept; dropped = t.s_dropped }
+
+let check_edge t u v fname =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n || u = v then
+    invalid_arg ("Dist_oracle." ^ fname ^ ": bad endpoints")
+
+(* ------------------------------------------------------------------ *)
+(* Scratch BFS                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let scratch_bfs t x =
+  let row =
+    if Array.length t.rows.(x) = t.n then t.rows.(x)
+    else begin
+      let r = Array.make t.n (-1) in
+      t.rows.(x) <- r;
+      r
+    end
+  in
+  Array.fill row 0 t.n (-1);
+  row.(x) <- 0;
+  let sum = ref 0 and reached = ref 1 in
+  (match t.bits with
+  | Some bg ->
+      (* word-parallel level expansion: one OR per frontier vertex *)
+      let visited = ref (1 lsl x) and frontier = ref (1 lsl x) in
+      let level = ref 0 in
+      while !frontier <> 0 do
+        let next = ref 0 in
+        let m = ref !frontier in
+        while !m <> 0 do
+          let y = Bitgraph.lowest_bit !m in
+          m := !m land (!m - 1);
+          next := !next lor Bitgraph.neighbor_mask bg y
+        done;
+        let next = !next land lnot !visited in
+        incr level;
+        let m = ref next in
+        while !m <> 0 do
+          let z = Bitgraph.lowest_bit !m in
+          m := !m land (!m - 1);
+          row.(z) <- !level
+        done;
+        let c = Bitgraph.popcount next in
+        sum := !sum + (c * !level);
+        reached := !reached + c;
+        visited := !visited lor next;
+        frontier := next
+      done
+  | None ->
+      let q = t.queue in
+      q.(0) <- x;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let y = q.(!head) in
+        incr head;
+        let dy = row.(y) in
+        List.iter
+          (fun z ->
+            if row.(z) < 0 then begin
+              row.(z) <- dy + 1;
+              sum := !sum + dy + 1;
+              incr reached;
+              q.(!tail) <- z;
+              incr tail
+            end)
+          t.adj.(y)
+      done);
+  t.sum.(x) <- !sum;
+  t.unreach.(x) <- t.n - !reached;
+  t.valid.(x) <- true;
+  t.s_scratch <- t.s_scratch + 1
+
+let ensure t x = if not t.valid.(x) then scratch_bfs t x
+
+let row t u =
+  ensure t u;
+  t.rows.(u)
+
+let dist t u v =
+  ensure t u;
+  t.rows.(u).(v)
+
+let total_dist t u =
+  ensure t u;
+  { Paths.unreachable = t.unreach.(u); sum = t.sum.(u) }
+
+let to_graph t =
+  let es = ref [] in
+  for u = 0 to t.n - 1 do
+    List.iter (fun v -> if u < v then es := (u, v) :: !es) t.adj.(u)
+  done;
+  Graph.of_edges t.n !es
+
+(* ------------------------------------------------------------------ *)
+(* Addition                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Repair one affected row after adding edge [uv]: seed the far endpoint
+   at d(x,near)+1 and BFS outward through strictly improved vertices
+   only.  Runs on the already-updated adjacency. *)
+let relax_row t x u v =
+  let row = t.rows.(x) in
+  let du = row.(u) and dv = row.(v) in
+  let near_d, far =
+    if dv < 0 || (du >= 0 && du <= dv) then (du, v) else (dv, u)
+  in
+  let seed = near_d + 1 in
+  let improve z tz =
+    let old = row.(z) in
+    row.(z) <- tz;
+    if old < 0 then begin
+      t.unreach.(x) <- t.unreach.(x) - 1;
+      t.sum.(x) <- t.sum.(x) + tz
+    end
+    else t.sum.(x) <- t.sum.(x) + tz - old
+  in
+  let far_d = row.(far) in
+  if far_d < 0 || seed < far_d then begin
+    improve far seed;
+    let q = t.queue in
+    q.(0) <- far;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let y = q.(!head) in
+      incr head;
+      let ty = row.(y) + 1 in
+      List.iter
+        (fun z ->
+          let dz = row.(z) in
+          if dz < 0 || ty < dz then begin
+            improve z ty;
+            q.(!tail) <- z;
+            incr tail
+          end)
+        t.adj.(y)
+    done
+  end;
+  t.s_relaxed <- t.s_relaxed + 1
+
+let add_edge t u v =
+  check_edge t u v "add_edge";
+  if has_edge t u v then invalid_arg "Dist_oracle.add_edge: edge present";
+  (* affected sources, read off each row's own entries (pre-add): the new
+     edge can improve row x only if its endpoint distances differ by more
+     than one, or exactly one endpoint is reachable *)
+  let affected = ref 0 in
+  for x = 0 to t.n - 1 do
+    if t.valid.(x) then begin
+      let row = t.rows.(x) in
+      let du = row.(u) and dv = row.(v) in
+      if
+        (if du < 0 then dv >= 0
+         else if dv < 0 then true
+         else du - dv > 1 || dv - du > 1)
+      then begin
+        t.work.(!affected) <- x;
+        incr affected
+      end
+    end
+  done;
+  t.adj.(u) <- v :: t.adj.(u);
+  t.adj.(v) <- u :: t.adj.(v);
+  t.deg.(u) <- t.deg.(u) + 1;
+  t.deg.(v) <- t.deg.(v) + 1;
+  Option.iter (fun bg -> Bitgraph.add_edge bg u v) t.bits;
+  if float_of_int !affected > t.damage *. float_of_int t.n then
+    for i = 0 to !affected - 1 do
+      t.valid.(t.work.(i)) <- false;
+      t.s_dropped <- t.s_dropped + 1
+    done
+  else
+    for i = 0 to !affected - 1 do
+      relax_row t t.work.(i) u v
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let remove_edge t u v =
+  check_edge t u v "remove_edge";
+  if not (has_edge t u v) then invalid_arg "Dist_oracle.remove_edge: edge absent";
+  for x = 0 to t.n - 1 do
+    if t.valid.(x) then begin
+      let row = t.rows.(x) in
+      let du = row.(u) and dv = row.(v) in
+      (* u and v are adjacent, so from any x both are reachable or
+         neither is, and finite distances differ by at most one *)
+      if du = dv then t.s_kept <- t.s_kept + 1
+      else begin
+        let near, far = if du < dv then (u, v) else (v, u) in
+        let dfar = row.(far) in
+        (* alternate parent: far keeps another neighbour on the same BFS
+           level boundary, so every shortest path from x reroutes *)
+        let saved =
+          List.exists (fun w -> w <> near && row.(w) = dfar - 1) t.adj.(far)
+        in
+        if saved then t.s_kept <- t.s_kept + 1
+        else begin
+          t.valid.(x) <- false;
+          t.s_dropped <- t.s_dropped + 1
+        end
+      end
+    end
+  done;
+  t.adj.(u) <- List.filter (fun w -> w <> v) t.adj.(u);
+  t.adj.(v) <- List.filter (fun w -> w <> u) t.adj.(v);
+  t.deg.(u) <- t.deg.(u) - 1;
+  t.deg.(v) <- t.deg.(v) - 1;
+  Option.iter (fun bg -> Bitgraph.remove_edge bg u v) t.bits

@@ -1,0 +1,82 @@
+(** Incremental all-pairs distance oracle for move evaluation.
+
+    Every equilibrium checker evaluates candidate moves by flipping one
+    edge and re-reading distances; recomputing BFS from scratch after
+    each flip costs O(n·m) even though a single add/delete perturbs only
+    a sliver of the distance matrix.  This oracle keeps one distance row
+    per source, filled lazily by scratch BFS (word-parallel through
+    {!Bitgraph} for n ≤ 63) and maintained {e incrementally} under edge
+    flips:
+
+    - {b add u v}: a source row [x] can only improve when its distances
+      to the endpoints differ by more than one ([|d(x,u) - d(x,v)| > 1],
+      counting unreachable as infinite) — otherwise the triangle
+      inequality already covers the new edge.  Affected rows are
+      repaired by a bounded relaxation BFS seeded at the far endpoint
+      with [d(x,near) + 1], touching only strictly improved entries.
+    - {b remove u v}: a row [x] can only change when the edge lies on
+      some shortest path from [x], i.e. [|d(x,u) - d(x,v)| = 1] (the
+      tightness test).  Even then, if the far endpoint retains another
+      neighbour [w] with [d(x,w) = d(x,far) - 1], every shortest path
+      reroutes through [w] and the row is provably unchanged (the
+      alternate-parent test).  Remaining rows are invalidated and
+      recomputed by scratch BFS on demand — deletions, unlike additions,
+      admit no monotone relaxation.
+
+    When an addition affects more than [damage · n] of the valid rows,
+    the oracle invalidates them instead of relaxing (the scratch-BFS
+    fallback); every path yields distances bit-identical to a fresh
+    {!Paths.bfs} on the current graph.
+
+    Values are mutable; rows returned by {!row} are borrowed live
+    buffers, valid until the next mutation of the oracle. *)
+
+type t
+
+val create : ?damage:float -> Graph.t -> t
+(** Oracle for (a mutable copy of) [g].  No row is computed yet.
+    [damage] (default [0.25]) is the fraction of valid rows an addition
+    may relax before the oracle falls back to invalidation. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val degree : t -> int -> int
+(** Current degree of a vertex (maintained under flips). *)
+
+val has_edge : t -> int -> int -> bool
+(** Whether edge [uv] is currently present. *)
+
+val add_edge : t -> int -> int -> unit
+(** Adds edge [uv] and repairs the cached rows incrementally.
+    @raise Invalid_argument on loops, out-of-range endpoints or if the
+    edge is already present. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Removes edge [uv]; unchanged rows are kept (tightness +
+    alternate-parent tests), the rest turn lazy.
+    @raise Invalid_argument if the edge is absent. *)
+
+val dist : t -> int -> int -> int
+(** [dist t u v] is the hop distance, [-1] if unreachable (computes row
+    [u] if needed). *)
+
+val row : t -> int -> int array
+(** [row t u] is the distance row of [u] ([-1] = unreachable), borrowed:
+    valid until the next [add_edge]/[remove_edge] on [t].  Matches
+    [Paths.bfs] on the current graph exactly. *)
+
+val total_dist : t -> int -> Paths.total
+(** [total_dist t u] matches [Paths.total_dist] on the current graph:
+    unreachable count and sum of finite distances, O(1) when row [u] is
+    cached. *)
+
+val to_graph : t -> Graph.t
+(** Snapshot of the current graph (for witnesses/debugging). *)
+
+type stats = { scratch : int; relaxed : int; kept : int; dropped : int }
+
+val stats : t -> stats
+(** Repair counters since [create]: rows filled by scratch BFS, rows
+    repaired by relaxation, rows proven unchanged by the delete tests,
+    rows invalidated.  For tests and tuning; no semantic content. *)

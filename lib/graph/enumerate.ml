@@ -87,50 +87,175 @@ let iter_labeled_trees n f =
    instead of rebuilding the graph edge by edge.  Keeping the numeric
    order keeps the enumeration — and hence every downstream class
    representative — identical to the historical implementation. *)
+let edge_slots n = n * (n - 1) / 2
+
+let slot_endpoints n =
+  let slots = edge_slots n in
+  let us = Array.make (max 1 slots) 0 and vs = Array.make (max 1 slots) 0 in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      us.(!k) <- u;
+      vs.(!k) <- v;
+      incr k
+    done
+  done;
+  (us, vs)
+
+let iter_connected_bitgraphs_range n ~lo ~hi f =
+  if n > 7 then invalid_arg "Enumerate.iter_connected_bitgraphs: size too large";
+  if n <= 0 then begin
+    if n = 0 && lo <= 0 && hi > 0 then f (Bitgraph.create 0)
+  end
+  else begin
+    let slots = edge_slots n in
+    let lo = max 0 lo and hi = min hi (1 lsl slots) in
+    if lo < hi then begin
+      let us, vs = slot_endpoints n in
+      (* build the first mask directly, then walk by one-bit deltas *)
+      let bg = Bitgraph.create n in
+      for j = 0 to slots - 1 do
+        if (lo lsr j) land 1 = 1 then Bitgraph.add_edge bg us.(j) vs.(j)
+      done;
+      if Bitgraph.is_connected bg then f bg;
+      for mask = lo + 1 to hi - 1 do
+        let b = Bitgraph.lowest_bit mask in
+        for j = 0 to b - 1 do
+          Bitgraph.remove_edge bg us.(j) vs.(j)
+        done;
+        Bitgraph.add_edge bg us.(b) vs.(b);
+        if Bitgraph.is_connected bg then f bg
+      done
+    end
+  end
+
 let iter_connected_bitgraphs n f =
   if n > 7 then invalid_arg "Enumerate.iter_connected_bitgraphs: size too large";
   if n <= 0 then begin
     if n = 0 then f (Bitgraph.create 0)
   end
-  else begin
-    let slots = n * (n - 1) / 2 in
-    let us = Array.make slots 0 and vs = Array.make slots 0 in
-    let k = ref 0 in
-    for u = 0 to n - 1 do
-      for v = u + 1 to n - 1 do
-        us.(!k) <- u;
-        vs.(!k) <- v;
-        incr k
-      done
-    done;
-    let bg = Bitgraph.create n in
-    if Bitgraph.is_connected bg then f bg;
-    for mask = 1 to (1 lsl slots) - 1 do
-      let b = Bitgraph.lowest_bit mask in
-      for j = 0 to b - 1 do
-        Bitgraph.remove_edge bg us.(j) vs.(j)
-      done;
-      Bitgraph.add_edge bg us.(b) vs.(b);
-      if Bitgraph.is_connected bg then f bg
-    done
-  end
+  else iter_connected_bitgraphs_range n ~lo:0 ~hi:(1 lsl edge_slots n) f
 
 let iter_connected_graphs n f =
   if n > 7 then invalid_arg "Enumerate.iter_connected_graphs: size too large";
   iter_connected_bitgraphs n (fun bg -> f (Bitgraph.to_graph bg))
 
-(* Dedup buckets are keyed by the bitgraph invariant and hold bitgraph
-   snapshots, so the exact isomorphism test runs on words and conversion
-   back to Graph.t happens only once per isomorphism class. *)
+(* Dedup buckets are keyed by the allocation-free bitgraph fingerprint
+   (the string [Bitgraph.invariant] was ~75% of the enumeration runtime)
+   and hold bitgraph snapshots, so the exact isomorphism test runs on
+   words and conversion back to Graph.t happens only once per class.
+
+   The accumulator is exposed so independent mask ranges can be deduped
+   in parallel and merged: per-range accumulators keep first occurrences
+   within their range, and merging left to right in mask order re-checks
+   each later representative against the earlier ones — the survivor of
+   every class is therefore its globally first representative, in the
+   global first-occurrence order, exactly as in a sequential run. *)
+type iso_acc = {
+  (* class representatives with their degree arrays, keyed by fingerprint *)
+  buckets : (int, (Bitgraph.t * int array) list) Hashtbl.t;
+  mutable reps : Bitgraph.t list; (* reverse first-occurrence order *)
+  mutable count : int;
+  size : int;
+  scratch : int array; (* 2n fingerprint scratch; degrees land in 0..n-1 *)
+  order : int array; (* candidate vertex order for the matcher *)
+  image : int array; (* candidate vertex -> representative vertex *)
+}
+
+let iso_acc_create n =
+  {
+    buckets = Hashtbl.create 1024;
+    reps = [];
+    count = 0;
+    size = n;
+    scratch = Array.make (max 1 (2 * n)) 0;
+    order = Array.make (max 1 n) 0;
+    image = Array.make (max 1 n) 0;
+  }
+
+(* Allocation-free exact isomorphism of the candidate [a] (degrees in
+   [adeg], vertex order in [acc.order]) against a stored representative:
+   backtracking placement with degree pruning, adjacency consistency by
+   single-bit probes of whole adjacency words.  This replaces
+   [Bitgraph.isomorphic] on the dedup hot path, where one confirmation
+   per duplicate labelling is unavoidable (~26k calls at n = 6) and the
+   general function's per-call allocations dominated the enumeration. *)
+let iso_match acc a adeg b rdeg =
+  let size = acc.size in
+  let image = acc.image and order = acc.order in
+  let used = ref 0 in
+  let rec place i =
+    i = size
+    ||
+    let u = order.(i) in
+    let au = Bitgraph.neighbor_mask a u in
+    let du = adeg.(u) in
+    let rec try_v v =
+      v < size
+      && ((!used land (1 lsl v) = 0
+          && rdeg.(v) = du
+          &&
+          let bv = Bitgraph.neighbor_mask b v in
+          let ok = ref true in
+          for j = 0 to i - 1 do
+            let w = order.(j) in
+            if (au lsr w) land 1 <> (bv lsr image.(w)) land 1 then ok := false
+          done;
+          !ok
+          && (image.(u) <- v;
+              used := !used lor (1 lsl v);
+              place (i + 1)
+              ||
+              (used := !used land lnot (1 lsl v);
+               false)))
+         || try_v (v + 1))
+    in
+    try_v 0
+  in
+  place 0
+
+(* [bg] is the enumeration's mutable scratch graph: snapshot on insert. *)
+let iso_acc_add acc bg =
+  let fp = Bitgraph.fingerprint ~scratch:acc.scratch bg in
+  let insert bucket =
+    let snapshot = Bitgraph.copy bg in
+    let deg = Array.init acc.size (fun u -> acc.scratch.(u)) in
+    Hashtbl.replace acc.buckets fp ((snapshot, deg) :: bucket);
+    acc.reps <- snapshot :: acc.reps;
+    acc.count <- acc.count + 1
+  in
+  match Hashtbl.find_opt acc.buckets fp with
+  | None -> insert []
+  | Some bucket ->
+      (* candidate degrees are in scratch.(0 .. n-1); order vertices by
+         degree descending (insertion sort) so the matcher prunes early *)
+      let deg = acc.scratch and order = acc.order in
+      for i = 0 to acc.size - 1 do
+        let x = i in
+        let j = ref (i - 1) in
+        order.(i) <- x;
+        while !j >= 0 && deg.(order.(!j)) < deg.(x) do
+          order.(!j + 1) <- order.(!j);
+          decr j
+        done;
+        order.(!j + 1) <- x
+      done;
+      if not (List.exists (fun (h, hdeg) -> iso_match acc bg deg h hdeg) bucket)
+      then insert bucket
+
+let iso_acc_merge a b =
+  List.iter (iso_acc_add a) (List.rev b.reps);
+  a
+
+(* [reps] is reversed, so [rev_map] restores first-occurrence order. *)
+let iso_acc_graphs acc = List.rev_map Bitgraph.to_graph acc.reps
+
+let connected_iso_range n ~lo ~hi =
+  let acc = iso_acc_create n in
+  iter_connected_bitgraphs_range n ~lo ~hi (iso_acc_add acc);
+  acc
+
 let connected_graphs_iso n =
-  let buckets : (string, Bitgraph.t list) Hashtbl.t = Hashtbl.create 4096 in
-  let out = ref [] in
-  iter_connected_bitgraphs n (fun bg ->
-      let fp = Bitgraph.invariant bg in
-      let bucket = Option.value ~default:[] (Hashtbl.find_opt buckets fp) in
-      if not (List.exists (fun h -> Bitgraph.isomorphic bg h) bucket) then begin
-        let snapshot = Bitgraph.copy bg in
-        Hashtbl.replace buckets fp (snapshot :: bucket);
-        out := Bitgraph.to_graph snapshot :: !out
-      end);
-  List.rev !out
+  let acc = iso_acc_create n in
+  iter_connected_bitgraphs n (iso_acc_add acc);
+  iso_acc_graphs acc

@@ -43,5 +43,48 @@ val iter_connected_graphs : int -> (Graph.t -> unit) -> unit
 val connected_graphs_iso : int -> Graph.t list
 (** [connected_graphs_iso n] lists one representative per isomorphism class
     of connected graphs on [n] vertices (OEIS A001349: 1, 1, 2, 6, 21, 112,
-    853 for n = 1..7).
+    853 for n = 1..7).  Representatives are the first members of their
+    class in edge-mask order, listed in first-occurrence order.
     @raise Invalid_argument if [n > 7]. *)
+
+(** {2 Range decomposition}
+
+    The edge-mask walk splits into contiguous ranges that can be deduped
+    independently and merged in mask order; {!iso_acc_merge} re-checks
+    each later representative against the earlier accumulator, so the
+    merged result is bit-identical (same representatives, same order) to
+    the sequential {!connected_graphs_iso}.  This is what the parallel
+    sweep enumeration is built on. *)
+
+val edge_slots : int -> int
+(** [n * (n - 1) / 2]: the number of bits in an edge mask, so masks range
+    over [0 .. 2^(edge_slots n) - 1]. *)
+
+val iter_connected_bitgraphs_range :
+  int -> lo:int -> hi:int -> (Bitgraph.t -> unit) -> unit
+(** [iter_connected_bitgraphs_range n ~lo ~hi f] is the [lo <= mask < hi]
+    slice of {!iter_connected_bitgraphs}, same order and same reuse
+    discipline ([f] must not retain its argument).
+    @raise Invalid_argument if [n > 7]. *)
+
+type iso_acc
+(** Mutable isomorphism-class accumulator: fingerprint-keyed buckets of
+    class representatives in first-occurrence order. *)
+
+val iso_acc_create : int -> iso_acc
+(** Fresh empty accumulator for graphs on [n] vertices. *)
+
+val iso_acc_add : iso_acc -> Bitgraph.t -> unit
+(** Record one candidate; snapshots it iff no isomorphic representative
+    is present yet. *)
+
+val iso_acc_merge : iso_acc -> iso_acc -> iso_acc
+(** [iso_acc_merge a b] folds [b]'s representatives (in order) into [a]
+    and returns [a].  With [a] covering an earlier mask range than [b],
+    the result is exactly the accumulator of the concatenated range. *)
+
+val iso_acc_graphs : iso_acc -> Graph.t list
+(** Representatives in first-occurrence order, converted once. *)
+
+val connected_iso_range : int -> lo:int -> hi:int -> iso_acc
+(** [connected_iso_range n ~lo ~hi] dedups one mask range from scratch. *)

@@ -224,6 +224,151 @@ let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
 let total_failures o = List.fold_left (fun acc s -> acc + s.failed) 0 o.stats
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-vs-scratch distance differential                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_oracle_mismatch = "oracle-distance-mismatch"
+
+type oracle_failure = {
+  ocase : int;
+  step : int;  (* flip index; the number of flips applied when caught *)
+  flip : string;
+  ograph : Graph.t;
+  odetail : string;
+}
+
+type oracle_outcome = {
+  oseed : int64;
+  obudget : int;
+  ocases : int;
+  oflips : int;
+  ofailed : int;  (* failing cases; at most 10 are kept in [ofailures] *)
+  otruncated : bool;
+  ofailures : oracle_failure list;
+}
+
+(* First discrepancy between the oracle's view of source [x] and a fresh
+   BFS on [g], if any. *)
+let oracle_row_mismatch o g x =
+  let expect = Paths.bfs g x in
+  let got = Dist_oracle.row o x in
+  let bad = ref None in
+  Array.iteri (fun v e -> if !bad = None && got.(v) <> e then bad := Some v) expect;
+  match !bad with
+  | Some v ->
+      Some
+        (Printf.sprintf "row %d: dist to %d is %d, fresh BFS says %d" x v got.(v)
+           expect.(v))
+  | None ->
+      let t = Dist_oracle.total_dist o x and te = Paths.total_dist g x in
+      if t <> te then
+        Some
+          (Printf.sprintf
+             "total_dist %d: {unreachable=%d; sum=%d} vs fresh {unreachable=%d; sum=%d}"
+             x t.Paths.unreachable t.Paths.sum te.Paths.unreachable te.Paths.sum)
+      else None
+
+(* One differential case: a random graph, a random damage threshold and
+   a random flip sequence.  After every flip the flipped endpoints and a
+   random third source are audited against a fresh BFS; after the last
+   flip every row is.  Pure function of (seed, case index). *)
+let oracle_case seed i =
+  let rng = Splitmix.derive seed [ i ] in
+  let n =
+    (* mostly small and dense in flips; every 16th case exercises the
+       generic (n > Bitgraph.max_n) scratch path *)
+    if Splitmix.int rng 16 = 0 then 64 + Splitmix.int rng 8
+    else 2 + Splitmix.int rng 12
+  in
+  let damage = Splitmix.pick rng [ 0.0; 0.25; 1.0 ] in
+  let g = ref (Casegen.graph rng n) in
+  let o = Dist_oracle.create ~damage !g in
+  let flips = 4 + Splitmix.int rng 8 in
+  let failure = ref None in
+  let fail step flip detail =
+    if !failure = None then
+      failure := Some { ocase = i; step; flip; ograph = !g; odetail = detail }
+  in
+  let audit step flip xs =
+    List.iter
+      (fun x ->
+        match oracle_row_mismatch o !g x with
+        | Some d -> fail step flip d
+        | None -> ())
+      xs
+  in
+  let steps = ref 0 in
+  (try
+     for step = 1 to flips do
+       if !failure = None then begin
+         let edges = Graph.edges !g in
+         let non_edges = Graph.non_edges !g in
+         let adding =
+           non_edges <> [] && (edges = [] || Splitmix.bool rng)
+         in
+         let pairs = if adding then non_edges else edges in
+         if pairs <> [] then begin
+           let u, v = Splitmix.pick rng pairs in
+           let flip =
+             Printf.sprintf "%s %d-%d" (if adding then "add" else "remove") u v
+           in
+           if adding then begin
+             Dist_oracle.add_edge o u v;
+             g := Graph.add_edge !g u v
+           end
+           else begin
+             Dist_oracle.remove_edge o u v;
+             g := Graph.remove_edge !g u v
+           end;
+           incr steps;
+           audit step flip [ u; v; Splitmix.int rng n ]
+         end
+       end
+     done;
+     if !failure = None then
+       audit flips "final audit" (List.init n (fun x -> x))
+   with e ->
+     fail !steps "exception" (Printexc.to_string e));
+  (!steps, !failure)
+
+let run_oracle ?domains ?deadline ~seed ~budget () =
+  let deadline_hit () =
+    match deadline with None -> false | Some t -> Unix.gettimeofday () > t
+  in
+  let truncated = ref false in
+  let cases = ref 0 and flips = ref 0 and failed = ref 0 in
+  let failures = ref [] in
+  let record (steps, failure) =
+    incr cases;
+    flips := !flips + steps;
+    match failure with
+    | None -> ()
+    | Some f ->
+        incr failed;
+        if !failed <= 10 then failures := f :: !failures
+  in
+  let rec loop i =
+    if i < budget then
+      if deadline_hit () then truncated := true
+      else begin
+        let chunk_len = min 64 (budget - i) in
+        let chunk = List.init chunk_len (fun j -> i + j) in
+        List.iter record (Parallel.map ?domains (oracle_case seed) chunk);
+        loop (i + chunk_len)
+      end
+  in
+  loop 0;
+  {
+    oseed = seed;
+    obudget = budget;
+    ocases = !cases;
+    oflips = !flips;
+    ofailed = !failed;
+    otruncated = !truncated;
+    ofailures = List.rev !failures;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -275,6 +420,46 @@ let outcome_to_json o =
       ("concepts", Json.List (List.map stats_to_json o.stats));
       ("failures", Json.List (List.map failure_to_json o.failures));
     ]
+
+let oracle_failure_to_json (f : oracle_failure) =
+  Json.Obj
+    [
+      ("kind", Json.String kind_oracle_mismatch);
+      ("case", Json.Int f.ocase);
+      ("step", Json.Int f.step);
+      ("flip", Json.String f.flip);
+      ("graph", graph_json f.ograph);
+      ("detail", Json.String f.odetail);
+    ]
+
+let oracle_outcome_to_json (o : oracle_outcome) =
+  Json.Obj
+    [
+      ("seed", Json.Int (Int64.to_int o.oseed));
+      ("budget", Json.Int o.obudget);
+      ("cases", Json.Int o.ocases);
+      ("flips", Json.Int o.oflips);
+      ("truncated", Json.Bool o.otruncated);
+      ("failures", Json.Int o.ofailed);
+      ("reports", Json.List (List.map oracle_failure_to_json o.ofailures));
+    ]
+
+let pp_oracle_failure ppf (f : oracle_failure) =
+  Format.fprintf ppf
+    "@[<v 2>%s (case %d, after flip %d: %s):@ %s@ graph: %a@ replay: graph6 %S@]"
+    kind_oracle_mismatch f.ocase f.step f.flip f.odetail Graph.pp f.ograph
+    (Encode.to_graph6 f.ograph)
+
+let pp_oracle_outcome ppf (o : oracle_outcome) =
+  Format.fprintf ppf
+    "@[<v>dist-oracle differential seed=%Ld budget=%d%s@,\
+    \  %d cases, %d flips audited against fresh BFS%s@,"
+    o.oseed o.obudget
+    (if o.otruncated then " (truncated by deadline)" else "")
+    o.ocases o.oflips
+    (if o.ofailed > 0 then Printf.sprintf ", %d FAILURES" o.ofailed else ", no mismatches");
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_oracle_failure f) o.ofailures;
+  Format.fprintf ppf "@]"
 
 let pp_failure ppf (f : failure) =
   Format.fprintf ppf

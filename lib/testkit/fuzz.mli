@@ -98,3 +98,49 @@ val pp_outcome : Format.formatter -> outcome -> unit
 (** Human-readable campaign summary with shrunk repros. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {1 Incremental-vs-scratch distance differential}
+
+    A second campaign shape aimed at {!Bncg_graph.Dist_oracle}: each
+    case draws a random graph, a random damage threshold and a random
+    edge-flip sequence, applies each flip to the oracle and to a
+    persistent mirror graph, and audits the flipped endpoints plus a
+    random third source against a fresh [Paths.bfs] after every step —
+    and every row after the last.  Case [i] is a pure function of
+    [Splitmix.derive seed [i]], so campaigns replay bit-identically
+    regardless of domain count. *)
+
+val kind_oracle_mismatch : string
+(** ["oracle-distance-mismatch"]: an incrementally maintained row (or
+    its cached total) differs from a fresh BFS. *)
+
+type oracle_failure = {
+  ocase : int;  (** case index — replay via [Splitmix.derive seed [ocase]] *)
+  step : int;  (** flips applied when the mismatch was caught *)
+  flip : string;  (** the last flip, e.g. ["add 3-7"] *)
+  ograph : Graph.t;  (** the graph at the point of mismatch *)
+  odetail : string;
+}
+
+type oracle_outcome = {
+  oseed : int64;
+  obudget : int;
+  ocases : int;
+  oflips : int;  (** total flips audited *)
+  ofailed : int;  (** failing cases; at most 10 are kept in [ofailures] *)
+  otruncated : bool;
+  ofailures : oracle_failure list;
+}
+
+val run_oracle :
+  ?domains:int -> ?deadline:float -> seed:int64 -> budget:int -> unit -> oracle_outcome
+(** [run_oracle ~seed ~budget ()] runs [budget] flip-sequence cases.
+    Sizes are drawn in [2..13] with every 16th case in [64..71] so the
+    generic (beyond-[Bitgraph]) scratch path is exercised too; damage
+    thresholds are drawn from [{0.0, 0.25, 1.0}] to cover the
+    invalidate-everything, mixed and relax-mostly regimes. *)
+
+val oracle_outcome_to_json : oracle_outcome -> Json.t
+(** Stable field order, no wall-clock times. *)
+
+val pp_oracle_outcome : Format.formatter -> oracle_outcome -> unit

@@ -1,0 +1,176 @@
+(* The incremental distance oracle: row/total exactness against Paths
+   on fresh graphs and across flip sequences, the damage fallback, the
+   delete-side keep tests, argument validation, and the differential
+   fuzz bank (every flip audited against a fresh BFS). *)
+
+open Helpers
+
+let check_rows_match name o g =
+  for x = 0 to Graph.n g - 1 do
+    let expect = Paths.bfs g x in
+    let got = Dist_oracle.row o x in
+    Array.iteri
+      (fun v e ->
+        if got.(v) <> e then
+          Alcotest.failf "%s: row %d entry %d is %d, BFS says %d" name x v got.(v) e)
+      expect;
+    let t = Dist_oracle.total_dist o x and te = Paths.total_dist g x in
+    check_int (Printf.sprintf "%s: sum %d" name x) te.Paths.sum t.Paths.sum;
+    check_int
+      (Printf.sprintf "%s: unreachable %d" name x)
+      te.Paths.unreachable t.Paths.unreachable
+  done
+
+let test_fresh_rows () =
+  List.iter
+    (fun g -> check_rows_match "fresh" (Dist_oracle.create g) g)
+    [
+      Gen.path 7;
+      Gen.cycle 8;
+      Gen.star 6;
+      Gen.clique 5;
+      Graph.of_edges 6 [ (0, 1); (2, 3) ];
+      Graph.create 4;
+      Graph.of_edges 1 [];
+    ]
+
+let test_add_remove_track_graph () =
+  let g = ref (Gen.path 9) in
+  let o = Dist_oracle.create !g in
+  check_rows_match "initial" o !g;
+  let flips =
+    [ `Add (0, 8); `Add (2, 6); `Remove (3, 4); `Add (3, 5); `Remove (0, 8); `Remove (2, 6) ]
+  in
+  List.iter
+    (fun f ->
+      (match f with
+      | `Add (u, v) ->
+          Dist_oracle.add_edge o u v;
+          g := Graph.add_edge !g u v
+      | `Remove (u, v) ->
+          Dist_oracle.remove_edge o u v;
+          g := Graph.remove_edge !g u v);
+      check_rows_match "after flip" o !g)
+    flips;
+  check_graph "to_graph tracks the flips" !g (Dist_oracle.to_graph o)
+
+let test_disconnect_reconnect () =
+  (* removing a bridge splits the graph; the rows must report the
+     unreachable halves, and re-adding must heal them *)
+  let g = Gen.path 6 in
+  let o = Dist_oracle.create g in
+  check_rows_match "before" o g;
+  Dist_oracle.remove_edge o 2 3;
+  check_rows_match "split" o (Graph.remove_edge g 2 3);
+  Dist_oracle.add_edge o 2 3;
+  check_rows_match "healed" o g
+
+let test_damage_zero_always_falls_back () =
+  (* damage 0.0 turns every affecting addition into invalidation; the
+     answers must not change, only the repair strategy *)
+  let g = Gen.path 10 in
+  let o = Dist_oracle.create ~damage:0.0 g in
+  check_rows_match "warm" o g;
+  Dist_oracle.add_edge o 0 9;
+  check_rows_match "after shortcut" o (Graph.add_edge g 0 9);
+  let s = Dist_oracle.stats o in
+  check_int "nothing relaxed at damage 0" 0 s.Dist_oracle.relaxed;
+  check_true "rows were dropped instead" (s.Dist_oracle.dropped > 0)
+
+let test_relaxation_path_used () =
+  (* a cycle chord affects most rows, so damage 1.0 (never fall back)
+     must repair them all by relaxation, and stay exact *)
+  let g = Gen.cycle 12 in
+  let o = Dist_oracle.create ~damage:1.0 g in
+  check_rows_match "warm" o g;
+  Dist_oracle.add_edge o 0 6;
+  check_rows_match "after chord" o (Graph.add_edge g 0 6);
+  let s = Dist_oracle.stats o in
+  check_true "some rows relaxed" (s.Dist_oracle.relaxed > 0);
+  check_int "none dropped at damage 1.0" 0 s.Dist_oracle.dropped
+
+let test_delete_keep_tests () =
+  (* deleting one clique edge changes only the endpoints' own rows
+     (d(u,v) goes 1 to 2): every non-endpoint row has d(x,u) = d(x,v) =
+     1 and must be kept by the tightness test *)
+  let g = Gen.clique 6 in
+  let o = Dist_oracle.create g in
+  check_rows_match "warm" o g;
+  Dist_oracle.remove_edge o 0 1;
+  let s = Dist_oracle.stats o in
+  check_int "only the endpoint rows dropped" 2 s.Dist_oracle.dropped;
+  check_int "non-endpoint rows proven unchanged" 4 s.Dist_oracle.kept;
+  check_rows_match "still exact" o (Graph.remove_edge g 0 1)
+
+let test_degree_and_has_edge () =
+  let g = Gen.star 5 in
+  let o = Dist_oracle.create g in
+  check_int "hub degree" 4 (Dist_oracle.degree o 0);
+  Dist_oracle.add_edge o 1 2;
+  check_true "edge appears" (Dist_oracle.has_edge o 1 2);
+  check_int "degree maintained" 2 (Dist_oracle.degree o 1);
+  Dist_oracle.remove_edge o 1 2;
+  check_false "edge gone" (Dist_oracle.has_edge o 2 1)
+
+let test_argument_validation () =
+  let o = Dist_oracle.create (Gen.path 4) in
+  check_raises_invalid "add present" (fun () -> Dist_oracle.add_edge o 0 1);
+  check_raises_invalid "remove absent" (fun () -> Dist_oracle.remove_edge o 0 3);
+  check_raises_invalid "loop" (fun () -> Dist_oracle.add_edge o 2 2);
+  check_raises_invalid "out of range" (fun () -> Dist_oracle.add_edge o 0 7)
+
+let test_generic_path_beyond_bitgraph () =
+  (* n > Bitgraph.max_n exercises the queue-BFS scratch path *)
+  let n = Bitgraph.max_n + 3 in
+  let g = ref (Gen.cycle n) in
+  let o = Dist_oracle.create !g in
+  List.iter
+    (fun (u, v) ->
+      Dist_oracle.add_edge o u v;
+      g := Graph.add_edge !g u v;
+      check_rows_match "large graph" o !g)
+    [ (0, n / 2); (1, n - 2) ]
+
+(* The differential bank behind the acceptance gate: random flip
+   sequences audited against fresh BFS after every step. *)
+
+let test_fuzz_bank_quick () =
+  let o = Fuzz.run_oracle ~domains:1 ~seed:9L ~budget:500 () in
+  check_int "no mismatches" 0 o.Fuzz.ofailed;
+  check_false "not truncated" o.Fuzz.otruncated
+
+let test_fuzz_bank_seeds_1_to_3 () =
+  List.iter
+    (fun seed ->
+      let o = Fuzz.run_oracle ~seed ~budget:10_000 () in
+      check_int
+        (Printf.sprintf "seed %Ld: zero mismatches over 10^4 cases" seed)
+        0 o.Fuzz.ofailed;
+      check_int "ran the full budget" 10_000 o.Fuzz.ocases)
+    [ 1L; 2L; 3L ]
+
+let test_fuzz_bank_domain_invariant () =
+  let run d = Fuzz.run_oracle ~domains:d ~seed:11L ~budget:300 () in
+  let a = run 1 and b = run 3 in
+  Alcotest.(check string)
+    "domains 1 == domains 3"
+    (Json.to_string (Fuzz.oracle_outcome_to_json a))
+    (Json.to_string (Fuzz.oracle_outcome_to_json b))
+
+let suite =
+  [
+    tc "fresh rows and totals match Paths" test_fresh_rows;
+    tc "rows stay exact across a flip sequence" test_add_remove_track_graph;
+    tc "bridge removal and re-addition stay exact" test_disconnect_reconnect;
+    tc "damage 0.0 forces the scratch fallback, same answers"
+      test_damage_zero_always_falls_back;
+    tc "additions repair rows by relaxation" test_relaxation_path_used;
+    tc "clique deletions keep every warm row" test_delete_keep_tests;
+    tc "degree and has_edge are maintained" test_degree_and_has_edge;
+    tc "bad arguments are rejected" test_argument_validation;
+    tc "generic path beyond Bitgraph.max_n stays exact" test_generic_path_beyond_bitgraph;
+    tc "fuzz bank: 500 flip sequences, zero mismatches" test_fuzz_bank_quick;
+    tc "fuzz bank: outcome independent of domain count" test_fuzz_bank_domain_invariant;
+    slow "fuzz bank: seeds 1-3, 10^4 cases each, zero mismatches"
+      test_fuzz_bank_seeds_1_to_3;
+  ]

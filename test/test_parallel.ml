@@ -1,6 +1,6 @@
-(* Deterministic domain fan-out: chunking/fold/map laws, plus the headline
-   guarantee — parallel equilibrium searches return bit-for-bit the same
-   record as the sequential fold, for every domain count. *)
+(* Deterministic domain fan-out: pool lifecycle and fold/map laws, plus the
+   headline guarantee — parallel equilibrium searches return bit-for-bit the
+   same record as the sequential fold, for every domain count. *)
 
 open Helpers
 
@@ -14,29 +14,10 @@ let same_worst name (a : Poa.worst) (b : Poa.worst) =
   | Some ga, Some gb -> check_graph (name ^ ": witness") ga gb
   | _ -> Alcotest.failf "%s: witness presence differs" name
 
+exception Boom of int
+
 let unit_tests =
   [
-    tc "chunk preserves order and bounds the chunk count" (fun () ->
-        let items = List.init 10 Fun.id in
-        List.iter
-          (fun k ->
-            let chunks = Parallel.chunk k items in
-            check_true
-              (Printf.sprintf "k=%d: at most k chunks" k)
-              (List.length chunks <= max 1 k);
-            check_true
-              (Printf.sprintf "k=%d: concat restores the list" k)
-              (List.concat chunks = items);
-            let sizes = List.map List.length chunks in
-            check_true
-              (Printf.sprintf "k=%d: no empty chunk" k)
-              (List.for_all (fun s -> s > 0) sizes);
-            check_true
-              (Printf.sprintf "k=%d: near-equal sizes" k)
-              (List.fold_left max 0 sizes - List.fold_left min max_int sizes <= 1))
-          [ 1; 2; 3; 4; 10; 17 ]);
-    tc "chunk of the empty list" (fun () ->
-        check_int "no chunks" 0 (List.length (Parallel.chunk 4 [])));
     tc "fold matches the sequential fold" (fun () ->
         let items = List.init 101 (fun i -> i * i) in
         let seq = List.fold_left ( + ) 0 items in
@@ -59,8 +40,79 @@ let unit_tests =
               (Printf.sprintf "domains=%d" d)
               (Parallel.map ~domains:d (fun x -> (3 * x) + 1) items = expect))
           [ 1; 2; 5 ]);
+    tc "iter_n covers every index exactly once" (fun () ->
+        let hits = Array.make 1000 0 in
+        Parallel.iter_n ~domains:4 1000 (fun i -> hits.(i) <- hits.(i) + 1);
+        check_true "all indices hit once" (Array.for_all (( = ) 1) hits));
     tc "default_domains is positive" (fun () ->
         check_true "at least one" (Parallel.default_domains () >= 1));
+    tc "a worker exception propagates to the caller" (fun () ->
+        let raised =
+          try
+            Parallel.iter_n ~domains:4 256 (fun i ->
+                if i = 137 then raise (Boom i));
+            None
+          with Boom i -> Some i
+        in
+        check_true "Boom reached the caller" (raised = Some 137);
+        (* the pool must still be usable after a failed job *)
+        check_int "pool survives the exception" 4950
+          (Parallel.fold ~domains:4 ~f:( + ) ~merge:( + ) ~init:0
+             (List.init 100 Fun.id)));
+    tc "fold exception propagates and later folds still work" (fun () ->
+        let saw =
+          try
+            ignore
+              (Parallel.fold ~domains:4
+                 ~f:(fun acc x -> if x = 61 then failwith "bad item" else acc + x)
+                 ~merge:( + ) ~init:0
+                 (List.init 200 Fun.id));
+            false
+          with Failure m -> m = "bad item"
+        in
+        check_true "Failure propagated" saw;
+        let items = List.init 200 Fun.id in
+        check_int "next fold is clean" (List.fold_left ( + ) 0 items)
+          (Parallel.fold ~domains:4 ~f:( + ) ~merge:( + ) ~init:0 items));
+    tc "pool domains are reused across successive Sweep.run calls" (fun () ->
+        let spec =
+          {
+            Sweep.family = Sweep.Connected;
+            sizes = [ 4 ];
+            concepts = [ Concept.PS ];
+            alphas = [ 1.0; 2.0 ];
+            budget = None;
+            domains = Some 3;
+          }
+        in
+        let run () = (Sweep.run spec).Sweep.totals.Sweep.total_checked in
+        let first = run () in
+        let spawned_after_first = (Parallel.stats ()).Parallel.domains_spawned in
+        let jobs_before = (Parallel.stats ()).Parallel.jobs in
+        check_int "second run, same count" first (run ());
+        check_int "third run, same count" first (run ());
+        let st = Parallel.stats () in
+        check_int "no new domains spawned on reuse" spawned_after_first
+          st.Parallel.domains_spawned;
+        check_true "the runs actually posted pool jobs"
+          (st.Parallel.jobs > jobs_before));
+    tc "shutdown is survivable: the pool respawns on demand" (fun () ->
+        Parallel.shutdown ();
+        let items = List.init 64 Fun.id in
+        check_int "fold after shutdown" (List.fold_left ( + ) 0 items)
+          (Parallel.fold ~domains:2 ~f:( + ) ~merge:( + ) ~init:0 items));
+    slow "worst_connected is bit-identical at domains 1, 2 and max" (fun () ->
+        let dmax = max 2 (Parallel.default_domains ()) in
+        let seq =
+          Poa.worst_connected ~domains:1 ~concept:Concept.PS ~alpha:2.0 6
+        in
+        List.iter
+          (fun d ->
+            same_worst
+              (Printf.sprintf "PS alpha=2 n=6 domains=%d" d)
+              seq
+              (Poa.worst_connected ~domains:d ~concept:Concept.PS ~alpha:2.0 6))
+          [ 2; dmax ]);
     slow "parallel worst_connected equals sequential (n<=5, all concepts)"
       (fun () ->
         List.iter
