@@ -6,9 +6,48 @@
    bncg sweep  --family connected -n 6 -c PS    full (concept x alpha x n) sweep
    bncg dyn    -a 2.0 -c BGE --tree 10 --seed 1 improving-move dynamics
    bncg enum   -n 7                             enumeration counts
-   bncg gallery                                 counterexample summary *)
+   bncg gallery                                 counterexample summary
+   bncg trace  t.jsonl -o chrome.json           convert a --trace file for Perfetto *)
 
 open Cmdliner
+
+(* Semantic flag errors: exactly one line on stderr, exit code 2 —
+   stricter than cmdliner's own 124 usage errors, and pinned by the
+   CLI tests.  The rules themselves live in Cli_validate. *)
+let die msg =
+  prerr_endline ("bncg: " ^ msg);
+  exit 2
+
+let ok_or_die = function Ok v -> v | Error msg -> die msg
+
+(* --trace / --heartbeat, shared by the long-running subcommands
+   (sweep, poa, fuzz, perf).  Telemetry is strictly out of band — see
+   Obs — so turning these on never changes a result. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL telemetry trace (spans, counters, heartbeats) to $(docv).  \
+           Convert with $(b,bncg trace) for Perfetto / chrome://tracing.")
+
+let heartbeat_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "heartbeat" ] ~docv:"SECS"
+        ~doc:
+          "Emit a progress heartbeat (one stderr line, and a trace event when --trace \
+           is given) every $(docv) seconds.")
+
+let with_obs trace heartbeat f =
+  let heartbeat = ok_or_die (Cli_validate.heartbeat heartbeat) in
+  match (trace, heartbeat) with
+  | None, None -> f ()
+  | _ ->
+      Obs.start ?trace ?heartbeat ();
+      Fun.protect ~finally:Obs.stop f
 
 let alpha_arg =
   Arg.(
@@ -71,9 +110,9 @@ let check_cmd =
            (Json.Obj
               [
                 ("concept", Json.String (Concept.name concept));
-                ("alpha", Json.Float alpha); ("graph", Json.String g6);
+                ("alpha", Json.number alpha); ("graph", Json.String g6);
                 ("verdict", Verdict.to_json v);
-                ("rho", Json.Float (Cost.rho ~alpha g));
+                ("rho", Json.number (Cost.rho ~alpha g));
               ]))
     else
       Printf.printf "%s on %s at alpha=%g: %s\n" (Concept.name concept) g6 alpha
@@ -105,7 +144,8 @@ let poa_cmd =
       value & flag
       & info [ "general" ] ~doc:"Search connected graphs (n <= 7) instead of trees.")
   in
-  let run alpha concept n general budget store json =
+  let run alpha concept n general budget store json trace heartbeat =
+    with_obs trace heartbeat @@ fun () ->
     let target = if general then Poa.Connected n else Poa.Trees n in
     let w = with_store store (fun store -> Poa.run ~budget ?store ~concept ~alpha target) in
     if json then
@@ -115,7 +155,7 @@ let poa_cmd =
               [
                 ("concept", Json.String (Concept.name concept)); ("n", Json.Int n);
                 ("family", Json.String (if general then "connected" else "trees"));
-                ("alpha", Json.Float alpha); ("worst", Sweep.worst_to_json w);
+                ("alpha", Json.number alpha); ("worst", Sweep.worst_to_json w);
               ]))
     else begin
       Printf.printf "%s, n=%d, alpha=%g: checked %d graphs, %d stable, %d budgeted out\n"
@@ -131,7 +171,7 @@ let poa_cmd =
     (Cmd.info "poa" ~doc:"Worst-case rho over enumerated equilibria.")
     Term.(
       const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg $ store_arg
-      $ json_arg)
+      $ json_arg $ trace_arg $ heartbeat_arg)
 
 let sweep_cmd =
   let family_arg =
@@ -154,11 +194,14 @@ let sweep_cmd =
       & opt (list concept_conv) [ Concept.PS ]
       & info [ "c"; "concepts" ] ~docv:"C,.." ~doc:"Comma-separated solution concepts.")
   in
+  (* Taken as a raw string so bad grids get the one-line exit-2
+     diagnostic from Cli_validate instead of cmdliner's usage error. *)
   let alphas_arg =
     Arg.(
       value
-      & opt (list float) [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ]
-      & info [ "alphas" ] ~docv:"A,.." ~doc:"Comma-separated alpha grid.")
+      & opt string "1,2,4,8,16,32,64"
+      & info [ "alphas" ] ~docv:"A,.."
+          ~doc:"Comma-separated alpha grid (each finite and > 0).")
   in
   let budget_opt_arg =
     Arg.(
@@ -172,10 +215,21 @@ let sweep_cmd =
       & opt (some int) None
       & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: recommended count).")
   in
-  let run family sizes concepts alphas budget domains store json =
+  let no_wall_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wall" ]
+          ~doc:
+            "Omit wall-clock fields from --json output, leaving only deterministic \
+             fields — two runs of the same spec then compare byte for byte.")
+  in
+  let run family sizes concepts alphas budget domains store json no_wall trace heartbeat =
+    let alphas = ok_or_die (Cli_validate.alphas alphas) in
+    let domains = ok_or_die (Cli_validate.domains domains) in
+    with_obs trace heartbeat @@ fun () ->
     let spec = { Sweep.family; sizes; concepts; alphas; budget; domains } in
     let o = with_store store (fun store -> Sweep.run ?store spec) in
-    if json then print_endline (Json.to_string (Sweep.outcome_to_json o))
+    if json then print_endline (Json.to_string (Sweep.outcome_to_json ~wall:(not no_wall) o))
     else begin
       List.iter
         (fun (c : Sweep.cell) ->
@@ -205,7 +259,7 @@ let sweep_cmd =
           store.")
     Term.(
       const run $ family_arg $ sizes_arg $ concepts_arg $ alphas_arg $ budget_opt_arg
-      $ domains_arg $ store_arg $ json_arg)
+      $ domains_arg $ store_arg $ json_arg $ no_wall_arg $ trace_arg $ heartbeat_arg)
 
 let dyn_cmd =
   let tree_arg =
@@ -350,7 +404,9 @@ let fuzz_cmd =
             "Flip-sequence cases for the incremental-distance differential (default: \
              the campaign budget; 0 disables it).")
   in
-  let run seed budget concepts sizes seconds domains oracle_cases json =
+  let run seed budget concepts sizes seconds domains oracle_cases json trace heartbeat =
+    let domains = ok_or_die (Cli_validate.domains domains) in
+    with_obs trace heartbeat @@ fun () ->
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
     let seed64 = Int64.of_int seed in
     let o = Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:seed64 ~budget () in
@@ -386,13 +442,15 @@ let fuzz_cmd =
           the incremental distance oracle against fresh BFS.")
     Term.(
       const run $ seed_arg $ budget_fuzz_arg $ concepts_arg $ sizes_arg $ seconds_arg
-      $ domains_arg $ oracle_cases_arg $ json_arg)
+      $ domains_arg $ oracle_cases_arg $ json_arg $ trace_arg $ heartbeat_arg)
 
 let perf_cmd =
+  (* [some string], not [some file]: a missing baseline must take the
+     one-line exit-2 path below, not cmdliner's usage error. *)
   let check_arg =
     Arg.(
       value
-      & opt (some file) None
+      & opt (some string) None
       & info [ "check" ] ~docv:"BASELINE.json"
           ~doc:
             "Compare against a committed baseline (the bench/results.json format) and \
@@ -420,32 +478,44 @@ let perf_cmd =
       & info [ "tolerance" ] ~docv:"F"
           ~doc:"Allowed slowdown fraction before --check fails (default 0.25 = 25%).")
   in
-  let run check smoke only quota tolerance json =
+  let run check smoke only quota tolerance json trace heartbeat =
+    (* Read and validate the baseline before the (slow) measurement, so
+       a malformed file fails in milliseconds. *)
+    let baseline =
+      Option.map
+        (fun path ->
+          let content =
+            try In_channel.with_open_text path In_channel.input_all
+            with Sys_error e -> die e
+          in
+          match Json.of_string content with
+          | Error e -> die (Printf.sprintf "cannot parse baseline %s: %s" path e)
+          | Ok baseline -> (
+              match Benchkit.validate_baseline baseline with
+              | Error e -> die (Printf.sprintf "bad baseline %s: %s" path e)
+              | Ok () -> (path, baseline)))
+        check
+    in
+    with_obs trace heartbeat @@ fun () ->
     let only = if smoke then Some Benchkit.smoke_names else only in
     let results = Benchkit.run ~quota ?only () in
     if json then print_endline (Json.to_string (Benchkit.results_to_json results))
     else Benchkit.print_table results;
-    match check with
+    match baseline with
     | None -> ()
-    | Some path -> (
-        let content = In_channel.with_open_text path In_channel.input_all in
-        match Json.of_string content with
-        | Error e ->
-            Printf.eprintf "cannot parse baseline %s: %s\n" path e;
-            exit 2
-        | Ok baseline -> (
-            match Benchkit.check_against ~baseline ~tolerance results with
-            | [] ->
-                Printf.printf "no regression beyond %.0f%% against %s\n"
-                  (tolerance *. 100.) path
-            | regs ->
-                List.iter
-                  (fun (r : Benchkit.regression) ->
-                    Printf.printf "REGRESSION %s: %.0f ns -> %.0f ns (%.2fx)\n"
-                      r.Benchkit.bench r.Benchkit.baseline_ns r.Benchkit.fresh_ns
-                      r.Benchkit.ratio)
-                  regs;
-                exit 1))
+    | Some (path, baseline) -> (
+        match Benchkit.check_against ~baseline ~tolerance results with
+        | [] ->
+            Printf.printf "no regression beyond %.0f%% against %s\n" (tolerance *. 100.)
+              path
+        | regs ->
+            List.iter
+              (fun (r : Benchkit.regression) ->
+                Printf.printf "REGRESSION %s: %.0f ns -> %.0f ns (%.2fx)\n"
+                  r.Benchkit.bench r.Benchkit.baseline_ns r.Benchkit.fresh_ns
+                  r.Benchkit.ratio)
+              regs;
+            exit 1)
   in
   Cmd.v
     (Cmd.info "perf"
@@ -453,7 +523,40 @@ let perf_cmd =
          "Microbenchmarks of the hot kernels (warmed up, trimmed-mean fitted), \
           optionally gated against a committed baseline.")
     Term.(
-      const run $ check_arg $ smoke_arg $ only_arg $ quota_arg $ tolerance_arg $ json_arg)
+      const run $ check_arg $ smoke_arg $ only_arg $ quota_arg $ tolerance_arg $ json_arg
+      $ trace_arg $ heartbeat_arg)
+
+let trace_cmd =
+  let src_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE.jsonl" ~doc:"A JSONL trace written by --trace.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome trace_event JSON to $(docv) — load it at \
+             $(b,https://ui.perfetto.dev) or $(b,chrome://tracing).  Without $(docv) the \
+             trace is only validated.")
+  in
+  let run src out =
+    match Obs.export_chrome ~src ~dst:out with
+    | Error e -> die e
+    | Ok n -> (
+        match out with
+        | Some dst -> Printf.printf "%s: %d events -> %s\n" src n dst
+        | None -> Printf.printf "%s: valid trace, %d events\n" src n)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Validate a JSONL telemetry trace (every line must parse) and optionally \
+          convert it to Chrome trace_event format for Perfetto / about://tracing.")
+    Term.(const run $ src_arg $ out_arg)
 
 let welfare_cmd =
   let run alpha g6 =
@@ -474,5 +577,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; rho_cmd; poa_cmd; sweep_cmd; dyn_cmd; enum_cmd; gallery_cmd;
-            render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd;
+            render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd; trace_cmd;
           ]))

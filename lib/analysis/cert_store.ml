@@ -12,6 +12,14 @@ type t = {
 let dir t = t.dir
 let cert_count t = Hashtbl.length t.certs
 
+(* Telemetry only (see Obs): counting never changes what is stored,
+   found, or journaled. *)
+let c_hits = Obs.counter "cert_store.hits"
+let c_misses = Obs.counter "cert_store.misses"
+let c_canon_hits = Obs.counter "cert_store.canon_hits"
+let c_canon_misses = Obs.counter "cert_store.canon_misses"
+let c_flushes = Obs.counter "cert_store.flushes"
+
 let budget_tag = function Some b -> string_of_int b | None -> "-"
 
 let cert_key ~concept ~alpha ~budget ~canon_g6 =
@@ -24,27 +32,17 @@ let cert_key ~concept ~alpha ~budget ~canon_g6 =
 (* JSONL records                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Json renders non-finite floats as null, which the loader would then
-   drop — and ρ is legitimately infinite for a disconnected graph.
-   Encode those three values as strings instead so every certificate
-   round-trips. *)
-let rho_to_json r =
-  if Float.is_finite r then Json.Float r
-  else Json.String (if Float.is_nan r then "nan" else if r > 0. then "inf" else "-inf")
-
-let rho_of_json = function
-  | Json.String "inf" -> Some Float.infinity
-  | Json.String "-inf" -> Some Float.neg_infinity
-  | Json.String "nan" -> Some Float.nan
-  | j -> Json.as_float j
-
+(* ρ is legitimately infinite for a disconnected graph; [Json.number]
+   (the string encoding "inf"/"-inf"/"nan" this store originated, now
+   hoisted into {!Json} for every producer) keeps such certificates
+   round-tripping — [Json.to_string] refuses bare non-finite floats. *)
 let cert_line ~key ~canon_g6 ~concept ~alpha ~budget e =
   Json.Obj
     [
       ("kind", Json.String "cert"); ("key", Json.String key); ("g6", Json.String canon_g6);
-      ("concept", Json.String (Concept.name concept)); ("alpha", Json.Float alpha);
+      ("concept", Json.String (Concept.name concept)); ("alpha", Json.number alpha);
       ("budget", match budget with Some b -> Json.Int b | None -> Json.Null);
-      ("verdict", Verdict.to_json e.verdict); ("rho", rho_to_json e.rho);
+      ("verdict", Verdict.to_json e.verdict); ("rho", Json.number e.rho);
     ]
 
 let canon_line ~akey ~g6 =
@@ -65,7 +63,7 @@ let load_line t line =
       match Option.bind (Json.member "kind" j) Json.as_string with
       | Some "cert" -> (
           let key = Option.bind (Json.member "key" j) Json.as_string in
-          let rho = Option.bind (Json.member "rho" j) rho_of_json in
+          let rho = Option.bind (Json.member "rho" j) Json.as_number in
           let verdict =
             match Json.member "verdict" j with
             | Some vj -> ( match Verdict.of_json vj with Ok v -> Some v | Error _ -> None)
@@ -158,13 +156,17 @@ let append t j =
   in
   output_string oc (Json.to_string j);
   output_char oc '\n';
-  flush oc
+  flush oc;
+  Obs.incr c_flushes
 
 (* ------------------------------------------------------------------ *)
 (* Certificates                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let find t ~key = Hashtbl.find_opt t.certs key
+let find t ~key =
+  let e = Hashtbl.find_opt t.certs key in
+  Obs.incr (if e = None then c_misses else c_hits);
+  e
 
 let record t ~key ~canon_g6 ~concept ~alpha ~budget e =
   Hashtbl.replace t.certs key e;
@@ -174,7 +176,10 @@ let record t ~key ~canon_g6 ~concept ~alpha ~budget e =
 (* Canonicalisation memo                                               *)
 (* ------------------------------------------------------------------ *)
 
-let find_canon t g = Hashtbl.find_opt t.canon (Graph.adjacency_key g)
+let find_canon t g =
+  let e = Hashtbl.find_opt t.canon (Graph.adjacency_key g) in
+  Obs.incr (if e = None then c_canon_misses else c_canon_hits);
+  e
 
 let record_canon t g g6 =
   let akey = Graph.adjacency_key g in

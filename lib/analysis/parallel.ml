@@ -61,23 +61,45 @@ let record_exn pool e =
   if pool.first_exn = None then pool.first_exn <- Some (e, bt);
   Mutex.unlock pool.mutex
 
+(* Telemetry (strictly out of band — the scheduler never reads it):
+   jobs posted, items grabbed by a participant other than the
+   submitter ("steals", the work the atomic index rebalanced), and
+   per-domain item/busy-time utilization.  Per-item clock reads happen
+   only while a sink is active. *)
+let c_jobs = Obs.counter "parallel.jobs"
+let c_steals = Obs.counter "parallel.steals"
+
+let note_drain ~submitter ~items ~busy_us =
+  if items > 0 && Obs.enabled () then begin
+    let id = (Domain.self () :> int) in
+    Obs.add (Obs.counter (Printf.sprintf "parallel.d%d.items" id)) items;
+    Obs.add (Obs.counter (Printf.sprintf "parallel.d%d.busy_us" id)) busy_us;
+    if not submitter then Obs.add c_steals items
+  end
+
 (* Grab items until the shared counter runs out.  On an exception the
    counter is pushed past [count] so every participant stops grabbing
    new items; items already in flight finish normally. *)
-let drain pool (j : job) =
+let drain ?(submitter = false) pool (j : job) =
   let flag = Domain.DLS.get inside_pool in
   flag := true;
+  let items = ref 0 and busy = ref 0 in
   let rec go () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.count then begin
+      let t0 = if Obs.enabled () then Obs.now_us () else 0 in
       (try j.body i
        with e ->
          Atomic.set j.next j.count;
          record_exn pool e);
+      incr items;
+      if Obs.enabled () then busy := !busy + (Obs.now_us () - t0);
+      Obs.tick ();
       go ()
     end
   in
   go ();
+  note_drain ~submitter ~items:!items ~busy_us:!busy;
   flag := false
 
 let rec worker_loop pool gen_seen =
@@ -185,7 +207,8 @@ let run_job ~want_domains count body =
   if count > 0 then begin
     let seq () =
       for i = 0 to count - 1 do
-        body i
+        body i;
+        Obs.tick ()
       done
     in
     if want_domains <= 1 || !(Domain.DLS.get inside_pool) then seq ()
@@ -195,6 +218,10 @@ let run_job ~want_domains count body =
       let extra = min (want_domains - 1) (Array.length pool.workers) in
       if extra = 0 then seq ()
       else begin
+        Obs.incr c_jobs;
+        Obs.span "parallel.job"
+          ~args:[ ("items", Json.Int count); ("extra_workers", Json.Int extra) ]
+        @@ fun () ->
         let j = { count; extra_workers = extra; body; next = Atomic.make 0 } in
         Mutex.lock pool.mutex;
         pool.job <- Some j;
@@ -205,7 +232,7 @@ let run_job ~want_domains count body =
         incr jobs_posted;
         Condition.broadcast pool.work_cv;
         Mutex.unlock pool.mutex;
-        drain pool j;
+        drain ~submitter:true pool j;
         Mutex.lock pool.mutex;
         pool.running <- pool.running - 1;
         while pool.running > 0 do

@@ -18,7 +18,19 @@ let graphs_of_target ?store ?domains = function
   | Connected n -> Sweep.candidates ?store ?domains Sweep.Connected n
   | Graphs graphs -> graphs
 
+let target_label = function
+  | Trees n -> Printf.sprintf "trees/%d" n
+  | Connected n -> Printf.sprintf "connected/%d" n
+  | Graphs graphs -> Printf.sprintf "explicit/%d" (List.length graphs)
+
 let run ?budget ?domains ?store ~concept ~alpha target =
+  Obs.span "poa.run"
+    ~args:
+      [
+        ("target", Json.String (target_label target));
+        ("concept", Json.String (Concept.name concept)); ("alpha", Json.number alpha);
+      ]
+  @@ fun () ->
   fst
     (Sweep.run_cell ?budget ?domains ?store ~concept ~alpha
        (graphs_of_target ?store ?domains target))

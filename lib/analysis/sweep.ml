@@ -42,15 +42,32 @@ type outcome = { cells : cell list; totals : totals }
 (* The per-cell fold                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Telemetry counters (see Obs: no-ops without a sink, and never read
+   back by the fold, so the worst cells stay bit-identical with tracing
+   on or off).  [checked] counts every candidate the fold consumed
+   (fresh or cached); [decided] counts fresh checker calls only, so
+   heartbeat deltas give candidates-decided-per-second. *)
+let c_cells = Obs.counter "sweep.cells"
+let c_checked = Obs.counter "sweep.checked"
+let c_decided = Obs.counter "sweep.decided"
+let c_stable = Obs.counter "sweep.stable"
+let c_exhausted = Obs.counter "sweep.exhausted"
+let c_cache_hits = Obs.counter "sweep.cache_hits"
+
 let step ?budget ~concept ~alpha acc g =
   let acc = { acc with checked = acc.checked + 1 } in
+  Obs.incr c_checked;
+  Obs.incr c_decided;
   match Concept.check ?budget ~alpha concept g with
   | Verdict.Stable ->
       let r = Cost.rho ~alpha g in
       let acc = { acc with stable_count = acc.stable_count + 1 } in
+      Obs.incr c_stable;
       if r > acc.rho then { acc with rho = r; witness = Some g } else acc
   | Verdict.Unstable _ -> acc
-  | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 }
+  | Verdict.Exhausted _ ->
+      Obs.incr c_exhausted;
+      { acc with exhausted = acc.exhausted + 1 }
 
 (* Counters add; the maximum keeps the earlier witness on ties (the
    per-item update only replaces on strict improvement), so merging chunk
@@ -69,14 +86,18 @@ let merge a b =
    entries round-trip bit-exactly), so the two paths agree. *)
 let tally acc g (entry : Cert_store.entry) =
   let acc = { acc with checked = acc.checked + 1 } in
+  Obs.incr c_checked;
   match entry.Cert_store.verdict with
   | Verdict.Stable ->
       let acc = { acc with stable_count = acc.stable_count + 1 } in
+      Obs.incr c_stable;
       if entry.Cert_store.rho > acc.rho then
         { acc with rho = entry.Cert_store.rho; witness = Some g }
       else acc
   | Verdict.Unstable _ -> acc
-  | Verdict.Exhausted _ -> { acc with exhausted = acc.exhausted + 1 }
+  | Verdict.Exhausted _ ->
+      Obs.incr c_exhausted;
+      { acc with exhausted = acc.exhausted + 1 }
 
 (* Canonical graph6 per candidate, through the store's memo table; the
    canonical-form searches for graphs the store has never seen fan out
@@ -113,10 +134,12 @@ let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
       let miss_idx = ref [] in
       Array.iteri (fun i e -> if e = None then miss_idx := i :: !miss_idx) found;
       let miss_idx = List.rev !miss_idx in
+      Obs.add c_cache_hits hits;
       let computed =
         Parallel.map ?domains
           (fun i ->
             let g = garr.(i) in
+            Obs.incr c_decided;
             {
               Cert_store.verdict = Concept.check ?budget ~alpha concept g;
               rho = Cost.rho ~alpha g;
@@ -187,7 +210,11 @@ let candidates ?store ?domains family n =
       match Option.bind store (fun s -> Cert_store.find_family s key) with
       | Some graphs -> graphs
       | None ->
-          let graphs = enum n in
+          let graphs =
+            Obs.span "sweep.enumerate"
+              ~args:[ ("family", Json.String name); ("n", Json.Int n) ]
+              (fun () -> enum n)
+          in
           Option.iter (fun s -> Cert_store.record_family s key graphs) store;
           graphs)
 
@@ -201,6 +228,15 @@ let groups ?store spec =
 
 let run ?store spec =
   let cells =
+    Obs.span "sweep.run"
+      ~args:
+        [
+          ("sizes", Json.List (List.map (fun n -> Json.Int n) spec.sizes));
+          ( "concepts",
+            Json.List (List.map (fun c -> Json.String (Concept.name c)) spec.concepts) );
+          ("alphas", Json.List (List.map Json.number spec.alphas));
+        ]
+    @@ fun () ->
     List.concat_map
       (fun (size, graphs) ->
         List.concat_map
@@ -209,9 +245,20 @@ let run ?store spec =
               (fun alpha ->
                 let t0 = Unix.gettimeofday () in
                 let worst, cache_hits =
-                  run_cell ?budget:spec.budget ?domains:spec.domains ?store ~concept ~alpha
-                    graphs
+                  Obs.span "sweep.cell"
+                    ~args:
+                      [
+                        ("n", Json.Int size);
+                        ("concept", Json.String (Concept.name concept));
+                        ("alpha", Json.number alpha);
+                        ("candidates", Json.Int (List.length graphs));
+                      ]
+                    (fun () ->
+                      run_cell ?budget:spec.budget ?domains:spec.domains ?store ~concept
+                        ~alpha graphs)
                 in
+                Obs.incr c_cells;
+                Obs.tick ();
                 { size; concept; alpha; worst; cache_hits; wall = Unix.gettimeofday () -. t0 })
               spec.alphas)
           spec.concepts)
@@ -242,35 +289,41 @@ let run ?store spec =
 (* JSON views                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ρ is ∞ when the only stable candidates are disconnected (possible
+   with [Explicit] families), so it goes through [Json.number]; wall
+   times are the one nondeterministic field, and [~wall:false] omits
+   them so two runs of the same spec byte-compare (the CLI's
+   [--no-wall], and the determinism-under-tracing fuzz bank). *)
 let worst_to_json w =
   Json.Obj
     [
-      ("rho", Json.Float w.rho);
+      ("rho", Json.number w.rho);
       ( "witness",
         match w.witness with Some g -> Json.String (Encode.to_graph6 g) | None -> Json.Null );
       ("stable", Json.Int w.stable_count); ("checked", Json.Int w.checked);
       ("exhausted", Json.Int w.exhausted);
     ]
 
-let cell_to_json c =
+let cell_to_json ?(wall = true) c =
   Json.Obj
-    [
-      ("n", Json.Int c.size); ("concept", Json.String (Concept.name c.concept));
-      ("alpha", Json.Float c.alpha); ("worst", worst_to_json c.worst);
-      ("cache_hits", Json.Int c.cache_hits); ("wall_s", Json.Float c.wall);
-    ]
+    ([
+       ("n", Json.Int c.size); ("concept", Json.String (Concept.name c.concept));
+       ("alpha", Json.number c.alpha); ("worst", worst_to_json c.worst);
+       ("cache_hits", Json.Int c.cache_hits);
+     ]
+    @ if wall then [ ("wall_s", Json.Float c.wall) ] else [])
 
-let outcome_to_json o =
+let outcome_to_json ?(wall = true) o =
   Json.Obj
     [
-      ("cells", Json.List (List.map cell_to_json o.cells));
+      ("cells", Json.List (List.map (cell_to_json ~wall) o.cells));
       ( "totals",
         Json.Obj
-          [
-            ("checked", Json.Int o.totals.total_checked);
-            ("cache_hits", Json.Int o.totals.total_cache_hits);
-            ("stable", Json.Int o.totals.total_stable);
-            ("exhausted", Json.Int o.totals.total_exhausted);
-            ("wall_s", Json.Float o.totals.total_wall);
-          ] );
+          ([
+             ("checked", Json.Int o.totals.total_checked);
+             ("cache_hits", Json.Int o.totals.total_cache_hits);
+             ("stable", Json.Int o.totals.total_stable);
+             ("exhausted", Json.Int o.totals.total_exhausted);
+           ]
+          @ if wall then [ ("wall_s", Json.Float o.totals.total_wall) ] else []) );
     ]

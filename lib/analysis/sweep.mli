@@ -92,8 +92,15 @@ val run_cell :
     parallel fold (no canonicalisation cost). *)
 
 val worst_to_json : worst -> Json.t
-val cell_to_json : cell -> Json.t
+(** [rho] goes through {!Json.number}, so an infinite ratio (a
+    disconnected [Explicit] witness) serialises as ["inf"] instead of
+    being lost. *)
 
-val outcome_to_json : outcome -> Json.t
+val cell_to_json : ?wall:bool -> cell -> Json.t
+
+val outcome_to_json : ?wall:bool -> outcome -> Json.t
 (** [{"cells": [...], "totals": {...}}] — the schema behind
-    [bncg sweep --json] (see README). *)
+    [bncg sweep --json] (see README).  [~wall:false] omits the [wall_s]
+    fields — the only nondeterministic ones — so two runs of the same
+    spec byte-compare ([bncg sweep --no-wall], the CI traced-vs-untraced
+    gate, and the determinism-under-tracing fuzz bank). *)

@@ -230,14 +230,38 @@ let results_to_json results =
          Json.Obj
            [
              ("name", Json.String r.name);
-             ("ns_per_run", Json.Float r.ns);
-             ("ols_ns", Json.Float r.ols_ns);
-             ("r_square", Json.Float r.r2);
+             ("ns_per_run", Json.number r.ns);
+             ("ols_ns", Json.number r.ols_ns);
+             ("r_square", Json.number r.r2);
              ("samples", Json.Int r.samples);
            ])
        results)
 
 type regression = { bench : string; baseline_ns : float; fresh_ns : float; ratio : float }
+
+(* Structural check before [check_against]: a baseline that is not a
+   list of {"name": string, "ns_per_run": number} rows would otherwise
+   silently compare against nothing and pass the gate. *)
+let validate_baseline json =
+  match Json.as_list json with
+  | None -> Error "baseline must be a JSON list of benchmark rows"
+  | Some [] -> Error "baseline is empty: no benchmark rows to compare against"
+  | Some rows ->
+      let bad i row =
+        match (Json.member "name" row, Json.member "ns_per_run" row) with
+        | Some n, Some v -> (
+            match (Json.as_string n, Json.as_number v) with
+            | Some _, Some _ -> None
+            | None, _ -> Some (Printf.sprintf "row %d: \"name\" is not a string" i)
+            | _, None -> Some (Printf.sprintf "row %d: \"ns_per_run\" is not a number" i))
+        | None, _ -> Some (Printf.sprintf "row %d: missing \"name\"" i)
+        | _, None -> Some (Printf.sprintf "row %d: missing \"ns_per_run\"" i)
+      in
+      let rec first i = function
+        | [] -> Ok ()
+        | row :: rest -> ( match bad i row with Some e -> Error e | None -> first (i + 1) rest)
+      in
+      first 0 rows
 
 let check_against ~baseline ~tolerance results =
   let rows = Option.value ~default:[] (Json.as_list baseline) in
@@ -245,7 +269,7 @@ let check_against ~baseline ~tolerance results =
     List.find_map
       (fun row ->
         match (Json.member "name" row, Json.member "ns_per_run" row) with
-        | Some n, Some v when Json.as_string n = Some name -> Json.as_float v
+        | Some n, Some v when Json.as_string n = Some name -> Json.as_number v
         | _ -> None)
       rows
   in

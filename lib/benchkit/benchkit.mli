@@ -43,7 +43,9 @@ val run : ?quota:float -> ?warmup:int -> ?only:string list -> unit -> result lis
 
 val results_to_json : result list -> Json.t
 (** A list of [{"name", "ns_per_run", "ols_ns", "r_square", "samples"}]
-    rows; [ns_per_run] is the trimmed mean. *)
+    rows; [ns_per_run] is the trimmed mean.  Numeric fields go through
+    {!Json.number}, so a failed fit (nan OLS slope) serialises as the
+    string ["nan"] instead of crashing or corrupting the file. *)
 
 val print_table : result list -> unit
 (** Human-readable table via {!Report.print_table}. *)
@@ -54,6 +56,14 @@ type regression = {
   fresh_ns : float;
   ratio : float;  (** [fresh_ns /. baseline_ns] *)
 }
+
+val validate_baseline : Json.t -> (unit, string) Stdlib.result
+(** Structural check of a parsed baseline file: a non-empty list whose
+    rows each carry a string ["name"] and a numeric ["ns_per_run"]
+    (plain or {!Json.number}-encoded).  [Error msg] pinpoints the first
+    offending row; [bncg perf --check] turns it into a one-line
+    diagnostic and exit code 2 instead of silently comparing against
+    nothing. *)
 
 val check_against : baseline:Json.t -> tolerance:float -> result list -> regression list
 (** [check_against ~baseline ~tolerance results] compares each result

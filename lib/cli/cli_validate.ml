@@ -1,0 +1,30 @@
+(* See the interface: exact one-line diagnostics, unit-tested in
+   test_cli, turned into [exit 2] by the CLI's [die]. *)
+
+let alphas s =
+  let parts = List.map String.trim (String.split_on_char ',' s) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ -> Error (Printf.sprintf "--alphas %S: empty entry" s)
+    | p :: rest -> (
+        match float_of_string_opt p with
+        | None -> Error (Printf.sprintf "--alphas: %S is not a number" p)
+        | Some a when not (Float.is_finite a) ->
+            Error (Printf.sprintf "--alphas: %S is not finite" p)
+        | Some a when a <= 0. -> Error (Printf.sprintf "--alphas: %S is not > 0" p)
+        | Some a -> go (a :: acc) rest)
+  in
+  if parts = [ "" ] then Error "--alphas: empty grid" else go [] parts
+
+let domains = function
+  | None -> Ok None
+  | Some d when d >= 1 -> Ok (Some d)
+  | Some d -> Error (Printf.sprintf "--domains must be >= 1 (got %d)" d)
+
+let heartbeat = function
+  | None -> Ok None
+  | Some h when Float.is_finite h && h > 0. -> Ok (Some h)
+  | Some h ->
+      Error
+        (Printf.sprintf "--heartbeat must be a positive number of seconds (got %s)"
+           (string_of_float h))

@@ -1,0 +1,23 @@
+(** Flag validation shared by the [bncg] subcommands.
+
+    cmdliner rejects syntactically malformed options with its own
+    multi-line usage error and exit code 124; the contract for [bncg]
+    is stricter — a semantically bad flag value must produce exactly
+    one [bncg: ...] line on stderr and exit code 2 (see the CLI tests).
+    So flags with value constraints are taken as plain strings/options
+    and validated here, where each rule is a unit-testable function
+    returning [Error msg] with the exact one-line diagnostic. *)
+
+val alphas : string -> (float list, string) result
+(** Parses a comma-separated α grid ([--alphas]).  Each entry must be a
+    finite number [> 0]; entries may carry surrounding whitespace.
+    Empty entries (as in ["1,,2"]) and an empty grid are errors. *)
+
+val domains : int option -> (int option, string) result
+(** Validates [--domains]: absent is fine (recommended count); an
+    explicit value must be [>= 1]. *)
+
+val heartbeat : float option -> (float option, string) result
+(** Validates [--heartbeat]: absent is fine; an explicit interval must
+    be finite and [> 0] seconds (cmdliner's float parser accepts
+    ["nan"] and ["inf"], so finiteness is checked here). *)

@@ -8,9 +8,16 @@ type t =
   | Obj of (string * t) list
 
 (* Shortest decimal that parses back to the same IEEE double: the cert
-   store's resume guarantee needs journaled floats to be bit-exact. *)
+   store's resume guarantee needs journaled floats to be bit-exact.
+   Non-finite values must be dispatched before the repr search: the
+   [float_of_string s = x] round-trip test is always false for nan
+   (nan <> nan), so nan used to fall silently through every %.Ng
+   candidate to the widest fallback. *)
 let float_repr x =
-  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
   else begin
     let s = Printf.sprintf "%.15g" x in
     if float_of_string s = x then s
@@ -19,6 +26,19 @@ let float_repr x =
       if float_of_string s = x then s else Printf.sprintf "%.17g" x
     end
   end
+
+(* JSON has no non-finite numbers.  Encode them as the three strings the
+   certificate store established, so every float round-trips. *)
+let number x =
+  if Float.is_finite x then Float x else String (float_repr x)
+
+let as_number = function
+  | Float x -> Some x
+  | Int n -> Some (float_of_int n)
+  | String "inf" -> Some Float.infinity
+  | String "-inf" -> Some Float.neg_infinity
+  | String "nan" -> Some Float.nan
+  | Null | Bool _ | String _ | List _ | Obj _ -> None
 
 let add_escaped buf s =
   String.iter
@@ -41,7 +61,15 @@ let to_string v =
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int n -> Buffer.add_string buf (string_of_int n)
     | Float x ->
-        Buffer.add_string buf (if Float.is_finite x then float_repr x else "null")
+        (* Bare nan/inf tokens are invalid JSON, and the historical
+           fallback (render as null) silently lost data — PR 3's fuzzing
+           caught dropped certificates for ρ = ∞.  Refuse loudly; callers
+           with legitimately non-finite values use [number]. *)
+        if Float.is_finite x then Buffer.add_string buf (float_repr x)
+        else
+          invalid_arg
+            (Printf.sprintf "Json.to_string: non-finite float %s (use Json.number)"
+               (float_repr x))
     | String s ->
         Buffer.add_char buf '"';
         add_escaped buf s;

@@ -19,8 +19,11 @@ type t =
 
 val to_string : t -> string
 (** Compact single-line rendering (no trailing newline).  Object fields
-    print in the order given.  Non-finite floats render as [null] —
-    callers that care must encode them another way. *)
+    print in the order given.
+    @raise Invalid_argument on a non-finite {!Float}: bare [nan]/[inf]
+    tokens are invalid JSON, and the historical fallback of printing
+    [null] silently dropped data (ρ is legitimately infinite for a
+    disconnected graph).  Encode non-finite values with {!number}. *)
 
 val of_string : string -> (t, string) result
 (** Parses one JSON value (surrounding whitespace allowed).  Numbers
@@ -30,7 +33,19 @@ val of_string : string -> (t, string) result
 val float_repr : float -> string
 (** The float rendering {!to_string} uses: the shortest of [%.15g],
     [%.16g], [%.17g] that parses back to the same bits (integral values
-    print as ["1.0"]-style so they stay floats on re-parse). *)
+    print as ["1.0"]-style so they stay floats on re-parse).  Non-finite
+    values — handled before the repr search, which could never
+    round-trip [nan] — print as ["nan"], ["inf"], ["-inf"]. *)
+
+val number : float -> t
+(** Total float embedding: finite values become {!Float}, non-finite
+    ones the strings ["nan"] / ["inf"] / ["-inf"] (the certificate
+    store's encoding).  Use this for any field that may carry ±∞ or nan
+    — {!to_string} rejects non-finite {!Float}s. *)
+
+val as_number : t -> float option
+(** Inverse of {!number}: accepts {!Float}, {!Int}, and the three
+    non-finite strings. *)
 
 val member : string -> t -> t option
 (** [member k (Obj fields)] is the value bound to [k], if any; [None]

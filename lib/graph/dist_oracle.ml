@@ -19,6 +19,31 @@
 
 type stats = { scratch : int; relaxed : int; kept : int; dropped : int }
 
+(* Process-wide aggregates of the same four counters, summed over every
+   oracle instance on every domain.  The observability layer sits above
+   this library in the dependency order, so it polls these at snapshot
+   time instead of the oracle pushing events.  Each increment amortises
+   at least O(n) of repair work, so the always-on atomic is noise. *)
+let g_scratch = Atomic.make 0
+let g_relaxed = Atomic.make 0
+let g_kept = Atomic.make 0
+let g_dropped = Atomic.make 0
+let bump a = ignore (Atomic.fetch_and_add a 1)
+
+let global_stats () =
+  {
+    scratch = Atomic.get g_scratch;
+    relaxed = Atomic.get g_relaxed;
+    kept = Atomic.get g_kept;
+    dropped = Atomic.get g_dropped;
+  }
+
+let reset_global_stats () =
+  Atomic.set g_scratch 0;
+  Atomic.set g_relaxed 0;
+  Atomic.set g_kept 0;
+  Atomic.set g_dropped 0
+
 type t = {
   n : int;
   damage : float;
@@ -133,7 +158,8 @@ let scratch_bfs t x =
   t.sum.(x) <- !sum;
   t.unreach.(x) <- t.n - !reached;
   t.valid.(x) <- true;
-  t.s_scratch <- t.s_scratch + 1
+  t.s_scratch <- t.s_scratch + 1;
+  bump g_scratch
 
 let ensure t x = if not t.valid.(x) then scratch_bfs t x
 
@@ -200,7 +226,8 @@ let relax_row t x u v =
         t.adj.(y)
     done
   end;
-  t.s_relaxed <- t.s_relaxed + 1
+  t.s_relaxed <- t.s_relaxed + 1;
+  bump g_relaxed
 
 let add_edge t u v =
   check_edge t u v "add_edge";
@@ -231,7 +258,8 @@ let add_edge t u v =
   if float_of_int !affected > t.damage *. float_of_int t.n then
     for i = 0 to !affected - 1 do
       t.valid.(t.work.(i)) <- false;
-      t.s_dropped <- t.s_dropped + 1
+      t.s_dropped <- t.s_dropped + 1;
+      bump g_dropped
     done
   else
     for i = 0 to !affected - 1 do
@@ -251,7 +279,10 @@ let remove_edge t u v =
       let du = row.(u) and dv = row.(v) in
       (* u and v are adjacent, so from any x both are reachable or
          neither is, and finite distances differ by at most one *)
-      if du = dv then t.s_kept <- t.s_kept + 1
+      if du = dv then begin
+        t.s_kept <- t.s_kept + 1;
+        bump g_kept
+      end
       else begin
         let near, far = if du < dv then (u, v) else (v, u) in
         let dfar = row.(far) in
@@ -260,10 +291,14 @@ let remove_edge t u v =
         let saved =
           List.exists (fun w -> w <> near && row.(w) = dfar - 1) t.adj.(far)
         in
-        if saved then t.s_kept <- t.s_kept + 1
+        if saved then begin
+          t.s_kept <- t.s_kept + 1;
+          bump g_kept
+        end
         else begin
           t.valid.(x) <- false;
-          t.s_dropped <- t.s_dropped + 1
+          t.s_dropped <- t.s_dropped + 1;
+          bump g_dropped
         end
       end
     end

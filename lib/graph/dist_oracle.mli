@@ -80,3 +80,11 @@ val stats : t -> stats
 (** Repair counters since [create]: rows filled by scratch BFS, rows
     repaired by relaxation, rows proven unchanged by the delete tests,
     rows invalidated.  For tests and tuning; no semantic content. *)
+
+val global_stats : unit -> stats
+(** The same four counters summed process-wide over every oracle
+    instance and domain since startup (or {!reset_global_stats}).  The
+    observability layer polls this at heartbeat/snapshot time so oracle
+    behaviour shows up in traces without per-instance plumbing. *)
+
+val reset_global_stats : unit -> unit

@@ -19,6 +19,16 @@
 
 type checker = ?budget:int -> alpha:float -> Concept.t -> Graph.t -> Verdict.t
 
+(* Telemetry only (see Obs): cases/sec per concept from heartbeat
+   deltas, shrink effort, and the flip count of the distance-oracle
+   differential.  Campaign output stays byte-identical with tracing on
+   or off — the counters are never read back. *)
+let c_cases = Obs.counter "fuzz.cases"
+let c_failures = Obs.counter "fuzz.failures"
+let c_shrink_iters = Obs.counter "fuzz.shrink_iters"
+let c_oracle_cases = Obs.counter "fuzz.oracle_cases"
+let c_oracle_flips = Obs.counter "fuzz.oracle_flips"
+
 let kind_disagreement = "oracle-disagreement"
 let kind_witness = "witness-not-improving"
 let kind_relabel = "relabel-variance"
@@ -144,6 +154,9 @@ let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
   let stats =
     List.mapi
       (fun ci concept ->
+        Obs.span "fuzz.concept"
+          ~args:[ ("concept", Json.String (Concept.name concept)); ("budget", Json.Int budget) ]
+        @@ fun () ->
         let weighted = allowed_sizes concept sizes in
         let stable = ref 0 and unstable = ref 0 and exhausted = ref 0 in
         let failed = ref 0 and cases = ref 0 in
@@ -163,6 +176,7 @@ let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
         in
         let record (i, g, alpha, verdict, problem) =
           incr cases;
+          Obs.incr c_cases;
           (match verdict with
           | Some Verdict.Stable -> incr stable
           | Some (Verdict.Unstable _) -> incr unstable
@@ -172,11 +186,13 @@ let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
           | None -> ()
           | Some (kind, detail) ->
               incr failed;
+              Obs.incr c_failures;
               if !failed <= 10 then begin
                 (* Shrink to the smallest case still failing in any way:
                    the minimal repro matters more than preserving the
                    original failure kind. *)
                 let still_fails alpha g =
+                  Obs.incr c_shrink_iters;
                   Graph.n g >= 1
                   && Option.is_some (diagnose ~check ~perm:None concept ~alpha g)
                 in
@@ -205,6 +221,7 @@ let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
               let chunk_len = min 64 (budget - i) in
               let chunk = List.init chunk_len (fun j -> i + j) in
               List.iter record (Parallel.map ?domains eval chunk);
+              Obs.tick ();
               loop (i + chunk_len)
             end
         in
@@ -332,6 +349,8 @@ let oracle_case seed i =
   (!steps, !failure)
 
 let run_oracle ?domains ?deadline ~seed ~budget () =
+  Obs.span "fuzz.oracle" ~args:[ ("budget", Json.Int budget) ]
+  @@ fun () ->
   let deadline_hit () =
     match deadline with None -> false | Some t -> Unix.gettimeofday () > t
   in
@@ -340,7 +359,9 @@ let run_oracle ?domains ?deadline ~seed ~budget () =
   let failures = ref [] in
   let record (steps, failure) =
     incr cases;
+    Obs.incr c_oracle_cases;
     flips := !flips + steps;
+    Obs.add c_oracle_flips steps;
     match failure with
     | None -> ()
     | Some f ->
@@ -354,6 +375,7 @@ let run_oracle ?domains ?deadline ~seed ~budget () =
         let chunk_len = min 64 (budget - i) in
         let chunk = List.init chunk_len (fun j -> i + j) in
         List.iter record (Parallel.map ?domains (oracle_case seed) chunk);
+        Obs.tick ();
         loop (i + chunk_len)
       end
   in
@@ -389,9 +411,9 @@ let failure_to_json (f : failure) =
       ("concept", Json.String (Concept.name f.concept));
       ("kind", Json.String f.kind);
       ("case", Json.Int f.case);
-      ("alpha", Json.Float f.alpha);
+      ("alpha", Json.number f.alpha);
       ("graph", graph_json f.graph);
-      ("shrunk_alpha", Json.Float f.shrunk_alpha);
+      ("shrunk_alpha", Json.number f.shrunk_alpha);
       ("shrunk_graph", graph_json f.shrunk_graph);
       ("detail", Json.String f.detail);
     ]

@@ -1,0 +1,140 @@
+open Helpers
+
+(* End-to-end contract of the bncg executable: semantically bad flag
+   values produce exactly one [bncg: ...] line and exit code 2 (not
+   cmdliner's 124 usage error), telemetry flags never change results,
+   and JSON outputs re-parse even when they carry non-finite values.
+   The binary is declared as a test dependency, so these run against
+   the freshly built CLI. *)
+
+let bin = "../bin/bncg_cli.exe"
+
+type out = { code : int; stdout : string; stderr : string }
+
+let run_cli args =
+  let out_f = Filename.temp_file "bncg-cli" ".out" in
+  let err_f = Filename.temp_file "bncg-cli" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out_f;
+      Sys.remove err_f)
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" bin
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_f) (Filename.quote err_f)
+  in
+  let code =
+    match Unix.system cmd with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  {
+    code;
+    stdout = In_channel.with_open_text out_f In_channel.input_all;
+    stderr = In_channel.with_open_text err_f In_channel.input_all;
+  }
+
+let check_dies name args =
+  let r = run_cli args in
+  check_int (name ^ ": exit code") 2 r.code;
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' r.stderr)
+  in
+  check_int (name ^ ": one stderr line") 1 (List.length lines);
+  check_true
+    (name ^ ": bncg: prefix on " ^ List.hd lines)
+    (String.starts_with ~prefix:"bncg: " (List.hd lines))
+
+let with_tmp suffix f =
+  let path = Filename.temp_file "bncg-cli" suffix in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
+  f path
+
+let suite =
+  [
+    tc "Cli_validate.alphas" (fun () ->
+        check_true "grid parses" (Cli_validate.alphas "1, 2.5,1e2" = Ok [ 1.; 2.5; 100. ]);
+        check_true "garbage rejected" (Result.is_error (Cli_validate.alphas "1,x"));
+        check_true "empty entry rejected" (Result.is_error (Cli_validate.alphas "1,,2"));
+        check_true "empty grid rejected" (Result.is_error (Cli_validate.alphas ""));
+        check_true "nan rejected" (Result.is_error (Cli_validate.alphas "nan"));
+        check_true "inf rejected" (Result.is_error (Cli_validate.alphas "inf"));
+        check_true "zero rejected" (Result.is_error (Cli_validate.alphas "0"));
+        check_true "negative rejected" (Result.is_error (Cli_validate.alphas "2,-1")));
+    tc "Cli_validate.domains and heartbeat" (fun () ->
+        check_true "absent ok" (Cli_validate.domains None = Ok None);
+        check_true "positive ok" (Cli_validate.domains (Some 4) = Ok (Some 4));
+        check_true "zero rejected" (Result.is_error (Cli_validate.domains (Some 0)));
+        check_true "negative rejected" (Result.is_error (Cli_validate.domains (Some (-2))));
+        check_true "hb absent ok" (Cli_validate.heartbeat None = Ok None);
+        check_true "hb positive ok" (Cli_validate.heartbeat (Some 0.5) = Ok (Some 0.5));
+        check_true "hb zero rejected" (Result.is_error (Cli_validate.heartbeat (Some 0.)));
+        check_true "hb nan rejected"
+          (Result.is_error (Cli_validate.heartbeat (Some Float.nan)));
+        check_true "hb inf rejected"
+          (Result.is_error (Cli_validate.heartbeat (Some Float.infinity))));
+    slow "bad flags: one line on stderr, exit 2" (fun () ->
+        check_dies "sweep --domains 0" [ "sweep"; "--domains"; "0"; "--sizes"; "4" ];
+        check_dies "sweep --domains=-3" [ "sweep"; "--domains=-3"; "--sizes"; "4" ];
+        check_dies "sweep bad --alphas" [ "sweep"; "--alphas"; "1,x"; "--sizes"; "4" ];
+        check_dies "sweep --alphas=-1" [ "sweep"; "--alphas=-1"; "--sizes"; "4" ];
+        check_dies "sweep --heartbeat 0" [ "sweep"; "--heartbeat"; "0"; "--sizes"; "4" ];
+        check_dies "fuzz --domains 0" [ "fuzz"; "--domains"; "0"; "--budget"; "1" ];
+        check_dies "fuzz --heartbeat nan"
+          [ "fuzz"; "--heartbeat"; "nan"; "--budget"; "1" ];
+        check_dies "trace on a missing file" [ "trace"; "/nonexistent/t.jsonl" ]);
+    slow "perf --check rejects malformed baselines" (fun () ->
+        (* Baseline problems are diagnosed before any measurement runs,
+           so these subprocesses return in milliseconds. *)
+        check_dies "missing baseline" [ "perf"; "--check"; "/nonexistent/base.json" ];
+        with_tmp ".json" (fun path ->
+            Out_channel.with_open_text path (fun oc -> output_string oc "{\"broken\":");
+            check_dies "unparseable baseline" [ "perf"; "--check"; path ]);
+        with_tmp ".json" (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc "[{\"name\":\"x\"}]");
+            check_dies "row without ns_per_run" [ "perf"; "--check"; path ]);
+        with_tmp ".json" (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc "{\"name\":\"x\",\"ns_per_run\":1}");
+            check_dies "baseline not a list" [ "perf"; "--check"; path ]));
+    slow "check --json on a disconnected graph emits a parseable inf rho" (fun () ->
+        (* "A?" is the 2-vertex empty graph: rho is infinite, which must
+           serialise as the string "inf", never a bare inf token. *)
+        let r = run_cli [ "check"; "--json"; "-a"; "2"; "-c"; "PS"; "-g"; "A?" ] in
+        match Json.of_string (String.trim r.stdout) with
+        | Error e -> Alcotest.failf "output does not parse: %s (%S)" e r.stdout
+        | Ok j ->
+            check_true "rho reads back as inf"
+              (Option.bind (Json.member "rho" j) Json.as_number = Some Float.infinity));
+    slow "traced sweep is byte-identical and its trace converts" (fun () ->
+        with_tmp ".jsonl" @@ fun trace ->
+        with_tmp ".json" @@ fun chrome ->
+        let base =
+          [
+            "sweep"; "--family"; "trees"; "--sizes"; "6"; "--concepts"; "ps";
+            "--alphas"; "2"; "--json"; "--no-wall";
+          ]
+        in
+        let plain = run_cli base in
+        check_int "untraced exit" 0 plain.code;
+        let traced =
+          run_cli (base @ [ "--trace"; trace; "--heartbeat"; "0.001" ])
+        in
+        check_int "traced exit" 0 traced.code;
+        Alcotest.(check string) "stdout byte-identical" plain.stdout traced.stdout;
+        (* every trace line parses with the repo's own parser *)
+        In_channel.with_open_text trace In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.iter (fun l ->
+               match Json.of_string l with
+               | Ok _ -> ()
+               | Error e -> Alcotest.failf "trace line %S: %s" l e);
+        let conv = run_cli [ "trace"; trace; "-o"; chrome ] in
+        check_int "trace convert exit" 0 conv.code;
+        match Json.of_string (In_channel.with_open_text chrome In_channel.input_all) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "chrome json: %s" e);
+  ]

@@ -41,9 +41,46 @@ let suite =
                ("a", Json.List [ Json.Int 1; Json.Null; Json.Obj [] ]);
                ("b", Json.Obj [ ("c", Json.List []) ]);
              ]));
-    tc "non-finite floats become null" (fun () ->
-        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
-        Alcotest.(check string) "inf" "null" (Json.to_string (Json.Float infinity)));
+    tc "non-finite floats refuse to serialise bare" (fun () ->
+        List.iter
+          (fun x ->
+            check_raises_invalid (Json.float_repr x) (fun () ->
+                Json.to_string (Json.Float x));
+            (* ... even nested, where the old null fallback hid them *)
+            check_raises_invalid
+              (Json.float_repr x ^ " nested")
+              (fun () -> Json.to_string (Json.Obj [ ("x", Json.List [ Json.Float x ]) ])))
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    tc "Json.number round-trips non-finite floats" (fun () ->
+        List.iter
+          (fun x ->
+            let j = Json.number x in
+            roundtrip (Json.float_repr x) j;
+            match Json.of_string (Json.to_string j) with
+            | Ok j' -> (
+                match Json.as_number j' with
+                | Some x' ->
+                    Alcotest.(check int64)
+                      (Printf.sprintf "bits of %s" (Json.float_repr x))
+                      (Int64.bits_of_float x) (Int64.bits_of_float x')
+                | None -> Alcotest.failf "%s: as_number failed" (Json.float_repr x))
+            | Error e -> Alcotest.failf "reparse: %s" e)
+          [ Float.nan; Float.infinity; Float.neg_infinity; 0.; 0.1; -1.25e300; 4.9e-324 ];
+        check_true "finite stays a Float" (Json.number 2.5 = Json.Float 2.5);
+        check_true "as_number of Int" (Json.as_number (Json.Int 3) = Some 3.);
+        check_true "as_number rejects other strings" (Json.as_number (Json.String "x") = None);
+        check_true "as_number rejects null" (Json.as_number Json.Null = None));
+    tc "float_repr pins" (fun () ->
+        List.iter
+          (fun (x, expect) ->
+            Alcotest.(check string) expect expect (Json.float_repr x))
+          [
+            (0.1, "0.1"); (1e300, "1e+300"); (-0.0, "-0.0");
+            (4.9e-324, "4.94065645841247e-324") (* smallest subnormal *);
+            (2.2250738585072014e-308, "2.2250738585072014e-308") (* smallest normal *);
+            (Float.nan, "nan"); (Float.infinity, "inf"); (Float.neg_infinity, "-inf");
+            (-.Float.nan, "nan");
+          ]);
     tc "parser handles unicode escapes" (fun () ->
         match Json.of_string {|"a\u0041\u00e9"|} with
         | Ok (Json.String s) -> Alcotest.(check string) "decoded" "aA\xc3\xa9" s

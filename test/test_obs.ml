@@ -1,0 +1,237 @@
+open Helpers
+
+(* The observability layer's two promises, pinned here: (1) telemetry
+   never changes a result — sweeps and fuzz campaigns are byte-identical
+   with tracing off, tracing on, and aggressive heartbeats, at any
+   domain count; (2) everything it writes is valid JSON, line by line,
+   and survives the Chrome export. *)
+
+let with_sink ?trace ?heartbeat f =
+  Obs.start ?trace ?heartbeat ~echo:false ();
+  Fun.protect ~finally:Obs.stop f
+
+let read_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+
+let parse_line name l =
+  match Json.of_string l with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: %S does not parse: %s" name l e
+
+(* ------------------------------------------------------------------ *)
+(* Determinism bank                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_bytes domains =
+  let spec =
+    {
+      Sweep.family = Sweep.Trees;
+      sizes = [ 6 ];
+      concepts = [ Concept.PS ];
+      alphas = [ 2.; 3. ];
+      budget = None;
+      domains = Some domains;
+    }
+  in
+  Json.to_string (Sweep.outcome_to_json ~wall:false (Sweep.run spec))
+
+let fuzz_bytes domains =
+  Json.to_string
+    (Fuzz.outcome_to_json
+       (Fuzz.run ~domains ~sizes:[ 3; 4; 5 ]
+          ~concepts:[ Concept.PS; Concept.BGE ]
+          ~seed:7L ~budget:96 ()))
+
+let oracle_bytes domains =
+  Json.to_string
+    (Fuzz.oracle_outcome_to_json (Fuzz.run_oracle ~domains ~seed:11L ~budget:24 ()))
+
+let bank name bytes_of =
+  let base = bytes_of 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s untraced d=%d" name d)
+        base (bytes_of d);
+      let t = Filename.temp_file "bncg-obs" ".jsonl" in
+      Fun.protect ~finally:(fun () -> Sys.remove t) @@ fun () ->
+      let traced = with_sink ~trace:t ~heartbeat:0.01 (fun () -> bytes_of d) in
+      Alcotest.(check string) (Printf.sprintf "%s traced d=%d" name d) base traced;
+      List.iter (fun l -> ignore (parse_line name l)) (read_lines t);
+      let hb_only = with_sink ~heartbeat:0.01 (fun () -> bytes_of d) in
+      Alcotest.(check string) (Printf.sprintf "%s hb-only d=%d" name d) base hb_only)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    tc "counters accumulate only while a sink is active" (fun () ->
+        let c = Obs.counter "test.obs.counter" in
+        check_true "interned" (Obs.counter "test.obs.counter" == c);
+        Obs.reset_counters ();
+        Obs.add c 5;
+        Obs.incr c;
+        check_int "disabled adds are dropped" 0 (Obs.value c);
+        check_false "disabled" (Obs.enabled ());
+        with_sink ~heartbeat:60. (fun () ->
+            check_true "enabled" (Obs.enabled ());
+            Obs.add c 5;
+            Obs.incr c);
+        check_int "enabled adds land" 6 (Obs.value c);
+        check_false "disabled again after stop" (Obs.enabled ());
+        check_true "snapshot carries it"
+          (List.assoc_opt "test.obs.counter" (Obs.snapshot ()) = Some 6);
+        check_true "snapshot polls the dist oracle"
+          (List.mem_assoc "dist_oracle.scratch" (Obs.snapshot ()));
+        Obs.reset_counters ();
+        check_int "reset" 0 (Obs.value c));
+    tc "start validation and stop idempotence" (fun () ->
+        check_raises_invalid "zero heartbeat" (fun () -> Obs.start ~heartbeat:0. ());
+        check_raises_invalid "negative heartbeat" (fun () ->
+            Obs.start ~heartbeat:(-1.) ());
+        check_raises_invalid "nan heartbeat" (fun () ->
+            Obs.start ~heartbeat:Float.nan ());
+        with_sink ~heartbeat:60. (fun () ->
+            check_raises_invalid "double start" (fun () -> Obs.start ()));
+        Obs.stop ();
+        Obs.stop () (* idempotent *));
+    tc "span is transparent and survives exceptions" (fun () ->
+        check_int "passthrough without sink" 7 (Obs.span "test.span" (fun () -> 7));
+        let t = Filename.temp_file "bncg-obs" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove t) @@ fun () ->
+        with_sink ~trace:t (fun () ->
+            check_int "passthrough with sink" 7 (Obs.span "test.span" (fun () -> 7));
+            match Obs.span "test.raises" (fun () -> failwith "boom") with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "expected Failure");
+        let lines = read_lines t in
+        let names =
+          List.filter_map
+            (fun l ->
+              let j = parse_line "span trace" l in
+              match Json.member "ev" j with
+              | Some (Json.String "span") ->
+                  Option.bind (Json.member "name" j) Json.as_string
+              | _ -> None)
+            lines
+        in
+        check_true "emitted the normal span" (List.mem "test.span" names);
+        check_true "emitted the raising span" (List.mem "test.raises" names));
+    tc "heartbeats fire from tick and carry increasing seq" (fun () ->
+        let t = Filename.temp_file "bncg-obs" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove t) @@ fun () ->
+        with_sink ~trace:t ~heartbeat:0.001 (fun () ->
+            for _ = 1 to 3 do
+              Unix.sleepf 0.005;
+              Obs.tick ()
+            done);
+        let seqs =
+          List.filter_map
+            (fun l ->
+              let j = parse_line "hb trace" l in
+              match Json.member "ev" j with
+              | Some (Json.String "heartbeat") ->
+                  Option.bind (Json.member "seq" j) Json.as_int
+              | _ -> None)
+            (read_lines t)
+        in
+        check_true "at least one heartbeat" (List.length seqs >= 1);
+        check_true "seq strictly increasing"
+          (List.for_all2 ( < ) seqs (List.tl seqs @ [ max_int ])));
+    tc "trace schema: meta first, final counters, chrome export" (fun () ->
+        let t = Filename.temp_file "bncg-obs" ".jsonl" in
+        let chrome = Filename.temp_file "bncg-obs" ".json" in
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove t;
+            Sys.remove chrome)
+        @@ fun () ->
+        with_sink ~trace:t ~heartbeat:0.001 (fun () -> ignore (sweep_bytes 2));
+        let lines = read_lines t in
+        let ev l =
+          Option.bind (Json.member "ev" (parse_line "schema" l)) Json.as_string
+        in
+        check_true "first line is meta" (ev (List.hd lines) = Some "meta");
+        check_true "last line is the final counter snapshot"
+          (ev (List.nth lines (List.length lines - 1)) = Some "counters");
+        (match Obs.export_chrome ~src:t ~dst:(Some chrome) with
+        | Error e -> Alcotest.failf "export: %s" e
+        | Ok n -> check_true "events produced" (n > 0));
+        let j =
+          parse_line "chrome json"
+            (In_channel.with_open_text chrome In_channel.input_all)
+        in
+        match Option.bind (Json.member "traceEvents" j) Json.as_list with
+        | Some events -> check_true "chrome events non-empty" (events <> [])
+        | None -> Alcotest.fail "no traceEvents list");
+    tc "export_chrome rejects a corrupt trace with line info" (fun () ->
+        let t = Filename.temp_file "bncg-obs" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove t) @@ fun () ->
+        Out_channel.with_open_text t (fun oc ->
+            output_string oc "{\"ev\":\"meta\"}\nnot json\n");
+        match Obs.export_chrome ~src:t ~dst:None with
+        | Error e -> check_true "mentions line 2" (String.length e > 0)
+        | Ok _ -> Alcotest.fail "accepted corrupt trace");
+    slow "sweep byte-identical under tracing/heartbeat/domains" (fun () ->
+        bank "sweep" sweep_bytes);
+    slow "fuzz byte-identical under tracing/heartbeat/domains" (fun () ->
+        bank "fuzz" fuzz_bytes);
+    slow "dist-oracle differential byte-identical under tracing" (fun () ->
+        bank "oracle" oracle_bytes);
+    tc "json lint: non-finite values re-parse everywhere" (fun () ->
+        (* Sweep worst with rho = inf — a disconnected stable witness. *)
+        let w =
+          { Sweep.empty with rho = Float.infinity; stable_count = 1; checked = 1 }
+        in
+        let s = Json.to_string (Sweep.worst_to_json w) in
+        (match Json.of_string s with
+        | Ok j ->
+            check_true "rho round-trips as inf"
+              (Option.bind (Json.member "rho" j) Json.as_number = Some Float.infinity)
+        | Error e -> Alcotest.failf "worst_to_json: %s" e);
+        (* Benchkit rows with a failed fit (nan everywhere). *)
+        let r =
+          {
+            Benchkit.name = "degenerate";
+            ns = Float.nan;
+            ols_ns = Float.nan;
+            r2 = Float.nan;
+            samples = 0;
+          }
+        in
+        (match Json.of_string (Json.to_string (Benchkit.results_to_json [ r ])) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "results_to_json: %s" e);
+        (* A fuzz failure report carrying non-finite alphas. *)
+        let g = Graph.create 2 in
+        let f =
+          {
+            Fuzz.concept = Concept.PS;
+            kind = Fuzz.kind_disagreement;
+            case = 0;
+            alpha = Float.infinity;
+            graph = g;
+            shrunk_alpha = Float.nan;
+            shrunk_graph = g;
+            detail = "synthetic";
+          }
+        in
+        let o =
+          {
+            Fuzz.seed = 0L;
+            budget = 1;
+            sizes = [ 2 ];
+            truncated = false;
+            stats = [];
+            failures = [ f ];
+          }
+        in
+        match Json.of_string (Json.to_string (Fuzz.outcome_to_json o)) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "fuzz outcome_to_json: %s" e);
+  ]
