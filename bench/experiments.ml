@@ -29,7 +29,7 @@ let t1_exhaustive () =
   let sizes = [ 9; 10 ] in
   let o =
     Sweep.run
-      { Sweep.family = Sweep.Trees; sizes; concepts; alphas; budget = None; domains = None }
+      { Sweep.family = Sweep.Trees; sizes; concepts; alphas; budget = None; domains = None; shard = None }
   in
   let cell n c alpha =
     List.find

@@ -3,30 +3,106 @@
    - no arguments: run every experiment (one per paper table/figure), then
      the Bechamel microbenchmarks;
    - [main.exe <id> ...]: run only the listed experiments (see [--list]);
-   - [main.exe perf]: only the microbenchmarks;
-   - [main.exe perf --json]: also write machine-readable results to
-     bench/results.json so successive PRs can track the perf trajectory.
+   - [main.exe perf ...]: only the microbenchmarks, with the same flags
+     as [bncg perf] (--check, --smoke, --only, --quota, --tolerance) plus
+     [--json], which here writes bench/results.json — the committed
+     baseline successive PRs regression-gate against.
 
    The suite itself lives in {!Benchkit} (shared with the [bncg perf]
    regression gate); this file is only argument plumbing. *)
 
-let perf ?(json = false) () =
+let perf_usage () =
+  print_endline
+    "usage: main.exe perf [--json] [--check BASELINE.json] [--smoke] [--only NAME,..] \
+     [--quota S] [--tolerance F]";
+  exit 1
+
+let die msg =
+  prerr_endline ("bench: " ^ msg);
+  exit 2
+
+(* The same flag set as [bncg perf], minus cmdliner (bench does not
+   link it): --json writes the committed baseline instead of printing,
+   which is the one intentional difference. *)
+let perf args =
+  let json = ref false and smoke = ref false in
+  let check = ref None and only = ref None in
+  let quota = ref 0.25 and tolerance = ref 0.25 in
+  let with_value name rest f =
+    match rest with v :: rest -> f v; rest | [] -> die (name ^ " needs a value")
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest -> json := true; parse rest
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | "--check" :: rest -> parse (with_value "--check" rest (fun v -> check := Some v))
+    | "--only" :: rest ->
+        parse
+          (with_value "--only" rest (fun v ->
+               only := Some (String.split_on_char ',' v)))
+    | "--quota" :: rest ->
+        parse
+          (with_value "--quota" rest (fun v ->
+               match float_of_string_opt v with
+               | Some q when q > 0. -> quota := q
+               | _ -> die ("--quota: bad seconds value " ^ v)))
+    | "--tolerance" :: rest ->
+        parse
+          (with_value "--tolerance" rest (fun v ->
+               match float_of_string_opt v with
+               | Some t when t >= 0. -> tolerance := t
+               | _ -> die ("--tolerance: bad fraction " ^ v)))
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown perf flag %s\n" arg;
+        perf_usage ()
+  in
+  parse args;
+  let baseline =
+    Option.map
+      (fun path ->
+        let content =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error e -> die e
+        in
+        match Json.of_string content with
+        | Error e -> die (Printf.sprintf "cannot parse baseline %s: %s" path e)
+        | Ok b -> (
+            match Benchkit.validate_baseline b with
+            | Error e -> die (Printf.sprintf "bad baseline %s: %s" path e)
+            | Ok () -> (path, b)))
+      !check
+  in
   Report.section "PERF  Bechamel microbenchmarks of the hot kernels";
-  let results = Benchkit.run () in
+  let only = if !smoke then Some Benchkit.smoke_names else !only in
+  let results = Benchkit.run ~quota:!quota ?only () in
   Benchkit.print_table results;
-  if json then begin
+  if !json then begin
     let path = if Sys.file_exists "bench" then "bench/results.json" else "results.json" in
     let oc = open_out path in
-    (* Json.to_string turns non-finite floats into null, so undecided
-       estimates stay valid JSON. *)
     output_string oc (Json.to_string (Benchkit.results_to_json results));
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %d benchmark rows to %s\n%!" (List.length results) path
-  end
+  end;
+  match baseline with
+  | None -> ()
+  | Some (path, baseline) -> (
+      match Benchkit.check_against ~baseline ~tolerance:!tolerance results with
+      | [] ->
+          Printf.printf "no regression beyond %.0f%% against %s\n" (!tolerance *. 100.)
+            path
+      | regs ->
+          List.iter
+            (fun (r : Benchkit.regression) ->
+              Printf.printf "REGRESSION %s: %.0f ns -> %.0f ns (%.2fx)\n" r.Benchkit.bench
+                r.Benchkit.baseline_ns r.Benchkit.fresh_ns r.Benchkit.ratio)
+            regs;
+          exit 1)
 
 let usage () =
-  print_endline "usage: main.exe [perf [--json] | --list | <experiment-id> ...]";
+  print_endline
+    "usage: main.exe [perf [flags] | --list | <experiment-id> ...]   (perf --help for \
+     perf flags)";
   print_endline "experiments:";
   List.iter
     (fun (id, descr, _) -> Printf.printf "  %-8s %s\n" id descr)
@@ -47,9 +123,9 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: [] ->
       List.iter (fun (id, _, _) -> run_one id) Experiments.all;
-      perf ()
-  | _ :: [ "perf" ] -> perf ()
-  | _ :: [ "perf"; "--json" ] -> perf ~json:true ()
+      perf []
+  | _ :: "perf" :: [ "--help" ] -> perf_usage ()
+  | _ :: "perf" :: args -> perf args
   | _ :: [ "--list" ] -> usage ()
   | _ :: ids -> List.iter run_one ids
   | [] -> usage ()

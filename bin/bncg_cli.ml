@@ -4,6 +4,7 @@
    bncg rho    -a 2.0 -g "Dhc"                  social cost ratio
    bncg poa    -a 2.0 -c 3-BSE -n 9             worst rho over all trees
    bncg sweep  --family connected -n 6 -c PS    full (concept x alpha x n) sweep
+   bncg merge  s0.json s1.json --json           combine sharded sweep outputs
    bncg dyn    -a 2.0 -c BGE --tree 10 --seed 1 improving-move dynamics
    bncg enum   -n 7                             enumeration counts
    bncg gallery                                 counterexample summary
@@ -142,7 +143,7 @@ let poa_cmd =
   let connected_arg =
     Arg.(
       value & flag
-      & info [ "general" ] ~doc:"Search connected graphs (n <= 7) instead of trees.")
+      & info [ "general" ] ~doc:"Search connected graphs (n <= 8) instead of trees.")
   in
   let run alpha concept n general budget store json trace heartbeat =
     with_obs trace heartbeat @@ fun () ->
@@ -173,6 +174,37 @@ let poa_cmd =
       const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg $ store_arg
       $ json_arg $ trace_arg $ heartbeat_arg)
 
+(* --no-wall, shared by [bncg sweep] and [bncg merge]. *)
+let no_wall_arg =
+  Arg.(
+    value & flag
+    & info [ "no-wall" ]
+        ~doc:
+          "Omit wall-clock fields from --json output, leaving only deterministic \
+           fields — two runs of the same spec then compare byte for byte.")
+
+(* The text rendering of a sweep outcome, shared by [bncg sweep] and
+   [bncg merge]. *)
+let print_outcome_text (o : Sweep.outcome) =
+  List.iter
+    (fun (c : Sweep.cell) ->
+      Printf.printf
+        "n=%-2d %-6s alpha=%-6g rho=%-8.4f witness=%-12s stable=%d/%d exhausted=%d \
+         hits=%d %.3fs\n"
+        c.Sweep.size
+        (Concept.name c.Sweep.concept)
+        c.Sweep.alpha c.Sweep.worst.rho
+        (match c.Sweep.worst.witness with
+        | Some g -> Encode.to_graph6 g
+        | None -> "-")
+        c.Sweep.worst.stable_count c.Sweep.worst.checked c.Sweep.worst.exhausted
+        c.Sweep.cache_hits c.Sweep.wall)
+    o.Sweep.cells;
+  let t = o.Sweep.totals in
+  Printf.printf "totals: checked %d, cache hits %d, stable %d, exhausted %d, wall %.3fs\n"
+    t.Sweep.total_checked t.Sweep.total_cache_hits t.Sweep.total_stable
+    t.Sweep.total_exhausted t.Sweep.total_wall
+
 let sweep_cmd =
   let family_arg =
     Arg.(
@@ -180,7 +212,7 @@ let sweep_cmd =
       & opt (enum [ ("trees", Sweep.Trees); ("connected", Sweep.Connected) ]) Sweep.Trees
       & info [ "family" ] ~docv:"FAMILY"
           ~doc:"Candidate family: $(b,trees) (free trees) or $(b,connected) (all connected \
-                graphs up to isomorphism, n <= 7).")
+                graphs up to isomorphism, n <= 8).")
   in
   let sizes_arg =
     Arg.(
@@ -215,51 +247,100 @@ let sweep_cmd =
       & opt (some int) None
       & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: recommended count).")
   in
-  let no_wall_arg =
+  (* Raw string for the exit-2 contract, like --alphas. *)
+  let shard_arg =
     Arg.(
-      value & flag
-      & info [ "no-wall" ]
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"K/M"
           ~doc:
-            "Omit wall-clock fields from --json output, leaving only deterministic \
-             fields — two runs of the same spec then compare byte for byte.")
+            "Sweep only the $(i,K)-th of $(i,M) contiguous candidate slices (0-based).  \
+             Run the $(i,M) shards as independent processes, then combine their --json \
+             outputs with $(b,bncg merge) — the merged outcome is bit-identical to an \
+             unsharded run.")
   in
-  let run family sizes concepts alphas budget domains store json no_wall trace heartbeat =
+  let run family sizes concepts alphas budget domains shard store json no_wall trace
+      heartbeat =
     let alphas = ok_or_die (Cli_validate.alphas alphas) in
     let domains = ok_or_die (Cli_validate.domains domains) in
+    let shard = ok_or_die (Cli_validate.shard shard) in
     with_obs trace heartbeat @@ fun () ->
-    let spec = { Sweep.family; sizes; concepts; alphas; budget; domains } in
+    let spec = { Sweep.family; sizes; concepts; alphas; budget; domains; shard } in
     let o = with_store store (fun store -> Sweep.run ?store spec) in
     if json then print_endline (Json.to_string (Sweep.outcome_to_json ~wall:(not no_wall) o))
-    else begin
-      List.iter
-        (fun (c : Sweep.cell) ->
-          Printf.printf
-            "n=%-2d %-6s alpha=%-6g rho=%-8.4f witness=%-12s stable=%d/%d exhausted=%d \
-             hits=%d %.3fs\n"
-            c.Sweep.size
-            (Concept.name c.Sweep.concept)
-            c.Sweep.alpha c.Sweep.worst.rho
-            (match c.Sweep.worst.witness with
-            | Some g -> Encode.to_graph6 g
-            | None -> "-")
-            c.Sweep.worst.stable_count c.Sweep.worst.checked c.Sweep.worst.exhausted
-            c.Sweep.cache_hits c.Sweep.wall)
-        o.Sweep.cells;
-      let t = o.Sweep.totals in
-      Printf.printf
-        "totals: checked %d, cache hits %d, stable %d, exhausted %d, wall %.3fs\n"
-        t.Sweep.total_checked t.Sweep.total_cache_hits t.Sweep.total_stable
-        t.Sweep.total_exhausted t.Sweep.total_wall
-    end
+    else print_outcome_text o
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Exhaustive (size x concept x alpha) PoA sweep, resumable through a certificate \
-          store.")
+          store and shardable across processes.")
     Term.(
       const run $ family_arg $ sizes_arg $ concepts_arg $ alphas_arg $ budget_opt_arg
-      $ domains_arg $ store_arg $ json_arg $ no_wall_arg $ trace_arg $ heartbeat_arg)
+      $ domains_arg $ shard_arg $ store_arg $ json_arg $ no_wall_arg $ trace_arg
+      $ heartbeat_arg)
+
+let merge_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SHARD.json"
+          ~doc:
+            "Per-shard $(b,bncg sweep --shard k/m --json) outputs, in shard order \
+             (0/m first).")
+  in
+  let absorb_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "absorb" ] ~docv:"DIR"
+          ~doc:
+            "A shard's certificate-store directory; its journals are folded into \
+             --store (repeatable, in shard order).  Requires --store.")
+  in
+  let run files absorb store json no_wall =
+    if files = [] && absorb = [] then die "nothing to merge (no shard files, no --absorb)";
+    if absorb <> [] && store = None then die "--absorb requires --store";
+    with_store store (fun s ->
+        Option.iter
+          (fun s ->
+            List.iter
+              (fun src ->
+                match Cert_store.absorb s src with
+                | n -> Printf.eprintf "bncg: absorbed %d records from %s\n%!" n src
+                | exception Invalid_argument msg -> die msg)
+              absorb)
+          s);
+    if files <> [] then begin
+      let outcomes =
+        List.map
+          (fun path ->
+            let content =
+              try In_channel.with_open_text path In_channel.input_all
+              with Sys_error e -> die e
+            in
+            match Json.of_string content with
+            | Error e -> die (Printf.sprintf "cannot parse %s: %s" path e)
+            | Ok j -> (
+                match Sweep.outcome_of_json j with
+                | Error e -> die (Printf.sprintf "%s: %s" path e)
+                | Ok o -> o))
+          files
+      in
+      let merged = ok_or_die (Sweep.merge_outcomes outcomes) in
+      if json then
+        print_endline (Json.to_string (Sweep.outcome_to_json ~wall:(not no_wall) merged))
+      else print_outcome_text merged
+    end
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Combine the outputs of a sharded sweep: the per-shard --json outcomes merge \
+          into the outcome an unsharded run would produce (bit-identical worst cells; \
+          byte-identical with --json --no-wall), and per-shard certificate stores fold \
+          into a coordinator store with --absorb.")
+    Term.(const run $ files_arg $ absorb_arg $ store_arg $ json_arg $ no_wall_arg)
 
 let dyn_cmd =
   let tree_arg =
@@ -290,10 +371,14 @@ let dyn_cmd =
 let enum_cmd =
   let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Size.") in
   let run n =
-    Printf.printf "free trees on %d vertices: %d\n" n (List.length (Enumerate.free_trees n));
-    if n <= 7 then
-      Printf.printf "connected graphs up to isomorphism: %d\n"
-        (List.length (Enumerate.connected_graphs_iso n))
+    let trees = ref 0 in
+    Enumerate.iter_free_trees n (fun _ -> incr trees);
+    Printf.printf "free trees on %d vertices: %d\n" n !trees;
+    if n <= 8 then begin
+      let classes = ref 0 in
+      Enumerate.iter_orderly_connected n (fun _ -> incr classes);
+      Printf.printf "connected graphs up to isomorphism: %d\n" !classes
+    end
   in
   Cmd.v (Cmd.info "enum" ~doc:"Enumeration counts.") Term.(const run $ n_arg)
 
@@ -459,7 +544,7 @@ let perf_cmd =
   let smoke_arg =
     Arg.(
       value & flag
-      & info [ "smoke" ] ~doc:"Run only the 3-benchmark CI subset instead of the suite.")
+      & info [ "smoke" ] ~doc:"Run only the 4-benchmark CI subset instead of the suite.")
   in
   let only_arg =
     Arg.(
@@ -576,6 +661,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            check_cmd; rho_cmd; poa_cmd; sweep_cmd; dyn_cmd; enum_cmd; gallery_cmd;
-            render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd; trace_cmd;
+            check_cmd; rho_cmd; poa_cmd; sweep_cmd; merge_cmd; dyn_cmd; enum_cmd;
+            gallery_cmd; render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd;
+            trace_cmd;
           ]))

@@ -198,6 +198,63 @@ let record_family t name graphs =
   Hashtbl.replace t.families name g6s;
   append t (family_line ~name g6s)
 
+(* ------------------------------------------------------------------ *)
+(* Journal absorption                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A record is new iff loading it grew one of the tables ([load_line]
+   only ever [Hashtbl.replace]s, so the combined length is a record
+   count).  New records are appended to this run's journal as the raw
+   source line: re-serialising would need [Concept.of_string] on names
+   this binary may not know, while the raw line is already exactly the
+   JSONL this store reads back. *)
+let size t = Hashtbl.length t.certs + Hashtbl.length t.canon + Hashtbl.length t.families
+
+let absorb t src =
+  if Sys.file_exists src && Sys.is_directory src
+     && Unix.((stat src).st_ino, (stat src).st_dev)
+        = Unix.((stat t.dir).st_ino, (stat t.dir).st_dev)
+  then invalid_arg "Cert_store.absorb: source is this store's own directory";
+  let absorbed = ref 0 in
+  let absorb_line line =
+    let before = size t in
+    load_line t line;
+    if size t > before then begin
+      (match t.journal with
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n'
+      | None ->
+          let oc =
+            open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.journal_path
+          in
+          t.journal <- Some oc;
+          output_string oc line;
+          output_char oc '\n');
+      incr absorbed
+    end
+  in
+  (match Sys.readdir src with
+  | exception Sys_error _ -> ()
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+      |> List.sort String.compare
+      |> List.iter (fun f ->
+             match open_in_bin (Filename.concat src f) with
+             | exception Sys_error _ -> ()
+             | ic ->
+                 Fun.protect
+                   ~finally:(fun () -> close_in_noerr ic)
+                   (fun () ->
+                     try
+                       while true do
+                         absorb_line (input_line ic)
+                       done
+                     with End_of_file -> ())));
+  (match t.journal with Some oc -> flush oc | None -> ());
+  !absorbed
+
 let canonical_g6 t g =
   match find_canon t g with
   | Some g6 -> g6

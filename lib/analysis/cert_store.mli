@@ -90,3 +90,15 @@ val find_family : t -> string -> Graph.t list option
 val record_family : t -> string -> Graph.t list -> unit
 (** Journals a candidate family as one JSONL line of graph6 strings,
     preserving enumeration order (the order the sweep fold replays). *)
+
+val absorb : t -> string -> int
+(** [absorb t src] folds every journal under the store directory [src]
+    into [t]: records [t] has not seen are loaded and re-journaled (as
+    their original raw lines) into [t]'s own journal, so [t]'s
+    directory becomes self-contained; duplicates are skipped.  Returns
+    the number of records absorbed.  This is how [bncg merge] collects
+    the per-shard certificate journals of a sharded sweep into the
+    coordinator's store — certificates are content-addressed, so
+    absorption order cannot change any later lookup.  A missing or
+    empty [src] absorbs nothing.
+    @raise Invalid_argument if [src] is [t]'s own directory. *)

@@ -17,6 +17,7 @@ type spec = {
   alphas : float list;
   budget : int option;
   domains : int option;
+  shard : (int * int) option;
 }
 
 type cell = {
@@ -161,58 +162,114 @@ let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
 (* Spec execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Parallel iso-dedup enumeration: the edge-mask space splits into
-   contiguous ranges deduped independently over the domain pool and
-   merged in mask order — {!Enumerate.iso_acc_merge} guarantees the
-   merged representatives and their order are exactly the sequential
-   ones, so downstream folds (and journaled family lists) stay
-   bit-identical whatever the domain count. *)
-let connected_iso_par ?domains n =
+(* Candidates the sharded enumeration has emitted so far: the heartbeat
+   rate of this counter is the per-shard progress signal (candidates per
+   second) the CLI's --heartbeat surfaces while a shard enumerates. *)
+let c_shard_candidates = Obs.counter "sweep.shard.candidates"
+
+(* The k-th of m contiguous index slices of a [total]-element sequence.
+   The same formula Enumerate uses, so a sweep shard and the enumerator
+   shard agree on boundaries; concatenating slices in shard order is the
+   whole sequence. *)
+let shard_bounds total = function
+  | None -> (0, total)
+  | Some (k, m) ->
+      if m < 1 || k < 0 || k >= m then
+        invalid_arg (Printf.sprintf "Sweep: bad shard %d/%d" k m);
+      (k * total / m, (k + 1) * total / m)
+
+let slice lo hi xs = List.filteri (fun i _ -> i >= lo && i < hi) xs
+
+(* Parallel orderly enumeration: the level-(n-1) parent classes are the
+   roots of the augmentation forest; each parent's accepted children are
+   independent of every other parent's (children of non-isomorphic
+   parents are never isomorphic — see Enumerate), so contiguous parent
+   blocks expand across the domain pool with no cross-block dedup and
+   concatenate, in block order, to exactly the sequential orderly
+   enumeration.  The same block formula splits the forest across
+   processes ([?shard]) and across domains, so the candidate list — and
+   every fold downstream of it — is bit-identical for any (shard count,
+   domain count) split. *)
+let connected_orderly_par ?domains ?shard n =
   let d =
     match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
   in
-  let slots = Enumerate.edge_slots n in
-  if d <= 1 || slots < 12 then Enumerate.connected_graphs_iso n
-  else begin
-    let total = 1 lsl slots in
-    let blocks = d * 8 in
-    let ranges =
-      List.init blocks (fun b ->
-          (b * total / blocks, (b + 1) * total / blocks))
-    in
-    let accs =
-      Parallel.map ~domains:d
-        (fun (lo, hi) -> Enumerate.connected_iso_range n ~lo ~hi)
-        ranges
-    in
-    match accs with
-    | [] -> []
-    | a :: rest ->
-        Enumerate.iso_acc_graphs (List.fold_left Enumerate.iso_acc_merge a rest)
+  if n <= 6 || d <= 1 then begin
+    let out = ref [] in
+    Enumerate.iter_orderly_connected ?shard n (fun bg ->
+        Obs.incr c_shard_candidates;
+        out := Bitgraph.to_graph bg :: !out);
+    List.rev !out
   end
+  else begin
+    let parents = Enumerate.orderly_parents (n - 1) in
+    let lo, hi = shard_bounds (List.length parents) shard in
+    let block = slice lo hi parents in
+    let len = hi - lo in
+    let chunks = max 1 (min (d * 8) len) in
+    let pieces =
+      List.init chunks (fun b ->
+          slice (b * len / chunks) ((b + 1) * len / chunks) block)
+    in
+    Parallel.map ~domains:d
+      (fun piece ->
+        List.concat_map
+          (fun parent ->
+            let out = ref [] in
+            Enumerate.iter_orderly_children parent (fun child ->
+                Obs.incr c_shard_candidates;
+                out := Bitgraph.to_graph child :: !out);
+            Obs.tick ();
+            List.rev !out)
+          piece)
+      pieces
+    |> List.concat
+  end
+
+let free_trees_sharded ?shard n =
+  let out = ref [] in
+  Enumerate.iter_free_trees ?shard n (fun g ->
+      Obs.incr c_shard_candidates;
+      Obs.tick ();
+      out := g :: !out);
+  List.rev !out
 
 (* Candidate enumeration, memoised through the store: at small sizes
    enumerating the family costs more than checking it, so a warm run
    must skip enumeration too.  The journaled graph6 list preserves the
    labelled graphs and their order exactly, keeping the fold (and hence
-   [worst]) bit-identical to a fresh enumeration. *)
-let candidates ?store ?domains family n =
+   [worst]) bit-identical to a fresh enumeration.  A sharded run
+   journals under its own key ([family/n@k/m]) — a shard's slice is not
+   the whole family, and must never answer for it. *)
+let candidates ?store ?domains ?shard family n =
   match family with
-  | Explicit graphs -> graphs
+  | Explicit graphs ->
+      let lo, hi = shard_bounds (List.length graphs) shard in
+      if (lo, hi) = (0, List.length graphs) then graphs else slice lo hi graphs
   | Trees | Connected -> (
       let name, enum =
         match family with
-        | Trees -> ("trees", Enumerate.free_trees)
-        | Connected -> ("connected", connected_iso_par ?domains)
+        | Trees -> ("trees", free_trees_sharded ?shard)
+        | Connected -> ("connected", connected_orderly_par ?domains ?shard)
         | Explicit _ -> assert false
       in
-      let key = Printf.sprintf "%s/%d" name n in
+      let key =
+        match shard with
+        | None -> Printf.sprintf "%s/%d" name n
+        | Some (k, m) -> Printf.sprintf "%s/%d@%d/%d" name n k m
+      in
       match Option.bind store (fun s -> Cert_store.find_family s key) with
       | Some graphs -> graphs
       | None ->
+          let span_name, shard_args =
+            match shard with
+            | None -> ("sweep.enumerate", [])
+            | Some (k, m) -> ("sweep.shard", [ ("k", Json.Int k); ("m", Json.Int m) ])
+          in
           let graphs =
-            Obs.span "sweep.enumerate"
-              ~args:[ ("family", Json.String name); ("n", Json.Int n) ]
+            Obs.span span_name
+              ~args:
+                ([ ("family", Json.String name); ("n", Json.Int n) ] @ shard_args)
               (fun () -> enum n)
           in
           Option.iter (fun s -> Cert_store.record_family s key graphs) store;
@@ -220,22 +277,46 @@ let candidates ?store ?domains family n =
 
 let groups ?store spec =
   match spec.family with
-  | Explicit graphs -> [ (0, graphs) ]
+  | Explicit _ -> [ (0, candidates ?store ?shard:spec.shard spec.family 0) ]
   | Trees | Connected ->
       List.map
-        (fun n -> (n, candidates ?store ?domains:spec.domains spec.family n))
+        (fun n ->
+          (n, candidates ?store ?domains:spec.domains ?shard:spec.shard spec.family n))
         spec.sizes
+
+let totals_of_cells cells =
+  List.fold_left
+    (fun t c ->
+      {
+        total_checked = t.total_checked + c.worst.checked;
+        total_cache_hits = t.total_cache_hits + c.cache_hits;
+        total_stable = t.total_stable + c.worst.stable_count;
+        total_exhausted = t.total_exhausted + c.worst.exhausted;
+        total_wall = t.total_wall +. c.wall;
+      })
+    {
+      total_checked = 0;
+      total_cache_hits = 0;
+      total_stable = 0;
+      total_exhausted = 0;
+      total_wall = 0.;
+    }
+    cells
 
 let run ?store spec =
   let cells =
     Obs.span "sweep.run"
       ~args:
-        [
-          ("sizes", Json.List (List.map (fun n -> Json.Int n) spec.sizes));
-          ( "concepts",
-            Json.List (List.map (fun c -> Json.String (Concept.name c)) spec.concepts) );
-          ("alphas", Json.List (List.map Json.number spec.alphas));
-        ]
+        ([
+           ("sizes", Json.List (List.map (fun n -> Json.Int n) spec.sizes));
+           ( "concepts",
+             Json.List (List.map (fun c -> Json.String (Concept.name c)) spec.concepts) );
+           ("alphas", Json.List (List.map Json.number spec.alphas));
+         ]
+        @
+        match spec.shard with
+        | None -> []
+        | Some (k, m) -> [ ("shard", Json.String (Printf.sprintf "%d/%d" k m)) ])
     @@ fun () ->
     List.concat_map
       (fun (size, graphs) ->
@@ -264,26 +345,7 @@ let run ?store spec =
           spec.concepts)
       (groups ?store spec)
   in
-  let totals =
-    List.fold_left
-      (fun t c ->
-        {
-          total_checked = t.total_checked + c.worst.checked;
-          total_cache_hits = t.total_cache_hits + c.cache_hits;
-          total_stable = t.total_stable + c.worst.stable_count;
-          total_exhausted = t.total_exhausted + c.worst.exhausted;
-          total_wall = t.total_wall +. c.wall;
-        })
-      {
-        total_checked = 0;
-        total_cache_hits = 0;
-        total_stable = 0;
-        total_exhausted = 0;
-        total_wall = 0.;
-      }
-      cells
-  in
-  { cells; totals }
+  { cells; totals = totals_of_cells cells }
 
 (* ------------------------------------------------------------------ *)
 (* JSON views                                                          *)
@@ -327,3 +389,127 @@ let outcome_to_json ?(wall = true) o =
            ]
           @ if wall then [ ("wall_s", Json.Float o.totals.total_wall) ] else []) );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Shard merging                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Parsing [cell_to_json] back.  [Json.float_repr] round-trips doubles
+   bit-exactly, so a parsed cell carries exactly the floats the shard
+   computed — the precondition for the merged outcome byte-comparing
+   against an unsharded run. *)
+let cell_of_json j =
+  let ( let* ) = Result.bind in
+  let field obj name conv =
+    match Option.bind (Json.member name obj) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or malformed %S" name)
+  in
+  let* size = field j "n" Json.as_int in
+  let* cname = field j "concept" Json.as_string in
+  let* concept = Concept.of_string cname in
+  let* alpha = field j "alpha" Json.as_number in
+  let* wj =
+    match Json.member "worst" j with
+    | Some (Json.Obj _ as w) -> Ok w
+    | _ -> Error "missing or malformed \"worst\""
+  in
+  let* rho = field wj "rho" Json.as_number in
+  let* witness =
+    match Json.member "witness" wj with
+    | Some Json.Null -> Ok None
+    | Some (Json.String g6) -> (
+        match Encode.of_graph6 g6 with
+        | g -> Ok (Some g)
+        | exception Invalid_argument msg -> Error msg)
+    | _ -> Error "worst.witness must be a graph6 string or null"
+  in
+  let* stable_count = field wj "stable" Json.as_int in
+  let* checked = field wj "checked" Json.as_int in
+  let* exhausted = field wj "exhausted" Json.as_int in
+  let* cache_hits = field j "cache_hits" Json.as_int in
+  let wall =
+    match Option.bind (Json.member "wall_s" j) Json.as_float with
+    | Some w -> w
+    | None -> 0.
+  in
+  Ok
+    {
+      size; concept; alpha;
+      worst = { rho; witness; stable_count; checked; exhausted };
+      cache_hits;
+      wall;
+    }
+
+(* Totals are recomputed from the cells rather than trusted — they are
+   a pure function of the cells in [run] too, so the round-trip stays
+   exact and a hand-edited totals block cannot smuggle in a lie. *)
+let outcome_of_json j =
+  match Option.bind (Json.member "cells" j) Json.as_list with
+  | None -> Error "outcome: missing \"cells\" list"
+  | Some cell_js ->
+      let rec go acc i = function
+        | [] -> Ok (List.rev acc)
+        | cj :: rest -> (
+            match cell_of_json cj with
+            | Ok c -> go (c :: acc) (i + 1) rest
+            | Error e -> Error (Printf.sprintf "cell %d: %s" i e))
+      in
+      Result.map
+        (fun cells -> { cells; totals = totals_of_cells cells })
+        (go [] 0 cell_js)
+
+(* Shard outcomes run the same (size × concept × α) grid over disjoint
+   contiguous candidate slices, in shard order; per cell, [merge] is
+   exactly the parallel fold's combiner, so folding the shard cells
+   left to right reconstructs the unsharded sequential fold bit for
+   bit (counters add; the maximum keeps the earliest shard's witness
+   on ties, which is the earliest candidate in enumeration order). *)
+let merge_outcomes = function
+  | [] -> Error "nothing to merge"
+  | first :: rest ->
+      let ( let* ) = Result.bind in
+      let merge_cell i a b =
+        if
+          a.size <> b.size
+          || Concept.name a.concept <> Concept.name b.concept
+          || a.alpha <> b.alpha
+        then
+          Error
+            (Printf.sprintf
+               "cell %d mismatch: (n=%d, %s, alpha=%s) vs (n=%d, %s, alpha=%s) — \
+                shards must run identical specs"
+               i a.size (Concept.name a.concept) (Json.float_repr a.alpha) b.size
+               (Concept.name b.concept) (Json.float_repr b.alpha))
+        else
+          Ok
+            {
+              a with
+              worst = merge a.worst b.worst;
+              cache_hits = a.cache_hits + b.cache_hits;
+              wall = a.wall +. b.wall;
+            }
+      in
+      let merge_pair a b =
+        if List.length a.cells <> List.length b.cells then
+          Error
+            (Printf.sprintf "cell count mismatch: %d vs %d — shards must run identical specs"
+               (List.length a.cells) (List.length b.cells))
+        else
+          let rec go acc i xs ys =
+            match (xs, ys) with
+            | [], [] -> Ok (List.rev acc)
+            | x :: xs, y :: ys ->
+                let* c = merge_cell i x y in
+                go (c :: acc) (i + 1) xs ys
+            | _ -> assert false
+          in
+          Result.map
+            (fun cells -> { cells; totals = totals_of_cells cells })
+            (go [] 0 a.cells b.cells)
+      in
+      List.fold_left
+        (fun acc o ->
+          let* a = acc in
+          merge_pair a o)
+        (Ok first) rest

@@ -27,10 +27,13 @@ type worst = {
 val empty : worst
 
 type family =
-  | Trees  (** all free trees per size, {!Enumerate.free_trees} *)
+  | Trees
+      (** all free trees per size, streamed from
+          {!Enumerate.iter_free_trees} *)
   | Connected
-      (** all connected graphs up to isomorphism per size,
-          {!Enumerate.connected_graphs_iso} ([n <= 7]) *)
+      (** all connected graphs up to isomorphism per size, by orderly
+          generation ({!Enumerate.iter_orderly_connected}, [n <= 9];
+          exhaustive certification is practical through [n = 8]) *)
   | Explicit of Graph.t list  (** a caller-supplied candidate list *)
 
 type spec = {
@@ -40,6 +43,12 @@ type spec = {
   alphas : float list;
   budget : int option;  (** forwarded to the BNE / k-BSE checkers *)
   domains : int option;  (** {!Parallel} fan-out; [None] = recommended *)
+  shard : (int * int) option;
+      (** [(k, m)]: sweep only the [k]-th of [m] contiguous candidate
+          slices per size (parent blocks of the orderly forest for
+          [Connected], index slices for [Trees]/[Explicit]).  The [m]
+          shard outcomes, run as independent processes, merge back into
+          the unsharded outcome bit for bit with {!merge_outcomes}. *)
 }
 
 type cell = {
@@ -62,14 +71,24 @@ type totals = {
 type outcome = { cells : cell list; totals : totals }
 
 val candidates :
-  ?store:Cert_store.t -> ?domains:int -> family -> int -> Graph.t list
+  ?store:Cert_store.t ->
+  ?domains:int ->
+  ?shard:int * int ->
+  family ->
+  int ->
+  Graph.t list
 (** The candidate list a family denotes at size [n] ([Explicit] returns
     its list unchanged).  With [?store] the enumeration itself is
     memoised as a journaled graph6 list — order- and labelling-exact, so
     replaying it folds bit-identically — which matters because at sweep
     sizes enumerating the family can cost more than checking it.
-    [Connected] enumeration is deduped across [?domains] edge-mask
-    ranges (merged in mask order, bit-identical to sequential). *)
+    [Connected] enumeration expands contiguous blocks of orderly parent
+    classes across [?domains] (children of distinct parents are never
+    isomorphic, so blocks concatenate with no cross-block dedup —
+    bit-identical to sequential for any domain count).  [?shard:(k, m)]
+    restricts to the [k]-th of [m] contiguous slices and memoises under
+    the shard-qualified key [family/n\@k/m].
+    @raise Invalid_argument unless [0 <= k < m]. *)
 
 val run : ?store:Cert_store.t -> spec -> outcome
 (** Executes every (size × concept × α) cell, sizes outermost, α
@@ -104,3 +123,22 @@ val outcome_to_json : ?wall:bool -> outcome -> Json.t
     fields — the only nondeterministic ones — so two runs of the same
     spec byte-compare ([bncg sweep --no-wall], the CI traced-vs-untraced
     gate, and the determinism-under-tracing fuzz bank). *)
+
+val outcome_of_json : Json.t -> (outcome, string) result
+(** Parses {!outcome_to_json} output back (missing [wall_s] reads as
+    [0.]; totals are recomputed from the cells, never trusted).  Floats
+    round-trip bit-exactly ({!Json.float_repr}), so
+    [outcome_of_json (outcome_to_json o)] reproduces [o]'s worst cells
+    exactly — what [bncg merge] relies on to combine shard outputs. *)
+
+val merge_outcomes : outcome list -> (outcome, string) result
+(** Combines the outcomes of [m] shard runs of the same spec, given in
+    shard order: per cell, worst folds with the parallel-fold combiner
+    (counters add; ties keep the earliest shard's witness — the
+    earliest candidate in enumeration order), cache hits add, walls
+    add.  Because shard slices partition the candidates contiguously
+    and in order, the merged worst cells are bit-identical to the
+    unsharded run's, so [bncg merge --json --no-wall] byte-compares
+    against [bncg sweep --json --no-wall] without [--shard].  Errors if
+    the outcomes' grids disagree (different cell count, or any cell's
+    (size, concept, α) triple). *)

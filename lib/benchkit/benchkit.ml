@@ -41,7 +41,18 @@ let make_fixtures () =
       alphas = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ];
       budget = None;
       domains = None;
+      shard = None;
     }
+  in
+  (* Shard-merge kernel input: the 4 per-shard outcomes of the same
+     sweep, serialised exactly as [bncg sweep --shard k/4 --json
+     --no-wall] emits them — the merge benchmark then measures the
+     whole coordinator path (parse + merge). *)
+  let shard_jsons =
+    List.init 4 (fun k ->
+        Json.to_string
+          (Sweep.outcome_to_json ~wall:false
+             (Sweep.run { sweep_spec with Sweep.shard = Some (k, 4) })))
   in
   let cold_runs = ref 0 in
   let warm_dir =
@@ -76,6 +87,32 @@ let make_fixtures () =
           let count = ref 0 in
           Enumerate.iter_connected_bitgraphs 6 (fun _ -> incr count);
           ignore !count );
+      ( "orderly connected n=7",
+        fun () ->
+          let count = ref 0 in
+          Enumerate.iter_orderly_connected 7 (fun _ -> incr count);
+          ignore !count );
+      ( "orderly connected n=8",
+        fun () ->
+          let count = ref 0 in
+          Enumerate.iter_orderly_connected 8 (fun _ -> incr count);
+          ignore !count );
+      ( "merge 4-shard outcomes n=6",
+        fun () ->
+          let outcomes =
+            List.map
+              (fun s ->
+                match Json.of_string s with
+                | Error e -> failwith e
+                | Ok j -> (
+                    match Sweep.outcome_of_json j with
+                    | Error e -> failwith e
+                    | Ok o -> o))
+              shard_jsons
+          in
+          match Sweep.merge_outcomes outcomes with
+          | Ok _ -> ()
+          | Error e -> failwith e );
       ( "worst_connected n=6 PS sequential",
         fun () ->
           ignore (Poa.worst_connected ~domains:1 ~concept:Concept.PS ~alpha:2.0 6) );
@@ -109,14 +146,17 @@ let names =
     "BSwE check stretched n=510"; "BNE check figure6 n=10"; "3-BSE tree check n=12";
     "free_trees n=10"; "tree_code n=200"; "graph6 roundtrip n=200"; "Bitgraph.bfs n=63";
     "Bitgraph.total_dist n=63"; "iter_connected_graphs n=6 (incremental)";
+    "orderly connected n=7"; "orderly connected n=8"; "merge 4-shard outcomes n=6";
     "worst_connected n=6 PS sequential"; "worst_connected n=6 PS parallel";
     "sweep n=6 PS x7 alphas cold store"; "sweep n=6 PS x7 alphas warm store";
   ]
 
-(* Fast, slow and mid-range coverage in one trio the CI gate can afford. *)
+(* Fast, slow and mid-range coverage the CI gate can afford, plus the
+   orderly generator (the enumeration kernel everything above n=7
+   depends on). *)
 let smoke_names =
   [ "Bitgraph.total_dist n=63"; "BSwE check stretched n=510";
-    "worst_connected n=6 PS sequential" ]
+    "worst_connected n=6 PS sequential"; "orderly connected n=7" ]
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)

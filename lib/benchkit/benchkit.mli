@@ -31,7 +31,7 @@ val names : string list
     baseline file) carry a ["bncg/"] group prefix. *)
 
 val smoke_names : string list
-(** The 3-benchmark subset the CI perf gate runs. *)
+(** The 4-benchmark subset the CI perf gate runs. *)
 
 val run : ?quota:float -> ?warmup:int -> ?only:string list -> unit -> result list
 (** [run ()] measures the suite and returns one {!result} per workload,

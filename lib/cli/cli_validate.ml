@@ -21,6 +21,18 @@ let domains = function
   | Some d when d >= 1 -> Ok (Some d)
   | Some d -> Error (Printf.sprintf "--domains must be >= 1 (got %d)" d)
 
+let shard = function
+  | None -> Ok None
+  | Some s -> (
+      match String.split_on_char '/' s with
+      | [ ks; ms ] -> (
+          match (int_of_string_opt (String.trim ks), int_of_string_opt (String.trim ms)) with
+          | Some k, Some m when m >= 1 && k >= 0 && k < m -> Ok (Some (k, m))
+          | Some k, Some m ->
+              Error (Printf.sprintf "--shard %d/%d: need 0 <= K < M" k m)
+          | _ -> Error (Printf.sprintf "--shard %S: K and M must be integers" s))
+      | _ -> Error (Printf.sprintf "--shard %S: expected K/M (e.g. 0/4)" s))
+
 let heartbeat = function
   | None -> Ok None
   | Some h when Float.is_finite h && h > 0. -> Ok (Some h)

@@ -17,6 +17,12 @@ val domains : int option -> (int option, string) result
 (** Validates [--domains]: absent is fine (recommended count); an
     explicit value must be [>= 1]. *)
 
+val shard : string option -> ((int * int) option, string) result
+(** Validates [--shard K/M]: absent is fine (no sharding); an explicit
+    value must be two integers separated by [/] with [0 <= K < M].
+    Shard [K] of [M] sweeps the [K]-th contiguous slice of the
+    candidate space (see {!Sweep.spec}). *)
+
 val heartbeat : float option -> (float option, string) result
 (** Validates [--heartbeat]: absent is fine; an explicit interval must
     be finite and [> 0] seconds (cmdliner's float parser accepts

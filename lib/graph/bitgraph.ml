@@ -108,6 +108,27 @@ let reach_mask t src =
 let is_connected t =
   t.n = 0 || popcount (reach_mask t 0) = t.n
 
+(* Connectivity of the induced subgraph on V \ {v}: the same word-BFS,
+   with [v]'s bit masked out of every expansion.  This is the cut-vertex
+   test of the orderly enumeration's canonical-deletion rule, so it runs
+   once per vertex per candidate graph. *)
+let is_connected_without t v =
+  check_vertex t v "is_connected_without";
+  if t.n <= 2 then true
+  else begin
+    let avoid = lnot (1 lsl v) in
+    let full = ((1 lsl t.n) - 1) land avoid in
+    let src = if v = 0 then 1 else 0 in
+    let visited = ref (1 lsl src) in
+    let frontier = ref !visited in
+    while !frontier <> 0 do
+      let next = expand t !frontier !visited land avoid in
+      visited := !visited lor next;
+      frontier := next
+    done;
+    !visited = full
+  end
+
 let bfs t src =
   check_vertex t src "bfs";
   let dist = Array.make t.n (-1) in

@@ -78,6 +78,14 @@ val is_connected : t -> bool
 (** [true] iff every vertex is reachable from vertex 0 (empty graph
     counts as connected), by word-parallel BFS. *)
 
+val is_connected_without : t -> int -> bool
+(** [is_connected_without t v] is [true] iff the induced subgraph on the
+    other [n - 1] vertices is connected (vacuously [true] for [n <= 2]) —
+    i.e. iff [v] is {e not} a cut vertex.  The orderly enumeration's
+    canonical-deletion rule only ever removes such vertices, so that
+    every ancestor of a connected graph is itself connected.
+    @raise Invalid_argument if [v] is out of range. *)
+
 val triangles : t -> int -> int
 (** [triangles t u] is the number of triangles through [u] (one AND +
     popcount per incident edge). *)

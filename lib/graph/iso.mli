@@ -11,6 +11,12 @@ val tree_code : Graph.t -> string
     the same code iff they are isomorphic.
     @raise Invalid_argument if [g] is not a connected tree. *)
 
+val rooted_code : Graph.t -> int -> string
+(** [rooted_code g r] is the AHU canonical code of the tree [g] rooted at
+    [r]: two rooted trees get the same code iff they are isomorphic as
+    rooted trees.  The streaming free-tree filter compares the codes of
+    the two centres of a bicentral tree to accept exactly one rooting. *)
+
 val centers : Graph.t -> int list
 (** [centers g] lists the one or two centre vertices of the connected tree
     [g] (obtained by repeatedly stripping leaves).

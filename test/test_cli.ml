@@ -62,6 +62,18 @@ let suite =
         check_true "inf rejected" (Result.is_error (Cli_validate.alphas "inf"));
         check_true "zero rejected" (Result.is_error (Cli_validate.alphas "0"));
         check_true "negative rejected" (Result.is_error (Cli_validate.alphas "2,-1")));
+    tc "Cli_validate.shard" (fun () ->
+        check_true "absent ok" (Cli_validate.shard None = Ok None);
+        check_true "0/1 ok" (Cli_validate.shard (Some "0/1") = Ok (Some (0, 1)));
+        check_true "2/5 ok" (Cli_validate.shard (Some "2/5") = Ok (Some (2, 5)));
+        check_true "spaces ok" (Cli_validate.shard (Some " 1 / 3 ") = Ok (Some (1, 3)));
+        check_true "k = m rejected" (Result.is_error (Cli_validate.shard (Some "3/3")));
+        check_true "k > m rejected" (Result.is_error (Cli_validate.shard (Some "4/2")));
+        check_true "negative k rejected" (Result.is_error (Cli_validate.shard (Some "-1/2")));
+        check_true "m = 0 rejected" (Result.is_error (Cli_validate.shard (Some "0/0")));
+        check_true "no slash rejected" (Result.is_error (Cli_validate.shard (Some "2")));
+        check_true "garbage rejected" (Result.is_error (Cli_validate.shard (Some "a/b")));
+        check_true "extra slash rejected" (Result.is_error (Cli_validate.shard (Some "1/2/3"))));
     tc "Cli_validate.domains and heartbeat" (fun () ->
         check_true "absent ok" (Cli_validate.domains None = Ok None);
         check_true "positive ok" (Cli_validate.domains (Some 4) = Ok (Some 4));
@@ -80,10 +92,52 @@ let suite =
         check_dies "sweep bad --alphas" [ "sweep"; "--alphas"; "1,x"; "--sizes"; "4" ];
         check_dies "sweep --alphas=-1" [ "sweep"; "--alphas=-1"; "--sizes"; "4" ];
         check_dies "sweep --heartbeat 0" [ "sweep"; "--heartbeat"; "0"; "--sizes"; "4" ];
+        check_dies "sweep --shard 3/3" [ "sweep"; "--shard"; "3/3"; "--sizes"; "4" ];
+        check_dies "sweep --shard=x/y" [ "sweep"; "--shard=x/y"; "--sizes"; "4" ];
         check_dies "fuzz --domains 0" [ "fuzz"; "--domains"; "0"; "--budget"; "1" ];
         check_dies "fuzz --heartbeat nan"
           [ "fuzz"; "--heartbeat"; "nan"; "--budget"; "1" ];
-        check_dies "trace on a missing file" [ "trace"; "/nonexistent/t.jsonl" ]);
+        check_dies "trace on a missing file" [ "trace"; "/nonexistent/t.jsonl" ];
+        check_dies "merge with nothing" [ "merge" ];
+        check_dies "merge --absorb without --store"
+          [ "merge"; "--absorb"; "/nonexistent/store" ];
+        check_dies "merge on a missing file" [ "merge"; "/nonexistent/shard.json" ]);
+    slow "two-shard sweep subprocesses merge byte-identically" (fun () ->
+        (* The full distributed protocol end to end: two independent
+           [bncg sweep --shard k/2] processes, their --json --no-wall
+           outputs combined by [bncg merge], compared byte for byte
+           against one unsharded process. *)
+        let base =
+          [
+            "sweep"; "--family"; "connected"; "--sizes"; "5"; "--concepts"; "PS,BGE";
+            "--alphas"; "1,4,16"; "--json"; "--no-wall";
+          ]
+        in
+        let whole = run_cli base in
+        check_int "unsharded exit" 0 whole.code;
+        with_tmp ".json" @@ fun s0 ->
+        with_tmp ".json" @@ fun s1 ->
+        List.iteri
+          (fun k path ->
+            let r = run_cli (base @ [ "--shard"; Printf.sprintf "%d/2" k ]) in
+            check_int (Printf.sprintf "shard %d exit" k) 0 r.code;
+            Out_channel.with_open_text path (fun oc -> output_string oc r.stdout))
+          [ s0; s1 ];
+        let merged = run_cli [ "merge"; s0; s1; "--json"; "--no-wall" ] in
+        check_int "merge exit" 0 merged.code;
+        Alcotest.(check string) "merged stdout == unsharded stdout" whole.stdout
+          merged.stdout;
+        (* Shards of different specs must be refused, not merged. *)
+        let other =
+          run_cli
+            [
+              "sweep"; "--family"; "connected"; "--sizes"; "5"; "--concepts"; "PS";
+              "--alphas"; "1,4,16"; "--json"; "--no-wall"; "--shard"; "1/2";
+            ]
+        in
+        check_int "other-spec shard exit" 0 other.code;
+        Out_channel.with_open_text s1 (fun oc -> output_string oc other.stdout);
+        check_dies "mismatched shards refused" [ "merge"; s0; s1 ]);
     slow "perf --check rejects malformed baselines" (fun () ->
         (* Baseline problems are diagnosed before any measurement runs,
            so these subprocesses return in milliseconds. *)

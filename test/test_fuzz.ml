@@ -204,6 +204,7 @@ let test_sweep_shuffle_invariance () =
         alphas = [ 1.0; 4.0 ];
         budget = None;
         domains = Some 1;
+        shard = None;
       }
   in
   let a = run graphs and b = run shuffled in

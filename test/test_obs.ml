@@ -33,9 +33,32 @@ let sweep_bytes domains =
       alphas = [ 2.; 3. ];
       budget = None;
       domains = Some domains;
+      shard = None;
     }
   in
   Json.to_string (Sweep.outcome_to_json ~wall:false (Sweep.run spec))
+
+(* The sharded path: every shard of a 3-way connected split runs under
+   the given domain count and the shard outcomes merge — the bank then
+   proves the *merged* bytes are invariant under tracing, heartbeats
+   and domain count, i.e. the distributed protocol inherits the
+   telemetry transparency of the single-process one. *)
+let sharded_sweep_bytes domains =
+  let spec k =
+    {
+      Sweep.family = Sweep.Connected;
+      sizes = [ 6 ];
+      concepts = [ Concept.PS ];
+      alphas = [ 2.; 3. ];
+      budget = None;
+      domains = Some domains;
+      shard = Some (k, 3);
+    }
+  in
+  let shards = List.init 3 (fun k -> Sweep.run (spec k)) in
+  match Sweep.merge_outcomes shards with
+  | Error e -> Alcotest.fail e
+  | Ok merged -> Json.to_string (Sweep.outcome_to_json ~wall:false merged)
 
 let fuzz_bytes domains =
   Json.to_string
@@ -179,6 +202,26 @@ let suite =
         | Ok _ -> Alcotest.fail "accepted corrupt trace");
     slow "sweep byte-identical under tracing/heartbeat/domains" (fun () ->
         bank "sweep" sweep_bytes);
+    slow "sharded sweep merge byte-identical under tracing/heartbeat/domains" (fun () ->
+        bank "sharded-sweep" sharded_sweep_bytes;
+        (* and the merged bytes equal an unsharded run's at any domain
+           count — sharding composes with every other determinism axis. *)
+        let unsharded =
+          Json.to_string
+            (Sweep.outcome_to_json ~wall:false
+               (Sweep.run
+                  {
+                    Sweep.family = Sweep.Connected;
+                    sizes = [ 6 ];
+                    concepts = [ Concept.PS ];
+                    alphas = [ 2.; 3. ];
+                    budget = None;
+                    domains = Some 2;
+                    shard = None;
+                  }))
+        in
+        Alcotest.(check string) "3-shard merge == unsharded" unsharded
+          (sharded_sweep_bytes 4));
     slow "fuzz byte-identical under tracing/heartbeat/domains" (fun () ->
         bank "fuzz" fuzz_bytes);
     slow "dist-oracle differential byte-identical under tracing" (fun () ->

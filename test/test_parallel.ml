@@ -83,6 +83,7 @@ let unit_tests =
             alphas = [ 1.0; 2.0 ];
             budget = None;
             domains = Some 3;
+            shard = None;
           }
         in
         let run () = (Sweep.run spec).Sweep.totals.Sweep.total_checked in

@@ -31,6 +31,7 @@ let spec =
     alphas = [ 1.; 4.; 16. ];
     budget = None;
     domains = None;
+    shard = None;
   }
 
 (* Bit-level signature of a result: float bits, witness graph6, counters. *)
@@ -185,6 +186,91 @@ let suite =
             match Cert_store.find s ~key with
             | None -> Alcotest.fail "infinite-rho cert lost across reopen"
             | Some e -> check_true "rho is infinity" (e.Cert_store.rho = Float.infinity)))
+    ;
+    tc "sharded sweeps merge bit-identically to the unsharded run" (fun () ->
+        let whole = Sweep.run spec in
+        List.iter
+          (fun m ->
+            let shards =
+              List.init m (fun k -> Sweep.run { spec with Sweep.shard = Some (k, m) })
+            in
+            match Sweep.merge_outcomes shards with
+            | Error e -> Alcotest.fail e
+            | Ok merged ->
+                check_true
+                  (Printf.sprintf "%d-shard merge == unsharded" m)
+                  (outcome_sig merged = outcome_sig whole);
+                check_true
+                  (Printf.sprintf "%d-shard merged JSON == unsharded JSON" m)
+                  (Json.to_string (Sweep.outcome_to_json ~wall:false merged)
+                  = Json.to_string (Sweep.outcome_to_json ~wall:false whole)))
+          [ 1; 2; 3; 8 ])
+    ;
+    tc "sharded sweep over trees merges bit-identically" (fun () ->
+        let tspec = { spec with Sweep.family = Sweep.Trees; sizes = [ 8; 9 ] } in
+        let whole = Sweep.run tspec in
+        let shards =
+          List.init 3 (fun k -> Sweep.run { tspec with Sweep.shard = Some (k, 3) })
+        in
+        match Sweep.merge_outcomes shards with
+        | Error e -> Alcotest.fail e
+        | Ok merged ->
+            check_true "3-shard trees merge == unsharded"
+              (outcome_sig merged = outcome_sig whole))
+    ;
+    tc "outcome JSON round-trips bit-exactly" (fun () ->
+        let o = Sweep.run spec in
+        let j = Json.to_string (Sweep.outcome_to_json ~wall:false o) in
+        match Json.of_string j with
+        | Error e -> Alcotest.fail e
+        | Ok parsed -> (
+            match Sweep.outcome_of_json parsed with
+            | Error e -> Alcotest.fail e
+            | Ok o' ->
+                check_true "same outcome signature" (outcome_sig o' = outcome_sig o);
+                check_true "re-serialisation is byte-identical"
+                  (Json.to_string (Sweep.outcome_to_json ~wall:false o') = j)))
+    ;
+    tc "merge_outcomes rejects mismatched grids" (fun () ->
+        let a = Sweep.run spec in
+        let b = Sweep.run { spec with Sweep.alphas = [ 1.; 4. ] } in
+        (match Sweep.merge_outcomes [ a; b ] with
+        | Ok _ -> Alcotest.fail "cell-count mismatch accepted"
+        | Error _ -> ());
+        let c = Sweep.run { spec with Sweep.alphas = [ 1.; 4.; 17. ] } in
+        (match Sweep.merge_outcomes [ a; c ] with
+        | Ok _ -> Alcotest.fail "alpha mismatch accepted"
+        | Error _ -> ());
+        match Sweep.merge_outcomes [] with
+        | Ok _ -> Alcotest.fail "empty merge accepted"
+        | Error _ -> ())
+    ;
+    tc "sharded store journals absorb into a coordinator store" (fun () ->
+        let whole = Sweep.run spec in
+        let dirs = List.init 2 (fun k -> fresh_dir (Printf.sprintf "shard%d" k)) in
+        List.iteri
+          (fun k dir ->
+            ignore
+              (with_store dir (fun s ->
+                   Sweep.run ~store:s { spec with Sweep.shard = Some (k, 2) })))
+          dirs;
+        let coord = fresh_dir "coordinator" in
+        with_store coord (fun s ->
+            List.iter (fun dir -> check_true "absorbed > 0" (Cert_store.absorb s dir > 0)) dirs;
+            check_raises_invalid "absorbing own dir" (fun () ->
+                ignore (Cert_store.absorb s (Cert_store.dir s))));
+        (* The coordinator store now holds every shard's certificates:
+           an unsharded run against it re-checks nothing. *)
+        let warm = with_store coord (fun s -> Sweep.run ~store:s spec) in
+        check_true "warm-from-absorbed == unsharded" (outcome_sig warm = outcome_sig whole);
+        check_int "all decisions answered from absorbed journals"
+          warm.Sweep.totals.total_checked warm.Sweep.totals.total_cache_hits)
+    ;
+    tc "sweep shard guards" (fun () ->
+        check_raises_invalid "k >= m" (fun () ->
+            ignore (Sweep.run { spec with Sweep.shard = Some (2, 2) }));
+        check_raises_invalid "negative k" (fun () ->
+            ignore (Sweep.candidates ~shard:(-1, 3) Sweep.Trees 6)))
     ;
     tc "totals are the sum of the cells" (fun () ->
         let o = Sweep.run spec in
