@@ -1,0 +1,333 @@
+(* Deterministic closed-loop load generator for [bncg serve].
+
+   K client connections each send a fixed sequence of check requests
+   (one outstanding per connection) drawn round-robin from a fixed
+   bank of (tree, alpha) cases — equal flags produce byte-identical
+   request streams, so runs are comparable.  The generator reports
+   per-request latency (p50 / p99, trimmed through nothing — raw
+   percentiles) and sustained throughput, all as {!Benchkit.result}
+   rows so [--check] reuses the same baseline format and regression
+   arithmetic as the perf gate ([serve/ns_per_req] is wall time over
+   requests, so the throughput floor rides the same mechanism; the
+   explicit [--min-qps] gate is also available).
+
+   With [--spawn] the generator forks its own daemon on a private Unix
+   socket, and after the run delivers SIGTERM and requires a graceful
+   exit 0 — the CI smoke job's shutdown check.  After the measured
+   phase the daemon's stats are queried; a warm (non [--cold]) run
+   fails unless [cache_hits > 0], since the warm phase has sent every
+   distinct request once already.
+
+   usage: loadgen.exe (--socket PATH | --port P | --spawn)
+            [--clients K] [--requests N] [--cold] [--json]
+            [--check BASELINE.json] [--tolerance F] [--min-qps Q]
+            [--domains D] [--store DIR] [--timeout S] *)
+
+let die msg =
+  prerr_endline ("loadgen: " ^ msg);
+  exit 2
+
+let usage () =
+  print_endline
+    "usage: loadgen.exe (--socket PATH | --port P | --spawn) [--clients K] \
+     [--requests N] [--cold] [--json] [--check BASELINE.json] [--tolerance F] \
+     [--min-qps Q] [--domains D] [--store DIR] [--timeout S]";
+  exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Request bank: 16 free trees on 8 vertices x 4 alphas = 64 distinct  *)
+(* check requests, all cheap for the PS checker.                       *)
+(* ------------------------------------------------------------------ *)
+
+let bank () =
+  let trees = ref [] and count = ref 0 in
+  (try
+     Enumerate.iter_free_trees 8 (fun g ->
+         if !count >= 16 then raise Exit;
+         trees := Encode.to_graph6 g :: !trees;
+         incr count)
+   with Exit -> ());
+  let trees = List.rev !trees in
+  List.concat_map
+    (fun alpha ->
+      List.map
+        (fun graph6 ->
+          Json.to_string
+            (Api.request_to_json
+               (Api.Check
+                  { concept = Concept.PS; alpha; graph6; budget = Api.default_budget })))
+        trees)
+    [ 1.; 2.; 4.; 8. ]
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type cstate = {
+  conn : Serve_client.t;
+  offset : int;  (** client index: rotates this client's walk of the bank *)
+  mutable sent : int;
+  mutable got : int;
+  mutable t_send : int;  (** Obs.now_us at last send *)
+}
+
+let line_for bank c k = bank.((c.offset + k) mod Array.length bank)
+
+let send_next bank c =
+  let line = line_for bank c c.sent in
+  c.sent <- c.sent + 1;
+  c.t_send <- Obs.now_us ();
+  Serve_client.send_line c.conn line
+
+(* Replies must be well-formed non-error payloads; anything else is a
+   correctness failure of the daemon, not a slow run. *)
+let check_reply line =
+  match Api.parse_reply_line line with
+  | Error e -> die (Printf.sprintf "unparseable reply %S: %s" line e)
+  | Ok (_, Api.Error { code; message }) ->
+      die
+        (Printf.sprintf "error reply (%s): %s" (Api.error_code_name code) message)
+  | Ok (_, _) -> ()
+
+(* Runs [nreq] requests on every client, one outstanding per
+   connection, recording per-request latency in ns.  Returns (latencies,
+   wall seconds). *)
+let run_phase ~timeout clients nreq bank =
+  let lat = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun c -> send_next bank c) clients;
+  let unfinished () = List.filter (fun c -> c.got < nreq) clients in
+  let rec loop () =
+    match unfinished () with
+    | [] -> ()
+    | live ->
+        if Unix.gettimeofday () -. t0 > timeout then
+          die (Printf.sprintf "timed out after %gs with %d clients unfinished" timeout
+                 (List.length live));
+        let fds = List.map (fun c -> Serve_client.fd c.conn) live in
+        let readable, _, _ =
+          try Unix.select fds [] [] 1.0
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun c ->
+            if List.mem (Serve_client.fd c.conn) readable then begin
+              Serve_client.feed c.conn;
+              let rec drain () =
+                match Serve_client.next_line c.conn with
+                | None -> ()
+                | Some line ->
+                    check_reply line;
+                    lat := ((Obs.now_us () - c.t_send) * 1000) :: !lat;
+                    c.got <- c.got + 1;
+                    if c.sent < nreq then send_next bank c;
+                    drain ()
+              in
+              drain ()
+            end)
+          live;
+        loop ()
+  in
+  loop ();
+  (Array.of_list !lat, Unix.gettimeofday () -. t0)
+
+let daemon_stats addr =
+  let c = Serve_client.connect addr in
+  let s =
+    match Serve_client.request_raw c "{\"op\":\"stats\"}" with
+    | None -> die "connection closed on stats query"
+    | Some line -> (
+        match Api.parse_reply_line line with
+        | Ok (_, Api.Stats_ok s) -> s
+        | Ok (_, _) -> die (Printf.sprintf "unexpected stats reply %S" line)
+        | Error e -> die (Printf.sprintf "unparseable stats reply %S: %s" line e))
+  in
+  Serve_client.close c;
+  s
+
+let percentile sorted q =
+  let len = Array.length sorted in
+  sorted.(min (len - 1) (int_of_float (q *. float_of_int len)))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle (--spawn)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_daemon ~socket ~domains ~store =
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Serve.run
+           {
+             Serve.listen = Serve.Unix_socket socket;
+             domains;
+             store;
+             max_inflight = Serve.default_max_inflight;
+             max_queue = Serve.default_max_queue;
+             client_budget = None;
+           }
+       with e ->
+         prerr_endline ("loadgen daemon: " ^ Printexc.to_string e);
+         Stdlib.exit 1);
+      Stdlib.exit 0
+  | pid -> pid
+
+let stop_daemon pid =
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> die (Printf.sprintf "daemon exited %d after SIGTERM, want 0" c)
+  | _, Unix.WSIGNALED s -> die (Printf.sprintf "daemon killed by signal %d" s)
+  | _, Unix.WSTOPPED _ -> die "daemon stopped, not exited"
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let socket = ref None and port = ref None and spawn = ref false in
+  let clients = ref 4 and requests = ref 500 and cold = ref false in
+  let json = ref false and check = ref None in
+  let tolerance = ref 1.0 and min_qps = ref None in
+  let domains = ref None and store = ref None and timeout = ref 60. in
+  let int_of s name = match int_of_string_opt s with
+    | Some v -> v
+    | None -> die (Printf.sprintf "%s: %S is not an integer" name s)
+  and float_of s name = match float_of_string_opt s with
+    | Some v -> v
+    | None -> die (Printf.sprintf "%s: %S is not a number" name s)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: rest -> socket := Some v; parse rest
+    | "--port" :: v :: rest -> port := Some (int_of v "--port"); parse rest
+    | "--spawn" :: rest -> spawn := true; parse rest
+    | "--clients" :: v :: rest -> clients := int_of v "--clients"; parse rest
+    | "--requests" :: v :: rest -> requests := int_of v "--requests"; parse rest
+    | "--cold" :: rest -> cold := true; parse rest
+    | "--json" :: rest -> json := true; parse rest
+    | "--check" :: v :: rest -> check := Some v; parse rest
+    | "--tolerance" :: v :: rest -> tolerance := float_of v "--tolerance"; parse rest
+    | "--min-qps" :: v :: rest -> min_qps := Some (float_of v "--min-qps"); parse rest
+    | "--domains" :: v :: rest -> domains := Some (int_of v "--domains"); parse rest
+    | "--store" :: v :: rest -> store := Some v; parse rest
+    | "--timeout" :: v :: rest -> timeout := float_of v "--timeout"; parse rest
+    | a :: _ -> prerr_endline ("loadgen: unknown argument " ^ a); usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !clients < 1 then die "--clients must be >= 1";
+  if !requests < 1 then die "--requests must be >= 1";
+  (* Read and validate the baseline before generating any load, so a
+     malformed file fails in milliseconds (mirrors bncg perf). *)
+  let baseline =
+    Option.map
+      (fun path ->
+        let content =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error e -> die e
+        in
+        match Json.of_string content with
+        | Error e -> die (Printf.sprintf "cannot parse baseline %s: %s" path e)
+        | Ok b -> (
+            match Benchkit.validate_baseline b with
+            | Error e -> die (Printf.sprintf "bad baseline %s: %s" path e)
+            | Ok () -> (path, b)))
+      !check
+  in
+  let daemon, addr =
+    match (!spawn, !socket, !port) with
+    | true, None, None ->
+        let path = Filename.temp_file "bncg-loadgen" ".sock" in
+        Sys.remove path;
+        (Some (spawn_daemon ~socket:path ~domains:!domains ~store:!store),
+         Serve_client.Unix_socket path)
+    | false, Some path, None -> (None, Serve_client.Unix_socket path)
+    | false, None, Some p -> (None, Serve_client.Tcp p)
+    | _ -> die "need exactly one of --spawn, --socket PATH, --port P"
+  in
+  let bank = bank () in
+  let finish () = Option.iter stop_daemon daemon in
+  let lat, wall, stats =
+    Fun.protect ~finally:finish (fun () ->
+        (* Warm phase: every distinct request once, sequentially on one
+           connection, so the measured phase runs against a warm answer
+           cache (skipped by --cold). *)
+        if not !cold then begin
+          let c = Serve_client.connect addr in
+          Array.iter
+            (fun line ->
+              match Serve_client.request_raw c line with
+              | Some reply -> check_reply reply
+              | None -> die "connection closed during warm-up")
+            bank;
+          Serve_client.close c
+        end;
+        let conns =
+          List.init !clients (fun i ->
+              {
+                conn = Serve_client.connect addr;
+                offset = i * 7;
+                sent = 0;
+                got = 0;
+                t_send = 0;
+              })
+        in
+        let lat, wall = run_phase ~timeout:!timeout conns !requests bank in
+        List.iter (fun c -> Serve_client.close c.conn) conns;
+        (lat, wall, daemon_stats addr))
+  in
+  Array.sort compare lat;
+  let total = Array.length lat in
+  let qps = float_of_int total /. wall in
+  let row name ns =
+    { Benchkit.name; ns; ols_ns = ns; r2 = 1.0; samples = total }
+  in
+  let rows =
+    [
+      row "serve/p50" (float_of_int (percentile lat 0.50));
+      row "serve/p99" (float_of_int (percentile lat 0.99));
+      row "serve/ns_per_req" (wall *. 1e9 /. float_of_int total);
+    ]
+  in
+  if !json then print_endline (Json.to_string (Benchkit.results_to_json rows))
+  else begin
+    Printf.printf "serve loadgen: %d clients x %d requests (%s cache), %d total in %.3fs \
+                   (%.0f qps)\n"
+      !clients !requests (if !cold then "cold" else "warm") total wall qps;
+    Printf.printf
+      "daemon stats: accepted %d, coalesced %d, shed %d, cache_hits %d\n"
+      stats.Api.accepted stats.Api.coalesced stats.Api.shed stats.Api.cache_hits;
+    Benchkit.print_table rows
+  end;
+  let failed = ref false in
+  (* The warm phase sends every distinct request once, so a warm
+     measured phase must hit the answer cache — zero hits means the
+     cache is broken, which the latency gate alone could miss. *)
+  if (not !cold) && stats.Api.cache_hits = 0 then begin
+    print_endline "WARM CACHE BROKEN: daemon reports 0 cache hits";
+    failed := true
+  end;
+  Option.iter
+    (fun q ->
+      if qps < q then begin
+        Printf.printf "THROUGHPUT %.0f qps < required %.0f qps\n" qps q;
+        failed := true
+      end)
+    !min_qps;
+  (match baseline with
+  | None -> ()
+  | Some (path, baseline) -> (
+      match Benchkit.check_against ~baseline ~tolerance:!tolerance rows with
+      | [] ->
+          Printf.printf "no regression beyond %.0f%% against %s\n" (!tolerance *. 100.)
+            path
+      | regs ->
+          List.iter
+            (fun (r : Benchkit.regression) ->
+              Printf.printf "REGRESSION %s: %.0f ns -> %.0f ns (%.2fx)\n" r.Benchkit.bench
+                r.Benchkit.baseline_ns r.Benchkit.fresh_ns r.Benchkit.ratio)
+            regs;
+          failed := true));
+  if !failed then exit 1

@@ -5,62 +5,36 @@
    bncg poa    -a 2.0 -c 3-BSE -n 9             worst rho over all trees
    bncg sweep  --family connected -n 6 -c PS    full (concept x alpha x n) sweep
    bncg merge  s0.json s1.json --json           combine sharded sweep outputs
+   bncg serve  --socket /tmp/bncg.sock          equilibrium-oracle daemon
    bncg dyn    -a 2.0 -c BGE --tree 10 --seed 1 improving-move dynamics
    bncg enum   -n 7                             enumeration counts
    bncg gallery                                 counterexample summary
-   bncg trace  t.jsonl -o chrome.json           convert a --trace file for Perfetto *)
+   bncg trace  t.jsonl -o chrome.json           convert a --trace file for Perfetto
+
+   Flag plumbing shared across subcommands lives in Cli_common; value
+   validation (one stderr line, exit 2) in Cli_validate; the JSON
+   payloads of check/poa are printed through the Api codecs, the same
+   functions the serve daemon answers with — byte identity between the
+   two is by construction, not by parallel maintenance. *)
 
 open Cmdliner
 
-(* Semantic flag errors: exactly one line on stderr, exit code 2 —
-   stricter than cmdliner's own 124 usage errors, and pinned by the
-   CLI tests.  The rules themselves live in Cli_validate. *)
-let die msg =
-  prerr_endline ("bncg: " ^ msg);
-  exit 2
-
-let ok_or_die = function Ok v -> v | Error msg -> die msg
-
-(* --trace / --heartbeat, shared by the long-running subcommands
-   (sweep, poa, fuzz, perf).  Telemetry is strictly out of band — see
-   Obs — so turning these on never changes a result. *)
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Write a JSONL telemetry trace (spans, counters, heartbeats) to $(docv).  \
-           Convert with $(b,bncg trace) for Perfetto / chrome://tracing.")
-
-let heartbeat_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "heartbeat" ] ~docv:"SECS"
-        ~doc:
-          "Emit a progress heartbeat (one stderr line, and a trace event when --trace \
-           is given) every $(docv) seconds.")
-
-let with_obs trace heartbeat f =
-  let heartbeat = ok_or_die (Cli_validate.heartbeat heartbeat) in
-  match (trace, heartbeat) with
-  | None, None -> f ()
-  | _ ->
-      Obs.start ?trace ?heartbeat ();
-      Fun.protect ~finally:Obs.stop f
+let die = Cli_common.die
+let ok_or_die = Cli_common.ok_or_die
+let with_obs = Cli_common.with_obs
+let with_store = Cli_common.with_store
+let trace_arg = Cli_common.trace_arg
+let heartbeat_arg = Cli_common.heartbeat_arg
+let json_arg = Cli_common.json_arg
+let no_wall_arg = Cli_common.no_wall_arg
+let store_arg = Cli_common.store_arg
+let concept_conv = Cli_common.concept_conv
 
 let alpha_arg =
   Arg.(
     required
     & opt (some float) None
     & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc:"Edge price $(docv) > 0.")
-
-let concept_conv =
-  let parse s =
-    match Concept.of_string s with Ok c -> Ok c | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Concept.name c))
 
 let concept_arg =
   Arg.(
@@ -78,28 +52,8 @@ let graph_arg =
 let budget_arg =
   Arg.(
     value
-    & opt int 500_000
+    & opt int Api.default_budget
     & info [ "budget" ] ~docv:"N" ~doc:"Search budget for BNE / k-BSE checkers.")
-
-let json_arg =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
-
-let store_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "store" ] ~docv:"DIR"
-        ~doc:
-          "Certificate store directory: decisions are answered from $(docv) when cached \
-           and journaled there otherwise, so repeated or interrupted runs resume instead \
-           of recomputing.")
-
-let with_store store f =
-  match store with
-  | None -> f None
-  | Some dir ->
-      let s = Cert_store.open_store dir in
-      Fun.protect ~finally:(fun () -> Cert_store.close s) (fun () -> f (Some s))
 
 let check_cmd =
   let run alpha concept g6 budget json =
@@ -108,13 +62,9 @@ let check_cmd =
     if json then
       print_endline
         (Json.to_string
-           (Json.Obj
-              [
-                ("concept", Json.String (Concept.name concept));
-                ("alpha", Json.number alpha); ("graph", Json.String g6);
-                ("verdict", Verdict.to_json v);
-                ("rho", Json.number (Cost.rho ~alpha g));
-              ]))
+           (Api.response_to_json
+              (Api.Check_ok
+                 { concept; alpha; graph6 = g6; verdict = v; rho = Cost.rho ~alpha g })))
     else
       Printf.printf "%s on %s at alpha=%g: %s\n" (Concept.name concept) g6 alpha
         (Verdict.to_string v);
@@ -152,12 +102,15 @@ let poa_cmd =
     if json then
       print_endline
         (Json.to_string
-           (Json.Obj
-              [
-                ("concept", Json.String (Concept.name concept)); ("n", Json.Int n);
-                ("family", Json.String (if general then "connected" else "trees"));
-                ("alpha", Json.number alpha); ("worst", Sweep.worst_to_json w);
-              ]))
+           (Api.response_to_json
+              (Api.Poa_ok
+                 {
+                   concept;
+                   n;
+                   family = (if general then Api.Connected else Api.Trees);
+                   alpha;
+                   worst = w;
+                 })))
     else begin
       Printf.printf "%s, n=%d, alpha=%g: checked %d graphs, %d stable, %d budgeted out\n"
         (Concept.name concept) n alpha w.Poa.checked w.Poa.stable_count w.Poa.exhausted;
@@ -173,15 +126,6 @@ let poa_cmd =
     Term.(
       const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg $ store_arg
       $ json_arg $ trace_arg $ heartbeat_arg)
-
-(* --no-wall, shared by [bncg sweep] and [bncg merge]. *)
-let no_wall_arg =
-  Arg.(
-    value & flag
-    & info [ "no-wall" ]
-        ~doc:
-          "Omit wall-clock fields from --json output, leaving only deterministic \
-           fields — two runs of the same spec then compare byte for byte.")
 
 (* The text rendering of a sweep outcome, shared by [bncg sweep] and
    [bncg merge]. *)
@@ -241,12 +185,6 @@ let sweep_cmd =
       & opt (some int) None
       & info [ "budget" ] ~docv:"N" ~doc:"Search budget for BNE / k-BSE checkers.")
   in
-  let domains_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: recommended count).")
-  in
   (* Raw string for the exit-2 contract, like --alphas. *)
   let shard_arg =
     Arg.(
@@ -277,7 +215,7 @@ let sweep_cmd =
           store and shardable across processes.")
     Term.(
       const run $ family_arg $ sizes_arg $ concepts_arg $ alphas_arg $ budget_opt_arg
-      $ domains_arg $ shard_arg $ store_arg $ json_arg $ no_wall_arg $ trace_arg
+      $ Cli_common.domains_arg $ shard_arg $ store_arg $ json_arg $ no_wall_arg $ trace_arg
       $ heartbeat_arg)
 
 let merge_cmd =
@@ -341,6 +279,76 @@ let merge_cmd =
           byte-identical with --json --no-wall), and per-shard certificate stores fold \
           into a coordinator store with --absorb.")
     Term.(const run $ files_arg $ absorb_arg $ store_arg $ json_arg $ no_wall_arg)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) (replaces a stale socket file).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Listen on 127.0.0.1:$(docv).")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int Serve.default_max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-client cap on requests queued or computing; past it a request is \
+             refused with a typed $(b,overloaded) error (the connection stays open).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int Serve.default_max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Global queued-computation cap; past it requests from every client are shed \
+             with $(b,overloaded) until the queue drains.")
+  in
+  let client_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "client-budget" ] ~docv:"N"
+          ~doc:
+            "Per-connection case budget: each request is charged the fresh checker \
+             calls it causes (cache hits are free); at 80% the client is warned once \
+             on stderr, past 100% requests are refused with $(b,budget_exceeded).")
+  in
+  let run socket port max_inflight max_queue client_budget domains store trace heartbeat
+      =
+    let listen = ok_or_die (Cli_validate.listen socket port) in
+    let max_inflight = ok_or_die (Cli_validate.max_inflight max_inflight) in
+    let max_queue = ok_or_die (Cli_validate.max_queue max_queue) in
+    let client_budget = ok_or_die (Cli_validate.client_budget client_budget) in
+    let domains = ok_or_die (Cli_validate.domains domains) in
+    with_obs trace heartbeat @@ fun () ->
+    let listen =
+      match listen with
+      | Cli_validate.Socket path -> Serve.Unix_socket path
+      | Cli_validate.Port port -> Serve.Tcp port
+    in
+    Serve.run { Serve.listen; domains; store; max_inflight; max_queue; client_budget }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Equilibrium-oracle daemon: answers check / poa / sweep-cell requests as \
+          line-delimited JSON over a Unix or TCP socket, coalescing identical in-flight \
+          requests, caching answers (in memory and, with --store, persistently), and \
+          shedding load with typed errors.  A request answered here is byte-identical \
+          to the same request answered by $(b,bncg check --json) / $(b,bncg poa --json).")
+    Term.(
+      const run $ socket_arg $ port_arg $ max_inflight_arg $ max_queue_arg
+      $ client_budget_arg $ Cli_common.domains_arg $ store_arg $ trace_arg
+      $ heartbeat_arg)
 
 let dyn_cmd =
   let tree_arg =
@@ -473,13 +481,6 @@ let fuzz_cmd =
             "Optional wall-clock deadline.  Truncates the campaign, so output is only \
              deterministic without it (or when the budget finishes first).")
   in
-  let domains_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"D"
-          ~doc:"Worker domains (default: recommended count; never changes the output).")
-  in
   let oracle_cases_arg =
     Arg.(
       value
@@ -527,7 +528,7 @@ let fuzz_cmd =
           the incremental distance oracle against fresh BFS.")
     Term.(
       const run $ seed_arg $ budget_fuzz_arg $ concepts_arg $ sizes_arg $ seconds_arg
-      $ domains_arg $ oracle_cases_arg $ json_arg $ trace_arg $ heartbeat_arg)
+      $ Cli_common.domains_arg $ oracle_cases_arg $ json_arg $ trace_arg $ heartbeat_arg)
 
 let perf_cmd =
   (* [some string], not [some file]: a missing baseline must take the
@@ -653,15 +654,26 @@ let welfare_cmd =
     Term.(const run $ alpha_arg $ graph_arg)
 
 let () =
+  Cli_common.init_signals ();
   let info =
     Cmd.info "bncg" ~version:"1.0.0"
       ~doc:"Bilateral Network Creation Game toolbox (PODC 2023 reproduction)."
   in
+  let group =
+    Cmd.group info
+      [
+        check_cmd; rho_cmd; poa_cmd; sweep_cmd; merge_cmd; serve_cmd; dyn_cmd; enum_cmd;
+        gallery_cmd; render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd; trace_cmd;
+      ]
+  in
+  (* catch:false so a closed-pipe failure reaches exit_on_broken_pipe
+     (exit 0, the Unix text-tool convention) instead of cmdliner's
+     generic handler; everything else keeps cmdliner's behaviour of
+     reporting the exception and exiting 125. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            check_cmd; rho_cmd; poa_cmd; sweep_cmd; merge_cmd; dyn_cmd; enum_cmd;
-            gallery_cmd; render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd;
-            trace_cmd;
-          ]))
+    (Cli_common.exit_on_broken_pipe (fun () ->
+         try Cmd.eval ~catch:false group
+         with e when not (Cli_common.is_broken_pipe e) ->
+           Printf.eprintf "bncg: internal error, uncaught exception:\n%s\n%s%!"
+             (Printexc.to_string e) (Printexc.get_backtrace ());
+           125))

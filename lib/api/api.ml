@@ -1,0 +1,368 @@
+(* See the interface: this module is the single source of truth for the
+   oracle protocol.  The encoders below are the only place the wire
+   shapes are spelled out; the CLI, the daemon, the loadgen and the
+   tests all call them, which is what makes the byte-identity contract
+   (socket answer == CLI answer) hold by construction. *)
+
+type family = Trees | Connected
+
+let family_name = function Trees -> "trees" | Connected -> "connected"
+
+let family_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "trees" -> Ok Trees
+  | "connected" -> Ok Connected
+  | other -> Error (Printf.sprintf "unknown family %S (expected trees or connected)" other)
+
+let to_sweep_family = function Trees -> Sweep.Trees | Connected -> Sweep.Connected
+let default_budget = 500_000
+
+type request =
+  | Check of { concept : Concept.t; alpha : float; graph6 : string; budget : int }
+  | Poa of { concept : Concept.t; alpha : float; n : int; family : family; budget : int }
+  | Sweep_cell of {
+      family : family;
+      n : int;
+      concept : Concept.t;
+      alpha : float;
+      budget : int option;
+    }
+  | Stats
+  | Shutdown
+
+type error_code = Bad_request | Overloaded | Budget_exceeded | Internal
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Budget_exceeded -> "budget_exceeded"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad_request" -> Ok Bad_request
+  | "overloaded" -> Ok Overloaded
+  | "budget_exceeded" -> Ok Budget_exceeded
+  | "internal" -> Ok Internal
+  | other -> Error (Printf.sprintf "unknown error code %S" other)
+
+type stats = {
+  accepted : int;
+  coalesced : int;
+  shed : int;
+  completed : int;
+  cache_hits : int;
+  budget_warnings : int;
+}
+
+type response =
+  | Check_ok of {
+      concept : Concept.t;
+      alpha : float;
+      graph6 : string;
+      verdict : Verdict.t;
+      rho : float;
+    }
+  | Poa_ok of {
+      concept : Concept.t;
+      n : int;
+      family : family;
+      alpha : float;
+      worst : Sweep.worst;
+    }
+  | Sweep_cell_ok of { n : int; concept : Concept.t; alpha : float; worst : Sweep.worst }
+  | Stats_ok of stats
+  | Shutdown_ok
+  | Error of { code : error_code; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let request_to_json = function
+  | Check { concept; alpha; graph6; budget } ->
+      Json.Obj
+        [
+          ("op", Json.String "check");
+          ("concept", Json.String (Concept.name concept));
+          ("alpha", Json.number alpha); ("graph", Json.String graph6);
+          ("budget", Json.Int budget);
+        ]
+  | Poa { concept; alpha; n; family; budget } ->
+      Json.Obj
+        [
+          ("op", Json.String "poa");
+          ("concept", Json.String (Concept.name concept));
+          ("alpha", Json.number alpha); ("n", Json.Int n);
+          ("family", Json.String (family_name family)); ("budget", Json.Int budget);
+        ]
+  | Sweep_cell { family; n; concept; alpha; budget } ->
+      Json.Obj
+        ([
+           ("op", Json.String "sweep_cell");
+           ("family", Json.String (family_name family)); ("n", Json.Int n);
+           ("concept", Json.String (Concept.name concept));
+           ("alpha", Json.number alpha);
+         ]
+        @ match budget with None -> [] | Some b -> [ ("budget", Json.Int b) ])
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let request_key r = Json.to_string (request_to_json r)
+
+(* Field accessors returning [result] with one-line diagnostics — the
+   strings end up verbatim in [bad_request] replies, so they name the
+   offending field the way Cli_validate names offending flags. *)
+let ( let* ) = Result.bind
+
+let field j name conv =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed %S" name)
+
+let opt_field j name conv err =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match conv v with Some v -> Ok (Some v) | None -> Error (err name))
+
+let concept_field j =
+  let* s = field j "concept" Json.as_string in
+  Concept.of_string s
+
+let alpha_field j =
+  let* a = field j "alpha" Json.as_number in
+  if not (Float.is_finite a) then Error "\"alpha\" must be finite"
+  else if a <= 0. then Error "\"alpha\" must be > 0"
+  else Ok a
+
+let budget_field ?(default = default_budget) j =
+  let* b =
+    opt_field j "budget" Json.as_int (fun n -> Printf.sprintf "malformed %S" n)
+  in
+  match b with
+  | None -> Ok default
+  | Some b when b >= 1 -> Ok b
+  | Some b -> Error (Printf.sprintf "\"budget\" must be >= 1 (got %d)" b)
+
+let family_field j =
+  let* s = field j "family" Json.as_string in
+  family_of_string s
+
+(* The exhaustively certifiable range: a daemon must refuse a cell it
+   cannot finish rather than wedge its queue on it. *)
+let max_n = function Trees -> 12 | Connected -> 8
+
+let n_field j family =
+  let* n = field j "n" Json.as_int in
+  if n < 1 then Error (Printf.sprintf "\"n\" must be >= 1 (got %d)" n)
+  else if n > max_n family then
+    Error
+      (Printf.sprintf "\"n\" must be <= %d for family %s (got %d)" (max_n family)
+         (family_name family) n)
+  else Ok n
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+      let* op = field j "op" Json.as_string in
+      match op with
+      | "check" ->
+          let* concept = concept_field j in
+          let* alpha = alpha_field j in
+          let* graph6 = field j "graph" Json.as_string in
+          let* budget = budget_field j in
+          Ok (Check { concept; alpha; graph6; budget })
+      | "poa" ->
+          let* concept = concept_field j in
+          let* alpha = alpha_field j in
+          let* family = family_field j in
+          let* n = n_field j family in
+          let* budget = budget_field j in
+          Ok (Poa { concept; alpha; n; family; budget })
+      | "sweep_cell" ->
+          let* family = family_field j in
+          let* n = n_field j family in
+          let* concept = concept_field j in
+          let* alpha = alpha_field j in
+          let* budget =
+            let* b = budget_field ~default:0 j in
+            Ok (if b = 0 then None else Some b)
+          in
+          Ok (Sweep_cell { family; n; concept; alpha; budget })
+      | "stats" -> Ok Stats
+      | "shutdown" -> Ok Shutdown
+      | other -> Error (Printf.sprintf "unknown op %S" other))
+  | _ -> Error "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let response_to_json = function
+  | Check_ok { concept; alpha; graph6; verdict; rho } ->
+      (* Field for field the object [bncg check --json] has always
+         printed — the CLI now calls this function, so the daemon and
+         the CLI cannot disagree. *)
+      Json.Obj
+        [
+          ("concept", Json.String (Concept.name concept));
+          ("alpha", Json.number alpha); ("graph", Json.String graph6);
+          ("verdict", Verdict.to_json verdict); ("rho", Json.number rho);
+        ]
+  | Poa_ok { concept; n; family; alpha; worst } ->
+      Json.Obj
+        [
+          ("concept", Json.String (Concept.name concept)); ("n", Json.Int n);
+          ("family", Json.String (family_name family)); ("alpha", Json.number alpha);
+          ("worst", Sweep.worst_to_json worst);
+        ]
+  | Sweep_cell_ok { n; concept; alpha; worst } ->
+      Json.Obj
+        [
+          ("n", Json.Int n); ("concept", Json.String (Concept.name concept));
+          ("alpha", Json.number alpha); ("worst", Sweep.worst_to_json worst);
+        ]
+  | Stats_ok s ->
+      Json.Obj
+        [
+          ( "stats",
+            Json.Obj
+              [
+                ("accepted", Json.Int s.accepted); ("coalesced", Json.Int s.coalesced);
+                ("shed", Json.Int s.shed); ("completed", Json.Int s.completed);
+                ("cache_hits", Json.Int s.cache_hits);
+                ("budget_warnings", Json.Int s.budget_warnings);
+              ] );
+        ]
+  | Shutdown_ok -> Json.Obj [ ("ok", Json.String "shutdown") ]
+  | Error { code; message } ->
+      Json.Obj
+        [
+          ( "error",
+            Json.Obj
+              [
+                ("code", Json.String (error_code_name code));
+                ("msg", Json.String message);
+              ] );
+        ]
+
+(* [worst] objects parse back through the same field set
+   [Sweep.worst_to_json] prints. *)
+let worst_of_json j =
+  match j with
+  | Json.Obj _ ->
+      let* rho = field j "rho" Json.as_number in
+      let* witness =
+        match Json.member "witness" j with
+        | Some Json.Null -> Ok None
+        | Some (Json.String g6) -> (
+            match Encode.of_graph6 g6 with
+            | g -> Ok (Some g)
+            | exception Invalid_argument msg -> Result.Error msg)
+        | _ -> Error "\"witness\" must be a graph6 string or null"
+      in
+      let* stable_count = field j "stable" Json.as_int in
+      let* checked = field j "checked" Json.as_int in
+      let* exhausted = field j "exhausted" Json.as_int in
+      Ok { Sweep.rho; witness; stable_count; checked; exhausted }
+  | _ -> Error "\"worst\" must be a JSON object"
+
+let response_of_json j =
+  match j with
+  | Json.Obj fields -> (
+      match (Json.member "error" j, Json.member "stats" j, Json.member "ok" j) with
+      | Some ej, _, _ ->
+          let* code_s = field ej "code" Json.as_string in
+          let* code = error_code_of_string code_s in
+          let* message = field ej "msg" Json.as_string in
+          Ok (Error { code; message })
+      | None, Some sj, _ ->
+          let* accepted = field sj "accepted" Json.as_int in
+          let* coalesced = field sj "coalesced" Json.as_int in
+          let* shed = field sj "shed" Json.as_int in
+          let* completed = field sj "completed" Json.as_int in
+          let* cache_hits = field sj "cache_hits" Json.as_int in
+          let* budget_warnings = field sj "budget_warnings" Json.as_int in
+          Ok
+            (Stats_ok
+               { accepted; coalesced; shed; completed; cache_hits; budget_warnings })
+      | None, None, Some (Json.String "shutdown") -> Ok Shutdown_ok
+      | None, None, Some _ -> Error "unknown \"ok\" payload"
+      | None, None, None when List.mem_assoc "graph" fields ->
+          let* concept = concept_field j in
+          let* alpha = field j "alpha" Json.as_number in
+          let* graph6 = field j "graph" Json.as_string in
+          let* vj =
+            match Json.member "verdict" j with
+            | Some v -> Ok v
+            | None -> Error "missing \"verdict\""
+          in
+          let* verdict = Verdict.of_json vj in
+          let* rho = field j "rho" Json.as_number in
+          Ok (Check_ok { concept; alpha; graph6; verdict; rho })
+      | None, None, None when List.mem_assoc "family" fields ->
+          let* concept = concept_field j in
+          let* n = field j "n" Json.as_int in
+          let* family = family_field j in
+          let* alpha = field j "alpha" Json.as_number in
+          let* wj =
+            match Json.member "worst" j with
+            | Some w -> Ok w
+            | None -> Error "missing \"worst\""
+          in
+          let* worst = worst_of_json wj in
+          Ok (Poa_ok { concept; n; family; alpha; worst })
+      | None, None, None when List.mem_assoc "worst" fields ->
+          let* n = field j "n" Json.as_int in
+          let* concept = concept_field j in
+          let* alpha = field j "alpha" Json.as_number in
+          let* wj =
+            match Json.member "worst" j with
+            | Some w -> Ok w
+            | None -> Error "missing \"worst\""
+          in
+          let* worst = worst_of_json wj in
+          Ok (Sweep_cell_ok { n; concept; alpha; worst })
+      | None, None, None -> Error "unrecognised response shape")
+  | _ -> Error "response must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Wire lines                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let id_of j =
+  match Json.member "id" j with Some (Json.Int n) -> Some n | _ -> None
+
+let parse_request_line line =
+  match Json.of_string line with
+  | Result.Error e -> Result.Error (None, Printf.sprintf "not a JSON line: %s" e)
+  | Ok j -> (
+      let id = id_of j in
+      (* An [id] that is present but not an integer is itself a
+         protocol error — it could not be echoed back faithfully. *)
+      match Json.member "id" j with
+      | Some v when id = None ->
+          Result.Error
+            (None, Printf.sprintf "\"id\" must be an integer (got %s)" (Json.to_string v))
+      | _ -> (
+          match request_of_json j with
+          | Ok r -> Ok (id, r)
+          | Result.Error e -> Result.Error (id, e)))
+
+let reply_line ~id response =
+  let payload = response_to_json response in
+  match id with
+  | None -> Json.to_string payload
+  | Some n -> Json.to_string (Json.Obj [ ("id", Json.Int n); ("result", payload) ])
+
+let parse_reply_line line =
+  match Json.of_string line with
+  | Result.Error e -> Result.Error (Printf.sprintf "not a JSON line: %s" e)
+  | Ok j -> (
+      match (Json.member "id" j, Json.member "result" j) with
+      | Some (Json.Int n), Some payload ->
+          let* r = response_of_json payload in
+          Ok (Some n, r)
+      | _ ->
+          let* r = response_of_json j in
+          Ok (None, r))

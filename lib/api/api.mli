@@ -1,0 +1,133 @@
+(** The typed request/response protocol of the equilibrium oracle.
+
+    Everything that answers a question about the game — the [bncg
+    check/poa] subcommands, the [bncg serve] daemon, the loadgen bench
+    and the test suites — speaks the types in this module, serialised
+    with the codecs below.  That sharing is the correctness contract of
+    the service layer: the daemon cannot drift from the CLI because both
+    print the very same {!response} with the very same
+    {!response_to_json}, so one request answered over a socket is
+    byte-identical to the same request answered by [bncg check --json]
+    or [bncg poa --json].
+
+    {b Wire format.}  One JSON object per line ({!Json.to_string}, LF
+    terminated) in each direction.  Requests carry an [op] field plus
+    op-specific parameters, and optionally an integer [id]; responses
+    to id-less requests are the bare payload object, responses to
+    requests with an id are wrapped as [{"id":N,"result":<payload>}] so
+    pipelining clients can correlate.  On every connection replies come
+    back in request order.  A line that does not parse, or parses to a
+    request that fails validation, is answered with a typed
+    [{"error":{"code":...,"msg":...}}] payload — never a crash and
+    never a closed connection. *)
+
+type family = Trees | Connected
+(** The candidate families a remote query may name ({!Sweep.Explicit}
+    is deliberately not wire-addressable). *)
+
+val family_name : family -> string
+(** ["trees"] / ["connected"] — the spellings the sweep CLI prints. *)
+
+val family_of_string : string -> (family, string) result
+val to_sweep_family : family -> Sweep.family
+
+val default_budget : int
+(** [500_000] — the search budget [check] and [poa] requests default
+    to, equal to the CLI's [--budget] default so a defaulted request
+    and a defaulted CLI invocation share cache keys and answers. *)
+
+type request =
+  | Check of { concept : Concept.t; alpha : float; graph6 : string; budget : int }
+      (** one graph against one concept — [bncg check] over the wire *)
+  | Poa of { concept : Concept.t; alpha : float; n : int; family : family; budget : int }
+      (** worst-case ρ over a whole family — [bncg poa] over the wire *)
+  | Sweep_cell of {
+      family : family;
+      n : int;
+      concept : Concept.t;
+      alpha : float;
+      budget : int option;
+    }  (** one (family, n, concept, α) cell of a sweep *)
+  | Stats  (** server counters (admission, coalescing, cache) *)
+  | Shutdown  (** ask the daemon to drain and exit 0 *)
+
+type error_code =
+  | Bad_request  (** malformed line, unknown op, invalid parameters *)
+  | Overloaded  (** shed by admission control (queue depth / in-flight) *)
+  | Budget_exceeded  (** the client's case budget is spent *)
+  | Internal  (** the computation itself failed *)
+
+val error_code_name : error_code -> string
+(** ["bad_request"] / ["overloaded"] / ["budget_exceeded"] /
+    ["internal"] — the [code] strings on the wire. *)
+
+val error_code_of_string : string -> (error_code, string) result
+
+type stats = {
+  accepted : int;  (** requests admitted past admission control *)
+  coalesced : int;  (** duplicates folded into an in-flight computation *)
+  shed : int;  (** requests refused with [Overloaded] *)
+  completed : int;  (** replies delivered (including cache hits) *)
+  cache_hits : int;  (** requests answered from the warm answer cache *)
+  budget_warnings : int;  (** soft budget warnings issued *)
+}
+
+type response =
+  | Check_ok of {
+      concept : Concept.t;
+      alpha : float;
+      graph6 : string;
+      verdict : Verdict.t;
+      rho : float;
+    }
+  | Poa_ok of {
+      concept : Concept.t;
+      n : int;
+      family : family;
+      alpha : float;
+      worst : Sweep.worst;
+    }
+  | Sweep_cell_ok of { n : int; concept : Concept.t; alpha : float; worst : Sweep.worst }
+  | Stats_ok of stats
+  | Shutdown_ok
+  | Error of { code : error_code; message : string }
+
+val request_to_json : request -> Json.t
+(** Canonical encoding (defaults resolved, fields in fixed order), so
+    {!Json.to_string} of it is usable as a coalescing/cache key:
+    syntactically different lines asking the same question map to the
+    same string. *)
+
+val request_of_json : Json.t -> (request, string) result
+(** Parses and validates: α must be finite and [> 0], budgets [>= 1],
+    [1 <= n <= 12] for trees and [1 <= n <= 8] for connected (the
+    exhaustively certifiable range — a daemon must refuse a cell it
+    cannot finish).  Never raises. *)
+
+val request_key : request -> string
+(** [Json.to_string (request_to_json r)] — equal strings iff the
+    requests ask for the same computation. *)
+
+val response_to_json : response -> Json.t
+(** The payload encodings.  [Check_ok] and [Poa_ok] reproduce the
+    [bncg check --json] / [bncg poa --json] objects field for field
+    (the CLI builds its output through this very function);
+    [Sweep_cell_ok] is the deterministic part of a sweep cell
+    ([n], [concept], [alpha], [worst] — {!Sweep.worst_to_json});
+    [Stats_ok] is [{"stats":{...}}]; [Shutdown_ok] is
+    [{"ok":"shutdown"}]; [Error] is [{"error":{"code":..,"msg":..}}]. *)
+
+val response_of_json : Json.t -> (response, string) result
+
+val parse_request_line : string -> (int option * request, int option * string) result
+(** One wire line to (id, request).  On failure the [Error] carries the
+    id when one was recoverable from the line, so the error reply can
+    still be correlated.  Never raises. *)
+
+val reply_line : id:int option -> response -> string
+(** The exact bytes (without the trailing newline) a server answering
+    [id] with this response must write: the bare payload for [None],
+    the [{"id":N,"result":...}] wrapper otherwise. *)
+
+val parse_reply_line : string -> (int option * response, string) result
+(** Client-side inverse of {!reply_line}. *)

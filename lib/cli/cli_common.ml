@@ -1,0 +1,120 @@
+(* See the interface.  These definitions moved here verbatim from
+   bin/bncg_cli.ml when the serve subcommand would otherwise have
+   become the fifth copy of the same plumbing. *)
+
+open Cmdliner
+
+let die msg =
+  prerr_endline ("bncg: " ^ msg);
+  exit 2
+
+let ok_or_die = function Ok v -> v | Error msg -> die msg
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let concept_conv =
+  let parse s =
+    match Concept.of_string s with Ok c -> Ok c | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Concept.name c))
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let no_wall_arg =
+  Arg.(
+    value & flag
+    & info [ "no-wall" ]
+        ~doc:
+          "Omit wall-clock fields from --json output, leaving only deterministic \
+           fields — two runs of the same spec then compare byte for byte.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL telemetry trace (spans, counters, heartbeats) to $(docv).  \
+           Convert with $(b,bncg trace) for Perfetto / chrome://tracing.")
+
+let heartbeat_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "heartbeat" ] ~docv:"SECS"
+        ~doc:
+          "Emit a progress heartbeat (one stderr line, and a trace event when --trace \
+           is given) every $(docv) seconds.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: recommended count).")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Certificate store directory: decisions are answered from $(docv) when cached \
+           and journaled there otherwise, so repeated or interrupted runs resume instead \
+           of recomputing.")
+
+(* ------------------------------------------------------------------ *)
+(* Wrappers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_obs trace heartbeat f =
+  let heartbeat = ok_or_die (Cli_validate.heartbeat heartbeat) in
+  match (trace, heartbeat) with
+  | None, None -> f ()
+  | _ ->
+      Obs.start ?trace ?heartbeat ();
+      Fun.protect ~finally:Obs.stop f
+
+let with_store store f =
+  match store with
+  | None -> f None
+  | Some dir ->
+      let s = Cert_store.open_store dir in
+      Fun.protect ~finally:(fun () -> Cert_store.close s) (fun () -> f (Some s))
+
+(* ------------------------------------------------------------------ *)
+(* Broken pipes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let init_signals () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* Out-channels report a failed flush as [Sys_error] carrying the
+   strerror text; raw [Unix.write]s raise the typed error.  Substring
+   matching on "Broken pipe" is as precise as the channel API allows. *)
+let is_broken_pipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      let needle = "Broken pipe" in
+      let n = String.length needle and m = String.length msg in
+      let rec at i = i + n <= m && (String.sub msg i n = needle || at (i + 1)) in
+      at 0
+  | _ -> false
+
+(* The flush must happen inside the guard: buffered output smaller than
+   the channel buffer only hits the dead pipe when flushed, and the
+   stdlib's own exit-time flush re-raises.  On a broken pipe stdout is
+   closed outright — flushing a closed channel is defined to do nothing,
+   so the exit-time flush then cannot raise again. *)
+let exit_on_broken_pipe f =
+  match
+    let code = f () in
+    flush stdout;
+    code
+  with
+  | code -> code
+  | exception e when is_broken_pipe e ->
+      close_out_noerr stdout;
+      0

@@ -1,0 +1,68 @@
+(** Flag plumbing shared by every [bncg] subcommand.
+
+    Before this module each subcommand in [bin/bncg_cli.ml] declared
+    its own copies of the [--json] / [--no-wall] / [--trace] /
+    [--heartbeat] / [--domains] / [--store] terms and its own
+    die/validate/wrap helpers; the [serve] subcommand would have been
+    the fifth copy.  The one definition of each lives here, so a flag's
+    documentation, validation and semantics cannot drift between
+    subcommands. *)
+
+val die : string -> 'a
+(** Prints one [bncg: ...] line on stderr and exits 2 — the CLI's
+    semantic-flag-error contract (stricter than cmdliner's 124). *)
+
+val ok_or_die : ('a, string) result -> 'a
+
+(** {1 Shared terms} *)
+
+val concept_conv : Concept.t Cmdliner.Arg.conv
+(** {!Concept.of_string} as a cmdliner converter. *)
+
+val json_arg : bool Cmdliner.Term.t
+(** [--json]: machine-readable output. *)
+
+val no_wall_arg : bool Cmdliner.Term.t
+(** [--no-wall]: omit wall-clock fields so runs byte-compare. *)
+
+val trace_arg : string option Cmdliner.Term.t
+(** [--trace FILE]: JSONL telemetry trace. *)
+
+val heartbeat_arg : float option Cmdliner.Term.t
+(** [--heartbeat SECS]: periodic progress events. *)
+
+val domains_arg : int option Cmdliner.Term.t
+(** [--domains D], unvalidated (validate with {!Cli_validate.domains}). *)
+
+val store_arg : string option Cmdliner.Term.t
+(** [--store DIR]: certificate-store directory. *)
+
+(** {1 Wrappers} *)
+
+val with_obs : string option -> float option -> (unit -> 'a) -> 'a
+(** Validates the heartbeat ({!die} on bad values), activates the
+    {!Obs} sink around the body when either flag is set. *)
+
+val with_store : string option -> (Cert_store.t option -> 'a) -> 'a
+(** Opens (and always closes) the certificate store, if requested. *)
+
+(** {1 Broken pipes}
+
+    [bncg ... --json | head] historically died on SIGPIPE with no exit
+    status of its own.  The contract now: SIGPIPE is ignored, and a
+    write to a closed pipe terminates the process quietly with exit 0
+    (the convention of text-emitting Unix tools). *)
+
+val init_signals : unit -> unit
+(** Ignores SIGPIPE (no-op where unsupported), so closed-pipe writes
+    surface as catchable [EPIPE] exceptions instead of killing the
+    process. *)
+
+val is_broken_pipe : exn -> bool
+(** Recognises the two shapes a closed-pipe write failure takes:
+    [Unix_error (EPIPE, _, _)] from raw writes and the [Sys_error]
+    out-channels raise for it. *)
+
+val exit_on_broken_pipe : (unit -> int) -> int
+(** Runs the body (typically the cmdliner evaluation) and turns a
+    broken-pipe failure into exit code 0. *)

@@ -40,3 +40,26 @@ let heartbeat = function
       Error
         (Printf.sprintf "--heartbeat must be a positive number of seconds (got %s)"
            (string_of_float h))
+
+type listen = Socket of string | Port of int
+
+let listen socket port =
+  match (socket, port) with
+  | None, None -> Error "serve needs exactly one of --socket PATH or --port PORT"
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+  | Some "", None -> Error "--socket: path must be non-empty"
+  | Some path, None -> Ok (Socket path)
+  | None, Some p when p >= 1 && p <= 65535 -> Ok (Port p)
+  | None, Some p -> Error (Printf.sprintf "--port must be in 1..65535 (got %d)" p)
+
+let max_inflight i =
+  if i >= 1 then Ok i
+  else Error (Printf.sprintf "--max-inflight must be >= 1 (got %d)" i)
+
+let max_queue i =
+  if i >= 1 then Ok i else Error (Printf.sprintf "--max-queue must be >= 1 (got %d)" i)
+
+let client_budget = function
+  | None -> Ok None
+  | Some b when b >= 1 -> Ok (Some b)
+  | Some b -> Error (Printf.sprintf "--client-budget must be >= 1 (got %d)" b)

@@ -27,3 +27,22 @@ val heartbeat : float option -> (float option, string) result
 (** Validates [--heartbeat]: absent is fine; an explicit interval must
     be finite and [> 0] seconds (cmdliner's float parser accepts
     ["nan"] and ["inf"], so finiteness is checked here). *)
+
+(** {1 Serve flags} *)
+
+type listen = Socket of string | Port of int
+
+val listen : string option -> int option -> (listen, string) result
+(** Validates [--socket] / [--port] for [bncg serve]: exactly one must
+    be given; a port must be in [1..65535]; a socket path must be
+    non-empty. *)
+
+val max_inflight : int -> (int, string) result
+(** Validates [--max-inflight]: must be [>= 1]. *)
+
+val max_queue : int -> (int, string) result
+(** Validates [--max-queue]: must be [>= 1]. *)
+
+val client_budget : int option -> (int option, string) result
+(** Validates [--client-budget]: absent means unlimited; an explicit
+    budget must be [>= 1] checker calls. *)

@@ -1,0 +1,99 @@
+(* Line-buffered socket client; see the interface. *)
+
+type addr = Unix_socket of string | Tcp of int
+
+type t = {
+  sock : Unix.file_descr;
+  buf : Buffer.t;  (** raw bytes read, lines not yet extracted *)
+  mutable lines : string list;  (** complete lines, oldest first *)
+  mutable partial : string;
+  mutable eof : bool;
+}
+
+let sockaddr = function
+  | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let connect ?(retries = 100) addr =
+  let domain, sa = sockaddr addr in
+  let rec go attempt =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when attempt < retries ->
+        Unix.close fd;
+        ignore (Unix.select [] [] [] 0.05);
+        go (attempt + 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  {
+    sock = go 0;
+    buf = Buffer.create 256;
+    lines = [];
+    partial = "";
+    eof = false;
+  }
+
+let close t = try Unix.close t.sock with Unix.Unix_error _ -> ()
+let fd t = t.sock
+
+let send_line t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write t.sock b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let feed t =
+  if not t.eof then begin
+    let chunk = Bytes.create 65536 in
+    match Unix.read t.sock chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> t.eof <- true
+    | 0 -> t.eof <- true
+    | len ->
+        let data = t.partial ^ Bytes.sub_string chunk 0 len in
+        let rec go acc = function
+          | [] -> assert false
+          | [ last ] ->
+              t.partial <- last;
+              t.lines <- t.lines @ List.rev acc
+          | line :: rest -> go (line :: acc) rest
+        in
+        go [] (String.split_on_char '\n' data)
+  end
+
+let next_line t =
+  match t.lines with
+  | line :: rest ->
+      t.lines <- rest;
+      Some line
+  | [] -> None
+
+let rec recv_line t =
+  match next_line t with
+  | Some _ as l -> l
+  | None ->
+      if t.eof then None
+      else begin
+        feed t;
+        recv_line t
+      end
+
+let request_raw t line =
+  send_line t line;
+  recv_line t
+
+let request t r =
+  match request_raw t (Json.to_string (Api.request_to_json r)) with
+  | None -> Error "connection closed"
+  | Some line -> (
+      match Api.parse_reply_line line with
+      | Ok (_, response) -> Ok response
+      | Error e -> Error e)

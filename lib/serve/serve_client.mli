@@ -1,0 +1,42 @@
+(** Minimal client for the {!Serve} protocol.
+
+    Used by the loadgen bench and the test suites; not a public SDK.
+    One value wraps one connection with a line-buffered reader.  The
+    blocking calls ({!recv_line}, {!request}) serve simple sequential
+    clients; pipelining clients (loadgen) use {!fd} + {!feed} +
+    {!next_line} and run their own [select]. *)
+
+type addr = Unix_socket of string | Tcp of int  (** 127.0.0.1 *)
+
+type t
+
+val connect : ?retries:int -> addr -> t
+(** Connects, retrying [retries] times (default 100) with a 50 ms
+    pause — the daemon may still be binding when its client starts.
+    @raise Unix.Unix_error when the last retry fails. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The raw socket, for callers running their own [select]. *)
+
+val send_line : t -> string -> unit
+(** Writes [line ^ "\n"] (blocking). *)
+
+val feed : t -> unit
+(** Reads whatever bytes are available (blocking until at least one
+    byte or EOF) into the line buffer. *)
+
+val next_line : t -> string option
+(** The next complete buffered line, if any (does not read). *)
+
+val recv_line : t -> string option
+(** Blocking: the next line, reading as needed; [None] on EOF. *)
+
+val request_raw : t -> string -> string option
+(** [request_raw t line] sends one request line and returns the exact
+    bytes of the next reply line — the primitive the byte-identity
+    tests compare with CLI output.  [None] on EOF. *)
+
+val request : t -> Api.request -> (Api.response, string) result
+(** Id-less synchronous round-trip through the {!Api} codecs. *)

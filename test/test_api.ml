@@ -1,0 +1,228 @@
+open Helpers
+
+(* The oracle protocol codecs (lib/api): every request/response shape
+   round-trips, canonical request keys coalesce spelling variants, and
+   no input line — however malformed — makes the parsers raise.  These
+   are the properties the daemon's "never crash, never close, always a
+   typed error" contract rests on. *)
+
+let roundtrip_request name r =
+  match Api.request_of_json (Api.request_to_json r) with
+  | Ok r' -> check_true (name ^ ": request round-trips") (r = r')
+  | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+
+let roundtrip_response name resp =
+  match Api.response_of_json (Api.response_to_json resp) with
+  | Ok r' -> check_true (name ^ ": response round-trips") (resp = r')
+  | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+
+let roundtrip_reply name id resp =
+  match Api.parse_reply_line (Api.reply_line ~id resp) with
+  | Ok (id', r') ->
+      check_true (name ^ ": id round-trips") (id = id');
+      check_true (name ^ ": payload round-trips") (resp = r')
+  | Error e -> Alcotest.failf "%s: reply line failed: %s" name e
+
+let some_worst =
+  {
+    Sweep.rho = 1.25;
+    witness = Some (Encode.of_graph6 "Dhc");
+    stable_count = 3;
+    checked = 11;
+    exhausted = 0;
+  }
+
+(* Lines that must come back as [Error], never as an exception.  The
+   bank covers every field of every op, both missing and mistyped, plus
+   syntactic garbage. *)
+let malformed_lines =
+  [
+    ""; "   "; "{"; "}"; "[]"; "42"; "\"check\""; "null"; "true";
+    "{\"op\":\"nope\"}"; "{\"noop\":1}"; "{\"op\":42}";
+    (* check: field by field *)
+    "{\"op\":\"check\"}"; "{\"op\":\"check\",\"concept\":\"PS\"}";
+    "{\"op\":\"check\",\"concept\":\"XX\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":\"two\",\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":0,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":-1,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":\"inf\",\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":\"nan\",\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":42}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\",\"budget\":0}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\",\"budget\":-5}";
+    "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\",\"budget\":\"big\"}";
+    (* poa / sweep_cell: families and bounds *)
+    "{\"op\":\"poa\",\"concept\":\"PS\",\"alpha\":2,\"family\":\"rings\",\"n\":5}";
+    "{\"op\":\"poa\",\"concept\":\"PS\",\"alpha\":2,\"family\":\"trees\",\"n\":0}";
+    "{\"op\":\"poa\",\"concept\":\"PS\",\"alpha\":2,\"family\":\"trees\",\"n\":13}";
+    "{\"op\":\"poa\",\"concept\":\"PS\",\"alpha\":2,\"family\":\"connected\",\"n\":9}";
+    "{\"op\":\"sweep_cell\",\"family\":\"trees\",\"n\":-1,\"concept\":\"PS\",\"alpha\":2}";
+    "{\"op\":\"sweep_cell\",\"family\":\"connected\",\"n\":6,\"concept\":\"PS\",\"alpha\":2,\"budget\":0}";
+    (* ids that cannot be echoed back *)
+    "{\"op\":\"stats\",\"id\":\"seven\"}"; "{\"op\":\"stats\",\"id\":1.5}";
+    "{\"op\":\"stats\",\"id\":null}";
+  ]
+
+let suite =
+  [
+    tc "requests round-trip" (fun () ->
+        List.iteri
+          (fun i c ->
+            roundtrip_request
+              (Printf.sprintf "check %d" i)
+              (Api.Check { concept = c; alpha = 2.0; graph6 = "Dhc"; budget = 77 }))
+          [ Concept.PS; Concept.BGE; Concept.BNE; Concept.KBSE 3 ];
+        List.iter
+          (fun alpha ->
+            roundtrip_request "check alpha"
+              (Api.Check { concept = Concept.PS; alpha; graph6 = "Dhc"; budget = 1 }))
+          [ 0.1; 1.0; 2.5; 1e-9; 1e30; 4.0 /. 3.0 ];
+        roundtrip_request "poa trees"
+          (Api.Poa
+             { concept = Concept.PS; alpha = 3.5; n = 9; family = Api.Trees; budget = 10 });
+        roundtrip_request "poa connected"
+          (Api.Poa
+             {
+               concept = Concept.BGE; alpha = 1.0; n = 7; family = Api.Connected;
+               budget = Api.default_budget;
+             });
+        roundtrip_request "sweep_cell no budget"
+          (Api.Sweep_cell
+             { family = Api.Trees; n = 8; concept = Concept.PS; alpha = 2.0; budget = None });
+        roundtrip_request "sweep_cell budget"
+          (Api.Sweep_cell
+             {
+               family = Api.Connected; n = 6; concept = Concept.BNE; alpha = 2.0;
+               budget = Some 9;
+             });
+        roundtrip_request "stats" Api.Stats;
+        roundtrip_request "shutdown" Api.Shutdown);
+    tc "request keys are canonical" (fun () ->
+        (* Spelling variants of the same question — permuted fields,
+           defaulted budget, number formats — must map to one key, or
+           coalescing and the answer cache silently fragment. *)
+        let key line =
+          match Api.parse_request_line line with
+          | Ok (_, r) -> Api.request_key r
+          | Error (_, e) -> Alcotest.failf "unexpected parse failure %S: %s" line e
+        in
+        let base = key "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}" in
+        check_true "permuted fields"
+          (base = key "{\"graph\":\"Dhc\",\"alpha\":2,\"concept\":\"PS\",\"op\":\"check\"}");
+        check_true "explicit default budget"
+          (base
+          = key
+              "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2.0,\"graph\":\"Dhc\",\"budget\":500000}");
+        check_true "id is not part of the key"
+          (base = key "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\",\"id\":9}");
+        check_true "different alpha, different key"
+          (base <> key "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":3,\"graph\":\"Dhc\"}");
+        check_true "different budget, different key"
+          (base
+          <> key "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\",\"budget\":7}"));
+    tc "responses round-trip" (fun () ->
+        List.iter
+          (fun (name, v) ->
+            roundtrip_response name
+              (Api.Check_ok
+                 { concept = Concept.PS; alpha = 2.0; graph6 = "Dhc"; verdict = v; rho = 1.5 }))
+          [
+            ("stable", Verdict.Stable);
+            ( "unstable",
+              Concept.check ~alpha:10.0 Concept.PS (Encode.of_graph6 "D~{") );
+            ("exhausted", Verdict.Exhausted "budget");
+          ];
+        roundtrip_response "check inf rho"
+          (Api.Check_ok
+             {
+               concept = Concept.PS; alpha = 2.0; graph6 = "A?"; verdict = Verdict.Stable;
+               rho = Float.infinity;
+             });
+        roundtrip_response "poa_ok"
+          (Api.Poa_ok
+             { concept = Concept.PS; n = 6; family = Api.Trees; alpha = 2.0; worst = some_worst });
+        roundtrip_response "poa_ok no witness"
+          (Api.Poa_ok
+             {
+               concept = Concept.BNE; n = 5; family = Api.Connected; alpha = 1.0;
+               worst = { some_worst with Sweep.witness = None; rho = Float.neg_infinity };
+             });
+        roundtrip_response "sweep_cell_ok"
+          (Api.Sweep_cell_ok { n = 6; concept = Concept.PS; alpha = 2.0; worst = some_worst });
+        roundtrip_response "stats_ok"
+          (Api.Stats_ok
+             {
+               accepted = 1; coalesced = 2; shed = 3; completed = 4; cache_hits = 5;
+               budget_warnings = 6;
+             });
+        roundtrip_response "shutdown_ok" Api.Shutdown_ok;
+        List.iter
+          (fun code ->
+            roundtrip_response "error"
+              (Api.Error { code; message = "why \"quoted\" and\nnewlined" }))
+          [ Api.Bad_request; Api.Overloaded; Api.Budget_exceeded; Api.Internal ]);
+    tc "reply lines round-trip with and without ids" (fun () ->
+        roundtrip_reply "bare" None
+          (Api.Check_ok
+             {
+               concept = Concept.PS; alpha = 2.0; graph6 = "Dhc"; verdict = Verdict.Stable;
+               rho = 1.0;
+             });
+        roundtrip_reply "id 0" (Some 0) Api.Shutdown_ok;
+        roundtrip_reply "id 41" (Some 41)
+          (Api.Error { code = Api.Overloaded; message = "queue full" });
+        (* a bare reply is exactly the payload object — the literal
+           byte-identity contract with the CLI's --json output *)
+        let r =
+          Api.Check_ok
+            {
+              concept = Concept.PS; alpha = 2.0; graph6 = "Dhc"; verdict = Verdict.Stable;
+              rho = 1.0;
+            }
+        in
+        Alcotest.(check string)
+          "bare reply == payload"
+          (Json.to_string (Api.response_to_json r))
+          (Api.reply_line ~id:None r));
+    tc "malformed lines: typed error, no exception" (fun () ->
+        List.iter
+          (fun line ->
+            match Api.parse_request_line line with
+            | Ok (_, r) ->
+                Alcotest.failf "%S unexpectedly parsed to key %s" line (Api.request_key r)
+            | Error (_, msg) -> check_true (line ^ ": has a diagnostic") (msg <> "")
+            | exception e ->
+                Alcotest.failf "%S raised %s" line (Printexc.to_string e))
+          malformed_lines;
+        (* recoverable ids survive into the error, so the reply can be
+           correlated even when the request is rejected *)
+        match Api.parse_request_line "{\"id\":5,\"op\":\"nope\"}" with
+        | Error (Some 5, _) -> ()
+        | Error (id, msg) ->
+            Alcotest.failf "id lost: got (%s, %s)"
+              (match id with None -> "None" | Some n -> string_of_int n)
+              msg
+        | Ok _ -> Alcotest.fail "unknown op accepted");
+    tc "random json lines never crash the parser" (fun () ->
+        (* A deterministic fuzz bank: mutate a valid line at every byte
+           position and also feed pure noise; the parser must always
+           return, never raise. *)
+        let valid = "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}" in
+        let try_line line =
+          match Api.parse_request_line line with
+          | Ok _ | Error _ -> ()
+          | exception e -> Alcotest.failf "%S raised %s" line (Printexc.to_string e)
+        in
+        String.iteri
+          (fun i _ ->
+            let b = Bytes.of_string valid in
+            Bytes.set b i 'x';
+            try_line (Bytes.to_string b);
+            try_line (String.sub valid 0 i))
+          valid;
+        let st = rng 7 in
+        for _ = 1 to 500 do
+          let len = Random.State.int st 40 in
+          try_line (String.init len (fun _ -> Char.chr (32 + Random.State.int st 95)))
+        done);
+  ]
