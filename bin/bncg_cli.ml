@@ -490,12 +490,41 @@ let fuzz_cmd =
             "Flip-sequence cases for the incremental-distance differential (default: \
              the campaign budget; 0 disables it).")
   in
-  let run seed budget concepts sizes seconds domains oracle_cases json trace heartbeat =
+  let game_arg =
+    Arg.(
+      value
+      & opt string "bilateral"
+      & info [ "game" ] ~docv:"G"
+          ~doc:
+            "Game instance to fuzz: $(b,bilateral) (default; the $(b,-c) concepts \
+             apply) or $(b,unilateral) (all four unilateral concepts).")
+  in
+  let run seed budget concepts sizes seconds domains oracle_cases game json trace
+      heartbeat =
     let domains = ok_or_die (Cli_validate.domains domains) in
+    let game = ok_or_die (Cli_validate.game game) in
     with_obs trace heartbeat @@ fun () ->
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) seconds in
     let seed64 = Int64.of_int seed in
-    let o = Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:seed64 ~budget () in
+    (* The concept campaign is per game; the dist-oracle differential is
+       game-independent and runs either way.  [to_json]/[pp]/[failed]
+       close over the instantiated engine so both branches print through
+       one code path — the bilateral branch stays byte-identical to the
+       pre---game output. *)
+    let to_json, pp, concept_failures =
+      if String.equal game "unilateral" then begin
+        let o = Fuzz.run_unilateral ?domains ?deadline ~sizes ~seed:seed64 ~budget () in
+        ( (fun () -> Fuzz.Ufuzz.outcome_to_json o),
+          (fun ppf () -> Fuzz.Ufuzz.pp_outcome ppf o),
+          Fuzz.Ufuzz.total_failures o )
+      end
+      else begin
+        let o = Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:seed64 ~budget () in
+        ( (fun () -> Fuzz.outcome_to_json o),
+          (fun ppf () -> Fuzz.pp_outcome ppf o),
+          Fuzz.total_failures o )
+      end
+    in
     let od =
       match Option.value oracle_cases ~default:budget with
       | 0 -> None
@@ -505,19 +534,19 @@ let fuzz_cmd =
       print_endline
         (Json.to_string
            (match od with
-           | None -> Fuzz.outcome_to_json o
+           | None -> to_json ()
            | Some od ->
                Json.Obj
                  [
-                   ("concepts", Fuzz.outcome_to_json o);
+                   ("concepts", to_json ());
                    ("dist_oracle", Fuzz.oracle_outcome_to_json od);
                  ]))
     else begin
-      Format.printf "%a@." Fuzz.pp_outcome o;
+      Format.printf "%a@." pp ();
       Option.iter (Format.printf "%a@." Fuzz.pp_oracle_outcome) od
     end;
     let oracle_failed = match od with None -> 0 | Some od -> od.Fuzz.ofailed in
-    if Fuzz.total_failures o > 0 || oracle_failed > 0 then exit 1
+    if concept_failures > 0 || oracle_failed > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -528,7 +557,8 @@ let fuzz_cmd =
           the incremental distance oracle against fresh BFS.")
     Term.(
       const run $ seed_arg $ budget_fuzz_arg $ concepts_arg $ sizes_arg $ seconds_arg
-      $ Cli_common.domains_arg $ oracle_cases_arg $ json_arg $ trace_arg $ heartbeat_arg)
+      $ Cli_common.domains_arg $ oracle_cases_arg $ game_arg $ json_arg $ trace_arg
+      $ heartbeat_arg)
 
 let perf_cmd =
   (* [some string], not [some file]: a missing baseline must take the

@@ -21,12 +21,20 @@ let c_canon_misses = Obs.counter "cert_store.canon_misses"
 let c_flushes = Obs.counter "cert_store.flushes"
 
 let budget_tag = function Some b -> string_of_int b | None -> "-"
+let bilateral = "bilateral"
 
-let cert_key ~concept ~alpha ~budget ~canon_g6 =
+(* The bilateral game keeps the historical key string (every journal
+   written before games were first-class must keep hitting the cache);
+   any other game prefixes its canonical name, so certificates from
+   different games can never collide. *)
+let cert_key ?(game = bilateral) ~concept ~alpha ~budget ~canon_g6 () =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "cert|%s|%s|%h|%s" canon_g6 (Concept.name concept) alpha
-          (budget_tag budget)))
+       (if String.equal game bilateral then
+          Printf.sprintf "cert|%s|%s|%h|%s" canon_g6 concept alpha (budget_tag budget)
+        else
+          Printf.sprintf "cert|%s|%s|%s|%h|%s" game canon_g6 concept alpha
+            (budget_tag budget)))
 
 (* ------------------------------------------------------------------ *)
 (* JSONL records                                                       *)
@@ -36,14 +44,22 @@ let cert_key ~concept ~alpha ~budget ~canon_g6 =
    (the string encoding "inf"/"-inf"/"nan" this store originated, now
    hoisted into {!Json} for every producer) keeps such certificates
    round-tripping — [Json.to_string] refuses bare non-finite floats. *)
-let cert_line ~key ~canon_g6 ~concept ~alpha ~budget e =
+(* Bilateral cert lines keep the historical field set byte-for-byte;
+   other games carry an explicit ["game"] field.  The loader keys off
+   ["key"] alone, so both shapes absorb identically. *)
+let cert_line ~game ~key ~canon_g6 ~concept ~alpha ~budget e =
+  let game_field =
+    if String.equal game bilateral then [] else [ ("game", Json.String game) ]
+  in
   Json.Obj
-    [
-      ("kind", Json.String "cert"); ("key", Json.String key); ("g6", Json.String canon_g6);
-      ("concept", Json.String (Concept.name concept)); ("alpha", Json.number alpha);
-      ("budget", match budget with Some b -> Json.Int b | None -> Json.Null);
-      ("verdict", Verdict.to_json e.verdict); ("rho", Json.number e.rho);
-    ]
+    (("kind", Json.String "cert") :: ("key", Json.String key)
+    :: ("g6", Json.String canon_g6)
+    :: game_field
+    @ [
+        ("concept", Json.String concept); ("alpha", Json.number alpha);
+        ("budget", (match budget with Some b -> Json.Int b | None -> Json.Null));
+        ("verdict", Verdict.to_json e.verdict); ("rho", Json.number e.rho);
+      ])
 
 let canon_line ~akey ~g6 =
   Json.Obj
@@ -168,9 +184,9 @@ let find t ~key =
   Obs.incr (if e = None then c_misses else c_hits);
   e
 
-let record t ~key ~canon_g6 ~concept ~alpha ~budget e =
+let record ?(game = bilateral) t ~key ~canon_g6 ~concept ~alpha ~budget e =
   Hashtbl.replace t.certs key e;
-  append t (cert_line ~key ~canon_g6 ~concept ~alpha ~budget e)
+  append t (cert_line ~game ~key ~canon_g6 ~concept ~alpha ~budget e)
 
 (* ------------------------------------------------------------------ *)
 (* Canonicalisation memo                                               *)

@@ -48,19 +48,30 @@ val cert_count : t -> int
 (** Number of certificates currently in memory (loaded + recorded). *)
 
 val cert_key :
-  concept:Concept.t -> alpha:float -> budget:int option -> canon_g6:string -> string
+  ?game:string ->
+  concept:string ->
+  alpha:float ->
+  budget:int option ->
+  canon_g6:string ->
+  unit ->
+  string
 (** The content address: an MD5 hex digest of
     [canonical graph6 | concept name | hex α | budget].  α enters in
     hexadecimal float notation so distinct doubles never collide and
-    equal doubles always agree. *)
+    equal doubles always agree.  [?game] is the {!Game_sig.GAME}
+    canonical name and defaults to ["bilateral"], which keeps the
+    historical key string — journals written before games were
+    first-class still hit the cache; any other game prefixes its name,
+    so certificates from different games can never collide. *)
 
 val find : t -> key:string -> entry option
 
 val record :
+  ?game:string ->
   t ->
   key:string ->
   canon_g6:string ->
-  concept:Concept.t ->
+  concept:string ->
   alpha:float ->
   budget:int option ->
   entry ->

@@ -55,21 +55,6 @@ let c_stable = Obs.counter "sweep.stable"
 let c_exhausted = Obs.counter "sweep.exhausted"
 let c_cache_hits = Obs.counter "sweep.cache_hits"
 
-let step ?budget ~concept ~alpha acc g =
-  let acc = { acc with checked = acc.checked + 1 } in
-  Obs.incr c_checked;
-  Obs.incr c_decided;
-  match Concept.check ?budget ~alpha concept g with
-  | Verdict.Stable ->
-      let r = Cost.rho ~alpha g in
-      let acc = { acc with stable_count = acc.stable_count + 1 } in
-      Obs.incr c_stable;
-      if r > acc.rho then { acc with rho = r; witness = Some g } else acc
-  | Verdict.Unstable _ -> acc
-  | Verdict.Exhausted _ ->
-      Obs.incr c_exhausted;
-      { acc with exhausted = acc.exhausted + 1 }
-
 (* Counters add; the maximum keeps the earlier witness on ties (the
    per-item update only replaces on strict improvement), so merging chunk
    folds left to right reproduces the sequential fold bit for bit. *)
@@ -81,24 +66,6 @@ let merge a b =
     checked = a.checked + b.checked;
     exhausted = a.exhausted + b.exhausted;
   }
-
-(* Same accumulation as [step], replaying an already-decided entry.  For
-   a stable graph [entry.rho] equals what [step] would compute (cached
-   entries round-trip bit-exactly), so the two paths agree. *)
-let tally acc g (entry : Cert_store.entry) =
-  let acc = { acc with checked = acc.checked + 1 } in
-  Obs.incr c_checked;
-  match entry.Cert_store.verdict with
-  | Verdict.Stable ->
-      let acc = { acc with stable_count = acc.stable_count + 1 } in
-      Obs.incr c_stable;
-      if entry.Cert_store.rho > acc.rho then
-        { acc with rho = entry.Cert_store.rho; witness = Some g }
-      else acc
-  | Verdict.Unstable _ -> acc
-  | Verdict.Exhausted _ ->
-      Obs.incr c_exhausted;
-      { acc with exhausted = acc.exhausted + 1 }
 
 (* Canonical graph6 per candidate, through the store's memo table; the
    canonical-form searches for graphs the store has never seen fan out
@@ -119,16 +86,61 @@ let canon_keys ?domains store graphs =
           g6)
     keys
 
-let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
+(* The game-generic cell primitive.  The fold prices states with
+   [G.check] / [G.rho] and reports witnesses as created graphs
+   ([G.graph]); with a store, decisions are content-addressed by the
+   canonical graph6 of the created graph under the game's name — a
+   complete address for [G.of_graph]-canonical states (the bilateral
+   game, and the unilateral game under canonical ownership).  Applied
+   to {!Bilateral} this is bit-identical to the historical
+   monomorphic fold. *)
+let run_cell_game (type s c)
+    (module G : Game_sig.GAME with type state = s and type concept = c) ?budget ?domains
+    ?store ~concept ~alpha (states : s list) =
+  let step acc x =
+    let acc = { acc with checked = acc.checked + 1 } in
+    Obs.incr c_checked;
+    Obs.incr c_decided;
+    match G.check ?budget ~alpha concept x with
+    | Verdict.Stable ->
+        let r = G.rho ~alpha x in
+        let acc = { acc with stable_count = acc.stable_count + 1 } in
+        Obs.incr c_stable;
+        if r > acc.rho then { acc with rho = r; witness = Some (G.graph x) } else acc
+    | Verdict.Unstable _ -> acc
+    | Verdict.Exhausted _ ->
+        Obs.incr c_exhausted;
+        { acc with exhausted = acc.exhausted + 1 }
+  in
+  (* Same accumulation as [step], replaying an already-decided entry.
+     For a stable state [entry.rho] equals what [step] would compute
+     (cached entries round-trip bit-exactly), so the two paths agree. *)
+  let tally acc x (entry : Cert_store.entry) =
+    let acc = { acc with checked = acc.checked + 1 } in
+    Obs.incr c_checked;
+    match entry.Cert_store.verdict with
+    | Verdict.Stable ->
+        let acc = { acc with stable_count = acc.stable_count + 1 } in
+        Obs.incr c_stable;
+        if entry.Cert_store.rho > acc.rho then
+          { acc with rho = entry.Cert_store.rho; witness = Some (G.graph x) }
+        else acc
+    | Verdict.Unstable _ -> acc
+    | Verdict.Exhausted _ ->
+        Obs.incr c_exhausted;
+        { acc with exhausted = acc.exhausted + 1 }
+  in
   match store with
-  | None ->
-      ( Parallel.fold ?domains ~f:(step ?budget ~concept ~alpha) ~merge ~init:empty graphs,
-        0 )
+  | None -> (Parallel.fold ?domains ~f:step ~merge ~init:empty states, 0)
   | Some s ->
-      let garr = Array.of_list graphs in
-      let g6s = canon_keys ?domains s graphs in
+      let garr = Array.of_list states in
+      let g6s = canon_keys ?domains s (List.map G.graph states) in
+      let cname = G.concept_name concept in
       let keys =
-        Array.map (fun canon_g6 -> Cert_store.cert_key ~concept ~alpha ~budget ~canon_g6) g6s
+        Array.map
+          (fun canon_g6 ->
+            Cert_store.cert_key ~game:G.name ~concept:cname ~alpha ~budget ~canon_g6 ())
+          g6s
       in
       let found = Array.map (fun key -> Cert_store.find s ~key) keys in
       let hits = Array.fold_left (fun n e -> if e = None then n else n + 1) 0 found in
@@ -139,24 +151,25 @@ let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
       let computed =
         Parallel.map ?domains
           (fun i ->
-            let g = garr.(i) in
+            let x = garr.(i) in
             Obs.incr c_decided;
-            {
-              Cert_store.verdict = Concept.check ?budget ~alpha concept g;
-              rho = Cost.rho ~alpha g;
-            })
+            { Cert_store.verdict = G.check ?budget ~alpha concept x; rho = G.rho ~alpha x })
           miss_idx
       in
       (* Journal fresh certificates in enumeration order: a kill at any
          point leaves a prefix, which is a valid resume checkpoint. *)
       List.iter2
         (fun i entry ->
-          Cert_store.record s ~key:keys.(i) ~canon_g6:g6s.(i) ~concept ~alpha ~budget entry;
+          Cert_store.record ~game:G.name s ~key:keys.(i) ~canon_g6:g6s.(i) ~concept:cname
+            ~alpha ~budget entry;
           found.(i) <- Some entry)
         miss_idx computed;
       let acc = ref empty in
       Array.iteri (fun i entry -> acc := tally !acc garr.(i) (Option.get entry)) found;
       (!acc, hits)
+
+let run_cell ?budget ?domains ?store ~concept ~alpha graphs =
+  run_cell_game (module Bilateral) ?budget ?domains ?store ~concept ~alpha graphs
 
 (* ------------------------------------------------------------------ *)
 (* Spec execution                                                      *)

@@ -110,6 +110,25 @@ val run_cell :
     {!run} are built on.  Without a store it is exactly the historical
     parallel fold (no canonicalisation cost). *)
 
+val run_cell_game :
+  (module Game_sig.GAME with type state = 's and type concept = 'c) ->
+  ?budget:int ->
+  ?domains:int ->
+  ?store:Cert_store.t ->
+  concept:'c ->
+  alpha:float ->
+  's list ->
+  worst * int
+(** The game-generic cell primitive behind {!run_cell}
+    ([run_cell = run_cell_game (module Bilateral)], bit for bit).  The
+    fold prices states with the game's [check] / [rho] and reports the
+    witness as a created graph; with [?store], decisions are
+    content-addressed by the canonical graph6 of the created graph
+    under the game's name ({!Cert_store.cert_key} [?game]) — a complete
+    address only for [of_graph]-canonical states, so callers sweeping
+    non-canonical states (e.g. unilateral assignments with arbitrary
+    ownership) must not pass a store. *)
+
 val worst_to_json : worst -> Json.t
 (** [rho] goes through {!Json.number}, so an infinite ratio (a
     disconnected [Explicit] witness) serialises as ["inf"] instead of

@@ -33,6 +33,15 @@ let shard = function
           | _ -> Error (Printf.sprintf "--shard %S: K and M must be integers" s))
       | _ -> Error (Printf.sprintf "--shard %S: expected K/M (e.g. 0/4)" s))
 
+(* Matched against the canonical {!Game_sig.GAME} names, not an enum:
+   the CLI dispatches on the returned string, so adding a game instance
+   means extending exactly this list and the dispatch. *)
+let game s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bilateral" -> Ok "bilateral"
+  | "unilateral" -> Ok "unilateral"
+  | _ -> Error (Printf.sprintf "--game %S: expected bilateral or unilateral" s)
+
 let heartbeat = function
   | None -> Ok None
   | Some h when Float.is_finite h && h > 0. -> Ok (Some h)

@@ -23,6 +23,11 @@ val shard : string option -> ((int * int) option, string) result
     Shard [K] of [M] sweeps the [K]-th contiguous slice of the
     candidate space (see {!Sweep.spec}). *)
 
+val game : string -> (string, string) result
+(** Validates [--game]: the canonical {!Game_sig.GAME} name of a known
+    instance — ["bilateral"] or ["unilateral"] (case-insensitive, with
+    surrounding whitespace tolerated; normalised to lowercase). *)
+
 val heartbeat : float option -> (float option, string) result
 (** Validates [--heartbeat]: absent is fine; an explicit interval must
     be finite and [> 0] seconds (cmdliner's float parser accepts

@@ -3,73 +3,82 @@
    either avoids the new edge or leaves u through it.  If v is unreachable
    from u, adding uv strictly lowers both agents' unreachable counts, which
    dominates lexicographically, so every cross-component pair is a
-   violation. *)
+   violation.
 
-let gain_within_component dist_u dist_v =
-  let gain = ref 0 in
-  Array.iteri
-    (fun x du ->
-      let dv = dist_v.(x) in
-      if du >= 0 && dv >= 0 && du > dv + 1 then gain := !gain + (du - (dv + 1)))
-    dist_u;
-  !gain
+   Whether a distance gain beats the price of the new edge is the metric's
+   call ([M.gain_improves]; strictly-above-α for the BNCG cost), which is
+   the whole cost-model dependence of this checker — the gains themselves
+   are pure graph distances. *)
 
-(* The check never mutates the graph, so the only thing a distance oracle
-   contributes here is its row cache — which is exactly what makes it
-   worth taking as an argument: {!Pairwise} passes the oracle its RE pass
-   already warmed, and every row RE left valid is free for this pass. *)
-let check_oracle ~alpha g o =
-  let size = Graph.n g in
-  let exception Found of Move.t in
-  try
-    for u = 0 to size - 1 do
-      for v = u + 1 to size - 1 do
-        if not (Graph.has_edge g u v) then begin
-          let du = Dist_oracle.row o u in
-          if du.(v) < 0 then raise (Found (Move.Bilateral_add { u; v }))
-          else begin
-            let dv = Dist_oracle.row o v in
-            if
-              float_of_int (gain_within_component du dv) > alpha
-              && float_of_int (gain_within_component dv du) > alpha
-            then raise (Found (Move.Bilateral_add { u; v }))
+module Make (M : Metric_sig.METRIC) = struct
+  let gain_within_component dist_u dist_v =
+    let gain = ref 0 in
+    Array.iteri
+      (fun x du ->
+        let dv = dist_v.(x) in
+        if du >= 0 && dv >= 0 && du > dv + 1 then gain := !gain + (du - (dv + 1)))
+      dist_u;
+    !gain
+
+  (* The check never mutates the graph, so the only thing a distance oracle
+     contributes here is its row cache — which is exactly what makes it
+     worth taking as an argument: {!Pairwise} passes the oracle its RE pass
+     already warmed, and every row RE left valid is free for this pass. *)
+  let check_oracle ~alpha g o =
+    let size = Graph.n g in
+    let exception Found of Move.t in
+    try
+      for u = 0 to size - 1 do
+        for v = u + 1 to size - 1 do
+          if not (Graph.has_edge g u v) then begin
+            let du = Dist_oracle.row o u in
+            if du.(v) < 0 then raise (Found (Move.Bilateral_add { u; v }))
+            else begin
+              let dv = Dist_oracle.row o v in
+              if
+                M.gain_improves ~alpha (gain_within_component du dv)
+                && M.gain_improves ~alpha (gain_within_component dv du)
+              then raise (Found (Move.Bilateral_add { u; v }))
+            end
           end
-        end
-      done
-    done;
-    Verdict.Stable
-  with Found m -> Verdict.Unstable m
+        done
+      done;
+      Verdict.Stable
+    with Found m -> Verdict.Unstable m
 
-let check_bits ~alpha g =
-  let size = Graph.n g in
-  let exception Found of Move.t in
-  let bg = Bitgraph.of_graph g in
-  let dist = Array.make size [||] in
-  let bfs u =
-    if dist.(u) = [||] && size > 0 then dist.(u) <- Bitgraph.bfs bg u;
-    dist.(u)
-  in
-  try
-    for u = 0 to size - 1 do
-      for v = u + 1 to size - 1 do
-        if not (Graph.has_edge g u v) then begin
-          let du = bfs u in
-          if du.(v) < 0 then raise (Found (Move.Bilateral_add { u; v }))
-          else begin
-            let dv = bfs v in
-            if
-              float_of_int (gain_within_component du dv) > alpha
-              && float_of_int (gain_within_component dv du) > alpha
-            then raise (Found (Move.Bilateral_add { u; v }))
+  let check_bits ~alpha g =
+    let size = Graph.n g in
+    let exception Found of Move.t in
+    let bg = Bitgraph.of_graph g in
+    let dist = Array.make size [||] in
+    let bfs u =
+      if dist.(u) = [||] && size > 0 then dist.(u) <- Bitgraph.bfs bg u;
+      dist.(u)
+    in
+    try
+      for u = 0 to size - 1 do
+        for v = u + 1 to size - 1 do
+          if not (Graph.has_edge g u v) then begin
+            let du = bfs u in
+            if du.(v) < 0 then raise (Found (Move.Bilateral_add { u; v }))
+            else begin
+              let dv = bfs v in
+              if
+                M.gain_improves ~alpha (gain_within_component du dv)
+                && M.gain_improves ~alpha (gain_within_component dv du)
+              then raise (Found (Move.Bilateral_add { u; v }))
+            end
           end
-        end
-      done
-    done;
-    Verdict.Stable
-  with Found m -> Verdict.Unstable m
+        done
+      done;
+      Verdict.Stable
+    with Found m -> Verdict.Unstable m
 
-let check ~alpha g =
-  if Graph.n g <= Bitgraph.max_n then check_bits ~alpha g
-  else check_oracle ~alpha g (Dist_oracle.create g)
+  let check ~alpha g =
+    if Graph.n g <= Bitgraph.max_n then check_bits ~alpha g
+    else check_oracle ~alpha g (Dist_oracle.create g)
 
-let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)
+  let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)
+end
+
+include Make (Cost.Metric)

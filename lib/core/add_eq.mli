@@ -1,7 +1,17 @@
 (** Bilateral Add Equilibrium (BAE): no two agents both improve by jointly
     creating their missing edge.  Exact; uses the closed-form gain
     [Σ_x max 0 (d(u,x) − (1 + d(v,x)))] on one APSP, so a full check is
-    [O(n³)] even on large constructions. *)
+    [O(n³)] even on large constructions.
+
+    Functorized over the cost kernel; the top-level entry points are the
+    [Cost.Metric] specialisation (bit-identical to the pre-functor
+    checker). *)
+
+module Make (M : Metric_sig.METRIC) : sig
+  val check : alpha:float -> Graph.t -> Verdict.t
+  val check_oracle : alpha:float -> Graph.t -> Dist_oracle.t -> Verdict.t
+  val is_stable : alpha:float -> Graph.t -> bool
+end
 
 val check : alpha:float -> Graph.t -> Verdict.t
 (** [check ~alpha g] never answers [Exhausted]. *)

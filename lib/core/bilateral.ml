@@ -1,0 +1,46 @@
+let name = "bilateral"
+
+type state = Graph.t
+
+let of_graph g = g
+let graph s = s
+let relabel = Graph.relabel
+
+type concept = Concept.t
+
+let concepts = Concept.all_fixed
+let concept_name = Concept.name
+let concept_of_string = Concept.of_string
+let check = Concept.check
+let reference ~alpha concept s = Oracle.check ~alpha concept s
+
+(* Wall-clock caps per concept: the oracle is exponential for the
+   coalition concepts and per-agent exponential for BNE, and a fuzz
+   case must stay well under a millisecond on average for 10^4-case
+   campaigns to fit in a test suite. *)
+let size_cap concept =
+  min (Oracle.max_n concept)
+    (match concept with
+    | Concept.KBSE _ | Concept.BSE -> 5
+    | Concept.BNE -> 6
+    | _ -> 12)
+
+(* Sizes a campaign may draw for [concept]: the requested sizes
+   clamped to the cap (falling back to the cap itself if none
+   survive), with sub-cap sizes repeated so expensive concepts draw
+   small instances more often. *)
+let weighted_sizes concept sizes =
+  let cap = size_cap concept in
+  let ok = List.filter (fun s -> s >= 1 && s <= cap) sizes in
+  let ok = if ok = [] then [ min cap (List.fold_left max 1 sizes) ] else ok in
+  match concept with
+  | Concept.KBSE _ | Concept.BSE | Concept.BNE ->
+      List.concat_map (fun s -> List.init (max 1 (cap + 1 - s)) (fun _ -> s)) ok
+  | _ -> ok
+
+let witness_ok ~alpha s m =
+  match Move.apply s m with
+  | exception Invalid_argument _ -> false
+  | _ -> Move.is_improving ~alpha s m
+
+let rho = Cost.rho

@@ -1,0 +1,12 @@
+(** The bilateral network creation game as a first-class {!Game_sig.GAME}.
+
+    The state is the created graph itself (Section 1.1: inefficiency-free
+    strategy vectors are in bijection with graphs), the concepts are the
+    paper's solution-concept lattice ({!Concept}), [check] is the
+    optimised checker stack, and [reference] the definition-literal
+    {!Oracle}.  This instance is the historical behaviour of the whole
+    pipeline: the generic sweep and fuzz engines applied to it are
+    byte-identical to their pre-functor incarnations (enforced by the
+    golden corpus in [test/golden]). *)
+
+include Game_sig.GAME with type state = Graph.t and type concept = Concept.t

@@ -1,8 +1,17 @@
 (* BGE = PS ∧ BSwE; both constituents run on the bit-parallel kernel for
-   n <= Bitgraph.max_n. *)
-let check ~alpha g =
-  match Pairwise.check ~alpha g with
-  | Verdict.Stable -> Swap_eq.check ~alpha g
-  | v -> v
+   n <= Bitgraph.max_n.  Like Pairwise, the conjunction itself carries no
+   cost-model dependence. *)
 
-let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)
+module Make (M : Metric_sig.METRIC) = struct
+  module PS = Pairwise.Make (M)
+  module BSwE = Swap_eq.Make (M)
+
+  let check ~alpha g =
+    match PS.check ~alpha g with
+    | Verdict.Stable -> BSwE.check ~alpha g
+    | v -> v
+
+  let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)
+end
+
+include Make (Cost.Metric)

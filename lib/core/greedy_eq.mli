@@ -1,6 +1,14 @@
 (** Bilateral Greedy Equilibrium (BGE, Section 3.2.2): PS ∧ BSwE — stable
     against single-edge removals, bilateral additions, and bilateral
-    swaps.  On trees, BGE coincides with 2-BSE (Proposition 3.7). *)
+    swaps.  On trees, BGE coincides with 2-BSE (Proposition 3.7).
+
+    Functorized over the cost kernel; the top-level entry points are the
+    [Cost.Metric] specialisation. *)
+
+module Make (M : Metric_sig.METRIC) : sig
+  val check : alpha:float -> Graph.t -> Verdict.t
+  val is_stable : alpha:float -> Graph.t -> bool
+end
 
 val check : alpha:float -> Graph.t -> Verdict.t
 val is_stable : alpha:float -> Graph.t -> bool

@@ -19,6 +19,15 @@ val default_budget : int
 (** Default number of candidate moves the checker may evaluate
     ([500_000]). *)
 
+(** Functorized over the cost kernel; the top-level entry points are the
+    [Cost.Metric] specialisation (bit-identical to the pre-functor
+    checker). *)
+module Make (M : Metric_sig.METRIC) : sig
+  val check : ?budget:int -> alpha:float -> Graph.t -> Verdict.t
+  val check_agent : ?budget:int -> alpha:float -> Graph.t -> int -> Verdict.t
+  val is_stable_exn : ?budget:int -> alpha:float -> Graph.t -> bool
+end
+
 val check : ?budget:int -> alpha:float -> Graph.t -> Verdict.t
 (** [check ~alpha g] is [Stable], [Unstable m] with an explicit
     neighborhood move, or [Exhausted] if the pruned move space still

@@ -2,16 +2,26 @@
    the bit-parallel kernel for n <= Bitgraph.max_n.  Above that size the
    two passes share one {!Dist_oracle}: the RE pass flips each edge out
    and back, keeping every row the deletions provably cannot change, so
-   the BAE pass starts with most of its distance rows already cached. *)
-let check ~alpha g =
-  if Graph.n g <= Bitgraph.max_n then
-    match Remove_eq.check ~alpha g with
-    | Verdict.Stable -> Add_eq.check ~alpha g
-    | v -> v
-  else
-    let o = Dist_oracle.create g in
-    match Remove_eq.check_oracle ~alpha g o with
-    | Verdict.Stable -> Add_eq.check_oracle ~alpha g o
-    | v -> v
+   the BAE pass starts with most of its distance rows already cached.
+   The conjunction is metric-independent; both constituents are built
+   from the same kernel. *)
 
-let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)
+module Make (M : Metric_sig.METRIC) = struct
+  module RE = Remove_eq.Make (M)
+  module BAE = Add_eq.Make (M)
+
+  let check ~alpha g =
+    if Graph.n g <= Bitgraph.max_n then
+      match RE.check ~alpha g with
+      | Verdict.Stable -> BAE.check ~alpha g
+      | v -> v
+    else
+      let o = Dist_oracle.create g in
+      match RE.check_oracle ~alpha g o with
+      | Verdict.Stable -> BAE.check_oracle ~alpha g o
+      | v -> v
+
+  let is_stable ~alpha g = Verdict.is_stable (check ~alpha g)
+end
+
+include Make (Cost.Metric)

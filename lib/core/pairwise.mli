@@ -1,5 +1,13 @@
 (** Pairwise Stability (Jackson–Wolinsky): RE ∧ BAE.  The solution concept
-    Corbo and Parkes analysed the BNCG under. *)
+    Corbo and Parkes analysed the BNCG under.
+
+    Functorized over the cost kernel; the top-level entry points are the
+    [Cost.Metric] specialisation. *)
+
+module Make (M : Metric_sig.METRIC) : sig
+  val check : alpha:float -> Graph.t -> Verdict.t
+  val is_stable : alpha:float -> Graph.t -> bool
+end
 
 val check : alpha:float -> Graph.t -> Verdict.t
 val is_stable : alpha:float -> Graph.t -> bool

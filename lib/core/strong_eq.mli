@@ -15,6 +15,29 @@
 val default_budget : int
 (** Default move-evaluation budget ([2_000_000]). *)
 
+type falsification = Refuted of Move.t | Not_refuted
+(** Result of a randomized search for an improving coalition move: finding
+    one proves instability; finding none proves nothing. *)
+
+(** Functorized over the cost kernel; the top-level entry points are the
+    [Cost.Metric] specialisation (bit-identical to the pre-functor
+    checker). *)
+module Make (M : Metric_sig.METRIC) : sig
+  val check_outcomes : k:int -> alpha:float -> Graph.t -> Verdict.t
+  val check_tree : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
+  val check_budgeted : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
+  val check : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
+  val check_bse : ?budget:int -> alpha:float -> Graph.t -> Verdict.t
+
+  val falsify_random :
+    rng:Random.State.t ->
+    iterations:int ->
+    k:int ->
+    alpha:float ->
+    Graph.t ->
+    falsification
+end
+
 val check_outcomes : k:int -> alpha:float -> Graph.t -> Verdict.t
 (** Exact for any [k] by enumerating all [2^(n(n-1)/2)] outcome graphs and
     deciding, per outcome, whether some coalition of size ≤ [k] inside the
@@ -39,10 +62,6 @@ val check : ?budget:int -> k:int -> alpha:float -> Graph.t -> Verdict.t
 
 val check_bse : ?budget:int -> alpha:float -> Graph.t -> Verdict.t
 (** [check_bse ~alpha g = check ~k:(Graph.n g) ~alpha g]. *)
-
-type falsification = Refuted of Move.t | Not_refuted
-(** Result of a randomized search for an improving coalition move: finding
-    one proves instability; finding none proves nothing. *)
 
 val falsify_random :
   rng:Random.State.t -> iterations:int -> k:int -> alpha:float -> Graph.t -> falsification

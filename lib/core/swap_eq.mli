@@ -6,7 +6,16 @@
     Exact.  The candidate space is [Σ_u deg(u) · (n − deg(u))]; the checker
     prunes with the exact swap-partner gain bound
     [(dist(u,w) − 1) (n − 1) > α] before paying for the BFS evaluation, so
-    checks on multi-hundred-node stretched trees stay fast. *)
+    checks on multi-hundred-node stretched trees stay fast.
+
+    Functorized over the cost kernel; the top-level entry points are the
+    [Cost.Metric] specialisation (bit-identical to the pre-functor
+    checker). *)
+
+module Make (M : Metric_sig.METRIC) : sig
+  val check : alpha:float -> Graph.t -> Verdict.t
+  val is_stable : alpha:float -> Graph.t -> bool
+end
 
 val check : alpha:float -> Graph.t -> Verdict.t
 (** [check ~alpha g] never answers [Exhausted]. *)

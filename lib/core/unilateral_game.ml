@@ -1,0 +1,166 @@
+let name = "unilateral"
+
+type state = Strategy.assignment
+
+let of_graph = Strategy.canonical_assignment
+let graph = Strategy.graph
+
+let relabel a perm =
+  let g' = Graph.relabel (Strategy.graph a) perm in
+  let owners =
+    List.map
+      (fun (u, v) -> ((perm.(u), perm.(v)), perm.(Strategy.owner a u v)))
+      (Graph.edges (Strategy.graph a))
+  in
+  Strategy.make g' owners
+
+type concept = UNE | UAE | URE | UGE
+
+let concepts = [ URE; UAE; UGE; UNE ]
+let concept_name = function UNE -> "UNE" | UAE -> "UAE" | URE -> "URE" | UGE -> "UGE"
+
+let concept_of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "UNE" -> Ok UNE
+  | "UAE" -> Ok UAE
+  | "URE" -> Ok URE
+  | "UGE" -> Ok UGE
+  | other ->
+      Error
+        (Printf.sprintf "unknown unilateral concept %S (expected UNE, UAE, URE or UGE)"
+           other)
+
+(* The unilateral move vocabulary is a strict subset of {!Move}: every
+   deviation is one agent rewriting her own strategy, i.e. a
+   [Neighborhood] move whose only consenting participant is the agent
+   herself (unilateral semantics — targets are not asked). *)
+let move_of_strategy a u strat =
+  let old = Strategy.strategy a u in
+  let drop = List.filter (fun v -> not (List.mem v strat)) old in
+  let add = List.filter (fun v -> not (List.mem v old)) strat in
+  Move.Neighborhood { agent = u; drop; add }
+
+(* Both {!Unilateral.is_greedy_eq} and {!Oracle.unilateral_greedy_eq}
+   describe their witness in one of three fixed formats. *)
+let move_of_greedy_witness u why =
+  let parse fmt k = try Some (Scanf.sscanf why fmt k) with Scanf.Scan_failure _ | Failure _ | End_of_file -> None in
+  match
+    parse "remove %d-%d" (fun _ v -> Move.Neighborhood { agent = u; drop = [ v ]; add = [] })
+  with
+  | Some m -> m
+  | None -> (
+      match
+        parse "add %d-%d" (fun _ v -> Move.Neighborhood { agent = u; drop = []; add = [ v ] })
+      with
+      | Some m -> m
+      | None -> (
+          match
+            parse "swap %d-%d for %d-%d" (fun _ v _ w ->
+                Move.Neighborhood { agent = u; drop = [ v ]; add = [ w ] })
+          with
+          | Some m -> m
+          | None -> invalid_arg ("Unilateral_game: unparseable greedy witness: " ^ why)))
+
+let verdict_of = function
+  | Ok () -> Verdict.Stable
+  | Error m -> Verdict.Unstable m
+
+let check ?budget ~alpha concept a =
+  ignore budget;
+  verdict_of
+    (match concept with
+    | UNE ->
+        Result.map_error (fun (u, s) -> move_of_strategy a u s) (Unilateral.is_nash ~alpha a)
+    | UAE ->
+        Result.map_error
+          (fun (u, v) -> Move.Neighborhood { agent = u; drop = []; add = [ v ] })
+          (Unilateral.is_add_eq ~alpha (Strategy.graph a))
+    | URE ->
+        Result.map_error
+          (fun (u, v) -> Move.Neighborhood { agent = u; drop = [ v ]; add = [] })
+          (Unilateral.is_remove_eq ~alpha a)
+    | UGE ->
+        Result.map_error
+          (fun (u, why) -> move_of_greedy_witness u why)
+          (Unilateral.is_greedy_eq ~alpha a))
+
+let reference ~alpha concept a =
+  verdict_of
+    (match concept with
+    | UNE ->
+        Result.map_error (fun (u, s) -> move_of_strategy a u s)
+          (Oracle.unilateral_nash ~alpha a)
+    | UAE ->
+        Result.map_error
+          (fun (u, v) -> Move.Neighborhood { agent = u; drop = []; add = [ v ] })
+          (Oracle.unilateral_add_eq ~alpha a)
+    | URE ->
+        Result.map_error
+          (fun (u, v) -> Move.Neighborhood { agent = u; drop = [ v ]; add = [] })
+          (Oracle.unilateral_remove_eq ~alpha a)
+    | UGE ->
+        Result.map_error
+          (fun (u, why) -> move_of_greedy_witness u why)
+          (Oracle.unilateral_greedy_eq ~alpha a))
+
+(* [Unilateral.best_response] rebuilds 2^(n-1) graphs per agent, so UNE
+   campaigns must stay tiny; the single-move concepts are polynomial. *)
+let size_cap = function UNE -> 6 | UGE -> 8 | UAE | URE -> 10
+
+let weighted_sizes concept sizes =
+  let cap = size_cap concept in
+  let ok = List.filter (fun s -> s >= 1 && s <= cap) sizes in
+  let ok = if ok = [] then [ min cap (List.fold_left max 1 sizes) ] else ok in
+  match concept with
+  | UNE | UGE -> List.concat_map (fun s -> List.init (max 1 (cap + 1 - s)) (fun _ -> s)) ok
+  | UAE | URE -> ok
+
+(* Unilateral improvement semantics: only the deviating agent must
+   benefit, and her buying cost tracks the edges she owns, not her
+   degree — so this cannot reuse [Move.is_improving]. *)
+let witness_ok ~alpha a m =
+  match m with
+  | Move.Neighborhood { agent; drop; add } ->
+      let g = Strategy.graph a in
+      let owned = Strategy.strategy a agent in
+      let well_formed =
+        (drop <> [] || add <> [])
+        && List.for_all (fun v -> List.mem v owned) drop
+        && List.for_all
+             (fun v -> v <> agent && not (Graph.has_edge g agent v))
+             add
+        && List.length (List.sort_uniq Int.compare drop) = List.length drop
+        && List.length (List.sort_uniq Int.compare add) = List.length add
+      in
+      well_formed
+      &&
+      let g' = Graph.add_edges (Graph.remove_edges g (List.map (fun v -> (agent, v)) drop))
+          (List.map (fun v -> (agent, v)) add)
+      in
+      let owned' = List.length owned - List.length drop + List.length add in
+      let before = Unilateral.cost ~alpha a agent in
+      let after =
+        Cost.agent_cost_of_parts ~alpha ~degree:owned' ~total:(Paths.total_dist g' agent)
+      in
+      Cost.strictly_less after before
+  | _ -> false
+
+(* Unilateral social optimum (Fabrikant et al.): each edge paid once, the
+   star for alpha >= 2, the clique below. *)
+let opt_cost ~alpha n =
+  if n <= 1 then 0.
+  else
+    let nf = float_of_int n in
+    let star = ((nf -. 1.) *. alpha) +. (2. *. (nf -. 1.) *. (nf -. 1.)) in
+    let clique = (nf *. (nf -. 1.) /. 2. *. alpha) +. (nf *. (nf -. 1.)) in
+    Float.min star clique
+
+let social_cost ~alpha g =
+  let s = Cost.social_cost ~alpha g in
+  if s.Cost.disconnected_pairs > 0 then Float.infinity
+  else (s.Cost.social_buy /. 2.) +. float_of_int s.Cost.social_dist
+
+let rho ~alpha a =
+  let g = Strategy.graph a in
+  let n = Graph.n g in
+  if n <= 1 then 1. else social_cost ~alpha g /. opt_cost ~alpha n

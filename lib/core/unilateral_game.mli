@@ -1,0 +1,28 @@
+(** The unilateral Network Creation Game of Fabrikant et al. as a
+    {!Game_sig.GAME} — the comparison substrate of Section 2.
+
+    The state is a {!Strategy.assignment} (a graph with an owner for
+    every edge: ownership is what Propositions 2.1–2.3 are about), the
+    concepts wrap {!Unilateral}'s equilibrium checkers, and [reference]
+    wraps the strategy-enumeration oracles in {!Oracle}.  Witnesses are
+    [Move.Neighborhood] values read with unilateral semantics: only the
+    deviating agent must benefit, and her buying cost tracks owned
+    edges, so [witness_ok] prices moves natively instead of deferring
+    to [Move.is_improving]. *)
+
+type concept =
+  | UNE  (** exact Nash: no better response among all [2^(n-1)] strategies *)
+  | UAE  (** no improving single unilateral edge purchase *)
+  | URE  (** no improving single owned-edge deletion *)
+  | UGE  (** Lenzner's Greedy Equilibrium: single add / drop / swap *)
+
+include
+  Game_sig.GAME with type state = Strategy.assignment and type concept := concept
+
+val opt_cost : alpha:float -> int -> float
+(** Unilateral social optimum value (each edge paid once; star for
+    [α ≥ 2], clique below). *)
+
+val social_cost : alpha:float -> Graph.t -> float
+(** Unilateral social cost of a created graph ([α·m + Σ_u dist(u)]);
+    [infinity] when disconnected. *)

@@ -57,3 +57,35 @@ let rho ~alpha g =
   else
     let s = social_cost ~alpha g in
     if s.disconnected_pairs > 0 then infinity else social_money s /. opt_cost ~alpha size
+
+(* The BNCG cost packaged as a checker kernel (Game_sig.METRIC).  The
+   pruning theory is the paper's: a distance gain beats one edge price
+   iff it strictly exceeds α; an agent with distance sum D in a
+   connected n-graph gains at most D − (n−1) from any move, so she buys
+   at most ceil((D − (n−1))/α) net edges; and an agent at the global
+   per-agent minimum d(α−1) + 2(n−1), d ∈ {1, n−1}, can never strictly
+   improve, hence never joins a coalition (Proposition 3.16). *)
+module Metric = struct
+  type nonrec agent = agent
+
+  let of_parts = agent_cost_of_parts
+  let of_oracle = agent_cost_oracle
+  let of_graph = agent_cost
+  let strictly_less = strictly_less
+  let gain_improves ~alpha gain = float_of_int gain > alpha
+
+  let net_edge_cap ~alpha ~size ~dist_sum =
+    if alpha <= 0. then size
+    else
+      let slack = float_of_int (dist_sum - (size - 1)) in
+      if slack <= 0. then 0 else max 0 (int_of_float (Float.ceil (slack /. alpha)))
+
+  let min_possible_cost ~alpha n =
+    if n <= 1 then 0.
+    else
+      let at d = (float_of_int d *. (alpha -. 1.)) +. (2. *. float_of_int (n - 1)) in
+      min (at 1) (at (n - 1))
+
+  let could_join_coalition ~alpha ~size c =
+    c.unreachable > 0 || money c > min_possible_cost ~alpha size +. 1e-9
+end

@@ -61,3 +61,9 @@ val opt_cost : alpha:float -> int -> float
 val rho : alpha:float -> Graph.t -> float
 (** [rho ~alpha g] is the social cost ratio ρ(G) = cost(G) / cost(OPT).
     [infinity] if [g] is disconnected; [1.] when [n g <= 1]. *)
+
+(** The BNCG cost as a checker kernel: the {!Game_sig.METRIC} instance
+    the functorized checkers are specialised with to recover today's
+    bilateral stack bit for bit.  [agent] is {!agent} itself, so
+    bilateral callers can keep inspecting cost components. *)
+module Metric : Metric_sig.METRIC with type agent = agent

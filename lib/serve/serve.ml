@@ -104,7 +104,7 @@ let compute_check st ~concept ~alpha ~graph6 ~budget =
         }
     | Some s -> (
         let canon_g6 = Cert_store.canonical_g6 s g in
-        let key = Cert_store.cert_key ~concept ~alpha ~budget:(Some budget) ~canon_g6 in
+        let key = Cert_store.cert_key ~concept:(Concept.name concept) ~alpha ~budget:(Some budget) ~canon_g6 () in
         match Cert_store.find s ~key with
         | Some e -> e
         | None ->
@@ -114,7 +114,7 @@ let compute_check st ~concept ~alpha ~graph6 ~budget =
                 rho = Cost.rho ~alpha g;
               }
             in
-            Cert_store.record s ~key ~canon_g6 ~concept ~alpha ~budget:(Some budget) e;
+            Cert_store.record s ~key ~canon_g6 ~concept:(Concept.name concept) ~alpha ~budget:(Some budget) e;
             e)
   in
   Api.Check_ok

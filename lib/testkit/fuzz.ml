@@ -1,38 +1,21 @@
-(* The differential fuzz engine.  Each case is a pure function of
-   (seed, concept index, case index) via [Splitmix.derive], so a
-   campaign replays bit-identically from its printed seed regardless of
-   domain count or truncation point, and a single case can be replayed
-   without re-running the campaign.
-
-   Per case, four properties are checked:
-   - the optimised checker's verdict kind agrees with [Oracle.check]
-     (an [Exhausted] checker verdict is tallied, not compared — the
-     oracle never truncates);
-   - an [Unstable] witness from either side actually applies and
-     strictly improves all consenting participants ([Move.apply] +
-     [Move.is_improving]);
-   - the checker's verdict kind is invariant under a random vertex
-     relabelling;
-   - the checker does not raise.
-
-   Failures are shrunk with [Shrink] before reporting. *)
+(* The legacy front end of the differential fuzz engine: the generic
+   {!Fuzz_engine} applied to the {!Bilateral} game (byte-identical to
+   the historical monomorphic loop — see test/golden), the
+   {!Unilateral_game} campaign runner, and the distance-oracle flip
+   differential.  See [fuzz_engine.ml] for the per-case properties and
+   the replay discipline. *)
 
 type checker = ?budget:int -> alpha:float -> Concept.t -> Graph.t -> Verdict.t
 
-(* Telemetry only (see Obs): cases/sec per concept from heartbeat
-   deltas, shrink effort, and the flip count of the distance-oracle
-   differential.  Campaign output stays byte-identical with tracing on
-   or off — the counters are never read back. *)
-let c_cases = Obs.counter "fuzz.cases"
-let c_failures = Obs.counter "fuzz.failures"
-let c_shrink_iters = Obs.counter "fuzz.shrink_iters"
+(* Telemetry only (see Obs): the campaign counters live in
+   [Fuzz_engine]; the flip differential owns its own. *)
 let c_oracle_cases = Obs.counter "fuzz.oracle_cases"
 let c_oracle_flips = Obs.counter "fuzz.oracle_flips"
 
-let kind_disagreement = "oracle-disagreement"
-let kind_witness = "witness-not-improving"
-let kind_relabel = "relabel-variance"
-let kind_exception = "checker-exception"
+let kind_disagreement = Fuzz_engine.kind_disagreement
+let kind_witness = Fuzz_engine.kind_witness
+let kind_relabel = Fuzz_engine.kind_relabel
+let kind_exception = Fuzz_engine.kind_exception
 
 type failure = {
   concept : Concept.t;
@@ -66,177 +49,76 @@ type outcome = {
 let default_sizes = [ 3; 4; 5; 6; 7 ]
 let default_budget = 1000
 
-(* Wall-clock caps per concept: the oracle is exponential for the
-   coalition concepts and per-agent exponential for BNE, and a fuzz
-   case must stay well under a millisecond on average for 10^4-case
-   campaigns to fit in a test suite. *)
-let size_cap concept =
-  min (Oracle.max_n concept)
-    (match concept with
-    | Concept.KBSE _ | Concept.BSE -> 5
-    | Concept.BNE -> 6
-    | _ -> 12)
+let size_cap = Bilateral.size_cap
 
-(* Sizes a campaign may draw for [concept]: the requested sizes
-   clamped to the cap (falling back to the cap itself if none
-   survive), with sub-cap sizes repeated so expensive concepts draw
-   small instances more often. *)
-let allowed_sizes concept sizes =
-  let cap = size_cap concept in
-  let ok = List.filter (fun s -> s >= 1 && s <= cap) sizes in
-  let ok = if ok = [] then [ min cap (List.fold_left max 1 sizes) ] else ok in
-  match concept with
-  | Concept.KBSE _ | Concept.BSE | Concept.BNE ->
-      List.concat_map (fun s -> List.init (max 1 (cap + 1 - s)) (fun _ -> s)) ok
-  | _ -> ok
+module Engine = Fuzz_engine.Make (Bilateral)
 
-(* What is wrong with running [check] on this case, if anything. *)
-let diagnose ~(check : checker) ~perm concept ~alpha g =
-  let valid_witness m =
-    match Move.apply g m with
-    | exception Invalid_argument _ -> false
-    | _ -> Move.is_improving ~alpha g m
-  in
-  match check ~alpha concept g with
-  | exception e -> Some (kind_exception, Printexc.to_string e)
-  | fast -> (
-      match Oracle.check ~alpha concept g with
-      | exception e -> Some (kind_exception, "oracle: " ^ Printexc.to_string e)
-      | slow -> (
-          match (fast, slow) with
-          | Verdict.Exhausted _, _ -> None
-          | Verdict.Stable, Verdict.Unstable m ->
-              Some
-                ( kind_disagreement,
-                  Printf.sprintf "checker Stable, oracle found: %s" (Move.to_string m) )
-          | Verdict.Unstable m, Verdict.Stable ->
-              Some
-                ( kind_disagreement,
-                  Printf.sprintf "checker claims %s, oracle says Stable" (Move.to_string m)
-                )
-          | Verdict.Unstable m, _ when not (valid_witness m) ->
-              Some
-                ( kind_witness,
-                  Printf.sprintf "checker witness %s does not apply or improve"
-                    (Move.to_string m) )
-          | _, Verdict.Unstable m when not (valid_witness m) ->
-              Some
-                ( kind_witness,
-                  Printf.sprintf "oracle witness %s does not apply or improve"
-                    (Move.to_string m) )
-          | _, Verdict.Exhausted why ->
-              Some (kind_exception, "oracle exhausted: " ^ why)
-          | fast, _ -> (
-              match perm with
-              | None -> None
-              | Some p -> (
-                  match check ~alpha concept (Graph.relabel g p) with
-                  | exception e ->
-                      Some (kind_exception, "on relabelled graph: " ^ Printexc.to_string e)
-                  | relabelled -> (
-                      match (fast, relabelled) with
-                      | Verdict.Stable, Verdict.Unstable m ->
-                          Some
-                            ( kind_relabel,
-                              Printf.sprintf "Stable, but relabelled graph unstable: %s"
-                                (Move.to_string m) )
-                      | Verdict.Unstable _, Verdict.Stable ->
-                          Some (kind_relabel, "Unstable, but relabelled graph stable")
-                      | _ -> None)))))
+(* Graph deletions first, then alpha against the shrunk graph — the
+   historical shrink order. *)
+let bilateral_shrink ~keep ~alpha g =
+  let shrunk_graph = Shrink.graph ~keep:(keep alpha) g in
+  let shrunk_alpha = Shrink.alpha ~keep:(fun a -> keep a shrunk_graph) alpha in
+  (shrunk_graph, shrunk_alpha)
 
 let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
     ?(concepts = Concept.all_fixed) ~seed ~budget () =
-  let deadline_hit () =
-    match deadline with None -> false | Some t -> Unix.gettimeofday () > t
+  let o =
+    Engine.run ~check ~shrink:bilateral_shrink ?domains ?deadline ~sizes ~concepts
+      ~gen:Casegen.graph ~seed ~budget ()
   in
-  let truncated = ref false in
-  let all_failures = ref [] in
-  let stats =
-    List.mapi
-      (fun ci concept ->
-        Obs.span "fuzz.concept"
-          ~args:[ ("concept", Json.String (Concept.name concept)); ("budget", Json.Int budget) ]
-        @@ fun () ->
-        let weighted = allowed_sizes concept sizes in
-        let stable = ref 0 and unstable = ref 0 and exhausted = ref 0 in
-        let failed = ref 0 and cases = ref 0 in
-        let eval i =
-          let rng = Splitmix.derive seed [ ci; i ] in
-          let n = Splitmix.pick rng weighted in
-          let g = Casegen.graph rng n in
-          let alpha = Casegen.alpha rng in
-          let perm = if n >= 2 then Some (Casegen.permutation rng n) else None in
-          let verdict =
-            match check ~alpha concept g with
-            | v -> Some v
-            | exception _ -> None
-          in
-          let problem = diagnose ~check ~perm concept ~alpha g in
-          (i, g, alpha, verdict, problem)
-        in
-        let record (i, g, alpha, verdict, problem) =
-          incr cases;
-          Obs.incr c_cases;
-          (match verdict with
-          | Some Verdict.Stable -> incr stable
-          | Some (Verdict.Unstable _) -> incr unstable
-          | Some (Verdict.Exhausted _) -> incr exhausted
-          | None -> ());
-          match problem with
-          | None -> ()
-          | Some (kind, detail) ->
-              incr failed;
-              Obs.incr c_failures;
-              if !failed <= 10 then begin
-                (* Shrink to the smallest case still failing in any way:
-                   the minimal repro matters more than preserving the
-                   original failure kind. *)
-                let still_fails alpha g =
-                  Obs.incr c_shrink_iters;
-                  Graph.n g >= 1
-                  && Option.is_some (diagnose ~check ~perm:None concept ~alpha g)
-                in
-                let shrunk_graph = Shrink.graph ~keep:(still_fails alpha) g in
-                let shrunk_alpha =
-                  Shrink.alpha ~keep:(fun a -> still_fails a shrunk_graph) alpha
-                in
-                all_failures :=
-                  {
-                    concept;
-                    kind;
-                    case = i;
-                    alpha;
-                    graph = g;
-                    shrunk_alpha;
-                    shrunk_graph;
-                    detail;
-                  }
-                  :: !all_failures
-              end
-        in
-        let rec loop i =
-          if i < budget then
-            if deadline_hit () then truncated := true
-            else begin
-              let chunk_len = min 64 (budget - i) in
-              let chunk = List.init chunk_len (fun j -> i + j) in
-              List.iter record (Parallel.map ?domains eval chunk);
-              Obs.tick ();
-              loop (i + chunk_len)
-            end
-        in
-        loop 0;
-        {
-          concept;
-          cases = !cases;
-          stable = !stable;
-          unstable = !unstable;
-          exhausted = !exhausted;
-          failed = !failed;
-        })
-      concepts
-  in
-  { seed; budget; sizes; truncated = !truncated; stats; failures = List.rev !all_failures }
+  {
+    seed = o.Engine.seed;
+    budget = o.Engine.budget;
+    sizes = o.Engine.sizes;
+    truncated = o.Engine.truncated;
+    stats =
+      List.map
+        (fun (s : Engine.stats) ->
+          {
+            concept = s.Engine.concept;
+            cases = s.Engine.cases;
+            stable = s.Engine.stable;
+            unstable = s.Engine.unstable;
+            exhausted = s.Engine.exhausted;
+            failed = s.Engine.failed;
+          })
+        o.Engine.stats;
+    failures =
+      List.map
+        (fun (f : Engine.failure) ->
+          {
+            concept = f.Engine.concept;
+            kind = f.Engine.kind;
+            case = f.Engine.case;
+            alpha = f.Engine.alpha;
+            graph = f.Engine.state;
+            shrunk_alpha = f.Engine.shrunk_alpha;
+            shrunk_graph = f.Engine.shrunk_state;
+            detail = f.Engine.detail;
+          })
+        o.Engine.failures;
+  }
+
+module Ufuzz = Fuzz_engine.Make (Unilateral_game)
+
+(* Random ownership on top of the shared graph generator: each edge to
+   a uniformly chosen endpoint.  Drawing the graph first keeps the RNG
+   discipline aligned with the bilateral campaigns. *)
+let unilateral_gen rng n =
+  let g = Casegen.graph rng n in
+  Strategy.make g
+    (List.map
+       (fun (u, v) -> ((u, v), if Splitmix.bool rng then u else v))
+       (Graph.edges g))
+
+(* Assignments have no structural shrinker yet; alpha still shrinks. *)
+let unilateral_shrink ~keep ~alpha a =
+  (a, Shrink.alpha ~keep:(fun x -> keep x a) alpha)
+
+let run_unilateral ?domains ?deadline ?(sizes = default_sizes)
+    ?(concepts = Unilateral_game.concepts) ~seed ~budget () =
+  Ufuzz.run ~shrink:unilateral_shrink ?domains ?deadline ~sizes ~concepts
+    ~gen:unilateral_gen ~seed ~budget ()
 
 let total_failures o = List.fold_left (fun acc s -> acc + s.failed) 0 o.stats
 

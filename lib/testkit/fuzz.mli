@@ -99,6 +99,34 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val pp_failure : Format.formatter -> failure -> unit
 
+(** {1 The generic engine, instantiated}
+
+    {!run} above is {!Engine.run} applied to {!Bilateral} with
+    [Casegen.graph] generation and {!Shrink}-based reduction, its
+    records mapped onto the legacy types; the instances are exposed so
+    tests can drive the functor seam directly. *)
+
+module Engine : module type of Fuzz_engine.Make (Bilateral)
+(** The bilateral instance of the generic engine. *)
+
+module Ufuzz : module type of Fuzz_engine.Make (Unilateral_game)
+(** The unilateral instance ([bncg fuzz --game unilateral]). *)
+
+val unilateral_gen : Splitmix.t -> int -> Strategy.assignment
+(** [Casegen.graph] plus uniform random edge ownership. *)
+
+val run_unilateral :
+  ?domains:int ->
+  ?deadline:float ->
+  ?sizes:int list ->
+  ?concepts:Unilateral_game.concept list ->
+  seed:int64 ->
+  budget:int ->
+  unit ->
+  Ufuzz.outcome
+(** The unilateral campaign with the default generator and alpha-only
+    shrinking; same replay discipline as {!run}. *)
+
 (** {1 Incremental-vs-scratch distance differential}
 
     A second campaign shape aimed at {!Bncg_graph.Dist_oracle}: each

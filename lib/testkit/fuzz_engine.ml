@@ -1,0 +1,293 @@
+(* The game-generic differential fuzz engine.  Each case is a pure
+   function of (seed, concept index, case index) via [Splitmix.derive],
+   so a campaign replays bit-identically from its printed seed
+   regardless of domain count or truncation point, and a single case
+   can be replayed without re-running the campaign.
+
+   Per case, four properties are checked:
+   - the optimised checker's verdict kind agrees with [G.reference]
+     (an [Exhausted] checker verdict is tallied, not compared — the
+     reference never truncates);
+   - an [Unstable] witness from either side passes [G.witness_ok];
+   - the checker's verdict kind is invariant under a random vertex
+     relabelling ([G.relabel]);
+   - the checker does not raise.
+
+   State generation and shrinking are injected per game: the engine
+   only fixes the RNG discipline (size draw, then state, then alpha,
+   then permutation) so that instantiating it with {!Bilateral} and
+   [Casegen.graph] replays the historical campaigns bit-identically. *)
+
+(* Telemetry only (see Obs): cases/sec per concept from heartbeat
+   deltas and shrink effort.  Campaign output stays byte-identical with
+   tracing on or off — the counters are never read back. *)
+let c_cases = Obs.counter "fuzz.cases"
+let c_failures = Obs.counter "fuzz.failures"
+let c_shrink_iters = Obs.counter "fuzz.shrink_iters"
+
+let kind_disagreement = "oracle-disagreement"
+let kind_witness = "witness-not-improving"
+let kind_relabel = "relabel-variance"
+let kind_exception = "checker-exception"
+
+let default_sizes = [ 3; 4; 5; 6; 7 ]
+let default_budget = 1000
+
+let graph_json g =
+  Json.Obj
+    [
+      ("n", Json.Int (Graph.n g));
+      ( "edges",
+        Json.List
+          (List.map (fun (u, v) -> Json.List [ Json.Int u; Json.Int v ]) (Graph.edges g))
+      );
+      ("graph6", Json.String (Encode.to_graph6 g));
+    ]
+
+module Make (G : Game_sig.GAME) = struct
+  type failure = {
+    concept : G.concept;
+    kind : string;
+    case : int;
+    alpha : float;
+    state : G.state;
+    shrunk_alpha : float;
+    shrunk_state : G.state;
+    detail : string;
+  }
+
+  type stats = {
+    concept : G.concept;
+    cases : int;
+    stable : int;
+    unstable : int;
+    exhausted : int;
+    failed : int;
+  }
+
+  type outcome = {
+    seed : int64;
+    budget : int;
+    sizes : int list;
+    truncated : bool;
+    stats : stats list;
+    failures : failure list;
+  }
+
+  (* What is wrong with running [check] on this case, if anything. *)
+  let diagnose ~(check : ?budget:int -> alpha:float -> G.concept -> G.state -> Verdict.t)
+      ~perm concept ~alpha s =
+    let valid_witness m = G.witness_ok ~alpha s m in
+    match check ~alpha concept s with
+    | exception e -> Some (kind_exception, Printexc.to_string e)
+    | fast -> (
+        match G.reference ~alpha concept s with
+        | exception e -> Some (kind_exception, "oracle: " ^ Printexc.to_string e)
+        | slow -> (
+            match (fast, slow) with
+            | Verdict.Exhausted _, _ -> None
+            | Verdict.Stable, Verdict.Unstable m ->
+                Some
+                  ( kind_disagreement,
+                    Printf.sprintf "checker Stable, oracle found: %s" (Move.to_string m)
+                  )
+            | Verdict.Unstable m, Verdict.Stable ->
+                Some
+                  ( kind_disagreement,
+                    Printf.sprintf "checker claims %s, oracle says Stable"
+                      (Move.to_string m) )
+            | Verdict.Unstable m, _ when not (valid_witness m) ->
+                Some
+                  ( kind_witness,
+                    Printf.sprintf "checker witness %s does not apply or improve"
+                      (Move.to_string m) )
+            | _, Verdict.Unstable m when not (valid_witness m) ->
+                Some
+                  ( kind_witness,
+                    Printf.sprintf "oracle witness %s does not apply or improve"
+                      (Move.to_string m) )
+            | _, Verdict.Exhausted why ->
+                Some (kind_exception, "oracle exhausted: " ^ why)
+            | fast, _ -> (
+                match perm with
+                | None -> None
+                | Some p -> (
+                    match check ~alpha concept (G.relabel s p) with
+                    | exception e ->
+                        Some
+                          (kind_exception, "on relabelled graph: " ^ Printexc.to_string e)
+                    | relabelled -> (
+                        match (fast, relabelled) with
+                        | Verdict.Stable, Verdict.Unstable m ->
+                            Some
+                              ( kind_relabel,
+                                Printf.sprintf
+                                  "Stable, but relabelled graph unstable: %s"
+                                  (Move.to_string m) )
+                        | Verdict.Unstable _, Verdict.Stable ->
+                            Some (kind_relabel, "Unstable, but relabelled graph stable")
+                        | _ -> None)))))
+
+  let no_shrink ~keep:_ ~alpha s = (s, alpha)
+
+  let run ?(check = G.check) ?(shrink = no_shrink) ?domains ?deadline
+      ?(sizes = default_sizes) ?(concepts = G.concepts) ~gen ~seed ~budget () =
+    let deadline_hit () =
+      match deadline with None -> false | Some t -> Unix.gettimeofday () > t
+    in
+    let truncated = ref false in
+    let all_failures = ref [] in
+    let stats =
+      List.mapi
+        (fun ci concept ->
+          Obs.span "fuzz.concept"
+            ~args:
+              [
+                ("concept", Json.String (G.concept_name concept));
+                ("budget", Json.Int budget);
+              ]
+          @@ fun () ->
+          let weighted = G.weighted_sizes concept sizes in
+          let stable = ref 0 and unstable = ref 0 and exhausted = ref 0 in
+          let failed = ref 0 and cases = ref 0 in
+          let eval i =
+            let rng = Splitmix.derive seed [ ci; i ] in
+            let n = Splitmix.pick rng weighted in
+            let s = gen rng n in
+            let alpha = Casegen.alpha rng in
+            let perm = if n >= 2 then Some (Casegen.permutation rng n) else None in
+            let verdict =
+              match check ~alpha concept s with v -> Some v | exception _ -> None
+            in
+            let problem = diagnose ~check ~perm concept ~alpha s in
+            (i, s, alpha, verdict, problem)
+          in
+          let record (i, s, alpha, verdict, problem) =
+            incr cases;
+            Obs.incr c_cases;
+            (match verdict with
+            | Some Verdict.Stable -> incr stable
+            | Some (Verdict.Unstable _) -> incr unstable
+            | Some (Verdict.Exhausted _) -> incr exhausted
+            | None -> ());
+            match problem with
+            | None -> ()
+            | Some (kind, detail) ->
+                incr failed;
+                Obs.incr c_failures;
+                if !failed <= 10 then begin
+                  (* Shrink to the smallest case still failing in any way:
+                     the minimal repro matters more than preserving the
+                     original failure kind. *)
+                  let still_fails alpha s =
+                    Obs.incr c_shrink_iters;
+                    Graph.n (G.graph s) >= 1
+                    && Option.is_some (diagnose ~check ~perm:None concept ~alpha s)
+                  in
+                  let shrunk_state, shrunk_alpha = shrink ~keep:still_fails ~alpha s in
+                  all_failures :=
+                    {
+                      concept;
+                      kind;
+                      case = i;
+                      alpha;
+                      state = s;
+                      shrunk_alpha;
+                      shrunk_state;
+                      detail;
+                    }
+                    :: !all_failures
+                end
+          in
+          let rec loop i =
+            if i < budget then
+              if deadline_hit () then truncated := true
+              else begin
+                let chunk_len = min 64 (budget - i) in
+                let chunk = List.init chunk_len (fun j -> i + j) in
+                List.iter record (Parallel.map ?domains eval chunk);
+                Obs.tick ();
+                loop (i + chunk_len)
+              end
+          in
+          loop 0;
+          {
+            concept;
+            cases = !cases;
+            stable = !stable;
+            unstable = !unstable;
+            exhausted = !exhausted;
+            failed = !failed;
+          })
+        concepts
+    in
+    { seed; budget; sizes; truncated = !truncated; stats; failures = List.rev !all_failures }
+
+  let total_failures o = List.fold_left (fun acc s -> acc + s.failed) 0 o.stats
+
+  let failure_to_json (f : failure) =
+    Json.Obj
+      [
+        ("concept", Json.String (G.concept_name f.concept));
+        ("kind", Json.String f.kind);
+        ("case", Json.Int f.case);
+        ("alpha", Json.number f.alpha);
+        ("graph", graph_json (G.graph f.state));
+        ("shrunk_alpha", Json.number f.shrunk_alpha);
+        ("shrunk_graph", graph_json (G.graph f.shrunk_state));
+        ("detail", Json.String f.detail);
+      ]
+
+  let stats_to_json (s : stats) =
+    Json.Obj
+      [
+        ("concept", Json.String (G.concept_name s.concept));
+        ("cases", Json.Int s.cases);
+        ("stable", Json.Int s.stable);
+        ("unstable", Json.Int s.unstable);
+        ("exhausted", Json.Int s.exhausted);
+        ("failures", Json.Int s.failed);
+      ]
+
+  (* Deliberately contains no wall-clock times: two runs with the same
+     arguments must produce byte-identical output. *)
+  let outcome_to_json o =
+    Json.Obj
+      [
+        ("seed", Json.Int (Int64.to_int o.seed));
+        ("budget", Json.Int o.budget);
+        ("sizes", Json.List (List.map (fun s -> Json.Int s) o.sizes));
+        ("truncated", Json.Bool o.truncated);
+        ("total_failures", Json.Int (total_failures o));
+        ("concepts", Json.List (List.map stats_to_json o.stats));
+        ("failures", Json.List (List.map failure_to_json o.failures));
+      ]
+
+  let pp_failure ppf (f : failure) =
+    Format.fprintf ppf
+      "@[<v 2>%s %s (case %d):@ %s@ original: alpha=%s %a@ shrunk:   alpha=%s %a@ \
+       replay: graph6 %S@]"
+      (G.concept_name f.concept) f.kind f.case f.detail (Json.float_repr f.alpha)
+      Graph.pp (G.graph f.state)
+      (Json.float_repr f.shrunk_alpha)
+      Graph.pp
+      (G.graph f.shrunk_state)
+      (Encode.to_graph6 (G.graph f.shrunk_state))
+
+  let pp_outcome ppf o =
+    Format.fprintf ppf "@[<v>fuzz seed=%Ld budget=%d%s@," o.seed o.budget
+      (if o.truncated then " (truncated by deadline)" else "");
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-6s %5d cases: %d stable, %d unstable, %d exhausted%s@,"
+          (G.concept_name s.concept) s.cases s.stable s.unstable s.exhausted
+          (if s.failed > 0 then Printf.sprintf ", %d FAILURES" s.failed else ""))
+      o.stats;
+    (match o.failures with
+    | [] -> Format.fprintf ppf "no failures.@,"
+    | fs ->
+        Format.fprintf ppf "%d failure(s), showing %d shrunk repro(s):@,"
+          (total_failures o) (List.length fs);
+        List.iter (fun f -> Format.fprintf ppf "%a@," pp_failure f) fs);
+    Format.fprintf ppf "@]"
+end

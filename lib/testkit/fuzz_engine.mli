@@ -1,0 +1,103 @@
+(** The game-generic differential fuzz engine behind [bncg fuzz].
+
+    {!Make} instantiates the engine for any {!Game_sig.GAME}.  Case [i]
+    of concept index [ci] is a pure function of
+    [Splitmix.derive seed [ci; i]], so campaigns replay bit-identically
+    from a printed seed regardless of domain count, and any single case
+    can be replayed alone.  Per case the engine checks
+    checker-vs-reference verdict agreement, the validity of every
+    [Unstable] witness ([G.witness_ok]), verdict invariance under a
+    random relabelling ([G.relabel]), and that the checker does not
+    raise.
+
+    The RNG discipline is fixed (size draw, then [gen], then alpha,
+    then permutation): applied to {!Bilateral} with [Casegen.graph]
+    this engine is byte-identical to the historical monomorphic fuzz
+    loop (enforced by the golden corpus).  {!Fuzz} wraps that instance
+    under the legacy API and adds the distance-oracle differential. *)
+
+val kind_disagreement : string
+(** ["oracle-disagreement"]: verdict kinds differ. *)
+
+val kind_witness : string
+(** ["witness-not-improving"]: an [Unstable] witness fails
+    [G.witness_ok]. *)
+
+val kind_relabel : string
+(** ["relabel-variance"]: verdict kind changed under relabelling. *)
+
+val kind_exception : string
+(** ["checker-exception"]: the checker (or reference) raised. *)
+
+val default_sizes : int list
+(** [[3; 4; 5; 6; 7]]. *)
+
+val default_budget : int
+(** [1000] cases per concept. *)
+
+val c_cases : Obs.counter
+val c_failures : Obs.counter
+val c_shrink_iters : Obs.counter
+(** Telemetry counters shared with the legacy {!Fuzz} front end. *)
+
+val graph_json : Graph.t -> Json.t
+(** The stable graph encoding used in failure reports
+    ([n] / [edges] / [graph6]). *)
+
+module Make (G : Game_sig.GAME) : sig
+  type failure = {
+    concept : G.concept;
+    kind : string;  (** one of the four kinds above *)
+    case : int;  (** replay via [Splitmix.derive seed [ci; case]] *)
+    alpha : float;
+    state : G.state;  (** as generated *)
+    shrunk_alpha : float;
+    shrunk_state : G.state;
+    detail : string;
+  }
+
+  type stats = {
+    concept : G.concept;
+    cases : int;  (** cases actually run (< budget if truncated) *)
+    stable : int;
+    unstable : int;
+    exhausted : int;
+    failed : int;  (** failures counted; at most 10 are kept shrunk *)
+  }
+
+  type outcome = {
+    seed : int64;
+    budget : int;
+    sizes : int list;
+    truncated : bool;  (** a [deadline] cut the campaign short *)
+    stats : stats list;  (** one per concept, in argument order *)
+    failures : failure list;  (** in discovery order *)
+  }
+
+  val no_shrink : keep:(float -> G.state -> bool) -> alpha:float -> G.state -> G.state * float
+  (** The default shrinker: report the case as generated. *)
+
+  val run :
+    ?check:(?budget:int -> alpha:float -> G.concept -> G.state -> Verdict.t) ->
+    ?shrink:(keep:(float -> G.state -> bool) -> alpha:float -> G.state -> G.state * float) ->
+    ?domains:int ->
+    ?deadline:float ->
+    ?sizes:int list ->
+    ?concepts:G.concept list ->
+    gen:(Splitmix.t -> int -> G.state) ->
+    seed:int64 ->
+    budget:int ->
+    unit ->
+    outcome
+  (** [run ~gen ~seed ~budget ()] fuzzes [budget] cases per concept.
+      [check] defaults to [G.check] (tests inject deliberately broken
+      checkers to prove the harness catches them); [shrink] reduces a
+      failing [(state, alpha)] under the engine-supplied [keep]
+      predicate (which charges the shrink telemetry counter and re-runs
+      the diagnosis). *)
+
+  val total_failures : outcome -> int
+  val outcome_to_json : outcome -> Json.t
+  val pp_failure : Format.formatter -> failure -> unit
+  val pp_outcome : Format.formatter -> outcome -> unit
+end

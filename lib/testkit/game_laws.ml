@@ -1,0 +1,125 @@
+(* The GAME-law property bank (see the laws block in Game_sig).  Where
+   the fuzz engine hunts checker bugs with shrinking and reporting, this
+   bank certifies that a module claiming [Game_sig.GAME] actually is
+   one: the structural laws ([of_graph]/[graph]/[relabel]) and the
+   behavioural laws (witness validity, relabel invariance, reference
+   agreement) hold on a deterministic random sample.  Every case is a
+   pure function of (seed, case index) via [Splitmix.derive], so a
+   reported violation replays alone. *)
+
+type violation = { law : string; case : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "case %d violates %s: %s" v.case v.law v.detail
+
+module Make (G : Game_sig.GAME) = struct
+  let law_of_graph = "graph-of_graph-identity"
+  let law_relabel_commutes = "relabel-commutes-with-graph"
+  let law_witness = "check-witness-passes-witness_ok"
+  let law_relabel_invariant = "check-relabel-invariant"
+  let law_reference = "check-agrees-with-reference"
+
+  let kind = function
+    | Verdict.Stable -> "Stable"
+    | Verdict.Unstable _ -> "Unstable"
+    | Verdict.Exhausted _ -> "Exhausted"
+
+  (* Structural laws need only the state (and the case's permutation);
+     they are checked once per case, outside the concept loop. *)
+  let structural ~case ~perm s =
+    let g = G.graph s in
+    let id_ok =
+      String.equal (Graph.adjacency_key (G.graph (G.of_graph g))) (Graph.adjacency_key g)
+    in
+    let viols =
+      if id_ok then []
+      else
+        [
+          {
+            law = law_of_graph;
+            case;
+            detail =
+              Printf.sprintf "graph (of_graph g) <> g for g = %s" (Encode.to_graph6 g);
+          };
+        ]
+    in
+    match perm with
+    | None -> viols
+    | Some p ->
+        if
+          String.equal
+            (Graph.adjacency_key (G.graph (G.relabel s p)))
+            (Graph.adjacency_key (Graph.relabel g p))
+        then viols
+        else
+          {
+            law = law_relabel_commutes;
+            case;
+            detail =
+              Printf.sprintf "graph (relabel s p) <> Graph.relabel (graph s) p for g = %s"
+                (Encode.to_graph6 g);
+          }
+          :: viols
+
+  (* Behavioural laws for one (concept, state, alpha) triple.  The
+     reference only enters within [size_cap] — beyond it the oracle is
+     intractable by design, not wrong. *)
+  let behavioural ~case ~perm concept ~alpha s =
+    let cname = G.concept_name concept in
+    let viol law detail = { law; case; detail = Printf.sprintf "[%s] %s" cname detail } in
+    let fast = G.check ~alpha concept s in
+    let witness_viols =
+      match fast with
+      | Verdict.Unstable m when not (G.witness_ok ~alpha s m) ->
+          [ viol law_witness (Printf.sprintf "witness %s rejected" (Move.to_string m)) ]
+      | _ -> []
+    in
+    let relabel_viols =
+      match perm with
+      | None -> []
+      | Some p ->
+          let re = G.check ~alpha concept (G.relabel s p) in
+          if
+            String.equal (kind fast) (kind re)
+            || kind fast = "Exhausted" || kind re = "Exhausted"
+          then []
+          else
+            [
+              viol law_relabel_invariant
+                (Printf.sprintf "%s became %s under relabelling" (kind fast) (kind re));
+            ]
+    in
+    let reference_viols =
+      if Graph.n (G.graph s) > G.size_cap concept then []
+      else
+        match fast with
+        | Verdict.Exhausted _ -> []
+        | fast ->
+            let slow = G.reference ~alpha concept s in
+            if String.equal (kind fast) (kind slow) then []
+            else
+              [
+                viol law_reference
+                  (Printf.sprintf "checker %s, reference %s" (kind fast) (kind slow));
+              ]
+    in
+    witness_viols @ relabel_viols @ reference_viols
+
+  let run ?(cases = 200) ?(sizes = [ 2; 3; 4; 5 ]) ?(concepts = G.concepts) ~gen ~seed ()
+      =
+    let viols = ref [] in
+    for case = 0 to cases - 1 do
+      let rng = Splitmix.derive seed [ case ] in
+      let n = Splitmix.pick rng sizes in
+      let s = gen rng n in
+      let alpha = Casegen.alpha rng in
+      let perm = if n >= 2 then Some (Casegen.permutation rng n) else None in
+      viols := List.rev_append (structural ~case ~perm s) !viols;
+      List.iter
+        (fun concept ->
+          if Graph.n (G.graph s) <= G.size_cap concept then
+            viols := List.rev_append (behavioural ~case ~perm concept ~alpha s) !viols)
+        concepts
+    done;
+    List.rev !viols
+end

@@ -1,0 +1,45 @@
+(** The {!Game_sig.GAME}-law property bank.
+
+    Where {!Fuzz_engine} hunts checker bugs with shrinking and failure
+    reporting, this bank certifies that a module claiming
+    [Game_sig.GAME] actually is one, on a deterministic random sample:
+
+    - structural: [graph (of_graph g) = g], and [relabel] commutes with
+      the underlying graph relabelling;
+    - behavioural: every [Unstable] witness from [check] passes
+      [witness_ok]; the verdict kind of [check] is invariant under
+      [relabel]; [check] agrees with [reference] on verdict kind
+      wherever the reference is tractable ([size_cap]).
+
+    Case [i] is a pure function of [Splitmix.derive seed [i]], so a
+    reported violation replays alone from the seed. *)
+
+type violation = {
+  law : string;  (** which law broke, e.g. ["check-relabel-invariant"] *)
+  case : int;  (** replay via [Splitmix.derive seed [case]] *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+module Make (G : Game_sig.GAME) : sig
+  val law_of_graph : string
+  val law_relabel_commutes : string
+  val law_witness : string
+  val law_relabel_invariant : string
+  val law_reference : string
+
+  val run :
+    ?cases:int ->
+    ?sizes:int list ->
+    ?concepts:G.concept list ->
+    gen:(Splitmix.t -> int -> G.state) ->
+    seed:int64 ->
+    unit ->
+    violation list
+  (** [run ~gen ~seed ()] draws [?cases] (default 200) states of sizes
+      from [?sizes] (default [[2; 3; 4; 5]]) and checks every law; the
+      behavioural laws run per concept, skipping concepts whose
+      [size_cap] the drawn state exceeds.  Returns all violations in
+      case order ([[]] = the instance is lawful on this sample). *)
+end

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate the golden corpus from the CURRENT build of the CLI.
+#
+# The corpus is the bit-identity wall around the game/checker/sweep
+# plumbing: regenerate it only when an output format changes on
+# purpose, never to paper over a refactor-induced diff.
+#
+# Usage:  ./test/golden/generate.sh        (from anywhere)
+set -eu
+
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+root=$(CDPATH= cd -- "$here/../.." && pwd)
+
+cd "$root"
+dune build bin/bncg_cli.exe test/test_main.exe
+
+# Run from the build tree so the suite's relative ../bin path to the
+# CLI matches what `dune runtest` sees.
+cd "$root/_build/default/test"
+GOLDEN_UPDATE=1 GOLDEN_DIR="$here" ./test_main.exe test golden

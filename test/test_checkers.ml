@@ -113,4 +113,43 @@ let suite =
             let stable = Verdict.is_stable (Strong_eq.check ~k:5 ~alpha:0.5 g) in
             check_bool "clique iff BSE" (Graph.is_clique g) stable)
           (Enumerate.connected_graphs_iso 5));
+    tc "functor seam: Make (Cost.Metric) is the exported checker" (fun () ->
+        (* The concrete checkers are [include Make (Cost.Metric)]; a
+           fresh application of the functor to the same metric must
+           reproduce their verdicts move for move. *)
+        let module R = Remove_eq.Make (Cost.Metric) in
+        let module A = Add_eq.Make (Cost.Metric) in
+        let module S = Swap_eq.Make (Cost.Metric) in
+        let module N = Neighborhood_eq.Make (Cost.Metric) in
+        let module G = Greedy_eq.Make (Cost.Metric) in
+        for i = 0 to 59 do
+          let rng = Splitmix.derive 90L [ i ] in
+          let g = Casegen.graph rng (2 + Splitmix.int rng 5) in
+          let alpha = Casegen.alpha rng in
+          check_true "RE" (R.check ~alpha g = Remove_eq.check ~alpha g);
+          check_true "BAE" (A.check ~alpha g = Add_eq.check ~alpha g);
+          check_true "BSwE" (S.check ~alpha g = Swap_eq.check ~alpha g);
+          check_true "BNE" (N.check ~alpha g = Neighborhood_eq.check ~alpha g);
+          check_true "BGE" (G.check ~alpha g = Greedy_eq.check ~alpha g)
+        done);
+    tc "functor seam: Bilateral instance is Concept.check" (fun () ->
+        (* The GAME packaging must add nothing: same concepts, same
+           names, same verdicts as the concrete modules it wraps. *)
+        check_true "same vocabulary" (Bilateral.concepts = Concept.all_fixed);
+        List.iter
+          (fun c ->
+            check_true "same name"
+              (String.equal (Bilateral.concept_name c) (Concept.name c)))
+          Bilateral.concepts;
+        for i = 0 to 59 do
+          let rng = Splitmix.derive 91L [ i ] in
+          let g = Casegen.graph rng (2 + Splitmix.int rng 4) in
+          let alpha = Casegen.alpha rng in
+          List.iter
+            (fun c ->
+              check_true
+                (Printf.sprintf "%s verdict identical" (Concept.name c))
+                (Bilateral.check ~alpha c g = Concept.check ~alpha c g))
+            [ Concept.RE; Concept.BAE; Concept.BSwE; Concept.PS; Concept.BGE ]
+        done);
   ]

@@ -172,11 +172,52 @@ let suite =
         check_dies "fuzz --domains 0" [ "fuzz"; "--domains"; "0"; "--budget"; "1" ];
         check_dies "fuzz --heartbeat nan"
           [ "fuzz"; "--heartbeat"; "nan"; "--budget"; "1" ];
+        check_dies "fuzz --game bogus" [ "fuzz"; "--game"; "bogus"; "--budget"; "1" ];
+        check_dies "fuzz --game ''" [ "fuzz"; "--game"; ""; "--budget"; "1" ];
         check_dies "trace on a missing file" [ "trace"; "/nonexistent/t.jsonl" ];
         check_dies "merge with nothing" [ "merge" ];
         check_dies "merge --absorb without --store"
           [ "merge"; "--absorb"; "/nonexistent/store" ];
         check_dies "merge on a missing file" [ "merge"; "/nonexistent/shard.json" ]);
+    tc "Cli_validate.game" (fun () ->
+        check_true "bilateral ok" (Cli_validate.game "bilateral" = Ok "bilateral");
+        check_true "unilateral ok" (Cli_validate.game "unilateral" = Ok "unilateral");
+        check_true "case and whitespace normalised"
+          (Cli_validate.game " Unilateral " = Ok "unilateral");
+        check_true "unknown rejected" (Result.is_error (Cli_validate.game "bogus"));
+        check_true "empty rejected" (Result.is_error (Cli_validate.game "")));
+    slow "fuzz --game selects the instance, byte-identical per domain count" (fun () ->
+        let fuzz game extra =
+          run_cli
+            ([ "fuzz"; "--game"; game; "--seed"; "5"; "--budget"; "60"; "--oracle-cases";
+               "0"; "--json" ]
+            @ extra)
+        in
+        let b1 = fuzz "bilateral" [ "--domains"; "1" ] in
+        let u1 = fuzz "unilateral" [ "--domains"; "1" ] in
+        check_int "bilateral exits 0" 0 b1.code;
+        check_int "unilateral exits 0" 0 u1.code;
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check_true "unilateral campaign reports unilateral concepts"
+          (List.for_all
+             (fun c -> contains u1.stdout (Printf.sprintf "\"concept\":%S" c))
+             [ "URE"; "UAE"; "UGE"; "UNE" ]);
+        (* The default game is bilateral, bit for bit. *)
+        let d1 =
+          run_cli
+            [ "fuzz"; "--seed"; "5"; "--budget"; "60"; "--oracle-cases"; "0"; "--json";
+              "--domains"; "1" ]
+        in
+        Alcotest.(check string) "default == --game bilateral" b1.stdout d1.stdout;
+        (* Domain fan-out must not change a single byte, either game. *)
+        let b2 = fuzz "bilateral" [ "--domains"; "3" ] in
+        let u2 = fuzz "unilateral" [ "--domains"; "3" ] in
+        Alcotest.(check string) "bilateral: domains 1 == 3" b1.stdout b2.stdout;
+        Alcotest.(check string) "unilateral: domains 1 == 3" u1.stdout u2.stdout);
     slow "two-shard sweep subprocesses merge byte-identically" (fun () ->
         (* The full distributed protocol end to end: two independent
            [bncg sweep --shard k/2] processes, their --json --no-wall

@@ -160,14 +160,14 @@ let test_cert_store_roundtrip () =
         List.map
           (fun (g, alpha, concept) ->
             let canon_g6 = Encode.canonical_graph6 g in
-            let key = Cert_store.cert_key ~concept ~alpha ~budget:None ~canon_g6 in
+            let key = Cert_store.cert_key ~concept:(Concept.name concept) ~alpha ~budget:None ~canon_g6 () in
             let entry =
               {
                 Cert_store.verdict = Concept.check ~alpha concept g;
                 rho = Cost.rho ~alpha g;
               }
             in
-            Cert_store.record store ~key ~canon_g6 ~concept ~alpha ~budget:None entry;
+            Cert_store.record store ~key ~canon_g6 ~concept:(Concept.name concept) ~alpha ~budget:None entry;
             (key, entry))
           cases
       in
@@ -229,11 +229,89 @@ let test_size_caps_respected () =
   check_int "still ran the budget" 20 (List.hd o.Fuzz.stats).Fuzz.cases;
   check_int "no failures" 0 (Fuzz.total_failures o)
 
+(* ------------------------------------------------------------------ *)
+(* The unilateral campaign (Fuzz_engine.Make (Unilateral_game))        *)
+(* ------------------------------------------------------------------ *)
+
+let ujson_of o = Json.to_string (Fuzz.Ufuzz.outcome_to_json o)
+
+let test_unilateral_deterministic () =
+  let run () = Fuzz.run_unilateral ~seed:52L ~budget:10 () in
+  Alcotest.(check string) "byte-identical JSON" (ujson_of (run ())) (ujson_of (run ()))
+
+let test_unilateral_domain_invariant () =
+  let run d =
+    Fuzz.run_unilateral ~domains:d ~seed:53L ~budget:30
+      ~concepts:[ Unilateral_game.URE ] ()
+  in
+  Alcotest.(check string) "domains 1 == domains 3" (ujson_of (run 1)) (ujson_of (run 3))
+
+let test_unilateral_clean () =
+  let o = Fuzz.run_unilateral ~domains:1 ~seed:54L ~budget:50 () in
+  check_int "no failures" 0 (Fuzz.Ufuzz.total_failures o)
+
+(* An engine-level mutation through the unilateral seam: a checker
+   blind to URE deviations must be flagged against the
+   strategy-enumeration oracle. *)
+let test_unilateral_mutation () =
+  let blind ?budget ~alpha concept a =
+    ignore budget;
+    match concept with
+    | Unilateral_game.URE -> Verdict.Stable
+    | _ -> Unilateral_game.check ~alpha concept a
+  in
+  let o =
+    Fuzz.Ufuzz.run ~check:blind ~domains:1 ~seed:55L ~budget:200
+      ~concepts:[ Unilateral_game.URE ] ~gen:Fuzz.unilateral_gen ()
+  in
+  check_true "caught" (Fuzz.Ufuzz.total_failures o > 0);
+  match o.Fuzz.Ufuzz.failures with
+  | [] -> Alcotest.fail "expected a failure report"
+  | f :: _ ->
+      Alcotest.(check string) "kind" Fuzz_engine.kind_disagreement f.Fuzz.Ufuzz.kind
+
+(* ------------------------------------------------------------------ *)
+(* The checker-vs-oracle differential bank: 10^4 cases per concept,   *)
+(* seeds 1-3, both game instances.  The heavyweight wall behind the   *)
+(* functorization — any divergence between an optimised checker and   *)
+(* its definition-literal oracle surfaces here as a shrunk repro.     *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_bank_bilateral seed () =
+  let o = Fuzz.run ~seed ~budget:10_000 () in
+  check_false "not truncated" o.Fuzz.truncated;
+  if Fuzz.total_failures o > 0 then
+    Alcotest.failf "differential failures:@.%a" Fuzz.pp_outcome o
+
+let test_differential_bank_unilateral seed () =
+  let o = Fuzz.run_unilateral ~seed ~budget:10_000 () in
+  check_false "not truncated" o.Fuzz.Ufuzz.truncated;
+  if Fuzz.Ufuzz.total_failures o > 0 then
+    Alcotest.failf "differential failures:@.%a" Fuzz.Ufuzz.pp_outcome o
+
 let suite =
   [
     tc "fuzz: same seed gives byte-identical JSON" test_deterministic;
     tc "fuzz: outcome independent of domain count" test_domain_invariant;
     tc "fuzz: clean checkers produce no failures" test_clean_run_has_no_failures;
+    tc "unilateral fuzz: same seed gives byte-identical JSON"
+      test_unilateral_deterministic;
+    tc "unilateral fuzz: outcome independent of domain count"
+      test_unilateral_domain_invariant;
+    tc "unilateral fuzz: clean checkers produce no failures" test_unilateral_clean;
+    tc "unilateral mutation: blind URE checker caught" test_unilateral_mutation;
+    slow "differential bank: bilateral seed 1, 10^4 cases/concept"
+      (test_differential_bank_bilateral 1L);
+    slow "differential bank: bilateral seed 2, 10^4 cases/concept"
+      (test_differential_bank_bilateral 2L);
+    slow "differential bank: bilateral seed 3, 10^4 cases/concept"
+      (test_differential_bank_bilateral 3L);
+    slow "differential bank: unilateral seed 1, 10^4 cases/concept"
+      (test_differential_bank_unilateral 1L);
+    slow "differential bank: unilateral seed 2, 10^4 cases/concept"
+      (test_differential_bank_unilateral 2L);
+    slow "differential bank: unilateral seed 3, 10^4 cases/concept"
+      (test_differential_bank_unilateral 3L);
     tc "mutation: blind checker caught and shrunk" test_mutation_blind_checker;
     tc "mutation: corrupted witness caught" test_mutation_corrupt_witness;
     tc "mutation: crashing checker caught" test_mutation_crashing_checker;

@@ -1,0 +1,83 @@
+open Helpers
+
+(* The GAME-law property bank (Game_laws) run against both shipped
+   instances, plus mutation smoke: deliberately lawless instances must
+   be caught, or a green bank means nothing. *)
+
+module Bilateral_laws = Game_laws.Make (Bilateral)
+module Unilateral_laws = Game_laws.Make (Unilateral_game)
+
+let fail_on viols =
+  match viols with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%d violation(s); first: %a" (List.length viols)
+        Game_laws.pp_violation v
+
+(* A bilateral game whose checker lies (claims PS-stability everywhere):
+   reference agreement must flag it. *)
+module Lying_check = struct
+  include Bilateral
+
+  let check ?budget ~alpha concept g =
+    match concept with
+    | Concept.PS -> Verdict.Stable
+    | _ -> Bilateral.check ?budget ~alpha concept g
+end
+
+(* A bilateral game that corrupts every witness with an absent edge:
+   the witness law must flag it. *)
+module Corrupt_witness = struct
+  include Bilateral
+
+  let check ?budget ~alpha concept g =
+    match Bilateral.check ?budget ~alpha concept g with
+    | Verdict.Unstable _ as v -> (
+        match Graph.non_edges g with
+        | (u, v') :: _ -> Verdict.Unstable (Move.Remove { agent = u; target = v' })
+        | [] -> v)
+    | v -> v
+end
+
+(* A game whose relabel forgets to move the state: the structural
+   relabel-commutes law must flag it. *)
+module Frozen_relabel = struct
+  include Bilateral
+
+  let relabel s _ = s
+end
+
+let suite =
+  [
+    tc "bilateral instance is lawful on 200 cases" (fun () ->
+        fail_on
+          (Bilateral_laws.run ~gen:Casegen.graph ~seed:101L ()));
+    tc "unilateral instance is lawful on 200 cases (canonical ownership)" (fun () ->
+        fail_on
+          (Unilateral_laws.run
+             ~gen:(fun rng n -> Unilateral_game.of_graph (Casegen.graph rng n))
+             ~seed:102L ()));
+    tc "unilateral instance is lawful under random ownership" (fun () ->
+        (* [of_graph]-canonical states are the common case; the laws must
+           hold for arbitrary ownership too (it is part of the state). *)
+        fail_on
+          (Unilateral_laws.run ~cases:150 ~gen:Fuzz.unilateral_gen ~seed:103L ()));
+    tc "mutation: lying checker violates the reference law" (fun () ->
+        let module M = Game_laws.Make (Lying_check) in
+        let viols = M.run ~concepts:[ Concept.PS ] ~gen:Casegen.graph ~seed:104L () in
+        check_true "caught" (viols <> []);
+        check_true "as a reference disagreement"
+          (List.exists (fun v -> v.Game_laws.law = M.law_reference) viols));
+    tc "mutation: corrupted witness violates the witness law" (fun () ->
+        let module M = Game_laws.Make (Corrupt_witness) in
+        let viols = M.run ~concepts:[ Concept.PS ] ~gen:Casegen.graph ~seed:105L () in
+        check_true "caught" (viols <> []);
+        check_true "as a witness rejection"
+          (List.exists (fun v -> v.Game_laws.law = M.law_witness) viols));
+    tc "mutation: frozen relabel violates the structural law" (fun () ->
+        let module M = Game_laws.Make (Frozen_relabel) in
+        let viols = M.run ~concepts:[] ~gen:Casegen.graph ~seed:106L () in
+        check_true "caught" (viols <> []);
+        check_true "as relabel-commutes"
+          (List.exists (fun v -> v.Game_laws.law = M.law_relabel_commutes) viols));
+  ]

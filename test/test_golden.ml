@@ -1,0 +1,135 @@
+open Helpers
+
+(* The bit-identity test wall around the functorized stack.
+
+   [golden/manifest.txt] pins a grid of CLI invocations (check / poa /
+   sweep / fuzz, all with --json and, where applicable, --no-wall);
+   [golden/<name>.out] pins the exact stdout bytes and
+   [golden/exits.txt] the exit codes, both captured by
+   [test/golden/generate.sh] from the pre-refactor binary.  The suite
+   re-runs every invocation against the freshly built CLI and
+   byte-compares.  Any refactor of the game/checker/sweep plumbing
+   must keep this suite green without regenerating the corpus.
+
+   Regeneration, only when an output format changes on purpose:
+
+     ./test/golden/generate.sh
+
+   which re-runs this suite with GOLDEN_UPDATE=1 and GOLDEN_DIR
+   pointing at the source tree. *)
+
+type case = { name : string; args : string list }
+
+(* Under `dune runtest` the corpus is the sandboxed copy next to the
+   test binary; generate.sh overrides GOLDEN_DIR to point back at the
+   source tree. *)
+let golden_dir () =
+  match Sys.getenv_opt "GOLDEN_DIR" with Some d when d <> "" -> d | _ -> "golden"
+
+let manifest_path dir = Filename.concat dir "manifest.txt"
+let exits_path dir = Filename.concat dir "exits.txt"
+let out_path dir name = Filename.concat dir (name ^ ".out")
+
+let read_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" || String.length l > 0 && l.[0] = '#' then None else Some l)
+
+let parse_case line =
+  match String.index_opt line '|' with
+  | None -> Alcotest.failf "manifest line without '|': %s" line
+  | Some i ->
+      let name = String.sub line 0 i in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let args = List.filter (fun a -> a <> "") (String.split_on_char ' ' rest) in
+      if name = "" || args = [] then Alcotest.failf "malformed manifest line: %s" line;
+      { name; args }
+
+let cases dir = List.map parse_case (read_lines (manifest_path dir))
+
+let read_exits dir =
+  read_lines (exits_path dir)
+  |> List.map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i ->
+             ( String.sub l 0 i,
+               int_of_string (String.sub l (i + 1) (String.length l - i - 1)) )
+         | None -> Alcotest.failf "malformed exits.txt line: %s" l)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(* Point at the first diverging byte so a corpus mismatch is
+   actionable without manual diffing. *)
+let first_mismatch a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let context s i =
+  let lo = max 0 (i - 40) and hi = min (String.length s) (i + 40) in
+  String.sub s lo (hi - lo)
+
+let check_case dir exits c =
+  let r = Test_cli.run_cli c.args in
+  (match List.assoc_opt c.name exits with
+  | Some code -> check_int (c.name ^ ": exit code") code r.Test_cli.code
+  | None -> Alcotest.failf "%s: missing from golden/exits.txt" c.name);
+  let expected = read_file (out_path dir c.name) in
+  if r.Test_cli.stdout <> expected then begin
+    let i = first_mismatch expected r.Test_cli.stdout in
+    Alcotest.failf "%s: stdout diverges from golden corpus at byte %d\nexpected ...%s...\ngot      ...%s..."
+      c.name i (context expected i)
+      (context r.Test_cli.stdout i)
+  end
+
+let update_case dir c =
+  let r = Test_cli.run_cli c.args in
+  Out_channel.with_open_bin (out_path dir c.name) (fun oc ->
+      Out_channel.output_string oc r.Test_cli.stdout);
+  (c.name, r.Test_cli.code)
+
+let run_corpus () =
+  match Sys.getenv_opt "GOLDEN_UPDATE" with
+  | Some v when v <> "" && v <> "0" ->
+      let dir =
+        match Sys.getenv_opt "GOLDEN_DIR" with
+        | Some d when d <> "" -> d
+        | _ -> Alcotest.fail "GOLDEN_UPDATE needs GOLDEN_DIR (use generate.sh)"
+      in
+      let exits = List.map (update_case dir) (cases dir) in
+      Out_channel.with_open_bin (exits_path dir) (fun oc ->
+          List.iter
+            (fun (name, code) -> Printf.fprintf oc "%s %d\n" name code)
+            exits);
+      Printf.printf "golden: regenerated %d cases in %s\n%!" (List.length exits) dir
+  | _ ->
+      let dir = golden_dir () in
+      let exits = read_exits dir in
+      List.iter (check_case dir exits) (cases dir)
+
+let test_manifest_hygiene () =
+  let cs = cases (golden_dir ()) in
+  check_true "non-empty" (cs <> []);
+  let names = List.map (fun c -> c.name) cs in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun c ->
+      (* Wall-clock fields and deadlines would make the corpus flaky. *)
+      check_false
+        (c.name ^ ": no --seconds")
+        (List.mem "--seconds" c.args);
+      check_true
+        (c.name ^ ": --json pinned")
+        (List.mem "--json" c.args);
+      if List.hd c.args = "sweep" then
+        check_true (c.name ^ ": sweep pins --no-wall") (List.mem "--no-wall" c.args))
+    cs
+
+let suite =
+  [
+    tc "manifest hygiene" test_manifest_hygiene;
+    slow "corpus byte-identity" run_corpus;
+  ]

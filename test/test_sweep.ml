@@ -61,7 +61,7 @@ let suite =
         let dir = fresh_dir "roundtrip" in
         let canon_g6 = "Dhc" in
         let concept = Concept.PS and alpha = 2.0 and budget = None in
-        let key = Cert_store.cert_key ~concept ~alpha ~budget ~canon_g6 in
+        let key = Cert_store.cert_key ~concept:(Concept.name concept) ~alpha ~budget ~canon_g6 () in
         let entry =
           {
             Cert_store.verdict = Verdict.Unstable (Move.Remove { agent = 0; target = 1 });
@@ -70,7 +70,7 @@ let suite =
         in
         with_store dir (fun s ->
             check_true "empty store misses" (Cert_store.find s ~key = None);
-            Cert_store.record s ~key ~canon_g6 ~concept ~alpha ~budget entry;
+            Cert_store.record s ~key ~canon_g6 ~concept:(Concept.name concept) ~alpha ~budget entry;
             check_true "hit after record" (Cert_store.find s ~key = Some entry));
         with_store dir (fun s ->
             check_int "one cert loaded" 1 (Cert_store.cert_count s);
@@ -164,8 +164,8 @@ let suite =
         check_int "dangling symlink == empty store" 0 (Cert_store.cert_count s);
         (* and the store still works for writing afterwards *)
         let canon_g6 = "Dhc" in
-        let key = Cert_store.cert_key ~concept:Concept.RE ~alpha:1.0 ~budget:None ~canon_g6 in
-        Cert_store.record s ~key ~canon_g6 ~concept:Concept.RE ~alpha:1.0 ~budget:None
+        let key = Cert_store.cert_key ~concept:(Concept.name Concept.RE) ~alpha:1.0 ~budget:None ~canon_g6 () in
+        Cert_store.record s ~key ~canon_g6 ~concept:(Concept.name Concept.RE) ~alpha:1.0 ~budget:None
           { Cert_store.verdict = Verdict.Stable; rho = 1.0 };
         Cert_store.close s;
         let s = Cert_store.open_store dir in
@@ -178,9 +178,9 @@ let suite =
            used to be silently dropped on reload. *)
         let dir = fresh_dir "inf-rho" in
         let canon_g6 = "D??" in
-        let key = Cert_store.cert_key ~concept:Concept.RE ~alpha:2.0 ~budget:None ~canon_g6 in
+        let key = Cert_store.cert_key ~concept:(Concept.name Concept.RE) ~alpha:2.0 ~budget:None ~canon_g6 () in
         with_store dir (fun s ->
-            Cert_store.record s ~key ~canon_g6 ~concept:Concept.RE ~alpha:2.0 ~budget:None
+            Cert_store.record s ~key ~canon_g6 ~concept:(Concept.name Concept.RE) ~alpha:2.0 ~budget:None
               { Cert_store.verdict = Verdict.Stable; rho = Float.infinity });
         with_store dir (fun s ->
             match Cert_store.find s ~key with
@@ -283,5 +283,84 @@ let suite =
         check_int "cells" (List.length spec.Sweep.sizes * List.length spec.Sweep.concepts
                            * List.length spec.Sweep.alphas)
           (List.length o.Sweep.cells))
+    ;
+    tc "cert keys: bilateral format pinned, games never collide" (fun () ->
+        (* Hex digests computed by the pre-refactor cert_key on the
+           golden fixture journal (test/golden/journal-pre.jsonl): the
+           ?game-aware key function must keep producing them bit for
+           bit, or every pre-refactor journal goes cold. *)
+        let key ?game concept alpha g6 =
+          Cert_store.cert_key ?game ~concept ~alpha ~budget:None ~canon_g6:g6 ()
+        in
+        Alcotest.(check string) "Di_ PS 1.0" "802a6b84f8de7b22cceef4268149e2a8"
+          (key "PS" 1.0 "Di_");
+        Alcotest.(check string) "DkC PS 2.0" "9df4c7cf965acb397c1455fed1728755"
+          (key "PS" 2.0 "DkC");
+        Alcotest.(check string) "Esa? BGE 2.0" "691735f569f75bff467258af95afc8cd"
+          (key "BGE" 2.0 "Esa?");
+        Alcotest.(check string) "explicit ~game:bilateral is the default"
+          (key "PS" 1.0 "Di_")
+          (key ~game:"bilateral" "PS" 1.0 "Di_");
+        (* Same (g6, concept string, alpha) under another game must
+           address a different certificate. *)
+        check_true "unilateral key differs"
+          (key ~game:"unilateral" "PS" 1.0 "Di_" <> key "PS" 1.0 "Di_"))
+    ;
+    tc "pre-refactor journal absorbs and serves a warm sweep" (fun () ->
+        (* golden/journal-pre.jsonl was written by the pre-functor
+           binary; it must absorb into a fresh store and answer a
+           matching sweep entirely from cache. *)
+        let dir = fresh_dir "pre-refactor-journal" in
+        let spec =
+          {
+            Sweep.family = Sweep.Trees;
+            sizes = [ 5; 6 ];
+            concepts = [ Concept.PS; Concept.BGE ];
+            alphas = [ 1.; 2. ];
+            budget = None;
+            domains = Some 1;
+            shard = None;
+          }
+        in
+        let plain = Sweep.run spec in
+        let warm =
+          with_store dir (fun s ->
+              check_true "journal absorbed"
+                (Cert_store.absorb s (Test_golden.golden_dir ()) > 0);
+              Sweep.run ~store:s spec)
+        in
+        check_true "warm-from-pre-refactor-journal == fresh" (outcome_sig warm = outcome_sig plain);
+        check_int "every decision was a cache hit" warm.Sweep.totals.total_checked
+          warm.Sweep.totals.total_cache_hits)
+    ;
+    tc "run_cell_game (module Bilateral) is run_cell" (fun () ->
+        let graphs = Enumerate.free_trees 6 in
+        List.iter
+          (fun alpha ->
+            let generic, gh =
+              Sweep.run_cell_game
+                (module Bilateral)
+                ~domains:1 ~concept:Concept.PS ~alpha graphs
+            in
+            let legacy, lh = Sweep.run_cell ~domains:1 ~concept:Concept.PS ~alpha graphs in
+            check_true "same worst (bit-identical)" (worst_sig generic = worst_sig legacy);
+            check_int "same hits" lh gh)
+          [ 0.5; 1.; 3.; 17. ])
+    ;
+    tc "run_cell_game sweeps the unilateral game" (fun () ->
+        (* A smoke cell over canonical unilateral states: counters add
+           up and the worst ratio is a finite >= 1 bound, as Table 1
+           style cells require. *)
+        let states = List.map Unilateral_game.of_graph (Enumerate.free_trees 5) in
+        let worst, hits =
+          Sweep.run_cell_game
+            (module Unilateral_game)
+            ~domains:1 ~concept:Unilateral_game.UNE ~alpha:2.0 states
+        in
+        check_int "no store, no hits" 0 hits;
+        check_int "all candidates examined" (List.length states) worst.Sweep.checked;
+        check_true "some tree is an equilibrium" (worst.Sweep.stable_count > 0);
+        check_true "worst ratio >= 1" (worst.Sweep.rho >= 1.);
+        check_true "worst ratio finite" (Float.is_finite worst.Sweep.rho))
     ;
   ]

@@ -120,4 +120,46 @@ let suite =
         let g = Gen.star 19 in
         let a = Strategy.canonical_assignment g in
         check_raises_invalid "n > 17" (fun () -> ignore (Unilateral.best_response ~alpha:2. a 1)));
+    tc "Unilateral_game: concept vocabulary round-trips" (fun () ->
+        List.iter
+          (fun c ->
+            match Unilateral_game.concept_of_string (Unilateral_game.concept_name c) with
+            | Ok c' -> check_true "round-trips" (c = c')
+            | Error e -> Alcotest.failf "own name rejected: %s" e)
+          Unilateral_game.concepts;
+        check_true "case-insensitive"
+          (Unilateral_game.concept_of_string "une" = Ok Unilateral_game.UNE);
+        check_true "unknown rejected"
+          (Result.is_error (Unilateral_game.concept_of_string "PS")));
+    tc "Unilateral_game: check wraps the checkers, reference the oracles" (fun () ->
+        (* A couple of pinned instances from the checker tests above,
+           driven through the GAME seam instead of Unilateral directly. *)
+        let star = Unilateral_game.of_graph (Gen.star 6) in
+        check_true "star is UNE at alpha 2"
+          (Unilateral_game.check ~alpha:2. Unilateral_game.UNE star = Verdict.Stable);
+        check_true "reference agrees"
+          (Unilateral_game.reference ~alpha:2. Unilateral_game.UNE star = Verdict.Stable);
+        let path = Unilateral_game.of_graph (Gen.path 4) in
+        (match Unilateral_game.check ~alpha:0.5 Unilateral_game.UNE path with
+        | Verdict.Unstable m ->
+            check_true "witness passes witness_ok"
+              (Unilateral_game.witness_ok ~alpha:0.5 path m)
+        | v -> Alcotest.failf "expected UNE deviation, got %s" (Verdict.to_string v));
+        let cycle = Unilateral_game.of_graph (Gen.cycle 4) in
+        check_true "cycle keeps its edges at alpha 1.5"
+          (Unilateral_game.check ~alpha:1.5 Unilateral_game.URE cycle = Verdict.Stable);
+        match Unilateral_game.check ~alpha:2.5 Unilateral_game.URE cycle with
+        | Verdict.Unstable m ->
+            check_true "removal witness validates"
+              (Unilateral_game.witness_ok ~alpha:2.5 cycle m)
+        | v -> Alcotest.failf "expected URE deviation, got %s" (Verdict.to_string v));
+    tc "Unilateral_game: rho is social cost over the unilateral optimum" (fun () ->
+        (* On a star at alpha 2 the star itself is the social optimum
+           (alpha < 2 would favour the clique), so rho = 1. *)
+        let star = Unilateral_game.of_graph (Gen.star 5) in
+        check_true "star optimal at alpha 3"
+          (abs_float (Unilateral_game.rho ~alpha:3. star -. 1.) < 1e-12);
+        let disconnected = Unilateral_game.of_graph (Graph.of_edges 3 [ (0, 1) ]) in
+        check_true "disconnected rho infinite"
+          (Unilateral_game.rho ~alpha:3. disconnected = infinity));
   ]
