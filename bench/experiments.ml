@@ -989,10 +989,63 @@ let e_dyn () =
         ("first improving", Local_moves.First);
         ("best response", Local_moves.Best_response);
         ("best social", Local_moves.Best_social);
-        ("random improving", Local_moves.Random (Random.State.make [| 7 |]));
+        ("random improving", Local_moves.Random (Splitmix.create 7L));
       ]
   in
   Report.print_table ~header:[ "policy"; "converged"; "avg steps"; "avg final rho" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E-ENG: large-n dynamics engine                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The ROADMAP's dynamics workload: millions of priced candidate moves
+   on graphs with n in the thousands, one persistent oracle.  First the
+   pinned throughput run (the acceptance workload for the stepping
+   engine), then the convergence table EXPERIMENTS.md quotes: which rho
+   do improvement dynamics actually reach at large n, next to the worst
+   cases [sweep] certifies exhaustively at small n. *)
+let e_engine () =
+  Report.section "E-ENG  Large-n dynamics engine: throughput and convergence";
+  let tree1024 = Gen.random_tree (Random.State.make [| 7 |]) 1024 in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Engine.run ~max_steps:1_000_000 ~eval_budget:1_000_000 ~oracle:true
+      ~policy:Local_moves.First ~concept:Concept.PS ~alpha:2. tree1024
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "throughput: PS first-improving, n=1024 random tree, alpha=2:\n\
+    \  %d steps, %d evals (%d priced, %d cache hits), %d scratch BFS rows, %s, %.1fs\n"
+    r.Engine.steps (Engine.evals r) r.Engine.priced r.Engine.cache_hits
+    r.Engine.scratch_rows
+    (Dynamics.status_to_string r.Engine.status)
+    wall;
+  print_endline
+    "convergence from a random tree (first-improving, alpha = 3, eval budget 10^6):";
+  let rows =
+    List.concat_map
+      (fun concept ->
+        List.map
+          (fun n ->
+            let g = Gen.random_tree (Random.State.make [| 11; n |]) n in
+            let t0 = Unix.gettimeofday () in
+            let r =
+              Engine.run ~max_steps:1_000_000 ~eval_budget:1_000_000 ~oracle:true
+                ~policy:Local_moves.First ~concept ~alpha:3. g
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            [
+              Concept.name concept; string_of_int n; string_of_int r.Engine.steps;
+              Dynamics.status_to_string r.Engine.status;
+              fnum (Cost.rho ~alpha:3. r.Engine.final);
+              string_of_int (Engine.evals r); Printf.sprintf "%.1f" wall;
+            ])
+          [ 64; 256; 1024 ])
+      [ Concept.PS; Concept.BGE ]
+  in
+  Report.print_table
+    ~header:[ "concept"; "n"; "steps"; "status"; "final rho"; "evals"; "wall s" ]
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -1019,4 +1072,5 @@ let all : (string * string * (unit -> unit)) list =
     ("e-open", "open-question probes (general graphs)", e_open);
     ("e-ce", "Collaborative Equilibrium extension", e_ce);
     ("e-dyn", "dynamics extension", e_dyn);
+    ("e-eng", "dynamics engine throughput + large-n convergence", e_engine);
   ]

@@ -7,6 +7,7 @@
    bncg merge  s0.json s1.json --json           combine sharded sweep outputs
    bncg serve  --socket /tmp/bncg.sock          equilibrium-oracle daemon
    bncg dyn    -a 2.0 -c BGE --tree 10 --seed 1 improving-move dynamics
+   bncg dynamics -a 2.0 -c PS --family random-tree -n 64  oracle-priced dynamics
    bncg enum   -n 7                             enumeration counts
    bncg gallery                                 counterexample summary
    bncg trace  t.jsonl -o chrome.json           convert a --trace file for Perfetto
@@ -376,6 +377,172 @@ let dyn_cmd =
     (Cmd.info "dyn" ~doc:"Run improving-move dynamics from a random tree.")
     Term.(const run $ alpha_arg $ concept_arg $ tree_arg $ seed_arg $ steps_arg)
 
+let dynamics_cmd =
+  let policy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("first", `First); ("best", `Best); ("best-social", `Best_social); ("random", `Random) ]) `First
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Move-selection policy: $(b,first) (first improving move in enumeration \
+             order), $(b,best) (largest participant gain), $(b,best-social) (best \
+             social-cost change), or $(b,random) (uniform over improving moves, \
+             seeded by --seed).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", true); ("scratch", false) ]) true
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Pricing engine: $(b,oracle) (incremental distance oracle, cached \
+             addition prices, swap pruning) or $(b,scratch) (fresh BFS per read — the \
+             slow reference the oracle engine is bit-identical to).")
+  in
+  let family_arg =
+    Arg.(
+      value
+      & opt string "random-tree"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Start graph family: $(b,random-tree), $(b,path), $(b,star), $(b,cycle), \
+             $(b,near-path), $(b,near-clique) or $(b,stretched) (largest 2-stretched \
+             binary tree with at most $(b,-n) vertices).  Random families draw from \
+             --seed and replay bit-identically across OCaml versions.")
+  in
+  let n_arg =
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Start graph size.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for the start graph and the $(b,random) policy.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 10_000 & info [ "max-steps" ] ~docv:"K" ~doc:"Step limit.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) candidate evaluations (priced + cache hits) — the \
+             deterministic work unit shared by both engines.")
+  in
+  let run alpha concept policy oracle family n seed max_steps eval_budget json no_wall
+      trace heartbeat =
+    (match concept with
+    | Concept.RE | Concept.BAE | Concept.PS | Concept.BSwE | Concept.BGE -> ()
+    | _ -> die (Concept.name concept ^ " is not a local concept; use RE/BAE/PS/BSwE/BGE"));
+    if n < 1 then die "-n must be >= 1";
+    let seed64 = Int64.of_int seed in
+    let g0 =
+      let rng = Splitmix.derive seed64 [ 1 ] in
+      try
+        match family with
+        | "random-tree" -> Casegen.tree rng n
+        | "path" -> Gen.path n
+        | "star" -> Gen.star n
+        | "cycle" -> Gen.cycle n
+        | "near-path" -> Casegen.near_path rng n
+        | "near-clique" -> Casegen.near_clique rng n
+        | "stretched" ->
+            let d = Stretched.max_depth_for_size ~k:2 ~target:(float_of_int n) in
+            (Stretched.binary_tree ~d ~k:2).Stretched.graph
+        | f -> die ("unknown family " ^ f)
+      with Invalid_argument msg -> die msg
+    in
+    let policy =
+      match policy with
+      | `First -> Local_moves.First
+      | `Best -> Local_moves.Best_response
+      | `Best_social -> Local_moves.Best_social
+      | `Random -> Local_moves.Random (Splitmix.derive seed64 [ 2 ])
+    in
+    with_obs trace heartbeat @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Engine.run ~max_steps ?eval_budget ~oracle ~policy ~concept ~alpha g0
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let engine_name = if oracle then "oracle" else "scratch" in
+    let policy_name =
+      match policy with
+      | Local_moves.First -> "first"
+      | Local_moves.Best_response -> "best"
+      | Local_moves.Best_social -> "best-social"
+      | Local_moves.Random _ -> "random"
+    in
+    if json then begin
+      let side g =
+        Json.Obj
+          [
+            ("graph6", Json.String (Encode.to_graph6 g));
+            ("rho", Json.number (Cost.rho ~alpha g));
+          ]
+      in
+      let fields =
+        [
+          ("concept", Json.String (Concept.name concept));
+          ("alpha", Json.number alpha);
+          ("policy", Json.String policy_name);
+          ("engine", Json.String engine_name);
+          ("family", Json.String family);
+          ("n", Json.Int (Graph.n g0));
+          ("seed", Json.Int seed);
+          ("max_steps", Json.Int max_steps);
+        ]
+        @ (match eval_budget with
+          | None -> []
+          | Some b -> [ ("budget", Json.Int b) ])
+        @ [
+            ("start", side g0);
+            ("status", Json.String (Dynamics.status_to_string r.Engine.status));
+            ("steps", Json.Int r.Engine.steps);
+            ( "moves",
+              Json.List
+                (List.map (fun m -> Json.String (Move.to_string m)) r.Engine.moves) );
+            ("priced", Json.Int r.Engine.priced);
+            ("cache_hits", Json.Int r.Engine.cache_hits);
+            ("evals", Json.Int (Engine.evals r));
+            ("collisions", Json.Int r.Engine.collisions);
+            ("scratch_rows", Json.Int r.Engine.scratch_rows);
+            ("final", side r.Engine.final);
+          ]
+        @ if no_wall then [] else [ ("wall_s", Json.number wall) ]
+      in
+      print_endline (Json.to_string (Json.Obj fields))
+    end
+    else begin
+      Printf.printf "start: %s (n=%d, rho %.3f)\n" (Encode.to_graph6 g0) (Graph.n g0)
+        (Cost.rho ~alpha g0);
+      Printf.printf "%s dynamics, %s policy, %s engine: %s after %d steps\n"
+        (Concept.name concept) policy_name engine_name
+        (Dynamics.status_to_string r.Engine.status)
+        r.Engine.steps;
+      Printf.printf "evals: %d (%d priced, %d cache hits), %d BFS rows, %d collisions\n"
+        (Engine.evals r) r.Engine.priced r.Engine.cache_hits r.Engine.scratch_rows
+        r.Engine.collisions;
+      Printf.printf "final: %s (rho %.3f)\n"
+        (Encode.to_graph6 r.Engine.final)
+        (Cost.rho ~alpha r.Engine.final);
+      if not no_wall then Printf.printf "wall: %.3fs\n" wall
+    end
+  in
+  Cmd.v
+    (Cmd.info "dynamics"
+       ~doc:
+         "High-throughput improvement dynamics: step a start graph to equilibrium \
+          under a move-selection policy, pricing candidates through the incremental \
+          distance oracle (or the scratch reference — both produce bit-identical \
+          traces).")
+    Term.(
+      const run $ alpha_arg $ concept_arg $ policy_arg $ engine_arg $ family_arg $ n_arg
+      $ seed_arg $ steps_arg $ budget_arg $ json_arg $ no_wall_arg $ trace_arg
+      $ heartbeat_arg)
+
 let enum_cmd =
   let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Size.") in
   let run n =
@@ -575,7 +742,7 @@ let perf_cmd =
   let smoke_arg =
     Arg.(
       value & flag
-      & info [ "smoke" ] ~doc:"Run only the 4-benchmark CI subset instead of the suite.")
+      & info [ "smoke" ] ~doc:"Run only the 5-benchmark CI subset instead of the suite.")
   in
   let only_arg =
     Arg.(
@@ -692,7 +859,8 @@ let () =
   let group =
     Cmd.group info
       [
-        check_cmd; rho_cmd; poa_cmd; sweep_cmd; merge_cmd; serve_cmd; dyn_cmd; enum_cmd;
+        check_cmd; rho_cmd; poa_cmd; sweep_cmd; merge_cmd; serve_cmd; dyn_cmd;
+        dynamics_cmd; enum_cmd;
         gallery_cmd; render_cmd; profile_cmd; welfare_cmd; fuzz_cmd; perf_cmd; trace_cmd;
       ]
   in

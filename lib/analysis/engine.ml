@@ -1,0 +1,605 @@
+(* The high-throughput improvement-dynamics engine.
+
+   Two interchangeable pricers drive one stepping loop:
+
+   - [`Oracle]: one persistent {!Dist_oracle} shared across the whole
+     run.  Candidate moves are priced as flip / read / unflip; when a
+     move is accepted under the [First] policy its flips are already in
+     place and are simply kept (committed), so the oracle's bounded
+     repair amortizes across steps exactly as in the checkers.
+   - [`Scratch]: the seed-quality baseline — every read is a fresh BFS
+     on a persistent graph.  No cache, no pruning.
+
+   Both pricers compute participant costs from exact integers via
+   {!Cost.agent_cost_of_parts} and share the closed-form addition
+   pricer below, so the two paths produce bit-identical move traces at
+   every policy and seed; the CI dynamics smoke and the golden traces
+   enforce this.
+
+   Caching discipline (oracle mode only) — what is sound and why:
+
+   - Addition {u,v}: the priced outcome is a pure function of the two
+     current distance rows and degrees (the new row of [u] is pointwise
+     [min d(u,x) (d(v,x)+1)]).  Entries are cached and invalidated by
+     per-vertex change stamps: after an accepted flip of {p,q} the only
+     rows that can have changed are [{x : d(x,p) <> d(x,q)}] for a
+     removal and [{x : |d(x,p) - d(x,q)| > 1 or reachability differs}]
+     for an addition (both computed from the pre-flip rows; the
+     endpoints always qualify, which also covers degree changes).
+   - Removal {a,t}: the post-removal row of [a] is NOT determined by
+     pre-removal rows (alternative detours live elsewhere in the
+     graph), so removal prices are never cached — they are repriced
+     every step.  Removal candidates number O(m), so this stays cheap.
+   - Swap (u, drop, w): same obstruction as removals, but a sound
+     row-pure prune exists: the swap result is a subgraph of the plain
+     addition result ([G - ud + uw] is [G + uw] minus an edge), so each
+     participant's swap cost dominates their addition cost pointwise.
+     Hence "add {u,w} improves w, and u gains distance or reach from
+     the closed-form add" is necessary for the swap to improve — a pure
+     function of rows u and w, cached under the same stamps.  Swaps
+     passing the prune are fully priced every time.
+
+   Cycle detection replaces the stored-graph table with two independent
+   64-bit Zobrist hashes over the edge set (keys derived from a fixed
+   Splitmix seed per edge).  The primary hash is the table key and the
+   secondary is the stored witness: equal pairs are treated as a
+   revisit (false-positive odds ~2^-128 per comparison), a primary-only
+   match counts as a collision and is treated as unseen. *)
+
+type result = {
+  final : Graph.t;
+  status : Dynamics.status;
+  steps : int;  (** accepted moves *)
+  moves : Move.t list;  (** accepted moves, oldest first *)
+  priced : int;  (** candidate evaluations priced fresh *)
+  cache_hits : int;  (** candidate evaluations answered from cache *)
+  collisions : int;  (** primary-hash collisions in cycle detection *)
+  scratch_rows : int;  (** BFS rows computed (oracle scratch or raw BFS) *)
+}
+
+let evals r = r.priced + r.cache_hits
+
+(* ------------------------------------------------------------------ *)
+(* Pricers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type pricer = {
+  agent : int -> Cost.agent;  (* participant cost in the pricer's current state *)
+  flip : rm:(int * int) list -> add:(int * int) list -> unit;
+  unflip : rm:(int * int) list -> add:(int * int) list -> unit;
+  rows : int -> int -> int array * int array;  (* borrowed rows, valid until a flip *)
+  social_dist : unit -> int;  (* sum of finite-distance totals over all rows *)
+  row_count : unit -> int;  (* BFS rows computed so far *)
+}
+
+let oracle_pricer ~alpha o =
+  {
+    agent = (fun u -> Cost.agent_cost_oracle ~alpha o u);
+    flip =
+      (fun ~rm ~add ->
+        List.iter (fun (a, b) -> Dist_oracle.remove_edge o a b) rm;
+        List.iter (fun (a, b) -> Dist_oracle.add_edge o a b) add);
+    unflip =
+      (fun ~rm ~add ->
+        List.iter (fun (a, b) -> Dist_oracle.remove_edge o a b) add;
+        List.iter (fun (a, b) -> Dist_oracle.add_edge o a b) rm);
+    rows = (fun u v -> (Dist_oracle.row o u, Dist_oracle.row o v));
+    social_dist =
+      (fun () ->
+        let acc = ref 0 in
+        for u = 0 to Dist_oracle.n o - 1 do
+          acc := !acc + (Dist_oracle.total_dist o u).Paths.sum
+        done;
+        !acc);
+    row_count = (fun () -> (Dist_oracle.stats o).Dist_oracle.scratch);
+  }
+
+let scratch_pricer ~alpha g0 =
+  let cur = ref g0 in
+  let ws1 = Paths.scratch () and ws2 = Paths.scratch () in
+  let rows_done = ref 0 in
+  let bfs ws u =
+    incr rows_done;
+    Paths.bfs ~scratch:ws !cur u
+  in
+  {
+    agent =
+      (fun u ->
+        Cost.agent_cost_of_parts ~alpha ~degree:(Graph.degree !cur u)
+          ~total:(Paths.total_dist_of (bfs ws1 u)));
+    flip = (fun ~rm ~add -> cur := Graph.apply !cur ~add ~remove:rm);
+    unflip = (fun ~rm ~add -> cur := Graph.apply !cur ~add:rm ~remove:add);
+    rows = (fun u v -> (bfs ws1 u, bfs ws2 v));
+    social_dist =
+      (fun () ->
+        let acc = ref 0 in
+        for u = 0 to Graph.n !cur - 1 do
+          acc := !acc + (Paths.total_dist_of (bfs ws1 u)).Paths.sum
+        done;
+        !acc);
+    row_count = (fun () -> !rows_done);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form addition pricing                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* After adding {u,v}: d'(u,x) = min (d(u,x)) (d(v,x) + 1) and
+   symmetrically for v; the reachable set becomes the union.  One pass
+   over the two rows yields before and after costs of both
+   participants, exactly — no flips, no BFS. *)
+let price_add ~alpha ~deg_u ~deg_v ~row_u ~row_v =
+  let n = Array.length row_u in
+  let sum_u = ref 0
+  and unr_u = ref 0
+  and sum_v = ref 0
+  and unr_v = ref 0
+  and sum_u' = ref 0
+  and sum_v' = ref 0
+  and unr' = ref 0 in
+  for x = 0 to n - 1 do
+    let du = row_u.(x) and dv = row_v.(x) in
+    if du < 0 then incr unr_u else sum_u := !sum_u + du;
+    if dv < 0 then incr unr_v else sum_v := !sum_v + dv;
+    if du < 0 && dv < 0 then incr unr'
+    else begin
+      let du' = if du < 0 then dv + 1 else if dv < 0 then du else min du (dv + 1) in
+      let dv' = if dv < 0 then du + 1 else if du < 0 then dv else min dv (du + 1) in
+      sum_u' := !sum_u' + du';
+      sum_v' := !sum_v' + dv'
+    end
+  done;
+  let before_u =
+    Cost.agent_cost_of_parts ~alpha ~degree:deg_u
+      ~total:{ Paths.unreachable = !unr_u; sum = !sum_u }
+  and before_v =
+    Cost.agent_cost_of_parts ~alpha ~degree:deg_v
+      ~total:{ Paths.unreachable = !unr_v; sum = !sum_v }
+  and after_u =
+    Cost.agent_cost_of_parts ~alpha ~degree:(deg_u + 1)
+      ~total:{ Paths.unreachable = !unr'; sum = !sum_u' }
+  and after_v =
+    Cost.agent_cost_of_parts ~alpha ~degree:(deg_v + 1)
+      ~total:{ Paths.unreachable = !unr'; sum = !sum_v' }
+  in
+  let improving =
+    Cost.strictly_less after_u before_u && Cost.strictly_less after_v before_v
+  in
+  let mover =
+    let acc = 0. +. Cost.money after_u -. Cost.money before_u in
+    acc +. Cost.money after_v -. Cost.money before_v
+  in
+  (improving, mover)
+
+(* Row-pure necessary condition for swap (u, drop, w) to improve both
+   participants; see the header comment.  [row_u]/[row_w] are current
+   (pre-swap) rows. *)
+let swap_viable ~alpha ~deg_w ~row_u ~row_w =
+  let n = Array.length row_u in
+  let gain_u = ref 0
+  and join_u = ref 0
+  and sum_w = ref 0
+  and unr_w = ref 0
+  and sum_w' = ref 0
+  and unr' = ref 0 in
+  for x = 0 to n - 1 do
+    let du = row_u.(x) and dw = row_w.(x) in
+    if du < 0 && dw >= 0 then incr join_u
+    else if du >= 0 && dw >= 0 && du > dw + 1 then gain_u := !gain_u + (du - (dw + 1));
+    if dw < 0 then incr unr_w else sum_w := !sum_w + dw;
+    if du < 0 && dw < 0 then incr unr'
+    else begin
+      let dw' = if dw < 0 then du + 1 else if du < 0 then dw else min dw (du + 1) in
+      sum_w' := !sum_w' + dw'
+    end
+  done;
+  if !gain_u = 0 && !join_u = 0 then false
+  else
+    let before_w =
+      Cost.agent_cost_of_parts ~alpha ~degree:deg_w
+        ~total:{ Paths.unreachable = !unr_w; sum = !sum_w }
+    and bound_w =
+      Cost.agent_cost_of_parts ~alpha ~degree:(deg_w + 1)
+        ~total:{ Paths.unreachable = !unr'; sum = !sum_w' }
+    in
+    Cost.strictly_less bound_w before_w
+
+(* ------------------------------------------------------------------ *)
+(* Zobrist hashing over the edge set                                   *)
+(* ------------------------------------------------------------------ *)
+
+let zseed1 = 0x626E_6367_7A31L
+let zseed2 = 0x626E_6367_7A32L
+
+let zkey seed u v =
+  let a = min u v and b = max u v in
+  Splitmix.next64 (Splitmix.derive seed [ a; b ])
+
+(* ------------------------------------------------------------------ *)
+(* The stepping loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let local_concept = function
+  | Concept.RE | Concept.BAE | Concept.PS | Concept.BSwE | Concept.BGE -> ()
+  | Concept.BNE | Concept.KBSE _ | Concept.BSE ->
+      invalid_arg "Engine.run: not a local concept"
+
+exception Found of Move.t
+exception Budget
+
+let run ?(max_steps = 10_000) ?eval_budget ?damage ?(oracle = true) ~policy ~concept
+    ~alpha g0 =
+  local_concept concept;
+  let n = Graph.n g0 in
+  let p =
+    if oracle then oracle_pricer ~alpha (Dist_oracle.create ?damage g0)
+    else scratch_pricer ~alpha g0
+  in
+  let use_cache = oracle in
+  let wants_removals =
+    match concept with
+    | Concept.RE | Concept.PS | Concept.BGE -> true
+    | _ -> false
+  and wants_additions =
+    match concept with
+    | Concept.BAE | Concept.PS | Concept.BGE -> true
+    | _ -> false
+  and wants_swaps =
+    match concept with Concept.BSwE | Concept.BGE -> true | _ -> false
+  in
+  (* committed state mirror (the pricer holds the same edge set between
+     candidate evaluations) *)
+  let g = ref g0 in
+  (* per-vertex change stamps; stamp 0 = initial state *)
+  let stamp = ref 0 in
+  let vstamp = Array.make (max 1 n) 0 in
+  (* addition cache, keyed u*n+v with u < v *)
+  let acache_at = if use_cache && wants_additions then Array.make (n * n) (-1) else [||] in
+  let acache_improving = if use_cache && wants_additions then Bytes.make (n * n) '\000' else Bytes.empty in
+  let acache_mover = if use_cache && wants_additions then Array.make (n * n) 0. else [||] in
+  (* swap-viability cache, keyed u*n+w (directional) *)
+  let vcache_at = if use_cache && wants_swaps then Array.make (n * n) (-1) else [||] in
+  let vcache_viable = if use_cache && wants_swaps then Bytes.make (n * n) '\000' else Bytes.empty in
+  (* dirty-set buffers *)
+  let dirty_a = Array.make (max 1 n) 0
+  and dirty_b = Array.make (max 1 n) 0 in
+  let len_a = ref 0
+  and len_b = ref 0 in
+  (* counters *)
+  let priced = ref 0
+  and cache_hits = ref 0
+  and collisions = ref 0 in
+  let budget = match eval_budget with None -> max_int | Some b -> b in
+  let spend_fresh () =
+    if !priced + !cache_hits >= budget then raise Budget;
+    incr priced
+  and spend_cached () =
+    if !priced + !cache_hits >= budget then raise Budget;
+    incr cache_hits
+  in
+  (* cycle detection *)
+  let h1 = ref 0L
+  and h2 = ref 0L in
+  List.iter
+    (fun (u, v) ->
+      h1 := Int64.logxor !h1 (zkey zseed1 u v);
+      h2 := Int64.logxor !h2 (zkey zseed2 u v))
+    (Graph.edges g0);
+  let seen : (int64, int64 list) Hashtbl.t = Hashtbl.create 256 in
+  let remember () =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt seen !h1) in
+    if not (List.mem !h2 prev) then Hashtbl.replace seen !h1 (!h2 :: prev)
+  in
+  let move_flips = function
+    | Move.Remove { agent; target } -> ([ (agent, target) ], [])
+    | Move.Bilateral_add { u; v } -> ([], [ (u, v) ])
+    | Move.Bilateral_swap { u; drop; add } -> ([ (u, drop) ], [ (u, add) ])
+    | Move.Neighborhood _ | Move.Coalition _ -> assert false
+  in
+  let hash_after m =
+    let rm, add = move_flips m in
+    let f seed h =
+      let h = List.fold_left (fun h (u, v) -> Int64.logxor h (zkey seed u v)) h rm in
+      List.fold_left (fun h (u, v) -> Int64.logxor h (zkey seed u v)) h add
+    in
+    (f zseed1 !h1, f zseed2 !h2)
+  in
+  let seen_after (k1, k2) =
+    match Hashtbl.find_opt seen k1 with
+    | None -> false
+    | Some l ->
+        if List.mem k2 l then true
+        else begin
+          incr collisions;
+          false
+        end
+  in
+  (* dirty collection: [rows] are pre-flip *)
+  let collect_remove buf row_u row_v =
+    let k = ref 0 in
+    for x = 0 to n - 1 do
+      if row_u.(x) <> row_v.(x) then begin
+        buf.(!k) <- x;
+        incr k
+      end
+    done;
+    !k
+  in
+  let collect_add buf row_u row_v =
+    let k = ref 0 in
+    for x = 0 to n - 1 do
+      let du = row_u.(x) and dv = row_v.(x) in
+      let dirty =
+        if du < 0 then dv >= 0 else if dv < 0 then true else du - dv > 1 || dv - du > 1
+      in
+      if dirty then begin
+        buf.(!k) <- x;
+        incr k
+      end
+    done;
+    !k
+  in
+  (* Apply [m]'s flips to the pricer from the committed state, filling
+     the dirty buffers from the pre-flip rows.  Used at accept time for
+     the non-First policies (First applies flips during pricing). *)
+  let flip_committed m =
+    match m with
+    | Move.Remove { agent; target } ->
+        let ru, rv = p.rows agent target in
+        len_a := collect_remove dirty_a ru rv;
+        len_b := 0;
+        p.flip ~rm:[ (agent, target) ] ~add:[]
+    | Move.Bilateral_add { u; v } ->
+        let ru, rv = p.rows u v in
+        len_a := collect_add dirty_a ru rv;
+        len_b := 0;
+        p.flip ~rm:[] ~add:[ (u, v) ]
+    | Move.Bilateral_swap { u; drop; add } ->
+        let ru, rd = p.rows u drop in
+        len_a := collect_remove dirty_a ru rd;
+        p.flip ~rm:[ (u, drop) ] ~add:[];
+        let ru, rw = p.rows u add in
+        len_b := collect_add dirty_b ru rw;
+        p.flip ~rm:[] ~add:[ (u, add) ]
+    | Move.Neighborhood _ | Move.Coalition _ -> assert false
+  in
+  let first = match policy with Local_moves.First -> true | _ -> false in
+  (* Pricing.  Under [First] the flips of an improving candidate are
+     left in place (committed) and the dirty buffers are filled on the
+     way, so an accepted step never unflips. *)
+  let price_removal a t =
+    spend_fresh ();
+    let before = p.agent a in
+    if first then begin
+      let ru, rt = p.rows a t in
+      len_a := collect_remove dirty_a ru rt;
+      len_b := 0
+    end;
+    p.flip ~rm:[ (a, t) ] ~add:[];
+    let after = p.agent a in
+    let improving = Cost.strictly_less after before in
+    let mover = 0. +. Cost.money after -. Cost.money before in
+    if first && improving then raise (Found (Move.Remove { agent = a; target = t }));
+    p.unflip ~rm:[ (a, t) ] ~add:[];
+    (improving, mover)
+  in
+  let price_addition u v =
+    let key = (u * n) + v in
+    if use_cache && acache_at.(key) >= vstamp.(u) && acache_at.(key) >= vstamp.(v)
+    then begin
+      spend_cached ();
+      let improving = Bytes.get acache_improving key <> '\000' in
+      (* under [First] a cached improving entry can only be the scan's
+         stopping point, so commit it exactly like a fresh one *)
+      if first && improving then begin
+        let ru, rv = p.rows u v in
+        len_a := collect_add dirty_a ru rv;
+        len_b := 0;
+        p.flip ~rm:[] ~add:[ (u, v) ];
+        raise (Found (Move.Bilateral_add { u; v }))
+      end;
+      (improving, acache_mover.(key))
+    end
+    else begin
+      spend_fresh ();
+      let ru, rv = p.rows u v in
+      let improving, mover =
+        price_add ~alpha ~deg_u:(Graph.degree !g u) ~deg_v:(Graph.degree !g v) ~row_u:ru
+          ~row_v:rv
+      in
+      if use_cache then begin
+        acache_at.(key) <- !stamp;
+        Bytes.set acache_improving key (if improving then '\001' else '\000');
+        acache_mover.(key) <- mover
+      end;
+      if first && improving then begin
+        len_a := collect_add dirty_a ru rv;
+        len_b := 0;
+        p.flip ~rm:[] ~add:[ (u, v) ];
+        raise (Found (Move.Bilateral_add { u; v }))
+      end;
+      (improving, mover)
+    end
+  in
+  let price_swap u drop w =
+    let skip =
+      use_cache
+      &&
+      let key = (u * n) + w in
+      if vcache_at.(key) >= vstamp.(u) && vcache_at.(key) >= vstamp.(w) then begin
+        if Bytes.get vcache_viable key = '\000' then begin
+          spend_cached ();
+          true
+        end
+        else false
+      end
+      else begin
+        let ru, rw = p.rows u w in
+        let viable = swap_viable ~alpha ~deg_w:(Graph.degree !g w) ~row_u:ru ~row_w:rw in
+        vcache_at.(key) <- !stamp;
+        Bytes.set vcache_viable key (if viable then '\001' else '\000');
+        if not viable then begin
+          spend_fresh ();
+          true
+        end
+        else false
+      end
+    in
+    if skip then (false, 0.)
+    else begin
+      spend_fresh ();
+      let before_u = p.agent u and before_w = p.agent w in
+      if first then begin
+        let ru, rd = p.rows u drop in
+        len_a := collect_remove dirty_a ru rd
+      end;
+      p.flip ~rm:[ (u, drop) ] ~add:[];
+      if first then begin
+        let ru, rw = p.rows u w in
+        len_b := collect_add dirty_b ru rw
+      end;
+      p.flip ~rm:[] ~add:[ (u, w) ];
+      let after_u = p.agent u and after_w = p.agent w in
+      let improving =
+        Cost.strictly_less after_u before_u && Cost.strictly_less after_w before_w
+      in
+      let mover =
+        let acc = 0. +. Cost.money after_u -. Cost.money before_u in
+        acc +. Cost.money after_w -. Cost.money before_w
+      in
+      if first && improving then raise (Found (Move.Bilateral_swap { u; drop; add = w }));
+      p.unflip ~rm:[ (u, drop) ] ~add:[ (u, w) ];
+      (improving, mover)
+    end
+  in
+  (* social pricing (Best_social only): flip, re-total, unflip *)
+  let social_of m sd0 =
+    let rm, add = move_flips m in
+    p.flip ~rm ~add;
+    let sd1 = p.social_dist () in
+    p.unflip ~rm ~add;
+    Local_moves.social_delta_of ~alpha ~edges_delta:(Local_moves.edges_delta m)
+      ~dist_delta:(sd1 - sd0)
+  in
+  (* one scan over the concept's candidate vocabulary, in the canonical
+     (legacy) enumeration order *)
+  let scan_candidates visit =
+    if wants_removals then
+      List.iter
+        (fun (u, v) ->
+          visit (Move.Remove { agent = u; target = v }) (price_removal u v);
+          visit (Move.Remove { agent = v; target = u }) (price_removal v u))
+        (Graph.edges !g);
+    if wants_additions then
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if not (Graph.has_edge !g u v) then
+            visit (Move.Bilateral_add { u; v }) (price_addition u v)
+        done
+      done;
+    if wants_swaps then
+      for u = 0 to n - 1 do
+        Array.iter
+          (fun drop ->
+            for w = 0 to n - 1 do
+              if w <> u && w <> drop && not (Graph.has_edge !g u w) then
+                visit
+                  (Move.Bilateral_swap { u; drop; add = w })
+                  (price_swap u drop w)
+            done)
+          (Graph.neighbors !g u)
+      done
+  in
+  let pick_move () =
+    match policy with
+    | Local_moves.First -> (
+        (* Found is raised from inside the pricers *)
+        try
+          scan_candidates (fun _ _ -> ());
+          None
+        with Found m -> Some (m, true))
+    | Local_moves.Best_response ->
+        let best = ref None in
+        scan_candidates (fun m (improving, mover) ->
+            if improving then
+              match !best with
+              | Some (_, bm) when mover >= bm -> ()
+              | _ -> best := Some (m, mover));
+        Option.map (fun (m, _) -> (m, false)) !best
+    | Local_moves.Best_social ->
+        let sd0 = p.social_dist () in
+        let best = ref None in
+        scan_candidates (fun m (improving, _) ->
+            if improving then begin
+              let social = social_of m sd0 in
+              match !best with
+              | Some (_, bs) when social >= bs -> ()
+              | _ -> best := Some (m, social)
+            end);
+        Option.map (fun (m, _) -> (m, false)) !best
+    | Local_moves.Random rng ->
+        let acc = ref [] in
+        let count = ref 0 in
+        scan_candidates (fun m (improving, _) ->
+            if improving then begin
+              acc := m :: !acc;
+              incr count
+            end);
+        if !count = 0 then None
+        else
+          let idx = Splitmix.int rng !count in
+          Some (List.nth (List.rev !acc) idx, false)
+  in
+  let finish status steps moves final =
+    {
+      final;
+      status;
+      steps;
+      moves = List.rev moves;
+      priced = !priced;
+      cache_hits = !cache_hits;
+      collisions = !collisions;
+      scratch_rows = p.row_count ();
+    }
+  in
+  let steps = ref 0
+  and moves = ref [] in
+  let rec go () =
+    remember ();
+    if !steps >= max_steps then finish Dynamics.Max_steps !steps !moves !g
+    else begin
+      Obs.tick ();
+      match pick_move () with
+      | None -> finish Dynamics.Converged !steps !moves !g
+      | Some (m, applied) ->
+          let h' = hash_after m in
+          let g' = Move.apply !g m in
+          if seen_after h' then finish Dynamics.Cycled (!steps + 1) !moves g'
+          else begin
+            if not applied then flip_committed m;
+            g := g';
+            let k1, k2 = h' in
+            h1 := k1;
+            h2 := k2;
+            incr stamp;
+            for i = 0 to !len_a - 1 do
+              vstamp.(dirty_a.(i)) <- !stamp
+            done;
+            for i = 0 to !len_b - 1 do
+              vstamp.(dirty_b.(i)) <- !stamp
+            done;
+            incr steps;
+            moves := m :: !moves;
+            go ()
+          end
+    end
+  in
+  let out =
+    Obs.span "dynamics.run" @@ fun () ->
+    try go () with Budget -> finish Dynamics.Budget_exhausted !steps !moves !g
+  in
+  Obs.add (Obs.counter "dynamics.steps") out.steps;
+  Obs.add (Obs.counter "dynamics.repriced") out.priced;
+  Obs.add (Obs.counter "dynamics.cache_hits") out.cache_hits;
+  Obs.add (Obs.counter "dynamics.oracle_scratch") out.scratch_rows;
+  out

@@ -1,0 +1,78 @@
+(** High-throughput improvement dynamics for the local concepts.
+
+    {!Local_moves.run_dynamics} re-enumerates and re-prices every
+    candidate move from scratch BFS each step and stores whole graphs
+    for cycle detection; fine at n <= 64, hopeless at n = 1024.  This
+    engine reprices candidates through one persistent {!Dist_oracle}
+    shared across the whole run (flip / read / unflip, and {e committed}
+    flips — no unflip — when the [First] policy accepts), caches
+    addition prices under per-vertex dirty stamps, prunes swap
+    candidates with a sound closed-form viability test, and replaces
+    stored-graph cycle detection with two independent 64-bit Zobrist
+    hashes over the edge set.
+
+    What is cached and why it is sound:
+    - addition prices are pure functions of the two current distance
+      rows and degrees (the post-add row is pointwise
+      [min d(u,x) (d(v,x)+1)]), so stamp-validated entries are exact;
+    - removal prices are {e not} row-pure (detours live elsewhere in
+      the graph), so removals are repriced every step — there are only
+      O(m) of them;
+    - swap (u, drop, w) results are edge-subgraphs of the plain
+      addition [G + uw], so participants' swap costs dominate their
+      closed-form addition costs; the addition-based viability test is
+      a necessary condition and prunes most swap candidates without a
+      flip.  Surviving swaps are fully priced.
+
+    The engine produces {e bit-identical} move traces to the scratch
+    path (and to {!Local_moves.run_dynamics} modulo hash-collision
+    odds of ~2^-128 per revisit test) at every policy and seed: both
+    pricers build the same exact-integer {!Cost.agent} records and the
+    policies consume them in the same enumeration order.  The
+    [move-price-mismatch] fuzz bank and the CI dynamics smoke enforce
+    this. *)
+
+type result = {
+  final : Graph.t;
+  status : Dynamics.status;
+      (** [Converged], [Cycled], [Max_steps], or [Budget_exhausted]
+          when [eval_budget] ran out mid-scan *)
+  steps : int;  (** accepted moves *)
+  moves : Move.t list;  (** accepted moves, oldest first *)
+  priced : int;  (** candidate evaluations priced fresh *)
+  cache_hits : int;  (** candidate evaluations answered from a cache *)
+  collisions : int;  (** primary-hash collisions in cycle detection *)
+  scratch_rows : int;  (** BFS rows computed by the active pricer *)
+}
+
+val evals : result -> int
+(** [priced + cache_hits]: total candidate evaluations, the unit
+    [eval_budget] is measured in.  Identical between the oracle and
+    scratch engines on the same run — every candidate considered costs
+    exactly one evaluation in both — which is what makes budgeted runs
+    comparable across engines. *)
+
+val run :
+  ?max_steps:int ->
+  ?eval_budget:int ->
+  ?damage:float ->
+  ?oracle:bool ->
+  policy:Local_moves.policy ->
+  concept:Concept.t ->
+  alpha:float ->
+  Graph.t ->
+  result
+(** [run ~policy ~concept ~alpha g] steps improvement dynamics from [g]
+    until convergence, a revisited state, [max_steps] (default 10_000)
+    accepted moves, or [eval_budget] candidate evaluations.
+
+    [?oracle] (default [true]) selects the incremental pricer; [false]
+    selects the scratch baseline (fresh BFS per read, no caches) used
+    by the differential tests and the paired benchmark kernels.
+    [?damage] is forwarded to {!Dist_oracle.create}.
+
+    Counters are mirrored to {!Obs} as [dynamics.steps],
+    [dynamics.repriced], [dynamics.cache_hits] and
+    [dynamics.oracle_scratch], inside a [dynamics.run] span.
+
+    @raise Invalid_argument for non-local concepts (BNE / k-BSE / BSE). *)

@@ -1,10 +1,26 @@
 type weighted = { move : Move.t; social_delta : float; mover_delta : float }
 
-let finite_social ~alpha g = Cost.social_money (Cost.social_cost ~alpha g)
+(* Both deltas are assembled from exact integer differences so that the
+   scratch path here and the oracle path below (and the two engine
+   pricers in {!Engine}) compute bit-identical floats: the edge-count
+   delta and the all-pairs distance delta are ints, and the only float
+   arithmetic is the final [alpha *. 2dm +. dsd] expression. *)
+let social_delta_of ~alpha ~edges_delta ~dist_delta =
+  (alpha *. float_of_int (2 * edges_delta)) +. float_of_int dist_delta
+
+let edges_delta = function
+  | Move.Remove _ -> -1
+  | Move.Bilateral_add _ -> 1
+  | Move.Bilateral_swap _ -> 0
+  | Move.Neighborhood _ | Move.Coalition _ ->
+      invalid_arg "Local_moves.edges_delta: not a local move"
 
 let weigh ~alpha g m =
   let g' = Move.apply g m in
-  let social_delta = finite_social ~alpha g' -. finite_social ~alpha g in
+  let social_delta =
+    let sd g = (Cost.social_cost ~alpha g).Cost.social_dist in
+    social_delta_of ~alpha ~edges_delta:(edges_delta m) ~dist_delta:(sd g' - sd g)
+  in
   let mover_delta =
     List.fold_left
       (fun acc u ->
@@ -59,7 +75,106 @@ let improving ~concept ~alpha g =
   | Concept.BNE | Concept.KBSE _ | Concept.BSE ->
       invalid_arg "Local_moves.improving: not a local concept"
 
-type policy = First | Best_response | Best_social | Random of Random.State.t
+(* ------------------------------------------------------------------ *)
+(* Oracle-backed pricing                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Sum of the finite-distance totals over every source row: the integer
+   part of the social distance cost.  O(n) once all rows are cached. *)
+let oracle_social_dist o =
+  let acc = ref 0 in
+  for u = 0 to Dist_oracle.n o - 1 do
+    acc := !acc + (Dist_oracle.total_dist o u).Paths.sum
+  done;
+  !acc
+
+let improving_oracle ~concept ~alpha o =
+  let g = Dist_oracle.to_graph o in
+  let sd0 = oracle_social_dist o in
+  (* Price one candidate as flip / read / unflip.  The participant
+     costs come from the oracle's rows (exact ints), so the agent
+     records — and therefore the improving test and the money fold —
+     are bit-identical to {!weigh} on the applied graph. *)
+  let price ~flip ~unflip move =
+    let parts = Move.participants move in
+    let before = List.map (fun u -> Cost.agent_cost_oracle ~alpha o u) parts in
+    flip ();
+    let after = List.map (fun u -> Cost.agent_cost_oracle ~alpha o u) parts in
+    let improving = List.for_all2 (fun a b -> Cost.strictly_less a b) after before in
+    let res =
+      if not improving then None
+      else begin
+        let sd1 = oracle_social_dist o in
+        let social_delta =
+          social_delta_of ~alpha ~edges_delta:(edges_delta move) ~dist_delta:(sd1 - sd0)
+        in
+        let mover_delta =
+          List.fold_left2
+            (fun acc a b -> acc +. Cost.money a -. Cost.money b)
+            0. after before
+        in
+        Some { move; social_delta; mover_delta }
+      end
+    in
+    unflip ();
+    res
+  in
+  let removals () =
+    List.concat_map
+      (fun (u, v) ->
+        List.filter_map
+          (fun (agent, target) ->
+            price
+              ~flip:(fun () -> Dist_oracle.remove_edge o agent target)
+              ~unflip:(fun () -> Dist_oracle.add_edge o agent target)
+              (Move.Remove { agent; target }))
+          [ (u, v); (v, u) ])
+      (Graph.edges g)
+  in
+  let additions () =
+    List.filter_map
+      (fun (u, v) ->
+        price
+          ~flip:(fun () -> Dist_oracle.add_edge o u v)
+          ~unflip:(fun () -> Dist_oracle.remove_edge o u v)
+          (Move.Bilateral_add { u; v }))
+      (Graph.non_edges g)
+  in
+  let swaps () =
+    let size = Graph.n g in
+    let out = ref [] in
+    for u = 0 to size - 1 do
+      Array.iter
+        (fun v ->
+          for w = 0 to size - 1 do
+            if w <> u && w <> v && not (Graph.has_edge g u w) then
+              match
+                price
+                  ~flip:(fun () ->
+                    Dist_oracle.remove_edge o u v;
+                    Dist_oracle.add_edge o u w)
+                  ~unflip:(fun () ->
+                    Dist_oracle.remove_edge o u w;
+                    Dist_oracle.add_edge o u v)
+                  (Move.Bilateral_swap { u; drop = v; add = w })
+              with
+              | Some wm -> out := wm :: !out
+              | None -> ()
+          done)
+        (Graph.neighbors g u)
+    done;
+    List.rev !out
+  in
+  match concept with
+  | Concept.RE -> removals ()
+  | Concept.BAE -> additions ()
+  | Concept.PS -> removals () @ additions ()
+  | Concept.BSwE -> swaps ()
+  | Concept.BGE -> removals () @ additions () @ swaps ()
+  | Concept.BNE | Concept.KBSE _ | Concept.BSE ->
+      invalid_arg "Local_moves.improving_oracle: not a local concept"
+
+type policy = First | Best_response | Best_social | Random of Splitmix.t
 
 let pick policy moves =
   match moves with
@@ -77,7 +192,7 @@ let pick policy moves =
             (List.fold_left
                (fun best m -> if m.social_delta < best.social_delta then m else best)
                first moves)
-      | Random rng -> Some (List.nth moves (Random.State.int rng (List.length moves))))
+      | Random rng -> Some (List.nth moves (Splitmix.int rng (List.length moves))))
 
 let run_dynamics ?(max_steps = 10_000) ~policy ~concept ~alpha g0 =
   let seen = Hashtbl.create 64 in

@@ -17,6 +17,17 @@ type weighted = {
           for an improving move on a connected graph) *)
 }
 
+val social_delta_of : alpha:float -> edges_delta:int -> dist_delta:int -> float
+(** Assemble a [social_delta] from exact integer differences
+    ([alpha *. float (2 * edges_delta) +. float dist_delta]).  Shared
+    with {!Engine} so every pricing path produces bit-identical
+    floats. *)
+
+val edges_delta : Move.t -> int
+(** Edge-count change of a local move: [-1] / [+1] / [0] for removal /
+    addition / swap.
+    @raise Invalid_argument for non-local moves. *)
+
 val improving_removals : alpha:float -> Graph.t -> weighted list
 (** All improving single removals (RE violations). *)
 
@@ -31,11 +42,24 @@ val improving : concept:Concept.t -> alpha:float -> Graph.t -> weighted list
     PS, BSwE or BGE.
     @raise Invalid_argument for BNE / k-BSE / BSE (not local). *)
 
+val improving_oracle : concept:Concept.t -> alpha:float -> Dist_oracle.t -> weighted list
+(** {!improving} priced through a {!Dist_oracle} instead of per-move
+    scratch BFS: each candidate is evaluated as flip / read / unflip
+    against the oracle's incrementally maintained rows.  The result is
+    {e bit-identical} to [improving ~concept ~alpha (Dist_oracle.to_graph o)]
+    — same moves in the same order, same [social_delta] and
+    [mover_delta] floats — which the [move-price-mismatch] fuzz bank
+    enforces.  The oracle is mutated during the call but restored to
+    its entry state before returning. *)
+
 type policy =
   | First  (** the first improving move in enumeration order *)
   | Best_response  (** the move with the largest participant gain *)
   | Best_social  (** the move with the best social-cost change *)
-  | Random of Random.State.t  (** uniformly among improving moves *)
+  | Random of Splitmix.t
+      (** uniformly among improving moves; Splitmix-driven so runs
+          replay bit-identically from an [int64] seed, independent of
+          OCaml version and domain count *)
 
 val pick : policy -> weighted list -> weighted option
 (** [pick policy moves] selects according to the policy ([None] iff the

@@ -31,7 +31,8 @@ val names : string list
     baseline file) carry a ["bncg/"] group prefix. *)
 
 val smoke_names : string list
-(** The 4-benchmark subset the CI perf gate runs. *)
+(** The 5-benchmark subset the CI perf gate runs (including one
+    dynamics-engine kernel). *)
 
 val run : ?quota:float -> ?warmup:int -> ?only:string list -> unit -> result list
 (** [run ()] measures the suite and returns one {!result} per workload,

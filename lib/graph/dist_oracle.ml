@@ -137,24 +137,9 @@ let scratch_bfs t x =
         frontier := next
       done
   | None ->
-      let q = t.queue in
-      q.(0) <- x;
-      let head = ref 0 and tail = ref 1 in
-      while !head < !tail do
-        let y = q.(!head) in
-        incr head;
-        let dy = row.(y) in
-        List.iter
-          (fun z ->
-            if row.(z) < 0 then begin
-              row.(z) <- dy + 1;
-              sum := !sum + dy + 1;
-              incr reached;
-              q.(!tail) <- z;
-              incr tail
-            end)
-          t.adj.(y)
-      done);
+      let tot = Paths.bfs_list_into ~adj:t.adj ~dist:row ~queue:t.queue x in
+      sum := tot.Paths.sum;
+      reached := t.n - tot.Paths.unreachable);
   t.sum.(x) <- !sum;
   t.unreach.(x) <- t.n - !reached;
   t.valid.(x) <- true;

@@ -1,10 +1,24 @@
-let bfs g src =
-  let size = Graph.n g in
-  let dist = Array.make size (-1) in
-  let queue = Array.make size 0 in
+type total = { unreachable : int; sum : int }
+
+type scratch = { mutable sdist : int array; mutable squeue : int array }
+
+let scratch () = { sdist = [||]; squeue = [||] }
+
+let scratch_buffers sc size =
+  if Array.length sc.sdist < size then begin
+    sc.sdist <- Array.make size (-1);
+    sc.squeue <- Array.make size 0
+  end;
+  (sc.sdist, sc.squeue)
+
+(* The one BFS inner loop: [dist] must hold [-1] in [0..n-1] on entry;
+   [queue] must have capacity [n].  Returns the reachability totals so
+   callers that cache them (the oracle) need no second scan. *)
+let bfs_into ~dist ~queue g src =
   dist.(src) <- 0;
   queue.(0) <- src;
   let head = ref 0 and tail = ref 1 in
+  let sum = ref 0 in
   while !head < !tail do
     let u = queue.(!head) in
     incr head;
@@ -13,18 +27,53 @@ let bfs g src =
       (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- du + 1;
+          sum := !sum + du + 1;
           queue.(!tail) <- v;
           incr tail
         end)
       (Graph.neighbors g u)
   done;
-  dist
+  { unreachable = Graph.n g - !tail; sum = !sum }
+
+let bfs_list_into ~adj ~dist ~queue src =
+  let n = Array.length adj in
+  dist.(src) <- 0;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  let sum = ref 0 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          sum := !sum + du + 1;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+      adj.(u)
+  done;
+  { unreachable = n - !tail; sum = !sum }
+
+let bfs ?scratch g src =
+  let size = Graph.n g in
+  match scratch with
+  | None ->
+      let dist = Array.make size (-1) in
+      let queue = Array.make size 0 in
+      ignore (bfs_into ~dist ~queue g src);
+      dist
+  | Some sc ->
+      let dist, queue = scratch_buffers sc size in
+      Array.fill dist 0 size (-1);
+      ignore (bfs_into ~dist ~queue g src);
+      dist
 
 let dist g u v =
   let d = (bfs g u).(v) in
   if d < 0 then None else Some d
-
-type total = { unreachable : int; sum : int }
 
 let total_dist_of d =
   let unreachable = ref 0 and sum = ref 0 in

@@ -5,17 +5,38 @@
     so the game layer can implement the paper's [M]-style lexicographic
     preference exactly (see {!Bncg_game.Cost}). *)
 
-val bfs : Graph.t -> int -> int array
+type total = { unreachable : int; sum : int }
+(** Total distance from a vertex: how many vertices are unreachable, and
+    the sum of finite distances to the reachable ones. *)
+
+type scratch
+(** A reusable BFS workspace (dist + queue buffers).  One scratch serves
+    any number of sequential {!bfs} calls on graphs of any size (buffers
+    grow on demand); it is not safe to share across domains. *)
+
+val scratch : unit -> scratch
+(** A fresh, empty workspace. *)
+
+val bfs : ?scratch:scratch -> Graph.t -> int -> int array
 (** [bfs g src] is the array of hop distances from [src]; unreachable
-    vertices hold [-1].  [O(n + m)]. *)
+    vertices hold [-1].  [O(n + m)].  With [?scratch] the returned array
+    is the workspace's own buffer — valid only until the next call that
+    uses the same scratch, but allocation-free after the first call. *)
+
+val bfs_into : dist:int array -> queue:int array -> Graph.t -> int -> total
+(** [bfs_into ~dist ~queue g src] runs BFS into caller-owned buffers:
+    [dist] must hold [-1] at indices [0..n-1] on entry and [queue] must
+    have capacity [n].  Returns the reachability totals of the computed
+    row so callers that cache them need no second scan. *)
+
+val bfs_list_into : adj:int list array -> dist:int array -> queue:int array -> int -> total
+(** {!bfs_into} over a raw adjacency-list array — the representation
+    {!Dist_oracle} maintains incrementally — with the same buffer
+    contract. *)
 
 val dist : Graph.t -> int -> int -> int option
 (** [dist g u v] is the hop distance from [u] to [v], or [None] if [v] is
     unreachable from [u]. *)
-
-type total = { unreachable : int; sum : int }
-(** Total distance from a vertex: how many vertices are unreachable, and
-    the sum of finite distances to the reachable ones. *)
 
 val total_dist : Graph.t -> int -> total
 (** [total_dist g u] sums [dist g u v] over all [v].  The paper's

@@ -5,6 +5,10 @@
    differential.  See [fuzz_engine.ml] for the per-case properties and
    the replay discipline. *)
 
+(* the analysis-layer dynamics engine, captured before the local
+   [module Engine = Fuzz_engine.Make (Bilateral)] shadows the name *)
+module Dyn_engine = Engine
+
 type checker = ?budget:int -> alpha:float -> Concept.t -> Graph.t -> Verdict.t
 
 (* Telemetry only (see Obs): the campaign counters live in
@@ -273,6 +277,169 @@ let run_oracle ?domains ?deadline ~seed ~budget () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Oracle-vs-scratch move-pricing differential                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_move_price_mismatch = "move-price-mismatch"
+let c_price_cases = Obs.counter "fuzz.price_cases"
+let c_price_moves = Obs.counter "fuzz.price_moves"
+
+type price_failure = {
+  pcase : int;
+  pconcept : Concept.t;
+  palpha : float;
+  pgraph : Graph.t;
+  pdetail : string;
+}
+
+type price_outcome = {
+  pseed : int64;
+  pbudget : int;
+  pcases : int;
+  pmoves : int;  (* improving moves compared across the two pricers *)
+  pfailed : int;
+  ptruncated : bool;
+  pfailures : price_failure list;
+}
+
+let local_concepts = [ Concept.RE; Concept.BAE; Concept.PS; Concept.BSwE; Concept.BGE ]
+
+(* Deltas must agree to the bit, not to an epsilon: both pricing paths
+   assemble them from the same exact integers, so any drift is a logic
+   bug, never rounding. *)
+let float_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let policy_tag rng =
+  match Splitmix.int rng 4 with
+  | 0 -> "first"
+  | 1 -> "best"
+  | 2 -> "best-social"
+  | _ -> "random"
+
+let policy_of_tag tag seed =
+  match tag with
+  | "first" -> Local_moves.First
+  | "best" -> Local_moves.Best_response
+  | "best-social" -> Local_moves.Best_social
+  | _ -> Local_moves.Random (Splitmix.create seed)
+
+(* One differential case: a random (graph, local concept, alpha, damage)
+   tuple.  The full improving-move list is priced by per-move scratch
+   BFS and through a shared Dist_oracle and compared move-for-move with
+   bitwise-equal deltas; then a short Engine run is replayed on both
+   pricers under a random policy and compared trace-for-trace.  Pure
+   function of (seed, case index). *)
+let price_case seed i =
+  let rng = Splitmix.derive seed [ i ] in
+  let n = 2 + Splitmix.int rng 11 in
+  let damage = Splitmix.pick rng [ 0.0; 0.25; 1.0 ] in
+  let concept = Splitmix.pick rng local_concepts in
+  let alpha = Casegen.alpha rng in
+  let g = Casegen.graph rng n in
+  let failure = ref None in
+  let fail detail =
+    if !failure = None then
+      failure := Some { pcase = i; pconcept = concept; palpha = alpha; pgraph = g; pdetail = detail }
+  in
+  let moves = ref 0 in
+  (try
+     let expected = Local_moves.improving ~concept ~alpha g in
+     let o = Dist_oracle.create ~damage g in
+     (* pre-warm a few rows so pricing also exercises repair of rows the
+        enumeration itself would not have touched first *)
+     for _ = 0 to Splitmix.int rng 4 do
+       ignore (Dist_oracle.row o (Splitmix.int rng n))
+     done;
+     let got = Local_moves.improving_oracle ~concept ~alpha o in
+     if not (Graph.equal (Dist_oracle.to_graph o) g) then
+       fail "oracle not restored to its entry state after pricing";
+     if List.length expected <> List.length got then
+       fail
+         (Printf.sprintf "%d improving moves via scratch, %d via oracle"
+            (List.length expected) (List.length got))
+     else
+       List.iter2
+         (fun (e : Local_moves.weighted) (a : Local_moves.weighted) ->
+           incr moves;
+           if e.Local_moves.move <> a.Local_moves.move then
+             fail
+               (Printf.sprintf "move mismatch: %s vs %s"
+                  (Move.to_string e.Local_moves.move)
+                  (Move.to_string a.Local_moves.move))
+           else if not (float_eq e.Local_moves.social_delta a.Local_moves.social_delta)
+           then
+             fail
+               (Printf.sprintf "%s: social_delta %h vs %h"
+                  (Move.to_string e.Local_moves.move)
+                  e.Local_moves.social_delta a.Local_moves.social_delta)
+           else if not (float_eq e.Local_moves.mover_delta a.Local_moves.mover_delta)
+           then
+             fail
+               (Printf.sprintf "%s: mover_delta %h vs %h"
+                  (Move.to_string e.Local_moves.move)
+                  e.Local_moves.mover_delta a.Local_moves.mover_delta))
+         expected got;
+     if !failure = None then begin
+       let tag = policy_tag rng in
+       let pseed = Splitmix.next64 rng in
+       let run oracle =
+         Dyn_engine.run ~max_steps:40 ~damage ~oracle ~policy:(policy_of_tag tag pseed)
+           ~concept ~alpha g
+       in
+       let a = run true and b = run false in
+       if a.Dyn_engine.moves <> b.Dyn_engine.moves then
+         fail (Printf.sprintf "engine(%s): oracle and scratch traces diverge" tag)
+       else if a.Dyn_engine.status <> b.Dyn_engine.status then
+         fail (Printf.sprintf "engine(%s): statuses diverge" tag)
+       else if not (Graph.equal a.Dyn_engine.final b.Dyn_engine.final) then
+         fail (Printf.sprintf "engine(%s): final graphs diverge" tag)
+     end
+   with e -> fail ("exception: " ^ Printexc.to_string e));
+  (!moves, !failure)
+
+let run_move_price ?domains ?deadline ~seed ~budget () =
+  Obs.span "fuzz.move_price" ~args:[ ("budget", Json.Int budget) ]
+  @@ fun () ->
+  let deadline_hit () =
+    match deadline with None -> false | Some t -> Unix.gettimeofday () > t
+  in
+  let truncated = ref false in
+  let cases = ref 0 and moves = ref 0 and failed = ref 0 in
+  let failures = ref [] in
+  let record (m, failure) =
+    incr cases;
+    Obs.incr c_price_cases;
+    moves := !moves + m;
+    Obs.add c_price_moves m;
+    match failure with
+    | None -> ()
+    | Some f ->
+        incr failed;
+        if !failed <= 10 then failures := f :: !failures
+  in
+  let rec loop i =
+    if i < budget then
+      if deadline_hit () then truncated := true
+      else begin
+        let chunk_len = min 64 (budget - i) in
+        let chunk = List.init chunk_len (fun j -> i + j) in
+        List.iter record (Parallel.map ?domains (price_case seed) chunk);
+        Obs.tick ();
+        loop (i + chunk_len)
+      end
+  in
+  loop 0;
+  {
+    pseed = seed;
+    pbudget = budget;
+    pcases = !cases;
+    pmoves = !moves;
+    pfailed = !failed;
+    ptruncated = !truncated;
+    pfailures = List.rev !failures;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -347,6 +514,47 @@ let oracle_outcome_to_json (o : oracle_outcome) =
       ("failures", Json.Int o.ofailed);
       ("reports", Json.List (List.map oracle_failure_to_json o.ofailures));
     ]
+
+let price_failure_to_json (f : price_failure) =
+  Json.Obj
+    [
+      ("kind", Json.String kind_move_price_mismatch);
+      ("case", Json.Int f.pcase);
+      ("concept", Json.String (Concept.name f.pconcept));
+      ("alpha", Json.number f.palpha);
+      ("graph", graph_json f.pgraph);
+      ("detail", Json.String f.pdetail);
+    ]
+
+let price_outcome_to_json (o : price_outcome) =
+  Json.Obj
+    [
+      ("seed", Json.Int (Int64.to_int o.pseed));
+      ("budget", Json.Int o.pbudget);
+      ("cases", Json.Int o.pcases);
+      ("moves", Json.Int o.pmoves);
+      ("truncated", Json.Bool o.ptruncated);
+      ("failures", Json.Int o.pfailed);
+      ("reports", Json.List (List.map price_failure_to_json o.pfailures));
+    ]
+
+let pp_price_failure ppf (f : price_failure) =
+  Format.fprintf ppf
+    "@[<v 2>%s (case %d, %s, alpha=%s):@ %s@ graph: %a@ replay: graph6 %S@]"
+    kind_move_price_mismatch f.pcase (Concept.name f.pconcept)
+    (Json.float_repr f.palpha) f.pdetail Graph.pp f.pgraph
+    (Encode.to_graph6 f.pgraph)
+
+let pp_price_outcome ppf (o : price_outcome) =
+  Format.fprintf ppf
+    "@[<v>move-price differential seed=%Ld budget=%d%s@,\
+    \  %d cases, %d improving moves priced both ways%s@,"
+    o.pseed o.pbudget
+    (if o.ptruncated then " (truncated by deadline)" else "")
+    o.pcases o.pmoves
+    (if o.pfailed > 0 then Printf.sprintf ", %d FAILURES" o.pfailed else ", no mismatches");
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_price_failure f) o.pfailures;
+  Format.fprintf ppf "@]"
 
 let pp_oracle_failure ppf (f : oracle_failure) =
   Format.fprintf ppf

@@ -172,3 +172,50 @@ val oracle_outcome_to_json : oracle_outcome -> Json.t
 (** Stable field order, no wall-clock times. *)
 
 val pp_oracle_outcome : Format.formatter -> oracle_outcome -> unit
+
+(** {1 Oracle-vs-scratch move-pricing differential}
+
+    The wall behind {!Engine} and {!Local_moves.improving_oracle}: each
+    case draws a random (graph, local concept, alpha, damage) tuple,
+    prices the full improving-move list by per-move scratch BFS and
+    through a shared {!Bncg_graph.Dist_oracle}, and compares the two
+    lists move-for-move with {e bitwise} float equality on both deltas
+    — the pricing paths share exact-integer delta arithmetic, so any
+    drift is a logic bug, never rounding.  Each clean case then replays
+    a short {!Engine} run on both pricers under a random policy and
+    compares the accepted-move traces.  Case [i] is a pure function of
+    [Splitmix.derive seed [i]]. *)
+
+val kind_move_price_mismatch : string
+(** ["move-price-mismatch"]: the oracle-priced improving-move list (or
+    an engine trace over it) differs from the scratch-priced one. *)
+
+type price_failure = {
+  pcase : int;  (** case index — replay via [Splitmix.derive seed [pcase]] *)
+  pconcept : Concept.t;
+  palpha : float;
+  pgraph : Graph.t;
+  pdetail : string;
+}
+
+type price_outcome = {
+  pseed : int64;
+  pbudget : int;
+  pcases : int;
+  pmoves : int;  (** improving moves compared across the two pricers *)
+  pfailed : int;  (** failing cases; at most 10 are kept in [pfailures] *)
+  ptruncated : bool;
+  pfailures : price_failure list;
+}
+
+val run_move_price :
+  ?domains:int -> ?deadline:float -> seed:int64 -> budget:int -> unit -> price_outcome
+(** [run_move_price ~seed ~budget ()] runs [budget] pricing cases.
+    Sizes are drawn in [2..12]; damage thresholds from
+    [{0.0, 0.25, 1.0}]; concepts uniformly over the five local
+    vocabularies. *)
+
+val price_outcome_to_json : price_outcome -> Json.t
+(** Stable field order, no wall-clock times. *)
+
+val pp_price_outcome : Format.formatter -> price_outcome -> unit

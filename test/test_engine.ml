@@ -1,0 +1,187 @@
+open Helpers
+
+(* The engine's whole value proposition is that its clever path is
+   indistinguishable from the naive one, so almost every test here is
+   differential: oracle engine vs scratch engine vs the legacy
+   list-based dynamics, compared move by move. *)
+
+let local_concepts = [ Concept.RE; Concept.BAE; Concept.PS; Concept.BSwE; Concept.BGE ]
+
+(* Random carries a mutable stream, so each run needs a fresh policy
+   value; build them from a tag on demand. *)
+let policy_names = [ "first"; "best"; "best-social"; "random" ]
+
+let policy_of = function
+  | "first" -> Local_moves.First
+  | "best" -> Local_moves.Best_response
+  | "best-social" -> Local_moves.Best_social
+  | _ -> Local_moves.Random (Splitmix.create 3L)
+
+let check_moves name expected got =
+  check_int (name ^ ": same length") (List.length expected) (List.length got);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "%s: move %d differs: %s vs %s" name i (Move.to_string a)
+          (Move.to_string b))
+    (List.combine expected got)
+
+let run_engine ~oracle ~policy ~concept ~alpha g =
+  Engine.run ~max_steps:200 ~oracle ~policy ~concept ~alpha g
+
+let suite =
+  [
+    tc "oracle and scratch engines agree move-for-move" (fun () ->
+        List.iter
+          (fun concept ->
+            List.iter
+              (fun alpha ->
+                for case = 0 to 5 do
+                  let rng = Splitmix.derive 11L [ case ] in
+                  let g = Casegen.connected rng (4 + Splitmix.int rng 6) ~p:0.2 in
+                  List.iter
+                    (fun pname ->
+                      let a =
+                        run_engine ~oracle:true ~policy:(policy_of pname) ~concept ~alpha
+                          g
+                      in
+                      let b =
+                        run_engine ~oracle:false ~policy:(policy_of pname) ~concept
+                          ~alpha g
+                      in
+                      let name =
+                        Printf.sprintf "%s/%s/alpha=%g/case=%d" (Concept.name concept)
+                          pname alpha case
+                      in
+                      check_moves name a.Engine.moves b.Engine.moves;
+                      check_true (name ^ ": same status") (a.Engine.status = b.Engine.status);
+                      check_graph (name ^ ": same final") a.Engine.final b.Engine.final;
+                      check_int (name ^ ": same evals") (Engine.evals a) (Engine.evals b))
+                    policy_names
+                done)
+              [ 0.75; 2.0; 5.0 ])
+          local_concepts);
+    tc "engine replays the legacy run_dynamics outcome" (fun () ->
+        List.iter
+          (fun concept ->
+            for case = 0 to 7 do
+              let rng = Splitmix.derive 12L [ case ] in
+              let g = Casegen.connected rng (4 + Splitmix.int rng 5) ~p:0.2 in
+              let alpha = Casegen.alpha rng in
+              List.iter
+                (fun policy ->
+                  let legacy =
+                    Local_moves.run_dynamics ~max_steps:200 ~policy ~concept ~alpha g
+                  in
+                  let e = run_engine ~oracle:true ~policy ~concept ~alpha g in
+                  let name =
+                    Printf.sprintf "%s/alpha=%g/case=%d" (Concept.name concept) alpha
+                      case
+                  in
+                  check_int (name ^ ": steps") legacy.Dynamics.steps e.Engine.steps;
+                  check_true (name ^ ": status") (legacy.Dynamics.status = e.Engine.status);
+                  check_graph (name ^ ": final") legacy.Dynamics.final e.Engine.final)
+                [ Local_moves.First; Local_moves.Best_response; Local_moves.Best_social ]
+            done)
+          local_concepts);
+    tc "random policy replays legacy bit-for-bit from equal seeds" (fun () ->
+        for case = 0 to 7 do
+          let rng = Splitmix.derive 13L [ case ] in
+          let g = Casegen.connected rng (5 + Splitmix.int rng 5) ~p:0.2 in
+          let alpha = Casegen.alpha rng in
+          let legacy =
+            Local_moves.run_dynamics ~max_steps:200
+              ~policy:(Local_moves.Random (Splitmix.create 99L)) ~concept:Concept.PS
+              ~alpha g
+          in
+          let e =
+            run_engine ~oracle:true
+              ~policy:(Local_moves.Random (Splitmix.create 99L)) ~concept:Concept.PS
+              ~alpha g
+          in
+          check_int "steps" legacy.Dynamics.steps e.Engine.steps;
+          check_graph "final" legacy.Dynamics.final e.Engine.final
+        done);
+    tc "an equilibrium start converges with zero steps" (fun () ->
+        let r =
+          run_engine ~oracle:true ~policy:Local_moves.First ~concept:Concept.PS
+            ~alpha:2. (Gen.star 7)
+        in
+        check_int "steps" 0 r.Engine.steps;
+        check_true "converged" (r.Engine.status = Dynamics.Converged);
+        check_graph "unchanged" (Gen.star 7) r.Engine.final);
+    tc "stamp cache answers repeat addition scans" (fun () ->
+        (* dense PS regime: every step accepts a removal whose dirty set
+           is only its two endpoints (all other rows keep both at
+           distance 1), so the next full scan reuses most addition
+           prices *)
+        let rng = Splitmix.create 21L in
+        let g = Casegen.near_clique rng 12 in
+        let r =
+          run_engine ~oracle:true ~policy:Local_moves.Best_response ~concept:Concept.PS
+            ~alpha:5. g
+        in
+        check_true "made progress" (r.Engine.steps > 1);
+        check_true "cache did some work" (r.Engine.cache_hits > 0));
+    tc "eval budget cuts the run at the same point in both engines" (fun () ->
+        let g = Gen.path 10 in
+        let full =
+          run_engine ~oracle:true ~policy:Local_moves.First ~concept:Concept.PS
+            ~alpha:2. g
+        in
+        check_true "reference run does work" (Engine.evals full > 2);
+        let budget = Engine.evals full / 2 in
+        let cut ~oracle =
+          Engine.run ~max_steps:200 ~eval_budget:budget ~oracle
+            ~policy:Local_moves.First ~concept:Concept.PS ~alpha:2. g
+        in
+        let a = cut ~oracle:true and b = cut ~oracle:false in
+        check_true "exhausted" (a.Engine.status = Dynamics.Budget_exhausted);
+        check_int "evals capped" budget (Engine.evals a);
+        check_moves "same prefix" a.Engine.moves b.Engine.moves;
+        check_graph "same committed state" a.Engine.final b.Engine.final);
+    tc "max_steps is honoured" (fun () ->
+        let g = Gen.path 9 in
+        let r =
+          Engine.run ~max_steps:0 ~policy:Local_moves.First ~concept:Concept.PS
+            ~alpha:1.5 g
+        in
+        check_int "no steps" 0 r.Engine.steps;
+        check_true "stopped"
+          (r.Engine.status = Dynamics.Max_steps || r.Engine.status = Dynamics.Converged));
+    tc "converged finals certify as stable" (fun () ->
+        for case = 0 to 5 do
+          let rng = Splitmix.derive 14L [ case ] in
+          let g = Casegen.connected rng (5 + Splitmix.int rng 5) ~p:0.2 in
+          let alpha = Casegen.alpha rng in
+          let r =
+            run_engine ~oracle:true ~policy:Local_moves.First ~concept:Concept.PS ~alpha
+              g
+          in
+          if r.Engine.status = Dynamics.Converged then
+            check_stable "PS-stable" Concept.PS alpha r.Engine.final
+        done);
+    tc "move-price bank: 200 cases, zero mismatches" (fun () ->
+        let o = Fuzz.run_move_price ~domains:1 ~seed:9L ~budget:200 () in
+        if o.Fuzz.pfailed > 0 then
+          Alcotest.failf "mismatches:@.%a" Fuzz.pp_price_outcome o;
+        check_false "not truncated" o.Fuzz.ptruncated);
+    tc "move-price bank: outcome independent of domain count" (fun () ->
+        let run d = Fuzz.run_move_price ~domains:d ~seed:10L ~budget:100 () in
+        let j o = Json.to_string (Fuzz.price_outcome_to_json o) in
+        Alcotest.(check string) "domains 1 == domains 3" (j (run 1)) (j (run 3)));
+    slow "move-price bank: seeds 1-3, 10^3 cases each, zero mismatches" (fun () ->
+        List.iter
+          (fun seed ->
+            let o = Fuzz.run_move_price ~seed ~budget:1_000 () in
+            if o.Fuzz.pfailed > 0 then
+              Alcotest.failf "seed %Ld:@.%a" seed Fuzz.pp_price_outcome o;
+            check_int "ran the full budget" 1_000 o.Fuzz.pcases)
+          [ 1L; 2L; 3L ]);
+    tc "non-local concepts are rejected" (fun () ->
+        List.iter
+          (fun concept ->
+            check_raises_invalid "non-local" (fun () ->
+                Engine.run ~policy:Local_moves.First ~concept ~alpha:2. (Gen.path 4)))
+          [ Concept.BNE; Concept.KBSE 2; Concept.BSE ]);
+  ]

@@ -83,7 +83,7 @@ let suite =
                 check_true "certified" (Greedy_eq.is_stable ~alpha:3. out.Dynamics.final)
             | Dynamics.Cycled | Dynamics.Max_steps | Dynamics.Budget_exhausted -> ())
           [ Local_moves.First; Local_moves.Best_response; Local_moves.Best_social;
-            Local_moves.Random (rng 5) ]);
+            Local_moves.Random (Splitmix.create 5L) ]);
     tc "best-social dynamics never worsen society" (fun () ->
         let g = Gen.path 10 and alpha = 2. in
         let out =
