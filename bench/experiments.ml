@@ -33,7 +33,8 @@ let t1_exhaustive () =
   in
   let cell n c alpha =
     List.find
-      (fun (x : Sweep.cell) -> x.size = n && x.concept = c && x.alpha = alpha)
+      (fun (x : Sweep.cell) ->
+        x.size = n && x.concept = Concept.name c && x.alpha = alpha)
       o.Sweep.cells
   in
   List.iter

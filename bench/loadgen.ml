@@ -55,7 +55,13 @@ let bank () =
           Json.to_string
             (Api.request_to_json
                (Api.Check
-                  { concept = Concept.PS; alpha; graph6; budget = Api.default_budget })))
+                  {
+                    game = Api.default_game;
+                    concept = "PS";
+                    alpha;
+                    graph6;
+                    budget = Api.default_budget;
+                  })))
         trees)
     [ 1.; 2.; 4.; 8. ]
   |> Array.of_list

@@ -44,6 +44,35 @@ let concept_arg =
     & info [ "c"; "concept" ] ~docv:"CONCEPT"
         ~doc:"Solution concept: RE, BAE, PS, BSwE, BGE, BNE, k-BSE (e.g. 3-BSE), BSE.")
 
+(* For the game-aware subcommands the concept stays a raw string until
+   --game is known: which vocabulary it parses against depends on the
+   game, and a wrong-game name must produce the one-line exit-2
+   diagnostic naming that game's valid spellings (via [ok_or_die]), not
+   cmdliner's usage error. *)
+let concept_name_arg =
+  Arg.(
+    value
+    & opt string "PS"
+    & info [ "c"; "concept" ] ~docv:"CONCEPT"
+        ~doc:
+          "Solution concept: RE, BAE, PS, BSwE, BGE, BNE, k-BSE (e.g. 3-BSE), BSE.  \
+           With $(b,--game generalized): BASE or BASE@F (e.g. BNE@d2, PS@cut2) with F \
+           a distance-cost function — d (linear), d2..d8 (powers) or cut1, cut2, ... \
+           (cutoffs); bare BASE means BASE@d.")
+
+(* check/poa/sweep address graph6 states, so the unilateral game (whose
+   state is an ownership assignment) is not in their vocabulary. *)
+let graph_games = [ "bilateral"; "generalized" ]
+
+let game_arg =
+  Arg.(
+    value
+    & opt string "bilateral"
+    & info [ "game" ] ~docv:"GAME"
+        ~doc:
+          "Game instance: $(b,bilateral) (default — the PODC 2023 game) or \
+           $(b,generalized) (arbitrary distance-cost functions; see $(b,--concept)).")
+
 let graph_arg =
   Arg.(
     required
@@ -57,23 +86,33 @@ let budget_arg =
     & info [ "budget" ] ~docv:"N" ~doc:"Search budget for BNE / k-BSE checkers.")
 
 let check_cmd =
-  let run alpha concept g6 budget json =
+  let run alpha game concept g6 budget json =
+    let game = ok_or_die (Cli_validate.game ~allowed:graph_games game) in
     let g = Encode.of_graph6 g6 in
-    let v = Concept.check ~budget ~alpha concept g in
+    let concept, v, rho =
+      match game with
+      | "generalized" ->
+          let c = ok_or_die (Generalized.concept_of_string concept) in
+          ( Generalized.concept_name c,
+            Generalized.check ~budget ~alpha c g,
+            fun () -> Generalized.rho ~alpha c g )
+      | _ ->
+          let c = ok_or_die (Concept.of_string concept) in
+          (Concept.name c, Concept.check ~budget ~alpha c g, fun () -> Cost.rho ~alpha g)
+    in
     if json then
       print_endline
         (Json.to_string
            (Api.response_to_json
-              (Api.Check_ok
-                 { concept; alpha; graph6 = g6; verdict = v; rho = Cost.rho ~alpha g })))
-    else
-      Printf.printf "%s on %s at alpha=%g: %s\n" (Concept.name concept) g6 alpha
-        (Verdict.to_string v);
+              (Api.Check_ok { game; concept; alpha; graph6 = g6; verdict = v; rho = rho () })))
+    else Printf.printf "%s on %s at alpha=%g: %s\n" concept g6 alpha (Verdict.to_string v);
     match v with Verdict.Unstable _ -> exit 1 | Verdict.Stable -> () | Verdict.Exhausted _ -> exit 2
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a graph against a solution concept.")
-    Term.(const run $ alpha_arg $ concept_arg $ graph_arg $ budget_arg $ json_arg)
+    Term.(
+      const run $ alpha_arg $ game_arg $ concept_name_arg $ graph_arg $ budget_arg
+      $ json_arg)
 
 let rho_cmd =
   let run alpha g6 =
@@ -96,16 +135,41 @@ let poa_cmd =
       value & flag
       & info [ "general" ] ~doc:"Search connected graphs (n <= 8) instead of trees.")
   in
-  let run alpha concept n general budget store json trace heartbeat =
+  let run alpha game concept n general budget store json trace heartbeat =
+    let game = ok_or_die (Cli_validate.game ~allowed:graph_games game) in
     with_obs trace heartbeat @@ fun () ->
-    let target = if general then Poa.Connected n else Poa.Trees n in
-    let w = with_store store (fun store -> Poa.run ~budget ?store ~concept ~alpha target) in
+    let concept, w =
+      match game with
+      | "generalized" ->
+          (* [Poa.run] is the bilateral funnel; the generalized game
+             goes through the game-generic cell primitive over the same
+             candidate families. *)
+          let c = ok_or_die (Generalized.concept_of_string concept) in
+          let family = if general then Sweep.Connected else Sweep.Trees in
+          let w =
+            with_store store (fun store ->
+                let graphs = Sweep.candidates ?store family n in
+                fst
+                  (Sweep.run_cell_game
+                     (module Generalized)
+                     ~budget ?store ~concept:c ~alpha graphs))
+          in
+          (Generalized.concept_name c, w)
+      | _ ->
+          let c = ok_or_die (Concept.of_string concept) in
+          let target = if general then Poa.Connected n else Poa.Trees n in
+          let w =
+            with_store store (fun store -> Poa.run ~budget ?store ~concept:c ~alpha target)
+          in
+          (Concept.name c, w)
+    in
     if json then
       print_endline
         (Json.to_string
            (Api.response_to_json
               (Api.Poa_ok
                  {
+                   game;
                    concept;
                    n;
                    family = (if general then Api.Connected else Api.Trees);
@@ -114,7 +178,7 @@ let poa_cmd =
                  })))
     else begin
       Printf.printf "%s, n=%d, alpha=%g: checked %d graphs, %d stable, %d budgeted out\n"
-        (Concept.name concept) n alpha w.Poa.checked w.Poa.stable_count w.Poa.exhausted;
+        concept n alpha w.Poa.checked w.Poa.stable_count w.Poa.exhausted;
       match w.Poa.witness with
       | Some g ->
           Printf.printf "worst rho = %.4f attained by %s (graph6 %s)\n" w.Poa.rho
@@ -125,8 +189,8 @@ let poa_cmd =
   Cmd.v
     (Cmd.info "poa" ~doc:"Worst-case rho over enumerated equilibria.")
     Term.(
-      const run $ alpha_arg $ concept_arg $ n_arg $ connected_arg $ budget_arg $ store_arg
-      $ json_arg $ trace_arg $ heartbeat_arg)
+      const run $ alpha_arg $ game_arg $ concept_name_arg $ n_arg $ connected_arg
+      $ budget_arg $ store_arg $ json_arg $ trace_arg $ heartbeat_arg)
 
 (* The text rendering of a sweep outcome, shared by [bncg sweep] and
    [bncg merge]. *)
@@ -136,9 +200,7 @@ let print_outcome_text (o : Sweep.outcome) =
       Printf.printf
         "n=%-2d %-6s alpha=%-6g rho=%-8.4f witness=%-12s stable=%d/%d exhausted=%d \
          hits=%d %.3fs\n"
-        c.Sweep.size
-        (Concept.name c.Sweep.concept)
-        c.Sweep.alpha c.Sweep.worst.rho
+        c.Sweep.size c.Sweep.concept c.Sweep.alpha c.Sweep.worst.rho
         (match c.Sweep.worst.witness with
         | Some g -> Encode.to_graph6 g
         | None -> "-")
@@ -168,8 +230,11 @@ let sweep_cmd =
   let concepts_arg =
     Arg.(
       value
-      & opt (list concept_conv) [ Concept.PS ]
-      & info [ "c"; "concepts" ] ~docv:"C,.." ~doc:"Comma-separated solution concepts.")
+      & opt (list string) [ "PS" ]
+      & info [ "c"; "concepts" ] ~docv:"C,.."
+          ~doc:
+            "Comma-separated solution concepts, in the $(b,--game)'s vocabulary (for \
+             $(b,generalized): BASE@F names such as BNE@d2).")
   in
   (* Taken as a raw string so bad grids get the one-line exit-2
      diagnostic from Cli_validate instead of cmdliner's usage error. *)
@@ -198,14 +263,59 @@ let sweep_cmd =
              outputs with $(b,bncg merge) — the merged outcome is bit-identical to an \
              unsharded run.")
   in
-  let run family sizes concepts alphas budget domains shard store json no_wall trace
-      heartbeat =
+  let run family game sizes concepts alphas budget domains shard store json no_wall
+      trace heartbeat =
+    let game = ok_or_die (Cli_validate.game ~allowed:graph_games game) in
     let alphas = ok_or_die (Cli_validate.alphas alphas) in
     let domains = ok_or_die (Cli_validate.domains domains) in
     let shard = ok_or_die (Cli_validate.shard shard) in
     with_obs trace heartbeat @@ fun () ->
-    let spec = { Sweep.family; sizes; concepts; alphas; budget; domains; shard } in
-    let o = with_store store (fun store -> Sweep.run ?store spec) in
+    let o =
+      match game with
+      | "generalized" ->
+          (* The same (size x concept x alpha) grid over the same
+             candidate slices, looped through the game-generic cell
+             primitive; cells carry the generalized concept names, so
+             printing, --json and [bncg merge] all reuse the bilateral
+             machinery unchanged. *)
+          let gconcepts =
+            List.map (fun s -> ok_or_die (Generalized.concept_of_string s)) concepts
+          in
+          with_store store (fun store ->
+              let cells =
+                List.concat_map
+                  (fun size ->
+                    let graphs = Sweep.candidates ?store ?domains ?shard family size in
+                    List.concat_map
+                      (fun c ->
+                        List.map
+                          (fun alpha ->
+                            let t0 = Unix.gettimeofday () in
+                            let worst, cache_hits =
+                              Sweep.run_cell_game
+                                (module Generalized)
+                                ?budget ?domains ?store ~concept:c ~alpha graphs
+                            in
+                            {
+                              Sweep.size;
+                              concept = Generalized.concept_name c;
+                              alpha;
+                              worst;
+                              cache_hits;
+                              wall = Unix.gettimeofday () -. t0;
+                            })
+                          alphas)
+                      gconcepts)
+                  sizes
+              in
+              { Sweep.cells; totals = Sweep.totals_of_cells cells })
+      | _ ->
+          let concepts =
+            List.map (fun s -> ok_or_die (Concept.of_string s)) concepts
+          in
+          let spec = { Sweep.family; sizes; concepts; alphas; budget; domains; shard } in
+          with_store store (fun store -> Sweep.run ?store spec)
+    in
     if json then print_endline (Json.to_string (Sweep.outcome_to_json ~wall:(not no_wall) o))
     else print_outcome_text o
   in
@@ -215,9 +325,9 @@ let sweep_cmd =
          "Exhaustive (size x concept x alpha) PoA sweep, resumable through a certificate \
           store and shardable across processes.")
     Term.(
-      const run $ family_arg $ sizes_arg $ concepts_arg $ alphas_arg $ budget_opt_arg
-      $ Cli_common.domains_arg $ shard_arg $ store_arg $ json_arg $ no_wall_arg $ trace_arg
-      $ heartbeat_arg)
+      const run $ family_arg $ game_arg $ sizes_arg $ concepts_arg $ alphas_arg
+      $ budget_opt_arg $ Cli_common.domains_arg $ shard_arg $ store_arg $ json_arg
+      $ no_wall_arg $ trace_arg $ heartbeat_arg)
 
 let merge_cmd =
   let files_arg =
@@ -624,11 +734,17 @@ let fuzz_cmd =
       & opt int Fuzz.default_budget
       & info [ "budget" ] ~docv:"N" ~doc:"Cases per concept (not a time budget).")
   in
+  (* Raw names resolved after --game is known: each game has its own
+     concept vocabulary, and a wrong-game name must die with the
+     one-line diagnostic naming that game's valid spellings. *)
   let concepts_arg =
     Arg.(
       value
-      & opt (list concept_conv) Concept.all_fixed
-      & info [ "c"; "concepts" ] ~docv:"C,.." ~doc:"Comma-separated solution concepts.")
+      & opt (some (list string)) None
+      & info [ "c"; "concepts" ] ~docv:"C,.."
+          ~doc:
+            "Comma-separated solution concepts in the $(b,--game)'s vocabulary \
+             (default: the game's full fuzz vocabulary).")
   in
   let sizes_arg =
     Arg.(
@@ -663,8 +779,9 @@ let fuzz_cmd =
       & opt string "bilateral"
       & info [ "game" ] ~docv:"G"
           ~doc:
-            "Game instance to fuzz: $(b,bilateral) (default; the $(b,-c) concepts \
-             apply) or $(b,unilateral) (all four unilateral concepts).")
+            "Game instance to fuzz: $(b,bilateral) (default), $(b,unilateral) or \
+             $(b,generalized) (distance-cost functions; concepts are BASE@F names \
+             like BNE@d2).")
   in
   let run seed budget concepts sizes seconds domains oracle_cases game json trace
       heartbeat =
@@ -675,18 +792,33 @@ let fuzz_cmd =
     let seed64 = Int64.of_int seed in
     (* The concept campaign is per game; the dist-oracle differential is
        game-independent and runs either way.  [to_json]/[pp]/[failed]
-       close over the instantiated engine so both branches print through
+       close over the instantiated engine so all branches print through
        one code path — the bilateral branch stays byte-identical to the
-       pre---game output. *)
+       pre---game output.  [--concepts] names resolve against the active
+       game's vocabulary (absent means the game's full fuzz set). *)
+    let resolve parse = Option.map (List.map (fun s -> ok_or_die (parse s))) concepts in
     let to_json, pp, concept_failures =
       if String.equal game "unilateral" then begin
-        let o = Fuzz.run_unilateral ?domains ?deadline ~sizes ~seed:seed64 ~budget () in
+        let concepts = resolve Unilateral_game.concept_of_string in
+        let o =
+          Fuzz.run_unilateral ?domains ?deadline ~sizes ?concepts ~seed:seed64 ~budget ()
+        in
         ( (fun () -> Fuzz.Ufuzz.outcome_to_json o),
           (fun ppf () -> Fuzz.Ufuzz.pp_outcome ppf o),
           Fuzz.Ufuzz.total_failures o )
       end
+      else if String.equal game "generalized" then begin
+        let concepts = resolve Generalized.concept_of_string in
+        let o =
+          Fuzz.run_generalized ?domains ?deadline ~sizes ?concepts ~seed:seed64 ~budget ()
+        in
+        ( (fun () -> Fuzz.Gfuzz.outcome_to_json o),
+          (fun ppf () -> Fuzz.Gfuzz.pp_outcome ppf o),
+          Fuzz.Gfuzz.total_failures o )
+      end
       else begin
-        let o = Fuzz.run ?domains ?deadline ~sizes ~concepts ~seed:seed64 ~budget () in
+        let concepts = resolve Concept.of_string in
+        let o = Fuzz.run ?domains ?deadline ~sizes ?concepts ~seed:seed64 ~budget () in
         ( (fun () -> Fuzz.outcome_to_json o),
           (fun ppf () -> Fuzz.pp_outcome ppf o),
           Fuzz.total_failures o )

@@ -22,7 +22,7 @@ type spec = {
 
 type cell = {
   size : int;
-  concept : Concept.t;
+  concept : string;
   alpha : float;
   worst : worst;
   cache_hits : int;
@@ -103,7 +103,7 @@ let run_cell_game (type s c)
     Obs.incr c_decided;
     match G.check ?budget ~alpha concept x with
     | Verdict.Stable ->
-        let r = G.rho ~alpha x in
+        let r = G.rho ~alpha concept x in
         let acc = { acc with stable_count = acc.stable_count + 1 } in
         Obs.incr c_stable;
         if r > acc.rho then { acc with rho = r; witness = Some (G.graph x) } else acc
@@ -153,7 +153,8 @@ let run_cell_game (type s c)
           (fun i ->
             let x = garr.(i) in
             Obs.incr c_decided;
-            { Cert_store.verdict = G.check ?budget ~alpha concept x; rho = G.rho ~alpha x })
+            { Cert_store.verdict = G.check ?budget ~alpha concept x;
+              rho = G.rho ~alpha concept x })
           miss_idx
       in
       (* Journal fresh certificates in enumeration order: a kill at any
@@ -353,7 +354,14 @@ let run ?store spec =
                 in
                 Obs.incr c_cells;
                 Obs.tick ();
-                { size; concept; alpha; worst; cache_hits; wall = Unix.gettimeofday () -. t0 })
+                {
+                  size;
+                  concept = Concept.name concept;
+                  alpha;
+                  worst;
+                  cache_hits;
+                  wall = Unix.gettimeofday () -. t0;
+                })
               spec.alphas)
           spec.concepts)
       (groups ?store spec)
@@ -382,7 +390,7 @@ let worst_to_json w =
 let cell_to_json ?(wall = true) c =
   Json.Obj
     ([
-       ("n", Json.Int c.size); ("concept", Json.String (Concept.name c.concept));
+       ("n", Json.Int c.size); ("concept", Json.String c.concept);
        ("alpha", Json.number c.alpha); ("worst", worst_to_json c.worst);
        ("cache_hits", Json.Int c.cache_hits);
      ]
@@ -419,8 +427,9 @@ let cell_of_json j =
     | None -> Error (Printf.sprintf "missing or malformed %S" name)
   in
   let* size = field j "n" Json.as_int in
-  let* cname = field j "concept" Json.as_string in
-  let* concept = Concept.of_string cname in
+  (* Kept as the raw name: merge only ever compares names, and not
+     resolving lets one merge binary combine shards from any game. *)
+  let* concept = field j "concept" Json.as_string in
   let* alpha = field j "alpha" Json.as_number in
   let* wj =
     match Json.member "worst" j with
@@ -483,17 +492,13 @@ let merge_outcomes = function
   | first :: rest ->
       let ( let* ) = Result.bind in
       let merge_cell i a b =
-        if
-          a.size <> b.size
-          || Concept.name a.concept <> Concept.name b.concept
-          || a.alpha <> b.alpha
-        then
+        if a.size <> b.size || a.concept <> b.concept || a.alpha <> b.alpha then
           Error
             (Printf.sprintf
                "cell %d mismatch: (n=%d, %s, alpha=%s) vs (n=%d, %s, alpha=%s) — \
                 shards must run identical specs"
-               i a.size (Concept.name a.concept) (Json.float_repr a.alpha) b.size
-               (Concept.name b.concept) (Json.float_repr b.alpha))
+               i a.size a.concept (Json.float_repr a.alpha) b.size b.concept
+               (Json.float_repr b.alpha))
         else
           Ok
             {

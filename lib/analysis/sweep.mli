@@ -53,7 +53,11 @@ type spec = {
 
 type cell = {
   size : int;  (** candidate size ([0] for [Explicit]) *)
-  concept : Concept.t;
+  concept : string;
+      (** the concept's canonical name — a name, not a {!Concept.t}, so
+          cells from any game instance (e.g. generalized ["BNE@d2"]
+          cells built over {!run_cell_game}) print, merge and
+          round-trip through the same outcome machinery *)
   alpha : float;
   worst : worst;
   cache_hits : int;  (** candidates answered by the certificate store *)
@@ -69,6 +73,12 @@ type totals = {
 }
 
 type outcome = { cells : cell list; totals : totals }
+
+val totals_of_cells : cell list -> totals
+(** The totals row an outcome derives from its cells — exposed so
+    callers assembling cells by hand (the CLI's generalized sweep loops
+    {!run_cell_game} directly) build outcomes the same way {!run}
+    does. *)
 
 val candidates :
   ?store:Cert_store.t ->

@@ -16,14 +16,50 @@ let family_of_string s =
 
 let to_sweep_family = function Trees -> Sweep.Trees | Connected -> Sweep.Connected
 let default_budget = 500_000
+let default_game = "bilateral"
+
+(* The wire-addressable game instances.  Unilateral is deliberately
+   absent: its state is a strategy assignment, not a graph6 line, so it
+   has no sensible [check] request shape. *)
+let game_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bilateral" -> Ok "bilateral"
+  | "generalized" -> Ok "generalized"
+  | other ->
+      Error (Printf.sprintf "unknown game %S (expected bilateral or generalized)" other)
+
+(* Concepts travel as canonical name strings so one request type covers
+   every game; validation both rejects wrong-vocabulary names and
+   re-canonicalises spelling (["re"] -> ["RE"], ["BNE"] -> ["BNE@d"] for
+   the generalized game), which is what keeps [request_key] a sound
+   coalescing key. *)
+let concept_of_string ~game s =
+  match game with
+  | "generalized" ->
+      Result.map Generalized.concept_name (Generalized.concept_of_string s)
+  | _ -> Result.map Concept.name (Concept.of_string s)
 
 type request =
-  | Check of { concept : Concept.t; alpha : float; graph6 : string; budget : int }
-  | Poa of { concept : Concept.t; alpha : float; n : int; family : family; budget : int }
+  | Check of {
+      game : string;
+      concept : string;
+      alpha : float;
+      graph6 : string;
+      budget : int;
+    }
+  | Poa of {
+      game : string;
+      concept : string;
+      alpha : float;
+      n : int;
+      family : family;
+      budget : int;
+    }
   | Sweep_cell of {
+      game : string;
       family : family;
       n : int;
-      concept : Concept.t;
+      concept : string;
       alpha : float;
       budget : int option;
     }
@@ -56,20 +92,28 @@ type stats = {
 
 type response =
   | Check_ok of {
-      concept : Concept.t;
+      game : string;
+      concept : string;
       alpha : float;
       graph6 : string;
       verdict : Verdict.t;
       rho : float;
     }
   | Poa_ok of {
-      concept : Concept.t;
+      game : string;
+      concept : string;
       n : int;
       family : family;
       alpha : float;
       worst : Sweep.worst;
     }
-  | Sweep_cell_ok of { n : int; concept : Concept.t; alpha : float; worst : Sweep.worst }
+  | Sweep_cell_ok of {
+      game : string;
+      n : int;
+      concept : string;
+      alpha : float;
+      worst : Sweep.worst;
+    }
   | Stats_ok of stats
   | Shutdown_ok
   | Error of { code : error_code; message : string }
@@ -78,31 +122,40 @@ type response =
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* The [game] field is emitted only for non-default games: bilateral
+   request lines (and hence [request_key] strings and every golden
+   corpus byte) are exactly what they were before games existed. *)
+let game_fields game =
+  if game = default_game then [] else [ ("game", Json.String game) ]
+
 let request_to_json = function
-  | Check { concept; alpha; graph6; budget } ->
+  | Check { game; concept; alpha; graph6; budget } ->
       Json.Obj
-        [
-          ("op", Json.String "check");
-          ("concept", Json.String (Concept.name concept));
-          ("alpha", Json.number alpha); ("graph", Json.String graph6);
-          ("budget", Json.Int budget);
-        ]
-  | Poa { concept; alpha; n; family; budget } ->
+        (("op", Json.String "check")
+         :: game_fields game
+        @ [
+            ("concept", Json.String concept);
+            ("alpha", Json.number alpha); ("graph", Json.String graph6);
+            ("budget", Json.Int budget);
+          ])
+  | Poa { game; concept; alpha; n; family; budget } ->
       Json.Obj
-        [
-          ("op", Json.String "poa");
-          ("concept", Json.String (Concept.name concept));
-          ("alpha", Json.number alpha); ("n", Json.Int n);
-          ("family", Json.String (family_name family)); ("budget", Json.Int budget);
-        ]
-  | Sweep_cell { family; n; concept; alpha; budget } ->
+        (("op", Json.String "poa")
+         :: game_fields game
+        @ [
+            ("concept", Json.String concept);
+            ("alpha", Json.number alpha); ("n", Json.Int n);
+            ("family", Json.String (family_name family)); ("budget", Json.Int budget);
+          ])
+  | Sweep_cell { game; family; n; concept; alpha; budget } ->
       Json.Obj
-        ([
-           ("op", Json.String "sweep_cell");
-           ("family", Json.String (family_name family)); ("n", Json.Int n);
-           ("concept", Json.String (Concept.name concept));
-           ("alpha", Json.number alpha);
-         ]
+        (("op", Json.String "sweep_cell")
+         :: game_fields game
+        @ [
+            ("family", Json.String (family_name family)); ("n", Json.Int n);
+            ("concept", Json.String concept);
+            ("alpha", Json.number alpha);
+          ]
         @ match budget with None -> [] | Some b -> [ ("budget", Json.Int b) ])
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
@@ -125,9 +178,17 @@ let opt_field j name conv err =
   | Some v -> (
       match conv v with Some v -> Ok (Some v) | None -> Error (err name))
 
-let concept_field j =
+let game_field j =
+  match Json.member "game" j with
+  | None -> Ok default_game
+  | Some v -> (
+      match Json.as_string v with
+      | None -> Error "\"game\" must be a string"
+      | Some s -> game_of_string s)
+
+let concept_field ~game j =
   let* s = field j "concept" Json.as_string in
-  Concept.of_string s
+  concept_of_string ~game s
 
 let alpha_field j =
   let* a = field j "alpha" Json.as_number in
@@ -167,28 +228,31 @@ let request_of_json j =
       let* op = field j "op" Json.as_string in
       match op with
       | "check" ->
-          let* concept = concept_field j in
+          let* game = game_field j in
+          let* concept = concept_field ~game j in
           let* alpha = alpha_field j in
           let* graph6 = field j "graph" Json.as_string in
           let* budget = budget_field j in
-          Ok (Check { concept; alpha; graph6; budget })
+          Ok (Check { game; concept; alpha; graph6; budget })
       | "poa" ->
-          let* concept = concept_field j in
+          let* game = game_field j in
+          let* concept = concept_field ~game j in
           let* alpha = alpha_field j in
           let* family = family_field j in
           let* n = n_field j family in
           let* budget = budget_field j in
-          Ok (Poa { concept; alpha; n; family; budget })
+          Ok (Poa { game; concept; alpha; n; family; budget })
       | "sweep_cell" ->
+          let* game = game_field j in
           let* family = family_field j in
           let* n = n_field j family in
-          let* concept = concept_field j in
+          let* concept = concept_field ~game j in
           let* alpha = alpha_field j in
           let* budget =
             let* b = budget_field ~default:0 j in
             Ok (if b = 0 then None else Some b)
           in
-          Ok (Sweep_cell { family; n; concept; alpha; budget })
+          Ok (Sweep_cell { game; family; n; concept; alpha; budget })
       | "stats" -> Ok Stats
       | "shutdown" -> Ok Shutdown
       | other -> Error (Printf.sprintf "unknown op %S" other))
@@ -199,29 +263,33 @@ let request_of_json j =
 (* ------------------------------------------------------------------ *)
 
 let response_to_json = function
-  | Check_ok { concept; alpha; graph6; verdict; rho } ->
+  | Check_ok { game; concept; alpha; graph6; verdict; rho } ->
       (* Field for field the object [bncg check --json] has always
          printed — the CLI now calls this function, so the daemon and
-         the CLI cannot disagree. *)
+         the CLI cannot disagree.  [game] leads and only for the
+         non-default game, leaving bilateral replies byte-unchanged. *)
       Json.Obj
-        [
-          ("concept", Json.String (Concept.name concept));
-          ("alpha", Json.number alpha); ("graph", Json.String graph6);
-          ("verdict", Verdict.to_json verdict); ("rho", Json.number rho);
-        ]
-  | Poa_ok { concept; n; family; alpha; worst } ->
+        (game_fields game
+        @ [
+            ("concept", Json.String concept);
+            ("alpha", Json.number alpha); ("graph", Json.String graph6);
+            ("verdict", Verdict.to_json verdict); ("rho", Json.number rho);
+          ])
+  | Poa_ok { game; concept; n; family; alpha; worst } ->
       Json.Obj
-        [
-          ("concept", Json.String (Concept.name concept)); ("n", Json.Int n);
-          ("family", Json.String (family_name family)); ("alpha", Json.number alpha);
-          ("worst", Sweep.worst_to_json worst);
-        ]
-  | Sweep_cell_ok { n; concept; alpha; worst } ->
+        (game_fields game
+        @ [
+            ("concept", Json.String concept); ("n", Json.Int n);
+            ("family", Json.String (family_name family)); ("alpha", Json.number alpha);
+            ("worst", Sweep.worst_to_json worst);
+          ])
+  | Sweep_cell_ok { game; n; concept; alpha; worst } ->
       Json.Obj
-        [
-          ("n", Json.Int n); ("concept", Json.String (Concept.name concept));
-          ("alpha", Json.number alpha); ("worst", Sweep.worst_to_json worst);
-        ]
+        (game_fields game
+        @ [
+            ("n", Json.Int n); ("concept", Json.String concept);
+            ("alpha", Json.number alpha); ("worst", Sweep.worst_to_json worst);
+          ])
   | Stats_ok s ->
       Json.Obj
         [
@@ -289,7 +357,8 @@ let response_of_json j =
       | None, None, Some (Json.String "shutdown") -> Ok Shutdown_ok
       | None, None, Some _ -> Error "unknown \"ok\" payload"
       | None, None, None when List.mem_assoc "graph" fields ->
-          let* concept = concept_field j in
+          let* game = game_field j in
+          let* concept = concept_field ~game j in
           let* alpha = field j "alpha" Json.as_number in
           let* graph6 = field j "graph" Json.as_string in
           let* vj =
@@ -299,9 +368,10 @@ let response_of_json j =
           in
           let* verdict = Verdict.of_json vj in
           let* rho = field j "rho" Json.as_number in
-          Ok (Check_ok { concept; alpha; graph6; verdict; rho })
+          Ok (Check_ok { game; concept; alpha; graph6; verdict; rho })
       | None, None, None when List.mem_assoc "family" fields ->
-          let* concept = concept_field j in
+          let* game = game_field j in
+          let* concept = concept_field ~game j in
           let* n = field j "n" Json.as_int in
           let* family = family_field j in
           let* alpha = field j "alpha" Json.as_number in
@@ -311,10 +381,11 @@ let response_of_json j =
             | None -> Error "missing \"worst\""
           in
           let* worst = worst_of_json wj in
-          Ok (Poa_ok { concept; n; family; alpha; worst })
+          Ok (Poa_ok { game; concept; n; family; alpha; worst })
       | None, None, None when List.mem_assoc "worst" fields ->
+          let* game = game_field j in
           let* n = field j "n" Json.as_int in
-          let* concept = concept_field j in
+          let* concept = concept_field ~game j in
           let* alpha = field j "alpha" Json.as_number in
           let* wj =
             match Json.member "worst" j with
@@ -322,7 +393,7 @@ let response_of_json j =
             | None -> Error "missing \"worst\""
           in
           let* worst = worst_of_json wj in
-          Ok (Sweep_cell_ok { n; concept; alpha; worst })
+          Ok (Sweep_cell_ok { game; n; concept; alpha; worst })
       | None, None, None -> Error "unrecognised response shape")
   | _ -> Error "response must be a JSON object"
 

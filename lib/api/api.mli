@@ -36,18 +36,47 @@ val default_budget : int
     to, equal to the CLI's [--budget] default so a defaulted request
     and a defaulted CLI invocation share cache keys and answers. *)
 
+val default_game : string
+(** ["bilateral"] — the game a request without a ["game"] field asks
+    about.  The field is likewise omitted on encode for this game, so
+    pre-game wire lines and cache keys are reproduced byte for byte. *)
+
+val game_of_string : string -> (string, string) result
+(** Validates a wire game name: ["bilateral"] or ["generalized"]
+    (case-insensitive, surrounding whitespace tolerated; normalised to
+    lowercase).  The unilateral game is not wire-addressable — its
+    state is a strategy assignment, not a graph6 line. *)
+
+val concept_of_string : game:string -> string -> (string, string) result
+(** Parses a concept name against [game]'s vocabulary and returns the
+    canonical spelling (e.g. ["re"] -> ["RE"]; for the generalized game
+    ["BNE"] -> ["BNE@d"]).  The [Error] message names that game's valid
+    spellings. *)
+
 type request =
-  | Check of { concept : Concept.t; alpha : float; graph6 : string; budget : int }
-      (** one graph against one concept — [bncg check] over the wire *)
-  | Poa of { concept : Concept.t; alpha : float; n : int; family : family; budget : int }
-      (** worst-case ρ over a whole family — [bncg poa] over the wire *)
+  | Check of {
+      game : string;
+      concept : string;
+      alpha : float;
+      graph6 : string;
+      budget : int;
+    }  (** one graph against one concept — [bncg check] over the wire *)
+  | Poa of {
+      game : string;
+      concept : string;
+      alpha : float;
+      n : int;
+      family : family;
+      budget : int;
+    }  (** worst-case ρ over a whole family — [bncg poa] over the wire *)
   | Sweep_cell of {
+      game : string;
       family : family;
       n : int;
-      concept : Concept.t;
+      concept : string;
       alpha : float;
       budget : int option;
-    }  (** one (family, n, concept, α) cell of a sweep *)
+    }  (** one (game, family, n, concept, α) cell of a sweep *)
   | Stats  (** server counters (admission, coalescing, cache) *)
   | Shutdown  (** ask the daemon to drain and exit 0 *)
 
@@ -74,20 +103,28 @@ type stats = {
 
 type response =
   | Check_ok of {
-      concept : Concept.t;
+      game : string;
+      concept : string;
       alpha : float;
       graph6 : string;
       verdict : Verdict.t;
       rho : float;
     }
   | Poa_ok of {
-      concept : Concept.t;
+      game : string;
+      concept : string;
       n : int;
       family : family;
       alpha : float;
       worst : Sweep.worst;
     }
-  | Sweep_cell_ok of { n : int; concept : Concept.t; alpha : float; worst : Sweep.worst }
+  | Sweep_cell_ok of {
+      game : string;
+      n : int;
+      concept : string;
+      alpha : float;
+      worst : Sweep.worst;
+    }
   | Stats_ok of stats
   | Shutdown_ok
   | Error of { code : error_code; message : string }
@@ -96,10 +133,16 @@ val request_to_json : request -> Json.t
 (** Canonical encoding (defaults resolved, fields in fixed order), so
     {!Json.to_string} of it is usable as a coalescing/cache key:
     syntactically different lines asking the same question map to the
-    same string. *)
+    same string.  The ["game"] field (right after ["op"]) is emitted
+    only when it differs from {!default_game}, so bilateral lines are
+    byte-identical to the pre-game protocol — and requests for the same
+    cell under different games cannot collide, because the field is
+    part of the key exactly when it discriminates. *)
 
 val request_of_json : Json.t -> (request, string) result
-(** Parses and validates: α must be finite and [> 0], budgets [>= 1],
+(** Parses and validates: the optional ["game"] must name a known game
+    (defaulting to {!default_game}), the concept must be in that game's
+    vocabulary, α must be finite and [> 0], budgets [>= 1],
     [1 <= n <= 12] for trees and [1 <= n <= 8] for connected (the
     exhaustively certifiable range — a daemon must refuse a cell it
     cannot finish).  Never raises. *)
@@ -115,7 +158,9 @@ val response_to_json : response -> Json.t
     [Sweep_cell_ok] is the deterministic part of a sweep cell
     ([n], [concept], [alpha], [worst] — {!Sweep.worst_to_json});
     [Stats_ok] is [{"stats":{...}}]; [Shutdown_ok] is
-    [{"ok":"shutdown"}]; [Error] is [{"error":{"code":..,"msg":..}}]. *)
+    [{"ok":"shutdown"}]; [Error] is [{"error":{"code":..,"msg":..}}].
+    As with requests, a leading ["game"] field appears on the three
+    [_ok] payloads only when the game is not {!default_game}. *)
 
 val response_of_json : Json.t -> (response, string) result
 

@@ -31,6 +31,7 @@ let make_fixtures () =
   let bits63 =
     Bitgraph.of_graph (Gen.random_connected (Random.State.make [| 21 |]) 63 ~p:0.1)
   in
+  let trees7 = Sweep.candidates Sweep.Trees 7 in
   (* The acceptance pair for the certificate store: the same 7-alpha PS
      sweep over connected graphs on 6 vertices, once against an empty
      store (pays enumeration + canonicalisation + checking + journaling)
@@ -133,6 +134,17 @@ let make_fixtures () =
       ( "worst_connected n=6 PS sequential",
         fun () ->
           ignore (Poa.worst_connected ~domains:1 ~concept:Concept.PS ~alpha:2.0 6) );
+      (* The generalized game prices every deviation through Dist_cost
+         instead of the bilateral pruning theory, so its sweep path has
+         its own cost profile; this kernel gates it. *)
+      ( "generalized sweep trees n=7 PS@d2",
+        fun () ->
+          ignore
+            (Sweep.run_cell_game
+               (module Generalized)
+               ~domains:1
+               ~concept:{ Generalized.f = Dist_cost.Power 2; base = Concept.PS }
+               ~alpha:2.0 trees7) );
       ( "worst_connected n=6 PS parallel",
         fun () -> ignore (Poa.worst_connected ~concept:Concept.PS ~alpha:2.0 6) );
       ( "sweep n=6 PS x7 alphas cold store",
@@ -193,6 +205,7 @@ let names =
     "iter_connected_graphs n=6 (incremental)"; "orderly connected n=7";
     "orderly connected n=8"; "merge 4-shard outcomes n=6";
     "worst_connected n=6 PS sequential"; "worst_connected n=6 PS parallel";
+    "generalized sweep trees n=7 PS@d2";
     "sweep n=6 PS x7 alphas cold store"; "sweep n=6 PS x7 alphas warm store";
     "BSwE dynamics n=510 stretched (oracle)"; "BSwE dynamics n=510 stretched (scratch)";
     "PS dynamics n=1024 random tree"; "best-response dynamics n=256";
@@ -200,11 +213,13 @@ let names =
 
 (* Fast, slow and mid-range coverage the CI gate can afford, plus the
    orderly generator (the enumeration kernel everything above n=7
-   depends on) and one dynamics-engine kernel. *)
+   depends on), one dynamics-engine kernel and one generalized-game
+   sweep kernel. *)
 let smoke_names =
   [ "Bitgraph.total_dist n=63 x100"; "BSwE check stretched n=510";
     "worst_connected n=6 PS sequential"; "orderly connected n=7";
-    "BSwE dynamics n=510 stretched (oracle)" ]
+    "BSwE dynamics n=510 stretched (oracle)";
+    "generalized sweep trees n=7 PS@d2" ]
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)

@@ -31,8 +31,8 @@ val names : string list
     baseline file) carry a ["bncg/"] group prefix. *)
 
 val smoke_names : string list
-(** The 5-benchmark subset the CI perf gate runs (including one
-    dynamics-engine kernel). *)
+(** The 6-benchmark subset the CI perf gate runs (including one
+    dynamics-engine kernel and one generalized-game sweep). *)
 
 val run : ?quota:float -> ?warmup:int -> ?only:string list -> unit -> result list
 (** [run ()] measures the suite and returns one {!result} per workload,

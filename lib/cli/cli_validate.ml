@@ -35,12 +35,22 @@ let shard = function
 
 (* Matched against the canonical {!Game_sig.GAME} names, not an enum:
    the CLI dispatches on the returned string, so adding a game instance
-   means extending exactly this list and the dispatch. *)
-let game s =
-  match String.lowercase_ascii (String.trim s) with
-  | "bilateral" -> Ok "bilateral"
-  | "unilateral" -> Ok "unilateral"
-  | _ -> Error (Printf.sprintf "--game %S: expected bilateral or unilateral" s)
+   means extending exactly this list and the dispatch.  [?allowed] is
+   the subcommand's subset — check/poa/sweep speak graph6 graphs, so
+   they exclude the unilateral game, whose state is an ownership
+   assignment. *)
+let known_games = [ "bilateral"; "unilateral"; "generalized" ]
+
+let rec oxford = function
+  | [] -> ""
+  | [ g ] -> g
+  | [ g; h ] -> g ^ " or " ^ h
+  | g :: rest -> g ^ ", " ^ oxford rest
+
+let game ?(allowed = known_games) s =
+  let c = String.lowercase_ascii (String.trim s) in
+  if List.mem c allowed && List.mem c known_games then Ok c
+  else Error (Printf.sprintf "--game %S: expected %s" s (oxford allowed))
 
 let heartbeat = function
   | None -> Ok None

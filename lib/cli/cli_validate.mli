@@ -23,10 +23,14 @@ val shard : string option -> ((int * int) option, string) result
     Shard [K] of [M] sweeps the [K]-th contiguous slice of the
     candidate space (see {!Sweep.spec}). *)
 
-val game : string -> (string, string) result
+val game : ?allowed:string list -> string -> (string, string) result
 (** Validates [--game]: the canonical {!Game_sig.GAME} name of a known
-    instance — ["bilateral"] or ["unilateral"] (case-insensitive, with
-    surrounding whitespace tolerated; normalised to lowercase). *)
+    instance — ["bilateral"], ["unilateral"] or ["generalized"]
+    (case-insensitive, with surrounding whitespace tolerated;
+    normalised to lowercase).  [?allowed] restricts to the subset a
+    subcommand supports (e.g. check/poa/sweep take graph6 states, so
+    they exclude the unilateral game); the diagnostic lists exactly
+    that subset. *)
 
 val heartbeat : float option -> (float option, string) result
 (** Validates [--heartbeat]: absent is fine; an explicit interval must

@@ -38,9 +38,9 @@ let weighted_sizes concept sizes =
       List.concat_map (fun s -> List.init (max 1 (cap + 1 - s)) (fun _ -> s)) ok
   | _ -> ok
 
-let witness_ok ~alpha s m =
+let witness_ok ~alpha _concept s m =
   match Move.apply s m with
   | exception Invalid_argument _ -> false
   | _ -> Move.is_improving ~alpha s m
 
-let rho = Cost.rho
+let rho ~alpha _concept g = Cost.rho ~alpha g

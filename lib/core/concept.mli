@@ -17,6 +17,11 @@ type t =
 val name : t -> string
 (** Short display name, e.g. ["3-BSE"]. *)
 
+val valid_names : string
+(** One-line human description of the accepted spellings, for error
+    messages that compose with other vocabularies (the generalized
+    game, the CLI). *)
+
 val of_string : string -> (t, string) result
 (** Parses a concept name, case-insensitively and ignoring surrounding
     whitespace: ["RE"], ["BAE"], ["PS"], ["BSwE"], ["BGE"], ["BNE"],

@@ -1,0 +1,21 @@
+(** The generalized bilateral network creation game (arXiv 2510.00239)
+    as a {!Game_sig.GAME} instance.
+
+    The state is a plain graph, as in {!Bilateral}; a concept pairs a
+    bilateral base concept with a {!Dist_cost} distance-cost function,
+    and every deviation is priced through {!Cost_gen}.  Concept names
+    are ["BASE@F"] (e.g. ["BNE@d2"], ["RE@cut2"]); a bare bilateral
+    name parses with the linear function, recovering the classic
+    game's improvement order.
+
+    The optimised checkers keep only the game-agnostic accelerations
+    (incremental {!Dist_oracle} pricing, a sound consent lower bound
+    for BNE partners); the linear pruning theory of the bilateral
+    stack does not transfer to arbitrary cost functions.  [BNE],
+    [k-BSE] and [BSE] are budgeted and may answer [Exhausted]; the
+    rest are exact and polynomial. *)
+
+type concept = { f : Dist_cost.t; base : Concept.t }
+
+include
+  Game_sig.GAME with type state = Graph.t and type concept := concept

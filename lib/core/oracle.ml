@@ -225,6 +225,180 @@ let max_n = function
   | Concept.RE | Concept.BAE | Concept.PS | Concept.BSwE | Concept.BGE -> max_int
 
 (* ------------------------------------------------------------------ *)
+(* Generalized BNCG oracles (arXiv 2510.00239)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Same quantifications as the bilateral oracles above, priced through
+   [Cost_gen.agent_cost ~f] (scratch BFS per evaluation, no cached
+   rows): the deviation structure of the generalized game is the
+   bilateral one, only the improvement order changes with the
+   distance-cost function. *)
+
+let gen_cost = Cost_gen.agent_cost
+
+let gen_improves ~f ~alpha ~before ~after u =
+  Cost_gen.strictly_less (gen_cost ~f ~alpha after u) (gen_cost ~f ~alpha before u)
+
+let check_gen_re ~f ~alpha g =
+  let exception Found of Move.t in
+  try
+    List.iter
+      (fun (u, v) ->
+        let g' = Graph.remove_edge g u v in
+        if gen_improves ~f ~alpha ~before:g ~after:g' u then
+          raise (Found (Move.Remove { agent = u; target = v }));
+        if gen_improves ~f ~alpha ~before:g ~after:g' v then
+          raise (Found (Move.Remove { agent = v; target = u })))
+      (Graph.edges g);
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let check_gen_bae ~f ~alpha g =
+  let exception Found of Move.t in
+  try
+    List.iter
+      (fun (u, v) ->
+        let g' = Graph.add_edge g u v in
+        if
+          gen_improves ~f ~alpha ~before:g ~after:g' u
+          && gen_improves ~f ~alpha ~before:g ~after:g' v
+        then raise (Found (Move.Bilateral_add { u; v })))
+      (Graph.non_edges g);
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let check_gen_bswe ~f ~alpha g =
+  let size = Graph.n g in
+  let exception Found of Move.t in
+  try
+    for u = 0 to size - 1 do
+      for v = 0 to size - 1 do
+        if Graph.has_edge g u v then
+          for w = 0 to size - 1 do
+            if w <> u && w <> v && not (Graph.has_edge g u w) then begin
+              let g' = Graph.add_edge (Graph.remove_edge g u v) u w in
+              if
+                gen_improves ~f ~alpha ~before:g ~after:g' u
+                && gen_improves ~f ~alpha ~before:g ~after:g' w
+              then raise (Found (Move.Bilateral_swap { u; drop = v; add = w }))
+            end
+          done
+      done
+    done;
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let check_gen_ps ~f ~alpha g = compose (check_gen_re ~f) (check_gen_bae ~f) ~alpha g
+let check_gen_bge ~f ~alpha g = compose (check_gen_ps ~f) (check_gen_bswe ~f) ~alpha g
+
+let check_gen_bne ~f ~alpha g =
+  let exception Found of Move.t in
+  try
+    List.iter
+      (fun u ->
+        let neighbors = Array.to_list (Graph.neighbors g u) in
+        let strangers =
+          List.filter (fun v -> v <> u && not (Graph.has_edge g u v)) (vertices g)
+        in
+        List.iter
+          (fun drop ->
+            List.iter
+              (fun add ->
+                if drop <> [] || add <> [] then begin
+                  let m = Move.Neighborhood { agent = u; drop; add } in
+                  let g' = Move.apply g m in
+                  if
+                    gen_improves ~f ~alpha ~before:g ~after:g' u
+                    && List.for_all
+                         (fun w -> gen_improves ~f ~alpha ~before:g ~after:g' w)
+                         add
+                  then raise (Found m)
+                end)
+              (subsets strangers))
+          (subsets neighbors))
+      (vertices g);
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+(* Outcome enumeration, exactly as [check_kbse]: for every outcome graph,
+   a coalition of improving vertices that makes the edit legal. *)
+let check_gen_kbse ~f ~k ~alpha g =
+  let size = Graph.n g in
+  if size > 6 then
+    invalid_arg "Oracle.check_generalized: the k-BSE oracle enumerates outcomes, n <= 6 only";
+  if k < 1 then invalid_arg "Oracle.check_generalized: need k >= 1";
+  let slots = size * (size - 1) / 2 in
+  let pairs = Array.make (max slots 1) (0, 0) in
+  let idx = ref 0 in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      pairs.(!idx) <- (u, v);
+      incr idx
+    done
+  done;
+  let base_mask = ref 0 in
+  for b = 0 to slots - 1 do
+    let u, v = pairs.(b) in
+    if Graph.has_edge g u v then base_mask := !base_mask lor (1 lsl b)
+  done;
+  let before = Array.init size (fun u -> gen_cost ~f ~alpha g u) in
+  let mem x xs = List.exists (Int.equal x) xs in
+  let exception Found of Move.t in
+  try
+    for mask = 0 to (1 lsl slots) - 1 do
+      if mask <> !base_mask then begin
+        let g' = ref (Graph.create size) in
+        for b = 0 to slots - 1 do
+          if mask land (1 lsl b) <> 0 then begin
+            let u, v = pairs.(b) in
+            g' := Graph.add_edge !g' u v
+          end
+        done;
+        let g' = !g' in
+        let added = ref [] and removed = ref [] in
+        for b = slots - 1 downto 0 do
+          let now = mask land (1 lsl b) <> 0 and was = !base_mask land (1 lsl b) <> 0 in
+          if now && not was then added := pairs.(b) :: !added
+          else if was && not now then removed := pairs.(b) :: !removed
+        done;
+        let happier =
+          List.filter
+            (fun w -> Cost_gen.strictly_less (gen_cost ~f ~alpha g' w) before.(w))
+            (vertices g)
+        in
+        List.iter
+          (fun members ->
+            if
+              members <> []
+              && List.length members <= k
+              && List.for_all (fun (u, v) -> mem u members && mem v members) !added
+              && List.for_all (fun (u, v) -> mem u members || mem v members) !removed
+            then
+              raise (Found (Move.Coalition { members; remove = !removed; add = !added })))
+          (subsets happier)
+      end
+    done;
+    Verdict.Stable
+  with Found m -> Verdict.Unstable m
+
+let check_gen_bse ~f ~alpha g = check_gen_kbse ~f ~k:(max 1 (Graph.n g)) ~alpha g
+
+(* The generalized dispatch: a bilateral base concept read under
+   distance-cost function [f].  Like [check], the oracle never
+   truncates. *)
+let check_generalized ?budget ~f ~alpha base g =
+  ignore budget;
+  match base with
+  | Concept.RE -> check_gen_re ~f ~alpha g
+  | Concept.BAE -> check_gen_bae ~f ~alpha g
+  | Concept.PS -> check_gen_ps ~f ~alpha g
+  | Concept.BSwE -> check_gen_bswe ~f ~alpha g
+  | Concept.BGE -> check_gen_bge ~f ~alpha g
+  | Concept.BNE -> check_gen_bne ~f ~alpha g
+  | Concept.KBSE k -> check_gen_kbse ~f ~k ~alpha g
+  | Concept.BSE -> check_gen_bse ~f ~alpha g
+
+(* ------------------------------------------------------------------ *)
 (* Unilateral NCG oracles                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -25,6 +25,29 @@ val max_n : Concept.t -> int
     (advisory), unbounded for the single-edge concepts.  Case
     generators use this to cap instance sizes per concept. *)
 
+(** {1 Generalized BNCG oracles}
+
+    Naive checkers for the generalized game (arXiv 2510.00239): the
+    bilateral deviation vocabulary priced through an arbitrary
+    distance-cost function via {!Bncg_game.Cost_gen.agent_cost}.  Same
+    discipline as {!check} — scratch BFS per evaluation, no caching,
+    no pruning. *)
+
+val check_generalized :
+  ?budget:int ->
+  f:Dist_cost.t ->
+  alpha:float ->
+  Concept.t ->
+  Graph.t ->
+  Verdict.t
+(** [check_generalized ~f ~alpha base g] is the oracle verdict for the
+    generalized game under distance-cost function [f], read at the
+    bilateral base concept [base] (the generalized game reuses the
+    bilateral deviation structure; only the improvement order changes
+    with [f]).  Never returns [Exhausted]; [budget] is ignored.
+    @raise Invalid_argument for coalition concepts when [Graph.n g > 6],
+    as in {!check}. *)
+
 (** {1 Unilateral NCG oracles}
 
     Naive counterparts of {!Bncg_game.Unilateral}, returning the same

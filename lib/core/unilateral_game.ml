@@ -118,7 +118,7 @@ let weighted_sizes concept sizes =
 (* Unilateral improvement semantics: only the deviating agent must
    benefit, and her buying cost tracks the edges she owns, not her
    degree — so this cannot reuse [Move.is_improving]. *)
-let witness_ok ~alpha a m =
+let witness_ok ~alpha _concept a m =
   match m with
   | Move.Neighborhood { agent; drop; add } ->
       let g = Strategy.graph a in
@@ -160,7 +160,7 @@ let social_cost ~alpha g =
   if s.Cost.disconnected_pairs > 0 then Float.infinity
   else (s.Cost.social_buy /. 2.) +. float_of_int s.Cost.social_dist
 
-let rho ~alpha a =
+let rho ~alpha _concept a =
   let g = Strategy.graph a in
   let n = Graph.n g in
   if n <= 1 then 1. else social_cost ~alpha g /. opt_cost ~alpha n

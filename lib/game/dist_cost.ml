@@ -1,0 +1,63 @@
+(* The distance-cost functions of the generalized BNCG (arXiv
+   2510.00239).  An agent pays alpha per incident edge plus
+   sum_v f(dist(u, v)) for a non-decreasing f; [Linear] recovers the
+   classic bilateral game.  [eval] returns [None] when a distance is
+   "too far" for the function to price — unreachable vertices always,
+   and beyond-radius vertices under [Cutoff] — and Cost_gen folds such
+   pairs into the lexicographically dominant far count, exactly the way
+   the classic cost treats disconnection. *)
+
+type t = Linear | Power of int | Cutoff of int
+
+let equal (a : t) b = a = b
+
+(* d^p at sweepable sizes (d < 2^7) stays far below max_int for p <= 8;
+   larger exponents could overflow 63-bit ints silently, so of_string
+   refuses them. *)
+let max_power = 8
+
+let name = function
+  | Linear -> "d"
+  | Power p -> Printf.sprintf "d%d" p
+  | Cutoff r -> Printf.sprintf "cut%d" r
+
+let valid_names = "d (linear), d<p> (2 <= p <= 8, e.g. d2) or cut<r> (r >= 1, e.g. cut2)"
+
+let of_string s =
+  let t = String.lowercase_ascii (String.trim s) in
+  match Scanf.sscanf_opt t "d%d%!" Fun.id with
+  | Some 1 -> Ok Linear
+  | Some p when p >= 2 && p <= max_power -> Ok (Power p)
+  | Some p ->
+      Error
+        (Printf.sprintf "bad distance-cost exponent %d in %S (expected %s)" p s
+           valid_names)
+  | None -> (
+      if t = "d" then Ok Linear
+      else
+        match Scanf.sscanf_opt t "cut%d%!" Fun.id with
+        | Some r when r >= 1 -> Ok (Cutoff r)
+        | Some r ->
+            Error
+              (Printf.sprintf "bad cutoff radius %d in %S (expected %s)" r s valid_names)
+        | None ->
+            Error
+              (Printf.sprintf "unknown distance-cost function %S (expected %s)" s
+                 valid_names))
+
+(* [eval f d] prices one finite hop distance [d] (or [-1] for
+   unreachable, the Paths/Dist_oracle convention).  [None] marks a far
+   pair. *)
+let eval f d =
+  if d < 0 then None
+  else
+    match f with
+    | Linear -> Some d
+    | Power p ->
+        let rec pow acc i = if i <= 0 then acc else pow (acc * d) (i - 1) in
+        Some (pow 1 p)
+    | Cutoff r -> if d <= r then Some 0 else None
+
+let all = [ Linear; Power 2; Power 3; Cutoff 1; Cutoff 2 ]
+
+let pp ppf f = Format.pp_print_string ppf (name f)

@@ -1,0 +1,50 @@
+(** Distance-cost functions for the generalized BNCG (arXiv 2510.00239).
+
+    The generalized game charges an agent [alpha] per incident edge plus
+    [sum_v f (dist (u, v))] for a fixed non-decreasing distance-cost
+    function [f].  This module is the first-class vocabulary of such
+    functions: the identity (recovering the classic bilateral game),
+    fixed integer powers, and the paper's cutoff/threshold costs, where
+    every vertex within radius [r] is free and every vertex beyond it is
+    intolerable.
+
+    Distances that [f] cannot price are reported as [None] ("far") and
+    ranked by {!Cost_gen} exactly like unreachability in the classic
+    lexicographic cost — strictly worse than any finite money
+    difference. *)
+
+type t =
+  | Linear  (** [f d = d]: the classic BNCG distance cost. *)
+  | Power of int  (** [f d = d^p], [2 <= p <= ]{!max_power}. *)
+  | Cutoff of int
+      (** [f d = 0] for [d <= r], far beyond: agents only care about
+          having everyone within radius [r]. *)
+
+val equal : t -> t -> bool
+
+val max_power : int
+(** [8] — the largest exponent {!of_string} accepts, chosen so
+    [d^p] can never overflow on sweepable instances. *)
+
+val name : t -> string
+(** Canonical names: ["d"], ["d2"] … ["d8"], ["cut1"], ["cut2"], …
+    Used in concept names (["PS@d2"]), cert-store keys and JSON. *)
+
+val valid_names : string
+(** Human-readable grammar of accepted names, for error messages. *)
+
+val of_string : string -> (t, string) result
+(** Parses {!name} output, case-insensitively; ["d1"] normalises to
+    [Linear].  Exponents outside [2 ..] {!max_power} and radii below 1
+    are rejected with a message listing {!valid_names}. *)
+
+val eval : t -> int -> int option
+(** [eval f d] prices one hop distance: [Some cost] when [f] can price
+    [d], [None] when the pair counts as far.  [d = -1] (the
+    [Paths.bfs] / [Dist_oracle] unreachable sentinel) is far under
+    every [f]; [Cutoff r] also treats every finite [d > r] as far. *)
+
+val all : t list
+(** A stable sample of the vocabulary (docs and tests). *)
+
+val pp : Format.formatter -> t -> unit

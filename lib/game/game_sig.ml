@@ -104,12 +104,17 @@ module type GAME = sig
       encoding the draw weights (small sizes drawn more often for
       expensive concepts). *)
 
-  val witness_ok : alpha:float -> state -> Move.t -> bool
+  val witness_ok : alpha:float -> concept -> state -> Move.t -> bool
   (** Does this move apply to the state and strictly improve every
-      participant that must consent?  Validates [Unstable]
-      witnesses. *)
+      participant that must consent?  Validates [Unstable] witnesses.
+      Takes the concept for games whose improvement order depends on it
+      (the generalized game prices distances through the concept's cost
+      function); the bilateral and unilateral instances ignore it. *)
 
-  val rho : alpha:float -> state -> float
+  val rho : alpha:float -> concept -> state -> float
   (** Social cost over this game's social optimum; [infinity] when
-      disconnected. *)
+      disconnected.  Takes the concept because some games price
+      distances per concept (the generalized game's ratio depends on
+      the concept's distance-cost function); the bilateral and
+      unilateral instances ignore it. *)
 end

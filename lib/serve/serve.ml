@@ -93,32 +93,60 @@ let candidates st family n =
           Hashtbl.add st.families key gs;
           gs)
 
-let compute_check st ~concept ~alpha ~graph6 ~budget =
+(* Concepts arrive as canonical names already validated against their
+   game by [Api.request_of_json], so re-parsing here cannot fail. *)
+let bilateral_concept_exn concept =
+  match Concept.of_string concept with Ok c -> c | Error _ -> assert false
+
+let generalized_concept_exn concept =
+  match Generalized.concept_of_string concept with Ok c -> c | Error _ -> assert false
+
+let compute_check st ~game ~concept ~alpha ~graph6 ~budget =
   let g = Encode.of_graph6 graph6 in
+  (* Thunked per game: the checker runs at most once per request, on a
+     store miss or with no store at all. *)
+  let fresh_entry =
+    match game with
+    | "generalized" ->
+        let c = generalized_concept_exn concept in
+        fun () ->
+          {
+            Cert_store.verdict = Generalized.check ~budget ~alpha c g;
+            rho = Generalized.rho ~alpha c g;
+          }
+    | _ ->
+        let c = bilateral_concept_exn concept in
+        fun () ->
+          { Cert_store.verdict = Concept.check ~budget ~alpha c g; rho = Cost.rho ~alpha g }
+  in
   let entry =
     match st.cert_store with
-    | None ->
-        {
-          Cert_store.verdict = Concept.check ~budget ~alpha concept g;
-          rho = Cost.rho ~alpha g;
-        }
+    | None -> fresh_entry ()
     | Some s -> (
         let canon_g6 = Cert_store.canonical_g6 s g in
-        let key = Cert_store.cert_key ~concept:(Concept.name concept) ~alpha ~budget:(Some budget) ~canon_g6 () in
+        (* ~game is part of the key: before it was threaded here, a
+           bilateral and a generalized check of the same cell shared a
+           certificate — whichever came first answered both. *)
+        let key =
+          Cert_store.cert_key ~game ~concept ~alpha ~budget:(Some budget) ~canon_g6 ()
+        in
         match Cert_store.find s ~key with
         | Some e -> e
         | None ->
-            let e =
-              {
-                Cert_store.verdict = Concept.check ~budget ~alpha concept g;
-                rho = Cost.rho ~alpha g;
-              }
-            in
-            Cert_store.record s ~key ~canon_g6 ~concept:(Concept.name concept) ~alpha ~budget:(Some budget) e;
+            let e = fresh_entry () in
+            Cert_store.record s ~game ~key ~canon_g6 ~concept ~alpha
+              ~budget:(Some budget) e;
             e)
   in
   Api.Check_ok
-    { concept; alpha; graph6; verdict = entry.Cert_store.verdict; rho = entry.Cert_store.rho }
+    {
+      game;
+      concept;
+      alpha;
+      graph6;
+      verdict = entry.Cert_store.verdict;
+      rho = entry.Cert_store.rho;
+    }
 
 (* The answer payload for one computable request, plus its case cost
    (fresh checker calls it may have caused — what the client budget is
@@ -126,24 +154,48 @@ let compute_check st ~concept ~alpha ~graph6 ~budget =
    caller. *)
 let compute st (request : Api.request) =
   match request with
-  | Api.Check { concept; alpha; graph6; budget } ->
-      (compute_check st ~concept ~alpha ~graph6 ~budget, 1)
-  | Api.Poa { concept; alpha; n; family; budget } ->
+  | Api.Check { game; concept; alpha; graph6; budget } ->
+      (compute_check st ~game ~concept ~alpha ~graph6 ~budget, 1)
+  | Api.Poa { game = "generalized" as game; concept; alpha; n; family; budget } ->
+      (* [Poa.run] is the bilateral funnel; the generalized game goes
+         through the game-generic cell primitive over the same
+         candidate families (and the same store, under its own keys). *)
+      let c = generalized_concept_exn concept in
+      let graphs = candidates st (Api.to_sweep_family family) n in
+      let worst, _hits =
+        Sweep.run_cell_game
+          (module Generalized)
+          ~budget ?domains:st.config.domains ?store:st.cert_store ~concept:c ~alpha
+          graphs
+      in
+      (Api.Poa_ok { game; concept; n; family; alpha; worst }, worst.Sweep.checked)
+  | Api.Poa { game; concept; alpha; n; family; budget } ->
       let target =
         match family with Api.Trees -> Poa.Trees n | Api.Connected -> Poa.Connected n
       in
       let worst =
-        Poa.run ~budget ?domains:st.config.domains ?store:st.cert_store ~concept ~alpha
-          target
+        Poa.run ~budget ?domains:st.config.domains ?store:st.cert_store
+          ~concept:(bilateral_concept_exn concept) ~alpha target
       in
-      (Api.Poa_ok { concept; n; family; alpha; worst }, worst.Sweep.checked)
-  | Api.Sweep_cell { family; n; concept; alpha; budget } ->
+      (Api.Poa_ok { game; concept; n; family; alpha; worst }, worst.Sweep.checked)
+  | Api.Sweep_cell { game = "generalized" as game; family; n; concept; alpha; budget }
+    ->
+      let c = generalized_concept_exn concept in
       let graphs = candidates st (Api.to_sweep_family family) n in
       let worst, _hits =
-        Sweep.run_cell ?budget ?domains:st.config.domains ?store:st.cert_store ~concept
-          ~alpha graphs
+        Sweep.run_cell_game
+          (module Generalized)
+          ?budget ?domains:st.config.domains ?store:st.cert_store ~concept:c ~alpha
+          graphs
       in
-      (Api.Sweep_cell_ok { n; concept; alpha; worst }, worst.Sweep.checked)
+      (Api.Sweep_cell_ok { game; n; concept; alpha; worst }, worst.Sweep.checked)
+  | Api.Sweep_cell { game; family; n; concept; alpha; budget } ->
+      let graphs = candidates st (Api.to_sweep_family family) n in
+      let worst, _hits =
+        Sweep.run_cell ?budget ?domains:st.config.domains ?store:st.cert_store
+          ~concept:(bilateral_concept_exn concept) ~alpha graphs
+      in
+      (Api.Sweep_cell_ok { game; n; concept; alpha; worst }, worst.Sweep.checked)
   | Api.Stats | Api.Shutdown -> assert false (* answered at admission *)
 
 (* ------------------------------------------------------------------ *)

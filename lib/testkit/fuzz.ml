@@ -103,6 +103,17 @@ let run ?(check = Concept.check) ?domains ?deadline ?(sizes = default_sizes)
         o.Engine.failures;
   }
 
+module Gfuzz = Fuzz_engine.Make (Generalized)
+
+(* Generalized states are plain graphs, so the bilateral shrink order
+   (graph deletions first, then alpha) carries over unchanged; the
+   engine's [still_fails] already confines candidates to the failing
+   concept's [size_cap]. *)
+let run_generalized ?domains ?deadline ?(sizes = default_sizes)
+    ?(concepts = Generalized.concepts) ~seed ~budget () =
+  Gfuzz.run ~shrink:bilateral_shrink ?domains ?deadline ~sizes ~concepts
+    ~gen:Casegen.graph ~seed ~budget ()
+
 module Ufuzz = Fuzz_engine.Make (Unilateral_game)
 
 (* Random ownership on top of the shared graph generator: each edge to

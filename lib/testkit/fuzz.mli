@@ -109,6 +109,22 @@ val pp_failure : Format.formatter -> failure -> unit
 module Engine : module type of Fuzz_engine.Make (Bilateral)
 (** The bilateral instance of the generic engine. *)
 
+module Gfuzz : module type of Fuzz_engine.Make (Generalized)
+(** The generalized-game instance ([bncg fuzz --game generalized]). *)
+
+val run_generalized :
+  ?domains:int ->
+  ?deadline:float ->
+  ?sizes:int list ->
+  ?concepts:Generalized.concept list ->
+  seed:int64 ->
+  budget:int ->
+  unit ->
+  Gfuzz.outcome
+(** The generalized campaign: [Casegen.graph] generation and the
+    bilateral shrink order (states are plain graphs); same replay
+    discipline as {!run}. *)
+
 module Ufuzz : module type of Fuzz_engine.Make (Unilateral_game)
 (** The unilateral instance ([bncg fuzz --game unilateral]). *)
 

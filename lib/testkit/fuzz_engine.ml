@@ -77,7 +77,7 @@ module Make (G : Game_sig.GAME) = struct
   (* What is wrong with running [check] on this case, if anything. *)
   let diagnose ~(check : ?budget:int -> alpha:float -> G.concept -> G.state -> Verdict.t)
       ~perm concept ~alpha s =
-    let valid_witness m = G.witness_ok ~alpha s m in
+    let valid_witness m = G.witness_ok ~alpha concept s m in
     match check ~alpha concept s with
     | exception e -> Some (kind_exception, Printexc.to_string e)
     | fast -> (
@@ -179,9 +179,15 @@ module Make (G : Game_sig.GAME) = struct
                   (* Shrink to the smallest case still failing in any way:
                      the minimal repro matters more than preserving the
                      original failure kind. *)
+                  (* The size-cap clause keeps shrinkers inside the
+                     game's well-formed range (campaign inputs already
+                     satisfy it, and shrinking only reduces n, so
+                     historical shrunk repros are unchanged). *)
                   let still_fails alpha s =
                     Obs.incr c_shrink_iters;
-                    Graph.n (G.graph s) >= 1
+                    let n = Graph.n (G.graph s) in
+                    n >= 1
+                    && n <= G.size_cap concept
                     && Option.is_some (diagnose ~check ~perm:None concept ~alpha s)
                   in
                   let shrunk_state, shrunk_alpha = shrink ~keep:still_fails ~alpha s in

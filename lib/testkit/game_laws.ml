@@ -70,7 +70,7 @@ module Make (G : Game_sig.GAME) = struct
     let fast = G.check ~alpha concept s in
     let witness_viols =
       match fast with
-      | Verdict.Unstable m when not (G.witness_ok ~alpha s m) ->
+      | Verdict.Unstable m when not (G.witness_ok ~alpha concept s m) ->
           [ viol law_witness (Printf.sprintf "witness %s rejected" (Move.to_string m)) ]
       | _ -> []
     in

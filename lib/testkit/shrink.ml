@@ -30,8 +30,12 @@ let edge_pass ~keep g =
   in
   go g (Graph.edges g)
 
-let graph ~keep g =
+let graph ?(invariant = fun _ -> true) ~keep g =
+  if not (invariant g) then invalid_arg "Shrink.graph: input violates invariant";
   if not (keep g) then invalid_arg "Shrink.graph: input does not satisfy keep";
+  (* Candidates outside the invariant are discarded before [keep] sees
+     them: a game's failure predicate may not even parse such states. *)
+  let keep g' = invariant g' && keep g' in
   let rec fixpoint g =
     let g, moved_v = vertex_pass ~keep g in
     let g, moved_e = edge_pass ~keep g in

@@ -5,11 +5,16 @@
     still holds.  No randomness is involved, so shrunk repros replay
     exactly. *)
 
-val graph : keep:(Graph.t -> bool) -> Graph.t -> Graph.t
+val graph : ?invariant:(Graph.t -> bool) -> keep:(Graph.t -> bool) -> Graph.t -> Graph.t
 (** Alternates greedy vertex-deletion and edge-deletion passes to a
     fixpoint.  The result is 1-minimal: deleting any single vertex or
-    edge breaks [keep].
-    @raise Invalid_argument if [keep] fails on the input. *)
+    edge breaks [keep] (or leaves the [invariant]).  [invariant]
+    (default [fun _ -> true]) restricts the search to states the
+    failing game considers well-formed — e.g. its [size_cap] — so a
+    shrunk counterexample still parses and re-fails under that game;
+    candidates violating it are discarded without consulting [keep].
+    @raise Invalid_argument if [keep] or [invariant] fails on the
+    input. *)
 
 val alpha : keep:(float -> bool) -> float -> float
 (** Tries a ladder of round values ([1.], [2.], [0.5], ...), returning

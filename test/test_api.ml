@@ -61,7 +61,21 @@ let malformed_lines =
     (* ids that cannot be echoed back *)
     "{\"op\":\"stats\",\"id\":\"seven\"}"; "{\"op\":\"stats\",\"id\":1.5}";
     "{\"op\":\"stats\",\"id\":null}";
+    (* games: unknown names, wrong-vocabulary concepts, mistyped field;
+       the unilateral game is deliberately not wire-addressable *)
+    "{\"op\":\"check\",\"game\":\"martian\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"game\":42,\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"game\":\"unilateral\",\"concept\":\"URE\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"PS@d9\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"XX@d2\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"PS@\",\"alpha\":2,\"graph\":\"Dhc\"}";
+    "{\"op\":\"poa\",\"game\":\"generalized\",\"concept\":\"UGE\",\"alpha\":2,\"family\":\"trees\",\"n\":5}";
   ]
+
+let has_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  at 0
 
 let suite =
   [
@@ -70,30 +84,57 @@ let suite =
           (fun i c ->
             roundtrip_request
               (Printf.sprintf "check %d" i)
-              (Api.Check { concept = c; alpha = 2.0; graph6 = "Dhc"; budget = 77 }))
-          [ Concept.PS; Concept.BGE; Concept.BNE; Concept.KBSE 3 ];
+              (Api.Check
+                 { game = "bilateral"; concept = c; alpha = 2.0; graph6 = "Dhc"; budget = 77 }))
+          [ "PS"; "BGE"; "BNE"; "3-BSE" ];
+        List.iteri
+          (fun i c ->
+            roundtrip_request
+              (Printf.sprintf "generalized check %d" i)
+              (Api.Check
+                 { game = "generalized"; concept = c; alpha = 2.0; graph6 = "Dhc"; budget = 77 }))
+          [ "RE@d"; "PS@d2"; "BNE@cut2"; "3-BSE@d3" ];
         List.iter
           (fun alpha ->
             roundtrip_request "check alpha"
-              (Api.Check { concept = Concept.PS; alpha; graph6 = "Dhc"; budget = 1 }))
+              (Api.Check
+                 { game = "bilateral"; concept = "PS"; alpha; graph6 = "Dhc"; budget = 1 }))
           [ 0.1; 1.0; 2.5; 1e-9; 1e30; 4.0 /. 3.0 ];
         roundtrip_request "poa trees"
           (Api.Poa
-             { concept = Concept.PS; alpha = 3.5; n = 9; family = Api.Trees; budget = 10 });
+             {
+               game = "bilateral"; concept = "PS"; alpha = 3.5; n = 9; family = Api.Trees;
+               budget = 10;
+             });
         roundtrip_request "poa connected"
           (Api.Poa
              {
-               concept = Concept.BGE; alpha = 1.0; n = 7; family = Api.Connected;
-               budget = Api.default_budget;
+               game = "bilateral"; concept = "BGE"; alpha = 1.0; n = 7;
+               family = Api.Connected; budget = Api.default_budget;
+             });
+        roundtrip_request "poa generalized"
+          (Api.Poa
+             {
+               game = "generalized"; concept = "PS@cut2"; alpha = 1.0; n = 7;
+               family = Api.Trees; budget = Api.default_budget;
              });
         roundtrip_request "sweep_cell no budget"
           (Api.Sweep_cell
-             { family = Api.Trees; n = 8; concept = Concept.PS; alpha = 2.0; budget = None });
+             {
+               game = "bilateral"; family = Api.Trees; n = 8; concept = "PS"; alpha = 2.0;
+               budget = None;
+             });
         roundtrip_request "sweep_cell budget"
           (Api.Sweep_cell
              {
-               family = Api.Connected; n = 6; concept = Concept.BNE; alpha = 2.0;
-               budget = Some 9;
+               game = "bilateral"; family = Api.Connected; n = 6; concept = "BNE";
+               alpha = 2.0; budget = Some 9;
+             });
+        roundtrip_request "sweep_cell generalized"
+          (Api.Sweep_cell
+             {
+               game = "generalized"; family = Api.Trees; n = 6; concept = "BNE@d2";
+               alpha = 2.0; budget = Some 9;
              });
         roundtrip_request "stats" Api.Stats;
         roundtrip_request "shutdown" Api.Shutdown);
@@ -120,12 +161,44 @@ let suite =
         check_true "different budget, different key"
           (base
           <> key "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\",\"budget\":7}"));
+    tc "game-scoped request keys" (fun () ->
+        (* The serve-cache bug this guards against: the same cell under
+           two games must never share a coalescing/cache key, while the
+           bilateral key must stay the pre-game bytes. *)
+        let key line =
+          match Api.parse_request_line line with
+          | Ok (_, r) -> Api.request_key r
+          | Error (_, e) -> Alcotest.failf "unexpected parse failure %S: %s" line e
+        in
+        let bilateral = key "{\"op\":\"check\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}" in
+        check_true "bilateral key carries no game field" (not (has_sub bilateral "game"));
+        check_true "explicit default game coalesces with its omission"
+          (bilateral
+          = key
+              "{\"op\":\"check\",\"game\":\"bilateral\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}");
+        let gen =
+          key
+            "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"PS@d\",\"alpha\":2,\"graph\":\"Dhc\"}"
+        in
+        check_true "same cell, different game, different key" (bilateral <> gen);
+        check_true "generalized key names its game" (has_sub gen "\"game\":\"generalized\"");
+        check_true "bare base canonicalises to the linear cost"
+          (gen
+          = key
+              "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"ps\",\"alpha\":2,\"graph\":\"Dhc\"}");
+        check_true "different cost function, different key"
+          (gen
+          <> key
+               "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"PS@d2\",\"alpha\":2,\"graph\":\"Dhc\"}"));
     tc "responses round-trip" (fun () ->
         List.iter
           (fun (name, v) ->
             roundtrip_response name
               (Api.Check_ok
-                 { concept = Concept.PS; alpha = 2.0; graph6 = "Dhc"; verdict = v; rho = 1.5 }))
+                 {
+                   game = "bilateral"; concept = "PS"; alpha = 2.0; graph6 = "Dhc";
+                   verdict = v; rho = 1.5;
+                 }))
           [
             ("stable", Verdict.Stable);
             ( "unstable",
@@ -135,20 +208,45 @@ let suite =
         roundtrip_response "check inf rho"
           (Api.Check_ok
              {
-               concept = Concept.PS; alpha = 2.0; graph6 = "A?"; verdict = Verdict.Stable;
-               rho = Float.infinity;
+               game = "bilateral"; concept = "PS"; alpha = 2.0; graph6 = "A?";
+               verdict = Verdict.Stable; rho = Float.infinity;
+             });
+        roundtrip_response "generalized check_ok"
+          (Api.Check_ok
+             {
+               game = "generalized"; concept = "PS@d2"; alpha = 2.0; graph6 = "Dhc";
+               verdict = Verdict.Stable; rho = 1.5;
              });
         roundtrip_response "poa_ok"
           (Api.Poa_ok
-             { concept = Concept.PS; n = 6; family = Api.Trees; alpha = 2.0; worst = some_worst });
+             {
+               game = "bilateral"; concept = "PS"; n = 6; family = Api.Trees; alpha = 2.0;
+               worst = some_worst;
+             });
         roundtrip_response "poa_ok no witness"
           (Api.Poa_ok
              {
-               concept = Concept.BNE; n = 5; family = Api.Connected; alpha = 1.0;
+               game = "bilateral"; concept = "BNE"; n = 5; family = Api.Connected;
+               alpha = 1.0;
                worst = { some_worst with Sweep.witness = None; rho = Float.neg_infinity };
              });
+        roundtrip_response "poa_ok generalized"
+          (Api.Poa_ok
+             {
+               game = "generalized"; concept = "BNE@cut2"; n = 5; family = Api.Connected;
+               alpha = 1.0; worst = some_worst;
+             });
         roundtrip_response "sweep_cell_ok"
-          (Api.Sweep_cell_ok { n = 6; concept = Concept.PS; alpha = 2.0; worst = some_worst });
+          (Api.Sweep_cell_ok
+             {
+               game = "bilateral"; n = 6; concept = "PS"; alpha = 2.0; worst = some_worst;
+             });
+        roundtrip_response "sweep_cell_ok generalized"
+          (Api.Sweep_cell_ok
+             {
+               game = "generalized"; n = 6; concept = "RE@d"; alpha = 2.0;
+               worst = some_worst;
+             });
         roundtrip_response "stats_ok"
           (Api.Stats_ok
              {
@@ -165,8 +263,8 @@ let suite =
         roundtrip_reply "bare" None
           (Api.Check_ok
              {
-               concept = Concept.PS; alpha = 2.0; graph6 = "Dhc"; verdict = Verdict.Stable;
-               rho = 1.0;
+               game = "bilateral"; concept = "PS"; alpha = 2.0; graph6 = "Dhc";
+               verdict = Verdict.Stable; rho = 1.0;
              });
         roundtrip_reply "id 0" (Some 0) Api.Shutdown_ok;
         roundtrip_reply "id 41" (Some 41)
@@ -176,8 +274,8 @@ let suite =
         let r =
           Api.Check_ok
             {
-              concept = Concept.PS; alpha = 2.0; graph6 = "Dhc"; verdict = Verdict.Stable;
-              rho = 1.0;
+              game = "bilateral"; concept = "PS"; alpha = 2.0; graph6 = "Dhc";
+              verdict = Verdict.Stable; rho = 1.0;
             }
         in
         Alcotest.(check string)

@@ -271,8 +271,69 @@ let test_unilateral_mutation () =
       Alcotest.(check string) "kind" Fuzz_engine.kind_disagreement f.Fuzz.Ufuzz.kind
 
 (* ------------------------------------------------------------------ *)
+(* The generalized campaign (Fuzz_engine.Make (Generalized))           *)
+(* ------------------------------------------------------------------ *)
+
+let gjson_of o = Json.to_string (Fuzz.Gfuzz.outcome_to_json o)
+
+let test_generalized_deterministic () =
+  let run () = Fuzz.run_generalized ~seed:62L ~budget:5 () in
+  Alcotest.(check string) "byte-identical JSON" (gjson_of (run ())) (gjson_of (run ()))
+
+let test_generalized_domain_invariant () =
+  let run d =
+    Fuzz.run_generalized ~domains:d ~seed:63L ~budget:30
+      ~concepts:[ { Generalized.f = Dist_cost.Power 2; base = Concept.PS } ] ()
+  in
+  Alcotest.(check string) "domains 1 == domains 3" (gjson_of (run 1)) (gjson_of (run 3))
+
+let test_generalized_clean () =
+  let o = Fuzz.run_generalized ~domains:1 ~seed:64L ~budget:25 () in
+  check_int "no failures" 0 (Fuzz.Gfuzz.total_failures o)
+
+(* The shrunk repro of a generalized failure must stay inside the
+   failing concept's size cap: the shrinker used to consult only
+   [keep], so a repro could land on a state the same game refuses to
+   price (coalition references raise above their cap).  A checker
+   blind to BSE@d2 above n = 3 is caught, and every shrunk repro both
+   respects the cap and still disagrees with the reference. *)
+let test_generalized_mutation_shrinks_within_cap () =
+  let blind ?budget ~alpha concept g =
+    ignore budget;
+    match concept.Generalized.base with
+    | Concept.BSE when Graph.n g >= 4 -> Verdict.Stable
+    | _ -> Generalized.check ~alpha concept g
+  in
+  let shrink ~keep ~alpha g =
+    let s = Shrink.graph ~keep:(keep alpha) g in
+    (s, Shrink.alpha ~keep:(fun a -> keep a s) alpha)
+  in
+  let concept = { Generalized.f = Dist_cost.Power 2; base = Concept.BSE } in
+  let o =
+    Fuzz.Gfuzz.run ~check:blind ~shrink ~domains:1 ~seed:65L ~budget:200
+      ~concepts:[ concept ] ~sizes:[ 4; 5 ] ~gen:Casegen.graph ()
+  in
+  check_true "caught" (Fuzz.Gfuzz.total_failures o > 0);
+  List.iter
+    (fun (f : Fuzz.Gfuzz.failure) ->
+      Alcotest.(check string) "kind" Fuzz_engine.kind_disagreement f.Fuzz.Gfuzz.kind;
+      let n = Graph.n f.Fuzz.Gfuzz.shrunk_state in
+      check_true "within the game's size cap"
+        (n >= 1 && n <= Generalized.size_cap f.Fuzz.Gfuzz.concept);
+      match
+        ( blind ~alpha:f.Fuzz.Gfuzz.shrunk_alpha f.Fuzz.Gfuzz.concept
+            f.Fuzz.Gfuzz.shrunk_state,
+          Generalized.reference ~alpha:f.Fuzz.Gfuzz.shrunk_alpha f.Fuzz.Gfuzz.concept
+            f.Fuzz.Gfuzz.shrunk_state )
+      with
+      | Verdict.Stable, Verdict.Stable ->
+          Alcotest.fail "shrunk repro no longer fails under the same game"
+      | _ -> ())
+    o.Fuzz.Gfuzz.failures
+
+(* ------------------------------------------------------------------ *)
 (* The checker-vs-oracle differential bank: 10^4 cases per concept,   *)
-(* seeds 1-3, both game instances.  The heavyweight wall behind the   *)
+(* seeds 1-3, all game instances.  The heavyweight wall behind the    *)
 (* functorization — any divergence between an optimised checker and   *)
 (* its definition-literal oracle surfaces here as a shrunk repro.     *)
 (* ------------------------------------------------------------------ *)
@@ -288,6 +349,12 @@ let test_differential_bank_unilateral seed () =
   check_false "not truncated" o.Fuzz.Ufuzz.truncated;
   if Fuzz.Ufuzz.total_failures o > 0 then
     Alcotest.failf "differential failures:@.%a" Fuzz.Ufuzz.pp_outcome o
+
+let test_differential_bank_generalized seed () =
+  let o = Fuzz.run_generalized ~seed ~budget:10_000 () in
+  check_false "not truncated" o.Fuzz.Gfuzz.truncated;
+  if Fuzz.Gfuzz.total_failures o > 0 then
+    Alcotest.failf "differential failures:@.%a" Fuzz.Gfuzz.pp_outcome o
 
 let suite =
   [
@@ -312,6 +379,15 @@ let suite =
       (test_differential_bank_unilateral 2L);
     slow "differential bank: unilateral seed 3, 10^4 cases/concept"
       (test_differential_bank_unilateral 3L);
+    tc "generalized fuzz: same seed gives byte-identical JSON"
+      test_generalized_deterministic;
+    tc "generalized fuzz: outcome independent of domain count"
+      test_generalized_domain_invariant;
+    tc "generalized fuzz: clean checkers produce no failures" test_generalized_clean;
+    tc "generalized mutation: shrunk repro stays inside the size cap"
+      test_generalized_mutation_shrinks_within_cap;
+    slow "differential bank: generalized seed 1, 10^4 cases/concept"
+      (test_differential_bank_generalized 1L);
     tc "mutation: blind checker caught and shrunk" test_mutation_blind_checker;
     tc "mutation: corrupted witness caught" test_mutation_corrupt_witness;
     tc "mutation: crashing checker caught" test_mutation_crashing_checker;

@@ -6,6 +6,18 @@ open Helpers
 
 module Bilateral_laws = Game_laws.Make (Bilateral)
 module Unilateral_laws = Game_laws.Make (Unilateral_game)
+module Generalized_laws = Game_laws.Make (Generalized)
+
+(* A generalized game whose checker lies about one cost function:
+   reference agreement must flag it without disturbing the others. *)
+module Lying_gen_check = struct
+  include Generalized
+
+  let check ?budget ~alpha concept g =
+    match concept.Generalized.f with
+    | Dist_cost.Power 2 -> Verdict.Stable
+    | _ -> Generalized.check ?budget ~alpha concept g
+end
 
 let fail_on viols =
   match viols with
@@ -62,6 +74,18 @@ let suite =
            hold for arbitrary ownership too (it is part of the state). *)
         fail_on
           (Unilateral_laws.run ~cases:150 ~gen:Fuzz.unilateral_gen ~seed:103L ()));
+    tc "generalized instance is lawful on 200 cases" (fun () ->
+        fail_on (Generalized_laws.run ~gen:Casegen.graph ~seed:107L ()));
+    tc "mutation: lying generalized checker violates the reference law" (fun () ->
+        let module M = Game_laws.Make (Lying_gen_check) in
+        let viols =
+          M.run
+            ~concepts:[ { Generalized.f = Dist_cost.Power 2; base = Concept.PS } ]
+            ~gen:Casegen.graph ~seed:108L ()
+        in
+        check_true "caught" (viols <> []);
+        check_true "as a reference disagreement"
+          (List.exists (fun v -> v.Game_laws.law = M.law_reference) viols));
     tc "mutation: lying checker violates the reference law" (fun () ->
         let module M = Game_laws.Make (Lying_check) in
         let viols = M.run ~concepts:[ Concept.PS ] ~gen:Casegen.graph ~seed:104L () in

@@ -258,4 +258,39 @@ let suite =
             | Some reply -> Alcotest.(check string) "poa socket == CLI bytes" cli reply
             | None -> Alcotest.fail "no reply");
             Serve_client.close c));
+    slow "generalized answers match the CLI; caches never cross games" (fun () ->
+        let cli =
+          let r =
+            Test_cli.run_cli
+              [
+                "check"; "--json"; "-a"; "2"; "--game"; "generalized"; "-c"; "PS";
+                "-g"; "Dhc";
+              ]
+          in
+          check_true "cli exit" (r.Test_cli.code = 0 || r.Test_cli.code = 1);
+          String.trim r.Test_cli.stdout
+        in
+        with_daemon (fun sock ->
+            let c = connect sock in
+            (* warm the bilateral entry for the same (graph, alpha):
+               before keys were game-scoped, the generalized request
+               below would have been answered from it *)
+            ignore (Serve_client.request_raw c (check_line 2.));
+            let s0 = stats_of c in
+            let gline =
+              "{\"op\":\"check\",\"game\":\"generalized\",\"concept\":\"PS\",\"alpha\":2,\"graph\":\"Dhc\"}"
+            in
+            (match Serve_client.request_raw c gline with
+            | Some reply ->
+                Alcotest.(check string) "generalized socket == CLI bytes" cli reply
+            | None -> Alcotest.fail "no reply");
+            let s1 = stats_of c in
+            check_int "no cross-game cache hit" s0.Api.cache_hits s1.Api.cache_hits;
+            (match Serve_client.request_raw c gline with
+            | Some reply -> Alcotest.(check string) "warm == computed" cli reply
+            | None -> Alcotest.fail "no reply");
+            let s2 = stats_of c in
+            check_true "warm generalized repeat is a cache hit"
+              (s2.Api.cache_hits > s1.Api.cache_hits);
+            Serve_client.close c));
   ]

@@ -45,7 +45,7 @@ let worst_sig (w : Sweep.worst) =
 let outcome_sig (o : Sweep.outcome) =
   List.map
     (fun (c : Sweep.cell) ->
-      (c.size, Concept.name c.concept, Int64.bits_of_float c.alpha, worst_sig c.worst))
+      (c.size, c.concept, Int64.bits_of_float c.alpha, worst_sig c.worst))
     o.Sweep.cells
 
 let journal_files dir =
@@ -304,7 +304,20 @@ let suite =
         (* Same (g6, concept string, alpha) under another game must
            address a different certificate. *)
         check_true "unilateral key differs"
-          (key ~game:"unilateral" "PS" 1.0 "Di_" <> key "PS" 1.0 "Di_"))
+          (key ~game:"unilateral" "PS" 1.0 "Di_" <> key "PS" 1.0 "Di_");
+        check_true "generalized key differs from bilateral"
+          (key ~game:"generalized" "PS" 1.0 "Di_" <> key "PS" 1.0 "Di_");
+        check_true "generalized key differs from unilateral"
+          (key ~game:"generalized" "PS" 1.0 "Di_"
+          <> key ~game:"unilateral" "PS" 1.0 "Di_");
+        (* PS@d prices identically to bilateral PS, but it is a
+           different game: its certificates must not alias the
+           bilateral ones, nor each other across cost functions. *)
+        check_true "generalized PS@d does not alias bilateral PS"
+          (key ~game:"generalized" "PS@d" 1.0 "Di_" <> key "PS" 1.0 "Di_");
+        check_true "cost functions do not alias"
+          (key ~game:"generalized" "PS@d" 1.0 "Di_"
+          <> key ~game:"generalized" "PS@d2" 1.0 "Di_"))
     ;
     tc "pre-refactor journal absorbs and serves a warm sweep" (fun () ->
         (* golden/journal-pre.jsonl was written by the pre-functor

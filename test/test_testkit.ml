@@ -156,6 +156,23 @@ let test_shrink_requires_failing_input () =
   check_raises_invalid "keep must hold initially" (fun () ->
       Shrink.graph ~keep:(fun _ -> false) (Gen.path 3))
 
+let test_shrink_invariant_floor () =
+  (* keep holds everywhere, so only the invariant limits deletion: the
+     shrinker must stop at its floor instead of escaping below it (the
+     game-size-cap regression: a shrunk repro must stay a state the
+     failing game considers well-formed). *)
+  let s =
+    Shrink.graph ~invariant:(fun g -> Graph.n g >= 3) ~keep:(fun _ -> true)
+      (Gen.clique 6)
+  in
+  check_int "stops at the invariant floor" 3 (Graph.n s);
+  check_int "edges still shrink within it" 0 (Graph.num_edges s)
+
+let test_shrink_invariant_must_hold_initially () =
+  check_raises_invalid "invariant must hold on the input" (fun () ->
+      Shrink.graph ~invariant:(fun g -> Graph.n g >= 10) ~keep:(fun _ -> true)
+        (Gen.path 3))
+
 let test_shrink_alpha () =
   check_float "ladder finds 1.0" 1.0 (Shrink.alpha ~keep:(fun a -> a >= 0.25) 7.75);
   check_float "unshrinkable stays" 7.75 (Shrink.alpha ~keep:(fun a -> a = 7.75) 7.75)
@@ -176,5 +193,7 @@ let suite =
     tc "shrink: clique to a single edge" test_shrink_to_single_edge;
     tc "shrink: triangle predicate to K3" test_shrink_to_triangle;
     tc "shrink: rejects non-failing input" test_shrink_requires_failing_input;
+    tc "shrink: invariant bounds deletion" test_shrink_invariant_floor;
+    tc "shrink: rejects invariant-violating input" test_shrink_invariant_must_hold_initially;
     tc "shrink: alpha ladder" test_shrink_alpha;
   ]

@@ -143,7 +143,7 @@ let suite =
         (match Unilateral_game.check ~alpha:0.5 Unilateral_game.UNE path with
         | Verdict.Unstable m ->
             check_true "witness passes witness_ok"
-              (Unilateral_game.witness_ok ~alpha:0.5 path m)
+              (Unilateral_game.witness_ok ~alpha:0.5 Unilateral_game.UAE path m)
         | v -> Alcotest.failf "expected UNE deviation, got %s" (Verdict.to_string v));
         let cycle = Unilateral_game.of_graph (Gen.cycle 4) in
         check_true "cycle keeps its edges at alpha 1.5"
@@ -151,15 +151,15 @@ let suite =
         match Unilateral_game.check ~alpha:2.5 Unilateral_game.URE cycle with
         | Verdict.Unstable m ->
             check_true "removal witness validates"
-              (Unilateral_game.witness_ok ~alpha:2.5 cycle m)
+              (Unilateral_game.witness_ok ~alpha:2.5 Unilateral_game.URE cycle m)
         | v -> Alcotest.failf "expected URE deviation, got %s" (Verdict.to_string v));
     tc "Unilateral_game: rho is social cost over the unilateral optimum" (fun () ->
         (* On a star at alpha 2 the star itself is the social optimum
            (alpha < 2 would favour the clique), so rho = 1. *)
         let star = Unilateral_game.of_graph (Gen.star 5) in
         check_true "star optimal at alpha 3"
-          (abs_float (Unilateral_game.rho ~alpha:3. star -. 1.) < 1e-12);
+          (abs_float (Unilateral_game.rho ~alpha:3. Unilateral_game.UNE star -. 1.) < 1e-12);
         let disconnected = Unilateral_game.of_graph (Graph.of_edges 3 [ (0, 1) ]) in
         check_true "disconnected rho infinite"
-          (Unilateral_game.rho ~alpha:3. disconnected = infinity));
+          (Unilateral_game.rho ~alpha:3. Unilateral_game.UNE disconnected = infinity));
   ]
